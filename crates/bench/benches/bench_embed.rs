@@ -1,0 +1,26 @@
+//! Fact 3 embedding cost on the host families of Theorem 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlap_net::embed::embed_linear_array;
+use overlap_net::topology::{hypercube, linear_array, mesh2d, random_regular};
+use overlap_net::DelayModel;
+
+fn bench_embed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("embed");
+    let dm = DelayModel::uniform(1, 9);
+    let hosts = vec![
+        ("mesh32x32", mesh2d(32, 32, dm, 1)),
+        ("hypercube10", hypercube(10, dm, 1)),
+        ("rreg1024x3", random_regular(1024, 3, dm, 1)),
+        ("path4096", linear_array(4096, dm, 1)),
+    ];
+    for (name, host) in hosts {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &host, |b, h| {
+            b.iter(|| embed_linear_array(h))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_embed);
+criterion_main!(benches);

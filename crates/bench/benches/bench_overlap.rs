@@ -1,0 +1,31 @@
+//! OVERLAP planning cost: killing/labeling the interval tree and running
+//! the recursive database assignment, as a function of host size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use overlap_core::overlap::plan_overlap;
+use overlap_net::topology::linear_array;
+use overlap_net::DelayModel;
+
+fn bench_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlap_plan");
+    for &n in &[1024u32, 4096, 16384, 65536] {
+        let host = linear_array(
+            n,
+            DelayModel::HeavyTail {
+                min: 1,
+                alpha: 0.8,
+                cap: 1 << 20,
+            },
+            7,
+        );
+        let delays: Vec<u64> = host.links().iter().map(|l| l.delay).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &delays, |b, d| {
+            b.iter(|| plan_overlap(d, 4.0, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Theorem 4 scenario cost: halo vs blocked execution on a uniform-delay
+//! host (wall-clock of the simulator itself, not the simulated makespan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlap_core::pipeline::{simulate_line_with_trace, LineStrategy};
+use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
+use overlap_net::topology::linear_array;
+use overlap_net::DelayModel;
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem4");
+    let d = 64u64;
+    let n = 16u32;
+    let r = (d as f64).sqrt() as u32;
+    let guest = GuestSpec::line(n * r, ProgramKind::Relaxation, 9, 4 * r);
+    let trace = ReferenceRun::execute(&guest);
+    let host = linear_array(n, DelayModel::constant(d), 0);
+    for (label, strat) in [
+        ("halo1", LineStrategy::Halo { halo: 1 }),
+        ("halo2", LineStrategy::Halo { halo: 2 }),
+        ("blocked", LineStrategy::Blocked),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &strat, |b, &s| {
+            b.iter(|| simulate_line_with_trace(&guest, &host, s, &trace).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_uniform);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E12 — design-choice ablations: halo width, killing constant, bandwidth.
+//! Usage: `cargo run --release --bin exp_ablations [--quick]`
+
+use overlap_bench::experiments::e12_ablations;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    for (t, name) in [
+        (e12_ablations::run_halo_width(scale), "e12a_halo_width"),
+        (e12_ablations::run_c_constant(scale), "e12b_c_constant"),
+        (e12_ablations::run_bandwidth(scale), "e12c_bandwidth"),
+        (e12_ablations::run_multicast(scale), "e12d_multicast"),
+        (e12_ablations::run_jitter(scale), "e12e_jitter"),
+    ] {
+        println!("{}", save_table(&t, name).expect("write results"));
+    }
+}

@@ -1,0 +1,10 @@
+//! E17 — 2-D quadtree killing on mesh hosts with catastrophic pockets.
+//! Usage: `cargo run --release --bin exp_adaptive2d [--quick]`
+
+use overlap_bench::experiments::e17_adaptive2d;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e17_adaptive2d::run(Scale::from_args());
+    println!("{}", save_table(&t, "e17_adaptive2d").expect("write results"));
+}

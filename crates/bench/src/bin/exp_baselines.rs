@@ -1,0 +1,10 @@
+//! E10 — §1 baselines (lockstep / blocked / slackness) vs OVERLAP.
+//! Usage: `cargo run --release --bin exp_baselines [--quick]`
+
+use overlap_bench::experiments::e10_baselines;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e10_baselines::run(Scale::from_args());
+    println!("{}", save_table(&t, "e10_baselines").expect("write results"));
+}

@@ -1,0 +1,12 @@
+//! Figures 1–6 regenerated as data tables.
+//! Usage: `cargo run --release --bin exp_figures`
+
+use overlap_bench::experiments::figures;
+use overlap_bench::save_table;
+
+fn main() {
+    for (i, t) in figures::all().into_iter().enumerate() {
+        let name = format!("figure{}", i + 1);
+        println!("{}", save_table(&t, &name).expect("write results"));
+    }
+}

@@ -1,0 +1,10 @@
+//! E14 — heterogeneous workstation speeds (beyond the paper).
+//! Usage: `cargo run --release --bin exp_heterogeneous [--quick]`
+
+use overlap_bench::experiments::e14_heterogeneous;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e14_heterogeneous::run(Scale::from_args());
+    println!("{}", save_table(&t, "e14_heterogeneous").expect("write results"));
+}

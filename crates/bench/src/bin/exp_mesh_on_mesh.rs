@@ -1,0 +1,10 @@
+//! E11 — §7 open question: a 2-D guest on a 2-D host, measured.
+//! Usage: `cargo run --release --bin exp_mesh_on_mesh [--quick]`
+
+use overlap_bench::experiments::e11_mesh_on_mesh;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e11_mesh_on_mesh::run(Scale::from_args());
+    println!("{}", save_table(&t, "e11_mesh_on_mesh").expect("write results"));
+}

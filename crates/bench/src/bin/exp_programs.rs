@@ -1,0 +1,10 @@
+//! E18 — workload independence of the simulation layer.
+//! Usage: `cargo run --release --bin exp_programs [--quick]`
+
+use overlap_bench::experiments::e18_programs;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e18_programs::run(Scale::from_args());
+    println!("{}", save_table(&t, "e18_programs").expect("write results"));
+}

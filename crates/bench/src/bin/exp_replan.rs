@@ -1,0 +1,10 @@
+//! E16 — the cost of a stale OVERLAP plan when the NOW's delays change.
+//! Usage: `cargo run --release --bin exp_replan [--quick]`
+
+use overlap_bench::experiments::e16_replan;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e16_replan::run(Scale::from_args());
+    println!("{}", save_table(&t, "e16_replan").expect("write results"));
+}

@@ -1,0 +1,10 @@
+//! E9 — §4: the clique-of-cliques unbounded-degree counterexample.
+//! Usage: `cargo run --release --bin exp_s4_cliques [--quick]`
+
+use overlap_bench::experiments::e9_cliques;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e9_cliques::run(Scale::from_args());
+    println!("{}", save_table(&t, "e9_cliques").expect("write results"));
+}

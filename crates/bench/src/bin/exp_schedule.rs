@@ -1,0 +1,10 @@
+//! E13 — Theorem 1 deadlines checked against measured completions.
+//! Usage: `cargo run --release --bin exp_schedule [--quick]`
+
+use overlap_bench::experiments::e13_schedule;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e13_schedule::run(Scale::from_args());
+    println!("{}", save_table(&t, "e13_schedule").expect("write results"));
+}

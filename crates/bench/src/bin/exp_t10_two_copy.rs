@@ -1,0 +1,10 @@
+//! E8 — Theorem 10: the two-copy Ω(log n) lower bound on H2.
+//! Usage: `cargo run --release --bin exp_t10_two_copy [--quick]`
+
+use overlap_bench::experiments::e8_two_copy;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e8_two_copy::run(Scale::from_args());
+    println!("{}", save_table(&t, "e8_two_copy").expect("write results"));
+}

@@ -1,0 +1,15 @@
+//! E1 — Theorem 2: OVERLAP slowdown vs d_ave, and d_max robustness.
+//! Usage: `cargo run --release --bin exp_t2_overlap [--quick]`
+
+use overlap_bench::experiments::e1_overlap;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    for (t, name) in [
+        (e1_overlap::run_dave_sweep(scale), "e1a_overlap_dave"),
+        (e1_overlap::run_dmax_stress(scale), "e1b_overlap_dmax"),
+    ] {
+        println!("{}", save_table(&t, name).expect("write results"));
+    }
+}

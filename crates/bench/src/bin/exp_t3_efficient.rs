@@ -1,0 +1,10 @@
+//! E2 — Theorem 3: the work-efficient OVERLAP.
+//! Usage: `cargo run --release --bin exp_t3_efficient [--quick]`
+
+use overlap_bench::experiments::e2_efficient;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e2_efficient::run(Scale::from_args());
+    println!("{}", save_table(&t, "e2_efficient").expect("write results"));
+}

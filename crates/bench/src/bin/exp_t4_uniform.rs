@@ -1,0 +1,10 @@
+//! E3 — Theorem 4: O(√d) on the uniform-delay host vs the Θ(d) baseline.
+//! Usage: `cargo run --release --bin exp_t4_uniform [--quick]`
+
+use overlap_bench::experiments::e3_uniform;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e3_uniform::run(Scale::from_args());
+    println!("{}", save_table(&t, "e3_uniform").expect("write results"));
+}

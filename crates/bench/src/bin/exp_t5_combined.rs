@@ -1,0 +1,10 @@
+//! E4 — Theorem 5: the combined √d_ave·polylog simulation crossover.
+//! Usage: `cargo run --release --bin exp_t5_combined [--quick]`
+
+use overlap_bench::experiments::e4_combined;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e4_combined::run(Scale::from_args());
+    println!("{}", save_table(&t, "e4_combined").expect("write results"));
+}

@@ -1,0 +1,10 @@
+//! E5 — Theorem 6: line guests on arbitrary bounded-degree NOWs.
+//! Usage: `cargo run --release --bin exp_t6_general [--quick]`
+
+use overlap_bench::experiments::e5_general;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e5_general::run(Scale::from_args());
+    println!("{}", save_table(&t, "e5_general").expect("write results"));
+}

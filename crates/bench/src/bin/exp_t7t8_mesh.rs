@@ -1,0 +1,10 @@
+//! E6 — Theorems 7/8: 2-D array guests on linear hosts and NOWs.
+//! Usage: `cargo run --release --bin exp_t7t8_mesh [--quick]`
+
+use overlap_bench::experiments::e6_mesh;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e6_mesh::run(Scale::from_args());
+    println!("{}", save_table(&t, "e6_mesh").expect("write results"));
+}

@@ -1,0 +1,10 @@
+//! E7 — Theorem 9: the single-copy √n lower bound on H1.
+//! Usage: `cargo run --release --bin exp_t9_one_copy [--quick]`
+
+use overlap_bench::experiments::e7_one_copy;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e7_one_copy::run(Scale::from_args());
+    println!("{}", save_table(&t, "e7_one_copy").expect("write results"));
+}

@@ -1,0 +1,10 @@
+//! E15 — binary-tree guests on a NOW (§7's closing wish).
+//! Usage: `cargo run --release --bin exp_tree [--quick]`
+
+use overlap_bench::experiments::e15_tree;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = e15_tree::run(Scale::from_args());
+    println!("{}", save_table(&t, "e15_tree").expect("write results"));
+}

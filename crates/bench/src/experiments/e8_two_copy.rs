@@ -1,0 +1,102 @@
+//! E8 — Theorem 10: with at most two copies per database and constant
+//! load, host `H2` forces slowdown `Ω(log n)`.
+//!
+//! For each `n`: Fact 4 verification (inter-segment delay ≥
+//! `α·min(u,v)·log n` on the real construction), the certificate of the
+//! natural two-copy assignment, and the engine-measured slowdown — all
+//! against the `log n` reference column.
+
+use crate::scale::Scale;
+use crate::table::{f2, f3, Table};
+use overlap_core::lower::{fact4_min_ratio, h2_two_copy_assignment, multi_copy_certificate};
+use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
+use overlap_net::topology::h2_recursive_boxes;
+use overlap_sim::engine::{Engine, EngineConfig};
+use overlap_sim::validate::validate_run;
+
+/// Run the Theorem 10 table.
+pub fn run(scale: Scale) -> Table {
+    let sizes: Vec<u32> = match scale {
+        Scale::Quick => vec![256, 1024],
+        Scale::Full => vec![256, 1024, 4096, 16384],
+    };
+    let steps = scale.pick(12u32, 24);
+
+    let mut t = Table::new(
+        "E8 · Theorem 10 — ≤2 copies, constant load, on the recursive-box host H2",
+        &[
+            "n (target)",
+            "procs",
+            "log₂ n",
+            "fact4 ratio",
+            "certificate",
+            "measured slowdown",
+            "load",
+            "valid",
+        ],
+    );
+    for &n in &sizes {
+        let h2 = h2_recursive_boxes(n);
+        let procs = h2.graph.num_nodes();
+        let log_n = (procs as f64).log2();
+        let ratio = fact4_min_ratio(&h2, 48);
+        // Columns: enough to spread across segments at constant load.
+        let m = (procs / 4).max(16);
+        let assignment = h2_two_copy_assignment(&h2, m);
+        let cert = multi_copy_certificate(&h2.graph, &assignment);
+        let guest = GuestSpec::line(m, ProgramKind::Relaxation, 2, steps);
+        let trace = ReferenceRun::execute(&guest);
+        let out = Engine::new(&guest, &h2.graph, &assignment, EngineConfig::default())
+            .run()
+            .expect("H2 run");
+        let ok = validate_run(&trace, &out).is_empty();
+        t.row(vec![
+            n.to_string(),
+            procs.to_string(),
+            f2(log_n),
+            f3(ratio),
+            f2(cert),
+            f2(out.stats.slowdown),
+            assignment.load().to_string(),
+            ok.to_string(),
+        ]);
+    }
+    t.note(
+        "Fact 4 holds on the construction (ratio stays bounded away from 0): processors \
+         in different segments are ≥ α·min(|I|,|J|)·log n apart. Theorem 10's Ω(log n) is \
+         a *floor* on every ≤2-copy constant-load execution; both the certificate and the \
+         measured slowdown respect it — and in fact sit far above it, because on H2 any \
+         cross-segment hop costs ≥ d = √n. The theorem's point stands: unlike the \
+         dataflow model, the database model admits hosts of constant average delay that \
+         no bounded-copy simulation can run at constant slowdown.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact4_holds_and_measured_grows() {
+        let t = run(Scale::Quick);
+        for r in &t.rows {
+            let ratio: f64 = r[3].parse().unwrap();
+            assert!(ratio > 0.02, "Fact 4 ratio {ratio}");
+            assert_eq!(r[7], "true");
+        }
+        let measured = t.column_f64("measured slowdown");
+        assert!(
+            measured.last().unwrap() >= &measured[0],
+            "slowdown must not shrink with n: {measured:?}"
+        );
+    }
+
+    #[test]
+    fn assignments_have_constant_load_and_two_copies() {
+        let h2 = h2_recursive_boxes(512);
+        let a = h2_two_copy_assignment(&h2, 128);
+        assert!(a.max_copies() <= 2);
+        assert!(a.load() <= 4);
+    }
+}

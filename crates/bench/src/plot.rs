@@ -1,0 +1,155 @@
+//! Terminal-friendly ASCII plots for experiment results.
+//!
+//! The experiments' headline claims are growth *shapes* (√d vs d, polylog
+//! vs linear); a small log-log scatter makes them visible directly in the
+//! result files without any plotting toolchain.
+
+/// Render a log-log scatter of one or more series into a fixed-size ASCII
+/// grid. Each series gets a marker character; points outside the positive
+/// quadrant are skipped.
+pub fn ascii_loglog(
+    title: &str,
+    series: &[(&str, char, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.clamp(16, 120);
+    let height = height.clamp(6, 48);
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, _, p)| p.iter())
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .copied()
+        .collect();
+    if pts.is_empty() {
+        return format!("{title}\n(no positive data)\n");
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for (x, y) in &pts {
+        x0 = x0.min(x.ln());
+        x1 = x1.max(x.ln());
+        y0 = y0.min(y.ln());
+        y1 = y1.max(y.ln());
+    }
+    // Avoid degenerate ranges.
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (_, marker, points) in series {
+        for (x, y) in points.iter().filter(|(x, y)| *x > 0.0 && *y > 0.0) {
+            let cx = (((x.ln() - x0) / (x1 - x0)) * (width as f64 - 1.0)).round() as usize;
+            let cy = (((y.ln() - y0) / (y1 - y0)) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            grid[row][col] = *marker;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let y_hi = format!("{:.3e}", y1.exp());
+    let y_lo = format!("{:.3e}", y0.exp());
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_hi:>10} ")
+        } else if i == height - 1 {
+            format!("{y_lo:>10} ")
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>11}+{}\n{:>12}{:<w$}{:>8}\n",
+        "",
+        "-".repeat(width),
+        format!("{:.3e}", x0.exp()),
+        "",
+        format!("{:.3e}", x1.exp()),
+        w = width.saturating_sub(18),
+    ));
+    for (name, marker, _) in series {
+        out.push_str(&format!("  {marker} = {name}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sqrt_series() -> Vec<(f64, f64)> {
+        (1..=6).map(|i| {
+            let x = 4f64.powi(i);
+            (x, 5.0 * x.sqrt())
+        }).collect()
+    }
+
+    fn linear_series() -> Vec<(f64, f64)> {
+        (1..=6).map(|i| {
+            let x = 4f64.powi(i);
+            (x, x)
+        }).collect()
+    }
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let a = sqrt_series();
+        let b = linear_series();
+        let plot = ascii_loglog(
+            "slowdown vs d",
+            &[("halo", 'o', &a), ("blocked", 'x', &b)],
+            60,
+            16,
+        );
+        assert!(plot.contains('o'));
+        assert!(plot.contains('x'));
+        assert!(plot.contains("o = halo"));
+        assert!(plot.contains("x = blocked"));
+        assert!(plot.lines().count() >= 16);
+    }
+
+    #[test]
+    fn sqrt_series_sits_below_linear_at_the_right_edge() {
+        // In log-log space the two series share the left edge and diverge
+        // right: the last 'o' must be on a lower row... i.e. appear *after*
+        // (further down) the last 'x' row-wise.
+        let a = sqrt_series();
+        let b = linear_series();
+        let plot = ascii_loglog("t", &[("s", 'o', &a), ("l", 'x', &b)], 60, 20);
+        let rows: Vec<&str> = plot.lines().collect();
+        let last_col_of = |m: char| {
+            rows.iter()
+                .position(|r| r.rfind(m).map(|c| c > 50).unwrap_or(false))
+        };
+        let o_row = last_col_of('o');
+        let x_row = last_col_of('x');
+        if let (Some(o), Some(x)) = (o_row, x_row) {
+            assert!(o > x, "sqrt series should plot below linear at right edge");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty: &[(f64, f64)] = &[];
+        let plot = ascii_loglog("t", &[("e", 'o', empty)], 40, 10);
+        assert!(plot.contains("no positive data"));
+        let single = [(5.0, 7.0)];
+        let plot = ascii_loglog("t", &[("s", 'o', &single)], 40, 10);
+        assert!(plot.contains('o'));
+    }
+
+    #[test]
+    fn negative_points_are_skipped() {
+        let mixed = [(-1.0, 5.0), (10.0, 20.0), (100.0, -3.0)];
+        let plot = ascii_loglog("t", &[("m", 'o', &mixed)], 40, 10);
+        assert_eq!(plot.matches('o').count() - 1, 1); // one point + legend
+    }
+}

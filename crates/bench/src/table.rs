@@ -1,0 +1,168 @@
+//! Markdown result tables.
+
+/// A result table: title, column headers, string rows, free-form notes.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Heading printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Notes rendered after the table (one bullet each).
+    pub notes: Vec<String>,
+    /// Preformatted blocks (e.g. ASCII plots) rendered fenced after notes.
+    pub extra: Vec<String>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the width disagrees with the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a note bullet.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Append a preformatted block (rendered in a code fence).
+    pub fn block(&mut self, b: impl Into<String>) {
+        self.extra.push(b.into());
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        for b in &self.extra {
+            out.push_str(&format!("\n```text\n{b}```\n"));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish: quotes around cells containing commas
+    /// or quotes).
+    pub fn to_csv(&self) -> String {
+        fn cell(c: &str) -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fetch a numeric column by header name (for assertions in tests).
+    pub fn column_f64(&self, header: &str) -> Vec<f64> {
+        let idx = self
+            .headers
+            .iter()
+            .position(|h| h == header)
+            .unwrap_or_else(|| panic!("no column '{header}' in '{}'", self.title));
+        self.rows
+            .iter()
+            .map(|r| r[idx].trim().parse::<f64>().unwrap_or(f64::NAN))
+            .collect()
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let md = t.to_markdown();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("- hello"));
+    }
+
+    #[test]
+    fn blocks_render_fenced() {
+        let mut t = Table::new("T", &["x"]);
+        t.row(vec!["1".into()]);
+        t.block("plot here\n");
+        let md = t.to_markdown();
+        assert!(md.contains("```text\nplot here\n```"));
+    }
+
+    #[test]
+    fn csv_rendering_quotes_commas() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.row(vec!["a,b".into(), "1".into()]);
+        t.row(vec!["plain".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,v\n"));
+        assert!(csv.contains("\"a,b\",1"));
+        assert!(csv.contains("plain,2"));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        t.row(vec!["3".into(), "4.5".into()]);
+        assert_eq!(t.column_f64("y"), vec![2.5, 4.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Algorithm OVERLAP end-to-end (§3.2–3.3, Theorems 1–3).
+//!
+//! `plan_overlap` runs the killing/labeling stages and the recursive
+//! database assignment on a host *array* (given as its link delays),
+//! producing:
+//!
+//! * which guest cells each host array position holds (after block
+//!   expansion — `block = 1` is the load-1 Theorem 2 assignment,
+//!   `block = β = d_ave·log³n` the work-efficient Theorem 3 one), and
+//! * the paper's *predicted* makespan bound from the schedule recurrence
+//!   `s_{m_k}^{(k)} = 2·s_{m_{k+1}}^{(k+1)} + 2·D_k` (Theorem 1's
+//!   definitions 1–3), evaluated numerically with the host's actual
+//!   parameters — the quantity experiments compare measured slowdowns
+//!   against.
+
+use crate::assign::{assign_slots, expand_blocks, SlotAssignment};
+use crate::killing::{kill_and_label, KillOutcome, KillParams};
+use overlap_net::Delay;
+
+/// Failure modes of planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlapError {
+    /// The killing stages eliminated every processor (pathological delays
+    /// or too-small `c`).
+    HostKilled,
+}
+
+impl std::fmt::Display for OverlapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverlapError::HostKilled => write!(f, "killing stages removed every processor"),
+        }
+    }
+}
+
+impl std::error::Error for OverlapError {}
+
+/// A complete OVERLAP plan for a host array.
+#[derive(Debug, Clone)]
+pub struct OverlapPlan {
+    /// Killing/labeling outcome (tree, labels, live mask).
+    pub kill: KillOutcome,
+    /// The slot assignment before block expansion.
+    pub slots: SlotAssignment,
+    /// Cells per block-expanded slot.
+    pub block: u32,
+    /// Guest size this host can simulate: `root_label × block` cells.
+    pub guest_cells: u32,
+    /// Per host array position: held guest cells.
+    pub cells_of_position: Vec<Vec<u32>>,
+    /// Predicted slowdown from the `s_t^{(k)}` recurrence.
+    pub predicted_slowdown: f64,
+}
+
+impl OverlapPlan {
+    /// Load: databases per processor (`block` for live positions).
+    pub fn load(&self) -> usize {
+        self.cells_of_position.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Evaluate the Theorem 1/2 schedule recurrence numerically.
+///
+/// `s = block` at `k_max = log n − log log n − log c` (each leaf computes
+/// `block` pebbles per row), then `s ← 2s + 2·D_k` walking up to the root,
+/// `D_k = (n/2^k)·d_ave·c·log n`. The predicted slowdown is
+/// `s_{m_0}^{(0)} / m_0` with `m_0 = n/(c·log n)` rows per round.
+pub fn predicted_slowdown(n: u32, d_ave: f64, c: f64, block: u32) -> f64 {
+    let n = n.max(2) as f64;
+    let log2n = n.log2().max(1.0);
+    let m0 = (n / (c * log2n)).max(1.0);
+    let k_max = (log2n - log2n.log2().max(0.0) - c.log2()).floor().max(0.0) as u32;
+    let mut s = block as f64;
+    for k in (0..k_max).rev() {
+        let d_k = (n / 2f64.powi(k as i32)) * d_ave * c * log2n;
+        s = 2.0 * s + 2.0 * d_k;
+    }
+    // A slowdown below 1 is impossible; tiny hosts can drive the formula
+    // there because k_max collapses to 0.
+    (s / m0).max(1.0)
+}
+
+/// Plan OVERLAP on a host array with link delays `delays` (length n−1).
+///
+/// `c` is the killing constant (> 2); `block` the databases per slot.
+///
+/// ```
+/// use overlap_core::overlap::plan_overlap;
+/// let delays = vec![2u64; 63]; // a uniform 64-processor line
+/// let plan = plan_overlap(&delays, 4.0, 1).unwrap();
+/// assert_eq!(plan.load(), 1);                  // Theorem 2: load one
+/// assert!(plan.guest_cells >= 32);             // Θ(n) guest capacity
+/// ```
+pub fn plan_overlap(delays: &[Delay], c: f64, block: u32) -> Result<OverlapPlan, OverlapError> {
+    let kill = kill_and_label(delays, &KillParams { c });
+    if kill.removed[0] || kill.root_label() < 1 {
+        return Err(OverlapError::HostKilled);
+    }
+    let slots = assign_slots(&kill);
+    let cells_of_position = expand_blocks(&slots, block);
+    let guest_cells = slots.num_slots * block;
+    let n = delays.len() as u32 + 1;
+    let predicted = predicted_slowdown(n, kill.d_ave, c, block);
+    Ok(OverlapPlan {
+        kill,
+        slots,
+        block,
+        guest_cells,
+        cells_of_position,
+        predicted_slowdown: predicted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap_net::topology::linear_array;
+    use overlap_net::DelayModel;
+
+    fn delays_of(n: u32, dm: DelayModel, seed: u64) -> Vec<Delay> {
+        linear_array(n, dm, seed)
+            .links()
+            .iter()
+            .map(|l| l.delay)
+            .collect()
+    }
+
+    #[test]
+    fn plan_on_uniform_host() {
+        let d = delays_of(256, DelayModel::constant(2), 0);
+        let plan = plan_overlap(&d, 4.0, 1).unwrap();
+        assert_eq!(plan.load(), 1);
+        assert!(plan.guest_cells as usize >= 128, "guest {}", plan.guest_cells);
+        assert!(plan.predicted_slowdown > 1.0);
+    }
+
+    #[test]
+    fn block_expansion_scales_guest_and_load() {
+        let d = delays_of(128, DelayModel::uniform(1, 9), 1);
+        let p1 = plan_overlap(&d, 4.0, 1).unwrap();
+        let p8 = plan_overlap(&d, 4.0, 8).unwrap();
+        assert_eq!(p8.guest_cells, p1.guest_cells * 8);
+        assert_eq!(p8.load(), p1.load() * 8);
+    }
+
+    #[test]
+    fn predicted_slowdown_scales_linearly_with_d_ave() {
+        // Theorem 2: slowdown O(d_ave·log³n) — doubling d_ave roughly
+        // doubles the prediction at fixed n.
+        let a = predicted_slowdown(1024, 4.0, 4.0, 1);
+        let b = predicted_slowdown(1024, 8.0, 4.0, 1);
+        let ratio = b / a;
+        assert!(
+            (1.6..=2.2).contains(&ratio),
+            "expected ~2x, got {ratio} ({a} → {b})"
+        );
+    }
+
+    #[test]
+    fn predicted_slowdown_is_polylog_in_n_at_constant_delay() {
+        // At d_ave = O(1) the slowdown should grow like log³n, i.e. the
+        // ratio between n = 2^16 and n = 2^10 is about (16/10)³ ≈ 4.1 —
+        // certainly far below the ×64 of a linear-in-n slowdown.
+        let a = predicted_slowdown(1 << 10, 1.0, 4.0, 1);
+        let b = predicted_slowdown(1 << 16, 1.0, 4.0, 1);
+        let ratio = b / a;
+        assert!(ratio < 16.0, "slowdown must be polylog: ratio {ratio}");
+        assert!(ratio > 1.2, "slowdown should still grow with n: {ratio}");
+    }
+
+    #[test]
+    fn predicted_slowdown_independent_of_d_max() {
+        // Two hosts with identical d_ave, wildly different d_max, give the
+        // same prediction (the formula only sees d_ave) — the paper's
+        // point that OVERLAP escapes Θ(d_max).
+        let a = predicted_slowdown(512, 3.0, 4.0, 1);
+        let b = predicted_slowdown(512, 3.0, 4.0, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_survives_heavy_tail_delays() {
+        for seed in 0..8 {
+            let d = delays_of(
+                300,
+                DelayModel::HeavyTail {
+                    min: 1,
+                    alpha: 0.5,
+                    cap: 1 << 30,
+                },
+                seed,
+            );
+            let plan = plan_overlap(&d, 4.0, 1).unwrap();
+            assert!(plan.guest_cells >= 1, "seed {seed}");
+            // every guest cell covered
+            let mut covered = vec![false; plan.guest_cells as usize];
+            for cells in &plan.cells_of_position {
+                for &c in cells {
+                    covered[c as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&b| b), "seed {seed}: uncovered cells");
+        }
+    }
+
+    #[test]
+    fn two_processor_host_plans() {
+        let plan = plan_overlap(&[7], 4.0, 1).unwrap();
+        assert!(plan.guest_cells >= 1);
+        assert!(plan.load() <= 1);
+    }
+}

@@ -1,0 +1,594 @@
+//! High-level simulation pipelines: pick a strategy, build the assignment,
+//! run the engine, validate against the unit-delay reference.
+//!
+//! This is the API examples and experiments use. The flow for a line/ring
+//! guest on an arbitrary host:
+//!
+//! 1. fold the guest into *line slots* (identity for a line, the
+//!    slowdown-2 fold for a ring — §1's "a linear array can simulate a
+//!    ring with slowdown 2");
+//! 2. view the host as a linear array: directly if it *is* a path, else
+//!    through the dilation-3 embedding of Fact 3 (§4);
+//! 3. build the database assignment per the chosen [`LineStrategy`];
+//! 4. execute with the cycle-accurate engine and validate every copy.
+
+use crate::overlap::{plan_overlap, OverlapError};
+use crate::uniform;
+use overlap_model::{line_slots, ring_fold, GuestSpec, GuestTopology, ReferenceTrace, SlotMap};
+use overlap_net::embed::embed_linear_array;
+use overlap_net::{Delay, HostGraph, NodeId};
+use overlap_sim::engine::{Engine, EngineConfig, RunError};
+use overlap_sim::validate::validate_run;
+use overlap_sim::{Assignment, RunStats};
+use overlap_model::ReferenceRun;
+
+/// How to place guest databases on the host line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LineStrategy {
+    /// Algorithm OVERLAP, load-1 structure proportionally scaled to the
+    /// guest (Theorems 2/3; with a guest larger than the root label the
+    /// assignment is the work-efficient blocked variant).
+    Overlap {
+        /// Killing constant (> 2).
+        c: f64,
+    },
+    /// Theorem 4 halo regions: equal blocks with `halo` redundant blocks
+    /// on each side (`halo = 1` is the paper's 3-block region).
+    Halo {
+        /// Redundant blocks per side.
+        halo: u32,
+    },
+    /// Theorem 5: OVERLAP down to an intermediate uniform array of
+    /// `n × expansion` positions, then Theorem 4 regions on it.
+    Combined {
+        /// Killing constant.
+        c: f64,
+        /// Intermediate expansion factor (the paper's `log³n`).
+        expansion: u32,
+    },
+    /// Contiguous blocks over all processors, no redundancy (what a naive
+    /// parallelization does; suffers the Θ(d) dependency cycle).
+    Blocked,
+    /// Complementary slackness: contiguous blocks over only `n / d_max`
+    /// evenly spaced processors (prior work's efficiency-preserving
+    /// layout; slowdown still Θ(d_max)).
+    Slackness,
+    /// Everything on one processor (degenerate sanity baseline).
+    AllOnOne,
+    /// Pick automatically from the host's delay statistics: near-uniform
+    /// delays → Theorem 4 halo regions; high average delay → the Theorem 5
+    /// combined pipeline; otherwise OVERLAP.
+    Auto,
+}
+
+impl LineStrategy {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            LineStrategy::Overlap { c } => format!("overlap(c={c})"),
+            LineStrategy::Halo { halo } => format!("halo({halo})"),
+            LineStrategy::Combined { c, expansion } => {
+                format!("combined(c={c},L={expansion})")
+            }
+            LineStrategy::Blocked => "blocked".into(),
+            LineStrategy::Slackness => "slackness".into(),
+            LineStrategy::AllOnOne => "all-on-one".into(),
+            LineStrategy::Auto => "auto".into(),
+        }
+    }
+}
+
+/// Resolve [`LineStrategy::Auto`] from the host array's delay statistics.
+///
+/// * `d_max ≤ 3·d_ave`, small `d_ave`: the host is effectively uniform —
+///   Theorem 4's halo regions are optimal up to constants;
+/// * `d_max ≤ 3·d_ave`, large `d_ave`: latency dominates everywhere — the
+///   Theorem 5 combined pipeline earns its √d_ave factor;
+/// * `d_max > 32·d_ave`: a few extreme spikes dominate. OVERLAP only
+///   bridges spikes that land near dyadic boundaries wide enough for an
+///   integer overlap (and its killing zones scale with `d_ave`, which the
+///   spike itself inflates), so uniform halo redundancy — which bridges a
+///   spike *anywhere* — wins (measured in E16);
+/// * otherwise (moderately varying delays): OVERLAP (Theorem 2/3).
+pub fn resolve_auto(delays: &[Delay]) -> LineStrategy {
+    if delays.is_empty() {
+        return LineStrategy::Blocked;
+    }
+    let d_ave = delays.iter().sum::<u64>() as f64 / delays.len() as f64;
+    let d_max = *delays.iter().max().expect("non-empty") as f64;
+    // The median is robust against the spikes themselves (a single huge
+    // link inflates d_ave arbitrarily).
+    let mut sorted = delays.to_vec();
+    sorted.sort_unstable();
+    let d_median = sorted[sorted.len() / 2] as f64;
+    if d_max <= 3.0 * d_ave {
+        if d_ave > 16.0 {
+            LineStrategy::Combined {
+                c: 4.0,
+                expansion: 2,
+            }
+        } else {
+            LineStrategy::Halo { halo: 1 }
+        }
+    } else if d_max > 32.0 * d_median {
+        LineStrategy::Halo { halo: 2 }
+    } else {
+        LineStrategy::Overlap { c: 4.0 }
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// OVERLAP planning failed.
+    Overlap(OverlapError),
+    /// The engine could not complete.
+    Run(RunError),
+    /// Mesh guests must use [`crate::mesh`].
+    UnsupportedTopology,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Overlap(e) => write!(f, "overlap planning: {e}"),
+            PipelineError::Run(e) => write!(f, "engine: {e}"),
+            PipelineError::UnsupportedTopology => {
+                write!(f, "mesh guests use overlap_core::mesh")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<OverlapError> for PipelineError {
+    fn from(e: OverlapError) -> Self {
+        PipelineError::Overlap(e)
+    }
+}
+
+impl From<RunError> for PipelineError {
+    fn from(e: RunError) -> Self {
+        PipelineError::Run(e)
+    }
+}
+
+/// The result of a validated pipeline run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Measured statistics.
+    pub stats: RunStats,
+    /// All copies matched the unit-delay reference.
+    pub validated: bool,
+    /// Number of copy mismatches (0 when `validated`).
+    pub mismatches: usize,
+    /// The strategy's predicted slowdown, when it has one.
+    pub predicted_slowdown: Option<f64>,
+    /// Strategy label.
+    pub strategy: String,
+    /// Host name.
+    pub host: String,
+    /// Host average link delay.
+    pub d_ave: f64,
+    /// Host maximum link delay.
+    pub d_max: Delay,
+    /// Embedding dilation when the host was not a path (else 0).
+    pub dilation: u32,
+}
+
+/// View a host as a linear array: `(order, link delays)`. A path graph is
+/// used directly; anything else goes through the dilation-3 embedding.
+/// Returns the dilation (0 for a genuine path).
+pub fn host_as_array(host: &HostGraph) -> (Vec<NodeId>, Vec<Delay>, u32) {
+    if let Some((order, delays)) = try_path_order(host) {
+        return (order, delays, 0);
+    }
+    let emb = embed_linear_array(host);
+    let delays = emb.array_delays.clone();
+    (emb.order, delays, emb.dilation)
+}
+
+/// If the host is a simple path, return its natural order and delays.
+fn try_path_order(host: &HostGraph) -> Option<(Vec<NodeId>, Vec<Delay>)> {
+    let n = host.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some((vec![0], Vec::new()));
+    }
+    let mut ends = Vec::new();
+    for v in 0..n {
+        match host.degree(v) {
+            1 => ends.push(v),
+            2 => {}
+            _ => return None,
+        }
+    }
+    if ends.len() != 2 {
+        return None;
+    }
+    let mut order = Vec::with_capacity(n as usize);
+    let mut delays = Vec::with_capacity(n as usize - 1);
+    let mut prev = u32::MAX;
+    let mut cur = ends[0].min(ends[1]);
+    order.push(cur);
+    while order.len() < n as usize {
+        let mut advanced = false;
+        for &(w, d) in host.neighbours(cur) {
+            if w != prev {
+                delays.push(d);
+                order.push(w);
+                prev = cur;
+                cur = w;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return None; // premature dead end: not a path
+        }
+    }
+    Some((order, delays))
+}
+
+/// Proportionally expand `src` slot indices over `m` guest slots:
+/// plan-slot `s` of `total` covers guest slots `[s·m/total, (s+1)·m/total)`.
+fn proportional(src: &[u32], total: u32, m: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    for &s in src {
+        let lo = (s as u64 * m as u64 / total as u64) as u32;
+        let hi = ((s as u64 + 1) * m as u64 / total as u64) as u32;
+        out.extend(lo..hi);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Build the per-position guest-slot lists for a strategy.
+fn place_slots(
+    strategy: LineStrategy,
+    delays: &[Delay],
+    num_slots: u32,
+) -> Result<(Vec<Vec<u32>>, Option<f64>), PipelineError> {
+    let n = delays.len() as u32 + 1;
+    let d_ave = if delays.is_empty() {
+        0.0
+    } else {
+        delays.iter().sum::<u64>() as f64 / delays.len() as f64
+    };
+    let d_max = delays.iter().copied().max().unwrap_or(0);
+    match strategy {
+        LineStrategy::Overlap { c } => {
+            let plan = plan_overlap(delays, c, 1)?;
+            let total = plan.slots.num_slots;
+            let placed = plan
+                .slots
+                .slots_of_position
+                .iter()
+                .map(|s| proportional(s, total, num_slots))
+                .collect();
+            let block = (num_slots as f64 / total as f64).max(1.0);
+            let predicted =
+                crate::overlap::predicted_slowdown(n, plan.kill.d_ave, c, block.ceil() as u32);
+            Ok((placed, Some(predicted)))
+        }
+        LineStrategy::Halo { halo } => {
+            let r = num_slots.div_ceil(n).max(1);
+            let cells = uniform::halo_assignment(n, r, halo);
+            // halo_assignment produces n·r slots; clip to num_slots.
+            let placed = cells
+                .into_iter()
+                .map(|cs| cs.into_iter().filter(|&c| c < num_slots).collect())
+                .collect();
+            Ok((placed, Some(uniform::predicted_slowdown(d_ave.round() as u64))))
+        }
+        LineStrategy::Combined { c, expansion } => {
+            // OVERLAP with block = expansion: host position → intermediate
+            // H0 positions; then Theorem 4 regions over H0 positions.
+            let plan = plan_overlap(delays, c, expansion)?;
+            let n0 = plan.guest_cells; // intermediate positions
+            let r = num_slots.div_ceil(n0).max(1);
+            let h0_regions = uniform::halo_assignment(n0, r, 1);
+            let placed = plan
+                .cells_of_position
+                .iter()
+                .map(|h0s| {
+                    let mut out: Vec<u32> = h0s
+                        .iter()
+                        .flat_map(|&q| h0_regions[q as usize].iter().copied())
+                        .filter(|&c| c < num_slots)
+                        .collect();
+                    out.sort_unstable();
+                    out.dedup();
+                    out
+                })
+                .collect();
+            let pred = crate::theory::t5_predicted(n, d_ave, c, expansion);
+            Ok((placed, Some(pred)))
+        }
+        LineStrategy::Blocked => {
+            let a = Assignment::blocked(n, num_slots);
+            Ok((
+                (0..n).map(|p| a.cells_of(p).to_vec()).collect(),
+                Some(crate::theory::blocked_predicted(d_ave)),
+            ))
+        }
+        LineStrategy::Slackness => {
+            let used = ((n as u64) / d_max.max(1)).max(1).min(n as u64) as u32;
+            // Evenly spaced positions hold contiguous blocks.
+            let mut placed = vec![Vec::new(); n as usize];
+            for u in 0..used {
+                let pos = (u as u64 * n as u64 / used as u64) as usize;
+                let lo = (u as u64 * num_slots as u64 / used as u64) as u32;
+                let hi = ((u as u64 + 1) * num_slots as u64 / used as u64) as u32;
+                placed[pos].extend(lo..hi);
+            }
+            Ok((placed, Some(crate::theory::lockstep_predicted(d_max))))
+        }
+        LineStrategy::AllOnOne => {
+            let mut placed = vec![Vec::new(); n as usize];
+            placed[0] = (0..num_slots).collect();
+            Ok((placed, Some(num_slots as f64)))
+        }
+        LineStrategy::Auto => place_slots(resolve_auto(delays), delays, num_slots),
+    }
+}
+
+/// Simulate a line or ring guest on an arbitrary connected host with the
+/// given strategy, validating every database copy against the unit-delay
+/// reference.
+pub fn simulate_line_on_host(
+    guest: &GuestSpec,
+    host: &HostGraph,
+    strategy: LineStrategy,
+) -> Result<SimReport, PipelineError> {
+    let trace = ReferenceRun::execute(guest);
+    simulate_line_with_trace(guest, host, strategy, &trace)
+}
+
+/// The assignment a line strategy produces, plus embedding metadata —
+/// exposed so callers can run it on the engine of their choice.
+#[derive(Debug, Clone)]
+pub struct LinePlacement {
+    /// The database assignment over host nodes.
+    pub assignment: Assignment,
+    /// The strategy's predicted slowdown, when it has one.
+    pub predicted_slowdown: Option<f64>,
+    /// Embedded-array link delays.
+    pub array_delays: Vec<Delay>,
+    /// Embedding dilation (0 for a genuine path host).
+    pub dilation: u32,
+}
+
+/// Build the database assignment for a line/ring guest on an arbitrary
+/// connected host under `strategy` (steps 1–3 of the pipeline, without
+/// executing).
+pub fn plan_line_placement(
+    guest: &GuestSpec,
+    host: &HostGraph,
+    strategy: LineStrategy,
+) -> Result<LinePlacement, PipelineError> {
+    let slot_map: SlotMap = match guest.topology {
+        GuestTopology::Line { m } => line_slots(m),
+        GuestTopology::Ring { m } => ring_fold(m),
+        GuestTopology::Mesh2D { .. }
+        | GuestTopology::Torus2D { .. }
+        | GuestTopology::BinaryTree { .. }
+        | GuestTopology::Mesh3D { .. } => return Err(PipelineError::UnsupportedTopology),
+    };
+    let (order, delays, dilation) = host_as_array(host);
+    let num_slots = slot_map.len() as u32;
+    let (slots_of_position, predicted) = place_slots(strategy, &delays, num_slots)?;
+
+    // Expand slots to guest cells and map array positions to host nodes.
+    let mut cells_of = vec![Vec::new(); host.num_nodes() as usize];
+    for (pos, slots) in slots_of_position.iter().enumerate() {
+        let node = order[pos] as usize;
+        for &s in slots {
+            cells_of[node].extend_from_slice(&slot_map.slots[s as usize]);
+        }
+        cells_of[node].sort_unstable();
+        cells_of[node].dedup();
+    }
+    Ok(LinePlacement {
+        assignment: Assignment::from_cells_of(host.num_nodes(), guest.num_cells(), cells_of),
+        predicted_slowdown: predicted,
+        array_delays: delays,
+        dilation,
+    })
+}
+
+/// Like [`simulate_line_on_host`] but with a precomputed reference trace
+/// (for parameter sweeps that reuse the guest).
+pub fn simulate_line_with_trace(
+    guest: &GuestSpec,
+    host: &HostGraph,
+    strategy: LineStrategy,
+    trace: &ReferenceTrace,
+) -> Result<SimReport, PipelineError> {
+    let placement = plan_line_placement(guest, host, strategy)?;
+    let outcome =
+        Engine::new(guest, host, &placement.assignment, EngineConfig::default()).run()?;
+    let errors = validate_run(trace, &outcome);
+    let stats = outcome.stats;
+    let delays = &placement.array_delays;
+    let d_ave = if delays.is_empty() {
+        0.0
+    } else {
+        delays.iter().sum::<u64>() as f64 / delays.len() as f64
+    };
+    Ok(SimReport {
+        stats,
+        validated: errors.is_empty(),
+        mismatches: errors.len(),
+        predicted_slowdown: placement.predicted_slowdown,
+        strategy: strategy.label(),
+        host: host.name().to_string(),
+        d_ave,
+        d_max: delays.iter().copied().max().unwrap_or(0),
+        dilation: placement.dilation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap_model::ProgramKind;
+    use overlap_net::topology::{linear_array, mesh2d};
+    use overlap_net::DelayModel;
+
+    #[test]
+    fn path_hosts_are_detected() {
+        let host = linear_array(6, DelayModel::uniform(1, 9), 3);
+        let (order, delays, dil) = host_as_array(&host);
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(delays.len(), 5);
+        assert_eq!(dil, 0);
+    }
+
+    #[test]
+    fn non_path_hosts_are_embedded() {
+        let host = mesh2d(3, 3, DelayModel::constant(2), 0);
+        let (order, delays, dil) = host_as_array(&host);
+        assert_eq!(order.len(), 9);
+        assert_eq!(delays.len(), 8);
+        assert!(dil >= 1 && dil <= 3);
+    }
+
+    #[test]
+    fn overlap_strategy_runs_and_validates_on_line_host() {
+        let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 3, 16);
+        let host = linear_array(8, DelayModel::uniform(1, 8), 5);
+        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        assert!(r.validated, "{} mismatches", r.mismatches);
+        assert!(r.stats.slowdown >= 1.0);
+        assert!(r.predicted_slowdown.is_some());
+    }
+
+    #[test]
+    fn all_strategies_validate() {
+        let guest = GuestSpec::line(16, ProgramKind::Relaxation, 9, 12);
+        let host = linear_array(
+            8,
+            DelayModel::Spike {
+                base: 1,
+                spike: 24,
+                period: 4,
+            },
+            0,
+        );
+        for s in [
+            LineStrategy::Overlap { c: 4.0 },
+            LineStrategy::Halo { halo: 1 },
+            LineStrategy::Combined { c: 4.0, expansion: 2 },
+            LineStrategy::Blocked,
+            LineStrategy::Slackness,
+            LineStrategy::AllOnOne,
+        ] {
+            let r = simulate_line_on_host(&guest, &host, s).unwrap();
+            assert!(r.validated, "{}: {} mismatches", r.strategy, r.mismatches);
+        }
+    }
+
+    #[test]
+    fn ring_guest_validates_through_fold() {
+        let guest = GuestSpec::ring(20, ProgramKind::KvWorkload, 2, 10);
+        let host = linear_array(5, DelayModel::uniform(1, 5), 1);
+        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        assert!(r.validated);
+    }
+
+    #[test]
+    fn mesh_guest_is_rejected_here() {
+        let guest = GuestSpec::mesh(4, 4, ProgramKind::StencilSum, 0, 2);
+        let host = linear_array(4, DelayModel::constant(1), 0);
+        assert!(matches!(
+            simulate_line_on_host(&guest, &host, LineStrategy::Blocked),
+            Err(PipelineError::UnsupportedTopology)
+        ));
+    }
+
+    #[test]
+    fn guest_on_non_path_host_validates() {
+        let guest = GuestSpec::line(18, ProgramKind::RuleAutomaton { db_size: 8 }, 4, 10);
+        let host = mesh2d(3, 3, DelayModel::uniform(1, 6), 2);
+        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        assert!(r.validated);
+        assert!(r.dilation >= 1);
+    }
+
+    #[test]
+    fn halo_beats_blocked_on_uniform_high_delay_host() {
+        // The Theorem 4 vs baseline comparison in miniature.
+        let d = 64;
+        let guest = GuestSpec::line(32, ProgramKind::Relaxation, 7, 48);
+        let host = linear_array(4, DelayModel::constant(d), 0);
+        let halo = simulate_line_on_host(&guest, &host, LineStrategy::Halo { halo: 1 }).unwrap();
+        let blocked = simulate_line_on_host(&guest, &host, LineStrategy::Blocked).unwrap();
+        assert!(halo.validated && blocked.validated);
+        assert!(
+            halo.stats.slowdown < 0.7 * blocked.stats.slowdown,
+            "halo {} vs blocked {}",
+            halo.stats.slowdown,
+            blocked.stats.slowdown
+        );
+    }
+
+    #[test]
+    fn auto_resolves_by_host_shape() {
+        // Uniform host → halo(1).
+        assert!(matches!(
+            resolve_auto(&[5; 20]),
+            LineStrategy::Halo { halo: 1 }
+        ));
+        // Moderately varying delays → overlap. (d_ave 4.3, d_max 30)
+        let mut moderate = vec![3u64; 30];
+        moderate[15] = 30;
+        moderate[7] = 12;
+        assert!(matches!(
+            resolve_auto(&moderate),
+            LineStrategy::Overlap { .. }
+        ));
+        // Extreme spike (d_max ≫ d_ave) → wide halo.
+        let mut spiky = vec![1u64; 30];
+        spiky[15] = 1000;
+        assert!(matches!(
+            resolve_auto(&spiky),
+            LineStrategy::Halo { halo: 2 }
+        ));
+        // Uniform heavy average → combined.
+        assert!(matches!(
+            resolve_auto(&[40u64; 30]),
+            LineStrategy::Combined { .. }
+        ));
+        assert!(matches!(resolve_auto(&[]), LineStrategy::Blocked));
+    }
+
+    #[test]
+    fn auto_strategy_runs_and_validates() {
+        let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 3, 12);
+        for host in [
+            linear_array(8, DelayModel::constant(6), 0),
+            linear_array(8, DelayModel::Spike { base: 1, spike: 64, period: 4 }, 0),
+        ] {
+            let r = simulate_line_on_host(&guest, &host, LineStrategy::Auto).unwrap();
+            assert!(r.validated, "{}", host.name());
+        }
+    }
+
+    #[test]
+    fn proportional_expansion_covers_everything() {
+        for (total, m) in [(7u32, 20u32), (20, 7), (5, 5), (1, 9)] {
+            let mut covered = vec![false; m as usize];
+            for s in 0..total {
+                for c in proportional(&[s], total, m) {
+                    covered[c as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&b| b), "total={total} m={m}");
+        }
+    }
+}

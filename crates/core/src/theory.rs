@@ -1,0 +1,159 @@
+//! Closed-form predicted bounds for every theorem, used by experiments to
+//! plot measured-vs-predicted shapes.
+//!
+//! Constants are explicit and documented; these are *shape predictors*
+//! (the paper's bounds are asymptotic), so experiments compare growth
+//! rates and crossovers, not absolute values.
+
+/// `log₂ n`, clamped to ≥ 1 so formulas stay finite for tiny hosts.
+pub fn log2n(n: u32) -> f64 {
+    (n.max(2) as f64).log2().max(1.0)
+}
+
+/// Theorem 2/3: OVERLAP slowdown `O(d_ave·log³n)`.
+pub fn t2_predicted(n: u32, d_ave: f64) -> f64 {
+    d_ave.max(1.0) * log2n(n).powi(3)
+}
+
+/// Theorem 4: uniform-delay slowdown `5·√d`.
+pub fn t4_predicted(d: f64) -> f64 {
+    5.0 * d.max(1.0).sqrt()
+}
+
+/// Theorem 5: combined slowdown `O(√d_ave·log³n)`. The composition
+/// `G →(√d_ave)→ H₀ →(log³n)→ H` works because simulating the
+/// `d_ave`-delay intermediate array costs the OVERLAP bound *amortized by
+/// `d_ave`* — H₀'s own steps are slow — leaving the polylog factor.
+pub fn t5_predicted(n: u32, d_ave: f64, _c: f64, _expansion: u32) -> f64 {
+    t4_predicted(d_ave) * log2n(n).powi(3)
+}
+
+/// Theorem 8: N-cell 2-D array on an n-processor NOW:
+/// `O(√N·log³N + N^{1/4}·√d_ave·log³N)`.
+pub fn t8_predicted(n_cells: u64, d_ave: f64) -> f64 {
+    let nn = n_cells.max(2) as f64;
+    let l3 = nn.log2().max(1.0).powi(3);
+    nn.sqrt() * l3 + nn.powf(0.25) * d_ave.max(1.0).sqrt() * l3
+}
+
+/// The lockstep baseline: the clock is slowed to the worst link, paying
+/// `d_max + 1` per guest step.
+pub fn lockstep_predicted(d_max: u64) -> f64 {
+    d_max as f64 + 1.0
+}
+
+/// The blocked (no-redundancy) baseline on an average-delay-`d_ave` line:
+/// the adjacent-block dependency cycle costs `≈ 2·(d+1)` per 2 guest
+/// steps, i.e. `Θ(d)` per step.
+pub fn blocked_predicted(d_ave: f64) -> f64 {
+    d_ave.max(1.0) + 1.0
+}
+
+/// Theorem 9 lower bound: any single-copy simulation on `H1(n)` has
+/// slowdown ≥ `√n`.
+pub fn t9_lower(n: u32) -> f64 {
+    (n as f64).sqrt()
+}
+
+/// Theorem 10 lower bound: any ≤2-copy constant-load simulation on
+/// `H2(n)` has slowdown `Ω(log n)`.
+pub fn t10_lower(n: u32) -> f64 {
+    log2n(n)
+}
+
+/// §4 counterexample: on the clique-of-cliques host (n = k² nodes),
+/// slowdown ≥ `max(√n/m, m) ≥ n^{1/4}` over all choices of `m` used
+/// cliques.
+pub fn cliques_lower(n: u32) -> f64 {
+    (n as f64).powf(0.25)
+}
+
+/// Least-squares slope of `log y` against `log x` — the measured growth
+/// exponent experiments report (e.g. ≈ 0.5 for Theorem 4).
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return 0.0;
+    }
+    (n * sxy - sx * sy) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_scales_linearly_in_d_ave() {
+        assert!((t2_predicted(1024, 8.0) / t2_predicted(1024, 4.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t4_scales_as_sqrt() {
+        assert!((t4_predicted(400.0) / t4_predicted(100.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t5_beats_t2_for_large_d_ave() {
+        let n = 1024;
+        // For big d_ave, √d_ave·log³n ≪ d_ave·log³n.
+        let d = 256.0;
+        assert!(t5_predicted(n, d, 4.0, 8) < t2_predicted(n, d));
+    }
+
+    #[test]
+    fn lower_bounds_shapes() {
+        assert_eq!(t9_lower(256), 16.0);
+        assert!((t10_lower(1024) - 10.0).abs() < 1e-9);
+        assert!((cliques_lower(256) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t8_is_monotone_in_both_arguments() {
+        assert!(t8_predicted(1 << 12, 4.0) > t8_predicted(1 << 10, 4.0));
+        assert!(t8_predicted(1 << 10, 64.0) > t8_predicted(1 << 10, 4.0));
+    }
+
+    #[test]
+    fn baseline_predictors() {
+        assert_eq!(lockstep_predicted(99), 100.0);
+        assert_eq!(blocked_predicted(7.0), 8.0);
+        // degenerate floors
+        assert_eq!(blocked_predicted(0.5), 2.0);
+    }
+
+    #[test]
+    fn loglog_slope_recovers_exponents() {
+        let sqrt_pts: Vec<(f64, f64)> = (1..=20).map(|i| {
+            let x = i as f64 * 10.0;
+            (x, 3.0 * x.sqrt())
+        }).collect();
+        assert!((loglog_slope(&sqrt_pts) - 0.5).abs() < 1e-9);
+        let lin_pts: Vec<(f64, f64)> = (1..=20).map(|i| {
+            let x = i as f64;
+            (x, 7.0 * x)
+        }).collect();
+        assert!((loglog_slope(&lin_pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_slope_degenerate_inputs() {
+        assert_eq!(loglog_slope(&[]), 0.0);
+        assert_eq!(loglog_slope(&[(1.0, 1.0)]), 0.0);
+        assert_eq!(loglog_slope(&[(1.0, 1.0), (1.0, 2.0)]), 0.0);
+        // non-positive points are ignored
+        assert_eq!(loglog_slope(&[(0.0, 1.0), (-1.0, 2.0)]), 0.0);
+    }
+}

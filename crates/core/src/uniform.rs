@@ -1,0 +1,180 @@
+//! Theorem 4: simulating an `n√d`-cell guest line on an `n`-processor host
+//! line whose links all have delay `d`, with slowdown `O(√d)`.
+//!
+//! Processor `p_j` computes the pebbles of region `P_j` — its own block of
+//! `√d` columns plus one block of *halo* on each side (3√d columns total;
+//! Figure 4's trapezium-and-triangles shape is exactly what the greedy
+//! engine produces from this assignment: each processor computes the
+//! trapezium `T` of its region autonomously, exchanges boundary columns
+//! `A..D` with its neighbours in `d + √d` pipelined steps, then fills the
+//! triangles `L` and `R`). The measured slowdown is `Θ(√d)`, against the
+//! `Ω(√d)` lower bound of \[2\] and the `Θ(d)` of the no-redundancy
+//! baseline.
+
+use overlap_net::Delay;
+
+/// The block width `r = ⌊√d⌋` the paper uses.
+pub fn block_width(d: Delay) -> u32 {
+    (d as f64).sqrt().floor().max(1.0) as u32
+}
+
+/// Halo assignment on `n` positions with block width `r` and `halo` extra
+/// blocks on each side: position `p` holds cells
+/// `[(p−halo)·r, (p+1+halo)·r) ∩ [0, n·r)`. The guest has `n·r` cells.
+///
+/// `halo = 1` is the paper's Theorem 4 region (3 blocks per processor);
+/// `halo = 0` is the no-redundancy blocked baseline; larger halos trade
+/// more redundant work for fewer synchronizations (ablation).
+pub fn halo_assignment(n: u32, r: u32, halo: u32) -> Vec<Vec<u32>> {
+    assert!(n >= 1 && r >= 1);
+    let total = n as u64 * r as u64;
+    (0..n)
+        .map(|p| {
+            let lo = (p as i64 - halo as i64) * r as i64;
+            let hi = (p as i64 + 1 + halo as i64) * r as i64;
+            (lo.max(0)..hi.min(total as i64)).map(|c| c as u32).collect()
+        })
+        .collect()
+}
+
+/// The Theorem 4 assignment for an `n`-processor uniform-delay-`d` host:
+/// returns `(r, cells_of_position)` with `r = ⌊√d⌋`, guest size `n·r`.
+///
+/// ```
+/// use overlap_core::uniform::theorem4_assignment;
+/// let (r, cells) = theorem4_assignment(8, 16);
+/// assert_eq!(r, 4);
+/// // The interior processor holds its block plus one halo block per side.
+/// assert_eq!(cells[3].len(), 12);
+/// ```
+pub fn theorem4_assignment(n: u32, d: Delay) -> (u32, Vec<Vec<u32>>) {
+    let r = block_width(d);
+    (r, halo_assignment(n, r, 1))
+}
+
+/// The paper's predicted Theorem 4 slowdown: 5√d (2d ticks for the
+/// trapezium, <2d for the pipelined column exchange, d for the triangles,
+/// per √d guest steps).
+pub fn predicted_slowdown(d: Delay) -> f64 {
+    5.0 * (d as f64).sqrt()
+}
+
+/// Region census for Figure 4: how many pebbles of one `√d`-step round
+/// fall in the trapezium `T`, the triangles `L` and `R`, and the exchanged
+/// columns, for an interior processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionCensus {
+    /// Block width `r = ⌊√d⌋`.
+    pub r: u32,
+    /// Pebbles in region `P_j` per round (`3r²`).
+    pub region: u64,
+    /// Pebbles computable without communication (trapezium `T`).
+    pub trapezium: u64,
+    /// Pebbles in the left triangle `L`.
+    pub left_triangle: u64,
+    /// Pebbles in the right triangle `R`.
+    pub right_triangle: u64,
+    /// Boundary-column pebbles exchanged with each neighbour per round
+    /// (columns `B`/`C` out, `A`/`D` in: `r` each).
+    pub exchanged_per_side: u64,
+}
+
+/// Compute the Figure 4 census for block width `r`.
+///
+/// With rows `1..=r` and the region spanning 3 blocks, the dependency
+/// cones cut triangles of `r(r+1)/2` pebbles off both lower corners: those
+/// need the neighbours' boundary columns (`A` from the left, `D` from the
+/// right).
+pub fn region_census(r: u32) -> RegionCensus {
+    let r64 = r as u64;
+    let tri = r64 * (r64 + 1) / 2;
+    RegionCensus {
+        r,
+        region: 3 * r64 * r64,
+        trapezium: 3 * r64 * r64 - 2 * tri,
+        left_triangle: tri,
+        right_triangle: tri,
+        exchanged_per_side: r64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_width_is_floor_sqrt() {
+        assert_eq!(block_width(1), 1);
+        assert_eq!(block_width(4), 2);
+        assert_eq!(block_width(15), 3);
+        assert_eq!(block_width(16), 4);
+        assert_eq!(block_width(10_000), 100);
+    }
+
+    #[test]
+    fn theorem4_regions_span_three_blocks() {
+        let (r, cells) = theorem4_assignment(8, 16);
+        assert_eq!(r, 4);
+        // Interior processor 3: cells [8, 20).
+        assert_eq!(cells[3], (8..20).collect::<Vec<_>>());
+        // Edge processors clip.
+        assert_eq!(cells[0], (0..8).collect::<Vec<_>>());
+        assert_eq!(cells[7], (24..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_cell_has_three_holders_in_the_interior() {
+        let n = 10;
+        let (r, cells) = theorem4_assignment(n, 25);
+        let total = n * r;
+        let mut holders = vec![0u32; total as usize];
+        for cs in &cells {
+            for &c in cs {
+                holders[c as usize] += 1;
+            }
+        }
+        assert!(holders.iter().all(|&h| h >= 1));
+        // Interior cells have exactly 3 copies.
+        for c in (2 * r)..(total - 2 * r) {
+            assert_eq!(holders[c as usize], 3, "cell {c}");
+        }
+    }
+
+    #[test]
+    fn halo_zero_is_blocked() {
+        let cells = halo_assignment(4, 3, 0);
+        assert_eq!(cells[0], vec![0, 1, 2]);
+        assert_eq!(cells[2], vec![6, 7, 8]);
+        let total: usize = cells.iter().map(Vec::len).sum();
+        assert_eq!(total, 12); // no redundancy
+    }
+
+    #[test]
+    fn larger_halo_increases_redundancy() {
+        let h1: usize = halo_assignment(8, 4, 1).iter().map(Vec::len).sum();
+        let h2: usize = halo_assignment(8, 4, 2).iter().map(Vec::len).sum();
+        assert!(h2 > h1);
+    }
+
+    #[test]
+    fn census_accounts_for_every_pebble() {
+        for r in [1u32, 2, 5, 16] {
+            let c = region_census(r);
+            assert_eq!(
+                c.trapezium + c.left_triangle + c.right_triangle,
+                c.region,
+                "r={r}"
+            );
+            assert_eq!(c.exchanged_per_side, r as u64);
+        }
+    }
+
+    #[test]
+    fn predicted_slowdown_shape() {
+        assert!((predicted_slowdown(100) - 50.0).abs() < 1e-9);
+        // quadrupling d doubles the prediction
+        let a = predicted_slowdown(64);
+        let b = predicted_slowdown(256);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+}

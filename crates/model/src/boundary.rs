@@ -1,0 +1,82 @@
+//! Virtual boundary pebbles.
+//!
+//! §3.2 of the paper: "We also assume the existence of pebbles `(0,t)` and
+//! `(n'+1,t)`, for all `t ≥ 1`, which are known to H at time step 0. This
+//! ensures that each pebble computed by G is dependent on three pebbles."
+//!
+//! We realize boundary pebbles as a pure function of `(side, offset, step)`
+//! seeded by the guest seed, so every host processor can evaluate them
+//! locally at zero communication cost — exactly "known at time step 0".
+
+use crate::database::{fold64, mix64};
+use crate::guest::Side;
+use crate::pebble::PebbleValue;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic generator of virtual boundary pebble values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryRule {
+    seed: u64,
+}
+
+impl BoundaryRule {
+    /// Rule seeded from the guest seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Value of the virtual boundary pebble on `side` at `offset`, step `t`.
+    pub fn value(&self, side: Side, offset: u32, step: u32) -> PebbleValue {
+        let s = match side {
+            Side::West => 1u64,
+            Side::East => 2,
+            Side::North => 3,
+            Side::South => 4,
+            Side::Up => 5,
+            Side::Down => 6,
+        };
+        mix64(fold64(
+            self.seed ^ (s << 56),
+            ((offset as u64) << 32) | step as u64,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values_are_deterministic() {
+        let b = BoundaryRule::new(42);
+        assert_eq!(b.value(Side::West, 0, 1), b.value(Side::West, 0, 1));
+    }
+
+    #[test]
+    fn boundary_values_vary_with_all_inputs() {
+        let b = BoundaryRule::new(42);
+        let base = b.value(Side::West, 0, 1);
+        assert_ne!(base, b.value(Side::East, 0, 1));
+        assert_ne!(base, b.value(Side::West, 1, 1));
+        assert_ne!(base, b.value(Side::West, 0, 2));
+        assert_ne!(base, BoundaryRule::new(43).value(Side::West, 0, 1));
+    }
+
+    #[test]
+    fn all_sides_are_distinct() {
+        let b = BoundaryRule::new(7);
+        let vals = [
+            b.value(Side::West, 5, 5),
+            b.value(Side::East, 5, 5),
+            b.value(Side::North, 5, 5),
+            b.value(Side::South, 5, 5),
+        ];
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_ne!(vals[i], vals[j]);
+                }
+            }
+        }
+    }
+}

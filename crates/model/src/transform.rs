@@ -1,0 +1,254 @@
+//! Guest-to-guest structural transformations.
+//!
+//! The paper's results are stated for linear arrays, with the remark (§1)
+//! that "a linear array can simulate a ring with slowdown 2 \[8\]". We realize
+//! that — and the column-strip linearization of a 2-D mesh used in §5 — at
+//! the *assignment* level: the transformation tells the host algorithms how
+//! to group guest cells into "slots" that behave like the cells of a linear
+//! array (all guest edges are intra-slot or between adjacent slots), and
+//! the simulation engine works on raw guest cells throughout.
+
+use crate::guest::GuestTopology;
+
+/// A grouping of guest cells into linear-array slots such that every guest
+/// dependency is either within a slot or between adjacent slots. This is
+/// exactly the property OVERLAP needs to treat the guest as a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMap {
+    /// `slots[j]` = guest cells grouped into line position `j`.
+    pub slots: Vec<Vec<u32>>,
+    /// Inverse map: `slot_of[cell]` = line position holding that cell.
+    pub slot_of: Vec<u32>,
+}
+
+impl SlotMap {
+    fn from_slots(slots: Vec<Vec<u32>>, num_cells: u32) -> Self {
+        let mut slot_of = vec![u32::MAX; num_cells as usize];
+        for (j, cells) in slots.iter().enumerate() {
+            for &c in cells {
+                assert!(
+                    slot_of[c as usize] == u32::MAX,
+                    "cell {c} assigned to two slots"
+                );
+                slot_of[c as usize] = j as u32;
+            }
+        }
+        assert!(
+            slot_of.iter().all(|&s| s != u32::MAX),
+            "some cell is in no slot"
+        );
+        Self { slots, slot_of }
+    }
+
+    /// Number of line positions.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Maximum number of cells per slot (the per-slot load multiplier).
+    pub fn width(&self) -> usize {
+        self.slots.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Verify the defining property against a topology: every guest
+    /// dependency edge stays within a slot or crosses to an adjacent slot.
+    pub fn is_valid_for(&self, topo: &GuestTopology) -> bool {
+        for c in 0..topo.num_cells() {
+            let sc = self.slot_of[c as usize];
+            for n in topo.neighbours(c) {
+                let sn = self.slot_of[n as usize];
+                if sc.abs_diff(sn) > 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The identity slot map for a line guest: slot `j` = cell `j`.
+pub fn line_slots(m: u32) -> SlotMap {
+    SlotMap::from_slots((0..m).map(|c| vec![c]).collect(), m)
+}
+
+/// Fold a ring of `m` cells (m ≥ 2) onto a line of `⌈m/2⌉` slots: slot `j`
+/// holds cells `{j, m-1-j}`. Every ring edge `(i, i+1 mod m)` is then
+/// intra-slot or between adjacent slots, and the slot width is 2 — the
+/// classical "linear array simulates a ring with slowdown 2" of \[8\].
+///
+/// ```
+/// use overlap_model::{ring_fold, GuestTopology};
+/// let fold = ring_fold(6);
+/// assert_eq!(fold.slots[0], vec![0, 5]);
+/// assert!(fold.is_valid_for(&GuestTopology::Ring { m: 6 }));
+/// ```
+pub fn ring_fold(m: u32) -> SlotMap {
+    assert!(m >= 2, "ring fold needs at least 2 cells");
+    let half = m.div_ceil(2);
+    let mut slots = Vec::with_capacity(half as usize);
+    for j in 0..half {
+        let a = j;
+        let b = m - 1 - j;
+        if a == b {
+            slots.push(vec![a]);
+        } else {
+            slots.push(vec![a, b]);
+        }
+    }
+    SlotMap::from_slots(slots, m)
+}
+
+/// Linearize a `w × h` mesh into `w` slots, one per mesh column (cell id
+/// `x*h + y` goes to slot `x`). Mesh edges are vertical (intra-slot) or
+/// horizontal (adjacent slots). Used by the §5 emulation, where a host
+/// processor of the intermediate array simulates whole mesh columns.
+pub fn mesh_columns(w: u32, h: u32) -> SlotMap {
+    let slots = (0..w)
+        .map(|x| (0..h).map(|y| x * h + y).collect())
+        .collect();
+    SlotMap::from_slots(slots, w * h)
+}
+
+/// Fold a `w × h` torus onto a line of `⌈w/2⌉` slots: slot `j` holds the
+/// full columns `{j, w-1-j}` (ring fold in x; the y-wraparound is
+/// intra-slot because a slot owns whole columns). Slot width is `2h`.
+pub fn torus_fold(w: u32, h: u32) -> SlotMap {
+    assert!(w >= 2 && h >= 1);
+    let half = w.div_ceil(2);
+    let mut slots = Vec::with_capacity(half as usize);
+    for j in 0..half {
+        let mut cells: Vec<u32> = (0..h).map(|y| j * h + y).collect();
+        let other = w - 1 - j;
+        if other != j {
+            cells.extend((0..h).map(|y| other * h + y));
+        }
+        slots.push(cells);
+    }
+    SlotMap::from_slots(slots, w * h)
+}
+
+/// Linearize a `w × h × d` 3-D mesh into `w` slots, one per `x`-slab
+/// (`h·d` cells each). Slab-internal edges (y and z) are intra-slot;
+/// x edges connect adjacent slots — the higher-dimensional analogue of
+/// [`mesh_columns`] the §5 emulation generalizes to.
+pub fn mesh3d_slabs(w: u32, h: u32, d: u32) -> SlotMap {
+    let slots = (0..w)
+        .map(|x| (0..h * d).map(|yz| x * h * d + yz).collect())
+        .collect();
+    SlotMap::from_slots(slots, w * h * d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_slots_are_identity() {
+        let s = line_slots(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.width(), 1);
+        assert!(s.is_valid_for(&GuestTopology::Line { m: 5 }));
+        assert_eq!(s.slot_of, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_fold_even() {
+        let s = ring_fold(6);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.slots[0], vec![0, 5]);
+        assert_eq!(s.slots[1], vec![1, 4]);
+        assert_eq!(s.slots[2], vec![2, 3]);
+        assert_eq!(s.width(), 2);
+        assert!(s.is_valid_for(&GuestTopology::Ring { m: 6 }));
+    }
+
+    #[test]
+    fn ring_fold_odd() {
+        let s = ring_fold(7);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.slots[3], vec![3]);
+        assert!(s.is_valid_for(&GuestTopology::Ring { m: 7 }));
+    }
+
+    #[test]
+    fn ring_fold_validity_for_many_sizes() {
+        for m in 2..64 {
+            let s = ring_fold(m);
+            assert!(
+                s.is_valid_for(&GuestTopology::Ring { m }),
+                "ring fold invalid for m={m}"
+            );
+            assert!(s.width() <= 2);
+        }
+    }
+
+    #[test]
+    fn unfolded_ring_is_invalid_as_line() {
+        // The naive identity grouping of a ring violates adjacency: edge
+        // (0, m-1) spans the whole line. This is why the fold exists.
+        let m = 8;
+        let naive = line_slots(m);
+        assert!(!naive.is_valid_for(&GuestTopology::Ring { m }));
+    }
+
+    #[test]
+    fn mesh_columns_group_by_x() {
+        let s = mesh_columns(3, 4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.slots[1], vec![4, 5, 6, 7]);
+        assert_eq!(s.width(), 4);
+        assert!(s.is_valid_for(&GuestTopology::Mesh2D { w: 3, h: 4 }));
+    }
+
+    #[test]
+    fn torus_fold_is_valid_for_many_sizes() {
+        for w in 2..12 {
+            for h in 1..8 {
+                let s = torus_fold(w, h);
+                assert!(
+                    s.is_valid_for(&GuestTopology::Torus2D { w, h }),
+                    "torus fold invalid for {w}x{h}"
+                );
+                assert!(s.width() as u32 <= 2 * h);
+                assert_eq!(s.len() as u32, w.div_ceil(2));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_columns_do_not_fold_a_torus() {
+        // Plain column strips violate the x-wraparound: edge (0, w-1).
+        let s = mesh_columns(6, 3);
+        assert!(!s.is_valid_for(&GuestTopology::Torus2D { w: 6, h: 3 }));
+    }
+
+    #[test]
+    fn mesh3d_slabs_are_valid() {
+        for (w, h, d) in [(2u32, 2u32, 2u32), (4, 3, 2), (5, 2, 4)] {
+            let s = mesh3d_slabs(w, h, d);
+            assert!(
+                s.is_valid_for(&GuestTopology::Mesh3D { w, h, d }),
+                "{w}x{h}x{d}"
+            );
+            assert_eq!(s.width() as u32, h * d);
+            assert_eq!(s.len() as u32, w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two slots")]
+    fn duplicate_cell_in_slots_panics() {
+        SlotMap::from_slots(vec![vec![0], vec![0]], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no slot")]
+    fn missing_cell_panics() {
+        SlotMap::from_slots(vec![vec![0]], 2);
+    }
+}

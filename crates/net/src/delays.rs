@@ -1,0 +1,221 @@
+//! Seeded link-delay distributions.
+//!
+//! The paper's motivation (§1): in a NOW "some latencies can be very high …
+//! and also the variation among latencies can be high". These models let
+//! experiments control `d_ave` and `d_max` independently — in particular the
+//! spike model reproduces the regime `d_max ≫ √d_ave · log³ n` where the
+//! paper's slowdown "is particularly impressive".
+
+use crate::graph::Delay;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A distribution over link delays, sampled per link index so that the same
+/// `(model, seed)` always produces the same host network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Every link has delay `d`.
+    Constant(Delay),
+    /// Uniform integer delay in `[lo, hi]`.
+    Uniform {
+        /// Minimum delay (≥1).
+        lo: Delay,
+        /// Maximum delay.
+        hi: Delay,
+    },
+    /// Delay `lo` with probability `1 - p_hi`, else `hi` — a NOW mixing
+    /// tightly-coupled machines with far-apart ones.
+    Bimodal {
+        /// Common (low) delay.
+        lo: Delay,
+        /// Rare (high) delay.
+        hi: Delay,
+        /// Probability of the high delay, in `[0, 1]`.
+        p_hi: f64,
+    },
+    /// Pareto-like heavy tail: `delay = min * u^(-1/alpha)` capped at `cap`.
+    /// Produces constant-ish `d_ave` with occasional huge `d_max`.
+    HeavyTail {
+        /// Scale (minimum) delay.
+        min: Delay,
+        /// Tail exponent (>0; smaller = heavier tail).
+        alpha: f64,
+        /// Hard cap on sampled delays.
+        cap: Delay,
+    },
+    /// Deterministic spikes: every `period`-th link (1-based positions
+    /// `period, 2·period, …`) has delay `spike`, all others `base`. With
+    /// `base = 1`, `period = spike = √n` this is exactly the Theorem 9 host
+    /// `H1`.
+    Spike {
+        /// Delay of ordinary links.
+        base: Delay,
+        /// Delay of spiked links.
+        spike: Delay,
+        /// Spike period in links (≥1).
+        period: u64,
+    },
+}
+
+impl DelayModel {
+    /// Convenience constructor for `Uniform`.
+    pub fn uniform(lo: Delay, hi: Delay) -> Self {
+        DelayModel::Uniform { lo, hi }
+    }
+
+    /// Convenience constructor for `Constant`.
+    pub fn constant(d: Delay) -> Self {
+        DelayModel::Constant(d)
+    }
+
+    /// Sample the delay of link number `index` (0-based creation order)
+    /// under `seed`. Deterministic in all arguments.
+    pub fn sample(&self, index: u64, seed: u64) -> Delay {
+        let mut rng = StdRng::seed_from_u64(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match *self {
+            DelayModel::Constant(d) => d.max(1),
+            DelayModel::Uniform { lo, hi } => {
+                assert!(lo >= 1 && hi >= lo, "bad uniform range [{lo},{hi}]");
+                rng.gen_range(lo..=hi)
+            }
+            DelayModel::Bimodal { lo, hi, p_hi } => {
+                assert!((0.0..=1.0).contains(&p_hi));
+                if rng.gen_bool(p_hi) {
+                    hi.max(1)
+                } else {
+                    lo.max(1)
+                }
+            }
+            DelayModel::HeavyTail { min, alpha, cap } => {
+                assert!(alpha > 0.0);
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                let d = (min.max(1) as f64) * u.powf(-1.0 / alpha);
+                (d.round() as Delay).clamp(min.max(1), cap.max(min.max(1)))
+            }
+            DelayModel::Spike {
+                base,
+                spike,
+                period,
+            } => {
+                assert!(period >= 1);
+                if (index + 1) % period == 0 {
+                    spike.max(1)
+                } else {
+                    base.max(1)
+                }
+            }
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            DelayModel::Constant(d) => format!("const({d})"),
+            DelayModel::Uniform { lo, hi } => format!("unif[{lo},{hi}]"),
+            DelayModel::Bimodal { lo, hi, p_hi } => format!("bimodal({lo},{hi},p={p_hi})"),
+            DelayModel::HeavyTail { min, alpha, cap } => {
+                format!("heavy(min={min},a={alpha},cap={cap})")
+            }
+            DelayModel::Spike {
+                base,
+                spike,
+                period,
+            } => format!("spike({base},{spike}/{period})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = DelayModel::uniform(1, 100);
+        for i in 0..50 {
+            assert_eq!(m.sample(i, 7), m.sample(i, 7));
+        }
+    }
+
+    #[test]
+    fn different_links_vary() {
+        let m = DelayModel::uniform(1, 1_000_000);
+        let a = m.sample(0, 7);
+        let b = m.sample(1, 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constant_ignores_index_and_seed() {
+        let m = DelayModel::constant(9);
+        assert_eq!(m.sample(0, 1), 9);
+        assert_eq!(m.sample(99, 2), 9);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = DelayModel::uniform(3, 8);
+        for i in 0..200 {
+            let d = m.sample(i, 13);
+            assert!((3..=8).contains(&d));
+        }
+    }
+
+    #[test]
+    fn bimodal_hits_both_modes() {
+        let m = DelayModel::Bimodal {
+            lo: 1,
+            hi: 100,
+            p_hi: 0.3,
+        };
+        let samples: Vec<_> = (0..300).map(|i| m.sample(i, 5)).collect();
+        assert!(samples.iter().any(|&d| d == 1));
+        assert!(samples.iter().any(|&d| d == 100));
+        assert!(samples.iter().all(|&d| d == 1 || d == 100));
+    }
+
+    #[test]
+    fn heavy_tail_is_capped_and_floored() {
+        let m = DelayModel::HeavyTail {
+            min: 2,
+            alpha: 0.8,
+            cap: 500,
+        };
+        let samples: Vec<_> = (0..500).map(|i| m.sample(i, 5)).collect();
+        assert!(samples.iter().all(|&d| (2..=500).contains(&d)));
+        // The tail should actually produce some big values.
+        assert!(samples.iter().any(|&d| d > 50));
+    }
+
+    #[test]
+    fn spike_pattern_is_periodic() {
+        let m = DelayModel::Spike {
+            base: 1,
+            spike: 64,
+            period: 8,
+        };
+        for i in 0..64u64 {
+            let expect = if (i + 1) % 8 == 0 { 64 } else { 1 };
+            assert_eq!(m.sample(i, 0), expect, "link {i}");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            DelayModel::constant(2).label(),
+            DelayModel::uniform(1, 2).label(),
+            DelayModel::Bimodal { lo: 1, hi: 2, p_hi: 0.5 }.label(),
+            DelayModel::HeavyTail { min: 1, alpha: 1.0, cap: 10 }.label(),
+            DelayModel::Spike { base: 1, spike: 2, period: 3 }.label(),
+        ];
+        for i in 0..labels.len() {
+            for j in 0..labels.len() {
+                if i != j {
+                    assert_ne!(labels[i], labels[j]);
+                }
+            }
+        }
+    }
+}

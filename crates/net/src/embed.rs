@@ -1,0 +1,310 @@
+//! Fact 3: dilation-3 one-to-one embedding of a linear array into any
+//! connected graph.
+//!
+//! The paper's §4 lifts the linear-array results to arbitrary connected
+//! bounded-degree hosts via Fact 3 ("An n-node linear array can be
+//! one-to-one embedded with dilation 3 in any connected n-node network",
+//! [8, p. 470]). The classical construction is Sekanina's theorem: for any
+//! tree `T` and tree edge `(x, y)`, the cube `T³` has a Hamiltonian path
+//! from `x` to `y`. We take a BFS spanning tree of the host and build that
+//! path iteratively.
+//!
+//! The recursion: cut `(x, y)`, giving components `T_x ∋ x`, `T_y ∋ y`.
+//! Recursively path `x → x'` inside `T_x` (for any tree neighbour `x'` of
+//! `x`), and `y' → y` inside `T_y`; concatenate. The seam `x' → y'` has
+//! tree distance ≤ 3 (`x'–x–y–y'`), and every recursive seam likewise.
+
+use crate::graph::{Delay, HostGraph, NodeId};
+use crate::spanning::{bfs_tree, SpanningTree};
+use std::collections::HashSet;
+
+/// A dilation-3 linear-array embedding of a host network.
+#[derive(Debug, Clone)]
+pub struct LineEmbedding {
+    /// `order[i]` = host node at array position `i` (a permutation).
+    pub order: Vec<NodeId>,
+    /// Inverse of `order`.
+    pub pos: Vec<u32>,
+    /// Maximum tree-hop distance between consecutive array positions (≤ 3).
+    pub dilation: u32,
+    /// Delay of each embedded array link `i ↔ i+1`: the total delay of the
+    /// spanning-tree path between the two host nodes. These are the link
+    /// delays of the *embedded* linear array `𝓗` on which OVERLAP runs.
+    pub array_delays: Vec<Delay>,
+}
+
+impl LineEmbedding {
+    /// Average delay of the embedded array links.
+    pub fn d_ave(&self) -> f64 {
+        if self.array_delays.is_empty() {
+            0.0
+        } else {
+            self.array_delays.iter().sum::<u64>() as f64 / self.array_delays.len() as f64
+        }
+    }
+
+    /// Maximum delay of the embedded array links.
+    pub fn d_max(&self) -> Delay {
+        self.array_delays.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Canonical undirected edge key.
+fn ekey(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Work item for the iterative Hamiltonian-path construction. `rev`
+/// indicates the produced segment must be emitted reversed.
+enum Task {
+    Path { x: NodeId, y: NodeId, rev: bool },
+    Single(NodeId),
+}
+
+/// Hamiltonian path of `tree³` from one endpoint of an arbitrary tree edge,
+/// with consecutive nodes at tree distance ≤ 3.
+fn t3_hamiltonian_order(tree: &SpanningTree) -> Vec<NodeId> {
+    let n = tree.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![tree.root];
+    }
+    let mut cut: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(n);
+    // Helper: first tree neighbour of `v` not equal to `other` over an edge
+    // not yet cut.
+    let pick = |v: NodeId, other: NodeId, cut: &HashSet<(NodeId, NodeId)>| -> Option<NodeId> {
+        tree.adj[v as usize]
+            .iter()
+            .copied()
+            .find(|&w| w != other && !cut.contains(&ekey(v, w)))
+    };
+
+    // Start from any tree edge at the root.
+    let x0 = tree.root;
+    let y0 = tree.adj[x0 as usize][0];
+    let mut out: Vec<NodeId> = Vec::with_capacity(n);
+    let mut stack = vec![Task::Path {
+        x: x0,
+        y: y0,
+        rev: false,
+    }];
+    while let Some(task) = stack.pop() {
+        match task {
+            Task::Single(v) => out.push(v),
+            Task::Path { x, y, rev } => {
+                cut.insert(ekey(x, y));
+                let x2 = pick(x, y, &cut);
+                let y2 = pick(y, x, &cut);
+                // In forward order the segment is  HP(T_x: x→x') ++ HP(T_y: y'→y),
+                // where the second factor is HP(T_y: y→y') reversed.
+                // Reversing the whole segment swaps and flips the factors.
+                let (first, second) = if !rev {
+                    (
+                        match x2 {
+                            Some(x2) => Task::Path { x, y: x2, rev: false },
+                            None => Task::Single(x),
+                        },
+                        match y2 {
+                            Some(y2) => Task::Path { x: y, y: y2, rev: true },
+                            None => Task::Single(y),
+                        },
+                    )
+                } else {
+                    (
+                        match y2 {
+                            Some(y2) => Task::Path { x: y, y: y2, rev: false },
+                            None => Task::Single(y),
+                        },
+                        match x2 {
+                            Some(x2) => Task::Path { x, y: x2, rev: true },
+                            None => Task::Single(x),
+                        },
+                    )
+                };
+                // LIFO: push `second` first so `first` is emitted first.
+                stack.push(second);
+                stack.push(first);
+            }
+        }
+    }
+    out
+}
+
+/// Embed an `n`-node linear array one-to-one into the connected host `g`
+/// with dilation ≤ 3 (Fact 3). Array link delays are the spanning-tree path
+/// delays between consecutive hosts.
+///
+/// ```
+/// use overlap_net::{topology, DelayModel};
+/// use overlap_net::embed::embed_linear_array;
+/// let host = topology::mesh2d(4, 4, DelayModel::uniform(1, 5), 1);
+/// let e = embed_linear_array(&host);
+/// assert_eq!(e.order.len(), 16);
+/// assert!(e.dilation <= 3);
+/// ```
+///
+/// # Panics
+/// If `g` is disconnected or empty.
+pub fn embed_linear_array(g: &HostGraph) -> LineEmbedding {
+    assert!(g.num_nodes() > 0, "cannot embed into an empty host");
+    let tree = bfs_tree(g, 0);
+    let order = t3_hamiltonian_order(&tree);
+    assert_eq!(order.len() as u32, g.num_nodes(), "order must be a permutation");
+
+    let mut pos = vec![u32::MAX; g.num_nodes() as usize];
+    for (i, &v) in order.iter().enumerate() {
+        assert_eq!(pos[v as usize], u32::MAX, "node {v} appears twice");
+        pos[v as usize] = i as u32;
+    }
+
+    let mut dilation = 0;
+    let mut array_delays = Vec::with_capacity(order.len().saturating_sub(1));
+    for w in order.windows(2) {
+        let path = tree.tree_path(w[0], w[1]);
+        let hops = (path.len() - 1) as u32;
+        dilation = dilation.max(hops);
+        let delay: Delay = path
+            .windows(2)
+            .map(|e| {
+                g.link_delay(e[0], e[1])
+                    .expect("tree edges are host links")
+            })
+            .sum::<Delay>()
+            .max(1);
+        array_delays.push(delay);
+    }
+    assert!(dilation <= 3, "Fact 3 violated: dilation {dilation}");
+    LineEmbedding {
+        order,
+        pos,
+        dilation,
+        array_delays,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delays::DelayModel;
+    use crate::metrics::DelayStats;
+    use crate::topology::{
+        binary_tree, clique_of_cliques, hypercube, linear_array, mesh2d, random_regular, ring,
+        torus2d,
+    };
+
+    fn check_embedding(g: &HostGraph) -> LineEmbedding {
+        let e = embed_linear_array(g);
+        assert_eq!(e.order.len() as u32, g.num_nodes());
+        // permutation
+        let mut seen = vec![false; g.num_nodes() as usize];
+        for &v in &e.order {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(e.dilation <= 3, "dilation {}", e.dilation);
+        assert_eq!(e.array_delays.len() as u32, g.num_nodes() - 1);
+        e
+    }
+
+    #[test]
+    fn embeds_line_trivially() {
+        let g = linear_array(16, DelayModel::constant(2), 0);
+        let e = check_embedding(&g);
+        // A path's BFS tree is itself; the Hamiltonian order of a path in
+        // T³ covers it with dilation ≤ 3 and total delay Θ(total).
+        assert!(e.d_max() <= 6);
+    }
+
+    #[test]
+    fn embeds_ring_mesh_torus_tree_hypercube() {
+        for g in [
+            ring(17, DelayModel::uniform(1, 5), 3),
+            mesh2d(5, 7, DelayModel::uniform(1, 5), 3),
+            torus2d(4, 5, DelayModel::uniform(1, 5), 3),
+            binary_tree(5, DelayModel::uniform(1, 5), 3),
+            hypercube(5, DelayModel::uniform(1, 5), 3),
+        ] {
+            check_embedding(&g);
+        }
+    }
+
+    #[test]
+    fn embeds_random_regular_graphs() {
+        for seed in 0..5 {
+            let g = random_regular(30, 3, DelayModel::uniform(1, 9), seed);
+            check_embedding(&g);
+        }
+    }
+
+    #[test]
+    fn embedded_average_delay_is_bounded_by_degree_times_dave() {
+        // §4: "if H has bounded degree δ then 𝓗 has average delay at most
+        // δ·d_ave" (up to the constant from dilation 3). We allow a factor
+        // of 3δ to account for 3-hop tree paths.
+        for g in [
+            mesh2d(8, 8, DelayModel::uniform(1, 20), 5),
+            torus2d(6, 6, DelayModel::uniform(1, 20), 5),
+            binary_tree(6, DelayModel::uniform(1, 20), 5),
+        ] {
+            let e = check_embedding(&g);
+            let host = DelayStats::of(&g);
+            let delta = g.max_degree() as f64;
+            assert!(
+                e.d_ave() <= 3.0 * delta * host.d_ave,
+                "{}: embedded d_ave {} vs host {} (δ={delta})",
+                g.name(),
+                e.d_ave(),
+                host.d_ave
+            );
+        }
+    }
+
+    #[test]
+    fn clique_of_cliques_embedding_pays_for_long_edges() {
+        // The embedded array must cross each inter-clique (delay n) edge.
+        let g = clique_of_cliques(4);
+        let e = check_embedding(&g);
+        assert!(e.d_max() >= 16, "must traverse a delay-n edge");
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let g = mesh2d(6, 6, DelayModel::uniform(1, 7), 1);
+        let a = embed_linear_array(&g);
+        let b = embed_linear_array(&g);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.array_delays, b.array_delays);
+    }
+
+    #[test]
+    fn single_node_host() {
+        let g = HostGraph::new("one", 1);
+        let e = embed_linear_array(&g);
+        assert_eq!(e.order, vec![0]);
+        assert!(e.array_delays.is_empty());
+        assert_eq!(e.dilation, 0);
+    }
+
+    #[test]
+    fn two_node_host() {
+        let g = linear_array(2, DelayModel::constant(5), 0);
+        let e = embed_linear_array(&g);
+        assert_eq!(e.order.len(), 2);
+        assert_eq!(e.array_delays, vec![5]);
+    }
+
+    #[test]
+    fn large_path_does_not_overflow_stack() {
+        // The construction is iterative; a 20k-node path host exercises the
+        // deepest possible task chain.
+        let g = linear_array(20_000, DelayModel::constant(1), 0);
+        let e = embed_linear_array(&g);
+        assert_eq!(e.order.len(), 20_000);
+    }
+}

@@ -1,0 +1,161 @@
+//! Delay statistics of a host network.
+//!
+//! The paper's bounds are parameterized by the *average* link delay
+//! `d_ave` and contrasted with the *maximum* delay `d_max` (which naive
+//! simulations pay). These statistics drive both the OVERLAP killing
+//! thresholds (`D_k = (n/2^k)·d_ave·c·log n`) and the experiment reports.
+
+use crate::graph::{Delay, HostGraph};
+use crate::paths::dijkstra;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a host network's link delays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayStats {
+    /// Average link delay (`d_ave` in the paper).
+    pub d_ave: f64,
+    /// Maximum link delay (`d_max`).
+    pub d_max: Delay,
+    /// Minimum link delay.
+    pub d_min: Delay,
+    /// Sum of all link delays ("the total delay in the array is n·d_ave").
+    pub total: u64,
+    /// Number of links.
+    pub links: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+}
+
+impl DelayStats {
+    /// Compute statistics for a host graph.
+    pub fn of(g: &HostGraph) -> Self {
+        let mut total = 0u64;
+        let mut d_max = 0;
+        let mut d_min = Delay::MAX;
+        for l in g.links() {
+            total += l.delay;
+            d_max = d_max.max(l.delay);
+            d_min = d_min.min(l.delay);
+        }
+        let links = g.num_links();
+        Self {
+            d_ave: if links == 0 {
+                0.0
+            } else {
+                total as f64 / links as f64
+            },
+            d_max,
+            d_min: if links == 0 { 0 } else { d_min },
+            total,
+            links,
+            max_degree: g.max_degree(),
+        }
+    }
+}
+
+/// Delay-weighted distance statistics (all-pairs; O(n·m·log n) — intended
+/// for hosts up to a few thousand nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistanceStats {
+    /// Delay-weighted diameter (max over pairs of shortest-path delay).
+    pub diameter: Delay,
+    /// Mean shortest-path delay over ordered pairs.
+    pub mean_distance: f64,
+}
+
+impl DistanceStats {
+    /// Compute all-pairs distance statistics.
+    ///
+    /// # Panics
+    /// If the graph is disconnected.
+    pub fn of(g: &HostGraph) -> Self {
+        let n = g.num_nodes();
+        let mut diameter = 0;
+        let mut total = 0u128;
+        let mut pairs = 0u128;
+        for v in 0..n {
+            let r = dijkstra(g, v);
+            for (w, &d) in r.dist.iter().enumerate() {
+                if w as u32 == v {
+                    continue;
+                }
+                assert!(d != Delay::MAX, "disconnected host");
+                diameter = diameter.max(d);
+                total += d as u128;
+                pairs += 1;
+            }
+        }
+        Self {
+            diameter,
+            mean_distance: if pairs == 0 {
+                0.0
+            } else {
+                total as f64 / pairs as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delays::DelayModel;
+    use crate::topology::linear_array;
+
+    #[test]
+    fn stats_of_constant_line() {
+        let g = linear_array(11, DelayModel::constant(4), 0);
+        let s = DelayStats::of(&g);
+        assert_eq!(s.links, 10);
+        assert_eq!(s.total, 40);
+        assert_eq!(s.d_ave, 4.0);
+        assert_eq!(s.d_max, 4);
+        assert_eq!(s.d_min, 4);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn stats_of_spiky_line() {
+        let g = linear_array(
+            9,
+            DelayModel::Spike {
+                base: 1,
+                spike: 10,
+                period: 4,
+            },
+            0,
+        );
+        // links 0..8: spikes at indices 3 and 7 -> delays 1,1,1,10,1,1,1,10
+        let s = DelayStats::of(&g);
+        assert_eq!(s.total, 26);
+        assert_eq!(s.d_max, 10);
+        assert_eq!(s.d_min, 1);
+        assert!((s.d_ave - 26.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_stats_of_a_line() {
+        let g = linear_array(4, DelayModel::constant(2), 0);
+        let d = DistanceStats::of(&g);
+        assert_eq!(d.diameter, 6);
+        // ordered pairs distances: 2·(2+4+6) + 2·(2+4) + 2·2 = 24+12+4 = 40? — 12 ordered pairs
+        assert!((d.mean_distance - 40.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn distance_stats_reject_disconnected() {
+        let mut g = HostGraph::new("g", 3);
+        g.add_link(0, 1, 1);
+        DistanceStats::of(&g);
+    }
+
+    #[test]
+    fn stats_of_edgeless_graph() {
+        let g = HostGraph::new("empty", 3);
+        let s = DelayStats::of(&g);
+        assert_eq!(s.d_ave, 0.0);
+        assert_eq!(s.d_max, 0);
+        assert_eq!(s.total, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Delay-weighted shortest paths (Dijkstra).
+//!
+//! Used for routing pebble messages in the simulator and for the
+//! lower-bound delay certificates (Fact 4, Theorem 9/10 arguments).
+
+use crate::graph::{Delay, HostGraph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-source shortest path result.
+#[derive(Debug, Clone)]
+pub struct PathResult {
+    /// Source node.
+    pub src: NodeId,
+    /// `dist[v]` = minimum total delay from `src` to `v` (`Delay::MAX` if
+    /// unreachable).
+    pub dist: Vec<Delay>,
+    /// `parent[v]` = predecessor of `v` on a shortest path (`u32::MAX` for
+    /// the source and unreachable nodes).
+    pub parent: Vec<NodeId>,
+}
+
+impl PathResult {
+    /// Reconstruct the node path `src → dst` (inclusive). `None` if
+    /// unreachable.
+    pub fn path_to(&self, dst: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[dst as usize] == Delay::MAX {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut v = dst;
+        while v != self.src {
+            v = self.parent[v as usize];
+            path.push(v);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Dijkstra from `src` over link delays.
+pub fn dijkstra(g: &HostGraph, src: NodeId) -> PathResult {
+    let n = g.num_nodes() as usize;
+    let mut dist = vec![Delay::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for &(w, delay) in g.neighbours(v) {
+            let nd = d + delay;
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                parent[w as usize] = v;
+                heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    PathResult { src, dist, parent }
+}
+
+/// Shortest delay and path between two nodes. `None` if unreachable.
+pub fn shortest_path(g: &HostGraph, a: NodeId, b: NodeId) -> Option<(Delay, Vec<NodeId>)> {
+    let r = dijkstra(g, a);
+    r.path_to(b).map(|p| (r.dist[b as usize], p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delays::DelayModel;
+    use crate::topology::{linear_array, mesh2d};
+
+    #[test]
+    fn line_distances_accumulate() {
+        let g = linear_array(5, DelayModel::constant(3), 0);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 3, 6, 9, 12]);
+        assert_eq!(r.path_to(4), Some(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn dijkstra_prefers_low_delay_routes() {
+        // 0-1 (10), 1-2 (10), 0-2 (25): direct edge loses.
+        let mut g = HostGraph::new("g", 3);
+        g.add_link(0, 1, 10);
+        g.add_link(1, 2, 10);
+        g.add_link(0, 2, 25);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist[2], 20);
+        assert_eq!(r.path_to(2), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_reported() {
+        let mut g = HostGraph::new("g", 3);
+        g.add_link(0, 1, 1);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist[2], Delay::MAX);
+        assert_eq!(r.path_to(2), None);
+    }
+
+    #[test]
+    fn mesh_shortest_path_is_manhattan_with_unit_delays() {
+        let g = mesh2d(5, 5, DelayModel::constant(1), 0);
+        let (d, p) = shortest_path(&g, 0, 24).unwrap();
+        assert_eq!(d, 8);
+        assert_eq!(p.len(), 9);
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 24);
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let g = linear_array(3, DelayModel::constant(1), 0);
+        let r = dijkstra(&g, 1);
+        assert_eq!(r.path_to(1), Some(vec![1]));
+        assert_eq!(r.dist[1], 0);
+    }
+}

@@ -1,0 +1,611 @@
+//! Host topology builders.
+//!
+//! Every host family the paper mentions, plus the three adversarial
+//! constructions used in §4 and §6:
+//!
+//! * [`clique_of_cliques`] — the unbounded-degree counterexample after
+//!   Theorem 6: √n cliques of √n nodes each, clique edges of delay 1,
+//!   inter-clique edges of delay n; `d_ave < 4` yet slowdown ≥ n^(1/4).
+//! * [`h1_lower_bound`] — Theorem 9's host: a linear array where every
+//!   √n-th link has delay √n (others 1), so `d_max = √n`, `d_ave = O(1)`.
+//! * [`h2_recursive_boxes`] — Theorem 10's host: the recursive level-ℓ box
+//!   construction with delay-d level-0 edges and `2^ℓ·d/log n`-processor
+//!   segments of delay-1 edges between half-boxes.
+
+use crate::delays::DelayModel;
+use crate::graph::{Delay, HostGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A linear array of `n` workstations; link `i` joins nodes `i` and `i+1`.
+pub fn linear_array(n: u32, delays: DelayModel, seed: u64) -> HostGraph {
+    let mut g = HostGraph::new(format!("line({n},{})", delays.label()), n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_link(i, i + 1, delays.sample(i as u64, seed));
+    }
+    g
+}
+
+/// A ring of `n` workstations.
+pub fn ring(n: u32, delays: DelayModel, seed: u64) -> HostGraph {
+    assert!(n >= 3, "ring needs ≥ 3 nodes");
+    let mut g = HostGraph::new(format!("ring({n},{})", delays.label()), n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        g.add_link(i, j, delays.sample(i as u64, seed));
+    }
+    g
+}
+
+/// A `w × h` 2-D mesh (node id = `x*h + y`), degree ≤ 4.
+pub fn mesh2d(w: u32, h: u32, delays: DelayModel, seed: u64) -> HostGraph {
+    let mut g = HostGraph::new(format!("mesh({w}x{h},{})", delays.label()), w * h);
+    let mut idx = 0u64;
+    for x in 0..w {
+        for y in 0..h {
+            let v = x * h + y;
+            if y + 1 < h {
+                g.add_link(v, v + 1, delays.sample(idx, seed));
+                idx += 1;
+            }
+            if x + 1 < w {
+                g.add_link(v, v + h, delays.sample(idx, seed));
+                idx += 1;
+            }
+        }
+    }
+    g
+}
+
+/// A `w × h` 2-D torus (wraparound mesh), degree 4.
+pub fn torus2d(w: u32, h: u32, delays: DelayModel, seed: u64) -> HostGraph {
+    assert!(w >= 3 && h >= 3, "torus needs w,h ≥ 3");
+    let mut g = HostGraph::new(format!("torus({w}x{h},{})", delays.label()), w * h);
+    let mut idx = 0u64;
+    for x in 0..w {
+        for y in 0..h {
+            let v = x * h + y;
+            let down = x * h + (y + 1) % h;
+            let right = ((x + 1) % w) * h + y;
+            g.add_link(v, down, delays.sample(idx, seed));
+            idx += 1;
+            g.add_link(v, right, delays.sample(idx, seed));
+            idx += 1;
+        }
+    }
+    g
+}
+
+/// A `dim`-dimensional hypercube (`2^dim` nodes, degree `dim`).
+pub fn hypercube(dim: u32, delays: DelayModel, seed: u64) -> HostGraph {
+    assert!(dim >= 1 && dim <= 24);
+    let n = 1u32 << dim;
+    let mut g = HostGraph::new(format!("hcube({dim},{})", delays.label()), n);
+    let mut idx = 0u64;
+    for v in 0..n {
+        for b in 0..dim {
+            let w = v ^ (1 << b);
+            if v < w {
+                g.add_link(v, w, delays.sample(idx, seed));
+                idx += 1;
+            }
+        }
+    }
+    g
+}
+
+/// An (unwrapped) butterfly of order `k`: nodes `(level, row)` with
+/// `level ∈ 0..=k`, `row ∈ 0..2^k` (id = `level·2^k + row`); node
+/// `(ℓ, r)` connects to `(ℓ+1, r)` (straight) and `(ℓ+1, r XOR 2^ℓ)`
+/// (cross). Degree ≤ 4 — one of the §7 "architectures of parallel
+/// computers" host families.
+pub fn butterfly(k: u32, delays: DelayModel, seed: u64) -> HostGraph {
+    assert!(k >= 1 && k <= 16);
+    let rows = 1u32 << k;
+    let n = (k + 1) * rows;
+    let mut g = HostGraph::new(format!("bfly({k},{})", delays.label()), n);
+    let mut idx = 0u64;
+    for l in 0..k {
+        for r in 0..rows {
+            let a = l * rows + r;
+            g.add_link(a, (l + 1) * rows + r, delays.sample(idx, seed));
+            idx += 1;
+            g.add_link(a, (l + 1) * rows + (r ^ (1 << l)), delays.sample(idx, seed));
+            idx += 1;
+        }
+    }
+    g
+}
+
+/// Cube-connected cycles of order `k`: each hypercube node `v ∈ 0..2^k`
+/// becomes a `k`-cycle of nodes `(v, i)` (id = `v·k + i`); cycle edges
+/// join `(v, i)`–`(v, i+1 mod k)` and cube edges join `(v, i)`–`(v⊕2^i, i)`.
+/// Degree exactly 3 for k ≥ 3.
+pub fn cube_connected_cycles(k: u32, delays: DelayModel, seed: u64) -> HostGraph {
+    assert!(k >= 3 && k <= 16);
+    let cube = 1u32 << k;
+    let n = cube * k;
+    let mut g = HostGraph::new(format!("ccc({k},{})", delays.label()), n);
+    let mut idx = 0u64;
+    for v in 0..cube {
+        for i in 0..k {
+            let a = v * k + i;
+            // Cycle edges, each added once (the wrap edge at i = k-1).
+            if i + 1 < k {
+                g.add_link(a, v * k + i + 1, delays.sample(idx, seed));
+                idx += 1;
+            } else {
+                g.add_link(v * k + k - 1, v * k, delays.sample(idx, seed));
+                idx += 1;
+            }
+            let w = v ^ (1 << i);
+            if v < w {
+                g.add_link(a, w * k + i, delays.sample(idx, seed));
+                idx += 1;
+            }
+        }
+    }
+    g
+}
+
+/// A complete binary tree with `levels` levels (`2^levels - 1` nodes),
+/// degree ≤ 3.
+pub fn binary_tree(levels: u32, delays: DelayModel, seed: u64) -> HostGraph {
+    assert!(levels >= 1 && levels <= 24);
+    let n = (1u32 << levels) - 1;
+    let mut g = HostGraph::new(format!("btree({levels},{})", delays.label()), n);
+    for v in 1..n {
+        let parent = (v - 1) / 2;
+        g.add_link(parent, v, delays.sample(v as u64 - 1, seed));
+    }
+    g
+}
+
+/// A random `deg`-regular graph on `n` nodes via the pairing model
+/// (retrying until simple and connected). `n·deg` must be even.
+pub fn random_regular(n: u32, deg: u32, delays: DelayModel, seed: u64) -> HostGraph {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    assert!(deg >= 2 && deg < n, "degree must be in [2, n)");
+    assert!((n as u64 * deg as u64) % 2 == 0, "n*deg must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'retry: for _attempt in 0..1000 {
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat(v).take(deg as usize)).collect();
+        stubs.shuffle(&mut rng);
+        let mut g = HostGraph::new(format!("rreg({n},{deg},{})", delays.label()), n);
+        let mut idx = 0u64;
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b || g.has_link(a, b) {
+                continue 'retry;
+            }
+            g.add_link(a, b, delays.sample(idx, seed));
+            idx += 1;
+        }
+        if g.is_connected() {
+            return g;
+        }
+    }
+    panic!("failed to generate a connected {deg}-regular graph on {n} nodes");
+}
+
+/// The canonical two-site NOW: two cliques of workstations (intra delay 1)
+/// joined by a single WAN link of delay `wan` between their gateways.
+pub fn dumbbell(n1: u32, n2: u32, wan: Delay) -> HostGraph {
+    assert!(n1 >= 1 && n2 >= 1 && wan >= 1);
+    let n = n1 + n2;
+    let mut g = HostGraph::new(format!("dumbbell({n1}+{n2},wan={wan})"), n);
+    for a in 0..n1 {
+        for b in (a + 1)..n1 {
+            g.add_link(a, b, 1);
+        }
+    }
+    for a in n1..n {
+        for b in (a + 1)..n {
+            g.add_link(a, b, 1);
+        }
+    }
+    g.add_link(n1 - 1, n1, wan);
+    g
+}
+
+/// A random geometric NOW: `n` workstations at random points of a unit
+/// square, connected when within `radius`, link delay = Euclidean distance
+/// scaled to `[1, max_delay]` — the paper's picture of a NOW where "some
+/// processors can be far apart physically" while others sit in the same
+/// rack. Retries seeds until connected.
+pub fn geometric(n: u32, radius: f64, max_delay: Delay, seed: u64) -> HostGraph {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(n >= 2 && radius > 0.0 && max_delay >= 1);
+    for attempt in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt * 0x9e37));
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let mut g = HostGraph::new(format!("geo({n},r={radius})"), n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (dx, dy) = (pts[a as usize].0 - pts[b as usize].0, pts[a as usize].1 - pts[b as usize].1);
+                let dist = (dx * dx + dy * dy).sqrt();
+                if dist <= radius {
+                    let delay = ((dist / radius) * (max_delay as f64 - 1.0)).round() as Delay + 1;
+                    g.add_link(a, b, delay);
+                }
+            }
+        }
+        if g.is_connected() {
+            return g;
+        }
+    }
+    panic!("could not generate a connected geometric NOW (radius {radius} too small for n={n})");
+}
+
+/// The §4 counterexample to Theorem 6 for unbounded degree: a linear array
+/// of `k` cliques with `k` nodes each (so `n = k²` total). Clique edges have
+/// delay 1; the single edge connecting adjacent cliques has delay `n`.
+/// Average delay is `< 4`, yet any simulation suffers slowdown ≥ n^(1/4).
+pub fn clique_of_cliques(k: u32) -> HostGraph {
+    assert!(k >= 2);
+    let n = k * k;
+    let mut g = HostGraph::new(format!("cliques({k}x{k})"), n);
+    for c in 0..k {
+        let base = c * k;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                g.add_link(base + i, base + j, 1);
+            }
+        }
+        if c + 1 < k {
+            // one long edge between adjacent cliques, delay n
+            g.add_link(base + k - 1, base + k, n as Delay);
+        }
+    }
+    g
+}
+
+/// A linear array with unit delays except one `spike`-delay link at the
+/// midpoint (the widest dyadic boundary). Concentrates the entire delay
+/// budget in `d_max` while `d_ave ≈ 1 + spike/n` — the host family used to
+/// probe `d_max`-robustness of latency-hiding strategies.
+pub fn line_with_middle_spike(n: u32, spike: Delay) -> HostGraph {
+    assert!(n >= 2);
+    let mut g = HostGraph::new(format!("line-spike({n},{spike})"), n);
+    for i in 0..n - 1 {
+        let d = if i == n / 2 - 1 { spike.max(1) } else { 1 };
+        g.add_link(i, i + 1, d);
+    }
+    g
+}
+
+/// Theorem 9's host `H1`: an `n`-node linear array where every `⌊√n⌋`-th
+/// link has delay `⌊√n⌋` and all other links have delay 1. `d_max = √n`
+/// while `d_ave = O(1)`.
+///
+/// ```
+/// use overlap_net::topology::h1_lower_bound;
+/// use overlap_net::metrics::DelayStats;
+/// let h1 = h1_lower_bound(256);
+/// let s = DelayStats::of(&h1);
+/// assert_eq!(s.d_max, 16);
+/// assert!(s.d_ave < 3.0);
+/// ```
+pub fn h1_lower_bound(n: u32) -> HostGraph {
+    let s = (n as f64).sqrt().floor().max(1.0) as u64;
+    let mut g = linear_array(
+        n,
+        DelayModel::Spike {
+            base: 1,
+            spike: s,
+            period: s,
+        },
+        0,
+    );
+    g.set_name(format!("H1({n})"));
+    g
+}
+
+/// Segment bookkeeping for the Theorem 10 host `H2` (used by the
+/// lower-bound analysis: Fact 4 speaks about delays *between segments*).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct H2Segment {
+    /// The level `ℓ` of the box whose halves this segment joins.
+    pub level: u32,
+    /// The segment's processor ids.
+    pub nodes: Vec<NodeId>,
+}
+
+/// The Theorem 10 host `H2` plus its segment structure.
+#[derive(Debug, Clone)]
+pub struct H2Host {
+    /// The network.
+    pub graph: HostGraph,
+    /// All segments, outermost last.
+    pub segments: Vec<H2Segment>,
+    /// The delay `d` of level-0 edges (`√n` in the paper).
+    pub d: Delay,
+    /// The recursion depth `k = log(n/d)`.
+    pub k: u32,
+}
+
+/// Theorem 10's host `H2`: a level-`k` box, `k = log(n/d)`, `d = √n`.
+///
+/// Recursive construction (§6, Figure 5): a level-0 box is a single edge of
+/// delay `d`. A level-ℓ box consists of two level-(ℓ−1) boxes joined
+/// through a *segment* of `2^ℓ·d/log n` processors: each segment processor
+/// has a delay-1 edge to the right terminal of the left half and a delay-1
+/// edge to the left terminal of the right half. Any route between the two
+/// halves' interiors therefore crosses whole sub-boxes terminal-to-terminal
+/// — which costs `Θ(2^ℓ d)` because the level-0 delay-`d` edges lie in
+/// series — realizing Fact 4: the delay between processors in different
+/// segments `I`, `J` is at least `min(|I|, |J|)·log n` (up to constants).
+///
+/// `n` is the *target* size; the result has `Θ(n)` processors.
+pub fn h2_recursive_boxes(n: u32) -> H2Host {
+    assert!(n >= 16, "H2 needs n ≥ 16");
+    let d = (n as f64).sqrt().floor() as u64;
+    let log_n = (n as f64).log2().max(1.0);
+    let k = ((n as f64 / d as f64).log2().floor() as u32).max(1);
+
+    // First pass: count nodes so HostGraph can be allocated up front.
+    // level-ℓ box nodes: N(0) = 2; N(ℓ) = 2N(ℓ-1) + seg(ℓ).
+    let seg_size = |l: u32| -> u32 { (((1u64 << l) * d) as f64 / log_n).floor().max(1.0) as u32 };
+    let mut total = 2u64;
+    for l in 1..=k {
+        total = 2 * total + seg_size(l) as u64;
+    }
+    let mut graph = HostGraph::new(format!("H2({n})"), total as u32);
+    let mut segments = Vec::new();
+    let mut next_id: NodeId = 0;
+
+    // Recursive build; returns (left_terminal, right_terminal).
+    fn build(
+        level: u32,
+        d: Delay,
+        seg_size: &dyn Fn(u32) -> u32,
+        graph: &mut HostGraph,
+        segments: &mut Vec<H2Segment>,
+        next_id: &mut NodeId,
+    ) -> (NodeId, NodeId) {
+        if level == 0 {
+            let a = *next_id;
+            let b = *next_id + 1;
+            *next_id += 2;
+            graph.add_link(a, b, d);
+            return (a, b);
+        }
+        let (l1, r1) = build(level - 1, d, seg_size, graph, segments, next_id);
+        let (l2, r2) = build(level - 1, d, seg_size, graph, segments, next_id);
+        let s = seg_size(level);
+        let mut nodes = Vec::with_capacity(s as usize);
+        for _ in 0..s {
+            let v = *next_id;
+            *next_id += 1;
+            graph.add_link(r1, v, 1);
+            graph.add_link(v, l2, 1);
+            nodes.push(v);
+        }
+        segments.push(H2Segment { level, nodes });
+        (l1, r2)
+    }
+
+    let _ = build(k, d, &seg_size, &mut graph, &mut segments, &mut next_id);
+    assert_eq!(next_id as u64, total, "H2 node count mismatch");
+    H2Host {
+        graph,
+        segments,
+        d,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::DelayStats;
+
+    #[test]
+    fn linear_array_shape() {
+        let g = linear_array(10, DelayModel::constant(3), 0);
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_links(), 9);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_connected());
+        assert_eq!(g.link_delay(4, 5), Some(3));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(8, DelayModel::constant(1), 0);
+        assert_eq!(g.num_links(), 8);
+        assert!(g.has_link(7, 0));
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let g = mesh2d(4, 3, DelayModel::constant(1), 0);
+        assert_eq!(g.num_nodes(), 12);
+        // links: vertical 4*(3-1)=8, horizontal 3*(4-1)=9 -> 17
+        assert_eq!(g.num_links(), 17);
+        assert!(g.is_connected());
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus2d(4, 4, DelayModel::constant(1), 0);
+        assert_eq!(g.num_links(), 32);
+        for v in 0..16 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4, DelayModel::constant(1), 0);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_links(), 32);
+        for v in 0..16 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(4, DelayModel::constant(1), 0);
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_links(), 14);
+        assert!(g.is_connected());
+        assert!(g.max_degree() <= 3);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let g = dumbbell(4, 3, 500);
+        assert_eq!(g.num_nodes(), 7);
+        assert!(g.is_connected());
+        assert_eq!(g.link_delay(3, 4), Some(500));
+        let stats = DelayStats::of(&g);
+        assert_eq!(stats.d_max, 500);
+        // 6 + 3 clique edges + 1 WAN
+        assert_eq!(g.num_links(), 10);
+    }
+
+    #[test]
+    fn geometric_now_is_connected_and_distance_weighted() {
+        let g = geometric(40, 0.35, 50, 7);
+        assert!(g.is_connected());
+        assert_eq!(g.num_nodes(), 40);
+        let stats = DelayStats::of(&g);
+        assert!(stats.d_max <= 51);
+        assert!(stats.d_min >= 1);
+        // determinism
+        let h = geometric(40, 0.35, 50, 7);
+        assert_eq!(g.links(), h.links());
+    }
+
+    #[test]
+    fn butterfly_shape() {
+        let g = butterfly(3, DelayModel::constant(1), 0);
+        assert_eq!(g.num_nodes(), 4 * 8);
+        assert_eq!(g.num_links(), 3 * 8 * 2);
+        assert!(g.is_connected());
+        assert!(g.max_degree() <= 4);
+        // straight edge exists
+        assert!(g.has_link(0, 8));
+        // cross edge from (0, 0) goes to (1, 1)
+        assert!(g.has_link(0, 9));
+    }
+
+    #[test]
+    fn ccc_is_3_regular_and_connected() {
+        let g = cube_connected_cycles(3, DelayModel::constant(1), 0);
+        assert_eq!(g.num_nodes(), 24);
+        assert!(g.is_connected());
+        for v in 0..24 {
+            assert_eq!(g.degree(v), 3, "node {v}");
+        }
+        assert_eq!(g.num_links(), 36); // 3n/2
+    }
+
+    #[test]
+    fn ccc_larger_orders() {
+        for k in 3..6 {
+            let g = cube_connected_cycles(k, DelayModel::uniform(1, 5), 1);
+            assert!(g.is_connected(), "k={k}");
+            assert_eq!(g.max_degree(), 3);
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected_and_deterministic() {
+        let g = random_regular(20, 3, DelayModel::constant(1), 11);
+        assert!(g.is_connected());
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 3, "node {v}");
+        }
+        let h = random_regular(20, 3, DelayModel::constant(1), 11);
+        assert_eq!(g.links(), h.links());
+    }
+
+    #[test]
+    fn clique_of_cliques_matches_paper_parameters() {
+        let k = 8; // n = 64
+        let g = clique_of_cliques(k);
+        let n = k * k;
+        assert_eq!(g.num_nodes(), n);
+        assert!(g.is_connected());
+        let stats = DelayStats::of(&g);
+        // Paper: d_ave < 4.
+        assert!(stats.d_ave < 4.0, "d_ave = {}", stats.d_ave);
+        assert_eq!(stats.d_max, n as u64);
+        // Unbounded degree: clique nodes have degree ~k.
+        assert!(g.max_degree() as u32 >= k - 1);
+    }
+
+    #[test]
+    fn h1_has_constant_average_and_sqrt_max() {
+        let n = 256;
+        let g = h1_lower_bound(n);
+        let stats = DelayStats::of(&g);
+        assert_eq!(stats.d_max, 16);
+        assert!(stats.d_ave < 3.0, "d_ave = {}", stats.d_ave);
+        assert_eq!(g.num_links(), 255);
+        // every 16th link is the spike
+        assert_eq!(g.link_delay(15, 16), Some(16));
+        assert_eq!(g.link_delay(14, 15), Some(1));
+    }
+
+    #[test]
+    fn h2_has_theta_n_nodes_and_constant_average_delay() {
+        let n = 1024;
+        let h = h2_recursive_boxes(n);
+        let g = &h.graph;
+        assert!(g.is_connected());
+        let nodes = g.num_nodes();
+        // Θ(n): within [n/4, 4n].
+        assert!(
+            (n / 4..=4 * n).contains(&nodes),
+            "H2({n}) has {nodes} nodes"
+        );
+        let stats = DelayStats::of(g);
+        assert!(stats.d_ave < 8.0, "d_ave = {}", stats.d_ave);
+        assert_eq!(stats.d_max, h.d);
+    }
+
+    #[test]
+    fn h2_edge_inventory_matches_paper() {
+        // "a level ℓ box contains 2^ℓ edges of delay d"
+        let h = h2_recursive_boxes(4096);
+        let delay_d_edges = h
+            .graph
+            .links()
+            .iter()
+            .filter(|l| l.delay == h.d)
+            .count() as u64;
+        assert_eq!(delay_d_edges, 1 << h.k);
+        // segments: one per internal level-ℓ junction: 2^(k-ℓ) of level ℓ
+        for l in 1..=h.k {
+            let count = h.segments.iter().filter(|s| s.level == l).count() as u64;
+            assert_eq!(count, 1 << (h.k - l), "level {l}");
+        }
+    }
+
+    #[test]
+    fn h2_segments_partition_distinct_nodes() {
+        let h = h2_recursive_boxes(256);
+        let mut seen = std::collections::HashSet::new();
+        for s in &h.segments {
+            for &v in &s.nodes {
+                assert!(seen.insert(v), "node {v} in two segments");
+                assert!(v < h.graph.num_nodes());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_rejects_odd_stub_count() {
+        random_regular(5, 3, DelayModel::constant(1), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the host-network substrate.
+
+use overlap_net::embed::embed_linear_array;
+use overlap_net::paths::dijkstra;
+use overlap_net::spanning::bfs_tree;
+use overlap_net::topology::{
+    h2_recursive_boxes, linear_array, mesh2d, random_regular, ring,
+};
+use overlap_net::DelayModel;
+use proptest::prelude::*;
+
+fn delay_model_strategy() -> impl Strategy<Value = DelayModel> {
+    prop_oneof![
+        (1u64..100).prop_map(DelayModel::Constant),
+        (1u64..5, 5u64..200).prop_map(|(lo, hi)| DelayModel::Uniform { lo, hi }),
+        (2u64..1000, 2u64..20).prop_map(|(spike, period)| DelayModel::Spike {
+            base: 1,
+            spike,
+            period
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn dijkstra_satisfies_triangle_inequality(
+        w in 2u32..6,
+        h in 2u32..6,
+        dm in delay_model_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let g = mesh2d(w, h, dm, seed);
+        let n = g.num_nodes();
+        let d0 = dijkstra(&g, 0);
+        let dmid = dijkstra(&g, n / 2);
+        for v in 0..n {
+            // d(0, v) ≤ d(0, mid) + d(mid, v)
+            prop_assert!(
+                d0.dist[v as usize] <= d0.dist[(n / 2) as usize] + dmid.dist[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn dijkstra_paths_have_matching_lengths(
+        n in 3u32..30,
+        dm in delay_model_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let g = ring(n, dm, seed);
+        let r = dijkstra(&g, 0);
+        for v in 0..n {
+            let path = r.path_to(v).expect("connected");
+            let total: u64 = path
+                .windows(2)
+                .map(|e| g.link_delay(e[0], e[1]).unwrap())
+                .sum();
+            prop_assert_eq!(total, r.dist[v as usize]);
+        }
+    }
+
+    #[test]
+    fn embedding_is_a_dilation3_permutation_on_meshes(
+        w in 1u32..7,
+        h in 1u32..7,
+        dm in delay_model_strategy(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(w * h >= 1);
+        let g = mesh2d(w, h, dm, seed);
+        let e = embed_linear_array(&g);
+        prop_assert_eq!(e.order.len() as u32, w * h);
+        let mut seen = vec![false; (w * h) as usize];
+        for &v in &e.order {
+            prop_assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        prop_assert!(e.dilation <= 3);
+    }
+
+    #[test]
+    fn embedding_handles_random_regular_graphs(
+        seed in any::<u64>(),
+    ) {
+        let g = random_regular(24, 3, DelayModel::uniform(1, 9), seed);
+        let e = embed_linear_array(&g);
+        prop_assert!(e.dilation <= 3);
+        prop_assert_eq!(e.array_delays.len(), 23);
+        // every embedded link's delay is at least the host's min delay
+        prop_assert!(e.array_delays.iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn bfs_tree_distances_bound_graph_hops(
+        n in 2u32..40,
+        seed in any::<u64>(),
+    ) {
+        let g = linear_array(n, DelayModel::uniform(1, 9), seed);
+        let t = bfs_tree(&g, 0);
+        prop_assert_eq!(t.num_edges() as u32, n - 1);
+        // path tree: distance between i and j equals |i-j|
+        for i in (0..n).step_by(5) {
+            for j in (0..n).step_by(7) {
+                prop_assert_eq!(t.tree_distance(i, j), i.abs_diff(j));
+            }
+        }
+    }
+
+    #[test]
+    fn h2_invariants_hold_for_all_sizes(pow in 4u32..13) {
+        let n = 1u32 << pow;
+        let h2 = h2_recursive_boxes(n);
+        prop_assert!(h2.graph.is_connected());
+        // Θ(n) nodes.
+        let nodes = h2.graph.num_nodes();
+        prop_assert!(nodes >= n / 8 && nodes <= 8 * n, "{nodes} vs {n}");
+        // exactly 2^k delay-d edges
+        let dd = h2.graph.links().iter().filter(|l| l.delay == h2.d).count() as u64;
+        prop_assert_eq!(dd, 1u64 << h2.k);
+        // constant-ish average delay
+        let stats = overlap_net::metrics::DelayStats::of(&h2.graph);
+        prop_assert!(stats.d_ave < 16.0, "d_ave {}", stats.d_ave);
+    }
+
+    #[test]
+    fn delay_models_respect_floors(
+        dm in delay_model_strategy(),
+        idx in 0u64..1000,
+        seed in any::<u64>(),
+    ) {
+        prop_assert!(dm.sample(idx, seed) >= 1);
+    }
+}

@@ -1,0 +1,1449 @@
+//! The greedy dependency-driven execution engine.
+//!
+//! Executes a guest computation on a host NOW under a database
+//! [`Assignment`], cycle-accurately:
+//!
+//! * Each host processor computes **one pebble per tick**. Within one
+//!   processor, each held column's pebbles are computed in step order
+//!   (database updates must be applied in order, §2); among ready pebbles
+//!   the lowest `(step, cell)` wins.
+//! * A pebble `(c, t)` is ready on `p` once every dependency `(c', t−1)` is
+//!   locally known — computed by `p` itself, delivered by a subscription,
+//!   or a virtual boundary/initial value.
+//! * On completion, the pebble is streamed to every subscriber of its
+//!   column over the fixed route; each link holds `bw` injections per tick
+//!   (pipelined), so `P` pebbles cross a delay-`d` link in
+//!   `d + ⌈P/bw⌉ − 1` ticks — the paper's bandwidth law.
+//! * The run ends when every holder has computed all `T` steps of all its
+//!   columns. The makespan is the last compute-completion tick.
+//!
+//! The engine is deterministic: a `(tick, sequence-number)` ordered event
+//! queue resolves ties in insertion order.
+
+use crate::assignment::Assignment;
+use crate::bandwidth::BandwidthMode;
+use crate::multicast::MulticastTable;
+use crate::routing::RoutingTable;
+use crate::stats::RunStats;
+use overlap_model::{fold64, Db, Dep, GuestSpec, PebbleValue, ProgramRef};
+use overlap_net::{Delay, HostGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Deterministic time-varying link-delay jitter: NOW latencies fluctuate
+/// (congestion, re-routing); the model's correctness is timing-independent
+/// but the makespan is not. The effective delay of a link at injection
+/// tick `t` is `d · (1 + amplitude · wave(t))` where `wave` is a
+/// square-ish ±1 oscillation with the given period, phase-shifted per
+/// link — fully deterministic, so runs remain reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Jitter {
+    /// Fixed delays (the paper's model).
+    None,
+    /// Periodic fluctuation by ±`amplitude_pct` percent.
+    Periodic {
+        /// Amplitude in percent of the base delay (≤ 100).
+        amplitude_pct: u8,
+        /// Oscillation period in ticks (≥ 1).
+        period: u32,
+    },
+}
+
+impl Jitter {
+    /// Effective delay of a base-`d` link (id `lid`) entered at tick `t`.
+    pub fn effective(&self, d: u64, lid: u32, t: u64) -> u64 {
+        match *self {
+            Jitter::None => d,
+            Jitter::Periodic {
+                amplitude_pct,
+                period,
+            } => {
+                let period = period.max(1) as u64;
+                // phase-shift links so they don't all spike together
+                let phase = (t / period + lid as u64 * 7) % 4;
+                let amp = (d as i128 * amplitude_pct.min(100) as i128) / 100;
+                let delta: i128 = match phase {
+                    1 => amp,
+                    3 => -amp,
+                    _ => 0,
+                };
+                ((d as i128 + delta).max(1)) as u64
+            }
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Link bandwidth model (default: the paper's `log n`).
+    pub bandwidth: BandwidthMode,
+    /// Safety cap on simulated ticks; exceeded ⇒ [`RunError::TickLimit`].
+    pub max_ticks: u64,
+    /// Record the completion tick of every pebble on every copy
+    /// (`RunOutcome::timing`); costs one u64 per computed pebble.
+    pub record_timing: bool,
+    /// Distribute columns over shortest-path multicast trees instead of
+    /// per-subscriber unicast routes (each pebble crosses every tree link
+    /// once, duplicating at branch points).
+    pub multicast: bool,
+    /// Time-varying link-delay jitter.
+    pub jitter: Jitter,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth: BandwidthMode::LogN,
+            max_ticks: 1 << 42,
+            record_timing: false,
+            multicast: false,
+            jitter: Jitter::None,
+        }
+    }
+}
+
+/// Why a run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// Some guest cells have no database copy anywhere.
+    IncompleteAssignment(Vec<u32>),
+    /// The tick cap was exceeded.
+    TickLimit(u64),
+    /// No event can fire yet work remains (should be impossible for a
+    /// complete assignment; kept as a defensive diagnostic).
+    Deadlock {
+        /// Tick at which the queue drained.
+        tick: u64,
+        /// Pebbles still uncomputed.
+        remaining: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::IncompleteAssignment(cells) => {
+                write!(f, "assignment misses holders for {} cells", cells.len())
+            }
+            RunError::TickLimit(t) => write!(f, "tick limit {t} exceeded"),
+            RunError::Deadlock { tick, remaining } => {
+                write!(f, "deadlock at tick {tick} with {remaining} pebbles left")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Per-copy audit record used by the validator: one entry per
+/// (column, holder) pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyRecord {
+    /// Guest column.
+    pub cell: u32,
+    /// Holder processor.
+    pub proc: NodeId,
+    /// Order-sensitive fold of the computed pebble values, steps `1..=T`.
+    pub value_fold: u64,
+    /// Digest of the final database contents of this copy.
+    pub db_digest: u64,
+    /// Order-sensitive fold of the applied update log.
+    pub update_fold: u64,
+    /// Tick at which this copy finished its last step.
+    pub finished_at: u64,
+}
+
+/// Per-copy pebble completion ticks, aligned with `RunOutcome::copies`:
+/// `ticks[i][t-1]` = tick at which copy `i` computed its step `t`.
+#[derive(Debug, Clone, Default)]
+pub struct TimingTrace {
+    /// Completion ticks per copy per step.
+    pub ticks: Vec<Vec<u64>>,
+}
+
+impl TimingTrace {
+    /// Completion time of guest row `t` (1-based): the tick by which
+    /// **every** copy has computed step `t` — the quantity Theorem 1's
+    /// deadlines `s_t^{(k)}` bound.
+    pub fn row_completion(&self, t: u32) -> u64 {
+        self.ticks
+            .iter()
+            .filter_map(|c| c.get(t as usize - 1))
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of `[0, makespan)` each processor spent computing, given
+    /// the copy records (for utilization reports).
+    pub fn utilization(&self, copies: &[CopyRecord], procs: u32, makespan: u64) -> Vec<f64> {
+        let mut busy = vec![0u64; procs as usize];
+        for (i, c) in copies.iter().enumerate() {
+            busy[c.proc as usize] += self.ticks[i].len() as u64;
+        }
+        busy.iter()
+            .map(|&b| {
+                if makespan == 0 {
+                    0.0
+                } else {
+                    b as f64 / makespan as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// A completed run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// One record per database copy, for validation.
+    pub copies: Vec<CopyRecord>,
+    /// Pebble completion ticks when `record_timing` was set.
+    pub timing: Option<TimingTrace>,
+}
+
+/// Event payload.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Processor `proc` finishes computing its `own_idx`-th column's next
+    /// step at the event tick.
+    ComputeDone { proc: NodeId, own_idx: u32 },
+    /// A streamed pebble reaches `path[hop]` of subscription `sub`.
+    Arrival {
+        sub: u32,
+        hop: u16,
+        step: u32,
+        value: PebbleValue,
+    },
+    /// A multicast pebble reaches tree node `node` of tree `tree`.
+    TreeHop {
+        tree: u32,
+        node: u32,
+        step: u32,
+        value: PebbleValue,
+    },
+}
+
+/// Per-processor simulation state.
+struct ProcState {
+    /// Held cells (sorted).
+    cells: Vec<u32>,
+    /// Next step (1-based) to compute per held cell; `T+1` = done.
+    next_step: Vec<u32>,
+    /// Value history per held cell; index 0 = initial value.
+    history: Vec<Vec<PebbleValue>>,
+    /// Database copy per held cell.
+    dbs: Vec<Db>,
+    /// Value/update folds per held cell (validator food).
+    value_fold: Vec<u64>,
+    update_fold: Vec<u64>,
+    finished_at: Vec<u64>,
+    /// Per held cell: completion tick per step (only when timing).
+    times: Vec<Vec<u64>>,
+    /// Dependency columns (sorted; parallel to the receive buffers below).
+    /// Kept for diagnostics even though lookups go through `dep_pos`.
+    #[allow(dead_code)]
+    dep_cells: Vec<u32>,
+    dep_values: Vec<Vec<PebbleValue>>,
+    dep_have: Vec<Vec<bool>>,
+    /// Highest contiguous step received per dependency column.
+    dep_watermark: Vec<u32>,
+    /// own-index lookups
+    own_pos: HashMap<u32, u32>,
+    dep_pos: HashMap<u32, u32>,
+    /// For each held cell: held cells whose pebbles depend on it.
+    own_dependents: Vec<Vec<u32>>,
+    /// For each dependency column: held cells depending on it.
+    dep_dependents: Vec<Vec<u32>>,
+    /// Ready-pebble queue: `(step, own_idx)` min-heap; at most one entry
+    /// per held cell (its next step).
+    ready: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Whether each held cell currently sits in `ready` or is being
+    /// computed.
+    queued: Vec<bool>,
+    /// Processor is computing until the pending `ComputeDone` fires.
+    busy: bool,
+}
+
+/// Directed-link injection bookkeeping for pipelined bandwidth.
+#[derive(Clone, Copy, Default)]
+struct LinkSlot {
+    tick: u64,
+    count: u32,
+}
+
+/// The simulator.
+/// Which route structure a run uses.
+enum Routes {
+    Unicast(RoutingTable),
+    Multicast(MulticastTable),
+}
+
+impl Routes {
+    fn inbound(&self, p: usize) -> &[(u32, u32)] {
+        match self {
+            Routes::Unicast(r) => &r.inbound[p],
+            Routes::Multicast(m) => &m.inbound[p],
+        }
+    }
+
+    fn num_subscriptions(&self) -> usize {
+        match self {
+            Routes::Unicast(r) => r.num_subscriptions(),
+            Routes::Multicast(m) => m.trees.iter().map(|t| t.deliver.iter().filter(|&&d| d).count()).sum(),
+        }
+    }
+}
+
+/// The simulator: executes a guest under a database assignment on a host
+/// NOW, cycle-accurately (see the module docs for the exact semantics).
+pub struct Engine<'a> {
+    guest: &'a GuestSpec,
+    host: &'a HostGraph,
+    assign: &'a Assignment,
+    routing: Option<Routes>,
+    config: EngineConfig,
+    /// Ticks per pebble per processor (default all 1): models NOWs that
+    /// mix workstation generations. Beyond the paper's unit-speed model.
+    compute_costs: Option<Vec<u32>>,
+}
+
+impl<'a> Engine<'a> {
+    /// Create an engine. The routing table is built eagerly when the
+    /// assignment covers every cell; otherwise `run` reports
+    /// [`RunError::IncompleteAssignment`].
+    pub fn new(
+        guest: &'a GuestSpec,
+        host: &'a HostGraph,
+        assign: &'a Assignment,
+        config: EngineConfig,
+    ) -> Self {
+        let routing = if assign.is_complete() {
+            Some(if config.multicast {
+                Routes::Multicast(MulticastTable::build(host, &guest.topology, assign))
+            } else {
+                Routes::Unicast(RoutingTable::build(host, &guest.topology, assign))
+            })
+        } else {
+            None
+        };
+        Self {
+            guest,
+            host,
+            assign,
+            routing,
+            config,
+            compute_costs: None,
+        }
+    }
+
+    /// Give each processor its own compute cost (ticks per pebble, ≥ 1).
+    /// Models heterogeneous workstation speeds — an extension beyond the
+    /// paper's unit-speed processors.
+    pub fn with_compute_costs(mut self, costs: Vec<u32>) -> Self {
+        assert_eq!(costs.len() as u32, self.host.num_nodes());
+        assert!(costs.iter().all(|&c| c >= 1), "costs must be ≥ 1");
+        self.compute_costs = Some(costs);
+        self
+    }
+
+    /// Access the unicast routing table (for reporting). `None` when the
+    /// assignment is incomplete or the engine runs in multicast mode.
+    pub fn routing(&self) -> Option<&RoutingTable> {
+        match self.routing.as_ref() {
+            Some(Routes::Unicast(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Execute the simulation.
+    pub fn run(&self) -> Result<RunOutcome, RunError> {
+        let uncovered = self.assign.uncovered_cells();
+        if !uncovered.is_empty() {
+            return Err(RunError::IncompleteAssignment(uncovered));
+        }
+        let routing = self.routing.as_ref().expect("complete assignment has routing");
+        let n = self.host.num_nodes();
+        let steps = self.guest.steps;
+        let topo = self.guest.topology;
+        let program: ProgramRef = self.guest.program.instantiate();
+        let boundary = self.guest.boundary();
+        let bw = self.config.bandwidth.per_tick(n) as u64;
+
+        // ---- initialize processor states ----
+        let mut procs: Vec<ProcState> = Vec::with_capacity(n as usize);
+        for p in 0..n {
+            let cells = self.assign.cells_of(p).to_vec();
+            let own_pos: HashMap<u32, u32> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u32))
+                .collect();
+            let dep_cells: Vec<u32> = routing
+                .inbound(p as usize)
+                .iter()
+                .map(|&(c, _)| c)
+                .collect();
+            let dep_pos: HashMap<u32, u32> = dep_cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u32))
+                .collect();
+            // Reverse dependency maps.
+            let mut own_dependents = vec![Vec::new(); cells.len()];
+            let mut dep_dependents = vec![Vec::new(); dep_cells.len()];
+            for (i, &c) in cells.iter().enumerate() {
+                for d in topo.deps(c).iter() {
+                    if let Dep::Cell(c2) = d {
+                        if c2 == c {
+                            continue;
+                        }
+                        if let Some(&j) = own_pos.get(&c2) {
+                            own_dependents[j as usize].push(i as u32);
+                        } else if let Some(&k) = dep_pos.get(&c2) {
+                            dep_dependents[k as usize].push(i as u32);
+                        } else {
+                            unreachable!(
+                                "cell {c2} needed by {c} on proc {p} neither held nor subscribed"
+                            );
+                        }
+                    }
+                }
+            }
+            let kind = program.db_kind();
+            let history: Vec<Vec<PebbleValue>> = cells
+                .iter()
+                .map(|&c| {
+                    let mut h = vec![0; steps as usize + 1];
+                    h[0] = self.guest.initial_value(c);
+                    h
+                })
+                .collect();
+            let dep_values: Vec<Vec<PebbleValue>> = dep_cells
+                .iter()
+                .map(|&c| {
+                    let mut v = vec![0; steps as usize + 1];
+                    v[0] = self.guest.initial_value(c);
+                    v
+                })
+                .collect();
+            let dep_have: Vec<Vec<bool>> = dep_cells
+                .iter()
+                .map(|_| {
+                    let mut h = vec![false; steps as usize + 1];
+                    h[0] = true;
+                    h
+                })
+                .collect();
+            procs.push(ProcState {
+                times: if self.config.record_timing {
+                    cells.iter().map(|_| Vec::with_capacity(steps as usize)).collect()
+                } else {
+                    vec![Vec::new(); cells.len()]
+                },
+                next_step: vec![1; cells.len()],
+                dbs: cells
+                    .iter()
+                    .map(|&c| kind.instantiate(c, self.guest.seed))
+                    .collect(),
+                value_fold: vec![0xF01Du64; cells.len()],
+                update_fold: vec![0xD16u64; cells.len()],
+                finished_at: vec![0; cells.len()],
+                history,
+                dep_values,
+                dep_have,
+                dep_watermark: vec![0; dep_cells.len()],
+                own_dependents,
+                dep_dependents,
+                ready: BinaryHeap::new(),
+                queued: vec![false; cells.len()],
+                busy: false,
+                cells,
+                dep_cells,
+                own_pos,
+                dep_pos,
+            });
+        }
+
+        // ---- link slots for bandwidth accounting ----
+        let mut link_ids: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+        let mut link_delay: Vec<Delay> = Vec::new();
+        for l in self.host.links() {
+            for (u, v) in [(l.a, l.b), (l.b, l.a)] {
+                link_ids.insert((u, v), link_delay.len() as u32);
+                link_delay.push(l.delay);
+            }
+        }
+        let mut link_slots: Vec<LinkSlot> = vec![LinkSlot::default(); link_delay.len()];
+        let mut link_traffic: Vec<u64> = vec![0; link_delay.len()];
+
+        // ---- event queue ----
+        let mut queue: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut payloads: Vec<Ev> = Vec::new();
+        let mut seq: u64 = 0;
+        let push = |queue: &mut BinaryHeap<Reverse<(u64, u64, u32)>>,
+                        payloads: &mut Vec<Ev>,
+                        seq: &mut u64,
+                        tick: u64,
+                        ev: Ev| {
+            payloads.push(ev);
+            queue.push(Reverse((tick, *seq, payloads.len() as u32 - 1)));
+            *seq += 1;
+        };
+
+        let mut remaining: u64 = procs
+            .iter()
+            .map(|ps| ps.cells.len() as u64 * steps as u64)
+            .sum();
+        let total_compute = remaining;
+        let mut makespan = 0u64;
+        let mut messages = 0u64;
+        let mut pebble_hops = 0u64;
+
+        // Readiness predicate for (proc p, own cell index i).
+        let is_ready = |procs: &Vec<ProcState>, p: usize, i: usize| -> bool {
+            let ps = &procs[p];
+            let s = ps.next_step[i];
+            if s > steps {
+                return false;
+            }
+            let c = ps.cells[i];
+            for d in topo.deps(c).iter() {
+                match d {
+                    Dep::Boundary { .. } => {}
+                    Dep::Cell(c2) => {
+                        if c2 == c {
+                            continue; // own column: in-order guarantee
+                        }
+                        if let Some(&j) = ps.own_pos.get(&c2) {
+                            if ps.next_step[j as usize] < s {
+                                return false;
+                            }
+                        } else {
+                            let k = ps.dep_pos[&c2] as usize;
+                            if ps.dep_watermark[k] < s - 1 {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+            true
+        };
+
+        let cost_of = |p: usize| -> u64 {
+            self.compute_costs
+                .as_ref()
+                .map(|c| c[p] as u64)
+                .unwrap_or(1)
+        };
+
+        // Seed: enqueue every initially-ready pebble and start processors.
+        for p in 0..n as usize {
+            for i in 0..procs[p].cells.len() {
+                if is_ready(&procs, p, i) {
+                    let s = procs[p].next_step[i];
+                    procs[p].ready.push(Reverse((s, i as u32)));
+                    procs[p].queued[i] = true;
+                }
+            }
+            if let Some(&Reverse((_, i))) = procs[p].ready.peek() {
+                let _ = i;
+                let Reverse((_s, i)) = procs[p].ready.pop().unwrap();
+                procs[p].busy = true;
+                push(
+                    &mut queue,
+                    &mut payloads,
+                    &mut seq,
+                    cost_of(p),
+                    Ev::ComputeDone {
+                        proc: p as NodeId,
+                        own_idx: i,
+                    },
+                );
+            }
+        }
+
+        let mut deps_buf: Vec<PebbleValue> = Vec::with_capacity(topo.max_deps());
+
+        // ---- main loop ----
+        while let Some(Reverse((tick, _, pid))) = queue.pop() {
+            if tick > self.config.max_ticks {
+                return Err(RunError::TickLimit(self.config.max_ticks));
+            }
+            if remaining == 0 {
+                break;
+            }
+            match payloads[pid as usize] {
+                Ev::ComputeDone { proc, own_idx } => {
+                    let p = proc as usize;
+                    let i = own_idx as usize;
+                    let (cell, s) = {
+                        let ps = &procs[p];
+                        (ps.cells[i], ps.next_step[i])
+                    };
+                    debug_assert!(s <= steps);
+                    // Gather dependency values at step s-1.
+                    deps_buf.clear();
+                    {
+                        let ps = &procs[p];
+                        for d in topo.deps(cell).iter() {
+                            deps_buf.push(match d {
+                                Dep::Boundary { side, offset } => boundary.value(side, offset, s),
+                                Dep::Cell(c2) => {
+                                    if let Some(&j) = ps.own_pos.get(&c2) {
+                                        ps.history[j as usize][s as usize - 1]
+                                    } else {
+                                        let k = ps.dep_pos[&c2] as usize;
+                                        debug_assert!(ps.dep_have[k][s as usize - 1]);
+                                        ps.dep_values[k][s as usize - 1]
+                                    }
+                                }
+                            });
+                        }
+                    }
+                    let (v, u) = program.compute(cell, s, &procs[p].dbs[i], &deps_buf);
+                    {
+                        let ps = &mut procs[p];
+                        ps.dbs[i].apply(&u);
+                        ps.history[i][s as usize] = v;
+                        ps.value_fold[i] = fold64(ps.value_fold[i], v);
+                        ps.update_fold[i] = fold64(ps.update_fold[i], u.digest());
+                        ps.next_step[i] = s + 1;
+                        ps.queued[i] = false;
+                        ps.busy = false;
+                        if self.config.record_timing {
+                            ps.times[i].push(tick);
+                        }
+                        if s == steps {
+                            ps.finished_at[i] = tick;
+                        }
+                    }
+                    remaining -= 1;
+                    makespan = makespan.max(tick);
+
+                    // Stream to subscribers of this column.
+                    match routing {
+                        Routes::Unicast(rt) => {
+                            for &sid in &rt.outbound[p] {
+                                let sub = &rt.subs[sid as usize];
+                                if sub.cell != cell {
+                                    continue;
+                                }
+                                messages += 1;
+                                pebble_hops += sub.path.len() as u64 - 1;
+                                let lid = link_ids[&(sub.path[0], sub.path[1])];
+                                link_traffic[lid as usize] += 1;
+                                let depart = inject(&mut link_slots[lid as usize], tick, bw);
+                                push(
+                                    &mut queue,
+                                    &mut payloads,
+                                    &mut seq,
+                                    depart + self.config.jitter.effective(link_delay[lid as usize], lid, depart),
+                                    Ev::Arrival {
+                                        sub: sid,
+                                        hop: 1,
+                                        step: s,
+                                        value: v,
+                                    },
+                                );
+                            }
+                        }
+                        Routes::Multicast(mt) => {
+                            for &tid in &mt.outbound[p] {
+                                let tree = &mt.trees[tid as usize];
+                                if tree.cell != cell {
+                                    continue;
+                                }
+                                messages += 1;
+                                let root = tree.index_of[&tree.source] as usize;
+                                for &child in &tree.children[root] {
+                                    pebble_hops += 1;
+                                    let to = tree.nodes[child as usize];
+                                    let lid = link_ids[&(tree.source, to)];
+                                    link_traffic[lid as usize] += 1;
+                                    let depart =
+                                        inject(&mut link_slots[lid as usize], tick, bw);
+                                    push(
+                                        &mut queue,
+                                        &mut payloads,
+                                        &mut seq,
+                                        depart + self.config.jitter.effective(link_delay[lid as usize], lid, depart),
+                                        Ev::TreeHop {
+                                            tree: tid,
+                                            node: child,
+                                            step: s,
+                                            value: v,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+
+                    // Unblock: this column's next step, neighbours held here.
+                    let mut to_check: Vec<u32> = vec![own_idx];
+                    to_check.extend_from_slice(&procs[p].own_dependents[i]);
+                    for j in to_check {
+                        let j = j as usize;
+                        if !procs[p].queued[j] && is_ready(&procs, p, j) {
+                            let sj = procs[p].next_step[j];
+                            procs[p].ready.push(Reverse((sj, j as u32)));
+                            procs[p].queued[j] = true;
+                        }
+                    }
+                    // Start next computation if any.
+                    if !procs[p].busy {
+                        if let Some(Reverse((_s, j))) = procs[p].ready.pop() {
+                            procs[p].busy = true;
+                            push(
+                                &mut queue,
+                                &mut payloads,
+                                &mut seq,
+                                tick + cost_of(p),
+                                Ev::ComputeDone {
+                                    proc,
+                                    own_idx: j,
+                                },
+                            );
+                        }
+                    }
+                }
+                Ev::Arrival {
+                    sub,
+                    hop,
+                    step,
+                    value,
+                } => {
+                    let Routes::Unicast(rt) = routing else {
+                        unreachable!("unicast arrival in multicast mode");
+                    };
+                    let s = &rt.subs[sub as usize];
+                    let at = hop as usize;
+                    if at + 1 < s.path.len() {
+                        // Forward along the route.
+                        let lid = link_ids[&(s.path[at], s.path[at + 1])];
+                        link_traffic[lid as usize] += 1;
+                        let depart = inject(&mut link_slots[lid as usize], tick, bw);
+                        push(
+                            &mut queue,
+                            &mut payloads,
+                            &mut seq,
+                            depart + self.config.jitter.effective(link_delay[lid as usize], lid, depart),
+                            Ev::Arrival {
+                                sub,
+                                hop: hop + 1,
+                                step,
+                                value,
+                            },
+                        );
+                    } else {
+                        // Delivery at the consumer.
+                        let p = s.dest as usize;
+                        let k = procs[p].dep_pos[&s.cell] as usize;
+                        {
+                            let ps = &mut procs[p];
+                            ps.dep_values[k][step as usize] = value;
+                            ps.dep_have[k][step as usize] = true;
+                            while (ps.dep_watermark[k] as usize) < steps as usize
+                                && ps.dep_have[k][ps.dep_watermark[k] as usize + 1]
+                            {
+                                ps.dep_watermark[k] += 1;
+                            }
+                        }
+                        // Unblock held cells waiting on this column.
+                        let dependents = procs[p].dep_dependents[k].clone();
+                        for j in dependents {
+                            let j = j as usize;
+                            if !procs[p].queued[j] && is_ready(&procs, p, j) {
+                                let sj = procs[p].next_step[j];
+                                procs[p].ready.push(Reverse((sj, j as u32)));
+                                procs[p].queued[j] = true;
+                            }
+                        }
+                        if !procs[p].busy {
+                            if let Some(Reverse((_s2, j))) = procs[p].ready.pop() {
+                                procs[p].busy = true;
+                                push(
+                                    &mut queue,
+                                    &mut payloads,
+                                    &mut seq,
+                                    tick + cost_of(p),
+                                    Ev::ComputeDone {
+                                        proc: s.dest,
+                                        own_idx: j,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                Ev::TreeHop {
+                    tree,
+                    node,
+                    step,
+                    value,
+                } => {
+                    let Routes::Multicast(mt) = routing else {
+                        unreachable!("tree hop in unicast mode");
+                    };
+                    let t = &mt.trees[tree as usize];
+                    let here = t.nodes[node as usize];
+                    // Forward to children.
+                    for &child in &t.children[node as usize] {
+                        pebble_hops += 1;
+                        let to = t.nodes[child as usize];
+                        let lid = link_ids[&(here, to)];
+                        link_traffic[lid as usize] += 1;
+                        let depart = inject(&mut link_slots[lid as usize], tick, bw);
+                        push(
+                            &mut queue,
+                            &mut payloads,
+                            &mut seq,
+                            depart + self.config.jitter.effective(link_delay[lid as usize], lid, depart),
+                            Ev::TreeHop {
+                                tree,
+                                node: child,
+                                step,
+                                value,
+                            },
+                        );
+                    }
+                    // Deliver locally if this node subscribes.
+                    if t.deliver[node as usize] {
+                        let p = here as usize;
+                        let k = procs[p].dep_pos[&t.cell] as usize;
+                        {
+                            let ps = &mut procs[p];
+                            ps.dep_values[k][step as usize] = value;
+                            ps.dep_have[k][step as usize] = true;
+                            while (ps.dep_watermark[k] as usize) < steps as usize
+                                && ps.dep_have[k][ps.dep_watermark[k] as usize + 1]
+                            {
+                                ps.dep_watermark[k] += 1;
+                            }
+                        }
+                        let dependents = procs[p].dep_dependents[k].clone();
+                        for j in dependents {
+                            let j = j as usize;
+                            if !procs[p].queued[j] && is_ready(&procs, p, j) {
+                                let sj = procs[p].next_step[j];
+                                procs[p].ready.push(Reverse((sj, j as u32)));
+                                procs[p].queued[j] = true;
+                            }
+                        }
+                        if !procs[p].busy {
+                            if let Some(Reverse((_s2, j))) = procs[p].ready.pop() {
+                                procs[p].busy = true;
+                                push(
+                                    &mut queue,
+                                    &mut payloads,
+                                    &mut seq,
+                                    tick + cost_of(p),
+                                    Ev::ComputeDone {
+                                        proc: here,
+                                        own_idx: j,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if remaining > 0 {
+            return Err(RunError::Deadlock {
+                tick: makespan,
+                remaining,
+            });
+        }
+
+        // ---- collect outcome ----
+        let mut copies = Vec::with_capacity(self.assign.total_copies());
+        let mut timing = self.config.record_timing.then(TimingTrace::default);
+        for (p, ps) in procs.iter().enumerate() {
+            for (i, &c) in ps.cells.iter().enumerate() {
+                copies.push(CopyRecord {
+                    cell: c,
+                    proc: p as NodeId,
+                    value_fold: ps.value_fold[i],
+                    db_digest: ps.dbs[i].digest(),
+                    update_fold: ps.update_fold[i],
+                    finished_at: ps.finished_at[i],
+                });
+                if let Some(t) = timing.as_mut() {
+                    t.ticks.push(ps.times[i].clone());
+                }
+            }
+        }
+        let stats = RunStats {
+            guest_cells: self.guest.num_cells(),
+            guest_steps: steps,
+            host_procs: n,
+            makespan,
+            slowdown: if steps == 0 {
+                0.0
+            } else {
+                makespan as f64 / steps as f64
+            },
+            total_compute,
+            guest_work: self.guest.total_work(),
+            redundancy: self.assign.redundancy(),
+            load: self.assign.load(),
+            active_procs: self.assign.active_procs(),
+            messages,
+            pebble_hops,
+            subscriptions: routing.num_subscriptions(),
+            bandwidth_per_link: bw as u32,
+            busiest_link_pebbles: link_traffic.iter().copied().max().unwrap_or(0),
+            mean_link_pebbles: {
+                let active: Vec<u64> =
+                    link_traffic.iter().copied().filter(|&t| t > 0).collect();
+                if active.is_empty() {
+                    0.0
+                } else {
+                    active.iter().sum::<u64>() as f64 / active.len() as f64
+                }
+            },
+        };
+        Ok(RunOutcome {
+            stats,
+            copies,
+            timing,
+        })
+    }
+}
+
+/// Reserve an injection slot on a directed link: at most `bw` injections
+/// per tick, FIFO, never before `now`. Returns the departure tick.
+fn inject(slot: &mut LinkSlot, now: u64, bw: u64) -> u64 {
+    if slot.tick < now {
+        slot.tick = now;
+        slot.count = 0;
+    }
+    if (slot.count as u64) < bw {
+        slot.count += 1;
+    } else {
+        slot.tick += 1;
+        slot.count = 1;
+    }
+    slot.tick
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
+    use overlap_net::topology::linear_array;
+    use overlap_net::DelayModel;
+
+    fn run(
+        guest: &GuestSpec,
+        host: &HostGraph,
+        assign: &Assignment,
+        bandwidth: BandwidthMode,
+    ) -> RunOutcome {
+        let cfg = EngineConfig {
+            bandwidth,
+            ..Default::default()
+        };
+        Engine::new(guest, host, assign, cfg).run().expect("run ok")
+    }
+
+    fn check_against_reference(guest: &GuestSpec, out: &RunOutcome) {
+        let trace = ReferenceRun::execute(guest);
+        for c in &out.copies {
+            // Reconstruct the reference fold for this column.
+            let mut vf = 0xF01Du64;
+            for t in 1..=guest.steps {
+                vf = fold64(vf, trace.grid.get(overlap_model::PebbleId::new(c.cell, t)));
+            }
+            assert_eq!(c.value_fold, vf, "values of column {} on proc {}", c.cell, c.proc);
+            assert_eq!(
+                c.db_digest, trace.final_db_digest[c.cell as usize],
+                "db of column {} on proc {}",
+                c.cell, c.proc
+            );
+            assert_eq!(
+                c.update_fold, trace.update_log_digest[c.cell as usize],
+                "updates of column {} on proc {}",
+                c.cell, c.proc
+            );
+        }
+    }
+
+    #[test]
+    fn single_processor_runs_sequentially() {
+        let guest = GuestSpec::line(4, ProgramKind::KvWorkload, 3, 5);
+        let host = linear_array(1, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(1, 4);
+        let out = run(&guest, &host, &assign, BandwidthMode::Fixed(1));
+        // 20 pebbles at 1/tick: makespan exactly 20.
+        assert_eq!(out.stats.makespan, 20);
+        assert_eq!(out.stats.slowdown, 4.0);
+        check_against_reference(&guest, &out);
+    }
+
+    #[test]
+    fn unit_delay_host_line_matches_guest_speed() {
+        // Host = guest-sized line with unit delays, load 1: the simulation
+        // is the guest itself. Communication of each boundary pebble takes
+        // 1 tick, computation 1 tick: slowdown ≈ 2 (compute+exchange).
+        let guest = GuestSpec::line(8, ProgramKind::Relaxation, 1, 16);
+        let host = linear_array(8, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(8, 8);
+        let out = run(&guest, &host, &assign, BandwidthMode::Fixed(1));
+        check_against_reference(&guest, &out);
+        assert!(
+            out.stats.slowdown <= 3.0,
+            "slowdown {} too high for unit-delay host",
+            out.stats.slowdown
+        );
+    }
+
+    #[test]
+    fn all_programs_validate_on_multiproc_hosts() {
+        for pk in [
+            ProgramKind::StencilSum,
+            ProgramKind::RuleAutomaton { db_size: 8 },
+            ProgramKind::KvWorkload,
+            ProgramKind::Relaxation,
+        ] {
+            let guest = GuestSpec::line(12, pk, 5, 10);
+            let host = linear_array(4, DelayModel::uniform(1, 6), 9);
+            let assign = Assignment::blocked(4, 12);
+            let out = run(&guest, &host, &assign, BandwidthMode::LogN);
+            check_against_reference(&guest, &out);
+        }
+    }
+
+    #[test]
+    fn ring_guest_validates() {
+        let guest = GuestSpec::ring(10, ProgramKind::KvWorkload, 2, 8);
+        let host = linear_array(5, DelayModel::constant(2), 0);
+        // fold the ring: slot j = {j, 9-j}
+        let fold = overlap_model::ring_fold(10);
+        let cells_of = fold.slots.clone();
+        let assign = Assignment::from_cells_of(5, 10, cells_of);
+        let out = run(&guest, &host, &assign, BandwidthMode::LogN);
+        check_against_reference(&guest, &out);
+    }
+
+    #[test]
+    fn mesh_guest_validates() {
+        let guest = GuestSpec::mesh(6, 4, ProgramKind::RuleAutomaton { db_size: 4 }, 8, 6);
+        let host = linear_array(3, DelayModel::constant(3), 0);
+        // two mesh columns (strips) per host processor
+        let strips = overlap_model::mesh_columns(6, 4);
+        let mut cells_of = vec![Vec::new(); 3];
+        for (x, cells) in strips.slots.iter().enumerate() {
+            cells_of[x / 2].extend_from_slice(cells);
+        }
+        let assign = Assignment::from_cells_of(3, 24, cells_of);
+        let out = run(&guest, &host, &assign, BandwidthMode::LogN);
+        check_against_reference(&guest, &out);
+    }
+
+    #[test]
+    fn redundant_copies_all_validate() {
+        // Overlapping assignment: middle cells held twice.
+        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 11, 12);
+        let host = linear_array(2, DelayModel::constant(10), 0);
+        let assign =
+            Assignment::from_cells_of(2, 8, vec![vec![0, 1, 2, 3, 4], vec![3, 4, 5, 6, 7]]);
+        let out = run(&guest, &host, &assign, BandwidthMode::LogN);
+        assert_eq!(out.copies.len(), 10);
+        check_against_reference(&guest, &out);
+    }
+
+    #[test]
+    fn redundancy_hides_latency_on_high_delay_link() {
+        // Two processors joined by a delay-64 link, 8-column guest.
+        // Blocked (no redundancy): every step each side waits ~64 ticks for
+        // the boundary column. With a 2-column overlap the engine can run
+        // ahead; slowdown must drop substantially.
+        let guest = GuestSpec::line(8, ProgramKind::Relaxation, 4, 64);
+        let host = linear_array(2, DelayModel::constant(64), 0);
+        let blocked = Assignment::blocked(2, 8);
+        let overlapped = Assignment::from_cells_of(
+            2,
+            8,
+            vec![vec![0, 1, 2, 3, 4, 5], vec![2, 3, 4, 5, 6, 7]],
+        );
+        let out_b = run(&guest, &host, &blocked, BandwidthMode::LogN);
+        let out_o = run(&guest, &host, &overlapped, BandwidthMode::LogN);
+        check_against_reference(&guest, &out_b);
+        check_against_reference(&guest, &out_o);
+        assert!(
+            out_o.stats.slowdown < 0.55 * out_b.stats.slowdown,
+            "overlap {} vs blocked {}",
+            out_o.stats.slowdown,
+            out_b.stats.slowdown
+        );
+    }
+
+    #[test]
+    fn incomplete_assignment_is_rejected() {
+        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 2);
+        let host = linear_array(2, DelayModel::constant(1), 0);
+        let assign = Assignment::from_cells_of(2, 4, vec![vec![0, 1], vec![3]]);
+        let err = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap_err();
+        assert_eq!(err, RunError::IncompleteAssignment(vec![2]));
+    }
+
+    #[test]
+    fn makespan_reflects_link_delay_for_blocked_assignment() {
+        // Two procs, delay-d link, one column each, T steps: each step of
+        // column 1 needs column 0's previous pebble and vice versa; the
+        // critical path pays d per step: makespan ≥ T·d (roughly).
+        let d = 32;
+        let t = 8;
+        let guest = GuestSpec::line(2, ProgramKind::StencilSum, 0, t);
+        let host = linear_array(2, DelayModel::constant(d), 0);
+        let assign = Assignment::blocked(2, 2);
+        let out = run(&guest, &host, &assign, BandwidthMode::LogN);
+        assert!(
+            out.stats.makespan >= (t as u64 - 1) * d,
+            "makespan {} < {}",
+            out.stats.makespan,
+            (t as u64 - 1) * d
+        );
+        check_against_reference(&guest, &out);
+    }
+
+    #[test]
+    fn bandwidth_one_serializes_messages() {
+        // One source column feeding a consumer over a single link; with
+        // bw=1 the T pebbles serialize: arrival of pebble T at ≥ T ticks
+        // after the first. We detect it through a larger makespan vs LogN.
+        let guest = GuestSpec::line(6, ProgramKind::StencilSum, 3, 40);
+        let host = linear_array(2, DelayModel::constant(2), 0);
+        let assign = Assignment::blocked(2, 6);
+        let fast = run(&guest, &host, &assign, BandwidthMode::Fixed(8));
+        let slow = run(&guest, &host, &assign, BandwidthMode::Fixed(1));
+        assert!(slow.stats.makespan >= fast.stats.makespan);
+        check_against_reference(&guest, &slow);
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let guest = GuestSpec::line(16, ProgramKind::KvWorkload, 7, 20);
+        let host = linear_array(4, DelayModel::uniform(1, 20), 3);
+        let assign = Assignment::from_cells_of(
+            4,
+            16,
+            vec![
+                vec![0, 1, 2, 3, 4, 5],
+                vec![4, 5, 6, 7, 8],
+                vec![8, 9, 10, 11, 12],
+                vec![12, 13, 14, 15],
+            ],
+        );
+        let a = run(&guest, &host, &assign, BandwidthMode::LogN);
+        let b = run(&guest, &host, &assign, BandwidthMode::LogN);
+        assert_eq!(a.stats.makespan, b.stats.makespan);
+        assert_eq!(a.copies, b.copies);
+    }
+
+    #[test]
+    fn zero_steps_guest_completes_instantly() {
+        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 0);
+        let host = linear_array(2, DelayModel::constant(5), 0);
+        let assign = Assignment::blocked(2, 4);
+        let out = run(&guest, &host, &assign, BandwidthMode::LogN);
+        assert_eq!(out.stats.makespan, 0);
+        assert_eq!(out.stats.total_compute, 0);
+    }
+
+    #[test]
+    fn timing_trace_records_every_pebble_in_order() {
+        let guest = GuestSpec::line(6, ProgramKind::Relaxation, 2, 8);
+        let host = linear_array(3, DelayModel::constant(4), 0);
+        let assign = Assignment::blocked(3, 6);
+        let cfg = EngineConfig {
+            record_timing: true,
+            ..Default::default()
+        };
+        let out = Engine::new(&guest, &host, &assign, cfg).run().unwrap();
+        let timing = out.timing.as_ref().expect("timing recorded");
+        assert_eq!(timing.ticks.len(), out.copies.len());
+        for ticks in &timing.ticks {
+            assert_eq!(ticks.len(), 8);
+            // steps complete in increasing tick order per copy
+            for w in ticks.windows(2) {
+                assert!(w[0] < w[1], "{ticks:?}");
+            }
+        }
+        // Row completion is monotone and row T matches the makespan.
+        let mut last = 0;
+        for t in 1..=8 {
+            let rc = timing.row_completion(t);
+            assert!(rc >= last);
+            last = rc;
+        }
+        assert_eq!(timing.row_completion(8), out.stats.makespan);
+        // Utilization is within (0, 1] for active processors.
+        let util = timing.utilization(&out.copies, 3, out.stats.makespan);
+        assert!(util.iter().all(|&u| u > 0.0 && u <= 1.0), "{util:?}");
+    }
+
+    #[test]
+    fn timing_is_absent_by_default() {
+        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 3);
+        let host = linear_array(2, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(2, 4);
+        let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        assert!(out.timing.is_none());
+    }
+
+    #[test]
+    fn batch_transit_is_observable_end_to_end() {
+        // One producer column feeding one consumer over a single delay-d
+        // link with bw = 2: pebble t arrives at its compute tick + d +
+        // queueing; the consumer's column completes by ≈ T + d + T/bw.
+        let d = 20u64;
+        let t_steps = 10u32;
+        let guest = GuestSpec::line(2, ProgramKind::StencilSum, 1, t_steps);
+        let host = linear_array(2, DelayModel::constant(d), 0);
+        let assign = Assignment::blocked(2, 2);
+        let cfg = EngineConfig {
+            bandwidth: BandwidthMode::Fixed(2),
+            record_timing: true,
+            ..Default::default()
+        };
+        let out = Engine::new(&guest, &host, &assign, cfg).run().unwrap();
+        // Each step of the pair costs ≥ d (the dependency cycle), so the
+        // makespan is ≥ (T−1)·d; and it must terminate within (T+1)·(d+2).
+        assert!(out.stats.makespan >= (t_steps as u64 - 1) * d);
+        assert!(out.stats.makespan <= (t_steps as u64 + 1) * (d + 2));
+    }
+
+    #[test]
+    fn heterogeneous_speeds_slow_the_run_proportionally_and_validate() {
+        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 3, 12);
+        let host = linear_array(4, DelayModel::constant(2), 0);
+        let assign = Assignment::blocked(4, 8);
+        let base = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        let slowed = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .with_compute_costs(vec![1, 4, 1, 1])
+            .run()
+            .unwrap();
+        check_against_reference(&guest, &slowed);
+        // The slow processor throttles the run: makespan grows but is
+        // bounded by the 4× cost on 2 cells per step plus propagation.
+        assert!(slowed.stats.makespan > base.stats.makespan);
+        assert!(slowed.stats.makespan <= 4 * base.stats.makespan + 16);
+    }
+
+    #[test]
+    fn uniform_costs_equal_default() {
+        let guest = GuestSpec::line(6, ProgramKind::Relaxation, 3, 10);
+        let host = linear_array(3, DelayModel::uniform(1, 5), 1);
+        let assign = Assignment::blocked(3, 6);
+        let a = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        let b = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .with_compute_costs(vec![1; 3])
+            .run()
+            .unwrap();
+        assert_eq!(a.stats.makespan, b.stats.makespan);
+        assert_eq!(a.copies, b.copies);
+    }
+
+    #[test]
+    #[should_panic(expected = "costs must be ≥ 1")]
+    fn zero_cost_is_rejected() {
+        let guest = GuestSpec::line(2, ProgramKind::StencilSum, 0, 1);
+        let host = linear_array(2, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(2, 2);
+        let _ = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .with_compute_costs(vec![1, 0]);
+    }
+
+    #[test]
+    fn multicast_mode_validates_and_reduces_traffic() {
+        // A column consumed by several processors: overlapping assignment
+        // where cell 4 feeds three consumers.
+        let guest = GuestSpec::line(10, ProgramKind::KvWorkload, 7, 14);
+        let host = linear_array(5, DelayModel::constant(3), 0);
+        let assign = Assignment::from_cells_of(
+            5,
+            10,
+            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![8, 9]],
+        );
+        let uni = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        let mc_cfg = EngineConfig {
+            multicast: true,
+            ..Default::default()
+        };
+        let mc = Engine::new(&guest, &host, &assign, mc_cfg).run().unwrap();
+        check_against_reference(&guest, &mc);
+        // Same computed state.
+        let mut a = uni.copies.clone();
+        let mut b = mc.copies.clone();
+        a.sort_by_key(|c| (c.cell, c.proc));
+        b.sort_by_key(|c| (c.cell, c.proc));
+        assert_eq!(a, b);
+        // Never more link traversals than unicast.
+        assert!(
+            mc.stats.pebble_hops <= uni.stats.pebble_hops,
+            "multicast hops {} > unicast {}",
+            mc.stats.pebble_hops,
+            uni.stats.pebble_hops
+        );
+    }
+
+    #[test]
+    fn multicast_shares_links_under_fanout() {
+        // Source at one end, consumers spread along the line: unicast
+        // retraverses the first link per consumer, multicast once.
+        let guest = GuestSpec::line(5, ProgramKind::StencilSum, 1, 10);
+        let host = linear_array(5, DelayModel::constant(2), 0);
+        // cell 0 on proc 0; cells 1..5 each on their own proc, all of
+        // which need cell 0? Only proc 1 needs cell 0 (line deps).
+        // Instead: proc 0 holds cells 0..=2 so consumers 1,2 both need it.
+        let assign = Assignment::from_cells_of(
+            5,
+            5,
+            vec![vec![0, 1, 2], vec![1, 3], vec![2, 4], vec![3], vec![4]],
+        );
+        let uni = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        let mc = Engine::new(
+            &guest,
+            &host,
+            &assign,
+            EngineConfig {
+                multicast: true,
+                ..Default::default()
+            },
+        )
+        .run()
+        .unwrap();
+        check_against_reference(&guest, &uni);
+        check_against_reference(&guest, &mc);
+        assert!(mc.stats.pebble_hops <= uni.stats.pebble_hops);
+    }
+
+    #[test]
+    fn jitter_none_is_identity_and_effective_is_bounded() {
+        assert_eq!(Jitter::None.effective(10, 0, 5), 10);
+        let j = Jitter::Periodic {
+            amplitude_pct: 50,
+            period: 8,
+        };
+        for lid in 0..4 {
+            for t in 0..64 {
+                let e = j.effective(10, lid, t);
+                assert!((5..=15).contains(&e), "lid={lid} t={t}: {e}");
+            }
+        }
+        // amplitude 100 never drops below 1
+        let j = Jitter::Periodic {
+            amplitude_pct: 100,
+            period: 2,
+        };
+        for t in 0..32 {
+            assert!(j.effective(3, 1, t) >= 1);
+        }
+    }
+
+    #[test]
+    fn jittered_runs_validate_and_stay_near_the_baseline() {
+        let guest = GuestSpec::line(16, ProgramKind::KvWorkload, 9, 24);
+        let host = linear_array(4, DelayModel::constant(16), 0);
+        let assign = Assignment::blocked(4, 16);
+        let base = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        let cfg = EngineConfig {
+            jitter: Jitter::Periodic {
+                amplitude_pct: 50,
+                period: 16,
+            },
+            ..Default::default()
+        };
+        let jit = Engine::new(&guest, &host, &assign, cfg).run().unwrap();
+        check_against_reference(&guest, &jit);
+        // ±50% delay fluctuation keeps the makespan within ±60% of base.
+        let (b, j) = (base.stats.makespan as f64, jit.stats.makespan as f64);
+        assert!((j - b).abs() <= 0.6 * b, "base {b} vs jittered {j}");
+        // determinism under jitter
+        let again = Engine::new(&guest, &host, &assign, cfg).run().unwrap();
+        assert_eq!(jit.stats.makespan, again.stats.makespan);
+    }
+
+    #[test]
+    fn single_cell_guest_runs() {
+        // One cell, boundary deps only: pure sequential work.
+        let guest = GuestSpec::line(1, ProgramKind::KvWorkload, 3, 16);
+        let host = linear_array(2, DelayModel::constant(9), 0);
+        let assign = Assignment::from_cells_of(2, 1, vec![vec![0], vec![]]);
+        let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        assert_eq!(out.stats.makespan, 16);
+        assert_eq!(out.stats.messages, 0);
+        check_against_reference(&guest, &out);
+    }
+
+    #[test]
+    fn single_host_processor_with_ring_guest() {
+        let guest = GuestSpec::ring(6, ProgramKind::Relaxation, 5, 8);
+        let host = linear_array(1, DelayModel::constant(1), 0);
+        let assign = Assignment::all_on_one(1, 6);
+        let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        assert_eq!(out.stats.makespan, 48);
+        check_against_reference(&guest, &out);
+    }
+
+    #[test]
+    fn duplicate_full_copies_still_agree() {
+        // Every processor holds the whole guest: maximal redundancy, no
+        // communication at all.
+        let guest = GuestSpec::line(5, ProgramKind::KvWorkload, 2, 7);
+        let host = linear_array(3, DelayModel::constant(1000), 0);
+        let assign = Assignment::from_cells_of(
+            3,
+            5,
+            vec![(0..5).collect(), (0..5).collect(), (0..5).collect()],
+        );
+        let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        assert_eq!(out.stats.messages, 0, "full copies need no messages");
+        assert_eq!(out.stats.makespan, 35);
+        check_against_reference(&guest, &out);
+    }
+
+    #[test]
+    fn tick_limit_triggers() {
+        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 100);
+        let host = linear_array(2, DelayModel::constant(50), 0);
+        let assign = Assignment::blocked(2, 4);
+        let cfg = EngineConfig {
+            bandwidth: BandwidthMode::LogN,
+            max_ticks: 10,
+            ..Default::default()
+        };
+        let err = Engine::new(&guest, &host, &assign, cfg).run().unwrap_err();
+        assert!(matches!(err, RunError::TickLimit(10)));
+    }
+}

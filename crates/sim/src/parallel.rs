@@ -1,0 +1,87 @@
+//! Parallel reference execution (rayon).
+//!
+//! The unit-delay reference executor is embarrassingly parallel within a
+//! step: every cell's pebble depends only on the previous step. This module
+//! provides a rayon-parallel executor that is bit-identical to
+//! [`overlap_model::ReferenceRun`] (checked by tests) and is used for large
+//! ground-truth traces in the experiment harness.
+
+use overlap_model::{
+    fold64, Db, Dep, DbUpdate, GuestSpec, PebbleGrid, PebbleId, PebbleValue, ReferenceTrace,
+};
+use rayon::prelude::*;
+
+/// Execute `spec` with one rayon task per cell per step.
+pub fn par_reference(spec: &GuestSpec) -> ReferenceTrace {
+    let program = spec.program.instantiate();
+    let cells = spec.num_cells();
+    let steps = spec.steps;
+    let boundary = spec.boundary();
+    let kind = program.db_kind();
+
+    let mut dbs: Vec<Db> = (0..cells).map(|c| kind.instantiate(c, spec.seed)).collect();
+    let mut update_log_digest = vec![0xD16u64; cells as usize];
+    let mut grid = PebbleGrid::new(cells, steps);
+    let mut prev: Vec<PebbleValue> = (0..cells).map(|c| spec.initial_value(c)).collect();
+
+    for t in 1..=steps {
+        let results: Vec<(PebbleValue, DbUpdate)> = (0..cells)
+            .into_par_iter()
+            .map(|c| {
+                let mut deps_buf = Vec::with_capacity(spec.topology.max_deps());
+                for d in spec.topology.deps(c).iter() {
+                    deps_buf.push(match d {
+                        Dep::Cell(cc) => prev[cc as usize],
+                        Dep::Boundary { side, offset } => boundary.value(side, offset, t),
+                    });
+                }
+                program.compute(c, t, &dbs[c as usize], &deps_buf)
+            })
+            .collect();
+        dbs.par_iter_mut()
+            .zip(results.par_iter())
+            .for_each(|(db, (_, u))| db.apply(u));
+        for (c, (v, u)) in results.iter().enumerate() {
+            update_log_digest[c] = fold64(update_log_digest[c], u.digest());
+            prev[c] = *v;
+            grid.set(PebbleId::new(c as u32, t), *v);
+        }
+    }
+
+    ReferenceTrace {
+        spec: spec.clone(),
+        grid,
+        final_db_digest: dbs.iter().map(|d| d.digest()).collect(),
+        update_log_digest,
+        work: cells as u64 * steps as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap_model::{ProgramKind, ReferenceRun};
+
+    #[test]
+    fn parallel_matches_sequential_line() {
+        let spec = GuestSpec::line(64, ProgramKind::KvWorkload, 3, 32);
+        let seq = ReferenceRun::execute(&spec);
+        let par = par_reference(&spec);
+        assert_eq!(seq.grid, par.grid);
+        assert_eq!(seq.final_db_digest, par.final_db_digest);
+        assert_eq!(seq.update_log_digest, par.update_log_digest);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_mesh_and_ring() {
+        for spec in [
+            GuestSpec::mesh(8, 8, ProgramKind::RuleAutomaton { db_size: 8 }, 5, 10),
+            GuestSpec::ring(33, ProgramKind::Relaxation, 7, 20),
+        ] {
+            let seq = ReferenceRun::execute(&spec);
+            let par = par_reference(&spec);
+            assert_eq!(seq.grid, par.grid);
+            assert_eq!(seq.final_db_digest, par.final_db_digest);
+        }
+    }
+}

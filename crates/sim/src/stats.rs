@@ -1,0 +1,107 @@
+//! Aggregate statistics of a simulation run.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured quantities of one host simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Number of guest cells (databases).
+    pub guest_cells: u32,
+    /// Guest steps simulated (`t` in the paper).
+    pub guest_steps: u32,
+    /// Host processors.
+    pub host_procs: u32,
+    /// Tick at which the last pebble was computed.
+    pub makespan: u64,
+    /// `makespan / guest_steps` — the paper's slowdown.
+    pub slowdown: f64,
+    /// Pebbles computed across all processors (counts redundancy).
+    pub total_compute: u64,
+    /// Pebbles the guest itself computes (`cells × steps`).
+    pub guest_work: u64,
+    /// Average database copies per cell.
+    pub redundancy: f64,
+    /// Maximum databases on one processor (§2's load).
+    pub load: usize,
+    /// Processors holding at least one database.
+    pub active_procs: usize,
+    /// Column pebbles sent over subscriptions.
+    pub messages: u64,
+    /// Total link traversals by pebbles.
+    pub pebble_hops: u64,
+    /// Number of (consumer, column) subscriptions.
+    pub subscriptions: usize,
+    /// Link bandwidth used (pebbles/tick).
+    pub bandwidth_per_link: u32,
+    /// Pebble injections on the busiest directed link (0 when no traffic).
+    pub busiest_link_pebbles: u64,
+    /// Mean pebble injections per directed link that carried any traffic.
+    pub mean_link_pebbles: f64,
+}
+
+impl RunStats {
+    /// Work efficiency: guest work per host processor-tick consumed.
+    /// `efficiency = guest_work / (host_procs × makespan)`; a
+    /// *work-preserving* simulation keeps this Ω(1/polylog).
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan == 0 || self.host_procs == 0 {
+            return 0.0;
+        }
+        self.guest_work as f64 / (self.host_procs as f64 * self.makespan as f64)
+    }
+
+    /// Redundant-work overhead: host compute / guest work.
+    pub fn work_overhead(&self) -> f64 {
+        if self.guest_work == 0 {
+            return 0.0;
+        }
+        self.total_compute as f64 / self.guest_work as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RunStats {
+        RunStats {
+            guest_cells: 8,
+            guest_steps: 10,
+            host_procs: 4,
+            makespan: 40,
+            slowdown: 4.0,
+            total_compute: 120,
+            guest_work: 80,
+            redundancy: 1.5,
+            load: 3,
+            active_procs: 4,
+            messages: 60,
+            pebble_hops: 70,
+            subscriptions: 6,
+            bandwidth_per_link: 2,
+            busiest_link_pebbles: 30,
+            mean_link_pebbles: 10.0,
+        }
+    }
+
+    #[test]
+    fn efficiency_formula() {
+        let s = stats();
+        assert!((s.efficiency() - 80.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_overhead_formula() {
+        let s = stats();
+        assert!((s.work_overhead() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero() {
+        let mut s = stats();
+        s.makespan = 0;
+        assert_eq!(s.efficiency(), 0.0);
+        s.guest_work = 0;
+        assert_eq!(s.work_overhead(), 0.0);
+    }
+}

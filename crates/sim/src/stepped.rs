@@ -1,0 +1,559 @@
+//! A parallel time-stepped engine, for differential testing against the
+//! event-driven [`crate::engine`].
+//!
+//! The simulation advances in global ticks. Each tick has three phases:
+//!
+//! 1. **deliver** — pebbles arriving now are written into the destination
+//!    processors' dependency buffers (parallel over destinations);
+//! 2. **compute** — every processor with a ready pebble computes exactly
+//!    one (parallel over processors with rayon; each touches only its own
+//!    state and emits an outbox);
+//! 3. **send** — outboxes are injected into links in processor-id order
+//!    (deterministic bandwidth arbitration), scheduling future arrivals.
+//!
+//! Empty stretches are skipped by jumping to the next calendar event.
+//!
+//! Both engines execute *legal schedules* of the same model, so they must
+//! agree **exactly** on every computed value, database state and update
+//! log (checked by [`crate::validate`] and differential tests); their
+//! makespans may differ slightly because tie-breaking differs, but both
+//! respect the same lower bounds. Agreement of the two independent
+//! implementations on all state is the workspace's strongest defence
+//! against engine bugs.
+
+use crate::assignment::Assignment;
+use crate::engine::{CopyRecord, EngineConfig, RunError, RunOutcome};
+use crate::routing::RoutingTable;
+use crate::stats::RunStats;
+use overlap_model::{fold64, Db, Dep, GuestSpec, PebbleValue, ProgramRef};
+use overlap_net::{Delay, HostGraph, NodeId};
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// One scheduled arrival.
+#[derive(Debug, Clone, Copy)]
+struct Delivery {
+    sub: u32,
+    hop: u16,
+    step: u32,
+    value: PebbleValue,
+}
+
+/// Per-processor state (the stepped twin of the event engine's).
+struct Proc {
+    cells: Vec<u32>,
+    next_step: Vec<u32>,
+    history: Vec<Vec<PebbleValue>>,
+    dbs: Vec<Db>,
+    value_fold: Vec<u64>,
+    update_fold: Vec<u64>,
+    finished_at: Vec<u64>,
+    dep_values: Vec<Vec<PebbleValue>>,
+    dep_have: Vec<Vec<bool>>,
+    dep_watermark: Vec<u32>,
+    own_pos: HashMap<u32, u32>,
+    dep_pos: HashMap<u32, u32>,
+    own_dependents: Vec<Vec<u32>>,
+    dep_dependents: Vec<Vec<u32>>,
+    ready: BinaryHeap<Reverse<(u32, u32)>>,
+    queued: Vec<bool>,
+    /// Pebbles sent this tick: (cell, step, value).
+    outbox: Vec<(u32, u32, PebbleValue)>,
+}
+
+impl Proc {
+    fn is_ready(&self, i: usize, steps: u32, topo: &overlap_model::GuestTopology) -> bool {
+        let s = self.next_step[i];
+        if s > steps {
+            return false;
+        }
+        let c = self.cells[i];
+        for d in topo.deps(c).iter() {
+            match d {
+                Dep::Boundary { .. } => {}
+                Dep::Cell(c2) => {
+                    if c2 == c {
+                        continue;
+                    }
+                    if let Some(&j) = self.own_pos.get(&c2) {
+                        if self.next_step[j as usize] < s {
+                            return false;
+                        }
+                    } else {
+                        let k = self.dep_pos[&c2] as usize;
+                        if self.dep_watermark[k] < s - 1 {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn requeue(&mut self, i: usize, steps: u32, topo: &overlap_model::GuestTopology) {
+        if !self.queued[i] && self.is_ready(i, steps, topo) {
+            self.ready.push(Reverse((self.next_step[i], i as u32)));
+            self.queued[i] = true;
+        }
+    }
+}
+
+/// Directed-link injection slot (same arbitration as the event engine).
+#[derive(Clone, Copy, Default)]
+struct LinkSlot {
+    tick: u64,
+    count: u32,
+}
+
+fn inject(slot: &mut LinkSlot, now: u64, bw: u64) -> u64 {
+    if slot.tick < now {
+        slot.tick = now;
+        slot.count = 0;
+    }
+    if (slot.count as u64) < bw {
+        slot.count += 1;
+    } else {
+        slot.tick += 1;
+        slot.count = 1;
+    }
+    slot.tick
+}
+
+/// Run the time-stepped engine. Accepts the same inputs as
+/// [`crate::engine::Engine`] and produces the same outcome shape.
+pub fn run_stepped(
+    guest: &GuestSpec,
+    host: &HostGraph,
+    assign: &Assignment,
+    config: EngineConfig,
+) -> Result<RunOutcome, RunError> {
+    assert!(
+        !config.multicast && config.jitter == crate::engine::Jitter::None,
+        "the stepped engine implements the default configuration \
+         (unicast, fixed delays); use the event engine for multicast/jitter"
+    );
+    let uncovered = assign.uncovered_cells();
+    if !uncovered.is_empty() {
+        return Err(RunError::IncompleteAssignment(uncovered));
+    }
+    let routing = RoutingTable::build(host, &guest.topology, assign);
+    let n = host.num_nodes();
+    let steps = guest.steps;
+    let topo = guest.topology;
+    let program: ProgramRef = guest.program.instantiate();
+    let boundary = guest.boundary();
+    let bw = config.bandwidth.per_tick(n) as u64;
+
+    // ---- processor states ----
+    let mut procs: Vec<Proc> = (0..n)
+        .map(|p| {
+            let cells = assign.cells_of(p).to_vec();
+            let own_pos: HashMap<u32, u32> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u32))
+                .collect();
+            let dep_cells: Vec<u32> = routing.inbound[p as usize]
+                .iter()
+                .map(|&(c, _)| c)
+                .collect();
+            let dep_pos: HashMap<u32, u32> = dep_cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u32))
+                .collect();
+            let mut own_dependents = vec![Vec::new(); cells.len()];
+            let mut dep_dependents = vec![Vec::new(); dep_cells.len()];
+            for (i, &c) in cells.iter().enumerate() {
+                for d in topo.deps(c).iter() {
+                    if let Dep::Cell(c2) = d {
+                        if c2 == c {
+                            continue;
+                        }
+                        if let Some(&j) = own_pos.get(&c2) {
+                            own_dependents[j as usize].push(i as u32);
+                        } else if let Some(&k) = dep_pos.get(&c2) {
+                            dep_dependents[k as usize].push(i as u32);
+                        }
+                    }
+                }
+            }
+            let kind = program.db_kind();
+            Proc {
+                next_step: vec![1; cells.len()],
+                history: cells
+                    .iter()
+                    .map(|&c| {
+                        let mut h = vec![0; steps as usize + 1];
+                        h[0] = guest.initial_value(c);
+                        h
+                    })
+                    .collect(),
+                dbs: cells
+                    .iter()
+                    .map(|&c| kind.instantiate(c, guest.seed))
+                    .collect(),
+                value_fold: vec![0xF01Du64; cells.len()],
+                update_fold: vec![0xD16u64; cells.len()],
+                finished_at: vec![0; cells.len()],
+                dep_values: dep_cells
+                    .iter()
+                    .map(|&c| {
+                        let mut v = vec![0; steps as usize + 1];
+                        v[0] = guest.initial_value(c);
+                        v
+                    })
+                    .collect(),
+                dep_have: dep_cells
+                    .iter()
+                    .map(|_| {
+                        let mut h = vec![false; steps as usize + 1];
+                        h[0] = true;
+                        h
+                    })
+                    .collect(),
+                dep_watermark: vec![0; dep_cells.len()],
+                own_dependents,
+                dep_dependents,
+                ready: BinaryHeap::new(),
+                queued: vec![false; cells.len()],
+                outbox: Vec::new(),
+                cells,
+                own_pos,
+                dep_pos,
+            }
+        })
+        .collect();
+
+    // ---- links ----
+    let mut link_ids: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+    let mut link_delay: Vec<Delay> = Vec::new();
+    for l in host.links() {
+        for (u, v) in [(l.a, l.b), (l.b, l.a)] {
+            link_ids.insert((u, v), link_delay.len() as u32);
+            link_delay.push(l.delay);
+        }
+    }
+    let mut link_slots: Vec<LinkSlot> = vec![LinkSlot::default(); link_delay.len()];
+
+    // ---- seed ready queues ----
+    for p in procs.iter_mut() {
+        for i in 0..p.cells.len() {
+            p.requeue(i, steps, &topo);
+        }
+    }
+
+    let mut remaining: u64 = procs
+        .iter()
+        .map(|p| p.cells.len() as u64 * steps as u64)
+        .sum();
+    let total_compute = remaining;
+    let mut calendar: BTreeMap<u64, Vec<Delivery>> = BTreeMap::new();
+    let mut makespan = 0u64;
+    let mut messages = 0u64;
+    let mut pebble_hops = 0u64;
+    let mut tick: u64 = 0;
+
+    while remaining > 0 {
+        if tick > config.max_ticks {
+            return Err(RunError::TickLimit(config.max_ticks));
+        }
+        // ---- phase 1: deliveries scheduled for this tick ----
+        if let Some(deliveries) = calendar.remove(&tick) {
+            // Forward non-final hops sequentially (link arbitration),
+            // collect final-hop deliveries grouped by destination.
+            let mut finals: HashMap<u32, Vec<Delivery>> = HashMap::new();
+            for d in deliveries {
+                let sub = &routing.subs[d.sub as usize];
+                let at = d.hop as usize;
+                if at + 1 < sub.path.len() {
+                    let lid = link_ids[&(sub.path[at], sub.path[at + 1])];
+                    let depart = inject(&mut link_slots[lid as usize], tick, bw);
+                    calendar
+                        .entry(depart + link_delay[lid as usize])
+                        .or_default()
+                        .push(Delivery {
+                            hop: d.hop + 1,
+                            ..d
+                        });
+                } else {
+                    finals.entry(sub.dest).or_default().push(d);
+                }
+            }
+            // Apply final deliveries in parallel over destinations.
+            let mut by_dest: Vec<(u32, Vec<Delivery>)> = finals.into_iter().collect();
+            by_dest.sort_unstable_by_key(|e| e.0);
+            // Split-borrow procs via raw indexing: each destination is
+            // unique, so parallel mutation is safe through par chunks.
+            procs.par_iter_mut().enumerate().for_each(|(pid, proc_)| {
+                if let Ok(ix) = by_dest.binary_search_by_key(&(pid as u32), |e| e.0) {
+                    for d in &by_dest[ix].1 {
+                        let cell = routing.subs[d.sub as usize].cell;
+                        let k = proc_.dep_pos[&cell] as usize;
+                        proc_.dep_values[k][d.step as usize] = d.value;
+                        proc_.dep_have[k][d.step as usize] = true;
+                        while (proc_.dep_watermark[k] as usize) < steps as usize
+                            && proc_.dep_have[k][proc_.dep_watermark[k] as usize + 1]
+                        {
+                            proc_.dep_watermark[k] += 1;
+                        }
+                        let dependents = proc_.dep_dependents[k].clone();
+                        for j in dependents {
+                            proc_.requeue(j as usize, steps, &topo);
+                        }
+                    }
+                }
+            });
+        }
+
+        // ---- phase 2: parallel compute (≤ 1 pebble per processor) ----
+        let computed: u64 = procs
+            .par_iter_mut()
+            .map(|proc_| {
+                let Some(Reverse((_s, i))) = proc_.ready.pop() else {
+                    return 0u64;
+                };
+                let i = i as usize;
+                let cell = proc_.cells[i];
+                let s = proc_.next_step[i];
+                let mut deps_buf = Vec::with_capacity(topo.max_deps());
+                for d in topo.deps(cell).iter() {
+                    deps_buf.push(match d {
+                        Dep::Boundary { side, offset } => boundary.value(side, offset, s),
+                        Dep::Cell(c2) => {
+                            if let Some(&j) = proc_.own_pos.get(&c2) {
+                                proc_.history[j as usize][s as usize - 1]
+                            } else {
+                                let k = proc_.dep_pos[&c2] as usize;
+                                proc_.dep_values[k][s as usize - 1]
+                            }
+                        }
+                    });
+                }
+                let (v, u) = program.compute(cell, s, &proc_.dbs[i], &deps_buf);
+                proc_.dbs[i].apply(&u);
+                proc_.history[i][s as usize] = v;
+                proc_.value_fold[i] = fold64(proc_.value_fold[i], v);
+                proc_.update_fold[i] = fold64(proc_.update_fold[i], u.digest());
+                proc_.next_step[i] = s + 1;
+                proc_.queued[i] = false;
+                if s == steps {
+                    proc_.finished_at[i] = tick + 1;
+                }
+                proc_.outbox.push((cell, s, v));
+                // Unblock self and local dependents.
+                proc_.requeue(i, steps, &topo);
+                let deps = proc_.own_dependents[i].clone();
+                for j in deps {
+                    proc_.requeue(j as usize, steps, &topo);
+                }
+                1
+            })
+            .sum();
+        if computed > 0 {
+            remaining -= computed;
+            makespan = tick + 1;
+        }
+
+        // ---- phase 3: deterministic sends ----
+        for p in 0..n as usize {
+            if procs[p].outbox.is_empty() {
+                continue;
+            }
+            let outbox = std::mem::take(&mut procs[p].outbox);
+            for (cell, step, value) in outbox {
+                for &sid in &routing.outbound[p] {
+                    let sub = &routing.subs[sid as usize];
+                    if sub.cell != cell {
+                        continue;
+                    }
+                    messages += 1;
+                    pebble_hops += sub.path.len() as u64 - 1;
+                    let lid = link_ids[&(sub.path[0], sub.path[1])];
+                    let depart = inject(&mut link_slots[lid as usize], tick + 1, bw);
+                    calendar
+                        .entry(depart + link_delay[lid as usize])
+                        .or_default()
+                        .push(Delivery {
+                            sub: sid,
+                            hop: 1,
+                            step,
+                            value,
+                        });
+                }
+            }
+        }
+
+        // ---- advance, skipping dead time ----
+        let any_ready = procs.iter().any(|p| !p.ready.is_empty());
+        tick = if any_ready {
+            tick + 1
+        } else if let Some((&next, _)) = calendar.iter().next() {
+            next.max(tick + 1)
+        } else if remaining > 0 {
+            return Err(RunError::Deadlock {
+                tick,
+                remaining,
+            });
+        } else {
+            tick + 1
+        };
+    }
+
+    // ---- collect ----
+    let mut copies = Vec::with_capacity(assign.total_copies());
+    for (p, pr) in procs.iter().enumerate() {
+        for (i, &c) in pr.cells.iter().enumerate() {
+            copies.push(CopyRecord {
+                cell: c,
+                proc: p as NodeId,
+                value_fold: pr.value_fold[i],
+                db_digest: pr.dbs[i].digest(),
+                update_fold: pr.update_fold[i],
+                finished_at: pr.finished_at[i],
+            });
+        }
+    }
+    let stats = RunStats {
+        guest_cells: guest.num_cells(),
+        guest_steps: steps,
+        host_procs: n,
+        makespan,
+        slowdown: if steps == 0 {
+            0.0
+        } else {
+            makespan as f64 / steps as f64
+        },
+        total_compute,
+        guest_work: guest.total_work(),
+        redundancy: assign.redundancy(),
+        load: assign.load(),
+        active_procs: assign.active_procs(),
+        messages,
+        pebble_hops,
+        subscriptions: routing.num_subscriptions(),
+        bandwidth_per_link: bw as u32,
+        busiest_link_pebbles: 0,
+        mean_link_pebbles: 0.0,
+    };
+    Ok(RunOutcome {
+        stats,
+        copies,
+        timing: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
+    use overlap_net::topology::{linear_array, mesh2d};
+    use overlap_net::DelayModel;
+
+    fn differential(guest: &GuestSpec, host: &HostGraph, assign: &Assignment) {
+        let cfg = EngineConfig::default();
+        let ev = Engine::new(guest, host, assign, cfg).run().expect("event");
+        let st = run_stepped(guest, host, assign, cfg).expect("stepped");
+        // State must agree exactly (sorted copy records).
+        let mut a = ev.copies.clone();
+        let mut b = st.copies.clone();
+        a.sort_by_key(|c| (c.cell, c.proc));
+        b.sort_by_key(|c| (c.cell, c.proc));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.cell, x.proc), (y.cell, y.proc));
+            assert_eq!(x.value_fold, y.value_fold, "values {x:?} vs {y:?}");
+            assert_eq!(x.db_digest, y.db_digest);
+            assert_eq!(x.update_fold, y.update_fold);
+        }
+        // Both engines validate against the reference.
+        let trace = ReferenceRun::execute(guest);
+        assert!(crate::validate::validate_run(&trace, &ev).is_empty());
+        assert!(crate::validate::validate_run(&trace, &st).is_empty());
+        // Makespans agree within scheduling slack.
+        let (m1, m2) = (ev.stats.makespan as f64, st.stats.makespan as f64);
+        assert!(
+            (m1 - m2).abs() <= 0.25 * m1.max(m2) + 4.0,
+            "makespans diverge: event {m1} vs stepped {m2}"
+        );
+        assert_eq!(ev.stats.messages, st.stats.messages);
+        assert_eq!(ev.stats.total_compute, st.stats.total_compute);
+    }
+
+    #[test]
+    fn engines_agree_on_blocked_line() {
+        let guest = GuestSpec::line(16, ProgramKind::KvWorkload, 7, 12);
+        let host = linear_array(4, DelayModel::uniform(1, 9), 3);
+        differential(&guest, &host, &Assignment::blocked(4, 16));
+    }
+
+    #[test]
+    fn engines_agree_on_redundant_assignments() {
+        let guest = GuestSpec::line(12, ProgramKind::RuleAutomaton { db_size: 8 }, 5, 10);
+        let host = linear_array(3, DelayModel::constant(12), 0);
+        let assign = Assignment::from_cells_of(
+            3,
+            12,
+            vec![vec![0, 1, 2, 3, 4, 5], vec![4, 5, 6, 7, 8, 9], vec![8, 9, 10, 11]],
+        );
+        differential(&guest, &host, &assign);
+    }
+
+    #[test]
+    fn engines_agree_on_mesh_guest_and_mesh_host() {
+        let guest = GuestSpec::mesh(6, 4, ProgramKind::Relaxation, 2, 8);
+        let host = mesh2d(2, 3, DelayModel::uniform(1, 6), 4);
+        // strips over the 6 hosts
+        let strips = overlap_model::mesh_columns(6, 4);
+        let cells_of: Vec<Vec<u32>> = strips.slots.clone();
+        differential(
+            &guest,
+            &host,
+            &Assignment::from_cells_of(6, 24, cells_of),
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_ring_guests() {
+        let guest = GuestSpec::ring(14, ProgramKind::KvWorkload, 9, 9);
+        let host = linear_array(7, DelayModel::uniform(1, 20), 5);
+        let fold = overlap_model::ring_fold(14);
+        differential(
+            &guest,
+            &host,
+            &Assignment::from_cells_of(7, 14, fold.slots.clone()),
+        );
+    }
+
+    #[test]
+    fn stepped_engine_rejects_incomplete_assignment() {
+        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 2);
+        let host = linear_array(2, DelayModel::constant(1), 0);
+        let assign = Assignment::from_cells_of(2, 4, vec![vec![0, 1], vec![3]]);
+        let err = run_stepped(&guest, &host, &assign, EngineConfig::default()).unwrap_err();
+        assert_eq!(err, RunError::IncompleteAssignment(vec![2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "stepped engine implements the default")]
+    fn stepped_engine_rejects_multicast_config() {
+        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 2);
+        let host = linear_array(2, DelayModel::constant(1), 0);
+        let cfg = EngineConfig {
+            multicast: true,
+            ..Default::default()
+        };
+        let _ = run_stepped(&guest, &host, &Assignment::blocked(2, 4), cfg);
+    }
+
+    #[test]
+    fn stepped_engine_zero_steps() {
+        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 0);
+        let host = linear_array(2, DelayModel::constant(5), 0);
+        let out = run_stepped(&guest, &host, &Assignment::blocked(2, 4), EngineConfig::default())
+            .unwrap();
+        assert_eq!(out.stats.makespan, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Rayon-parallel parameter-sweep driver.
+//!
+//! Every experiment in the paper reproduction is a sweep over hosts,
+//! guests, and assignment strategies — hundreds of independent simulator
+//! runs. This driver fans them out across cores; each run is fully
+//! deterministic, so the parallel sweep's results are identical to a
+//! sequential one.
+
+use crate::assignment::Assignment;
+use crate::engine::{Engine, EngineConfig, RunError, RunOutcome};
+use crate::validate::{validate_run, ValidationError};
+use overlap_model::{GuestSpec, ReferenceTrace};
+use overlap_net::HostGraph;
+use rayon::prelude::*;
+
+/// A run plus its validation result.
+#[derive(Debug, Clone)]
+pub struct ValidatedRun {
+    /// The simulator outcome.
+    pub outcome: RunOutcome,
+    /// Validation mismatches (empty = fully validated).
+    pub errors: Vec<ValidationError>,
+}
+
+impl ValidatedRun {
+    /// True when the run reproduced the reference exactly.
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Run one simulation and validate it against a precomputed reference.
+pub fn run_and_validate(
+    guest: &GuestSpec,
+    host: &HostGraph,
+    assign: &Assignment,
+    config: EngineConfig,
+    trace: &ReferenceTrace,
+) -> Result<ValidatedRun, RunError> {
+    let outcome = Engine::new(guest, host, assign, config).run()?;
+    let errors = validate_run(trace, &outcome);
+    Ok(ValidatedRun { outcome, errors })
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Send + Sync,
+{
+    items.par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap_model::{ProgramKind, ReferenceRun};
+    use overlap_net::topology::linear_array;
+    use overlap_net::DelayModel;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..100).collect();
+        let ys = par_map(&xs, |&x| x * x);
+        assert_eq!(ys, xs.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_runs() {
+        let guest = GuestSpec::line(8, ProgramKind::Relaxation, 1, 6);
+        let trace = ReferenceRun::execute(&guest);
+        let delays = [1u64, 4, 16];
+        let results = par_map(&delays, |&d| {
+            let host = linear_array(4, DelayModel::constant(d), 0);
+            let assign = Assignment::blocked(4, 8);
+            run_and_validate(&guest, &host, &assign, EngineConfig::default(), &trace)
+                .expect("run")
+        });
+        assert!(results.iter().all(|r| r.is_valid()));
+        // Higher delays cannot reduce the makespan.
+        let spans: Vec<u64> = results.iter().map(|r| r.outcome.stats.makespan).collect();
+        assert!(spans[0] <= spans[1] && spans[1] <= spans[2], "{spans:?}");
+    }
+}

@@ -1,0 +1,324 @@
+//! `overlap-cli` — explore latency-hiding simulations from the command line.
+//!
+//! ```text
+//! overlap-cli [--host <topo>] [--delays <model>] [--guest <shape>]
+//!             [--steps N] [--strategy <s>] [--seed N] [--engine <e>]
+//!
+//!   --host      line:N | ring:N | mesh:WxH | torus:WxH | hypercube:D |
+//!               tree:LEVELS | rreg:N:DEG | bfly:K | ccc:K |
+//!               geo:N:RADIUS_PCT:MAXDELAY | cliques:K | h1:N | h2:N
+//!               (default line:32)
+//!   --delays    const:D | uniform:LO:HI | bimodal:LO:HI:PCT |
+//!               heavy:MIN:ALPHAx100:CAP | spike:BASE:SPIKE:PERIOD
+//!               (default uniform:1:9; ignored by cliques/h1/h2)
+//!   --guest     line:M | ring:M | mesh:WxH | torus:WxH | mesh3:WxHxD |
+//!               btree:LEVELS    (default line:2×host)
+//!   --steps     guest steps to simulate (default 64)
+//!   --strategy  auto | overlap[:C] | halo[:W] | combined[:C:L] | blocked |
+//!               slackness | all-on-one   (default overlap:4; grid guests
+//!               always use the Theorem 8 pipeline)
+//!   --engine    event | stepped | lockstep  (default event; line/ring only)
+//!   --seed      RNG seed (default 42)
+//!   --analyze   print host statistics, embedding quality and the Auto
+//!               strategy recommendation instead of simulating
+//!   --dot       print the host as Graphviz DOT and exit
+//! ```
+//!
+//! Prints the validated report: slowdown, load, redundancy, messages, and
+//! the predicted bound where the strategy has one.
+
+use overlap::core::mesh::simulate_mesh_on_host;
+use overlap::core::pipeline::{plan_line_placement, simulate_line_on_host, LineStrategy};
+use overlap::model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun};
+use overlap::net::metrics::DelayStats;
+use overlap::net::{topology, DelayModel, HostGraph};
+use std::process::exit;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\nrun with --help for usage");
+    exit(2)
+}
+
+fn parse_nums(s: &str) -> Vec<u64> {
+    s.split(&[':', 'x'][..])
+        .skip(1)
+        .map(|p| p.parse().unwrap_or_else(|_| usage(&format!("bad number in '{s}'"))))
+        .collect()
+}
+
+fn parse_delays(spec: &str) -> DelayModel {
+    let v = parse_nums(spec);
+    let need = |k: usize| {
+        if v.len() != k {
+            usage(&format!("'{spec}' needs {k} parameters"));
+        }
+    };
+    if spec.starts_with("const") {
+        need(1);
+        DelayModel::Constant(v[0])
+    } else if spec.starts_with("uniform") {
+        need(2);
+        DelayModel::Uniform { lo: v[0], hi: v[1] }
+    } else if spec.starts_with("bimodal") {
+        need(3);
+        DelayModel::Bimodal {
+            lo: v[0],
+            hi: v[1],
+            p_hi: v[2] as f64 / 100.0,
+        }
+    } else if spec.starts_with("heavy") {
+        need(3);
+        DelayModel::HeavyTail {
+            min: v[0],
+            alpha: v[1] as f64 / 100.0,
+            cap: v[2],
+        }
+    } else if spec.starts_with("spike") {
+        need(3);
+        DelayModel::Spike {
+            base: v[0],
+            spike: v[1],
+            period: v[2],
+        }
+    } else {
+        usage(&format!("unknown delay model '{spec}'"))
+    }
+}
+
+fn parse_host(spec: &str, dm: DelayModel, seed: u64) -> HostGraph {
+    let v = parse_nums(spec);
+    let get = |i: usize| *v.get(i).unwrap_or_else(|| usage(&format!("'{spec}' needs more parameters"))) as u32;
+    if spec.starts_with("line") {
+        topology::linear_array(get(0), dm, seed)
+    } else if spec.starts_with("ring") {
+        topology::ring(get(0), dm, seed)
+    } else if spec.starts_with("mesh") {
+        topology::mesh2d(get(0), get(1), dm, seed)
+    } else if spec.starts_with("torus") {
+        topology::torus2d(get(0), get(1), dm, seed)
+    } else if spec.starts_with("hypercube") {
+        topology::hypercube(get(0), dm, seed)
+    } else if spec.starts_with("tree") {
+        topology::binary_tree(get(0), dm, seed)
+    } else if spec.starts_with("rreg") {
+        topology::random_regular(get(0), get(1), dm, seed)
+    } else if spec.starts_with("bfly") {
+        topology::butterfly(get(0), dm, seed)
+    } else if spec.starts_with("ccc") {
+        topology::cube_connected_cycles(get(0), dm, seed)
+    } else if spec.starts_with("geo") {
+        topology::geometric(get(0), get(1) as f64 / 100.0, get(2) as u64, seed)
+    } else if spec.starts_with("cliques") {
+        topology::clique_of_cliques(get(0))
+    } else if spec.starts_with("h1") {
+        topology::h1_lower_bound(get(0))
+    } else if spec.starts_with("h2") {
+        topology::h2_recursive_boxes(get(0)).graph
+    } else {
+        usage(&format!("unknown host '{spec}'"))
+    }
+}
+
+fn parse_guest(spec: &str, seed: u64, steps: u32) -> GuestSpec {
+    let v = parse_nums(spec);
+    let get = |i: usize| *v.get(i).unwrap_or_else(|| usage(&format!("'{spec}' needs more parameters"))) as u32;
+    let pk = ProgramKind::KvWorkload;
+    if spec.starts_with("line") {
+        GuestSpec::line(get(0), pk, seed, steps)
+    } else if spec.starts_with("ring") {
+        GuestSpec::ring(get(0), pk, seed, steps)
+    } else if spec.starts_with("mesh3") {
+        GuestSpec::mesh3(get(0), get(1), get(2), pk, seed, steps)
+    } else if spec.starts_with("btree") {
+        GuestSpec::binary_tree(get(0), pk, seed, steps)
+    } else if spec.starts_with("mesh") {
+        GuestSpec::mesh(get(0), get(1), pk, seed, steps)
+    } else if spec.starts_with("torus") {
+        GuestSpec::torus(get(0), get(1), pk, seed, steps)
+    } else {
+        usage(&format!("unknown guest '{spec}'"))
+    }
+}
+
+fn parse_strategy(spec: &str) -> LineStrategy {
+    let v = parse_nums(spec);
+    if spec.starts_with("auto") {
+        LineStrategy::Auto
+    } else if spec.starts_with("overlap") {
+        LineStrategy::Overlap {
+            c: v.first().map(|&c| c as f64).unwrap_or(4.0),
+        }
+    } else if spec.starts_with("halo") {
+        LineStrategy::Halo {
+            halo: v.first().map(|&w| w as u32).unwrap_or(1),
+        }
+    } else if spec.starts_with("combined") {
+        LineStrategy::Combined {
+            c: v.first().map(|&c| c as f64).unwrap_or(4.0),
+            expansion: v.get(1).map(|&l| l as u32).unwrap_or(2),
+        }
+    } else if spec.starts_with("blocked") {
+        LineStrategy::Blocked
+    } else if spec.starts_with("slackness") {
+        LineStrategy::Slackness
+    } else if spec.starts_with("all-on-one") {
+        LineStrategy::AllOnOne
+    } else {
+        usage(&format!("unknown strategy '{spec}'"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        // The module doc is the help text.
+        println!("overlap-cli — latency-hiding simulations (SPAA'96 reproduction)\n");
+        println!("{}", include_str!("overlap-cli.rs").lines()
+            .take_while(|l| l.starts_with("//!"))
+            .map(|l| l.trim_start_matches("//!").trim_start_matches(' '))
+            .collect::<Vec<_>>().join("\n"));
+        return;
+    }
+    let opt = |name: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let seed: u64 = opt("--seed", "42").parse().unwrap_or_else(|_| usage("bad --seed"));
+    let steps: u32 = opt("--steps", "64").parse().unwrap_or_else(|_| usage("bad --steps"));
+    let dm = parse_delays(&opt("--delays", "uniform:1:9"));
+    let host = parse_host(&opt("--host", "line:32"), dm, seed);
+    let default_guest = format!("line:{}", 2 * host.num_nodes());
+    let guest = parse_guest(&opt("--guest", &default_guest), seed, steps);
+    let strategy_spec = opt("--strategy", "overlap:4");
+    let engine = opt("--engine", "event");
+
+    let stats = DelayStats::of(&host);
+    if args.iter().any(|a| a == "--dot") {
+        print!("{}", host.to_dot());
+        return;
+    }
+    if args.iter().any(|a| a == "--analyze") {
+        use overlap::core::general::embedded_array_stats;
+        use overlap::core::pipeline::{host_as_array, resolve_auto};
+        use overlap::net::metrics::DistanceStats;
+        println!("host      : {} — {} nodes, {} links", host.name(), host.num_nodes(), host.num_links());
+        println!("delays    : d_ave {:.2}, d_max {}, d_min {}", stats.d_ave, stats.d_max, stats.d_min);
+        println!("degree    : max {}", host.max_degree());
+        if host.num_nodes() <= 4096 {
+            let dist = DistanceStats::of(&host);
+            println!("distances : diameter {} (delay-weighted), mean {:.1}", dist.diameter, dist.mean_distance);
+        }
+        let e = embedded_array_stats(&host);
+        println!(
+            "embedding : dilation {}, array d_ave {:.2} (host d_ave × {:.2})",
+            e.dilation,
+            e.array_d_ave,
+            e.array_d_ave / e.host_d_ave.max(1e-9)
+        );
+        let (_, delays, _) = host_as_array(&host);
+        println!("auto pick : {}", resolve_auto(&delays).label());
+        return;
+    }
+    println!("host    : {} — {} nodes, d_ave {:.2}, d_max {}", host.name(), host.num_nodes(), stats.d_ave, stats.d_max);
+    println!("guest   : {:?} — {} cells × {} steps", guest.topology, guest.num_cells(), guest.steps);
+
+    let report = match guest.topology {
+        GuestTopology::Line { .. } | GuestTopology::Ring { .. } => {
+            let strategy = parse_strategy(&strategy_spec);
+            if engine == "lockstep" {
+                plan_line_placement(&guest, &host, strategy).and_then(|placement| {
+                    use overlap::sim::lockstep::run_lockstep;
+                    use overlap::sim::validate::validate_run;
+                    use overlap::sim::BandwidthMode;
+                    let outcome = run_lockstep(
+                        &guest,
+                        &host,
+                        &placement.assignment,
+                        BandwidthMode::LogN,
+                    )
+                    .map_err(overlap::core::pipeline::PipelineError::Run)?;
+                    let trace = ReferenceRun::execute(&guest);
+                    let errors = validate_run(&trace, &outcome);
+                    let delays = &placement.array_delays;
+                    Ok(overlap::core::pipeline::SimReport {
+                        stats: outcome.stats,
+                        validated: errors.is_empty(),
+                        mismatches: errors.len(),
+                        predicted_slowdown: placement.predicted_slowdown,
+                        strategy: format!("{} [lockstep engine]", strategy.label()),
+                        host: host.name().to_string(),
+                        d_ave: if delays.is_empty() { 0.0 } else {
+                            delays.iter().sum::<u64>() as f64 / delays.len() as f64
+                        },
+                        d_max: delays.iter().copied().max().unwrap_or(0),
+                        dilation: placement.dilation,
+                    })
+                })
+            } else if engine == "stepped" {
+                // Same placement, executed on the parallel time-stepped
+                // engine instead of the event-driven one.
+                plan_line_placement(&guest, &host, strategy).and_then(|placement| {
+                    use overlap::sim::engine::EngineConfig;
+                    use overlap::sim::stepped::run_stepped;
+                    use overlap::sim::validate::validate_run;
+                    let outcome = run_stepped(
+                        &guest,
+                        &host,
+                        &placement.assignment,
+                        EngineConfig::default(),
+                    )
+                    .map_err(overlap::core::pipeline::PipelineError::Run)?;
+                    let trace = ReferenceRun::execute(&guest);
+                    let errors = validate_run(&trace, &outcome);
+                    let delays = &placement.array_delays;
+                    Ok(overlap::core::pipeline::SimReport {
+                        stats: outcome.stats,
+                        validated: errors.is_empty(),
+                        mismatches: errors.len(),
+                        predicted_slowdown: placement.predicted_slowdown,
+                        strategy: format!("{} [stepped engine]", strategy.label()),
+                        host: host.name().to_string(),
+                        d_ave: if delays.is_empty() { 0.0 } else {
+                            delays.iter().sum::<u64>() as f64 / delays.len() as f64
+                        },
+                        d_max: delays.iter().copied().max().unwrap_or(0),
+                        dilation: placement.dilation,
+                    })
+                })
+            } else {
+                simulate_line_on_host(&guest, &host, strategy)
+            }
+        }
+        GuestTopology::BinaryTree { .. } => {
+            overlap::core::tree_guest::simulate_tree_on_host(&guest, &host, true, None)
+        }
+        _ => simulate_mesh_on_host(&guest, &host, 4.0, 2),
+    };
+    match report {
+        Ok(r) => {
+            println!("strategy: {}", r.strategy);
+            println!("slowdown : {:.2}  (makespan {} / {} steps)", r.stats.slowdown, r.stats.makespan, r.stats.guest_steps);
+            println!("load     : {} databases/processor, redundancy {:.2}×", r.stats.load, r.stats.redundancy);
+            println!("traffic  : {} pebble messages, {} link hops", r.stats.messages, r.stats.pebble_hops);
+            println!("efficiency {:.3}, work overhead {:.2}×", r.stats.efficiency(), r.stats.work_overhead());
+            if let Some(p) = r.predicted_slowdown {
+                println!("predicted: {p:.1} (asymptotic shape, constants included)");
+            }
+            if r.dilation > 0 {
+                println!("embedding: dilation {}", r.dilation);
+            }
+            println!("validated: {}", r.validated);
+            if !r.validated {
+                eprintln!("VALIDATION FAILED: {} copy mismatches", r.mismatches);
+                exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Determinism: the whole pipeline — topology generation, embedding,
+//! planning, simulation — is a pure function of its seeds, including when
+//! sweeps run under rayon.
+
+use overlap::core::pipeline::{simulate_line_on_host, LineStrategy};
+use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
+use overlap::net::{topology, DelayModel};
+use overlap::sim::sweep::par_map;
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let guest = GuestSpec::line(28, ProgramKind::KvWorkload, 17, 14);
+    let host = topology::mesh2d(4, 4, DelayModel::uniform(1, 15), 8);
+    let a = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+    let b = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+    assert_eq!(a.stats.makespan, b.stats.makespan);
+    assert_eq!(a.stats.messages, b.stats.messages);
+    assert_eq!(a.stats.pebble_hops, b.stats.pebble_hops);
+}
+
+#[test]
+fn parallel_sweep_equals_sequential() {
+    let guest = GuestSpec::line(16, ProgramKind::Relaxation, 3, 10);
+    let seeds: Vec<u64> = (0..8).collect();
+    let sequential: Vec<u64> = seeds
+        .iter()
+        .map(|&s| {
+            let host = topology::linear_array(8, DelayModel::uniform(1, 9), s);
+            simulate_line_on_host(&guest, &host, LineStrategy::Blocked)
+                .unwrap()
+                .stats
+                .makespan
+        })
+        .collect();
+    let parallel: Vec<u64> = par_map(&seeds, |&s| {
+        let host = topology::linear_array(8, DelayModel::uniform(1, 9), s);
+        simulate_line_on_host(&guest, &host, LineStrategy::Blocked)
+            .unwrap()
+            .stats
+            .makespan
+    });
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn reference_trace_is_seed_stable() {
+    let a = ReferenceRun::execute(&GuestSpec::line(10, ProgramKind::KvWorkload, 42, 8));
+    let b = ReferenceRun::execute(&GuestSpec::line(10, ProgramKind::KvWorkload, 42, 8));
+    assert_eq!(a.grid, b.grid);
+    assert_eq!(a.final_db_digest, b.final_db_digest);
+}
+
+#[test]
+fn topology_generation_is_seed_stable() {
+    for seed in 0..4 {
+        let a = topology::random_regular(20, 3, DelayModel::uniform(1, 99), seed);
+        let b = topology::random_regular(20, 3, DelayModel::uniform(1, 99), seed);
+        assert_eq!(a.links(), b.links());
+    }
+    let a = topology::h2_recursive_boxes(512);
+    let b = topology::h2_recursive_boxes(512);
+    assert_eq!(a.graph.links(), b.graph.links());
+    assert_eq!(a.segments.len(), b.segments.len());
+}

@@ -1,0 +1,102 @@
+//! Three execution semantics, one model: the event-driven engine, the
+//! parallel time-stepped engine, and the lockstep executor must compute
+//! identical state for every strategy's assignment, and their makespans
+//! must order sensibly (greedy ≤ lockstep).
+
+use overlap::core::pipeline::{plan_line_placement, LineStrategy};
+use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
+use overlap::net::{topology, DelayModel};
+use overlap::sim::engine::{Engine, EngineConfig};
+use overlap::sim::lockstep::run_lockstep;
+use overlap::sim::stepped::run_stepped;
+use overlap::sim::validate::validate_run;
+use overlap::sim::BandwidthMode;
+
+fn strategies() -> Vec<LineStrategy> {
+    vec![
+        LineStrategy::Overlap { c: 4.0 },
+        LineStrategy::Halo { halo: 1 },
+        LineStrategy::Combined {
+            c: 4.0,
+            expansion: 2,
+        },
+        LineStrategy::Blocked,
+        LineStrategy::Slackness,
+    ]
+}
+
+#[test]
+fn all_three_engines_agree_on_state_for_every_strategy() {
+    let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 11, 10);
+    let host = topology::linear_array(8, DelayModel::uniform(1, 12), 5);
+    let trace = ReferenceRun::execute(&guest);
+    for s in strategies() {
+        let placement = plan_line_placement(&guest, &host, s).expect("placement");
+        let a = &placement.assignment;
+        let ev = Engine::new(&guest, &host, a, EngineConfig::default())
+            .run()
+            .expect("event");
+        let st = run_stepped(&guest, &host, a, EngineConfig::default()).expect("stepped");
+        let lk = run_lockstep(&guest, &host, a, BandwidthMode::LogN).expect("lockstep");
+        for out in [&ev, &st, &lk] {
+            assert!(
+                validate_run(&trace, out).is_empty(),
+                "{}: engine state mismatch",
+                s.label()
+            );
+        }
+        assert!(
+            ev.stats.makespan <= lk.stats.makespan,
+            "{}: greedy {} should not lose to lockstep {}",
+            s.label(),
+            ev.stats.makespan,
+            lk.stats.makespan
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_embedded_non_path_hosts() {
+    let guest = GuestSpec::ring(18, ProgramKind::RuleAutomaton { db_size: 8 }, 3, 8);
+    let host = topology::mesh2d(3, 3, DelayModel::uniform(1, 10), 7);
+    let trace = ReferenceRun::execute(&guest);
+    let placement =
+        plan_line_placement(&guest, &host, LineStrategy::Overlap { c: 4.0 }).expect("placement");
+    let a = &placement.assignment;
+    let ev = Engine::new(&guest, &host, a, EngineConfig::default())
+        .run()
+        .expect("event");
+    let st = run_stepped(&guest, &host, a, EngineConfig::default()).expect("stepped");
+    assert!(validate_run(&trace, &ev).is_empty());
+    assert!(validate_run(&trace, &st).is_empty());
+    assert_eq!(ev.stats.messages, st.stats.messages);
+}
+
+#[test]
+fn lockstep_slowdown_tracks_dmax_while_greedy_does_not() {
+    // The E10 story as a single integration check.
+    // n must be large enough that the integer overlaps m_k are nonzero
+    // (m_0 = n/(c·log n) ≥ 4 at n = 128), else OVERLAP degenerates to
+    // blocked and pays the spike like everyone else.
+    let guest = GuestSpec::line(512, ProgramKind::Relaxation, 5, 24);
+    let mut lock_slow = Vec::new();
+    let mut greedy_slow = Vec::new();
+    for spike in [8u64, 1024] {
+        let host = topology::line_with_middle_spike(128, spike);
+        let placement = plan_line_placement(&guest, &host, LineStrategy::Overlap { c: 4.0 })
+            .expect("placement");
+        let a = &placement.assignment;
+        let lk = run_lockstep(&guest, &host, a, BandwidthMode::LogN).expect("lockstep");
+        let ev = Engine::new(&guest, &host, a, EngineConfig::default())
+            .run()
+            .expect("event");
+        lock_slow.push(lk.stats.slowdown);
+        greedy_slow.push(ev.stats.slowdown);
+    }
+    let lock_growth = lock_slow[1] / lock_slow[0];
+    let greedy_growth = greedy_slow[1] / greedy_slow[0];
+    assert!(
+        greedy_growth < lock_growth,
+        "greedy growth {greedy_growth:.2} vs lockstep {lock_growth:.2}"
+    );
+}

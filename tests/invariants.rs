@@ -1,0 +1,120 @@
+//! Cross-crate invariants of the statistics and the execution model.
+
+use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
+use overlap::net::{topology, DelayModel};
+use overlap::sim::engine::{Engine, EngineConfig};
+use overlap::sim::validate::validate_run;
+use overlap::sim::{Assignment, BandwidthMode};
+
+fn setup() -> (GuestSpec, overlap::net::HostGraph, Assignment) {
+    let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 5, 16);
+    let host = topology::linear_array(6, DelayModel::uniform(1, 9), 3);
+    let assign = Assignment::from_cells_of(
+        6,
+        24,
+        vec![
+            vec![0, 1, 2, 3, 4, 5],
+            vec![4, 5, 6, 7, 8, 9],
+            vec![8, 9, 10, 11, 12, 13],
+            vec![12, 13, 14, 15, 16, 17],
+            vec![16, 17, 18, 19, 20, 21],
+            vec![20, 21, 22, 23],
+        ],
+    );
+    (guest, host, assign)
+}
+
+#[test]
+fn compute_accounting_matches_assignment() {
+    let (guest, host, assign) = setup();
+    let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+        .run()
+        .unwrap();
+    // One pebble per copy per step.
+    assert_eq!(
+        out.stats.total_compute,
+        assign.total_copies() as u64 * guest.steps as u64
+    );
+    assert_eq!(out.copies.len(), assign.total_copies());
+    assert_eq!(out.stats.guest_work, guest.total_work());
+    assert_eq!(out.stats.load, assign.load());
+    assert!((out.stats.redundancy - assign.redundancy()).abs() < 1e-12);
+}
+
+#[test]
+fn message_accounting_matches_subscriptions() {
+    let (guest, host, assign) = setup();
+    let engine = Engine::new(&guest, &host, &assign, EngineConfig::default());
+    let subs = engine.routing().unwrap().num_subscriptions() as u64;
+    let out = engine.run().unwrap();
+    // Every subscription streams exactly `steps` pebbles.
+    assert_eq!(out.stats.messages, subs * guest.steps as u64);
+    assert!(out.stats.pebble_hops >= out.stats.messages);
+}
+
+#[test]
+fn makespan_bounds() {
+    let (guest, host, assign) = setup();
+    let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+        .run()
+        .unwrap();
+    // Lower bound: busiest processor's pebble count.
+    let busiest = assign.load() as u64 * guest.steps as u64;
+    assert!(out.stats.makespan >= busiest);
+    // Every copy finishes by the makespan and no earlier than its steps.
+    for c in &out.copies {
+        assert!(c.finished_at <= out.stats.makespan);
+        assert!(c.finished_at >= guest.steps as u64);
+    }
+    assert!((out.stats.slowdown - out.stats.makespan as f64 / guest.steps as f64).abs() < 1e-12);
+}
+
+#[test]
+fn lower_bandwidth_cannot_speed_things_up() {
+    let (guest, host, assign) = setup();
+    let mut spans = Vec::new();
+    for bw in [8u32, 2, 1] {
+        let cfg = EngineConfig {
+            bandwidth: BandwidthMode::Fixed(bw),
+            ..Default::default()
+        };
+        let out = Engine::new(&guest, &host, &assign, cfg).run().unwrap();
+        let trace = ReferenceRun::execute(&guest);
+        assert!(validate_run(&trace, &out).is_empty(), "bw={bw}");
+        spans.push(out.stats.makespan);
+    }
+    assert!(spans[0] <= spans[1] && spans[1] <= spans[2], "{spans:?}");
+}
+
+#[test]
+fn scaling_host_delays_never_reduces_makespan() {
+    let guest = GuestSpec::line(16, ProgramKind::Relaxation, 5, 12);
+    let assign = Assignment::blocked(4, 16);
+    let mut last = 0;
+    for f in [1u64, 2, 8, 32] {
+        let host = topology::linear_array(4, DelayModel::constant(f), 0);
+        let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        assert!(
+            out.stats.makespan >= last,
+            "delay {f}: {} < {last}",
+            out.stats.makespan
+        );
+        last = out.stats.makespan;
+    }
+}
+
+#[test]
+fn efficiency_and_overhead_are_consistent() {
+    let (guest, host, assign) = setup();
+    let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+        .run()
+        .unwrap();
+    let s = out.stats;
+    assert!(s.efficiency() > 0.0 && s.efficiency() <= 1.0);
+    assert!(s.work_overhead() >= 1.0);
+    // efficiency = guest_work / (procs × makespan) exactly.
+    let expect = s.guest_work as f64 / (s.host_procs as f64 * s.makespan as f64);
+    assert!((s.efficiency() - expect).abs() < 1e-12);
+}

@@ -1,0 +1,128 @@
+//! Property-based end-to-end tests: random guests, hosts, and assignments
+//! must always produce simulations that validate bit-for-bit against the
+//! unit-delay reference — the workspace's core safety property.
+
+use overlap::core::pipeline::{simulate_line_with_trace, LineStrategy};
+use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
+use overlap::net::{topology, DelayModel};
+use overlap::sim::engine::{Engine, EngineConfig};
+use overlap::sim::validate::validate_run;
+use overlap::sim::Assignment;
+use proptest::prelude::*;
+
+fn program_strategy() -> impl Strategy<Value = ProgramKind> {
+    prop_oneof![
+        Just(ProgramKind::StencilSum),
+        (2u32..32).prop_map(|s| ProgramKind::RuleAutomaton { db_size: s }),
+        Just(ProgramKind::KvWorkload),
+        Just(ProgramKind::Relaxation),
+    ]
+}
+
+fn delay_model_strategy() -> impl Strategy<Value = DelayModel> {
+    prop_oneof![
+        (1u64..50).prop_map(DelayModel::Constant),
+        (1u64..10, 10u64..80).prop_map(|(lo, hi)| DelayModel::Uniform { lo, hi }),
+        (1u64..4, 20u64..200, 0.01f64..0.5).prop_map(|(lo, hi, p)| DelayModel::Bimodal {
+            lo,
+            hi,
+            p_hi: p
+        }),
+        (2u64..64, 2u64..16).prop_map(|(spike, period)| DelayModel::Spike {
+            base: 1,
+            spike,
+            period
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_runs_validate(
+        pk in program_strategy(),
+        dm in delay_model_strategy(),
+        procs in 2u32..10,
+        cells_per in 1u32..5,
+        steps in 1u32..20,
+        seed in 0u64..1000,
+        extra in 0usize..1, // placeholder to keep tuple arity future-proof
+    ) {
+        let _ = extra;
+        let cells = procs * cells_per;
+        let guest = GuestSpec::line(cells, pk, seed, steps);
+        let host = topology::linear_array(procs, dm, seed);
+        let trace = ReferenceRun::execute(&guest);
+        let assign = Assignment::blocked(procs, cells);
+        let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .expect("run must complete");
+        prop_assert!(validate_run(&trace, &out).is_empty());
+        prop_assert!(out.stats.makespan >= steps as u64);
+    }
+
+    #[test]
+    fn random_redundant_assignments_validate(
+        procs in 2u32..8,
+        cells_per in 1u32..4,
+        steps in 1u32..16,
+        seed in 0u64..1000,
+        assign_seed in 0u64..100,
+    ) {
+        let cells = procs * cells_per;
+        let guest = GuestSpec::line(cells, ProgramKind::KvWorkload, seed, steps);
+        let host = topology::linear_array(procs, DelayModel::uniform(1, 30), seed);
+        let trace = ReferenceRun::execute(&guest);
+        // Derive random extra copies deterministically from assign_seed.
+        let base = Assignment::blocked(procs, cells);
+        let mut cells_of: Vec<Vec<u32>> =
+            (0..procs).map(|p| base.cells_of(p).to_vec()).collect();
+        let mut x = assign_seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for _ in 0..(assign_seed % 16) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let p = ((x >> 33) % procs as u64) as usize;
+            let c = ((x >> 13) % cells as u64) as u32;
+            if !cells_of[p].contains(&c) {
+                cells_of[p].push(c);
+            }
+        }
+        let assign = Assignment::from_cells_of(procs, cells, cells_of);
+        let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .expect("run must complete");
+        prop_assert!(validate_run(&trace, &out).is_empty());
+        prop_assert_eq!(out.copies.len(), assign.total_copies());
+    }
+
+    #[test]
+    fn ring_guests_validate_under_overlap(
+        m in 4u32..40,
+        procs in 2u32..8,
+        steps in 1u32..12,
+        seed in 0u64..500,
+    ) {
+        let guest = GuestSpec::ring(m, ProgramKind::Relaxation, seed, steps);
+        let host = topology::linear_array(procs, DelayModel::uniform(1, 20), seed);
+        let trace = ReferenceRun::execute(&guest);
+        let r = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+            .expect("pipeline");
+        prop_assert!(r.validated);
+    }
+
+    #[test]
+    fn non_path_hosts_validate_under_embedding(
+        w in 2u32..5,
+        h in 2u32..5,
+        steps in 1u32..10,
+        seed in 0u64..500,
+    ) {
+        let host = topology::mesh2d(w, h, DelayModel::uniform(1, 15), seed);
+        let guest = GuestSpec::line(w * h * 2, ProgramKind::KvWorkload, seed, steps);
+        let trace = ReferenceRun::execute(&guest);
+        let r = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+            .expect("pipeline");
+        prop_assert!(r.validated);
+        prop_assert!(r.dilation <= 3);
+    }
+}
