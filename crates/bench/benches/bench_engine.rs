@@ -6,6 +6,7 @@ use overlap_model::{GuestSpec, ProgramKind};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
 use overlap_sim::engine::{Engine, EngineConfig};
+use overlap_sim::engine_classic::run_classic;
 use overlap_sim::lockstep::run_lockstep;
 use overlap_sim::stepped::run_stepped;
 use overlap_sim::{Assignment, BandwidthMode};
@@ -47,6 +48,11 @@ fn bench_engine(c: &mut Criterion) {
         });
         g.bench_function("impl/lockstep", |b| {
             b.iter(|| run_lockstep(&guest, &host, &assign, BandwidthMode::LogN).unwrap())
+        });
+        g.bench_function("impl/event-classic", |b| {
+            b.iter(|| {
+                run_classic(&guest, &host, &assign, EngineConfig::default(), None).unwrap()
+            })
         });
         g.bench_function("impl/event-multicast", |b| {
             let cfg = EngineConfig {

@@ -32,6 +32,7 @@ fn main() {
         (e16_replan::run(scale), "e16_replan".to_string()),
         (e17_adaptive2d::run(scale), "e17_adaptive2d".to_string()),
         (e18_programs::run(scale), "e18_programs".to_string()),
+        (engine_scale::run(scale), "engine_scale".to_string()),
     ];
     let mut titles: Vec<(String, String)> = Vec::new();
     for (t, name) in tables {

@@ -1,0 +1,11 @@
+//! ENGINE — calendar-queue engine throughput vs the classic heap engine.
+//! Writes `BENCH_engine.json` at the workspace root.
+//! Usage: `cargo run --release --bin exp_engine_scale [--quick]`
+
+use overlap_bench::experiments::engine_scale;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = engine_scale::run(Scale::from_args());
+    println!("{}", save_table(&t, "engine_scale").expect("write results"));
+}

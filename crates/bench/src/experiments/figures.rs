@@ -233,7 +233,7 @@ pub fn figure7() -> Table {
             .run()
             .expect("run");
         let timing = out.timing.as_ref().expect("timing");
-        let mut util = timing.utilization(&out.copies, n, out.stats.makespan);
+        let mut util = timing.utilization(&out.copies, n, out.stats.makespan, None);
         util.retain(|&u| u > 0.0);
         util.sort_by(f64::total_cmp);
         t.row(vec![

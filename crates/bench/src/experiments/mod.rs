@@ -14,6 +14,7 @@
 //! | [`e10_baselines`] | §1 — lockstep / slackness / blocked vs OVERLAP |
 //! | [`e11_mesh_on_mesh`] | §7 open question — 2-D guest on 2-D host, measured |
 //! | [`e12_ablations`] | halo width, killing constant, bandwidth ablations |
+//! | [`engine_scale`]  | simulator throughput: calendar-queue vs classic heap engine |
 //! | [`figures`]       | Figures 1–6 regenerated as data |
 
 pub mod e10_baselines;
@@ -34,4 +35,5 @@ pub mod e6_mesh;
 pub mod e7_one_copy;
 pub mod e8_two_copy;
 pub mod e9_cliques;
+pub mod engine_scale;
 pub mod figures;

@@ -4,15 +4,13 @@
 //! vs linear); a small log-log scatter makes them visible directly in the
 //! result files without any plotting toolchain.
 
+/// One plotted series: (label, marker character, points).
+pub type Series<'a> = (&'a str, char, &'a [(f64, f64)]);
+
 /// Render a log-log scatter of one or more series into a fixed-size ASCII
 /// grid. Each series gets a marker character; points outside the positive
 /// quadrant are skipped.
-pub fn ascii_loglog(
-    title: &str,
-    series: &[(&str, char, &[(f64, f64)])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn ascii_loglog(title: &str, series: &[Series], width: usize, height: usize) -> String {
     let width = width.clamp(16, 120);
     let height = height.clamp(6, 48);
     let pts: Vec<(f64, f64)> = series

@@ -177,9 +177,9 @@ impl Program for KvWorkload {
         // Keep the shard bounded: mostly updates to a rotating window of
         // keys, occasionally a removal.
         let key = v % 257;
-        let update = if v % 13 == 0 {
+        let update = if v.is_multiple_of(13) {
             DbUpdate::Remove { key }
-        } else if v % 3 == 0 {
+        } else if v.is_multiple_of(3) {
             DbUpdate::Set { key, value: v }
         } else {
             DbUpdate::Add { key, delta: v | 1 }
@@ -259,9 +259,9 @@ impl Program for CacheChurn {
         let state = db.consult(cell, step);
         let v = fold64(fold_deps(deps), state.rotate_left(29));
         let key = v % 64;
-        let update = if v % 5 == 0 {
+        let update = if v.is_multiple_of(5) {
             DbUpdate::Remove { key }
-        } else if v % 3 == 0 {
+        } else if v.is_multiple_of(3) {
             DbUpdate::Add { key, delta: v | 1 }
         } else {
             DbUpdate::Set { key, value: v }

@@ -99,7 +99,7 @@ impl DelayModel {
                 period,
             } => {
                 assert!(period >= 1);
-                if (index + 1) % period == 0 {
+                if (index + 1).is_multiple_of(period) {
                     spike.max(1)
                 } else {
                     base.max(1)

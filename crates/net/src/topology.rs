@@ -77,7 +77,7 @@ pub fn torus2d(w: u32, h: u32, delays: DelayModel, seed: u64) -> HostGraph {
 
 /// A `dim`-dimensional hypercube (`2^dim` nodes, degree `dim`).
 pub fn hypercube(dim: u32, delays: DelayModel, seed: u64) -> HostGraph {
-    assert!(dim >= 1 && dim <= 24);
+    assert!((1..=24).contains(&dim));
     let n = 1u32 << dim;
     let mut g = HostGraph::new(format!("hcube({dim},{})", delays.label()), n);
     let mut idx = 0u64;
@@ -99,7 +99,7 @@ pub fn hypercube(dim: u32, delays: DelayModel, seed: u64) -> HostGraph {
 /// (cross). Degree ≤ 4 — one of the §7 "architectures of parallel
 /// computers" host families.
 pub fn butterfly(k: u32, delays: DelayModel, seed: u64) -> HostGraph {
-    assert!(k >= 1 && k <= 16);
+    assert!((1..=16).contains(&k));
     let rows = 1u32 << k;
     let n = (k + 1) * rows;
     let mut g = HostGraph::new(format!("bfly({k},{})", delays.label()), n);
@@ -121,7 +121,7 @@ pub fn butterfly(k: u32, delays: DelayModel, seed: u64) -> HostGraph {
 /// join `(v, i)`–`(v, i+1 mod k)` and cube edges join `(v, i)`–`(v⊕2^i, i)`.
 /// Degree exactly 3 for k ≥ 3.
 pub fn cube_connected_cycles(k: u32, delays: DelayModel, seed: u64) -> HostGraph {
-    assert!(k >= 3 && k <= 16);
+    assert!((3..=16).contains(&k));
     let cube = 1u32 << k;
     let n = cube * k;
     let mut g = HostGraph::new(format!("ccc({k},{})", delays.label()), n);
@@ -150,7 +150,7 @@ pub fn cube_connected_cycles(k: u32, delays: DelayModel, seed: u64) -> HostGraph
 /// A complete binary tree with `levels` levels (`2^levels - 1` nodes),
 /// degree ≤ 3.
 pub fn binary_tree(levels: u32, delays: DelayModel, seed: u64) -> HostGraph {
-    assert!(levels >= 1 && levels <= 24);
+    assert!((1..=24).contains(&levels));
     let n = (1u32 << levels) - 1;
     let mut g = HostGraph::new(format!("btree({levels},{})", delays.label()), n);
     for v in 1..n {
@@ -167,10 +167,10 @@ pub fn random_regular(n: u32, deg: u32, delays: DelayModel, seed: u64) -> HostGr
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     assert!(deg >= 2 && deg < n, "degree must be in [2, n)");
-    assert!((n as u64 * deg as u64) % 2 == 0, "n*deg must be even");
+    assert!((n as u64 * deg as u64).is_multiple_of(2), "n*deg must be even");
     let mut rng = StdRng::seed_from_u64(seed);
     'retry: for _attempt in 0..1000 {
-        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat(v).take(deg as usize)).collect();
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, deg as usize)).collect();
         stubs.shuffle(&mut rng);
         let mut g = HostGraph::new(format!("rreg({n},{deg},{})", delays.label()), n);
         let mut idx = 0u64;

@@ -17,15 +17,30 @@
 //! * The run ends when every holder has computed all `T` steps of all its
 //!   columns. The makespan is the last compute-completion tick.
 //!
-//! The engine is deterministic: a `(tick, sequence-number)` ordered event
-//! queue resolves ties in insertion order.
+//! The engine is deterministic: events fire in ascending tick order, ties
+//! in push order ([`CalendarQueue`]'s FIFO-within-a-tick contract, which
+//! reproduces the original `(tick, sequence-number)` heap order exactly —
+//! `engine_classic` keeps that heap implementation as the oracle).
+//!
+//! # Hot-path layout
+//!
+//! All identity resolution is interned into dense index tables at
+//! [`Engine::new`] ([`Hot`]): per-(processor, cell) dependency gather and
+//! readiness-check lists, per-subscription link-id arrays, per-tree-edge
+//! link ids, and per-copy outbound route lists. The steady-state loop
+//! performs no `HashMap` probes, no `Dep` matching, and no allocation:
+//! event payloads live inline in the calendar buckets (recycled as the
+//! ring wraps), per-copy value/receive histories are flat arrays indexed
+//! by `copy × (steps + 1) + step`, and the dependency gather reuses one
+//! scratch buffer. See DESIGN.md § Engine internals.
 
 use crate::assignment::Assignment;
 use crate::bandwidth::BandwidthMode;
+use crate::calendar::CalendarQueue;
 use crate::multicast::MulticastTable;
 use crate::routing::RoutingTable;
 use crate::stats::RunStats;
-use overlap_model::{fold64, Db, Dep, GuestSpec, PebbleValue, ProgramRef};
+use overlap_model::{fold64, Db, Dep, GuestSpec, PebbleValue, ProgramRef, Side};
 use overlap_net::{Delay, HostGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -157,7 +172,7 @@ pub struct CopyRecord {
 
 /// Per-copy pebble completion ticks, aligned with `RunOutcome::copies`:
 /// `ticks[i][t-1]` = tick at which copy `i` computed its step `t`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TimingTrace {
     /// Completion ticks per copy per step.
     pub ticks: Vec<Vec<u64>>,
@@ -177,11 +192,21 @@ impl TimingTrace {
     }
 
     /// Fraction of `[0, makespan)` each processor spent computing, given
-    /// the copy records (for utilization reports).
-    pub fn utilization(&self, copies: &[CopyRecord], procs: u32, makespan: u64) -> Vec<f64> {
+    /// the copy records. Pass the run's `compute_costs` (if any) so a
+    /// pebble on processor `p` is weighted by its `cost_of(p)` ticks —
+    /// without the weight, slow processors look mostly idle even when they
+    /// never stop computing.
+    pub fn utilization(
+        &self,
+        copies: &[CopyRecord],
+        procs: u32,
+        makespan: u64,
+        costs: Option<&[u32]>,
+    ) -> Vec<f64> {
         let mut busy = vec![0u64; procs as usize];
         for (i, c) in copies.iter().enumerate() {
-            busy[c.proc as usize] += self.ticks[i].len() as u64;
+            let w = costs.map_or(1, |cs| cs[c.proc as usize] as u64);
+            busy[c.proc as usize] += self.ticks[i].len() as u64 * w;
         }
         busy.iter()
             .map(|&b| {
@@ -196,7 +221,7 @@ impl TimingTrace {
 }
 
 /// A completed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// Aggregate statistics.
     pub stats: RunStats,
@@ -206,7 +231,7 @@ pub struct RunOutcome {
     pub timing: Option<TimingTrace>,
 }
 
-/// Event payload.
+/// Event payload, stored inline in the calendar buckets.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Processor `proc` finishes computing its `own_idx`-th column's next
@@ -228,14 +253,259 @@ enum Ev {
     },
 }
 
-/// Per-processor simulation state.
-struct ProcState {
+/// Marks a readiness-check entry as a subscription (vs. held-cell) index.
+const SUB_BIT: u32 = 1 << 31;
+
+/// Where one dependency-gather slot reads its value from: resolved once at
+/// `Engine::new`, so the per-event gather is pure array indexing.
+#[derive(Debug, Clone, Copy)]
+enum DepSrc {
+    /// Virtual boundary column (computed on the fly).
+    Boundary { side: Side, offset: u32 },
+    /// Held cell `own index` on the same processor (previous step).
+    Own(u32),
+    /// Subscribed column `dep index` (receive buffer, previous step).
+    Sub(u32),
+}
+
+/// Immutable per-processor lookup tables (flattened CSR-style: `xs[off[i]
+/// .. off[i+1]]` are the entries of held cell `i`).
+struct ProcTables {
     /// Held cells (sorted).
     cells: Vec<u32>,
+    /// Subscribed dependency columns, in inbound order.
+    dep_cells: Vec<u32>,
+    /// Dependency sources per held cell, in canonical dependency order.
+    gather: Vec<DepSrc>,
+    gather_off: Vec<u32>,
+    /// Readiness checks per held cell: non-self cell dependencies, encoded
+    /// as `own index` or `dep index | SUB_BIT`.
+    checks: Vec<u32>,
+    check_off: Vec<u32>,
+    /// For each held cell: held cells whose pebbles depend on it.
+    own_dependents: Vec<u32>,
+    own_dep_off: Vec<u32>,
+    /// For each dependency column: held cells depending on it.
+    dep_dependents: Vec<u32>,
+    dep_dep_off: Vec<u32>,
+}
+
+/// All interned hot-path tables, built once per engine.
+struct Hot {
+    /// Delay per directed link id.
+    link_delay: Vec<Delay>,
+    /// Per-processor dependency tables.
+    procs: Vec<ProcTables>,
+    /// Global copy id of processor `p`'s first copy (prefix sums).
+    copy_off: Vec<u32>,
+    /// Outbound route ids (sub ids or tree ids) per copy:
+    /// `out_ids[out_off[copy] .. out_off[copy+1]]`.
+    out_ids: Vec<u32>,
+    out_off: Vec<u32>,
+    /// Per subscription: directed link ids along the route (hop `h` uses
+    /// `sub_links[sub_link_off[sid] + h]`).
+    sub_links: Vec<u32>,
+    sub_link_off: Vec<u32>,
+    /// Per subscription: consumer processor and its dep-column index.
+    sub_dest: Vec<u32>,
+    sub_dest_dep: Vec<u32>,
+    /// Per tree, per node: link id of the parent→node edge (`u32::MAX` at
+    /// the root).
+    tree_edge_lid: Vec<Vec<u32>>,
+    /// Per tree, per node: dep-column index at the node's processor if the
+    /// node is a delivery target, else `u32::MAX`.
+    tree_deliver_dep: Vec<Vec<u32>>,
+}
+
+impl Hot {
+    fn build(guest: &GuestSpec, host: &HostGraph, assign: &Assignment, routes: &Routes) -> Self {
+        let n = host.num_nodes();
+        let topo = guest.topology;
+
+        // Directed link ids: forward 2i, reverse 2i+1, in host.links()
+        // order. Jitter phases depend on the id, so this order is part of
+        // the determinism contract with the classic engine.
+        let mut link_ids: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+        let mut link_delay: Vec<Delay> = Vec::new();
+        for l in host.links() {
+            for (u, v) in [(l.a, l.b), (l.b, l.a)] {
+                link_ids.insert((u, v), link_delay.len() as u32);
+                link_delay.push(l.delay);
+            }
+        }
+
+        // Per-processor dependency tables.
+        let mut procs: Vec<ProcTables> = Vec::with_capacity(n as usize);
+        let mut copy_off: Vec<u32> = Vec::with_capacity(n as usize + 1);
+        copy_off.push(0);
+        for p in 0..n {
+            let cells = assign.cells_of(p).to_vec();
+            let own_pos: HashMap<u32, u32> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u32))
+                .collect();
+            let dep_cells: Vec<u32> = routes
+                .inbound(p as usize)
+                .iter()
+                .map(|&(c, _)| c)
+                .collect();
+            let dep_pos: HashMap<u32, u32> = dep_cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u32))
+                .collect();
+            let mut gather = Vec::new();
+            let mut gather_off = vec![0u32];
+            let mut checks = Vec::new();
+            let mut check_off = vec![0u32];
+            let mut own_dependents_v: Vec<Vec<u32>> = vec![Vec::new(); cells.len()];
+            let mut dep_dependents_v: Vec<Vec<u32>> = vec![Vec::new(); dep_cells.len()];
+            for (i, &c) in cells.iter().enumerate() {
+                for d in topo.deps(c).iter() {
+                    match d {
+                        Dep::Boundary { side, offset } => {
+                            gather.push(DepSrc::Boundary { side, offset })
+                        }
+                        Dep::Cell(c2) => {
+                            if let Some(&j) = own_pos.get(&c2) {
+                                gather.push(DepSrc::Own(j));
+                                if c2 != c {
+                                    checks.push(j);
+                                    own_dependents_v[j as usize].push(i as u32);
+                                }
+                            } else if let Some(&k) = dep_pos.get(&c2) {
+                                gather.push(DepSrc::Sub(k));
+                                checks.push(k | SUB_BIT);
+                                dep_dependents_v[k as usize].push(i as u32);
+                            } else {
+                                unreachable!(
+                                    "cell {c2} needed by {c} on proc {p} neither held nor subscribed"
+                                );
+                            }
+                        }
+                    }
+                }
+                gather_off.push(gather.len() as u32);
+                check_off.push(checks.len() as u32);
+            }
+            let flatten = |vs: Vec<Vec<u32>>| {
+                let mut flat = Vec::new();
+                let mut off = vec![0u32];
+                for v in vs {
+                    flat.extend_from_slice(&v);
+                    off.push(flat.len() as u32);
+                }
+                (flat, off)
+            };
+            let (own_dependents, own_dep_off) = flatten(own_dependents_v);
+            let (dep_dependents, dep_dep_off) = flatten(dep_dependents_v);
+            copy_off.push(copy_off.last().unwrap() + cells.len() as u32);
+            procs.push(ProcTables {
+                cells,
+                dep_cells,
+                gather,
+                gather_off,
+                checks,
+                check_off,
+                own_dependents,
+                own_dep_off,
+                dep_dependents,
+                dep_dep_off,
+            });
+        }
+
+        // Outbound route ids per copy, from the build-time by-cell index.
+        let mut out_ids: Vec<u32> = Vec::new();
+        let mut out_off: Vec<u32> = vec![0];
+        for (p, pt) in procs.iter().enumerate() {
+            let by_cell = match routes {
+                Routes::Unicast(rt) => &rt.outbound_by_cell[p],
+                Routes::Multicast(mt) => &mt.outbound_by_cell[p],
+            };
+            for &c in &pt.cells {
+                if let Ok(ix) = by_cell.binary_search_by_key(&c, |&(cell, _)| cell) {
+                    out_ids.extend_from_slice(&by_cell[ix].1);
+                }
+                out_off.push(out_ids.len() as u32);
+            }
+        }
+
+        // Per-subscription link-id arrays and delivery targets.
+        let mut sub_links: Vec<u32> = Vec::new();
+        let mut sub_link_off: Vec<u32> = vec![0];
+        let mut sub_dest: Vec<u32> = Vec::new();
+        let mut sub_dest_dep: Vec<u32> = Vec::new();
+        if let Routes::Unicast(rt) = routes {
+            for sub in &rt.subs {
+                for w in sub.path.windows(2) {
+                    sub_links.push(link_ids[&(w[0], w[1])]);
+                }
+                sub_link_off.push(sub_links.len() as u32);
+                sub_dest.push(sub.dest);
+                let k = rt.inbound[sub.dest as usize]
+                    .iter()
+                    .position(|&(c, _)| c == sub.cell)
+                    .expect("subscription registered inbound");
+                sub_dest_dep.push(k as u32);
+            }
+        }
+
+        // Per-tree-edge link ids and per-node delivery targets.
+        let mut tree_edge_lid: Vec<Vec<u32>> = Vec::new();
+        let mut tree_deliver_dep: Vec<Vec<u32>> = Vec::new();
+        if let Routes::Multicast(mt) = routes {
+            for t in &mt.trees {
+                let mut lids = vec![u32::MAX; t.nodes.len()];
+                for (v, &pa) in t.parent.iter().enumerate() {
+                    if pa != u32::MAX {
+                        lids[v] = link_ids[&(t.nodes[pa as usize], t.nodes[v])];
+                    }
+                }
+                let deliver_dep = t
+                    .nodes
+                    .iter()
+                    .zip(&t.deliver)
+                    .map(|(&v, &del)| {
+                        if del {
+                            mt.inbound[v as usize]
+                                .iter()
+                                .position(|&(c, _)| c == t.cell)
+                                .expect("delivery registered inbound")
+                                as u32
+                        } else {
+                            u32::MAX
+                        }
+                    })
+                    .collect();
+                tree_edge_lid.push(lids);
+                tree_deliver_dep.push(deliver_dep);
+            }
+        }
+
+        Self {
+            link_delay,
+            procs,
+            copy_off,
+            out_ids,
+            out_off,
+            sub_links,
+            sub_link_off,
+            sub_dest,
+            sub_dest_dep,
+            tree_edge_lid,
+            tree_deliver_dep,
+        }
+    }
+}
+
+/// Mutable per-processor run state. Step-indexed arrays are flat with
+/// stride `steps + 1` (index 0 = initial value).
+struct ProcState {
     /// Next step (1-based) to compute per held cell; `T+1` = done.
     next_step: Vec<u32>,
-    /// Value history per held cell; index 0 = initial value.
-    history: Vec<Vec<PebbleValue>>,
+    /// Value history per held cell: `history[i·stride + s]`.
+    history: Vec<PebbleValue>,
     /// Database copy per held cell.
     dbs: Vec<Db>,
     /// Value/update folds per held cell (validator food).
@@ -244,21 +514,11 @@ struct ProcState {
     finished_at: Vec<u64>,
     /// Per held cell: completion tick per step (only when timing).
     times: Vec<Vec<u64>>,
-    /// Dependency columns (sorted; parallel to the receive buffers below).
-    /// Kept for diagnostics even though lookups go through `dep_pos`.
-    #[allow(dead_code)]
-    dep_cells: Vec<u32>,
-    dep_values: Vec<Vec<PebbleValue>>,
-    dep_have: Vec<Vec<bool>>,
+    /// Receive buffers per dependency column: `dep_values[k·stride + s]`.
+    dep_values: Vec<PebbleValue>,
+    dep_have: Vec<bool>,
     /// Highest contiguous step received per dependency column.
     dep_watermark: Vec<u32>,
-    /// own-index lookups
-    own_pos: HashMap<u32, u32>,
-    dep_pos: HashMap<u32, u32>,
-    /// For each held cell: held cells whose pebbles depend on it.
-    own_dependents: Vec<Vec<u32>>,
-    /// For each dependency column: held cells depending on it.
-    dep_dependents: Vec<Vec<u32>>,
     /// Ready-pebble queue: `(step, own_idx)` min-heap; at most one entry
     /// per held cell (its next step).
     ready: BinaryHeap<Reverse<(u32, u32)>>,
@@ -271,12 +531,11 @@ struct ProcState {
 
 /// Directed-link injection bookkeeping for pipelined bandwidth.
 #[derive(Clone, Copy, Default)]
-struct LinkSlot {
+pub(crate) struct LinkSlot {
     tick: u64,
     count: u32,
 }
 
-/// The simulator.
 /// Which route structure a run uses.
 enum Routes {
     Unicast(RoutingTable),
@@ -294,8 +553,67 @@ impl Routes {
     fn num_subscriptions(&self) -> usize {
         match self {
             Routes::Unicast(r) => r.num_subscriptions(),
-            Routes::Multicast(m) => m.trees.iter().map(|t| t.deliver.iter().filter(|&&d| d).count()).sum(),
+            Routes::Multicast(m) => m
+                .trees
+                .iter()
+                .map(|t| t.deliver.iter().filter(|&&d| d).count())
+                .sum(),
         }
+    }
+}
+
+/// Is held cell `i` ready to compute its next step? Pure table walk over
+/// the interned check list — no hashing, no `Dep` matching.
+#[inline]
+fn is_ready(pt: &ProcTables, st: &ProcState, i: usize, steps: u32) -> bool {
+    let s = st.next_step[i];
+    if s > steps {
+        return false;
+    }
+    for &enc in &pt.checks[pt.check_off[i] as usize..pt.check_off[i + 1] as usize] {
+        if enc & SUB_BIT != 0 {
+            if st.dep_watermark[(enc & !SUB_BIT) as usize] < s - 1 {
+                return false;
+            }
+        } else if st.next_step[enc as usize] < s {
+            return false;
+        }
+    }
+    true
+}
+
+/// Queue held cell `j` if it is ready and not already queued/being run.
+#[inline]
+fn try_enqueue(pt: &ProcTables, st: &mut ProcState, j: usize, steps: u32) {
+    if !st.queued[j] && is_ready(pt, st, j, steps) {
+        st.ready.push(Reverse((st.next_step[j], j as u32)));
+        st.queued[j] = true;
+    }
+}
+
+/// Store a delivered pebble, advance the column watermark, and unblock the
+/// held cells waiting on it.
+#[inline]
+fn deliver(
+    pt: &ProcTables,
+    st: &mut ProcState,
+    k: usize,
+    step: u32,
+    value: PebbleValue,
+    steps: u32,
+    stride: usize,
+) {
+    let base = k * stride;
+    st.dep_values[base + step as usize] = value;
+    st.dep_have[base + step as usize] = true;
+    while (st.dep_watermark[k] as usize) < steps as usize
+        && st.dep_have[base + st.dep_watermark[k] as usize + 1]
+    {
+        st.dep_watermark[k] += 1;
+    }
+    for idx in pt.dep_dep_off[k] as usize..pt.dep_dep_off[k + 1] as usize {
+        let j = pt.dep_dependents[idx] as usize;
+        try_enqueue(pt, st, j, steps);
     }
 }
 
@@ -306,6 +624,7 @@ pub struct Engine<'a> {
     host: &'a HostGraph,
     assign: &'a Assignment,
     routing: Option<Routes>,
+    hot: Option<Hot>,
     config: EngineConfig,
     /// Ticks per pebble per processor (default all 1): models NOWs that
     /// mix workstation generations. Beyond the paper's unit-speed model.
@@ -313,29 +632,32 @@ pub struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    /// Create an engine. The routing table is built eagerly when the
-    /// assignment covers every cell; otherwise `run` reports
-    /// [`RunError::IncompleteAssignment`].
+    /// Create an engine. The routing and interning tables are built
+    /// eagerly when the assignment covers every cell; otherwise `run`
+    /// reports [`RunError::IncompleteAssignment`].
     pub fn new(
         guest: &'a GuestSpec,
         host: &'a HostGraph,
         assign: &'a Assignment,
         config: EngineConfig,
     ) -> Self {
-        let routing = if assign.is_complete() {
-            Some(if config.multicast {
+        let (routing, hot) = if assign.is_complete() {
+            let routes = if config.multicast {
                 Routes::Multicast(MulticastTable::build(host, &guest.topology, assign))
             } else {
                 Routes::Unicast(RoutingTable::build(host, &guest.topology, assign))
-            })
+            };
+            let hot = Hot::build(guest, host, assign, &routes);
+            (Some(routes), Some(hot))
         } else {
-            None
+            (None, None)
         };
         Self {
             guest,
             host,
             assign,
             routing,
+            hot,
             config,
             compute_costs: None,
         }
@@ -367,173 +689,86 @@ impl<'a> Engine<'a> {
             return Err(RunError::IncompleteAssignment(uncovered));
         }
         let routing = self.routing.as_ref().expect("complete assignment has routing");
+        let hot = self.hot.as_ref().expect("complete assignment has tables");
         let n = self.host.num_nodes();
         let steps = self.guest.steps;
-        let topo = self.guest.topology;
+        let stride = steps as usize + 1;
         let program: ProgramRef = self.guest.program.instantiate();
         let boundary = self.guest.boundary();
         let bw = self.config.bandwidth.per_tick(n) as u64;
+        let record_timing = self.config.record_timing;
+        let kind = program.db_kind();
 
-        // ---- initialize processor states ----
-        let mut procs: Vec<ProcState> = Vec::with_capacity(n as usize);
-        for p in 0..n {
-            let cells = self.assign.cells_of(p).to_vec();
-            let own_pos: HashMap<u32, u32> = cells
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| (c, i as u32))
-                .collect();
-            let dep_cells: Vec<u32> = routing
-                .inbound(p as usize)
-                .iter()
-                .map(|&(c, _)| c)
-                .collect();
-            let dep_pos: HashMap<u32, u32> = dep_cells
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| (c, i as u32))
-                .collect();
-            // Reverse dependency maps.
-            let mut own_dependents = vec![Vec::new(); cells.len()];
-            let mut dep_dependents = vec![Vec::new(); dep_cells.len()];
-            for (i, &c) in cells.iter().enumerate() {
-                for d in topo.deps(c).iter() {
-                    if let Dep::Cell(c2) = d {
-                        if c2 == c {
-                            continue;
-                        }
-                        if let Some(&j) = own_pos.get(&c2) {
-                            own_dependents[j as usize].push(i as u32);
-                        } else if let Some(&k) = dep_pos.get(&c2) {
-                            dep_dependents[k as usize].push(i as u32);
-                        } else {
-                            unreachable!(
-                                "cell {c2} needed by {c} on proc {p} neither held nor subscribed"
-                            );
-                        }
-                    }
+        // ---- per-processor mutable state ----
+        let mut state: Vec<ProcState> = hot
+            .procs
+            .iter()
+            .map(|pt| {
+                let nc = pt.cells.len();
+                let nd = pt.dep_cells.len();
+                let mut history = vec![0 as PebbleValue; nc * stride];
+                for (i, &c) in pt.cells.iter().enumerate() {
+                    history[i * stride] = self.guest.initial_value(c);
                 }
-            }
-            let kind = program.db_kind();
-            let history: Vec<Vec<PebbleValue>> = cells
-                .iter()
-                .map(|&c| {
-                    let mut h = vec![0; steps as usize + 1];
-                    h[0] = self.guest.initial_value(c);
-                    h
-                })
-                .collect();
-            let dep_values: Vec<Vec<PebbleValue>> = dep_cells
-                .iter()
-                .map(|&c| {
-                    let mut v = vec![0; steps as usize + 1];
-                    v[0] = self.guest.initial_value(c);
-                    v
-                })
-                .collect();
-            let dep_have: Vec<Vec<bool>> = dep_cells
-                .iter()
-                .map(|_| {
-                    let mut h = vec![false; steps as usize + 1];
-                    h[0] = true;
-                    h
-                })
-                .collect();
-            procs.push(ProcState {
-                times: if self.config.record_timing {
-                    cells.iter().map(|_| Vec::with_capacity(steps as usize)).collect()
-                } else {
-                    vec![Vec::new(); cells.len()]
-                },
-                next_step: vec![1; cells.len()],
-                dbs: cells
-                    .iter()
-                    .map(|&c| kind.instantiate(c, self.guest.seed))
-                    .collect(),
-                value_fold: vec![0xF01Du64; cells.len()],
-                update_fold: vec![0xD16u64; cells.len()],
-                finished_at: vec![0; cells.len()],
-                history,
-                dep_values,
-                dep_have,
-                dep_watermark: vec![0; dep_cells.len()],
-                own_dependents,
-                dep_dependents,
-                ready: BinaryHeap::new(),
-                queued: vec![false; cells.len()],
-                busy: false,
-                cells,
-                dep_cells,
-                own_pos,
-                dep_pos,
-            });
-        }
+                let mut dep_values = vec![0 as PebbleValue; nd * stride];
+                let mut dep_have = vec![false; nd * stride];
+                for (k, &c) in pt.dep_cells.iter().enumerate() {
+                    dep_values[k * stride] = self.guest.initial_value(c);
+                    dep_have[k * stride] = true;
+                }
+                ProcState {
+                    next_step: vec![1; nc],
+                    history,
+                    dbs: pt
+                        .cells
+                        .iter()
+                        .map(|&c| kind.instantiate(c, self.guest.seed))
+                        .collect(),
+                    value_fold: vec![0xF01Du64; nc],
+                    update_fold: vec![0xD16u64; nc],
+                    finished_at: vec![0; nc],
+                    times: if record_timing {
+                        (0..nc).map(|_| Vec::with_capacity(steps as usize)).collect()
+                    } else {
+                        vec![Vec::new(); nc]
+                    },
+                    dep_values,
+                    dep_have,
+                    dep_watermark: vec![0; nd],
+                    ready: BinaryHeap::new(),
+                    queued: vec![false; nc],
+                    busy: false,
+                }
+            })
+            .collect();
 
         // ---- link slots for bandwidth accounting ----
-        let mut link_ids: HashMap<(NodeId, NodeId), u32> = HashMap::new();
-        let mut link_delay: Vec<Delay> = Vec::new();
-        for l in self.host.links() {
-            for (u, v) in [(l.a, l.b), (l.b, l.a)] {
-                link_ids.insert((u, v), link_delay.len() as u32);
-                link_delay.push(l.delay);
-            }
-        }
-        let mut link_slots: Vec<LinkSlot> = vec![LinkSlot::default(); link_delay.len()];
-        let mut link_traffic: Vec<u64> = vec![0; link_delay.len()];
+        let mut link_slots: Vec<LinkSlot> = vec![LinkSlot::default(); hot.link_delay.len()];
+        let mut link_traffic: Vec<u64> = vec![0; hot.link_delay.len()];
 
         // ---- event queue ----
-        let mut queue: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
-        let mut payloads: Vec<Ev> = Vec::new();
-        let mut seq: u64 = 0;
-        let push = |queue: &mut BinaryHeap<Reverse<(u64, u64, u32)>>,
-                        payloads: &mut Vec<Ev>,
-                        seq: &mut u64,
-                        tick: u64,
-                        ev: Ev| {
-            payloads.push(ev);
-            queue.push(Reverse((tick, *seq, payloads.len() as u32 - 1)));
-            *seq += 1;
-        };
+        let mut queue: CalendarQueue<Ev> = CalendarQueue::new();
+        let mut peak_queue: usize = 0;
+        macro_rules! sched {
+            ($tick:expr, $ev:expr) => {{
+                queue.push($tick, $ev);
+                let l = queue.len();
+                if l > peak_queue {
+                    peak_queue = l;
+                }
+            }};
+        }
 
-        let mut remaining: u64 = procs
+        let mut remaining: u64 = hot
+            .procs
             .iter()
-            .map(|ps| ps.cells.len() as u64 * steps as u64)
+            .map(|pt| pt.cells.len() as u64 * steps as u64)
             .sum();
         let total_compute = remaining;
         let mut makespan = 0u64;
         let mut messages = 0u64;
         let mut pebble_hops = 0u64;
-
-        // Readiness predicate for (proc p, own cell index i).
-        let is_ready = |procs: &Vec<ProcState>, p: usize, i: usize| -> bool {
-            let ps = &procs[p];
-            let s = ps.next_step[i];
-            if s > steps {
-                return false;
-            }
-            let c = ps.cells[i];
-            for d in topo.deps(c).iter() {
-                match d {
-                    Dep::Boundary { .. } => {}
-                    Dep::Cell(c2) => {
-                        if c2 == c {
-                            continue; // own column: in-order guarantee
-                        }
-                        if let Some(&j) = ps.own_pos.get(&c2) {
-                            if ps.next_step[j as usize] < s {
-                                return false;
-                            }
-                        } else {
-                            let k = ps.dep_pos[&c2] as usize;
-                            if ps.dep_watermark[k] < s - 1 {
-                                return false;
-                            }
-                        }
-                    }
-                }
-            }
-            true
-        };
+        let mut events_processed = 0u64;
 
         let cost_of = |p: usize| -> u64 {
             self.compute_costs
@@ -543,173 +778,158 @@ impl<'a> Engine<'a> {
         };
 
         // Seed: enqueue every initially-ready pebble and start processors.
-        for p in 0..n as usize {
-            for i in 0..procs[p].cells.len() {
-                if is_ready(&procs, p, i) {
-                    let s = procs[p].next_step[i];
-                    procs[p].ready.push(Reverse((s, i as u32)));
-                    procs[p].queued[i] = true;
-                }
+        for (p, (pt, st)) in hot.procs.iter().zip(state.iter_mut()).enumerate() {
+            for i in 0..pt.cells.len() {
+                try_enqueue(pt, st, i, steps);
             }
-            if let Some(&Reverse((_, i))) = procs[p].ready.peek() {
-                let _ = i;
-                let Reverse((_s, i)) = procs[p].ready.pop().unwrap();
-                procs[p].busy = true;
-                push(
-                    &mut queue,
-                    &mut payloads,
-                    &mut seq,
+            if let Some(Reverse((_s, i))) = st.ready.pop() {
+                st.busy = true;
+                sched!(
                     cost_of(p),
                     Ev::ComputeDone {
                         proc: p as NodeId,
                         own_idx: i,
-                    },
+                    }
                 );
             }
         }
 
-        let mut deps_buf: Vec<PebbleValue> = Vec::with_capacity(topo.max_deps());
+        let mut deps_buf: Vec<PebbleValue> = Vec::with_capacity(self.guest.topology.max_deps());
 
         // ---- main loop ----
-        while let Some(Reverse((tick, _, pid))) = queue.pop() {
+        while let Some((tick, ev)) = queue.pop() {
             if tick > self.config.max_ticks {
                 return Err(RunError::TickLimit(self.config.max_ticks));
             }
             if remaining == 0 {
                 break;
             }
-            match payloads[pid as usize] {
+            events_processed += 1;
+            match ev {
                 Ev::ComputeDone { proc, own_idx } => {
                     let p = proc as usize;
                     let i = own_idx as usize;
-                    let (cell, s) = {
-                        let ps = &procs[p];
-                        (ps.cells[i], ps.next_step[i])
-                    };
+                    let pt = &hot.procs[p];
+                    let (cell, s) = (pt.cells[i], state[p].next_step[i]);
                     debug_assert!(s <= steps);
-                    // Gather dependency values at step s-1.
+                    // Gather dependency values at step s-1 via the
+                    // interned source table.
                     deps_buf.clear();
                     {
-                        let ps = &procs[p];
-                        for d in topo.deps(cell).iter() {
-                            deps_buf.push(match d {
-                                Dep::Boundary { side, offset } => boundary.value(side, offset, s),
-                                Dep::Cell(c2) => {
-                                    if let Some(&j) = ps.own_pos.get(&c2) {
-                                        ps.history[j as usize][s as usize - 1]
-                                    } else {
-                                        let k = ps.dep_pos[&c2] as usize;
-                                        debug_assert!(ps.dep_have[k][s as usize - 1]);
-                                        ps.dep_values[k][s as usize - 1]
-                                    }
+                        let st = &state[p];
+                        let sm1 = s as usize - 1;
+                        for &src in
+                            &pt.gather[pt.gather_off[i] as usize..pt.gather_off[i + 1] as usize]
+                        {
+                            deps_buf.push(match src {
+                                DepSrc::Boundary { side, offset } => {
+                                    boundary.value(side, offset, s)
+                                }
+                                DepSrc::Own(j) => st.history[j as usize * stride + sm1],
+                                DepSrc::Sub(k) => {
+                                    debug_assert!(st.dep_have[k as usize * stride + sm1]);
+                                    st.dep_values[k as usize * stride + sm1]
                                 }
                             });
                         }
                     }
-                    let (v, u) = program.compute(cell, s, &procs[p].dbs[i], &deps_buf);
+                    let (v, u) = program.compute(cell, s, &state[p].dbs[i], &deps_buf);
                     {
-                        let ps = &mut procs[p];
-                        ps.dbs[i].apply(&u);
-                        ps.history[i][s as usize] = v;
-                        ps.value_fold[i] = fold64(ps.value_fold[i], v);
-                        ps.update_fold[i] = fold64(ps.update_fold[i], u.digest());
-                        ps.next_step[i] = s + 1;
-                        ps.queued[i] = false;
-                        ps.busy = false;
-                        if self.config.record_timing {
-                            ps.times[i].push(tick);
+                        let st = &mut state[p];
+                        st.dbs[i].apply(&u);
+                        st.history[i * stride + s as usize] = v;
+                        st.value_fold[i] = fold64(st.value_fold[i], v);
+                        st.update_fold[i] = fold64(st.update_fold[i], u.digest());
+                        st.next_step[i] = s + 1;
+                        st.queued[i] = false;
+                        st.busy = false;
+                        if record_timing {
+                            st.times[i].push(tick);
                         }
                         if s == steps {
-                            ps.finished_at[i] = tick;
+                            st.finished_at[i] = tick;
                         }
                     }
                     remaining -= 1;
                     makespan = makespan.max(tick);
 
-                    // Stream to subscribers of this column.
+                    // Stream to subscribers: the per-copy route list holds
+                    // exactly this column's routes, in classic scan order.
+                    let cid = hot.copy_off[p] as usize + i;
+                    let routes = &hot.out_ids[hot.out_off[cid] as usize..hot.out_off[cid + 1] as usize];
                     match routing {
-                        Routes::Unicast(rt) => {
-                            for &sid in &rt.outbound[p] {
-                                let sub = &rt.subs[sid as usize];
-                                if sub.cell != cell {
-                                    continue;
-                                }
+                        Routes::Unicast(_) => {
+                            for &sid in routes {
                                 messages += 1;
-                                pebble_hops += sub.path.len() as u64 - 1;
-                                let lid = link_ids[&(sub.path[0], sub.path[1])];
+                                let llo = hot.sub_link_off[sid as usize] as usize;
+                                let lhi = hot.sub_link_off[sid as usize + 1] as usize;
+                                pebble_hops += (lhi - llo) as u64;
+                                let lid = hot.sub_links[llo];
                                 link_traffic[lid as usize] += 1;
                                 let depart = inject(&mut link_slots[lid as usize], tick, bw);
-                                push(
-                                    &mut queue,
-                                    &mut payloads,
-                                    &mut seq,
-                                    depart + self.config.jitter.effective(link_delay[lid as usize], lid, depart),
+                                sched!(
+                                    depart
+                                        + self.config.jitter.effective(
+                                            hot.link_delay[lid as usize],
+                                            lid,
+                                            depart
+                                        ),
                                     Ev::Arrival {
                                         sub: sid,
                                         hop: 1,
                                         step: s,
                                         value: v,
-                                    },
+                                    }
                                 );
                             }
                         }
                         Routes::Multicast(mt) => {
-                            for &tid in &mt.outbound[p] {
-                                let tree = &mt.trees[tid as usize];
-                                if tree.cell != cell {
-                                    continue;
-                                }
+                            for &tid in routes {
                                 messages += 1;
-                                let root = tree.index_of[&tree.source] as usize;
-                                for &child in &tree.children[root] {
+                                let tree = &mt.trees[tid as usize];
+                                let elids = &hot.tree_edge_lid[tid as usize];
+                                for &child in &tree.children[tree.root as usize] {
                                     pebble_hops += 1;
-                                    let to = tree.nodes[child as usize];
-                                    let lid = link_ids[&(tree.source, to)];
+                                    let lid = elids[child as usize];
                                     link_traffic[lid as usize] += 1;
                                     let depart =
                                         inject(&mut link_slots[lid as usize], tick, bw);
-                                    push(
-                                        &mut queue,
-                                        &mut payloads,
-                                        &mut seq,
-                                        depart + self.config.jitter.effective(link_delay[lid as usize], lid, depart),
+                                    sched!(
+                                        depart
+                                            + self.config.jitter.effective(
+                                                hot.link_delay[lid as usize],
+                                                lid,
+                                                depart
+                                            ),
                                         Ev::TreeHop {
                                             tree: tid,
                                             node: child,
                                             step: s,
                                             value: v,
-                                        },
+                                        }
                                     );
                                 }
                             }
                         }
                     }
 
-                    // Unblock: this column's next step, neighbours held here.
-                    let mut to_check: Vec<u32> = vec![own_idx];
-                    to_check.extend_from_slice(&procs[p].own_dependents[i]);
-                    for j in to_check {
-                        let j = j as usize;
-                        if !procs[p].queued[j] && is_ready(&procs, p, j) {
-                            let sj = procs[p].next_step[j];
-                            procs[p].ready.push(Reverse((sj, j as u32)));
-                            procs[p].queued[j] = true;
+                    // Unblock: this column's next step, then the held
+                    // dependents — walked in place, no scratch list.
+                    {
+                        let st = &mut state[p];
+                        try_enqueue(pt, st, i, steps);
+                        for idx in pt.own_dep_off[i] as usize..pt.own_dep_off[i + 1] as usize {
+                            let j = pt.own_dependents[idx] as usize;
+                            try_enqueue(pt, st, j, steps);
                         }
-                    }
-                    // Start next computation if any.
-                    if !procs[p].busy {
-                        if let Some(Reverse((_s, j))) = procs[p].ready.pop() {
-                            procs[p].busy = true;
-                            push(
-                                &mut queue,
-                                &mut payloads,
-                                &mut seq,
-                                tick + cost_of(p),
-                                Ev::ComputeDone {
-                                    proc,
-                                    own_idx: j,
-                                },
-                            );
+                        if !st.busy {
+                            if let Some(Reverse((_s, j))) = st.ready.pop() {
+                                st.busy = true;
+                                sched!(
+                                    tick + cost_of(p),
+                                    Ev::ComputeDone { proc, own_idx: j }
+                                );
+                            }
                         }
                     }
                 }
@@ -719,64 +939,45 @@ impl<'a> Engine<'a> {
                     step,
                     value,
                 } => {
-                    let Routes::Unicast(rt) = routing else {
-                        unreachable!("unicast arrival in multicast mode");
-                    };
-                    let s = &rt.subs[sub as usize];
-                    let at = hop as usize;
-                    if at + 1 < s.path.len() {
+                    let sid = sub as usize;
+                    let llo = hot.sub_link_off[sid] as usize;
+                    let lhi = hot.sub_link_off[sid + 1] as usize;
+                    let at = llo + hop as usize;
+                    if at < lhi {
                         // Forward along the route.
-                        let lid = link_ids[&(s.path[at], s.path[at + 1])];
+                        let lid = hot.sub_links[at];
                         link_traffic[lid as usize] += 1;
                         let depart = inject(&mut link_slots[lid as usize], tick, bw);
-                        push(
-                            &mut queue,
-                            &mut payloads,
-                            &mut seq,
-                            depart + self.config.jitter.effective(link_delay[lid as usize], lid, depart),
+                        sched!(
+                            depart
+                                + self.config.jitter.effective(
+                                    hot.link_delay[lid as usize],
+                                    lid,
+                                    depart
+                                ),
                             Ev::Arrival {
                                 sub,
                                 hop: hop + 1,
                                 step,
                                 value,
-                            },
+                            }
                         );
                     } else {
                         // Delivery at the consumer.
-                        let p = s.dest as usize;
-                        let k = procs[p].dep_pos[&s.cell] as usize;
-                        {
-                            let ps = &mut procs[p];
-                            ps.dep_values[k][step as usize] = value;
-                            ps.dep_have[k][step as usize] = true;
-                            while (ps.dep_watermark[k] as usize) < steps as usize
-                                && ps.dep_have[k][ps.dep_watermark[k] as usize + 1]
-                            {
-                                ps.dep_watermark[k] += 1;
-                            }
-                        }
-                        // Unblock held cells waiting on this column.
-                        let dependents = procs[p].dep_dependents[k].clone();
-                        for j in dependents {
-                            let j = j as usize;
-                            if !procs[p].queued[j] && is_ready(&procs, p, j) {
-                                let sj = procs[p].next_step[j];
-                                procs[p].ready.push(Reverse((sj, j as u32)));
-                                procs[p].queued[j] = true;
-                            }
-                        }
-                        if !procs[p].busy {
-                            if let Some(Reverse((_s2, j))) = procs[p].ready.pop() {
-                                procs[p].busy = true;
-                                push(
-                                    &mut queue,
-                                    &mut payloads,
-                                    &mut seq,
+                        let p = hot.sub_dest[sid] as usize;
+                        let k = hot.sub_dest_dep[sid] as usize;
+                        let pt = &hot.procs[p];
+                        let st = &mut state[p];
+                        deliver(pt, st, k, step, value, steps, stride);
+                        if !st.busy {
+                            if let Some(Reverse((_s2, j))) = st.ready.pop() {
+                                st.busy = true;
+                                sched!(
                                     tick + cost_of(p),
                                     Ev::ComputeDone {
-                                        proc: s.dest,
+                                        proc: p as NodeId,
                                         own_idx: j,
-                                    },
+                                    }
                                 );
                             }
                         }
@@ -792,62 +993,44 @@ impl<'a> Engine<'a> {
                         unreachable!("tree hop in unicast mode");
                     };
                     let t = &mt.trees[tree as usize];
-                    let here = t.nodes[node as usize];
+                    let elids = &hot.tree_edge_lid[tree as usize];
                     // Forward to children.
                     for &child in &t.children[node as usize] {
                         pebble_hops += 1;
-                        let to = t.nodes[child as usize];
-                        let lid = link_ids[&(here, to)];
+                        let lid = elids[child as usize];
                         link_traffic[lid as usize] += 1;
                         let depart = inject(&mut link_slots[lid as usize], tick, bw);
-                        push(
-                            &mut queue,
-                            &mut payloads,
-                            &mut seq,
-                            depart + self.config.jitter.effective(link_delay[lid as usize], lid, depart),
+                        sched!(
+                            depart
+                                + self.config.jitter.effective(
+                                    hot.link_delay[lid as usize],
+                                    lid,
+                                    depart
+                                ),
                             Ev::TreeHop {
                                 tree,
                                 node: child,
                                 step,
                                 value,
-                            },
+                            }
                         );
                     }
                     // Deliver locally if this node subscribes.
-                    if t.deliver[node as usize] {
-                        let p = here as usize;
-                        let k = procs[p].dep_pos[&t.cell] as usize;
-                        {
-                            let ps = &mut procs[p];
-                            ps.dep_values[k][step as usize] = value;
-                            ps.dep_have[k][step as usize] = true;
-                            while (ps.dep_watermark[k] as usize) < steps as usize
-                                && ps.dep_have[k][ps.dep_watermark[k] as usize + 1]
-                            {
-                                ps.dep_watermark[k] += 1;
-                            }
-                        }
-                        let dependents = procs[p].dep_dependents[k].clone();
-                        for j in dependents {
-                            let j = j as usize;
-                            if !procs[p].queued[j] && is_ready(&procs, p, j) {
-                                let sj = procs[p].next_step[j];
-                                procs[p].ready.push(Reverse((sj, j as u32)));
-                                procs[p].queued[j] = true;
-                            }
-                        }
-                        if !procs[p].busy {
-                            if let Some(Reverse((_s2, j))) = procs[p].ready.pop() {
-                                procs[p].busy = true;
-                                push(
-                                    &mut queue,
-                                    &mut payloads,
-                                    &mut seq,
+                    let kdep = hot.tree_deliver_dep[tree as usize][node as usize];
+                    if kdep != u32::MAX {
+                        let p = t.nodes[node as usize] as usize;
+                        let pt = &hot.procs[p];
+                        let st = &mut state[p];
+                        deliver(pt, st, kdep as usize, step, value, steps, stride);
+                        if !st.busy {
+                            if let Some(Reverse((_s2, j))) = st.ready.pop() {
+                                st.busy = true;
+                                sched!(
                                     tick + cost_of(p),
                                     Ev::ComputeDone {
-                                        proc: here,
+                                        proc: p as NodeId,
                                         own_idx: j,
-                                    },
+                                    }
                                 );
                             }
                         }
@@ -865,19 +1048,19 @@ impl<'a> Engine<'a> {
 
         // ---- collect outcome ----
         let mut copies = Vec::with_capacity(self.assign.total_copies());
-        let mut timing = self.config.record_timing.then(TimingTrace::default);
-        for (p, ps) in procs.iter().enumerate() {
-            for (i, &c) in ps.cells.iter().enumerate() {
+        let mut timing = record_timing.then(TimingTrace::default);
+        for (p, (st, pt)) in state.iter().zip(&hot.procs).enumerate() {
+            for (i, &c) in pt.cells.iter().enumerate() {
                 copies.push(CopyRecord {
                     cell: c,
                     proc: p as NodeId,
-                    value_fold: ps.value_fold[i],
-                    db_digest: ps.dbs[i].digest(),
-                    update_fold: ps.update_fold[i],
-                    finished_at: ps.finished_at[i],
+                    value_fold: st.value_fold[i],
+                    db_digest: st.dbs[i].digest(),
+                    update_fold: st.update_fold[i],
+                    finished_at: st.finished_at[i],
                 });
                 if let Some(t) = timing.as_mut() {
-                    t.ticks.push(ps.times[i].clone());
+                    t.ticks.push(st.times[i].clone());
                 }
             }
         }
@@ -910,6 +1093,8 @@ impl<'a> Engine<'a> {
                     active.iter().sum::<u64>() as f64 / active.len() as f64
                 }
             },
+            events_processed,
+            peak_queue_depth: peak_queue as u64,
         };
         Ok(RunOutcome {
             stats,
@@ -921,7 +1106,7 @@ impl<'a> Engine<'a> {
 
 /// Reserve an injection slot on a directed link: at most `bw` injections
 /// per tick, FIFO, never before `now`. Returns the departure tick.
-fn inject(slot: &mut LinkSlot, now: u64, bw: u64) -> u64 {
+pub(crate) fn inject(slot: &mut LinkSlot, now: u64, bw: u64) -> u64 {
     if slot.tick < now {
         slot.tick = now;
         slot.count = 0;
@@ -938,6 +1123,7 @@ fn inject(slot: &mut LinkSlot, now: u64, bw: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine_classic::run_classic;
     use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
     use overlap_net::topology::linear_array;
     use overlap_net::DelayModel;
@@ -1190,8 +1376,39 @@ mod tests {
         }
         assert_eq!(timing.row_completion(8), out.stats.makespan);
         // Utilization is within (0, 1] for active processors.
-        let util = timing.utilization(&out.copies, 3, out.stats.makespan);
+        let util = timing.utilization(&out.copies, 3, out.stats.makespan, None);
         assert!(util.iter().all(|&u| u > 0.0 && u <= 1.0), "{util:?}");
+    }
+
+    #[test]
+    fn utilization_weights_heterogeneous_costs() {
+        // One column per proc; proc 1 computes at cost 4. Unweighted, its
+        // busy time would be T ticks out of a ≥ 4T makespan (≤ 25%); the
+        // cost-weighted utilization counts 4T busy ticks.
+        let guest = GuestSpec::line(2, ProgramKind::KvWorkload, 3, 10);
+        let host = linear_array(2, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(2, 2);
+        let cfg = EngineConfig {
+            record_timing: true,
+            ..Default::default()
+        };
+        let costs = vec![1u32, 4u32];
+        let out = Engine::new(&guest, &host, &assign, cfg)
+            .with_compute_costs(costs.clone())
+            .run()
+            .unwrap();
+        let timing = out.timing.as_ref().unwrap();
+        let weighted =
+            timing.utilization(&out.copies, 2, out.stats.makespan, Some(&costs));
+        let unweighted = timing.utilization(&out.copies, 2, out.stats.makespan, None);
+        // The slow processor is never idle between its pebbles: weighted
+        // utilization must be exactly 4× the naive count, and high.
+        assert!((weighted[1] - 4.0 * unweighted[1]).abs() < 1e-12);
+        assert!(
+            weighted[1] > 0.9,
+            "slow proc looks idle: weighted {weighted:?}, unweighted {unweighted:?}"
+        );
+        assert_eq!(weighted[0], unweighted[0]);
     }
 
     #[test]
@@ -1445,5 +1662,60 @@ mod tests {
         };
         let err = Engine::new(&guest, &host, &assign, cfg).run().unwrap_err();
         assert!(matches!(err, RunError::TickLimit(10)));
+    }
+
+    #[test]
+    fn stats_count_events_and_queue_depth() {
+        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 3, 12);
+        let host = linear_array(4, DelayModel::constant(5), 0);
+        let assign = Assignment::blocked(4, 8);
+        let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        // Every compute completion is an event; routed pebbles add more.
+        assert!(out.stats.events_processed >= out.stats.total_compute);
+        assert!(out.stats.peak_queue_depth >= 1);
+    }
+
+    /// The calendar-queue engine must reproduce the classic heap engine's
+    /// outcome bit for bit, across route modes, jitter, and costs.
+    #[test]
+    fn matches_classic_engine_exactly() {
+        let guest = GuestSpec::line(12, ProgramKind::KvWorkload, 5, 18);
+        let host = linear_array(4, DelayModel::uniform(1, 9), 7);
+        let assign = Assignment::from_cells_of(
+            4,
+            12,
+            vec![vec![0, 1, 2, 3], vec![3, 4, 5, 6], vec![6, 7, 8, 9], vec![9, 10, 11]],
+        );
+        for multicast in [false, true] {
+            for jitter in [
+                Jitter::None,
+                Jitter::Periodic {
+                    amplitude_pct: 40,
+                    period: 8,
+                },
+            ] {
+                for costs in [None, Some(vec![1u32, 3, 1, 2])] {
+                    let cfg = EngineConfig {
+                        multicast,
+                        jitter,
+                        record_timing: true,
+                        ..Default::default()
+                    };
+                    let mut eng = Engine::new(&guest, &host, &assign, cfg);
+                    if let Some(c) = costs.clone() {
+                        eng = eng.with_compute_costs(c);
+                    }
+                    let new = eng.run().expect("calendar engine");
+                    let classic = run_classic(&guest, &host, &assign, cfg, costs.as_deref())
+                        .expect("classic engine");
+                    assert_eq!(
+                        new, classic,
+                        "divergence (multicast={multicast}, jitter={jitter:?}, costs={costs:?})"
+                    );
+                }
+            }
+        }
     }
 }

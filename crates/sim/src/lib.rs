@@ -36,7 +36,9 @@
 
 pub mod assignment;
 pub mod bandwidth;
+pub mod calendar;
 pub mod engine;
+pub mod engine_classic;
 pub mod lockstep;
 pub mod multicast;
 pub mod parallel;

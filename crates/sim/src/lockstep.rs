@@ -171,6 +171,8 @@ pub fn run_lockstep(
         bandwidth_per_link: bandwidth.per_tick(n),
         busiest_link_pebbles: 0,
         mean_link_pebbles: 0.0,
+        events_processed: 0,
+        peak_queue_depth: 0,
     };
     Ok(RunOutcome {
         stats,

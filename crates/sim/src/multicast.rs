@@ -26,6 +26,10 @@ pub struct MulticastTree {
     pub nodes: Vec<NodeId>,
     /// Per node (indexed as in `nodes`): child node indices.
     pub children: Vec<Vec<u32>>,
+    /// Per node: parent node index (`u32::MAX` for the root).
+    pub parent: Vec<u32>,
+    /// Node index of `source` (the tree root).
+    pub root: u32,
     /// Per node: is it a delivery destination?
     pub deliver: Vec<bool>,
     /// Node index lookup.
@@ -40,6 +44,9 @@ pub struct MulticastTable {
     pub trees: Vec<MulticastTree>,
     /// For each source processor: tree ids rooted there.
     pub outbound: Vec<Vec<u32>>,
+    /// For each source processor, `outbound` grouped by column: sorted
+    /// `(cell, tree ids)` pairs (see [`RoutingTable::outbound_by_cell`]).
+    pub outbound_by_cell: Vec<Vec<(u32, Vec<u32>)>>,
     /// For each processor: `(cell, tree_id)` pairs it receives.
     pub inbound: Vec<Vec<(u32, u32)>>,
 }
@@ -101,12 +108,15 @@ impl MulticastTable {
                 }
             }
             let mut children: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
-            for (&child, &parent) in &parent_of {
-                children[index_of[&parent] as usize].push(index_of[&child]);
+            let mut parent: Vec<u32> = vec![u32::MAX; nodes.len()];
+            for (&ch, &pa) in &parent_of {
+                children[index_of[&pa] as usize].push(index_of[&ch]);
+                parent[index_of[&ch] as usize] = index_of[&pa];
             }
             for ch in &mut children {
                 ch.sort_unstable();
             }
+            let root = index_of[&source];
             let deliver: Vec<bool> = nodes
                 .iter()
                 .map(|v| dests.contains(v))
@@ -121,6 +131,8 @@ impl MulticastTable {
                 source,
                 nodes,
                 children,
+                parent,
+                root,
                 deliver,
                 index_of,
             });
@@ -128,9 +140,12 @@ impl MulticastTable {
         for inb in &mut inbound {
             inb.sort_unstable();
         }
+        let outbound_by_cell =
+            crate::routing::group_by_cell(&outbound, |tid| trees[tid as usize].cell);
         Self {
             trees,
             outbound,
+            outbound_by_cell,
             inbound,
         }
     }
@@ -193,6 +208,32 @@ mod tests {
             assert_eq!(count, t.nodes.len(), "disconnected tree");
             // At least one delivery.
             assert!(t.deliver.iter().any(|&d| d));
+        }
+    }
+
+    #[test]
+    fn parent_links_mirror_children() {
+        let host = linear_array(6, DelayModel::uniform(1, 5), 3);
+        let topo = GuestTopology::Line { m: 12 };
+        let assign = Assignment::blocked(6, 12);
+        let mc = MulticastTable::build(&host, &topo, &assign);
+        for t in &mc.trees {
+            assert_eq!(t.root, t.index_of[&t.source]);
+            assert_eq!(t.parent[t.root as usize], u32::MAX);
+            for (i, ch) in t.children.iter().enumerate() {
+                for &c in ch {
+                    assert_eq!(t.parent[c as usize], i as u32);
+                }
+            }
+            // Every non-root node has a parent.
+            for (i, &pa) in t.parent.iter().enumerate() {
+                assert_eq!(pa == u32::MAX, i as u32 == t.root);
+            }
+        }
+        // outbound_by_cell partitions outbound.
+        for p in 0..6usize {
+            let flat: usize = mc.outbound_by_cell[p].iter().map(|(_, v)| v.len()).sum();
+            assert_eq!(flat, mc.outbound[p].len());
         }
     }
 

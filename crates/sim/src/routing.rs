@@ -40,6 +40,11 @@ pub struct RoutingTable {
     /// For each processor, the ids of subscriptions it *sends* (it is the
     /// source), grouped for fast fan-out at compute time.
     pub outbound: Vec<Vec<u32>>,
+    /// For each processor, `outbound` grouped by source column: sorted
+    /// `(cell, sub ids)` pairs, sub ids in `outbound` order. Lets the
+    /// engine fan out a completed pebble without scanning every
+    /// subscription of the processor.
+    pub outbound_by_cell: Vec<Vec<(u32, Vec<u32>)>>,
     /// For each processor, `(cell, sub_id)` pairs it *receives*.
     pub inbound: Vec<Vec<(u32, u32)>>,
 }
@@ -110,9 +115,11 @@ impl RoutingTable {
                 inbound[p as usize].push((c, id));
             }
         }
+        let outbound_by_cell = group_by_cell(&outbound, |sid| subs[sid as usize].cell);
         Self {
             subs,
             outbound,
+            outbound_by_cell,
             inbound,
         }
     }
@@ -127,6 +134,30 @@ impl RoutingTable {
     pub fn max_route_delay(&self) -> u64 {
         self.subs.iter().map(|s| s.delay).max().unwrap_or(0)
     }
+}
+
+/// Group each processor's outbound route ids by source column: sorted
+/// `(cell, ids)` association lists, ids kept in their original (increasing)
+/// order within each cell — the order the engine's fan-out must preserve.
+pub(crate) fn group_by_cell(
+    outbound: &[Vec<u32>],
+    cell_of: impl Fn(u32) -> u32,
+) -> Vec<Vec<(u32, Vec<u32>)>> {
+    outbound
+        .iter()
+        .map(|out| {
+            let mut by_cell: Vec<(u32, Vec<u32>)> = Vec::new();
+            for &id in out {
+                let cell = cell_of(id);
+                match by_cell.iter_mut().find(|(c, _)| *c == cell) {
+                    Some((_, ids)) => ids.push(id),
+                    None => by_cell.push((cell, vec![id])),
+                }
+            }
+            by_cell.sort_by_key(|&(c, _)| c);
+            by_cell
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -214,6 +245,37 @@ mod tests {
         let topo = GuestTopology::Line { m: 3 };
         let a = Assignment::from_cells_of(2, 3, vec![vec![0], vec![2]]);
         RoutingTable::build(&host, &topo, &a);
+    }
+
+    #[test]
+    fn outbound_by_cell_partitions_outbound() {
+        let host = line_host(4, 2);
+        let topo = GuestTopology::Line { m: 8 };
+        let a = Assignment::from_cells_of(
+            4,
+            8,
+            vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 6], vec![6, 7]],
+        );
+        let rt = RoutingTable::build(&host, &topo, &a);
+        for p in 0..4usize {
+            // Same multiset of ids, grouped, cells sorted, ids in sid order.
+            let mut flat: Vec<u32> = Vec::new();
+            let mut last_cell = None;
+            for (cell, ids) in &rt.outbound_by_cell[p] {
+                assert!(last_cell < Some(*cell), "cells not strictly sorted");
+                last_cell = Some(*cell);
+                assert!(!ids.is_empty());
+                for &id in ids {
+                    assert_eq!(rt.subs[id as usize].cell, *cell);
+                    flat.push(id);
+                }
+                assert!(ids.windows(2).all(|w| w[0] < w[1]));
+            }
+            let mut expect = rt.outbound[p].clone();
+            flat.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(flat, expect, "proc {p} grouping lost or invented ids");
+        }
     }
 
     #[test]

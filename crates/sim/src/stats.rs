@@ -37,6 +37,14 @@ pub struct RunStats {
     pub busiest_link_pebbles: u64,
     /// Mean pebble injections per directed link that carried any traffic.
     pub mean_link_pebbles: f64,
+    /// Events dispatched by the engine's queue (compute completions, route
+    /// hops, deliveries) — the denominator for events/sec throughput.
+    #[serde(default)]
+    pub events_processed: u64,
+    /// Largest number of simultaneously pending events — a proxy for the
+    /// engine's peak memory footprint.
+    #[serde(default)]
+    pub peak_queue_depth: u64,
 }
 
 impl RunStats {
@@ -81,6 +89,8 @@ mod tests {
             bandwidth_per_link: 2,
             busiest_link_pebbles: 30,
             mean_link_pebbles: 10.0,
+            events_processed: 250,
+            peak_queue_depth: 12,
         }
     }
 

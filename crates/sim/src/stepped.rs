@@ -358,11 +358,11 @@ pub fn run_stepped(
         }
 
         // ---- phase 3: deterministic sends ----
-        for p in 0..n as usize {
-            if procs[p].outbox.is_empty() {
+        for (p, proc) in procs.iter_mut().enumerate() {
+            if proc.outbox.is_empty() {
                 continue;
             }
-            let outbox = std::mem::take(&mut procs[p].outbox);
+            let outbox = std::mem::take(&mut proc.outbox);
             for (cell, step, value) in outbox {
                 for &sid in &routing.outbound[p] {
                     let sub = &routing.subs[sid as usize];
@@ -437,6 +437,8 @@ pub fn run_stepped(
         bandwidth_per_link: bw as u32,
         busiest_link_pebbles: 0,
         mean_link_pebbles: 0.0,
+        events_processed: 0,
+        peak_queue_depth: 0,
     };
     Ok(RunOutcome {
         stats,

@@ -36,10 +36,9 @@ fn main() {
     // key-value database every step, for 64 steps.
     let guest = GuestSpec::ring(96, ProgramKind::KvWorkload, 7, 64);
     println!(
-        "guest: ring of {} cells × {} steps ({})\n",
+        "guest: ring of {} cells × {} steps (kv-workload)\n",
         guest.num_cells(),
         guest.steps,
-        "kv-workload"
     );
 
     println!(

@@ -2,10 +2,12 @@
 //! planning, simulation — is a pure function of its seeds, including when
 //! sweeps run under rayon.
 
-use overlap::core::pipeline::{simulate_line_on_host, LineStrategy};
-use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
-use overlap::net::{topology, DelayModel};
+use overlap::model::{fold64, GuestSpec, ProgramKind, ReferenceRun};
+use overlap::net::{topology, DelayModel, HostGraph};
+use overlap::sim::engine::{Engine, EngineConfig, Jitter};
 use overlap::sim::sweep::par_map;
+use overlap::sim::Assignment;
+use overlap::core::pipeline::{simulate_line_on_host, LineStrategy};
 
 #[test]
 fn pipeline_is_deterministic_across_runs() {
@@ -48,6 +50,81 @@ fn reference_trace_is_seed_stable() {
     let b = ReferenceRun::execute(&GuestSpec::line(10, ProgramKind::KvWorkload, 42, 8));
     assert_eq!(a.grid, b.grid);
     assert_eq!(a.final_db_digest, b.final_db_digest);
+}
+
+/// Golden end-to-end run: every feature that affects event ordering at
+/// once — hand-built heterogeneous host, overlapping assignment, multicast
+/// trees, delay jitter, per-processor compute costs, timing trace. The
+/// asserted values were recorded from a verified run; any engine change
+/// that shifts event order, link-id assignment, or tie-breaking will move
+/// at least one of them.
+#[test]
+fn golden_engine_run_is_bit_stable() {
+    let guest = GuestSpec::line(9, ProgramKind::KvWorkload, 5, 12);
+    let mut host = HostGraph::new("golden", 4);
+    host.add_link(0, 1, 3);
+    host.add_link(1, 2, 5);
+    host.add_link(2, 3, 2);
+    host.add_link(0, 2, 7);
+    let assign = Assignment::from_cells_of(
+        4,
+        9,
+        vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 6, 7], vec![7, 8]],
+    );
+    let cfg = EngineConfig {
+        multicast: true,
+        jitter: Jitter::Periodic {
+            amplitude_pct: 40,
+            period: 8,
+        },
+        record_timing: true,
+        ..Default::default()
+    };
+    let out = Engine::new(&guest, &host, &assign, cfg)
+        .with_compute_costs(vec![1, 3, 2, 1])
+        .run()
+        .expect("golden run");
+
+    // One order-sensitive digest over every copy's audit record.
+    let mut digest = 0x60u64;
+    for c in &out.copies {
+        for x in [
+            c.cell as u64,
+            c.proc as u64,
+            c.value_fold,
+            c.db_digest,
+            c.update_fold,
+            c.finished_at,
+        ] {
+            digest = fold64(digest, x);
+        }
+    }
+    // And over the full timing trace.
+    let timing = out.timing.as_ref().expect("timing recorded");
+    let mut tdigest = 0x71u64;
+    for ticks in &timing.ticks {
+        for &t in ticks {
+            tdigest = fold64(tdigest, t);
+        }
+    }
+    assert_eq!(out.stats.makespan, 108);
+    assert_eq!(out.stats.messages, 60);
+    assert_eq!(out.stats.pebble_hops, 72);
+    assert_eq!(out.stats.events_processed, 216);
+    assert_eq!(out.stats.peak_queue_depth, 8);
+    assert_eq!(digest, 0x099061efa035f13e, "copy records moved");
+    assert_eq!(tdigest, 0x13bc53be88719ba8, "timing trace moved");
+
+    // The frozen classic (heap-based) engine must agree bit for bit.
+    let classic = overlap::sim::engine_classic::run_classic(
+        &guest,
+        &host,
+        &assign,
+        cfg,
+        Some(&[1, 3, 2, 1]),
+    )
+    .expect("classic run");
+    assert_eq!(out, classic);
 }
 
 #[test]

@@ -73,6 +73,46 @@ fn engines_agree_on_embedded_non_path_hosts() {
 }
 
 #[test]
+fn calendar_engine_matches_classic_on_planned_placements() {
+    // The rewritten hot path must reproduce the frozen heap-based engine's
+    // full `RunOutcome` (stats, copy records, timing trace) on real
+    // pipeline placements, in both route modes with jitter and costs.
+    use overlap::sim::engine::Jitter;
+    use overlap::sim::engine_classic::run_classic;
+
+    let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 11, 10);
+    let host = topology::mesh2d(3, 3, DelayModel::uniform(1, 12), 5);
+    let costs: Vec<u32> = (0..9).map(|p| 1 + p % 3).collect();
+    for s in [LineStrategy::Overlap { c: 4.0 }, LineStrategy::Blocked] {
+        let placement = plan_line_placement(&guest, &host, s).expect("placement");
+        let a = &placement.assignment;
+        for multicast in [false, true] {
+            let cfg = EngineConfig {
+                multicast,
+                jitter: Jitter::Periodic {
+                    amplitude_pct: 30,
+                    period: 16,
+                },
+                record_timing: true,
+                ..Default::default()
+            };
+            let new = Engine::new(&guest, &host, a, cfg)
+                .with_compute_costs(costs.clone())
+                .run()
+                .expect("calendar engine");
+            let classic =
+                run_classic(&guest, &host, a, cfg, Some(&costs)).expect("classic engine");
+            assert_eq!(
+                new,
+                classic,
+                "{}: engines diverge (multicast={multicast})",
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn lockstep_slowdown_tracks_dmax_while_greedy_does_not() {
     // The E10 story as a single integration check.
     // n must be large enough that the integer overlaps m_k are nonzero
