@@ -2,7 +2,8 @@
 //! host (wall-clock of the simulator itself, not the simulated makespan).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use overlap_core::pipeline::{simulate_line_with_trace, LineStrategy};
+use overlap_core::pipeline::LineStrategy;
+use overlap_core::Simulation;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
@@ -21,7 +22,14 @@ fn bench_uniform(c: &mut Criterion) {
         ("blocked", LineStrategy::Blocked),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &strat, |b, &s| {
-            b.iter(|| simulate_line_with_trace(&guest, &host, s, &trace).unwrap())
+            b.iter(|| {
+                Simulation::of(&guest)
+                    .on(&host)
+                    .strategy(s)
+                    .build()
+                    .and_then(|sim| sim.run_with_trace(&trace))
+                    .unwrap()
+            })
         });
     }
     g.finish();

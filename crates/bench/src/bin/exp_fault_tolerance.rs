@@ -1,0 +1,12 @@
+//! FAULTS — OVERLAP's graceful degradation vs the single-copy baseline
+//! under link outages and processor crashes.
+//! Writes `BENCH_faults.json` at the workspace root.
+//! Usage: `cargo run --release --bin exp_fault_tolerance [--quick]`
+
+use overlap_bench::experiments::fault_tolerance;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = fault_tolerance::run(Scale::from_args());
+    println!("{}", save_table(&t, "fault_tolerance").expect("write results"));
+}

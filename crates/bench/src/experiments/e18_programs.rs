@@ -3,14 +3,15 @@
 //! In the database model every pebble costs one unit regardless of what it
 //! computes, so the measured slowdown must be *identical* across guest
 //! programs on the same host and placement — from the pure-dataflow
-//! stencil ([2]'s model) through vector automata to remove-heavy KV
+//! stencil (\[2\]'s model) through vector automata to remove-heavy KV
 //! churn — while the computed values, update logs and final databases all
 //! differ. A cheap but sharp regression check on the whole stack: any
 //! workload-dependent timing leak would break the equality.
 
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use overlap_core::pipeline::{simulate_line_with_trace, LineStrategy};
+use super::simulate_line_with_trace;
+use overlap_core::pipeline::LineStrategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;

@@ -7,7 +7,8 @@
 
 use crate::scale::Scale;
 use crate::table::{f2, f3, Table};
-use overlap_core::pipeline::{simulate_line_with_trace, LineStrategy};
+use super::simulate_line_with_trace;
+use overlap_core::pipeline::LineStrategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;

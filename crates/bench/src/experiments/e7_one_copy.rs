@@ -10,7 +10,8 @@
 use crate::scale::Scale;
 use crate::table::{f2, Table};
 use overlap_core::lower::{one_copy_certificate, one_copy_layout, OneCopyLayout};
-use overlap_core::pipeline::{simulate_line_with_trace, LineStrategy};
+use super::simulate_line_with_trace;
+use overlap_core::pipeline::LineStrategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::h1_lower_bound;
 use overlap_sim::engine::{Engine, EngineConfig};

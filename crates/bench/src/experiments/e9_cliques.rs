@@ -9,7 +9,8 @@
 use crate::scale::Scale;
 use crate::table::{f2, Table};
 use overlap_core::general::{cliques_best_bound, cliques_slowdown_bound};
-use overlap_core::pipeline::{simulate_line_with_trace, LineStrategy};
+use super::simulate_line_with_trace;
+use overlap_core::pipeline::LineStrategy;
 use overlap_core::theory;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::metrics::DelayStats;

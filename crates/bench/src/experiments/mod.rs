@@ -15,7 +15,28 @@
 //! | [`e11_mesh_on_mesh`] | §7 open question — 2-D guest on 2-D host, measured |
 //! | [`e12_ablations`] | halo width, killing constant, bandwidth ablations |
 //! | [`engine_scale`]  | simulator throughput: calendar-queue vs classic heap engine |
+//! | [`fault_tolerance`] | graceful degradation: OVERLAP vs single-copy under link outages & crashes |
 //! | [`figures`]       | Figures 1–6 regenerated as data |
+
+use overlap_core::pipeline::{LineStrategy, SimReport};
+use overlap_core::{Error, Simulation};
+use overlap_model::{GuestSpec, ReferenceTrace};
+use overlap_net::HostGraph;
+
+/// Shared by the experiments: run a line/ring guest through the
+/// [`Simulation`] builder, validating against a precomputed trace.
+pub(crate) fn simulate_line_with_trace(
+    guest: &GuestSpec,
+    host: &HostGraph,
+    strategy: LineStrategy,
+    trace: &ReferenceTrace,
+) -> Result<SimReport, Error> {
+    Simulation::of(guest)
+        .on(host)
+        .strategy(strategy)
+        .build()
+        .and_then(|s| s.run_with_trace(trace))
+}
 
 pub mod e10_baselines;
 pub mod e11_mesh_on_mesh;
@@ -36,4 +57,5 @@ pub mod e7_one_copy;
 pub mod e8_two_copy;
 pub mod e9_cliques;
 pub mod engine_scale;
+pub mod fault_tolerance;
 pub mod figures;

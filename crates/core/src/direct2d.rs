@@ -12,7 +12,7 @@
 //! no-redundancy `Θ(g² + d)`, weaker than the 1-D `√d` because halos cost
 //! area, not length. Experiment E11 measures exactly this.
 
-use crate::pipeline::PipelineError;
+use crate::error::Error;
 use overlap_model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun, ReferenceTrace};
 use overlap_net::topology::mesh2d;
 use overlap_net::{Delay, DelayModel, HostGraph};
@@ -86,7 +86,7 @@ pub fn simulate_mesh_on_mesh(
     seed: u64,
     steps: u32,
     trace: Option<&ReferenceTrace>,
-) -> Result<Direct2DReport, PipelineError> {
+) -> Result<Direct2DReport, Error> {
     let guest = GuestSpec {
         topology: GuestTopology::Mesh2D {
             w: host_w * g,
@@ -100,7 +100,7 @@ pub fn simulate_mesh_on_mesh(
     let assignment = halo2d_assignment(host_w, host_h, g, omega);
     let outcome = Engine::new(&guest, &host, &assignment, EngineConfig::default())
         .run()
-        .map_err(PipelineError::Run)?;
+        .map_err(Error::Run)?;
     let owned_trace;
     let trace = match trace {
         Some(t) => t,

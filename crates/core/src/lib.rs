@@ -35,6 +35,7 @@ pub mod assign;
 pub mod baseline;
 pub mod combined;
 pub mod direct2d;
+pub mod error;
 pub mod general;
 pub mod killing;
 pub mod lower;
@@ -42,13 +43,16 @@ pub mod mesh;
 pub mod overlap;
 pub mod pipeline;
 pub mod schedule;
+pub mod simulation;
 pub mod theory;
 pub mod tree;
 pub mod tree_guest;
 pub mod uniform;
 
 pub use assign::{expand_blocks, SlotAssignment};
+pub use error::Error;
 pub use killing::{KillOutcome, KillParams};
 pub use overlap::{plan_overlap, OverlapError, OverlapPlan};
-pub use pipeline::{simulate_line_on_host, LineStrategy, SimReport};
+pub use pipeline::{LineStrategy, SimReport};
+pub use simulation::{EngineKind, Simulation, SimulationBuilder};
 pub use tree::{IntervalTree, TreeNode};

@@ -10,7 +10,8 @@
 
 use crate::combined::compose;
 use crate::overlap::{plan_overlap, OverlapError};
-use crate::pipeline::{host_as_array, PipelineError, SimReport};
+use crate::error::Error;
+use crate::pipeline::{host_as_array, SimReport};
 use overlap_model::{
     mesh3d_slabs, mesh_columns, torus_fold, GuestSpec, GuestTopology, ReferenceRun,
     ReferenceTrace, SlotMap,
@@ -104,7 +105,7 @@ pub fn simulate_mesh_on_host(
     host: &HostGraph,
     c: f64,
     expansion: u32,
-) -> Result<SimReport, PipelineError> {
+) -> Result<SimReport, Error> {
     let trace = ReferenceRun::execute(guest);
     simulate_mesh_with_trace(guest, host, c, expansion, &trace)
 }
@@ -116,13 +117,13 @@ pub fn simulate_mesh_with_trace(
     c: f64,
     expansion: u32,
     trace: &ReferenceTrace,
-) -> Result<SimReport, PipelineError> {
+) -> Result<SimReport, Error> {
     if grid_slot_map(&guest.topology).is_none() {
-        return Err(PipelineError::UnsupportedTopology);
+        return Err(Error::UnsupportedTopology);
     }
     let (order, delays, dilation) = host_as_array(host);
     let plan =
-        plan_mesh(&delays, c, expansion, &guest.topology).map_err(PipelineError::Overlap)?;
+        plan_mesh(&delays, c, expansion, &guest.topology).map_err(Error::Overlap)?;
     let mut cells_of = vec![Vec::new(); host.num_nodes() as usize];
     for (pos, cells) in plan.cells_of_position.iter().enumerate() {
         cells_of[order[pos] as usize] = cells.clone();
@@ -130,7 +131,7 @@ pub fn simulate_mesh_with_trace(
     let assignment = Assignment::from_cells_of(host.num_nodes(), guest.num_cells(), cells_of);
     let outcome = Engine::new(guest, host, &assignment, EngineConfig::default())
         .run()
-        .map_err(PipelineError::Run)?;
+        .map_err(Error::Run)?;
     let errors = validate_run(trace, &outcome);
     let d_ave = if delays.is_empty() {
         0.0
@@ -147,6 +148,7 @@ pub fn simulate_mesh_with_trace(
         d_ave,
         d_max: delays.iter().copied().max().unwrap_or(0),
         dilation,
+        outcome,
     })
 }
 
@@ -249,7 +251,7 @@ mod tests {
         let host = linear_array(4, DelayModel::constant(1), 0);
         assert!(matches!(
             simulate_mesh_on_host(&guest, &host, 4.0, 2),
-            Err(PipelineError::UnsupportedTopology)
+            Err(Error::UnsupportedTopology)
         ));
     }
 }

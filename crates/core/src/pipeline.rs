@@ -12,15 +12,15 @@
 //! 3. build the database assignment per the chosen [`LineStrategy`];
 //! 4. execute with the cycle-accurate engine and validate every copy.
 
-use crate::overlap::{plan_overlap, OverlapError};
+use crate::error::Error;
+use crate::overlap::plan_overlap;
+use crate::simulation::Simulation;
 use crate::uniform;
 use overlap_model::{line_slots, ring_fold, GuestSpec, GuestTopology, ReferenceTrace, SlotMap};
 use overlap_net::embed::embed_linear_array;
 use overlap_net::{Delay, HostGraph, NodeId};
-use overlap_sim::engine::{Engine, EngineConfig, RunError};
-use overlap_sim::validate::validate_run;
+use overlap_sim::engine::RunOutcome;
 use overlap_sim::{Assignment, RunStats};
-use overlap_model::ReferenceRun;
 
 /// How to place guest databases on the host line.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,42 +117,10 @@ pub fn resolve_auto(delays: &[Delay]) -> LineStrategy {
     }
 }
 
-/// Pipeline failure.
-#[derive(Debug)]
-pub enum PipelineError {
-    /// OVERLAP planning failed.
-    Overlap(OverlapError),
-    /// The engine could not complete.
-    Run(RunError),
-    /// Mesh guests must use [`crate::mesh`].
-    UnsupportedTopology,
-}
-
-impl std::fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PipelineError::Overlap(e) => write!(f, "overlap planning: {e}"),
-            PipelineError::Run(e) => write!(f, "engine: {e}"),
-            PipelineError::UnsupportedTopology => {
-                write!(f, "mesh guests use overlap_core::mesh")
-            }
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
-
-impl From<OverlapError> for PipelineError {
-    fn from(e: OverlapError) -> Self {
-        PipelineError::Overlap(e)
-    }
-}
-
-impl From<RunError> for PipelineError {
-    fn from(e: RunError) -> Self {
-        PipelineError::Run(e)
-    }
-}
+/// Pipeline failure — merged into the unified [`Error`] hierarchy; the
+/// variants (`Overlap`, `Run`, `UnsupportedTopology`) are unchanged.
+#[deprecated(since = "0.2.0", note = "use overlap_core::Error (re-exported as overlap::Error)")]
+pub type PipelineError = Error;
 
 /// The result of a validated pipeline run.
 #[derive(Debug, Clone)]
@@ -175,6 +143,9 @@ pub struct SimReport {
     pub d_max: Delay,
     /// Embedding dilation when the host was not a path (else 0).
     pub dilation: u32,
+    /// The full engine outcome (per-copy records, optional timing trace,
+    /// fault-recovery counters in `stats.faults`).
+    pub outcome: RunOutcome,
 }
 
 /// View a host as a linear array: `(order, link delays)`. A path graph is
@@ -252,7 +223,7 @@ fn place_slots(
     strategy: LineStrategy,
     delays: &[Delay],
     num_slots: u32,
-) -> Result<(Vec<Vec<u32>>, Option<f64>), PipelineError> {
+) -> Result<(Vec<Vec<u32>>, Option<f64>), Error> {
     let n = delays.len() as u32 + 1;
     let d_ave = if delays.is_empty() {
         0.0
@@ -340,13 +311,20 @@ fn place_slots(
 /// Simulate a line or ring guest on an arbitrary connected host with the
 /// given strategy, validating every database copy against the unit-delay
 /// reference.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Simulation::of(&guest).on(&host).strategy(..).build()?.run()"
+)]
 pub fn simulate_line_on_host(
     guest: &GuestSpec,
     host: &HostGraph,
     strategy: LineStrategy,
-) -> Result<SimReport, PipelineError> {
-    let trace = ReferenceRun::execute(guest);
-    simulate_line_with_trace(guest, host, strategy, &trace)
+) -> Result<SimReport, Error> {
+    Simulation::of(guest)
+        .on(host)
+        .strategy(strategy)
+        .build()?
+        .run()
 }
 
 /// The assignment a line strategy produces, plus embedding metadata —
@@ -370,14 +348,14 @@ pub fn plan_line_placement(
     guest: &GuestSpec,
     host: &HostGraph,
     strategy: LineStrategy,
-) -> Result<LinePlacement, PipelineError> {
+) -> Result<LinePlacement, Error> {
     let slot_map: SlotMap = match guest.topology {
         GuestTopology::Line { m } => line_slots(m),
         GuestTopology::Ring { m } => ring_fold(m),
         GuestTopology::Mesh2D { .. }
         | GuestTopology::Torus2D { .. }
         | GuestTopology::BinaryTree { .. }
-        | GuestTopology::Mesh3D { .. } => return Err(PipelineError::UnsupportedTopology),
+        | GuestTopology::Mesh3D { .. } => return Err(Error::UnsupportedTopology),
     };
     let (order, delays, dilation) = host_as_array(host);
     let num_slots = slot_map.len() as u32;
@@ -403,34 +381,21 @@ pub fn plan_line_placement(
 
 /// Like [`simulate_line_on_host`] but with a precomputed reference trace
 /// (for parameter sweeps that reuse the guest).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Simulation::of(&guest).on(&host).strategy(..).build()?.run_with_trace(&trace)"
+)]
 pub fn simulate_line_with_trace(
     guest: &GuestSpec,
     host: &HostGraph,
     strategy: LineStrategy,
     trace: &ReferenceTrace,
-) -> Result<SimReport, PipelineError> {
-    let placement = plan_line_placement(guest, host, strategy)?;
-    let outcome =
-        Engine::new(guest, host, &placement.assignment, EngineConfig::default()).run()?;
-    let errors = validate_run(trace, &outcome);
-    let stats = outcome.stats;
-    let delays = &placement.array_delays;
-    let d_ave = if delays.is_empty() {
-        0.0
-    } else {
-        delays.iter().sum::<u64>() as f64 / delays.len() as f64
-    };
-    Ok(SimReport {
-        stats,
-        validated: errors.is_empty(),
-        mismatches: errors.len(),
-        predicted_slowdown: placement.predicted_slowdown,
-        strategy: strategy.label(),
-        host: host.name().to_string(),
-        d_ave,
-        d_max: delays.iter().copied().max().unwrap_or(0),
-        dilation: placement.dilation,
-    })
+) -> Result<SimReport, Error> {
+    Simulation::of(guest)
+        .on(host)
+        .strategy(strategy)
+        .build()?
+        .run_with_trace(trace)
 }
 
 #[cfg(test)]
@@ -439,6 +404,36 @@ mod tests {
     use overlap_model::ProgramKind;
     use overlap_net::topology::{linear_array, mesh2d};
     use overlap_net::DelayModel;
+
+    /// The builder path every test exercises (the deprecated free
+    /// functions are covered by `deprecated_shims_still_work`).
+    fn simulate(
+        guest: &GuestSpec,
+        host: &HostGraph,
+        strategy: LineStrategy,
+    ) -> Result<SimReport, Error> {
+        Simulation::of(guest)
+            .on(host)
+            .strategy(strategy)
+            .build()?
+            .run()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let guest = GuestSpec::line(12, ProgramKind::KvWorkload, 1, 8);
+        let host = linear_array(4, DelayModel::constant(3), 0);
+        let r = simulate_line_on_host(&guest, &host, LineStrategy::Blocked).unwrap();
+        assert!(r.validated);
+        let trace = overlap_model::ReferenceRun::execute(&guest);
+        let r2 =
+            simulate_line_with_trace(&guest, &host, LineStrategy::Blocked, &trace).unwrap();
+        assert_eq!(r.stats, r2.stats);
+        // The alias keeps old match paths compiling.
+        let e: PipelineError = Error::UnsupportedTopology;
+        assert!(matches!(e, PipelineError::UnsupportedTopology));
+    }
 
     #[test]
     fn path_hosts_are_detected() {
@@ -462,7 +457,7 @@ mod tests {
     fn overlap_strategy_runs_and_validates_on_line_host() {
         let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 3, 16);
         let host = linear_array(8, DelayModel::uniform(1, 8), 5);
-        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
         assert!(r.validated, "{} mismatches", r.mismatches);
         assert!(r.stats.slowdown >= 1.0);
         assert!(r.predicted_slowdown.is_some());
@@ -488,7 +483,7 @@ mod tests {
             LineStrategy::Slackness,
             LineStrategy::AllOnOne,
         ] {
-            let r = simulate_line_on_host(&guest, &host, s).unwrap();
+            let r = simulate(&guest, &host, s).unwrap();
             assert!(r.validated, "{}: {} mismatches", r.strategy, r.mismatches);
         }
     }
@@ -497,7 +492,7 @@ mod tests {
     fn ring_guest_validates_through_fold() {
         let guest = GuestSpec::ring(20, ProgramKind::KvWorkload, 2, 10);
         let host = linear_array(5, DelayModel::uniform(1, 5), 1);
-        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
         assert!(r.validated);
     }
 
@@ -506,8 +501,8 @@ mod tests {
         let guest = GuestSpec::mesh(4, 4, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(4, DelayModel::constant(1), 0);
         assert!(matches!(
-            simulate_line_on_host(&guest, &host, LineStrategy::Blocked),
-            Err(PipelineError::UnsupportedTopology)
+            simulate(&guest, &host, LineStrategy::Blocked),
+            Err(Error::UnsupportedTopology)
         ));
     }
 
@@ -515,7 +510,7 @@ mod tests {
     fn guest_on_non_path_host_validates() {
         let guest = GuestSpec::line(18, ProgramKind::RuleAutomaton { db_size: 8 }, 4, 10);
         let host = mesh2d(3, 3, DelayModel::uniform(1, 6), 2);
-        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
         assert!(r.validated);
         assert!(r.dilation >= 1);
     }
@@ -526,8 +521,8 @@ mod tests {
         let d = 64;
         let guest = GuestSpec::line(32, ProgramKind::Relaxation, 7, 48);
         let host = linear_array(4, DelayModel::constant(d), 0);
-        let halo = simulate_line_on_host(&guest, &host, LineStrategy::Halo { halo: 1 }).unwrap();
-        let blocked = simulate_line_on_host(&guest, &host, LineStrategy::Blocked).unwrap();
+        let halo = simulate(&guest, &host, LineStrategy::Halo { halo: 1 }).unwrap();
+        let blocked = simulate(&guest, &host, LineStrategy::Blocked).unwrap();
         assert!(halo.validated && blocked.validated);
         assert!(
             halo.stats.slowdown < 0.7 * blocked.stats.slowdown,
@@ -574,7 +569,7 @@ mod tests {
             linear_array(8, DelayModel::constant(6), 0),
             linear_array(8, DelayModel::Spike { base: 1, spike: 64, period: 4 }, 0),
         ] {
-            let r = simulate_line_on_host(&guest, &host, LineStrategy::Auto).unwrap();
+            let r = simulate(&guest, &host, LineStrategy::Auto).unwrap();
             assert!(r.validated, "{}", host.name());
         }
     }

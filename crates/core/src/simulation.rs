@@ -1,0 +1,510 @@
+//! The [`Simulation`] builder — the one front door to the simulator.
+//!
+//! Replaces the old positional plumbing (`plan_line_placement` +
+//! `Engine::new(guest, host, &assign, config)` + `validate_run`) with a
+//! fluent, self-describing API:
+//!
+//! ```
+//! use overlap_core::simulation::Simulation;
+//! use overlap_core::pipeline::LineStrategy;
+//! use overlap_model::{GuestSpec, ProgramKind};
+//! use overlap_net::{topology, DelayModel};
+//!
+//! let host = topology::linear_array(8, DelayModel::uniform(1, 8), 5);
+//! let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 3, 16);
+//! let report = Simulation::of(&guest)
+//!     .on(&host)
+//!     .strategy(LineStrategy::Overlap { c: 4.0 })
+//!     .build()
+//!     .and_then(|sim| sim.run())
+//!     .unwrap();
+//! assert!(report.validated);
+//! ```
+//!
+//! `build()` performs placement planning (strategy → assignment) and
+//! reports any [`Error`] early; `run()` executes on the chosen engine,
+//! validates every database copy against the unit-delay reference, and
+//! returns a [`SimReport`] carrying the full [`RunOutcome`]. Fault plans
+//! (`.faults(..)`) inject deterministic link outages, delay spikes, and
+//! processor crashes — see `overlap_sim::faults`.
+
+use crate::error::Error;
+use crate::pipeline::{plan_line_placement, LineStrategy, SimReport};
+use overlap_model::{GuestSpec, ReferenceRun, ReferenceTrace};
+use overlap_net::{Delay, HostGraph};
+use overlap_sim::engine::{Engine, EngineConfig, Jitter, RunOutcome};
+use overlap_sim::faults::FaultPlan;
+use overlap_sim::validate::validate_run;
+use overlap_sim::{run_lockstep, run_stepped, Assignment, BandwidthMode};
+
+/// Which execution engine runs the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The cycle-accurate discrete-event engine (the default; the only
+    /// engine supporting multicast, jitter, compute costs, and faults).
+    #[default]
+    Event,
+    /// The tick-stepped engine (independent implementation, used for
+    /// cross-validation; default configuration only).
+    Stepped,
+    /// The lockstep baseline: global rounds of `d_max`-synchronised
+    /// compute-then-exchange (prior work's model).
+    Lockstep,
+}
+
+/// Entry point of the builder API: `Simulation::of(&guest)`.
+pub struct Simulation;
+
+impl Simulation {
+    /// Start describing a simulation of `guest`.
+    pub fn of(guest: &GuestSpec) -> SimulationBuilder<'_> {
+        SimulationBuilder {
+            guest,
+            host: None,
+            strategy: LineStrategy::Auto,
+            assignment: None,
+            config: EngineConfig::default(),
+            compute_costs: None,
+            faults: None,
+            engine: EngineKind::Event,
+        }
+    }
+}
+
+/// Accumulates the description of one simulation run. Finish with
+/// [`build`](SimulationBuilder::build).
+pub struct SimulationBuilder<'a> {
+    guest: &'a GuestSpec,
+    host: Option<&'a HostGraph>,
+    strategy: LineStrategy,
+    assignment: Option<Assignment>,
+    config: EngineConfig,
+    compute_costs: Option<Vec<u32>>,
+    faults: Option<FaultPlan>,
+    engine: EngineKind,
+}
+
+impl<'a> SimulationBuilder<'a> {
+    /// The host NOW to simulate on (required).
+    pub fn on(mut self, host: &'a HostGraph) -> Self {
+        self.host = Some(host);
+        self
+    }
+
+    /// Database placement strategy (default [`LineStrategy::Auto`]).
+    /// Applies to line/ring guests; other topologies need
+    /// [`assignment`](Self::assignment).
+    pub fn strategy(mut self, strategy: LineStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Use an explicit database assignment instead of a placement
+    /// strategy (works for any guest topology).
+    pub fn assignment(mut self, assignment: Assignment) -> Self {
+        self.assignment = Some(assignment);
+        self
+    }
+
+    /// Link bandwidth model (default: the paper's `log n`).
+    pub fn bandwidth(mut self, bandwidth: BandwidthMode) -> Self {
+        self.config.bandwidth = bandwidth;
+        self
+    }
+
+    /// Distribute columns over multicast trees instead of per-subscriber
+    /// unicast routes.
+    pub fn multicast(mut self, on: bool) -> Self {
+        self.config.multicast = on;
+        self
+    }
+
+    /// Deterministic time-varying link-delay jitter.
+    pub fn jitter(mut self, jitter: Jitter) -> Self {
+        self.config.jitter = jitter;
+        self
+    }
+
+    /// Record per-pebble completion ticks (`RunOutcome::timing`).
+    pub fn record_timing(mut self, on: bool) -> Self {
+        self.config.record_timing = on;
+        self
+    }
+
+    /// Safety cap on simulated ticks.
+    pub fn max_ticks(mut self, max_ticks: u64) -> Self {
+        self.config.max_ticks = max_ticks;
+        self
+    }
+
+    /// Per-processor compute costs (ticks per pebble, ≥ 1).
+    pub fn compute_costs(mut self, costs: Vec<u32>) -> Self {
+        self.compute_costs = Some(costs);
+        self
+    }
+
+    /// Inject a deterministic fault plan (event engine only). An empty
+    /// plan is bit-identical to no plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Choose the execution engine (default [`EngineKind::Event`]).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Plan the placement and check the configuration. Returns a
+    /// [`ReadySimulation`] that can be run (repeatedly).
+    pub fn build(self) -> Result<ReadySimulation<'a>, Error> {
+        let host = self
+            .host
+            .ok_or_else(|| Error::Config("no host: call .on(&host)".into()))?;
+        if let Some(costs) = &self.compute_costs {
+            if costs.len() as u32 != host.num_nodes() {
+                return Err(Error::Config(format!(
+                    "compute_costs has {} entries for a {}-node host",
+                    costs.len(),
+                    host.num_nodes()
+                )));
+            }
+            if costs.contains(&0) {
+                return Err(Error::Config("compute costs must be ≥ 1".into()));
+            }
+        }
+        let has_faults = self.faults.as_ref().is_some_and(|p| !p.is_empty());
+        if self.engine != EngineKind::Event {
+            if has_faults {
+                return Err(Error::Config(
+                    "fault plans need the event engine".into(),
+                ));
+            }
+            if self.compute_costs.is_some() {
+                return Err(Error::Config(
+                    "compute costs need the event engine".into(),
+                ));
+            }
+        }
+        if self.engine == EngineKind::Stepped
+            && (self.config.multicast || self.config.jitter != Jitter::None)
+        {
+            return Err(Error::Config(
+                "the stepped engine supports the default configuration only".into(),
+            ));
+        }
+        let (assignment, predicted_slowdown, array_delays, dilation) = match self.assignment {
+            Some(a) => {
+                if a.num_procs() != host.num_nodes() {
+                    return Err(Error::Config(format!(
+                        "assignment covers {} processors for a {}-node host",
+                        a.num_procs(),
+                        host.num_nodes()
+                    )));
+                }
+                let delays: Vec<Delay> = host.links().iter().map(|l| l.delay).collect();
+                (a, None, delays, 0)
+            }
+            None => {
+                let placement = plan_line_placement(self.guest, host, self.strategy)?;
+                (
+                    placement.assignment,
+                    placement.predicted_slowdown,
+                    placement.array_delays,
+                    placement.dilation,
+                )
+            }
+        };
+        Ok(ReadySimulation {
+            guest: self.guest,
+            host,
+            assignment,
+            strategy: self.strategy,
+            config: self.config,
+            compute_costs: self.compute_costs,
+            faults: self.faults,
+            engine: self.engine,
+            predicted_slowdown,
+            array_delays,
+            dilation,
+        })
+    }
+}
+
+/// A fully planned simulation: the placement is fixed, ready to execute.
+#[derive(Debug)]
+pub struct ReadySimulation<'a> {
+    guest: &'a GuestSpec,
+    host: &'a HostGraph,
+    assignment: Assignment,
+    strategy: LineStrategy,
+    config: EngineConfig,
+    compute_costs: Option<Vec<u32>>,
+    faults: Option<FaultPlan>,
+    engine: EngineKind,
+    predicted_slowdown: Option<f64>,
+    array_delays: Vec<Delay>,
+    dilation: u32,
+}
+
+impl ReadySimulation<'_> {
+    /// The planned database assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The strategy's predicted slowdown, when it has one.
+    pub fn predicted_slowdown(&self) -> Option<f64> {
+        self.predicted_slowdown
+    }
+
+    /// Embedding dilation (0 when the host is a genuine path or an
+    /// explicit assignment was supplied).
+    pub fn dilation(&self) -> u32 {
+        self.dilation
+    }
+
+    /// Execute without validating (no reference run). Returns the raw
+    /// engine outcome.
+    pub fn run_raw(&self) -> Result<RunOutcome, Error> {
+        let out = match self.engine {
+            EngineKind::Event => {
+                let mut eng = Engine::new(self.guest, self.host, &self.assignment, self.config);
+                if let Some(costs) = &self.compute_costs {
+                    eng = eng.with_compute_costs(costs.clone());
+                }
+                if let Some(plan) = &self.faults {
+                    eng = eng.with_faults(plan.clone());
+                }
+                eng.run()?
+            }
+            EngineKind::Stepped => {
+                run_stepped(self.guest, self.host, &self.assignment, self.config)?
+            }
+            EngineKind::Lockstep => run_lockstep(
+                self.guest,
+                self.host,
+                &self.assignment,
+                self.config.bandwidth,
+            )?,
+        };
+        Ok(out)
+    }
+
+    /// Execute and validate every database copy against the unit-delay
+    /// reference.
+    pub fn run(&self) -> Result<SimReport, Error> {
+        let trace = ReferenceRun::execute(self.guest);
+        self.run_with_trace(&trace)
+    }
+
+    /// Like [`run`](Self::run) with a precomputed reference trace (for
+    /// sweeps that reuse the guest).
+    pub fn run_with_trace(&self, trace: &ReferenceTrace) -> Result<SimReport, Error> {
+        let outcome = self.run_raw()?;
+        let errors = validate_run(trace, &outcome);
+        let delays = &self.array_delays;
+        let d_ave = if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().sum::<u64>() as f64 / delays.len() as f64
+        };
+        Ok(SimReport {
+            stats: outcome.stats,
+            validated: errors.is_empty(),
+            mismatches: errors.len(),
+            predicted_slowdown: self.predicted_slowdown,
+            strategy: self.strategy.label(),
+            host: self.host.name().to_string(),
+            d_ave,
+            d_max: delays.iter().copied().max().unwrap_or(0),
+            dilation: self.dilation,
+            outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::simulate_line_on_host;
+    use overlap_model::ProgramKind;
+    use overlap_net::topology::linear_array;
+    use overlap_net::DelayModel;
+    use overlap_sim::engine::RunError;
+
+    fn lab() -> (GuestSpec, HostGraph) {
+        (
+            GuestSpec::line(16, ProgramKind::KvWorkload, 3, 12),
+            linear_array(4, DelayModel::uniform(1, 6), 7),
+        )
+    }
+
+    #[test]
+    fn builder_matches_legacy_pipeline() {
+        let (guest, host) = lab();
+        let strategy = LineStrategy::Overlap { c: 4.0 };
+        let new = Simulation::of(&guest)
+            .on(&host)
+            .strategy(strategy)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        #[allow(deprecated)]
+        let old = simulate_line_on_host(&guest, &host, strategy).unwrap();
+        assert!(new.validated);
+        assert_eq!(new.stats, old.stats);
+        assert_eq!(new.strategy, old.strategy);
+        assert_eq!(new.predicted_slowdown, old.predicted_slowdown);
+    }
+
+    #[test]
+    fn missing_host_is_a_config_error() {
+        let (guest, _) = lab();
+        let err = Simulation::of(&guest).build().unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn explicit_assignment_bypasses_strategy() {
+        let (guest, host) = lab();
+        let assign = Assignment::blocked(4, 16);
+        let sim = Simulation::of(&guest)
+            .on(&host)
+            .assignment(assign.clone())
+            .build()
+            .unwrap();
+        assert_eq!(sim.assignment().cells_of(0), assign.cells_of(0));
+        assert!(sim.run().unwrap().validated);
+    }
+
+    #[test]
+    fn mesh_guest_without_assignment_is_unsupported() {
+        let guest = GuestSpec::mesh(4, 4, ProgramKind::StencilSum, 0, 2);
+        let host = linear_array(4, DelayModel::constant(1), 0);
+        let err = Simulation::of(&guest).on(&host).build().unwrap_err();
+        assert!(matches!(err, Error::UnsupportedTopology));
+    }
+
+    #[test]
+    fn engines_agree_on_stats() {
+        let (guest, host) = lab();
+        let event = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Blocked)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let stepped = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Blocked)
+            .engine(EngineKind::Stepped)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(event.validated && stepped.validated);
+        assert_eq!(event.stats.makespan, stepped.stats.makespan);
+        let lockstep = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Blocked)
+            .engine(EngineKind::Lockstep)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(lockstep.validated);
+        assert!(lockstep.stats.makespan >= event.stats.makespan);
+    }
+
+    #[test]
+    fn faults_require_event_engine() {
+        let (guest, host) = lab();
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .engine(EngineKind::Lockstep)
+            .faults(FaultPlan::new().link_down(0, 1, 5, 10))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+        // But an *empty* plan is fine anywhere.
+        assert!(Simulation::of(&guest)
+            .on(&host)
+            .engine(EngineKind::Lockstep)
+            .faults(FaultPlan::new())
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn fault_plan_flows_through_to_the_engine() {
+        let (guest, host) = lab();
+        let clean = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Halo { halo: 1 })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let faulty = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Halo { halo: 1 })
+            .faults(FaultPlan::new().link_down(1, 2, 2, 40))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(faulty.validated, "degraded run must still validate");
+        assert!(faulty.stats.faults.retries > 0);
+        assert!(faulty.stats.makespan >= clean.stats.makespan);
+    }
+
+    #[test]
+    fn run_outcome_is_carried_in_the_report() {
+        let (guest, host) = lab();
+        let r = Simulation::of(&guest)
+            .on(&host)
+            .record_timing(true)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(r.outcome.stats, r.stats);
+        assert!(r.outcome.timing.is_some());
+        assert_eq!(r.outcome.copies.len(), r.outcome.timing.unwrap().ticks.len());
+    }
+
+    #[test]
+    fn tick_limit_surfaces_as_run_error() {
+        let (guest, host) = lab();
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Blocked)
+            .max_ticks(2)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Run(RunError::TickLimit(2))));
+    }
+
+    #[test]
+    fn bad_compute_costs_are_rejected() {
+        let (guest, host) = lab();
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .compute_costs(vec![1, 2])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .compute_costs(vec![1, 0, 1, 1])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+}

@@ -22,7 +22,8 @@
 //!
 //! Experiment E15 measures both on NOW hosts.
 
-use crate::pipeline::{host_as_array, PipelineError, SimReport};
+use crate::error::Error;
+use crate::pipeline::{host_as_array, SimReport};
 use overlap_model::{GuestSpec, GuestTopology, ReferenceRun, ReferenceTrace};
 use overlap_net::HostGraph;
 use overlap_sim::engine::{Engine, EngineConfig};
@@ -97,9 +98,9 @@ pub fn simulate_tree_on_host(
     host: &HostGraph,
     locality: bool,
     trace: Option<&ReferenceTrace>,
-) -> Result<SimReport, PipelineError> {
+) -> Result<SimReport, Error> {
     let GuestTopology::BinaryTree { levels } = guest.topology else {
-        return Err(PipelineError::UnsupportedTopology);
+        return Err(Error::UnsupportedTopology);
     };
     let (order, delays, dilation) = host_as_array(host);
     let n = host.num_nodes();
@@ -115,7 +116,7 @@ pub fn simulate_tree_on_host(
     let assignment = Assignment::from_cells_of(n, guest.num_cells(), cells_of);
     let outcome = Engine::new(guest, host, &assignment, EngineConfig::default())
         .run()
-        .map_err(PipelineError::Run)?;
+        .map_err(Error::Run)?;
     let owned;
     let trace = match trace {
         Some(t) => t,
@@ -140,6 +141,7 @@ pub fn simulate_tree_on_host(
         d_ave,
         d_max: delays.iter().copied().max().unwrap_or(0),
         dilation,
+        outcome,
     })
 }
 
@@ -209,7 +211,7 @@ mod tests {
         let host = linear_array(4, DelayModel::constant(1), 0);
         assert!(matches!(
             simulate_tree_on_host(&guest, &host, true, None),
-            Err(PipelineError::UnsupportedTopology)
+            Err(Error::UnsupportedTopology)
         ));
     }
 }

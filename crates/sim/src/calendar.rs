@@ -5,7 +5,7 @@
 //! all of them land within a few link delays of "now". A binary heap pays
 //! `O(log q)` comparisons and a cache miss per operation for a generality
 //! the workload never uses. This queue instead keeps a ring of
-//! [`WINDOW`] FIFO buckets — one per tick of the near future — plus a
+//! `WINDOW` FIFO buckets — one per tick of the near future — plus a
 //! spill-over heap for the rare event beyond the horizon:
 //!
 //! * `push` appends to the bucket `tick % WINDOW` when `tick` lies inside

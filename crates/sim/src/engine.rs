@@ -25,7 +25,7 @@
 //! # Hot-path layout
 //!
 //! All identity resolution is interned into dense index tables at
-//! [`Engine::new`] ([`Hot`]): per-(processor, cell) dependency gather and
+//! [`Engine::new`] (`Hot`): per-(processor, cell) dependency gather and
 //! readiness-check lists, per-subscription link-id arrays, per-tree-edge
 //! link ids, and per-copy outbound route lists. The steady-state loop
 //! performs no `HashMap` probes, no `Dep` matching, and no allocation:
@@ -37,10 +37,12 @@
 use crate::assignment::Assignment;
 use crate::bandwidth::BandwidthMode;
 use crate::calendar::CalendarQueue;
+use crate::faults::{FaultMark, FaultMarkKind, FaultPlan, FaultRt};
 use crate::multicast::MulticastTable;
 use crate::routing::RoutingTable;
-use crate::stats::RunStats;
+use crate::stats::{FaultStats, RunStats};
 use overlap_model::{fold64, Db, Dep, GuestSpec, PebbleValue, ProgramRef, Side};
+use overlap_net::paths::dijkstra;
 use overlap_net::{Delay, HostGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -134,6 +136,22 @@ pub enum RunError {
         /// Pebbles still uncomputed.
         remaining: u64,
     },
+    /// A transfer exhausted its retry budget on a downed link
+    /// (see `FaultPlan` / `RetryPolicy`).
+    RetriesExhausted {
+        /// Directed link id of the downed link.
+        link: u32,
+        /// Tick of the final timeout.
+        tick: u64,
+    },
+    /// A processor crash left a guest column with no surviving database
+    /// copy — unrecoverable without redundancy.
+    ColumnLost {
+        /// The orphaned guest column.
+        cell: u32,
+        /// Tick of the fatal crash.
+        tick: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -145,6 +163,15 @@ impl std::fmt::Display for RunError {
             RunError::TickLimit(t) => write!(f, "tick limit {t} exceeded"),
             RunError::Deadlock { tick, remaining } => {
                 write!(f, "deadlock at tick {tick} with {remaining} pebbles left")
+            }
+            RunError::RetriesExhausted { link, tick } => {
+                write!(f, "retries exhausted on downed link {link} at tick {tick}")
+            }
+            RunError::ColumnLost { cell, tick } => {
+                write!(
+                    f,
+                    "column {cell} lost every database copy at tick {tick}"
+                )
             }
         }
     }
@@ -176,6 +203,9 @@ pub struct CopyRecord {
 pub struct TimingTrace {
     /// Completion ticks per copy per step.
     pub ticks: Vec<Vec<u64>>,
+    /// Fault and recovery events in tick order (timeouts, crashes,
+    /// re-subscriptions). Empty for fault-free runs.
+    pub fault_timeline: Vec<FaultMark>,
 }
 
 impl TimingTrace {
@@ -251,6 +281,26 @@ enum Ev {
         step: u32,
         value: PebbleValue,
     },
+    /// Retry a timed-out transfer toward `Arrival { sub, hop }` (the link
+    /// used is the one *into* `hop`). Only scheduled under a fault plan.
+    Resend {
+        sub: u32,
+        hop: u16,
+        step: u32,
+        value: PebbleValue,
+        attempt: u32,
+    },
+    /// Retry a timed-out transfer on the tree edge into `node`.
+    TreeResend {
+        tree: u32,
+        node: u32,
+        step: u32,
+        value: PebbleValue,
+        attempt: u32,
+    },
+    /// Processor `proc` crashes permanently at the event tick. Scheduled
+    /// at seed time, so it fires before same-tick compute/arrival events.
+    Crash { proc: NodeId },
 }
 
 /// Marks a readiness-check entry as a subscription (vs. held-cell) index.
@@ -629,6 +679,20 @@ pub struct Engine<'a> {
     /// Ticks per pebble per processor (default all 1): models NOWs that
     /// mix workstation generations. Beyond the paper's unit-speed model.
     compute_costs: Option<Vec<u32>>,
+    /// Deterministic fault schedule; `None` or an empty plan takes the
+    /// fault-free fast path (bit-identical to the plain engine).
+    faults: Option<FaultPlan>,
+}
+
+/// A runtime re-subscription created when a holder crashed: `source`
+/// streams `cell` to `dest` over `links` (directed link ids in route
+/// order), delivering into the consumer's dependency slot `dest_dep`.
+struct DynSub {
+    cell: u32,
+    source: NodeId,
+    dest: NodeId,
+    dest_dep: u32,
+    links: Vec<u32>,
 }
 
 impl<'a> Engine<'a> {
@@ -660,6 +724,7 @@ impl<'a> Engine<'a> {
             hot,
             config,
             compute_costs: None,
+            faults: None,
         }
     }
 
@@ -670,6 +735,16 @@ impl<'a> Engine<'a> {
         assert_eq!(costs.len() as u32, self.host.num_nodes());
         assert!(costs.iter().all(|&c| c >= 1), "costs must be ≥ 1");
         self.compute_costs = Some(costs);
+        self
+    }
+
+    /// Inject a deterministic fault plan (link outages, delay spikes,
+    /// processor crashes) with graceful degradation: timed-out transfers
+    /// are retried with exponential backoff, and subscriptions whose
+    /// holder crashed are rerouted to the nearest surviving copy. An
+    /// empty plan leaves the run bit-identical to a fault-free engine.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -746,6 +821,22 @@ impl<'a> Engine<'a> {
         let mut link_slots: Vec<LinkSlot> = vec![LinkSlot::default(); hot.link_delay.len()];
         let mut link_traffic: Vec<u64> = vec![0; hot.link_delay.len()];
 
+        // ---- fault runtime (compiled only for a non-empty plan, so the
+        // fault-free path schedules the exact same events in the exact
+        // same order as an engine without a plan) ----
+        let frt: Option<FaultRt> = match &self.faults {
+            Some(plan) if !plan.is_empty() => Some(FaultRt::build(plan, self.host)),
+            _ => None,
+        };
+        let n_orig_subs = hot.sub_link_off.len() - 1;
+        let mut crashed: Vec<bool> = vec![false; if frt.is_some() { n as usize } else { 0 }];
+        let mut dyn_subs: Vec<DynSub> = Vec::new();
+        // Dynamic outbound routes per copy id (allocated on first crash).
+        let mut dyn_out: Vec<Vec<u32>> = Vec::new();
+        let mut fstats = FaultStats::default();
+        let mut fault_timeline: Vec<FaultMark> = Vec::new();
+        let mut total_forfeited = 0u64;
+
         // ---- event queue ----
         let mut queue: CalendarQueue<Ev> = CalendarQueue::new();
         let mut peak_queue: usize = 0;
@@ -757,6 +848,159 @@ impl<'a> Engine<'a> {
                     peak_queue = l;
                 }
             }};
+        }
+
+        // Transmit one pebble over the link leading into `Arrival { sub,
+        // hop }` (original or dynamic subscription), charging bandwidth.
+        // Under a fault plan: delay spikes multiply the jittered delay, and
+        // a transfer overlapping a down interval is lost — the sender times
+        // out at the expected arrival tick and retries after exponential
+        // backoff ([`RetryPolicy`]); failed attempts still consume slots.
+        macro_rules! send_sub_hop {
+            ($now:expr, $sid:expr, $hop:expr, $step:expr, $value:expr, $attempt:expr) => {{
+                let sid = $sid as usize;
+                let lid = if sid < n_orig_subs {
+                    hot.sub_links[hot.sub_link_off[sid] as usize + $hop as usize - 1]
+                } else {
+                    dyn_subs[sid - n_orig_subs].links[$hop as usize - 1]
+                };
+                link_traffic[lid as usize] += 1;
+                let depart = inject(&mut link_slots[lid as usize], $now, bw);
+                let base = self.config.jitter.effective(
+                    hot.link_delay[lid as usize],
+                    lid,
+                    depart,
+                );
+                match frt.as_ref() {
+                    None => sched!(
+                        depart + base,
+                        Ev::Arrival {
+                            sub: $sid,
+                            hop: $hop,
+                            step: $step,
+                            value: $value,
+                        }
+                    ),
+                    Some(f) => {
+                        let arrive = depart + base * f.spike_factor(lid, depart);
+                        if !f.down_overlap(lid, depart, arrive) {
+                            sched!(
+                                arrive,
+                                Ev::Arrival {
+                                    sub: $sid,
+                                    hop: $hop,
+                                    step: $step,
+                                    value: $value,
+                                }
+                            );
+                        } else {
+                            let attempt = $attempt + 1;
+                            if attempt > f.retry.max_attempts {
+                                return Err(RunError::RetriesExhausted {
+                                    link: lid,
+                                    tick: arrive,
+                                });
+                            }
+                            let back = f.retry.backoff(attempt);
+                            fstats.retries += 1;
+                            fstats.fault_stall_ticks += arrive - $now + back;
+                            if record_timing {
+                                fault_timeline.push(FaultMark {
+                                    tick: arrive,
+                                    kind: FaultMarkKind::LinkTimeout { link: lid },
+                                });
+                            }
+                            sched!(
+                                arrive + back,
+                                Ev::Resend {
+                                    sub: $sid,
+                                    hop: $hop,
+                                    step: $step,
+                                    value: $value,
+                                    attempt,
+                                }
+                            );
+                        }
+                    }
+                }
+            }};
+        }
+
+        // Same transmit logic for the multicast tree edge into `node`.
+        macro_rules! send_tree_hop {
+            ($now:expr, $tid:expr, $node:expr, $step:expr, $value:expr, $attempt:expr) => {{
+                let lid = hot.tree_edge_lid[$tid as usize][$node as usize];
+                link_traffic[lid as usize] += 1;
+                let depart = inject(&mut link_slots[lid as usize], $now, bw);
+                let base = self.config.jitter.effective(
+                    hot.link_delay[lid as usize],
+                    lid,
+                    depart,
+                );
+                match frt.as_ref() {
+                    None => sched!(
+                        depart + base,
+                        Ev::TreeHop {
+                            tree: $tid,
+                            node: $node,
+                            step: $step,
+                            value: $value,
+                        }
+                    ),
+                    Some(f) => {
+                        let arrive = depart + base * f.spike_factor(lid, depart);
+                        if !f.down_overlap(lid, depart, arrive) {
+                            sched!(
+                                arrive,
+                                Ev::TreeHop {
+                                    tree: $tid,
+                                    node: $node,
+                                    step: $step,
+                                    value: $value,
+                                }
+                            );
+                        } else {
+                            let attempt = $attempt + 1;
+                            if attempt > f.retry.max_attempts {
+                                return Err(RunError::RetriesExhausted {
+                                    link: lid,
+                                    tick: arrive,
+                                });
+                            }
+                            let back = f.retry.backoff(attempt);
+                            fstats.retries += 1;
+                            fstats.fault_stall_ticks += arrive - $now + back;
+                            if record_timing {
+                                fault_timeline.push(FaultMark {
+                                    tick: arrive,
+                                    kind: FaultMarkKind::LinkTimeout { link: lid },
+                                });
+                            }
+                            sched!(
+                                arrive + back,
+                                Ev::TreeResend {
+                                    tree: $tid,
+                                    node: $node,
+                                    step: $step,
+                                    value: $value,
+                                    attempt,
+                                }
+                            );
+                        }
+                    }
+                }
+            }};
+        }
+
+        // Crash events go in first, so at their tick they pop before any
+        // same-tick compute completion or arrival (FIFO within a tick):
+        // a pebble finishing exactly at the crash tick does not complete.
+        if let Some(f) = frt.as_ref() {
+            for (p, &at) in f.crash_at.iter().enumerate() {
+                if at != u64::MAX {
+                    sched!(at, Ev::Crash { proc: p as NodeId });
+                }
+            }
         }
 
         let mut remaining: u64 = hot
@@ -808,6 +1052,11 @@ impl<'a> Engine<'a> {
             match ev {
                 Ev::ComputeDone { proc, own_idx } => {
                     let p = proc as usize;
+                    // A crashed processor's in-flight pebble never
+                    // completes (its work was forfeited at crash time).
+                    if frt.is_some() && crashed[p] {
+                        continue;
+                    }
                     let i = own_idx as usize;
                     let pt = &hot.procs[p];
                     let (cell, s) = (pt.cells[i], state[p].next_step[i]);
@@ -864,52 +1113,27 @@ impl<'a> Engine<'a> {
                                 let llo = hot.sub_link_off[sid as usize] as usize;
                                 let lhi = hot.sub_link_off[sid as usize + 1] as usize;
                                 pebble_hops += (lhi - llo) as u64;
-                                let lid = hot.sub_links[llo];
-                                link_traffic[lid as usize] += 1;
-                                let depart = inject(&mut link_slots[lid as usize], tick, bw);
-                                sched!(
-                                    depart
-                                        + self.config.jitter.effective(
-                                            hot.link_delay[lid as usize],
-                                            lid,
-                                            depart
-                                        ),
-                                    Ev::Arrival {
-                                        sub: sid,
-                                        hop: 1,
-                                        step: s,
-                                        value: v,
-                                    }
-                                );
+                                send_sub_hop!(tick, sid, 1u16, s, v, 0u32);
                             }
                         }
                         Routes::Multicast(mt) => {
                             for &tid in routes {
                                 messages += 1;
                                 let tree = &mt.trees[tid as usize];
-                                let elids = &hot.tree_edge_lid[tid as usize];
                                 for &child in &tree.children[tree.root as usize] {
                                     pebble_hops += 1;
-                                    let lid = elids[child as usize];
-                                    link_traffic[lid as usize] += 1;
-                                    let depart =
-                                        inject(&mut link_slots[lid as usize], tick, bw);
-                                    sched!(
-                                        depart
-                                            + self.config.jitter.effective(
-                                                hot.link_delay[lid as usize],
-                                                lid,
-                                                depart
-                                            ),
-                                        Ev::TreeHop {
-                                            tree: tid,
-                                            node: child,
-                                            step: s,
-                                            value: v,
-                                        }
-                                    );
+                                    send_tree_hop!(tick, tid, child, s, v, 0u32);
                                 }
                             }
+                        }
+                    }
+                    // Stream to re-subscribed consumers (crash recovery).
+                    if !dyn_out.is_empty() {
+                        for &dsid in &dyn_out[cid] {
+                            messages += 1;
+                            pebble_hops +=
+                                dyn_subs[dsid as usize - n_orig_subs].links.len() as u64;
+                            send_sub_hop!(tick, dsid, 1u16, s, v, 0u32);
                         }
                     }
 
@@ -940,35 +1164,29 @@ impl<'a> Engine<'a> {
                     value,
                 } => {
                     let sid = sub as usize;
-                    let llo = hot.sub_link_off[sid] as usize;
-                    let lhi = hot.sub_link_off[sid + 1] as usize;
-                    let at = llo + hop as usize;
-                    if at < lhi {
-                        // Forward along the route.
-                        let lid = hot.sub_links[at];
-                        link_traffic[lid as usize] += 1;
-                        let depart = inject(&mut link_slots[lid as usize], tick, bw);
-                        sched!(
-                            depart
-                                + self.config.jitter.effective(
-                                    hot.link_delay[lid as usize],
-                                    lid,
-                                    depart
-                                ),
-                            Ev::Arrival {
-                                sub,
-                                hop: hop + 1,
-                                step,
-                                value,
-                            }
-                        );
+                    let (nlinks, dest, dep) = if sid < n_orig_subs {
+                        let llo = hot.sub_link_off[sid] as usize;
+                        let lhi = hot.sub_link_off[sid + 1] as usize;
+                        (
+                            lhi - llo,
+                            hot.sub_dest[sid] as usize,
+                            hot.sub_dest_dep[sid] as usize,
+                        )
                     } else {
+                        let ds = &dyn_subs[sid - n_orig_subs];
+                        (ds.links.len(), ds.dest as usize, ds.dest_dep as usize)
+                    };
+                    if (hop as usize) < nlinks {
+                        // Forward along the route (intermediate processors
+                        // store-and-forward even if crashed: the fabric
+                        // outlives the workstation's compute).
+                        send_sub_hop!(tick, sub, hop + 1, step, value, 0u32);
+                    } else if !(frt.is_some() && crashed[dest]) {
                         // Delivery at the consumer.
-                        let p = hot.sub_dest[sid] as usize;
-                        let k = hot.sub_dest_dep[sid] as usize;
+                        let p = dest;
                         let pt = &hot.procs[p];
                         let st = &mut state[p];
-                        deliver(pt, st, k, step, value, steps, stride);
+                        deliver(pt, st, dep, step, value, steps, stride);
                         if !st.busy {
                             if let Some(Reverse((_s2, j))) = st.ready.pop() {
                                 st.busy = true;
@@ -993,46 +1211,195 @@ impl<'a> Engine<'a> {
                         unreachable!("tree hop in unicast mode");
                     };
                     let t = &mt.trees[tree as usize];
-                    let elids = &hot.tree_edge_lid[tree as usize];
-                    // Forward to children.
+                    // Forward to children (store-and-forward survives a
+                    // crash of the intermediate workstation).
                     for &child in &t.children[node as usize] {
                         pebble_hops += 1;
-                        let lid = elids[child as usize];
-                        link_traffic[lid as usize] += 1;
-                        let depart = inject(&mut link_slots[lid as usize], tick, bw);
-                        sched!(
-                            depart
-                                + self.config.jitter.effective(
-                                    hot.link_delay[lid as usize],
-                                    lid,
-                                    depart
-                                ),
-                            Ev::TreeHop {
-                                tree,
-                                node: child,
-                                step,
-                                value,
-                            }
-                        );
+                        send_tree_hop!(tick, tree, child, step, value, 0u32);
                     }
                     // Deliver locally if this node subscribes.
                     let kdep = hot.tree_deliver_dep[tree as usize][node as usize];
                     if kdep != u32::MAX {
                         let p = t.nodes[node as usize] as usize;
-                        let pt = &hot.procs[p];
-                        let st = &mut state[p];
-                        deliver(pt, st, kdep as usize, step, value, steps, stride);
-                        if !st.busy {
-                            if let Some(Reverse((_s2, j))) = st.ready.pop() {
-                                st.busy = true;
-                                sched!(
-                                    tick + cost_of(p),
-                                    Ev::ComputeDone {
-                                        proc: p as NodeId,
-                                        own_idx: j,
-                                    }
-                                );
+                        if !(frt.is_some() && crashed[p]) {
+                            let pt = &hot.procs[p];
+                            let st = &mut state[p];
+                            deliver(pt, st, kdep as usize, step, value, steps, stride);
+                            if !st.busy {
+                                if let Some(Reverse((_s2, j))) = st.ready.pop() {
+                                    st.busy = true;
+                                    sched!(
+                                        tick + cost_of(p),
+                                        Ev::ComputeDone {
+                                            proc: p as NodeId,
+                                            own_idx: j,
+                                        }
+                                    );
+                                }
                             }
+                        }
+                    }
+                }
+                Ev::Resend {
+                    sub,
+                    hop,
+                    step,
+                    value,
+                    attempt,
+                } => {
+                    send_sub_hop!(tick, sub, hop, step, value, attempt);
+                }
+                Ev::TreeResend {
+                    tree,
+                    node,
+                    step,
+                    value,
+                    attempt,
+                } => {
+                    send_tree_hop!(tick, tree, node, step, value, attempt);
+                }
+                Ev::Crash { proc } => {
+                    let p = proc as usize;
+                    let f = frt.as_ref().expect("crash event implies fault plan");
+                    if crashed[p] {
+                        continue;
+                    }
+                    crashed[p] = true;
+                    fstats.crashed_procs += 1;
+                    let pt = &hot.procs[p];
+                    fstats.lost_copies += pt.cells.len() as u32;
+                    if record_timing {
+                        fault_timeline.push(FaultMark {
+                            tick,
+                            kind: FaultMarkKind::Crash { proc },
+                        });
+                    }
+                    // Forfeit this processor's uncomputed pebbles — its
+                    // pending ComputeDone (if any) is dropped by the crash
+                    // guard, so subtract the in-flight pebble too.
+                    let forfeited: u64 = state[p]
+                        .next_step
+                        .iter()
+                        .map(|&ns| (steps + 1 - ns) as u64)
+                        .sum();
+                    remaining -= forfeited;
+                    total_forfeited += forfeited;
+
+                    // A column whose every copy is gone is unrecoverable.
+                    for &c in &pt.cells {
+                        let alive = self
+                            .assign
+                            .holders(c)
+                            .iter()
+                            .any(|&q| !crashed[q as usize]);
+                        if !alive {
+                            return Err(RunError::ColumnLost { cell: c, tick });
+                        }
+                    }
+
+                    // Graceful degradation: every consumer this processor
+                    // was serving re-subscribes to the nearest surviving
+                    // holder of the same database (the paper's redundancy,
+                    // exploited for recovery).
+                    let mut orphans: Vec<(u32, NodeId, u32)> = Vec::new();
+                    match routing {
+                        Routes::Unicast(rt) => {
+                            for (sid, sub) in rt.subs.iter().enumerate() {
+                                if sub.source == proc && !crashed[sub.dest as usize] {
+                                    orphans.push((
+                                        sub.cell,
+                                        sub.dest,
+                                        hot.sub_dest_dep[sid],
+                                    ));
+                                }
+                            }
+                        }
+                        Routes::Multicast(mt) => {
+                            for (tid, t) in mt.trees.iter().enumerate() {
+                                if t.source != proc {
+                                    continue;
+                                }
+                                for (v, &del) in t.deliver.iter().enumerate() {
+                                    if del && !crashed[t.nodes[v] as usize] {
+                                        orphans.push((
+                                            t.cell,
+                                            t.nodes[v],
+                                            hot.tree_deliver_dep[tid][v],
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for ds in &dyn_subs {
+                        if ds.source == proc && !crashed[ds.dest as usize] {
+                            orphans.push((ds.cell, ds.dest, ds.dest_dep));
+                        }
+                    }
+
+                    if !orphans.is_empty() && dyn_out.is_empty() {
+                        dyn_out =
+                            vec![Vec::new(); *hot.copy_off.last().unwrap() as usize];
+                    }
+                    // One Dijkstra per distinct consumer (consumer-rooted:
+                    // the host is undirected, so the reversed path serves
+                    // holder → consumer).
+                    let mut sp_cache: HashMap<NodeId, overlap_net::paths::PathResult> =
+                        HashMap::new();
+                    for (cell, dest, dest_dep) in orphans {
+                        let sp = sp_cache
+                            .entry(dest)
+                            .or_insert_with(|| dijkstra(self.host, dest));
+                        let best = self
+                            .assign
+                            .holders(cell)
+                            .iter()
+                            .copied()
+                            .filter(|&q| !crashed[q as usize])
+                            .min_by_key(|&q| (sp.dist[q as usize], q))
+                            .expect("surviving holder checked above");
+                        let mut path = sp.path_to(best).expect("connected host");
+                        path.reverse();
+                        let links: Vec<u32> = path
+                            .windows(2)
+                            .map(|w| f.link_ids[&(w[0], w[1])])
+                            .collect();
+                        let nhops = links.len() as u64;
+                        let src_pt = &hot.procs[best as usize];
+                        let pos = src_pt
+                            .cells
+                            .binary_search(&cell)
+                            .expect("holder holds cell");
+                        let src_cid = hot.copy_off[best as usize] as usize + pos;
+                        let sid = (n_orig_subs + dyn_subs.len()) as u32;
+                        let computed = state[best as usize].next_step[pos] - 1;
+                        dyn_subs.push(DynSub {
+                            cell,
+                            source: best,
+                            dest,
+                            dest_dep,
+                            links,
+                        });
+                        dyn_out[src_cid].push(sid);
+                        fstats.rerouted_subscriptions += 1;
+                        if record_timing {
+                            fault_timeline.push(FaultMark {
+                                tick,
+                                kind: FaultMarkKind::Reroute { cell, to: best },
+                            });
+                        }
+                        // Backfill every pebble the consumer may still be
+                        // missing, from its contiguous watermark up to the
+                        // new source's progress; later pebbles flow via the
+                        // dynamic route as the source computes them.
+                        // Duplicate deliveries are idempotent.
+                        let w = state[dest as usize].dep_watermark[dest_dep as usize];
+                        for s2 in (w + 1)..=computed {
+                            let value =
+                                state[best as usize].history[pos * stride + s2 as usize];
+                            messages += 1;
+                            pebble_hops += nhops;
+                            send_sub_hop!(tick, sid, 1u16, s2, value, 0u32);
                         }
                     }
                 }
@@ -1046,10 +1413,13 @@ impl<'a> Engine<'a> {
             });
         }
 
-        // ---- collect outcome ----
+        // ---- collect outcome (crashed processors' copies are lost) ----
         let mut copies = Vec::with_capacity(self.assign.total_copies());
         let mut timing = record_timing.then(TimingTrace::default);
         for (p, (st, pt)) in state.iter().zip(&hot.procs).enumerate() {
+            if frt.is_some() && crashed[p] {
+                continue;
+            }
             for (i, &c) in pt.cells.iter().enumerate() {
                 copies.push(CopyRecord {
                     cell: c,
@@ -1064,6 +1434,9 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        if let Some(t) = timing.as_mut() {
+            t.fault_timeline = fault_timeline;
+        }
         let stats = RunStats {
             guest_cells: self.guest.num_cells(),
             guest_steps: steps,
@@ -1074,7 +1447,7 @@ impl<'a> Engine<'a> {
             } else {
                 makespan as f64 / steps as f64
             },
-            total_compute,
+            total_compute: total_compute - total_forfeited,
             guest_work: self.guest.total_work(),
             redundancy: self.assign.redundancy(),
             load: self.assign.load(),
@@ -1095,6 +1468,7 @@ impl<'a> Engine<'a> {
             },
             events_processed,
             peak_queue_depth: peak_queue as u64,
+            faults: fstats,
         };
         Ok(RunOutcome {
             stats,

@@ -654,6 +654,7 @@ pub fn run_classic(
         },
         events_processed,
         peak_queue_depth: peak_queue as u64,
+        faults: crate::stats::FaultStats::default(),
     };
     Ok(RunOutcome {
         stats,

@@ -39,6 +39,7 @@ pub mod bandwidth;
 pub mod calendar;
 pub mod engine;
 pub mod engine_classic;
+pub mod faults;
 pub mod lockstep;
 pub mod multicast;
 pub mod parallel;
@@ -51,8 +52,9 @@ pub mod validate;
 pub use assignment::Assignment;
 pub use bandwidth::BandwidthMode;
 pub use engine::{Engine, EngineConfig, Jitter, RunError, RunOutcome};
+pub use faults::{FaultPlan, RetryPolicy};
 pub use lockstep::run_lockstep;
 pub use routing::RoutingTable;
-pub use stats::RunStats;
+pub use stats::{FaultStats, RunStats};
 pub use stepped::run_stepped;
 pub use validate::{audit_causality, validate_run};

@@ -173,6 +173,7 @@ pub fn run_lockstep(
         mean_link_pebbles: 0.0,
         events_processed: 0,
         peak_queue_depth: 0,
+        faults: crate::stats::FaultStats::default(),
     };
     Ok(RunOutcome {
         stats,

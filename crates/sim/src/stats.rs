@@ -45,6 +45,27 @@ pub struct RunStats {
     /// engine's peak memory footprint.
     #[serde(default)]
     pub peak_queue_depth: u64,
+    /// Fault-recovery counters (all zero when the run had no fault plan).
+    #[serde(default)]
+    pub faults: FaultStats,
+}
+
+/// Counters describing how much fault recovery a run performed. All zero
+/// for a fault-free run, so `RunStats` equality with fault-free engines is
+/// unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Transfer attempts that timed out on a downed link and were retried.
+    pub retries: u64,
+    /// Subscriptions rerouted to a surviving holder after a crash.
+    pub rerouted_subscriptions: u64,
+    /// Extra ticks pebbles spent waiting out timeouts and backoff —
+    /// latency attributable to faults, summed over retried transfers.
+    pub fault_stall_ticks: u64,
+    /// Processors that crashed during the run.
+    pub crashed_procs: u32,
+    /// Database copies lost to crashes.
+    pub lost_copies: u32,
 }
 
 impl RunStats {
@@ -91,6 +112,7 @@ mod tests {
             mean_link_pebbles: 10.0,
             events_processed: 250,
             peak_queue_depth: 12,
+            faults: FaultStats::default(),
         }
     }
 

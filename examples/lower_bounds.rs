@@ -12,9 +12,8 @@
 use overlap::core::lower::{
     fact4_min_ratio, one_copy_certificate, one_copy_layout, zigzag_path, OneCopyLayout,
 };
-use overlap::core::pipeline::{simulate_line_on_host, LineStrategy};
-use overlap::model::{GuestSpec, ProgramKind};
-use overlap::net::topology::{h1_lower_bound, h2_recursive_boxes};
+use overlap::topology::{h1_lower_bound, h2_recursive_boxes};
+use overlap::{GuestSpec, LineStrategy, ProgramKind, Simulation};
 
 fn main() {
     let n = 1024u32;
@@ -32,7 +31,11 @@ fn main() {
     }
 
     let guest = GuestSpec::line(n, ProgramKind::Relaxation, 3, 24);
-    let halo = simulate_line_on_host(&guest, &host, LineStrategy::Halo { halo: 6 })
+    let halo = Simulation::of(&guest)
+        .on(&host)
+        .strategy(LineStrategy::Halo { halo: 6 })
+        .build()
+        .and_then(|sim| sim.run())
         .expect("halo run");
     println!(
         "\nmulti-copy halo placement (13 shard copies per workstation): measured \

@@ -10,12 +10,11 @@
 //!
 //! Run with: `cargo run --release --example now_database`
 
-use overlap::core::pipeline::{host_as_array, simulate_line_on_host, LineStrategy};
-use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
-use overlap::net::{topology, DelayModel};
-use overlap::sim::engine::{Engine, EngineConfig};
-use overlap::sim::validate::validate_run;
-use overlap::sim::Assignment;
+use overlap::core::pipeline::host_as_array;
+use overlap::{
+    topology, validate_run, Assignment, DelayModel, Engine, EngineConfig, GuestSpec,
+    LineStrategy, ProgramKind, ReferenceRun, Simulation,
+};
 
 fn main() {
     // The NOW is a 2-D grid machine room: 5×5 workstations, some links slow.
@@ -35,7 +34,11 @@ fn main() {
 
     // 80 database shards, 48 update rounds.
     let guest = GuestSpec::line(80, ProgramKind::KvWorkload, 1234, 48);
-    let report = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 })
+    let report = Simulation::of(&guest)
+        .on(&host)
+        .strategy(LineStrategy::Overlap { c: 4.0 })
+        .build()
+        .and_then(|sim| sim.run())
         .expect("overlap simulation");
     println!(
         "OVERLAP: slowdown {:.2}, {} shard copies for {} shards ({} messages)",

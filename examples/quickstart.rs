@@ -8,10 +8,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use overlap::core::pipeline::{simulate_line_on_host, LineStrategy};
-use overlap::model::{GuestSpec, ProgramKind};
 use overlap::net::metrics::DelayStats;
-use overlap::net::{topology, DelayModel};
+use overlap::{topology, DelayModel, GuestSpec, LineStrategy, ProgramKind, Simulation};
 
 fn main() {
     // A NOW: mostly delay-1 links, a few delay-200 wide-area hops.
@@ -54,7 +52,12 @@ fn main() {
             expansion: 2,
         },
     ] {
-        let r = simulate_line_on_host(&guest, &host, strategy).expect("simulation");
+        let r = Simulation::of(&guest)
+            .on(&host)
+            .strategy(strategy)
+            .build()
+            .and_then(|sim| sim.run())
+            .expect("simulation");
         println!(
             "{:<18} {:>9.2} {:>6} {:>11.2} {:>9}",
             r.strategy, r.stats.slowdown, r.stats.load, r.stats.redundancy, r.validated

@@ -9,10 +9,8 @@
 //!
 //! Run with: `cargo run --release --example wan_dumbbell`
 
-use overlap::core::pipeline::{plan_line_placement, resolve_auto, simulate_line_on_host, LineStrategy};
-use overlap::core::pipeline::host_as_array;
-use overlap::model::{GuestSpec, ProgramKind};
-use overlap::net::topology;
+use overlap::core::pipeline::{host_as_array, plan_line_placement, resolve_auto};
+use overlap::{topology, GuestSpec, LineStrategy, ProgramKind, Simulation};
 
 fn main() {
     let (site_a, site_b) = (10u32, 6u32);
@@ -30,9 +28,18 @@ fn main() {
         let host = topology::dumbbell(site_a, site_b, wan);
         let (_, delays, _) = host_as_array(&host);
         let picked = resolve_auto(&delays).label();
-        let blocked = simulate_line_on_host(&guest, &host, LineStrategy::Blocked)
+        let blocked = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Blocked)
+            .build()
+            .and_then(|sim| sim.run())
             .expect("blocked run");
-        let auto = simulate_line_on_host(&guest, &host, LineStrategy::Auto).expect("auto run");
+        let auto = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Auto)
+            .build()
+            .and_then(|sim| sim.run())
+            .expect("auto run");
         assert!(blocked.validated && auto.validated);
         println!(
             "{wan:>9} {picked:>14} {:>12.1} {:>12.1} {:>6.1}x",

@@ -3,6 +3,7 @@
 //! ```text
 //! overlap-cli [--host <topo>] [--delays <model>] [--guest <shape>]
 //!             [--steps N] [--strategy <s>] [--seed N] [--engine <e>]
+//!             [--faults <f>]...
 //!
 //!   --host      line:N | ring:N | mesh:WxH | torus:WxH | hypercube:D |
 //!               tree:LEVELS | rreg:N:DEG | bfly:K | ccc:K |
@@ -18,6 +19,11 @@
 //!               slackness | all-on-one   (default overlap:4; grid guests
 //!               always use the Theorem 8 pipeline)
 //!   --engine    event | stepped | lockstep  (default event; line/ring only)
+//!   --faults    down:A:B:FROM:UNTIL | spike:A:B:FROM:UNTIL:FACTOR |
+//!               crash:P:AT | rand:PCT  (repeatable; injects deterministic
+//!               link outages / delay spikes / processor crashes; rand:PCT
+//!               draws seeded outages totalling ~PCT% downtime per link;
+//!               event engine only)
 //!   --seed      RNG seed (default 42)
 //!   --analyze   print host statistics, embedding quality and the Auto
 //!               strategy recommendation instead of simulating
@@ -28,10 +34,11 @@
 //! the predicted bound where the strategy has one.
 
 use overlap::core::mesh::simulate_mesh_on_host;
-use overlap::core::pipeline::{plan_line_placement, simulate_line_on_host, LineStrategy};
-use overlap::model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun};
 use overlap::net::metrics::DelayStats;
-use overlap::net::{topology, DelayModel, HostGraph};
+use overlap::{
+    topology, DelayModel, EngineKind, FaultPlan, GuestSpec, GuestTopology, HostGraph,
+    LineStrategy, ProgramKind, Simulation,
+};
 use std::process::exit;
 
 fn usage(msg: &str) -> ! {
@@ -168,6 +175,35 @@ fn parse_strategy(spec: &str) -> LineStrategy {
     }
 }
 
+/// Fold every `--faults` occurrence into one [`FaultPlan`].
+fn parse_faults(args: &[String], host: &HostGraph, seed: u64, horizon: u64) -> Option<FaultPlan> {
+    let mut plan = FaultPlan::new();
+    let mut any = false;
+    for (i, a) in args.iter().enumerate() {
+        if a != "--faults" {
+            continue;
+        }
+        let spec = args.get(i + 1).unwrap_or_else(|| usage("--faults needs a value"));
+        let v = parse_nums(spec);
+        let get = |i: usize| {
+            *v.get(i).unwrap_or_else(|| usage(&format!("'{spec}' needs more parameters")))
+        };
+        any = true;
+        plan = if spec.starts_with("down") {
+            plan.link_down(get(0) as u32, get(1) as u32, get(2), get(3))
+        } else if spec.starts_with("spike") {
+            plan.delay_spike(get(0) as u32, get(1) as u32, get(2), get(3), get(4) as u32)
+        } else if spec.starts_with("crash") {
+            plan.crash(get(0) as u32, get(1))
+        } else if spec.starts_with("rand") {
+            plan.with_random_outages(host, seed, get(0) as f64 / 100.0, (horizon / 16).max(8), horizon)
+        } else {
+            usage(&format!("unknown fault '{spec}'"))
+        };
+    }
+    any.then_some(plan)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -225,72 +261,33 @@ fn main() {
     println!("host    : {} — {} nodes, d_ave {:.2}, d_max {}", host.name(), host.num_nodes(), stats.d_ave, stats.d_max);
     println!("guest   : {:?} — {} cells × {} steps", guest.topology, guest.num_cells(), guest.steps);
 
+    // Horizon estimate for random fault generation: the run's tick count
+    // is unknown up front, so scale the guest length by the delay spread.
+    let horizon = steps as u64 * (stats.d_max + 2);
+    let faults = parse_faults(&args, &host, seed, horizon);
+
     let report = match guest.topology {
         GuestTopology::Line { .. } | GuestTopology::Ring { .. } => {
             let strategy = parse_strategy(&strategy_spec);
-            if engine == "lockstep" {
-                plan_line_placement(&guest, &host, strategy).and_then(|placement| {
-                    use overlap::sim::lockstep::run_lockstep;
-                    use overlap::sim::validate::validate_run;
-                    use overlap::sim::BandwidthMode;
-                    let outcome = run_lockstep(
-                        &guest,
-                        &host,
-                        &placement.assignment,
-                        BandwidthMode::LogN,
-                    )
-                    .map_err(overlap::core::pipeline::PipelineError::Run)?;
-                    let trace = ReferenceRun::execute(&guest);
-                    let errors = validate_run(&trace, &outcome);
-                    let delays = &placement.array_delays;
-                    Ok(overlap::core::pipeline::SimReport {
-                        stats: outcome.stats,
-                        validated: errors.is_empty(),
-                        mismatches: errors.len(),
-                        predicted_slowdown: placement.predicted_slowdown,
-                        strategy: format!("{} [lockstep engine]", strategy.label()),
-                        host: host.name().to_string(),
-                        d_ave: if delays.is_empty() { 0.0 } else {
-                            delays.iter().sum::<u64>() as f64 / delays.len() as f64
-                        },
-                        d_max: delays.iter().copied().max().unwrap_or(0),
-                        dilation: placement.dilation,
-                    })
-                })
-            } else if engine == "stepped" {
-                // Same placement, executed on the parallel time-stepped
-                // engine instead of the event-driven one.
-                plan_line_placement(&guest, &host, strategy).and_then(|placement| {
-                    use overlap::sim::engine::EngineConfig;
-                    use overlap::sim::stepped::run_stepped;
-                    use overlap::sim::validate::validate_run;
-                    let outcome = run_stepped(
-                        &guest,
-                        &host,
-                        &placement.assignment,
-                        EngineConfig::default(),
-                    )
-                    .map_err(overlap::core::pipeline::PipelineError::Run)?;
-                    let trace = ReferenceRun::execute(&guest);
-                    let errors = validate_run(&trace, &outcome);
-                    let delays = &placement.array_delays;
-                    Ok(overlap::core::pipeline::SimReport {
-                        stats: outcome.stats,
-                        validated: errors.is_empty(),
-                        mismatches: errors.len(),
-                        predicted_slowdown: placement.predicted_slowdown,
-                        strategy: format!("{} [stepped engine]", strategy.label()),
-                        host: host.name().to_string(),
-                        d_ave: if delays.is_empty() { 0.0 } else {
-                            delays.iter().sum::<u64>() as f64 / delays.len() as f64
-                        },
-                        d_max: delays.iter().copied().max().unwrap_or(0),
-                        dilation: placement.dilation,
-                    })
-                })
-            } else {
-                simulate_line_on_host(&guest, &host, strategy)
+            let kind = match engine.as_str() {
+                "event" => EngineKind::Event,
+                "stepped" => EngineKind::Stepped,
+                "lockstep" => EngineKind::Lockstep,
+                other => usage(&format!("unknown engine '{other}'")),
+            };
+            let mut builder = Simulation::of(&guest)
+                .on(&host)
+                .strategy(strategy)
+                .engine(kind);
+            if let Some(plan) = faults {
+                builder = builder.faults(plan);
             }
+            builder.build().and_then(|sim| sim.run()).map(|mut r| {
+                if kind != EngineKind::Event {
+                    r.strategy = format!("{} [{engine} engine]", r.strategy);
+                }
+                r
+            })
         }
         GuestTopology::BinaryTree { .. } => {
             overlap::core::tree_guest::simulate_tree_on_host(&guest, &host, true, None)
@@ -304,6 +301,13 @@ fn main() {
             println!("load     : {} databases/processor, redundancy {:.2}×", r.stats.load, r.stats.redundancy);
             println!("traffic  : {} pebble messages, {} link hops", r.stats.messages, r.stats.pebble_hops);
             println!("efficiency {:.3}, work overhead {:.2}×", r.stats.efficiency(), r.stats.work_overhead());
+            let f = r.stats.faults;
+            if f != Default::default() {
+                println!(
+                    "faults   : {} retries, {} rerouted subs, {} crashed procs ({} copies lost), {} stall ticks",
+                    f.retries, f.rerouted_subscriptions, f.crashed_procs, f.lost_copies, f.fault_stall_ticks
+                );
+            }
             if let Some(p) = r.predicted_slowdown {
                 println!("predicted: {p:.1} (asymptotic shape, constants included)");
             }

@@ -29,19 +29,41 @@
 //! ## Quickstart
 //!
 //! ```
-//! use overlap::model::{GuestSpec, ProgramKind};
-//! use overlap::net::{topology, DelayModel};
-//! use overlap::core::pipeline::{simulate_line_on_host, LineStrategy};
+//! use overlap::{topology, DelayModel, GuestSpec, LineStrategy, ProgramKind, Simulation};
 //!
 //! // A 64-cell unit-delay guest line running a KV workload for 32 steps.
 //! let guest = GuestSpec::line(64, ProgramKind::KvWorkload, 42, 32);
 //! // A 16-workstation host line with seeded random link delays.
 //! let host = topology::linear_array(16, DelayModel::uniform(1, 9), 7);
 //! // Run OVERLAP and validate against the unit-delay reference.
-//! let report = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 })
+//! let report = Simulation::of(&guest)
+//!     .on(&host)
+//!     .strategy(LineStrategy::Overlap { c: 4.0 })
+//!     .build()
+//!     .and_then(|sim| sim.run())
 //!     .expect("simulation must run");
 //! assert!(report.validated);
 //! println!("slowdown = {:.2}", report.stats.slowdown);
+//! ```
+//!
+//! ## Fault injection
+//!
+//! ```
+//! use overlap::{topology, DelayModel, FaultPlan, GuestSpec, ProgramKind, Simulation};
+//!
+//! let guest = GuestSpec::line(32, ProgramKind::StencilSum, 3, 24);
+//! let host = topology::linear_array(8, DelayModel::uniform(1, 6), 5);
+//! // Take a link down mid-run; in-flight transfers time out and retry
+//! // with exponential backoff, and the run still validates.
+//! let faults = FaultPlan::new().link_down(2, 3, 40, 90);
+//! let report = Simulation::of(&guest)
+//!     .on(&host)
+//!     .faults(faults)
+//!     .build()
+//!     .and_then(|sim| sim.run())
+//!     .expect("degraded run must still complete");
+//! assert!(report.validated);
+//! println!("retries = {}", report.stats.faults.retries);
 //! ```
 
 #![warn(missing_docs)]
@@ -50,3 +72,13 @@ pub use overlap_core as core;
 pub use overlap_model as model;
 pub use overlap_net as net;
 pub use overlap_sim as sim;
+
+pub use overlap_core::{
+    Error, EngineKind, LineStrategy, SimReport, Simulation, SimulationBuilder,
+};
+pub use overlap_model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun, ReferenceTrace};
+pub use overlap_net::{topology, DelayModel, HostGraph};
+pub use overlap_sim::{
+    validate_run, Assignment, BandwidthMode, Engine, EngineConfig, FaultPlan, FaultStats, Jitter,
+    RetryPolicy, RunError, RunOutcome, RunStats,
+};

@@ -7,14 +7,24 @@ use overlap::net::{topology, DelayModel, HostGraph};
 use overlap::sim::engine::{Engine, EngineConfig, Jitter};
 use overlap::sim::sweep::par_map;
 use overlap::sim::Assignment;
-use overlap::core::pipeline::{simulate_line_on_host, LineStrategy};
+use overlap::{LineStrategy, Simulation};
+/// Run via the builder facade (the old free-function entry points are
+/// deprecated).
+fn simulate(
+    guest: &overlap::GuestSpec,
+    host: &overlap::HostGraph,
+    strategy: LineStrategy,
+) -> Result<overlap::SimReport, overlap::Error> {
+    Simulation::of(guest).on(host).strategy(strategy).build().and_then(|s| s.run())
+}
+
 
 #[test]
 fn pipeline_is_deterministic_across_runs() {
     let guest = GuestSpec::line(28, ProgramKind::KvWorkload, 17, 14);
     let host = topology::mesh2d(4, 4, DelayModel::uniform(1, 15), 8);
-    let a = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
-    let b = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+    let a = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+    let b = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
     assert_eq!(a.stats.makespan, b.stats.makespan);
     assert_eq!(a.stats.messages, b.stats.messages);
     assert_eq!(a.stats.pebble_hops, b.stats.pebble_hops);
@@ -28,7 +38,7 @@ fn parallel_sweep_equals_sequential() {
         .iter()
         .map(|&s| {
             let host = topology::linear_array(8, DelayModel::uniform(1, 9), s);
-            simulate_line_on_host(&guest, &host, LineStrategy::Blocked)
+            simulate(&guest, &host, LineStrategy::Blocked)
                 .unwrap()
                 .stats
                 .makespan
@@ -36,7 +46,7 @@ fn parallel_sweep_equals_sequential() {
         .collect();
     let parallel: Vec<u64> = par_map(&seeds, |&s| {
         let host = topology::linear_array(8, DelayModel::uniform(1, 9), s);
-        simulate_line_on_host(&guest, &host, LineStrategy::Blocked)
+        simulate(&guest, &host, LineStrategy::Blocked)
             .unwrap()
             .stats
             .makespan

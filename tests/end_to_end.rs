@@ -2,7 +2,17 @@
 //! several host families, all validated against the unit-delay reference.
 
 use overlap::core::mesh::simulate_mesh_on_host;
-use overlap::core::pipeline::{simulate_line_on_host, LineStrategy};
+use overlap::{LineStrategy, Simulation};
+/// Run via the builder facade (the old free-function entry points are
+/// deprecated).
+fn simulate(
+    guest: &overlap::GuestSpec,
+    host: &overlap::HostGraph,
+    strategy: LineStrategy,
+) -> Result<overlap::SimReport, overlap::Error> {
+    Simulation::of(guest).on(host).strategy(strategy).build().and_then(|s| s.run())
+}
+
 use overlap::model::{GuestSpec, ProgramKind};
 use overlap::net::{topology, DelayModel, HostGraph};
 
@@ -35,7 +45,7 @@ fn line_guests_validate_everywhere() {
     let guest = GuestSpec::line(30, ProgramKind::KvWorkload, 9, 12);
     for host in hosts() {
         for s in strategies() {
-            let r = simulate_line_on_host(&guest, &host, s)
+            let r = simulate(&guest, &host, s)
                 .unwrap_or_else(|e| panic!("{} × {}: {e}", host.name(), s.label()));
             assert!(
                 r.validated,
@@ -52,7 +62,7 @@ fn line_guests_validate_everywhere() {
 fn ring_guests_validate_everywhere() {
     let guest = GuestSpec::ring(26, ProgramKind::RuleAutomaton { db_size: 8 }, 4, 10);
     for host in hosts() {
-        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 })
+        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 })
             .unwrap_or_else(|e| panic!("{}: {e}", host.name()));
         assert!(r.validated, "{}", host.name());
     }
@@ -68,7 +78,7 @@ fn every_program_kind_validates() {
         ProgramKind::Relaxation,
     ] {
         let guest = GuestSpec::line(24, pk, 3, 16);
-        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
         assert!(r.validated, "{pk:?}");
     }
 }
@@ -91,7 +101,7 @@ fn adversarial_hosts_still_validate() {
         topology::clique_of_cliques(6),
         topology::h2_recursive_boxes(256).graph,
     ] {
-        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 })
+        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 })
             .unwrap_or_else(|e| panic!("{}: {e}", host.name()));
         assert!(r.validated, "{}", host.name());
     }
@@ -104,7 +114,7 @@ fn slowdown_never_below_work_floor() {
     let guest = GuestSpec::line(40, ProgramKind::Relaxation, 5, 20);
     for host in hosts() {
         for s in strategies() {
-            let r = simulate_line_on_host(&guest, &host, s).unwrap();
+            let r = simulate(&guest, &host, s).unwrap();
             let floor = guest.total_work() as f64 / host.num_nodes() as f64;
             assert!(
                 r.stats.makespan as f64 >= floor,

@@ -2,7 +2,7 @@
 //! must always produce simulations that validate bit-for-bit against the
 //! unit-delay reference — the workspace's core safety property.
 
-use overlap::core::pipeline::{simulate_line_with_trace, LineStrategy};
+use overlap::{LineStrategy, Simulation};
 use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap::net::{topology, DelayModel};
 use overlap::sim::engine::{Engine, EngineConfig};
@@ -105,7 +105,11 @@ proptest! {
         let guest = GuestSpec::ring(m, ProgramKind::Relaxation, seed, steps);
         let host = topology::linear_array(procs, DelayModel::uniform(1, 20), seed);
         let trace = ReferenceRun::execute(&guest);
-        let r = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+        let r = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .build()
+            .and_then(|s| s.run_with_trace(&trace))
             .expect("pipeline");
         prop_assert!(r.validated);
     }
@@ -120,7 +124,11 @@ proptest! {
         let host = topology::mesh2d(w, h, DelayModel::uniform(1, 15), seed);
         let guest = GuestSpec::line(w * h * 2, ProgramKind::KvWorkload, seed, steps);
         let trace = ReferenceRun::execute(&guest);
-        let r = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+        let r = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .build()
+            .and_then(|s| s.run_with_trace(&trace))
             .expect("pipeline");
         prop_assert!(r.validated);
         prop_assert!(r.dilation <= 3);

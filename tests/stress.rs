@@ -2,7 +2,17 @@
 //! `cargo test --release --test stress -- --ignored`.
 
 use overlap::core::mesh::simulate_mesh_on_host;
-use overlap::core::pipeline::{simulate_line_on_host, LineStrategy};
+use overlap::{LineStrategy, Simulation};
+/// Run via the builder facade (the old free-function entry points are
+/// deprecated).
+fn simulate(
+    guest: &overlap::GuestSpec,
+    host: &overlap::HostGraph,
+    strategy: LineStrategy,
+) -> Result<overlap::SimReport, overlap::Error> {
+    Simulation::of(guest).on(host).strategy(strategy).build().and_then(|s| s.run())
+}
+
 use overlap::model::{GuestSpec, ProgramKind};
 use overlap::net::{topology, DelayModel};
 
@@ -11,7 +21,7 @@ use overlap::net::{topology, DelayModel};
 fn overlap_on_4096_processor_host() {
     let host = topology::linear_array(4096, DelayModel::uniform(1, 32), 9);
     let guest = GuestSpec::line(8192, ProgramKind::Relaxation, 5, 128);
-    let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 })
+    let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 })
         .expect("large overlap run");
     assert!(r.validated);
     assert!(r.stats.slowdown >= 1.0);
@@ -35,7 +45,7 @@ fn deep_h2_and_cliques_still_validate() {
         topology::clique_of_cliques(32),
         topology::geometric(512, 0.12, 200, 11),
     ] {
-        let r = simulate_line_on_host(&guest, &host, LineStrategy::Overlap { c: 4.0 })
+        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 })
             .unwrap_or_else(|e| panic!("{}: {e}", host.name()));
         assert!(r.validated, "{}", host.name());
     }
@@ -48,7 +58,7 @@ fn long_horizon_run_stays_consistent() {
     // histories.
     let host = topology::linear_array(16, DelayModel::uniform(1, 12), 2);
     let guest = GuestSpec::line(64, ProgramKind::CacheChurn, 3, 4096);
-    let r = simulate_line_on_host(&guest, &host, LineStrategy::Halo { halo: 1 })
+    let r = simulate(&guest, &host, LineStrategy::Halo { halo: 1 })
         .expect("long run");
     assert!(r.validated);
 }
