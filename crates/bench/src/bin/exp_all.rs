@@ -34,6 +34,7 @@ fn main() {
         (e18_programs::run(scale), "e18_programs".to_string()),
         (engine_scale::run(scale), "engine_scale".to_string()),
         (fault_tolerance::run(scale), "fault_tolerance".to_string()),
+        (stall_attribution::run(scale), "stall_attribution".to_string()),
     ];
     let mut titles: Vec<(String, String)> = Vec::new();
     for (t, name) in tables {

@@ -1,0 +1,12 @@
+//! TRACE — stall attribution (compute / dependency / bandwidth / db-order
+//! / fault / drain) across delay ranges and placements.
+//! Writes `BENCH_trace.json` at the workspace root.
+//! Usage: `cargo run --release --bin exp_stall_attribution [--quick]`
+
+use overlap_bench::experiments::stall_attribution;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = stall_attribution::run(Scale::from_args());
+    println!("{}", save_table(&t, "stall_attribution").expect("write results"));
+}

@@ -64,7 +64,7 @@ pub fn run(scale: Scale) -> Table {
         let within = (row - 1) % m0 + 1;
         let deadline = table.box_deadline(0) * round as f64
             + table.rows[0][(within as usize - 1).min(table.rows[0].len() - 1)];
-        let measured = timing.row_completion(row) as f64;
+        let measured = timing.row_completion(row).expect("row within trace") as f64;
         worst = worst.max(measured / deadline);
         t.row(vec![
             row.to_string(),

@@ -101,8 +101,8 @@ mod tests {
         let t = run(Scale::Quick);
         for r in &t.rows {
             let sqrt_n: f64 = r[1].parse().unwrap();
-            for c in 2..5 {
-                let cert: f64 = r[c].parse().unwrap();
+            for cell in &r[2..5] {
+                let cert: f64 = cell.parse().unwrap();
                 assert!(cert >= 0.9 * sqrt_n, "cert {cert} < √n {sqrt_n}");
             }
             // measured single-copy slowdown should be at least a large

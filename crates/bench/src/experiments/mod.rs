@@ -16,6 +16,7 @@
 //! | [`e12_ablations`] | halo width, killing constant, bandwidth ablations |
 //! | [`engine_scale`]  | simulator throughput: calendar-queue vs classic heap engine |
 //! | [`fault_tolerance`] | graceful degradation: OVERLAP vs single-copy under link outages & crashes |
+//! | [`stall_attribution`] | where the ticks go: stall categories vs `d_ave` across placements |
 //! | [`figures`]       | Figures 1–6 regenerated as data |
 
 use overlap_core::pipeline::{LineStrategy, SimReport};
@@ -59,3 +60,4 @@ pub mod e9_cliques;
 pub mod engine_scale;
 pub mod fault_tolerance;
 pub mod figures;
+pub mod stall_attribution;

@@ -284,7 +284,8 @@ mod tests {
         // neighbourhood.
         assert_eq!(a.max_copies(), 9);
         // Interior processor holds (g+2ω)² cells.
-        let interior = a.cells_of((1 * 4 + 1) as u32);
+        // Processor (row 1, col 1) of the 4-wide grid.
+        let interior = a.cells_of(4 + 1);
         assert_eq!(interior.len(), 81);
     }
 

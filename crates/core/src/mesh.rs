@@ -195,7 +195,7 @@ mod tests {
         let delays: Vec<u64> = host.links().iter().map(|l| l.delay).collect();
         let topo = GuestTopology::Mesh2D { w: 10, h: 6 };
         let plan = plan_mesh(&delays, 4.0, 2, &topo).unwrap();
-        let mut covered = vec![false; 60];
+        let mut covered = [false; 60];
         for cells in &plan.cells_of_position {
             for &c in cells {
                 covered[c as usize] = true;

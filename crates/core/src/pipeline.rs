@@ -14,9 +14,8 @@
 
 use crate::error::Error;
 use crate::overlap::plan_overlap;
-use crate::simulation::Simulation;
 use crate::uniform;
-use overlap_model::{line_slots, ring_fold, GuestSpec, GuestTopology, ReferenceTrace, SlotMap};
+use overlap_model::{line_slots, ring_fold, GuestSpec, GuestTopology, SlotMap};
 use overlap_net::embed::embed_linear_array;
 use overlap_net::{Delay, HostGraph, NodeId};
 use overlap_sim::engine::RunOutcome;
@@ -116,11 +115,6 @@ pub fn resolve_auto(delays: &[Delay]) -> LineStrategy {
         LineStrategy::Overlap { c: 4.0 }
     }
 }
-
-/// Pipeline failure — merged into the unified [`Error`] hierarchy; the
-/// variants (`Overlap`, `Run`, `UnsupportedTopology`) are unchanged.
-#[deprecated(since = "0.2.0", note = "use overlap_core::Error (re-exported as overlap::Error)")]
-pub type PipelineError = Error;
 
 /// The result of a validated pipeline run.
 #[derive(Debug, Clone)]
@@ -308,25 +302,6 @@ fn place_slots(
     }
 }
 
-/// Simulate a line or ring guest on an arbitrary connected host with the
-/// given strategy, validating every database copy against the unit-delay
-/// reference.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Simulation::of(&guest).on(&host).strategy(..).build()?.run()"
-)]
-pub fn simulate_line_on_host(
-    guest: &GuestSpec,
-    host: &HostGraph,
-    strategy: LineStrategy,
-) -> Result<SimReport, Error> {
-    Simulation::of(guest)
-        .on(host)
-        .strategy(strategy)
-        .build()?
-        .run()
-}
-
 /// The assignment a line strategy produces, plus embedding metadata —
 /// exposed so callers can run it on the engine of their choice.
 #[derive(Debug, Clone)]
@@ -379,34 +354,15 @@ pub fn plan_line_placement(
     })
 }
 
-/// Like [`simulate_line_on_host`] but with a precomputed reference trace
-/// (for parameter sweeps that reuse the guest).
-#[deprecated(
-    since = "0.2.0",
-    note = "use Simulation::of(&guest).on(&host).strategy(..).build()?.run_with_trace(&trace)"
-)]
-pub fn simulate_line_with_trace(
-    guest: &GuestSpec,
-    host: &HostGraph,
-    strategy: LineStrategy,
-    trace: &ReferenceTrace,
-) -> Result<SimReport, Error> {
-    Simulation::of(guest)
-        .on(host)
-        .strategy(strategy)
-        .build()?
-        .run_with_trace(trace)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulation::Simulation;
     use overlap_model::ProgramKind;
     use overlap_net::topology::{linear_array, mesh2d};
     use overlap_net::DelayModel;
 
-    /// The builder path every test exercises (the deprecated free
-    /// functions are covered by `deprecated_shims_still_work`).
+    /// The builder path every test exercises.
     fn simulate(
         guest: &GuestSpec,
         host: &HostGraph,
@@ -420,19 +376,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
+    fn precomputed_trace_matches_plain_run() {
         let guest = GuestSpec::line(12, ProgramKind::KvWorkload, 1, 8);
         let host = linear_array(4, DelayModel::constant(3), 0);
-        let r = simulate_line_on_host(&guest, &host, LineStrategy::Blocked).unwrap();
+        let r = simulate(&guest, &host, LineStrategy::Blocked).unwrap();
         assert!(r.validated);
         let trace = overlap_model::ReferenceRun::execute(&guest);
-        let r2 =
-            simulate_line_with_trace(&guest, &host, LineStrategy::Blocked, &trace).unwrap();
+        let r2 = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Blocked)
+            .build()
+            .unwrap()
+            .run_with_trace(&trace)
+            .unwrap();
         assert_eq!(r.stats, r2.stats);
-        // The alias keeps old match paths compiling.
-        let e: PipelineError = Error::UnsupportedTopology;
-        assert!(matches!(e, PipelineError::UnsupportedTopology));
     }
 
     #[test]
@@ -450,7 +407,7 @@ mod tests {
         let (order, delays, dil) = host_as_array(&host);
         assert_eq!(order.len(), 9);
         assert_eq!(delays.len(), 8);
-        assert!(dil >= 1 && dil <= 3);
+        assert!((1..=3).contains(&dil));
     }
 
     #[test]

@@ -35,7 +35,7 @@ use overlap_net::{Delay, HostGraph};
 use overlap_sim::engine::{Engine, EngineConfig, Jitter, RunOutcome};
 use overlap_sim::faults::FaultPlan;
 use overlap_sim::validate::validate_run;
-use overlap_sim::{run_lockstep, run_stepped, Assignment, BandwidthMode};
+use overlap_sim::{run_lockstep, run_stepped, Assignment, BandwidthMode, TraceConfig};
 
 /// Which execution engine runs the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +66,7 @@ impl Simulation {
             config: EngineConfig::default(),
             compute_costs: None,
             faults: None,
+            trace: None,
             engine: EngineKind::Event,
         }
     }
@@ -81,6 +82,7 @@ pub struct SimulationBuilder<'a> {
     config: EngineConfig,
     compute_costs: Option<Vec<u32>>,
     faults: Option<FaultPlan>,
+    trace: Option<TraceConfig>,
     engine: EngineKind,
 }
 
@@ -150,6 +152,15 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
+    /// Attribute every stall tick of the run to its cause — dependency,
+    /// bandwidth, database-update order, faults, or post-completion drain
+    /// (event engine only). The report lands in the outcome's
+    /// `stats.stalls` and `trace`; the schedule itself is unchanged.
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
+    }
+
     /// Choose the execution engine (default [`EngineKind::Event`]).
     pub fn engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
@@ -184,6 +195,11 @@ impl<'a> SimulationBuilder<'a> {
             if self.compute_costs.is_some() {
                 return Err(Error::Config(
                     "compute costs need the event engine".into(),
+                ));
+            }
+            if self.trace.is_some() {
+                return Err(Error::Config(
+                    "stall-attribution tracing needs the event engine".into(),
                 ));
             }
         }
@@ -224,6 +240,7 @@ impl<'a> SimulationBuilder<'a> {
             config: self.config,
             compute_costs: self.compute_costs,
             faults: self.faults,
+            trace: self.trace,
             engine: self.engine,
             predicted_slowdown,
             array_delays,
@@ -242,6 +259,7 @@ pub struct ReadySimulation<'a> {
     config: EngineConfig,
     compute_costs: Option<Vec<u32>>,
     faults: Option<FaultPlan>,
+    trace: Option<TraceConfig>,
     engine: EngineKind,
     predicted_slowdown: Option<f64>,
     array_delays: Vec<Delay>,
@@ -277,7 +295,10 @@ impl ReadySimulation<'_> {
                 if let Some(plan) = &self.faults {
                     eng = eng.with_faults(plan.clone());
                 }
-                eng.run()?
+                match self.trace {
+                    Some(cfg) => eng.run_traced(cfg)?,
+                    None => eng.run()?,
+                }
             }
             EngineKind::Stepped => {
                 run_stepped(self.guest, self.host, &self.assignment, self.config)?
@@ -328,7 +349,6 @@ impl ReadySimulation<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::simulate_line_on_host;
     use overlap_model::ProgramKind;
     use overlap_net::topology::linear_array;
     use overlap_net::DelayModel;
@@ -342,22 +362,23 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_legacy_pipeline() {
+    fn builder_runs_are_deterministic() {
         let (guest, host) = lab();
         let strategy = LineStrategy::Overlap { c: 4.0 };
-        let new = Simulation::of(&guest)
-            .on(&host)
-            .strategy(strategy)
-            .build()
-            .unwrap()
-            .run()
-            .unwrap();
-        #[allow(deprecated)]
-        let old = simulate_line_on_host(&guest, &host, strategy).unwrap();
-        assert!(new.validated);
-        assert_eq!(new.stats, old.stats);
-        assert_eq!(new.strategy, old.strategy);
-        assert_eq!(new.predicted_slowdown, old.predicted_slowdown);
+        let run = || {
+            Simulation::of(&guest)
+                .on(&host)
+                .strategy(strategy)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert!(a.validated);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(a.predicted_slowdown, b.predicted_slowdown);
     }
 
     #[test]
@@ -489,6 +510,53 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, Error::Run(RunError::TickLimit(2))));
+    }
+
+    #[test]
+    fn traced_builder_run_conserves_and_matches_untraced() {
+        let (guest, host) = lab();
+        let plain = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let traced = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .trace(TraceConfig::default())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(traced.validated);
+        // Tracing never perturbs the schedule.
+        let mut stats = traced.stats;
+        stats.stalls = None;
+        assert_eq!(stats, plain.stats);
+        // Conservation: categories partition [0, makespan) per copy.
+        let totals = traced.stats.stalls.expect("traced run has stalls");
+        assert_eq!(
+            totals.total(),
+            traced.stats.makespan * traced.outcome.copies.len() as u64
+        );
+        let report = traced.outcome.trace.as_ref().expect("trace report");
+        assert_eq!(report.totals, totals);
+    }
+
+    #[test]
+    fn tracing_requires_event_engine() {
+        let (guest, host) = lab();
+        for kind in [EngineKind::Stepped, EngineKind::Lockstep] {
+            let err = Simulation::of(&guest)
+                .on(&host)
+                .engine(kind)
+                .trace(TraceConfig::default())
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, Error::Config(_)), "{err}");
+        }
     }
 
     #[test]

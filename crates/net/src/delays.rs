@@ -170,8 +170,8 @@ mod tests {
             p_hi: 0.3,
         };
         let samples: Vec<_> = (0..300).map(|i| m.sample(i, 5)).collect();
-        assert!(samples.iter().any(|&d| d == 1));
-        assert!(samples.iter().any(|&d| d == 100));
+        assert!(samples.contains(&1));
+        assert!(samples.contains(&100));
         assert!(samples.iter().all(|&d| d == 1 || d == 100));
     }
 

@@ -38,8 +38,9 @@ use std::collections::{BinaryHeap, VecDeque};
 /// Number of near-future tick buckets (must be a power of two). 1024 ticks
 /// covers every delay the experiment sweeps use; larger delays simply take
 /// the overflow path, which is still `O(log overflow)` only for the rare
-/// beyond-horizon event.
-const WINDOW: u64 = 1024;
+/// beyond-horizon event. Public so tests and benchmarks can construct
+/// workloads that deliberately straddle the horizon.
+pub const WINDOW: u64 = 1024;
 const MASK: u64 = WINDOW - 1;
 const WORDS: usize = (WINDOW / 64) as usize;
 
@@ -315,6 +316,61 @@ mod tests {
             assert_eq!((t1, v1), (t2, v2));
         }
         assert!(heap.pop().is_none());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Property version of the determinism contract, biased toward the
+        /// overflow path: bursts of events landing at and far beyond the
+        /// `WINDOW` horizon (so they spill to the heap and must be
+        /// refilled on cursor advances) still pop in bit-identical
+        /// `(tick, push-seq)` order to the reference `BinaryHeap`.
+        #[test]
+        fn overflow_spikes_match_reference_heap_prop(
+            ops in proptest::collection::vec(
+                (
+                    0u8..4,
+                    prop_oneof![
+                        0u64..4,                    // same-tick / near
+                        4u64..64,                   // in-window
+                        WINDOW - 2..WINDOW + 2,     // straddle the horizon
+                        WINDOW..WINDOW * 8,         // deep overflow spikes
+                    ],
+                ),
+                1..400,
+            ),
+        ) {
+            let mut cal = CalendarQueue::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            let mut id = 0u32;
+            let mut pending = 0u32;
+            for &(op, delta) in &ops {
+                if op == 0 && pending > 0 {
+                    let (t1, v1) = cal.pop().expect("calendar non-empty");
+                    let Reverse((t2, _, v2)) = heap.pop().expect("heap non-empty");
+                    prop_assert_eq!((t1, v1), (t2, v2));
+                    now = t1;
+                    pending -= 1;
+                } else {
+                    cal.push(now + delta, id);
+                    heap.push(Reverse((now + delta, seq, id)));
+                    seq += 1;
+                    id += 1;
+                    pending += 1;
+                }
+                prop_assert_eq!(cal.len() as u32, pending);
+            }
+            while let Some((t1, v1)) = cal.pop() {
+                let Reverse((t2, _, v2)) = heap.pop().expect("heap non-empty");
+                prop_assert_eq!((t1, v1), (t2, v2));
+            }
+            prop_assert!(heap.pop().is_none());
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::faults::{FaultMark, FaultMarkKind, FaultPlan, FaultRt};
 use crate::multicast::MulticastTable;
 use crate::routing::RoutingTable;
 use crate::stats::{FaultStats, RunStats};
+use crate::trace::{MsgKey, NoopTracer, ReadyCause, StallTracer, TraceConfig, TraceReport, Tracer};
 use overlap_model::{fold64, Db, Dep, GuestSpec, PebbleValue, ProgramRef, Side};
 use overlap_net::paths::dijkstra;
 use overlap_net::{Delay, HostGraph, NodeId};
@@ -212,13 +213,20 @@ impl TimingTrace {
     /// Completion time of guest row `t` (1-based): the tick by which
     /// **every** copy has computed step `t` — the quantity Theorem 1's
     /// deadlines `s_t^{(k)}` bound.
-    pub fn row_completion(&self, t: u32) -> u64 {
+    ///
+    /// Returns `None` for `t == 0` (row 0 is the initial values, never
+    /// computed), for a `t` beyond what any copy has recorded, and for an
+    /// empty trace — previously these silently reported `0`, which reads
+    /// as "completed instantly".
+    pub fn row_completion(&self, t: u32) -> Option<u64> {
+        if t == 0 {
+            return None;
+        }
         self.ticks
             .iter()
             .filter_map(|c| c.get(t as usize - 1))
             .copied()
             .max()
-            .unwrap_or(0)
     }
 
     /// Fraction of `[0, makespan)` each processor spent computing, given
@@ -226,6 +234,18 @@ impl TimingTrace {
     /// pebble on processor `p` is weighted by its `cost_of(p)` ticks —
     /// without the weight, slow processors look mostly idle even when they
     /// never stop computing.
+    ///
+    /// The busy estimate is `pebbles × nominal cost`, so a cost table that
+    /// overstates the run's actual costs can push the ratio past 1; values
+    /// are clamped to 1.0. For exact accounting use a traced run's
+    /// [`StallBreakdown`](crate::trace::StallBreakdown) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies` is not aligned with this trace (one record per
+    /// `ticks` row), if a record references a processor `≥ procs`, or if
+    /// `costs` covers fewer than `procs` processors — each of these
+    /// previously produced an unchecked index or silently wrong ratios.
     pub fn utilization(
         &self,
         copies: &[CopyRecord],
@@ -233,17 +253,39 @@ impl TimingTrace {
         makespan: u64,
         costs: Option<&[u32]>,
     ) -> Vec<f64> {
+        assert_eq!(
+            self.ticks.len(),
+            copies.len(),
+            "timing trace has {} copies but {} copy records were passed",
+            self.ticks.len(),
+            copies.len()
+        );
+        if let Some(cs) = costs {
+            assert!(
+                cs.len() >= procs as usize,
+                "compute-cost table covers {} processors, utilization asked for {}",
+                cs.len(),
+                procs
+            );
+        }
         let mut busy = vec![0u64; procs as usize];
         for (i, c) in copies.iter().enumerate() {
-            let w = costs.map_or(1, |cs| cs[c.proc as usize] as u64);
-            busy[c.proc as usize] += self.ticks[i].len() as u64 * w;
+            let p = c.proc as usize;
+            assert!(
+                p < procs as usize,
+                "copy record references processor {}, but only {} were passed",
+                p,
+                procs
+            );
+            let w = costs.map_or(1, |cs| cs[p] as u64);
+            busy[p] += self.ticks[i].len() as u64 * w;
         }
         busy.iter()
             .map(|&b| {
                 if makespan == 0 {
                     0.0
                 } else {
-                    b as f64 / makespan as f64
+                    (b as f64 / makespan as f64).min(1.0)
                 }
             })
             .collect()
@@ -259,6 +301,9 @@ pub struct RunOutcome {
     pub copies: Vec<CopyRecord>,
     /// Pebble completion ticks when `record_timing` was set.
     pub timing: Option<TimingTrace>,
+    /// Stall-attribution report when the run was traced
+    /// ([`Engine::run_traced`]); `None` otherwise.
+    pub trace: Option<TraceReport>,
 }
 
 /// Event payload, stored inline in the calendar buckets.
@@ -633,18 +678,34 @@ fn is_ready(pt: &ProcTables, st: &ProcState, i: usize, steps: u32) -> bool {
 }
 
 /// Queue held cell `j` if it is ready and not already queued/being run.
+/// `try_enqueue` succeeds at most once per (cell, step) — the `queued`
+/// flag — so the successful call's context is exactly the event that made
+/// the pebble ready, which is what `tracer` gets told.
 #[inline]
-fn try_enqueue(pt: &ProcTables, st: &mut ProcState, j: usize, steps: u32) {
+#[allow(clippy::too_many_arguments)]
+fn try_enqueue<T: Tracer>(
+    pt: &ProcTables,
+    st: &mut ProcState,
+    j: usize,
+    steps: u32,
+    proc: NodeId,
+    tick: u64,
+    cause: ReadyCause,
+    tracer: &mut T,
+) {
     if !st.queued[j] && is_ready(pt, st, j, steps) {
         st.ready.push(Reverse((st.next_step[j], j as u32)));
         st.queued[j] = true;
+        tracer.on_enqueued(proc, j as u32, st.next_step[j], tick, cause);
     }
 }
 
 /// Store a delivered pebble, advance the column watermark, and unblock the
-/// held cells waiting on it.
+/// held cells waiting on it. `msg` identifies the delivering message for
+/// stall attribution.
 #[inline]
-fn deliver(
+#[allow(clippy::too_many_arguments)]
+fn deliver<T: Tracer>(
     pt: &ProcTables,
     st: &mut ProcState,
     k: usize,
@@ -652,6 +713,10 @@ fn deliver(
     value: PebbleValue,
     steps: u32,
     stride: usize,
+    proc: NodeId,
+    tick: u64,
+    msg: MsgKey,
+    tracer: &mut T,
 ) {
     let base = k * stride;
     st.dep_values[base + step as usize] = value;
@@ -663,7 +728,7 @@ fn deliver(
     }
     for idx in pt.dep_dep_off[k] as usize..pt.dep_dep_off[k + 1] as usize {
         let j = pt.dep_dependents[idx] as usize;
-        try_enqueue(pt, st, j, steps);
+        try_enqueue(pt, st, j, steps, proc, tick, ReadyCause::Delivered(msg), tracer);
     }
 }
 
@@ -759,6 +824,60 @@ impl<'a> Engine<'a> {
 
     /// Execute the simulation.
     pub fn run(&self) -> Result<RunOutcome, RunError> {
+        self.run_with_tracer(&mut NoopTracer)
+    }
+
+    /// Execute the simulation with stall attribution: every tick of every
+    /// copy's lifetime is attributed to compute / dependency / bandwidth /
+    /// db-order / fault / drain (see [`crate::trace`]). The outcome's
+    /// `stats.stalls` and `trace` are populated; the event schedule — and
+    /// therefore every other stat — is identical to an untraced [`run`].
+    ///
+    /// [`run`]: Engine::run
+    pub fn run_traced(&self, cfg: TraceConfig) -> Result<RunOutcome, RunError> {
+        let uncovered = self.assign.uncovered_cells();
+        if !uncovered.is_empty() {
+            return Err(RunError::IncompleteAssignment(uncovered));
+        }
+        let hot = self.hot.as_ref().expect("complete assignment has tables");
+        let cid_of = |proc: NodeId, cell: u32| -> u32 {
+            let p = proc as usize;
+            let pos = hot.procs[p]
+                .cells
+                .binary_search(&cell)
+                .expect("route source holds its cell");
+            hot.copy_off[p] + pos as u32
+        };
+        let (sub_src, tree_src) = match self.routing.as_ref().unwrap() {
+            Routes::Unicast(rt) => (
+                rt.subs.iter().map(|s| cid_of(s.source, s.cell)).collect(),
+                Vec::new(),
+            ),
+            Routes::Multicast(mt) => (
+                Vec::new(),
+                mt.trees.iter().map(|t| cid_of(t.source, t.cell)).collect(),
+            ),
+        };
+        let mut tracer = StallTracer::new(
+            cfg,
+            self.guest.steps,
+            hot.copy_off.clone(),
+            sub_src,
+            tree_src,
+            hot.link_delay.len(),
+        );
+        let mut out = self.run_with_tracer(&mut tracer)?;
+        let report = tracer.finish(out.stats.makespan);
+        out.stats.stalls = Some(report.totals);
+        out.trace = Some(report);
+        Ok(out)
+    }
+
+    /// Execute the simulation, reporting dispatch-loop events to `tracer`.
+    /// [`NoopTracer`]'s hooks are empty `#[inline]` defaults, so the
+    /// monomorphized untraced engine schedules bit-identical events to the
+    /// pre-tracing engine (pinned by the golden determinism tests).
+    pub fn run_with_tracer<T: Tracer>(&self, tracer: &mut T) -> Result<RunOutcome, RunError> {
         let uncovered = self.assign.uncovered_cells();
         if !uncovered.is_empty() {
             return Err(RunError::IncompleteAssignment(uncovered));
@@ -866,6 +985,7 @@ impl<'a> Engine<'a> {
                 };
                 link_traffic[lid as usize] += 1;
                 let depart = inject(&mut link_slots[lid as usize], $now, bw);
+                tracer.on_link_inject(lid, depart);
                 let base = self.config.jitter.effective(
                     hot.link_delay[lid as usize],
                     lid,
@@ -904,6 +1024,13 @@ impl<'a> Engine<'a> {
                             let back = f.retry.backoff(attempt);
                             fstats.retries += 1;
                             fstats.fault_stall_ticks += arrive - $now + back;
+                            tracer.on_fault_wait(
+                                MsgKey::Sub {
+                                    sub: $sid,
+                                    step: $step,
+                                },
+                                arrive - $now + back,
+                            );
                             if record_timing {
                                 fault_timeline.push(FaultMark {
                                     tick: arrive,
@@ -932,6 +1059,7 @@ impl<'a> Engine<'a> {
                 let lid = hot.tree_edge_lid[$tid as usize][$node as usize];
                 link_traffic[lid as usize] += 1;
                 let depart = inject(&mut link_slots[lid as usize], $now, bw);
+                tracer.on_link_inject(lid, depart);
                 let base = self.config.jitter.effective(
                     hot.link_delay[lid as usize],
                     lid,
@@ -970,6 +1098,13 @@ impl<'a> Engine<'a> {
                             let back = f.retry.backoff(attempt);
                             fstats.retries += 1;
                             fstats.fault_stall_ticks += arrive - $now + back;
+                            tracer.on_fault_wait(
+                                MsgKey::Tree {
+                                    tree: $tid,
+                                    step: $step,
+                                },
+                                arrive - $now + back,
+                            );
                             if record_timing {
                                 fault_timeline.push(FaultMark {
                                     tick: arrive,
@@ -1024,10 +1159,11 @@ impl<'a> Engine<'a> {
         // Seed: enqueue every initially-ready pebble and start processors.
         for (p, (pt, st)) in hot.procs.iter().zip(state.iter_mut()).enumerate() {
             for i in 0..pt.cells.len() {
-                try_enqueue(pt, st, i, steps);
+                try_enqueue(pt, st, i, steps, p as NodeId, 0, ReadyCause::Local, tracer);
             }
             if let Some(Reverse((_s, i))) = st.ready.pop() {
                 st.busy = true;
+                tracer.on_start(p as NodeId, i, _s, 0);
                 sched!(
                     cost_of(p),
                     Ev::ComputeDone {
@@ -1099,6 +1235,7 @@ impl<'a> Engine<'a> {
                             st.finished_at[i] = tick;
                         }
                     }
+                    tracer.on_compute_done(proc, own_idx, s, tick);
                     remaining -= 1;
                     makespan = makespan.max(tick);
 
@@ -1141,14 +1278,15 @@ impl<'a> Engine<'a> {
                     // dependents — walked in place, no scratch list.
                     {
                         let st = &mut state[p];
-                        try_enqueue(pt, st, i, steps);
+                        try_enqueue(pt, st, i, steps, proc, tick, ReadyCause::Local, tracer);
                         for idx in pt.own_dep_off[i] as usize..pt.own_dep_off[i + 1] as usize {
                             let j = pt.own_dependents[idx] as usize;
-                            try_enqueue(pt, st, j, steps);
+                            try_enqueue(pt, st, j, steps, proc, tick, ReadyCause::Local, tracer);
                         }
                         if !st.busy {
                             if let Some(Reverse((_s, j))) = st.ready.pop() {
                                 st.busy = true;
+                                tracer.on_start(proc, j, _s, tick);
                                 sched!(
                                     tick + cost_of(p),
                                     Ev::ComputeDone { proc, own_idx: j }
@@ -1186,10 +1324,23 @@ impl<'a> Engine<'a> {
                         let p = dest;
                         let pt = &hot.procs[p];
                         let st = &mut state[p];
-                        deliver(pt, st, dep, step, value, steps, stride);
+                        deliver(
+                            pt,
+                            st,
+                            dep,
+                            step,
+                            value,
+                            steps,
+                            stride,
+                            p as NodeId,
+                            tick,
+                            MsgKey::Sub { sub, step },
+                            tracer,
+                        );
                         if !st.busy {
                             if let Some(Reverse((_s2, j))) = st.ready.pop() {
                                 st.busy = true;
+                                tracer.on_start(p as NodeId, j, _s2, tick);
                                 sched!(
                                     tick + cost_of(p),
                                     Ev::ComputeDone {
@@ -1224,10 +1375,23 @@ impl<'a> Engine<'a> {
                         if !(frt.is_some() && crashed[p]) {
                             let pt = &hot.procs[p];
                             let st = &mut state[p];
-                            deliver(pt, st, kdep as usize, step, value, steps, stride);
+                            deliver(
+                                pt,
+                                st,
+                                kdep as usize,
+                                step,
+                                value,
+                                steps,
+                                stride,
+                                p as NodeId,
+                                tick,
+                                MsgKey::Tree { tree, step },
+                                tracer,
+                            );
                             if !st.busy {
                                 if let Some(Reverse((_s2, j))) = st.ready.pop() {
                                     st.busy = true;
+                                    tracer.on_start(p as NodeId, j, _s2, tick);
                                     sched!(
                                         tick + cost_of(p),
                                         Ev::ComputeDone {
@@ -1265,6 +1429,7 @@ impl<'a> Engine<'a> {
                         continue;
                     }
                     crashed[p] = true;
+                    tracer.on_crash(proc);
                     fstats.crashed_procs += 1;
                     let pt = &hot.procs[p];
                     fstats.lost_copies += pt.cells.len() as u32;
@@ -1381,6 +1546,7 @@ impl<'a> Engine<'a> {
                             links,
                         });
                         dyn_out[src_cid].push(sid);
+                        tracer.on_reroute(sid, best, pos as u32);
                         fstats.rerouted_subscriptions += 1;
                         if record_timing {
                             fault_timeline.push(FaultMark {
@@ -1469,11 +1635,13 @@ impl<'a> Engine<'a> {
             events_processed,
             peak_queue_depth: peak_queue as u64,
             faults: fstats,
+            stalls: None,
         };
         Ok(RunOutcome {
             stats,
             copies,
             timing,
+            trace: None,
         })
     }
 }
@@ -1744,14 +1912,67 @@ mod tests {
         // Row completion is monotone and row T matches the makespan.
         let mut last = 0;
         for t in 1..=8 {
-            let rc = timing.row_completion(t);
+            let rc = timing.row_completion(t).expect("row in range");
             assert!(rc >= last);
             last = rc;
         }
-        assert_eq!(timing.row_completion(8), out.stats.makespan);
+        assert_eq!(timing.row_completion(8), Some(out.stats.makespan));
+        // Row 0 (initial values) and rows past T are not completions.
+        assert_eq!(timing.row_completion(0), None);
+        assert_eq!(timing.row_completion(9), None);
+        assert_eq!(TimingTrace::default().row_completion(1), None);
         // Utilization is within (0, 1] for active processors.
         let util = timing.utilization(&out.copies, 3, out.stats.makespan, None);
         assert!(util.iter().all(|&u| u > 0.0 && u <= 1.0), "{util:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "compute-cost table covers")]
+    fn utilization_rejects_short_cost_table() {
+        let guest = GuestSpec::line(2, ProgramKind::KvWorkload, 3, 4);
+        let host = linear_array(2, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(2, 2);
+        let cfg = EngineConfig {
+            record_timing: true,
+            ..Default::default()
+        };
+        let out = Engine::new(&guest, &host, &assign, cfg).run().unwrap();
+        let timing = out.timing.as_ref().unwrap();
+        // One-entry cost table for a two-processor host: formerly an
+        // unchecked index panic, now a clear error.
+        timing.utilization(&out.copies, 2, out.stats.makespan, Some(&[1u32]));
+    }
+
+    #[test]
+    #[should_panic(expected = "copy records were passed")]
+    fn utilization_rejects_misaligned_copy_records() {
+        let guest = GuestSpec::line(2, ProgramKind::KvWorkload, 3, 4);
+        let host = linear_array(2, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(2, 2);
+        let cfg = EngineConfig {
+            record_timing: true,
+            ..Default::default()
+        };
+        let out = Engine::new(&guest, &host, &assign, cfg).run().unwrap();
+        let timing = out.timing.as_ref().unwrap();
+        timing.utilization(&out.copies[..1], 2, out.stats.makespan, None);
+    }
+
+    #[test]
+    fn utilization_clamps_overstated_costs() {
+        // A cost table that overstates the run's actual per-pebble cost
+        // would push busy time past the makespan; the ratio is clamped.
+        let guest = GuestSpec::line(2, ProgramKind::KvWorkload, 3, 6);
+        let host = linear_array(2, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(2, 2);
+        let cfg = EngineConfig {
+            record_timing: true,
+            ..Default::default()
+        };
+        let out = Engine::new(&guest, &host, &assign, cfg).run().unwrap();
+        let timing = out.timing.as_ref().unwrap();
+        let util = timing.utilization(&out.copies, 2, out.stats.makespan, Some(&[1000, 1000]));
+        assert!(util.iter().all(|&u| u <= 1.0), "{util:?}");
     }
 
     #[test]
@@ -1783,6 +2004,143 @@ mod tests {
             "slow proc looks idle: weighted {weighted:?}, unweighted {unweighted:?}"
         );
         assert_eq!(weighted[0], unweighted[0]);
+    }
+
+    /// Conservation invariant of a traced run: every copy's categories
+    /// exactly partition `[0, makespan)`.
+    fn assert_conserved(out: &RunOutcome) {
+        let report = out.trace.as_ref().expect("traced run has a report");
+        let stalls = out.stats.stalls.expect("traced run has stall totals");
+        assert_eq!(stalls, report.totals);
+        assert_eq!(report.makespan, out.stats.makespan);
+        assert_eq!(report.per_copy.len(), out.copies.len());
+        for (b, c) in report.per_copy.iter().zip(&out.copies) {
+            assert_eq!(
+                b.total(),
+                out.stats.makespan,
+                "copy of column {} on proc {}: {b:?}",
+                c.cell,
+                c.proc
+            );
+        }
+        assert_eq!(
+            stalls.total(),
+            out.stats.makespan * out.copies.len() as u64
+        );
+    }
+
+    #[test]
+    fn traced_run_is_schedule_identical_and_conserves() {
+        let guest = GuestSpec::line(8, ProgramKind::Relaxation, 4, 12);
+        let host = linear_array(4, DelayModel::uniform(2, 8), 5);
+        let assign = Assignment::from_cells_of(
+            4,
+            8,
+            vec![vec![0, 1, 2], vec![1, 2, 3, 4], vec![3, 4, 5, 6], vec![5, 6, 7]],
+        );
+        let cfg = EngineConfig::default();
+        let eng = Engine::new(&guest, &host, &assign, cfg);
+        let plain = eng.run().unwrap();
+        let traced = eng.run_traced(TraceConfig::default()).unwrap();
+        // Tracing must not perturb the schedule: strip the trace-only
+        // fields and the outcomes are identical.
+        let mut stripped = traced.clone();
+        stripped.stats.stalls = None;
+        stripped.trace = None;
+        assert_eq!(stripped, plain);
+        assert_conserved(&traced);
+        // This run crosses delay-≥2 links, so both dependency-shaped waits
+        // and in-flight waits must show up.
+        let totals = traced.stats.stalls.unwrap();
+        assert!(totals.compute_ticks > 0);
+        assert!(totals.stall_bandwidth > 0, "{totals:?}");
+        assert_eq!(totals.stall_fault, 0);
+        check_against_reference(&guest, &traced);
+    }
+
+    #[test]
+    fn traced_multicast_run_conserves() {
+        let guest = GuestSpec::line(6, ProgramKind::KvWorkload, 3, 10);
+        let host = linear_array(3, DelayModel::constant(3), 0);
+        let assign = Assignment::from_cells_of(
+            3,
+            6,
+            vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5]],
+        );
+        let cfg = EngineConfig {
+            multicast: true,
+            ..Default::default()
+        };
+        let traced = Engine::new(&guest, &host, &assign, cfg)
+            .run_traced(TraceConfig::default())
+            .unwrap();
+        assert_conserved(&traced);
+        check_against_reference(&guest, &traced);
+    }
+
+    #[test]
+    fn traced_fault_run_attributes_fault_ticks_and_conserves() {
+        use crate::faults::FaultPlan;
+        let guest = GuestSpec::line(6, ProgramKind::Relaxation, 2, 20);
+        let host = linear_array(3, DelayModel::constant(2), 0);
+        let assign = Assignment::blocked(3, 6);
+        let cfg = EngineConfig::default();
+        // Take the 1↔2 boundary link down mid-run: transfers time out and
+        // retry with backoff, which the consumers feel as fault stalls.
+        let plan = FaultPlan::new().link_down(1, 2, 5, 60);
+        let traced = Engine::new(&guest, &host, &assign, cfg)
+            .with_faults(plan)
+            .run_traced(TraceConfig::default())
+            .unwrap();
+        assert_conserved(&traced);
+        let totals = traced.stats.stalls.unwrap();
+        assert!(traced.stats.faults.retries > 0, "plan must actually bite");
+        assert!(totals.stall_fault > 0, "{totals:?}");
+        check_against_reference(&guest, &traced);
+    }
+
+    #[test]
+    fn traced_crash_run_conserves_over_survivors() {
+        use crate::faults::FaultPlan;
+        // Every column held twice, so a single crash is survivable.
+        let guest = GuestSpec::line(6, ProgramKind::KvWorkload, 3, 16);
+        let host = linear_array(3, DelayModel::constant(2), 0);
+        let assign = Assignment::from_cells_of(
+            3,
+            6,
+            vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5], vec![0, 1, 4, 5]],
+        );
+        let cfg = EngineConfig::default();
+        let clean = Engine::new(&guest, &host, &assign, cfg).run().unwrap();
+        let plan = FaultPlan::new().crash(1, clean.stats.makespan / 3);
+        let traced = Engine::new(&guest, &host, &assign, cfg)
+            .with_faults(plan)
+            .run_traced(TraceConfig::default())
+            .unwrap();
+        assert_eq!(traced.stats.faults.crashed_procs, 1);
+        assert!(traced.stats.faults.rerouted_subscriptions > 0);
+        // Crashed copies are gone from both the outcome and the report;
+        // conservation holds over the survivors.
+        assert_conserved(&traced);
+        check_against_reference(&guest, &traced);
+    }
+
+    #[test]
+    fn traced_single_processor_is_pure_compute_and_db_order() {
+        // One processor, no links: nothing to wait for except the
+        // in-order one-pebble-per-tick database serialization.
+        let guest = GuestSpec::line(4, ProgramKind::KvWorkload, 3, 5);
+        let host = linear_array(1, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(1, 4);
+        let traced = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run_traced(TraceConfig::default())
+            .unwrap();
+        assert_conserved(&traced);
+        let totals = traced.stats.stalls.unwrap();
+        assert_eq!(totals.stall_bandwidth, 0, "{totals:?}");
+        assert_eq!(totals.stall_fault, 0);
+        assert_eq!(totals.compute_ticks, 20);
+        assert!(totals.stall_db_order > 0, "{totals:?}");
     }
 
     #[test]

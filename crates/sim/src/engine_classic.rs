@@ -655,10 +655,12 @@ pub fn run_classic(
         events_processed,
         peak_queue_depth: peak_queue as u64,
         faults: crate::stats::FaultStats::default(),
+        stalls: None,
     };
     Ok(RunOutcome {
         stats,
         copies,
         timing,
+        trace: None,
     })
 }

@@ -105,11 +105,20 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Backoff before retry number `attempt` (1-based), capped.
+    /// Backoff before retry number `attempt` (1-based):
+    /// `min(base · 2^(attempt−1), cap)`. A zero `base` always yields zero;
+    /// attempts whose exponent would overflow a `u64` shift (`attempt ≥
+    /// 65`, where `2^(attempt−1)` already exceeds any cap) return `cap`
+    /// directly instead of shifting out of range.
     pub fn backoff(&self, attempt: u32) -> u64 {
-        self.base
-            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(63))
-            .min(self.cap)
+        if self.base == 0 {
+            return 0;
+        }
+        let exp = attempt.saturating_sub(1);
+        if exp >= 64 {
+            return self.cap;
+        }
+        self.base.saturating_mul(1u64 << exp).min(self.cap)
     }
 }
 
@@ -481,6 +490,30 @@ mod tests {
         assert_eq!(r.backoff(3), 8);
         assert_eq!(r.backoff(4), 16);
         assert_eq!(r.backoff(9), 16, "capped");
+        // Attempt 0 behaves like attempt 1 (no negative exponent).
+        assert_eq!(r.backoff(0), 2);
+        // Attempts at and beyond the shift width return the cap cleanly
+        // instead of overflowing the `1 << (attempt-1)` exponent.
+        assert_eq!(r.backoff(64), 16);
+        assert_eq!(r.backoff(65), 16);
+        assert_eq!(r.backoff(1000), 16);
+        assert_eq!(r.backoff(u32::MAX), 16);
+        // A saturated multiply still lands on the cap.
+        let wide = RetryPolicy {
+            base: u64::MAX,
+            cap: 1 << 40,
+            max_attempts: 10,
+        };
+        assert_eq!(wide.backoff(2), 1 << 40);
+        // Zero base means "retry immediately" at every attempt, even the
+        // deep ones where the exponent path would have returned the cap.
+        let zero = RetryPolicy {
+            base: 0,
+            cap: 16,
+            max_attempts: 10,
+        };
+        assert_eq!(zero.backoff(1), 0);
+        assert_eq!(zero.backoff(100), 0);
     }
 
     #[test]

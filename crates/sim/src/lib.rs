@@ -47,6 +47,7 @@ pub mod routing;
 pub mod stats;
 pub mod stepped;
 pub mod sweep;
+pub mod trace;
 pub mod validate;
 
 pub use assignment::Assignment;
@@ -57,4 +58,7 @@ pub use lockstep::run_lockstep;
 pub use routing::RoutingTable;
 pub use stats::{FaultStats, RunStats};
 pub use stepped::run_stepped;
+pub use trace::{
+    MsgKey, NoopTracer, ReadyCause, StallBreakdown, TraceConfig, TraceReport, Tracer,
+};
 pub use validate::{audit_causality, validate_run};

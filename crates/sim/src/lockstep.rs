@@ -174,11 +174,13 @@ pub fn run_lockstep(
         events_processed: 0,
         peak_queue_depth: 0,
         faults: crate::stats::FaultStats::default(),
+        stalls: None,
     };
     Ok(RunOutcome {
         stats,
         copies: out_copies,
         timing: None,
+        trace: None,
     })
 }
 

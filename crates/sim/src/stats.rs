@@ -1,5 +1,6 @@
 //! Aggregate statistics of a simulation run.
 
+use crate::trace::StallBreakdown;
 use serde::{Deserialize, Serialize};
 
 /// Measured quantities of one host simulation.
@@ -48,6 +49,11 @@ pub struct RunStats {
     /// Fault-recovery counters (all zero when the run had no fault plan).
     #[serde(default)]
     pub faults: FaultStats,
+    /// Stall attribution totals, populated only by traced runs
+    /// ([`Engine::run_traced`](crate::engine::Engine::run_traced)) —
+    /// `None` otherwise, so untraced stats compare equal across engines.
+    #[serde(default)]
+    pub stalls: Option<StallBreakdown>,
 }
 
 /// Counters describing how much fault recovery a run performed. All zero
@@ -113,6 +119,7 @@ mod tests {
             events_processed: 250,
             peak_queue_depth: 12,
             faults: FaultStats::default(),
+            stalls: None,
         }
     }
 

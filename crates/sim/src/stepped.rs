@@ -440,11 +440,13 @@ pub fn run_stepped(
         events_processed: 0,
         peak_queue_depth: 0,
         faults: crate::stats::FaultStats::default(),
+        stalls: None,
     };
     Ok(RunOutcome {
         stats,
         copies,
         timing: None,
+        trace: None,
     })
 }
 

@@ -24,10 +24,14 @@
 //!               link outages / delay spikes / processor crashes; rand:PCT
 //!               draws seeded outages totalling ~PCT% downtime per link;
 //!               event engine only)
-//!   --seed      RNG seed (default 42)
-//!   --analyze   print host statistics, embedding quality and the Auto
-//!               strategy recommendation instead of simulating
-//!   --dot       print the host as Graphviz DOT and exit
+//!   --seed        RNG seed (default 42)
+//!   --trace-json  FILE — run with stall attribution and write the full
+//!                 trace report (per-copy stall breakdown, link occupancy
+//!                 and queue-depth series) as JSON; also prints a stall
+//!                 summary line (event engine, line/ring guests only)
+//!   --analyze     print host statistics, embedding quality and the Auto
+//!                 strategy recommendation instead of simulating
+//!   --dot         print the host as Graphviz DOT and exit
 //! ```
 //!
 //! Prints the validated report: slowdown, load, redundancy, messages, and
@@ -37,7 +41,7 @@ use overlap::core::mesh::simulate_mesh_on_host;
 use overlap::net::metrics::DelayStats;
 use overlap::{
     topology, DelayModel, EngineKind, FaultPlan, GuestSpec, GuestTopology, HostGraph,
-    LineStrategy, ProgramKind, Simulation,
+    LineStrategy, ProgramKind, Simulation, TraceConfig,
 };
 use std::process::exit;
 
@@ -265,6 +269,10 @@ fn main() {
     // is unknown up front, so scale the guest length by the delay spread.
     let horizon = steps as u64 * (stats.d_max + 2);
     let faults = parse_faults(&args, &host, seed, horizon);
+    let trace_json: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace-json")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage("--trace-json needs a file path")));
 
     let report = match guest.topology {
         GuestTopology::Line { .. } | GuestTopology::Ring { .. } => {
@@ -282,6 +290,10 @@ fn main() {
             if let Some(plan) = faults {
                 builder = builder.faults(plan);
             }
+            if trace_json.is_some() {
+                // `build()` rejects non-event engines with a clear error.
+                builder = builder.trace(TraceConfig::default());
+            }
             builder.build().and_then(|sim| sim.run()).map(|mut r| {
                 if kind != EngineKind::Event {
                     r.strategy = format!("{} [{engine} engine]", r.strategy);
@@ -290,9 +302,17 @@ fn main() {
             })
         }
         GuestTopology::BinaryTree { .. } => {
+            if trace_json.is_some() {
+                usage("--trace-json supports line/ring guests only");
+            }
             overlap::core::tree_guest::simulate_tree_on_host(&guest, &host, true, None)
         }
-        _ => simulate_mesh_on_host(&guest, &host, 4.0, 2),
+        _ => {
+            if trace_json.is_some() {
+                usage("--trace-json supports line/ring guests only");
+            }
+            simulate_mesh_on_host(&guest, &host, 4.0, 2)
+        }
     };
     match report {
         Ok(r) => {
@@ -307,6 +327,27 @@ fn main() {
                     "faults   : {} retries, {} rerouted subs, {} crashed procs ({} copies lost), {} stall ticks",
                     f.retries, f.rerouted_subscriptions, f.crashed_procs, f.lost_copies, f.fault_stall_ticks
                 );
+            }
+            if let Some(b) = r.stats.stalls {
+                let total = b.total().max(1) as f64;
+                println!(
+                    "stalls   : compute {:.1}%, dependency {:.1}%, bandwidth {:.1}%, db-order {:.1}%, fault {:.1}%, drained {:.1}%",
+                    100.0 * b.compute_ticks as f64 / total,
+                    100.0 * b.stall_dependency as f64 / total,
+                    100.0 * b.stall_bandwidth as f64 / total,
+                    100.0 * b.stall_db_order as f64 / total,
+                    100.0 * b.stall_fault as f64 / total,
+                    100.0 * b.stall_drained as f64 / total,
+                );
+            }
+            if let Some(path) = &trace_json {
+                let report = r.outcome.trace.as_ref().expect("traced run has a report");
+                let json = serde_json::to_string(report).expect("trace serializes");
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1);
+                }
+                println!("trace    : written to {path}");
             }
             if let Some(p) = r.predicted_slowdown {
                 println!("predicted: {p:.1} (asymptotic shape, constants included)");

@@ -80,5 +80,5 @@ pub use overlap_model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun, Ref
 pub use overlap_net::{topology, DelayModel, HostGraph};
 pub use overlap_sim::{
     validate_run, Assignment, BandwidthMode, Engine, EngineConfig, FaultPlan, FaultStats, Jitter,
-    RetryPolicy, RunError, RunOutcome, RunStats,
+    RetryPolicy, RunError, RunOutcome, RunStats, StallBreakdown, TraceConfig, TraceReport,
 };

@@ -137,6 +137,62 @@ fn golden_engine_run_is_bit_stable() {
     assert_eq!(out, classic);
 }
 
+/// The stall-attribution tracer must observe without perturbing: re-run
+/// the golden scenario traced and it must still agree bit for bit with
+/// the frozen classic oracle once the trace-only fields are stripped,
+/// while the attributed ticks partition every copy's `[0, makespan)`
+/// exactly.
+#[test]
+fn traced_golden_run_matches_classic_oracle_and_conserves() {
+    let guest = GuestSpec::line(9, ProgramKind::KvWorkload, 5, 12);
+    let mut host = HostGraph::new("golden", 4);
+    host.add_link(0, 1, 3);
+    host.add_link(1, 2, 5);
+    host.add_link(2, 3, 2);
+    host.add_link(0, 2, 7);
+    let assign = Assignment::from_cells_of(
+        4,
+        9,
+        vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 6, 7], vec![7, 8]],
+    );
+    let cfg = EngineConfig {
+        multicast: true,
+        jitter: Jitter::Periodic {
+            amplitude_pct: 40,
+            period: 8,
+        },
+        record_timing: true,
+        ..Default::default()
+    };
+    let out = Engine::new(&guest, &host, &assign, cfg)
+        .with_compute_costs(vec![1, 3, 2, 1])
+        .run_traced(overlap::TraceConfig::default())
+        .expect("traced golden run");
+
+    let report = out.trace.as_ref().expect("tracing was enabled");
+    assert_eq!(report.per_copy.len(), out.copies.len());
+    for (i, b) in report.per_copy.iter().enumerate() {
+        assert_eq!(b.total(), out.stats.makespan, "copy {i} leaks ticks");
+    }
+    assert_eq!(
+        report.totals.total(),
+        out.stats.makespan * out.copies.len() as u64
+    );
+
+    let classic = overlap::sim::engine_classic::run_classic(
+        &guest,
+        &host,
+        &assign,
+        cfg,
+        Some(&[1, 3, 2, 1]),
+    )
+    .expect("classic run");
+    let mut stripped = out;
+    stripped.trace = None;
+    stripped.stats.stalls = None;
+    assert_eq!(stripped, classic, "tracing perturbed the schedule");
+}
+
 #[test]
 fn topology_generation_is_seed_stable() {
     for seed in 0..4 {

@@ -1,0 +1,86 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! Exposes the `par_iter` / `par_iter_mut` / `into_par_iter` entry
+//! points the workspace uses, backed by **sequential** `std` iterators.
+//! That keeps `cargo build --offline` working with zero third-party
+//! code while preserving semantics exactly: everything the workspace
+//! parallelises is order-independent by construction (the
+//! `parallel_sweep_equals_sequential` test asserts bit-equality of the
+//! two schedules), so a sequential schedule is a valid — if slower —
+//! execution. Because the adapters *are* `std` iterators, the
+//! downstream `.map().collect()`, `.zip()`, `.enumerate().for_each()`
+//! chains compile unchanged.
+
+pub mod prelude {
+    /// `.into_par_iter()` — sequential stand-in: plain `into_iter()`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `.par_iter()` — sequential stand-in: plain `iter()`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        type Iter: Iterator<Item = &'a Self::Item>;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.par_iter_mut()` — sequential stand-in: plain `iter_mut()`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Item: 'a;
+        type Iter: Iterator<Item = &'a mut Self::Item>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = T;
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std_iterators() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let squared: Vec<u32> = (1u32..4).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squared, vec![1, 4, 9]);
+        let mut w = vec![1u32, 2, 3];
+        w.par_iter_mut().zip(v.par_iter()).for_each(|(a, b)| *a += b);
+        assert_eq!(w, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The real serde decouples data structures from data formats through a
+//! visitor pair. This stand-in collapses that design to a single
+//! self-describing [`Value`] tree — `Serialize` renders into it,
+//! `Deserialize` reads back out of it — because the only format the
+//! workspace uses is JSON via the vendored `serde_json`, which maps
+//! `Value` to text 1:1. The derive macro (`serde_derive`, re-exported
+//! here like upstream's `derive` feature) emits impls in upstream's
+//! externally-tagged conventions, so the JSON this produces matches
+//! what real serde would emit for these types: structs as objects,
+//! unit enum variants as strings, data-carrying variants as
+//! single-key objects, and `#[serde(default)]` fields backfilled when
+//! missing.
+
+// Let the derive macro's generated `::serde::` paths resolve inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing intermediate tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers (the common case for this workspace).
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Key–value pairs in insertion order (order is part of the
+    /// serialized text but not of equality for maps).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` of `{ty}`"))
+    }
+
+    pub fn unexpected(ty: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        };
+        Error(format!("expected {ty}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree. The lifetime mirrors
+/// upstream's zero-copy parameter; this stand-in never borrows, the
+/// parameter exists so `for<'de> Deserialize<'de>` bounds written
+/// against upstream compile unchanged.
+pub trait Deserialize<'de>: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    /// Owned deserialization, as a blanket alias (upstream's
+    /// `serde::de::DeserializeOwned`).
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+// ---- primitive impls ----
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = match *v {
+                    Value::U64(u) => u,
+                    Value::I64(i) if i >= 0 => i as u64,
+                    _ => return Err(Error::unexpected(stringify!($t), v)),
+                };
+                <$t>::try_from(u).map_err(|_| {
+                    Error::custom(format!("{u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::U64(i as u64)
+                } else {
+                    Value::I64(i)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = match *v {
+                    Value::I64(i) => i,
+                    Value::U64(u) => {
+                        i64::try_from(u).map_err(|_| Error::custom(format!("{u} overflows i64")))?
+                    }
+                    _ => return Err(Error::unexpected(stringify!($t), v)),
+                };
+                <$t>::try_from(i).map_err(|_| {
+                    Error::custom(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::unexpected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(u) => Ok(u as f64),
+            Value::I64(i) => Ok(i as f64),
+            _ => Err(Error::unexpected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::unexpected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::unexpected("sequence", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const N: usize = [$($n),+].len();
+                let s = v.as_seq().ok_or_else(|| Error::unexpected("tuple", v))?;
+                if s.len() != N {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of {N} elements, found {}",
+                        s.len()
+                    )));
+                }
+                Ok(($($t::from_value(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&Value::U64(4)), Ok(4.0));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            Vec::<u64>::from_value(&vec![1u64, 2, 3].to_value()),
+            Ok(vec![1, 2, 3])
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            <(u64, u64)>::from_value(&(3u64, 9u64).to_value()),
+            Ok((3, 9))
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+    }
+
+    #[test]
+    fn derive_emits_externally_tagged_impls() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct P {
+            x: u32,
+            #[serde(default)]
+            y: u64,
+        }
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum E {
+            Unit,
+            New(u32),
+            Pair(u32, u64),
+            Named { a: u32, b: bool },
+        }
+
+        let p = P { x: 3, y: 9 };
+        assert_eq!(P::from_value(&p.to_value()), Ok(p));
+        // #[serde(default)] backfills a missing field.
+        let v = Value::Map(vec![("x".into(), Value::U64(5))]);
+        assert_eq!(P::from_value(&v), Ok(P { x: 5, y: 0 }));
+        // Missing non-default field errors.
+        assert!(P::from_value(&Value::Map(vec![])).is_err());
+
+        for e in [E::Unit, E::New(7), E::Pair(1, 2), E::Named { a: 3, b: true }] {
+            let v = e.to_value();
+            assert_eq!(E::from_value(&v), Ok(e));
+        }
+        assert_eq!(E::Unit.to_value(), Value::Str("Unit".into()));
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Emits impls of the vendored `serde`'s [`Serialize`]/[`Deserialize`]
+//! traits (the `Value`-tree pair) in upstream's externally-tagged
+//! conventions. Parsing is done directly over the `proc_macro` token
+//! stream — the container can't pull in `syn`/`quote` — so only the
+//! shapes this workspace actually derives are supported:
+//!
+//! * non-generic structs (named, tuple, unit)
+//! * non-generic enums with unit / tuple / struct variants
+//! * the `#[serde(default)]` field attribute
+//!
+//! Anything else (generics, lifetimes, other serde attributes) panics
+//! at expansion time with a clear message rather than silently
+//! miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- parsed shape ----
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---- token-stream parsing ----
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip `#[...]` attribute groups; report whether any was
+    /// `#[serde(default)]`. Unknown `#[serde(...)]` contents panic.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("serde_derive: malformed attribute");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    let Some(TokenTree::Group(args)) = inner.get(1) else {
+                        panic!("serde_derive: bare #[serde] attribute");
+                    };
+                    for t in args.stream() {
+                        match t {
+                            TokenTree::Ident(a) if a.to_string() == "default" => {
+                                has_default = true;
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ',' => {}
+                            other => panic!(
+                                "serde_derive: unsupported serde attribute `{other}` \
+                                 (only `default` is implemented in the vendored stand-in)"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        has_default
+    }
+
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consume one type, i.e. tokens up to a top-level `,` (angle
+    /// brackets tracked manually — they are punctuation, not groups).
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let default = c.skip_attrs();
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_type();
+        c.next(); // the separating comma, if any
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn tuple_arity(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut arity = 0;
+    loop {
+        c.skip_attrs();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        c.skip_type();
+        arity += 1;
+        c.next(); // comma
+    }
+    arity
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(tuple_arity(g.stream()));
+                c.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        match c.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!(
+                "serde_derive: unsupported token {other:?} after variant `{name}` \
+                 (discriminants are not implemented in the vendored stand-in)"
+            ),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde_derive: generic type `{name}` is not supported by the vendored stand-in"
+        );
+    }
+    let shape = match (kw.as_str(), c.peek()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Struct(Fields::Tuple(tuple_arity(g.stream())))
+        }
+        ("struct", _) => Shape::Struct(Fields::Unit),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("serde_derive: expected a struct or enum body for `{name}`"),
+    };
+    Item { name, shape }
+}
+
+// ---- code generation ----
+
+/// `to_value` expression for a struct/variant body, given per-field
+/// accessor expressions (e.g. `&self.x` or a bound pattern name).
+fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({a}))",
+                n = f.name,
+                a = access(&f.name)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn de_named(ty: &str, ctor: &str, fields: &[Field], payload: &str) -> String {
+    let mut s = format!(
+        "{{ if {payload}.as_map().is_none() {{ \
+            return ::std::result::Result::Err(::serde::Error::unexpected(\"struct {ty}\", {payload})); \
+         }} ::std::result::Result::Ok({ctor} {{ "
+    );
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::missing_field(\"{ty}\", \"{n}\"))",
+                n = f.name
+            )
+        };
+        s.push_str(&format!(
+            "{n}: match {payload}.get(\"{n}\") {{ \
+                ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, \
+                ::std::option::Option::None => {missing}, \
+             }}, ",
+            n = f.name
+        ));
+    }
+    s.push_str("}) }");
+    s
+}
+
+fn de_tuple(ty: &str, ctor: &str, arity: usize, payload: &str) -> String {
+    if arity == 1 {
+        return format!(
+            "::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value({payload})?))"
+        );
+    }
+    let elems: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+        .collect();
+    format!(
+        "{{ let s = {payload}.as_seq().ok_or_else(|| ::serde::Error::unexpected(\"tuple {ty}\", {payload}))?; \
+           if s.len() != {arity} {{ \
+               return ::std::result::Result::Err(::serde::Error::custom(\
+                   ::std::format!(\"expected {arity} elements for {ty}, found {{}}\", s.len()))); \
+           }} \
+           ::std::result::Result::Ok({ctor}({elems})) }}",
+        elems = elems.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            ser_named(fields, |f| format!("&self.{f}"))
+        }
+        Shape::Struct(Fields::Tuple(arity)) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let tag = format!("::std::string::String::from(\"{vn}\")");
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({tag}), "
+                    )),
+                    Fields::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![({tag}, {payload})]), ",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let payload = ser_named(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![({tag}, {payload})]), ",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => de_named(name, name, fields, "v"),
+        Shape::Struct(Fields::Tuple(arity)) => de_tuple(name, name, *arity, "v"),
+        Shape::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let ctor = format!("{name}::{vn}");
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({ctor}), "
+                    )),
+                    Fields::Tuple(arity) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {}, ",
+                        de_tuple(&format!("{name}::{vn}"), &ctor, *arity, "payload")
+                    )),
+                    Fields::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {}, ",
+                        de_named(&format!("{name}::{vn}"), &ctor, fields, "payload")
+                    )),
+                }
+            }
+            format!(
+                "match v {{ \
+                     ::serde::Value::Str(s) => match s.as_str() {{ \
+                         {unit_arms} \
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                     }}, \
+                     ::serde::Value::Map(m) if m.len() == 1 => {{ \
+                         let (tag, payload) = &m[0]; \
+                         match tag.as_str() {{ \
+                             {data_arms} \
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                         }} \
+                     }}, \
+                     other => ::std::result::Result::Err(::serde::Error::unexpected(\"enum {name}\", other)), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
