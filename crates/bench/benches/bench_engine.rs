@@ -9,7 +9,7 @@ use overlap_sim::engine::{Engine, EngineConfig};
 use overlap_sim::engine_classic::run_classic;
 use overlap_sim::lockstep::run_lockstep;
 use overlap_sim::stepped::run_stepped;
-use overlap_sim::{Assignment, BandwidthMode};
+use overlap_sim::{Assignment, BandwidthMode, ExecPlan};
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
@@ -43,16 +43,14 @@ fn bench_engine(c: &mut Criterion) {
                     .unwrap()
             })
         });
-        g.bench_function("impl/stepped", |b| {
-            b.iter(|| run_stepped(&guest, &host, &assign, EngineConfig::default()).unwrap())
-        });
-        g.bench_function("impl/lockstep", |b| {
-            b.iter(|| run_lockstep(&guest, &host, &assign, BandwidthMode::LogN).unwrap())
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        g.bench_function("impl/stepped", |b| b.iter(|| run_stepped(&plan).unwrap()));
+        g.bench_function("impl/lockstep", |b| b.iter(|| run_lockstep(&plan).unwrap()));
+        g.bench_function("impl/event-shared-plan", |b| {
+            b.iter(|| Engine::from_plan(&plan).run().unwrap())
         });
         g.bench_function("impl/event-classic", |b| {
-            b.iter(|| {
-                run_classic(&guest, &host, &assign, EngineConfig::default(), None).unwrap()
-            })
+            b.iter(|| run_classic(&guest, &host, &assign, EngineConfig::default(), None).unwrap())
         });
         g.bench_function("impl/event-multicast", |b| {
             let cfg = EngineConfig {

@@ -6,5 +6,8 @@ use overlap_bench::{save_table, Scale};
 
 fn main() {
     let t = e17_adaptive2d::run(Scale::from_args());
-    println!("{}", save_table(&t, "e17_adaptive2d").expect("write results"));
+    println!(
+        "{}",
+        save_table(&t, "e17_adaptive2d").expect("write results")
+    );
 }

@@ -8,8 +8,14 @@ use overlap_bench::{save_table, Scale};
 fn main() {
     let scale = Scale::from_args();
     let tables = vec![
-        (e1_overlap::run_dave_sweep(scale), "e1a_overlap_dave".to_string()),
-        (e1_overlap::run_dmax_stress(scale), "e1b_overlap_dmax".to_string()),
+        (
+            e1_overlap::run_dave_sweep(scale),
+            "e1a_overlap_dave".to_string(),
+        ),
+        (
+            e1_overlap::run_dmax_stress(scale),
+            "e1b_overlap_dmax".to_string(),
+        ),
         (e2_efficient::run(scale), "e2_efficient".to_string()),
         (e3_uniform::run(scale), "e3_uniform".to_string()),
         (e4_combined::run(scale), "e4_combined".to_string()),
@@ -21,20 +27,39 @@ fn main() {
         (e9_cliques::run(scale), "e9_cliques".to_string()),
         (e10_baselines::run(scale), "e10_baselines".to_string()),
         (e11_mesh_on_mesh::run(scale), "e11_mesh_on_mesh".to_string()),
-        (e12_ablations::run_halo_width(scale), "e12a_halo_width".to_string()),
-        (e12_ablations::run_c_constant(scale), "e12b_c_constant".to_string()),
-        (e12_ablations::run_bandwidth(scale), "e12c_bandwidth".to_string()),
-        (e12_ablations::run_multicast(scale), "e12d_multicast".to_string()),
+        (
+            e12_ablations::run_halo_width(scale),
+            "e12a_halo_width".to_string(),
+        ),
+        (
+            e12_ablations::run_c_constant(scale),
+            "e12b_c_constant".to_string(),
+        ),
+        (
+            e12_ablations::run_bandwidth(scale),
+            "e12c_bandwidth".to_string(),
+        ),
+        (
+            e12_ablations::run_multicast(scale),
+            "e12d_multicast".to_string(),
+        ),
         (e12_ablations::run_jitter(scale), "e12e_jitter".to_string()),
         (e13_schedule::run(scale), "e13_schedule".to_string()),
-        (e14_heterogeneous::run(scale), "e14_heterogeneous".to_string()),
+        (
+            e14_heterogeneous::run(scale),
+            "e14_heterogeneous".to_string(),
+        ),
         (e15_tree::run(scale), "e15_tree".to_string()),
         (e16_replan::run(scale), "e16_replan".to_string()),
         (e17_adaptive2d::run(scale), "e17_adaptive2d".to_string()),
         (e18_programs::run(scale), "e18_programs".to_string()),
         (engine_scale::run(scale), "engine_scale".to_string()),
+        (plan_reuse::run(scale), "plan_reuse".to_string()),
         (fault_tolerance::run(scale), "fault_tolerance".to_string()),
-        (stall_attribution::run(scale), "stall_attribution".to_string()),
+        (
+            stall_attribution::run(scale),
+            "stall_attribution".to_string(),
+        ),
     ];
     let mut titles: Vec<(String, String)> = Vec::new();
     for (t, name) in tables {

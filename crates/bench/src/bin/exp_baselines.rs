@@ -6,5 +6,8 @@ use overlap_bench::{save_table, Scale};
 
 fn main() {
     let t = e10_baselines::run(Scale::from_args());
-    println!("{}", save_table(&t, "e10_baselines").expect("write results"));
+    println!(
+        "{}",
+        save_table(&t, "e10_baselines").expect("write results")
+    );
 }

@@ -8,5 +8,8 @@ use overlap_bench::{save_table, Scale};
 
 fn main() {
     let t = fault_tolerance::run(Scale::from_args());
-    println!("{}", save_table(&t, "fault_tolerance").expect("write results"));
+    println!(
+        "{}",
+        save_table(&t, "fault_tolerance").expect("write results")
+    );
 }

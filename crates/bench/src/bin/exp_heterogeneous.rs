@@ -6,5 +6,8 @@ use overlap_bench::{save_table, Scale};
 
 fn main() {
     let t = e14_heterogeneous::run(Scale::from_args());
-    println!("{}", save_table(&t, "e14_heterogeneous").expect("write results"));
+    println!(
+        "{}",
+        save_table(&t, "e14_heterogeneous").expect("write results")
+    );
 }

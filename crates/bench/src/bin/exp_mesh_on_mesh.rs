@@ -6,5 +6,8 @@ use overlap_bench::{save_table, Scale};
 
 fn main() {
     let t = e11_mesh_on_mesh::run(Scale::from_args());
-    println!("{}", save_table(&t, "e11_mesh_on_mesh").expect("write results"));
+    println!(
+        "{}",
+        save_table(&t, "e11_mesh_on_mesh").expect("write results")
+    );
 }

@@ -1,0 +1,11 @@
+//! PLAN — sweep wall-clock with a shared ExecPlan vs per-run lowering.
+//! Writes `BENCH_plan.json` at the workspace root.
+//! Usage: `cargo run --release --bin exp_plan_reuse [--quick]`
+
+use overlap_bench::experiments::plan_reuse;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = plan_reuse::run(Scale::from_args());
+    println!("{}", save_table(&t, "plan_reuse").expect("write results"));
+}

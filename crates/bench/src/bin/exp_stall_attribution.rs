@@ -8,5 +8,8 @@ use overlap_bench::{save_table, Scale};
 
 fn main() {
     let t = stall_attribution::run(Scale::from_args());
-    println!("{}", save_table(&t, "stall_attribution").expect("write results"));
+    println!(
+        "{}",
+        save_table(&t, "stall_attribution").expect("write results")
+    );
 }

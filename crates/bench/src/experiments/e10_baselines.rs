@@ -6,16 +6,17 @@
 //! Strategies: lockstep (analytic `d_max+1`), blocked, complementary
 //! slackness, OVERLAP and combined.
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
+use overlap_sim::engine::EngineConfig;
 use overlap_sim::lockstep::run_lockstep;
 use overlap_sim::sweep::par_map;
-use overlap_sim::{Assignment, BandwidthMode};
+use overlap_sim::{Assignment, ExecPlan};
 
 /// Run the baseline-comparison table.
 pub fn run(scale: Scale) -> Table {
@@ -56,22 +57,21 @@ pub fn run(scale: Scale) -> Table {
             },
             0,
         );
-        let lock = run_lockstep(
-            &guest,
-            &host,
-            &Assignment::blocked(n, guest.num_cells()),
-            BandwidthMode::LogN,
-        )
-        .unwrap();
+        let blocked_assign = Assignment::blocked(n, guest.num_cells());
+        let lock_plan =
+            ExecPlan::build(&guest, &host, &blocked_assign, EngineConfig::default()).unwrap();
+        let lock = run_lockstep(&lock_plan).unwrap();
         let b = simulate_line_with_trace(&guest, &host, LineStrategy::Blocked, &trace).unwrap();
         let s = simulate_line_with_trace(&guest, &host, LineStrategy::Slackness, &trace).unwrap();
-        let o =
-            simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
-                .unwrap();
+        let o = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+            .unwrap();
         let c = simulate_line_with_trace(
             &guest,
             &host,
-            LineStrategy::Combined { c: 4.0, expansion: 2 },
+            LineStrategy::Combined {
+                c: 4.0,
+                expansion: 2,
+            },
             &trace,
         )
         .unwrap();

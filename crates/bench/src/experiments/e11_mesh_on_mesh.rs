@@ -24,8 +24,11 @@ pub fn run(scale: Scale) -> Table {
     };
 
     let mut t = Table::new(
-        format!("E11 · §7 open question — {w}×{h} host mesh simulating a {}×{} guest mesh",
-            w * g, h * g),
+        format!(
+            "E11 · §7 open question — {w}×{h} host mesh simulating a {}×{} guest mesh",
+            w * g,
+            h * g
+        ),
         &[
             "d",
             "ω*",
@@ -42,9 +45,18 @@ pub fn run(scale: Scale) -> Table {
     for &d in &ds {
         let guest = GuestSpec::mesh(w * g, h * g, ProgramKind::Relaxation, 5, steps);
         let trace = ReferenceRun::execute(&guest);
-        let blocked =
-            simulate_mesh_on_mesh(w, h, g, d, 0, ProgramKind::Relaxation, 5, steps, Some(&trace))
-                .expect("blocked");
+        let blocked = simulate_mesh_on_mesh(
+            w,
+            h,
+            g,
+            d,
+            0,
+            ProgramKind::Relaxation,
+            5,
+            steps,
+            Some(&trace),
+        )
+        .expect("blocked");
         let omegas: Vec<u32> = vec![1, 2, optimal_omega(d), 2 * optimal_omega(d)]
             .into_iter()
             .filter(|&o| o >= 1 && o <= 2 * g)
@@ -53,7 +65,15 @@ pub fn run(scale: Scale) -> Table {
             .iter()
             .map(|&om| {
                 simulate_mesh_on_mesh(
-                    w, h, g, d, om, ProgramKind::Relaxation, 5, steps, Some(&trace),
+                    w,
+                    h,
+                    g,
+                    d,
+                    om,
+                    ProgramKind::Relaxation,
+                    5,
+                    steps,
+                    Some(&trace),
                 )
                 .expect("halo")
             })
@@ -110,6 +130,9 @@ mod tests {
             gap.last().unwrap() > &1.5,
             "2-D halo must win at d = 1024: {gap:?}"
         );
-        assert!(gap.last().unwrap() >= &gap[0], "gap must not shrink: {gap:?}");
+        assert!(
+            gap.last().unwrap() >= &gap[0],
+            "gap must not shrink: {gap:?}"
+        );
     }
 }

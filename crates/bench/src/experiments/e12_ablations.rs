@@ -9,9 +9,9 @@
 //!   pebbles/tick and remarks that dropping it costs "an extra factor of
 //!   log n". We measure LogN vs Fixed(1).
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
@@ -32,7 +32,13 @@ pub fn run_halo_width(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E12-A1 · halo width ablation (n = {n}, d = {d}, r = √d = {r})"),
-        &["halo (blocks)", "slowdown", "redundancy", "work overhead", "valid"],
+        &[
+            "halo (blocks)",
+            "slowdown",
+            "redundancy",
+            "work overhead",
+            "valid",
+        ],
     );
     for halo in [0u32, 1, 2, 3] {
         let rep = simulate_line_with_trace(&guest, &host, LineStrategy::Halo { halo }, &trace)
@@ -138,8 +144,8 @@ pub fn run_multicast(scale: Scale) -> Table {
     let guest = GuestSpec::line(4 * n, ProgramKind::Relaxation, 5, steps);
     let trace = ReferenceRun::execute(&guest);
     let host = linear_array(n, DelayModel::uniform(1, 15), 3);
-    let placement = plan_line_placement(&guest, &host, LineStrategy::Overlap { c: 4.0 })
-        .expect("placement");
+    let placement =
+        plan_line_placement(&guest, &host, LineStrategy::Overlap { c: 4.0 }).expect("placement");
 
     let mut t = Table::new(
         format!("E12-A4 · unicast vs multicast column distribution (n = {n}, OVERLAP)"),

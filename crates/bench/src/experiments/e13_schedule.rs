@@ -33,11 +33,7 @@ pub fn run(scale: Scale) -> Table {
     let m0 = table.m[0].ceil() as u32;
     let steps = 2 * m0; // two rounds of the box B_0
     let guest = GuestSpec::line(plan.guest_cells, ProgramKind::Relaxation, 3, steps);
-    let assignment = Assignment::from_cells_of(
-        n,
-        plan.guest_cells,
-        plan.cells_of_position.clone(),
-    );
+    let assignment = Assignment::from_cells_of(n, plan.guest_cells, plan.cells_of_position.clone());
     let cfg = EngineConfig {
         record_timing: true,
         ..Default::default()
@@ -51,7 +47,12 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E13 · Theorem 1 deadlines vs measured (n = {n}, uniform d = {d})"),
-        &["guest row t", "measured completion", "deadline s_t⁰", "measured/deadline"],
+        &[
+            "guest row t",
+            "measured completion",
+            "deadline s_t⁰",
+            "measured/deadline",
+        ],
     );
     let sample_rows: Vec<u32> = [1u32, m0 / 4, m0 / 2, m0, m0 + m0 / 2, 2 * m0]
         .into_iter()

@@ -104,11 +104,7 @@ mod tests {
         for r in &t.rows {
             let w: f64 = r[2].parse().unwrap();
             let ideal: f64 = r[4].parse().unwrap();
-            assert!(
-                w <= 3.0 * ideal,
-                "{}: weighted {w} vs ideal {ideal}",
-                r[0]
-            );
+            assert!(w <= 3.0 * ideal, "{}: weighted {w} vs ideal {ideal}", r[0]);
         }
     }
 }

@@ -77,11 +77,11 @@ mod tests {
             let dfs_x: f64 = r[1].parse().unwrap();
             let bfs_x: f64 = r[2].parse().unwrap();
             assert!(dfs_x < bfs_x, "dfs must cross fewer edges: {r:?}");
-            let msgs: Vec<u64> = r[3]
-                .split('/')
-                .map(|p| p.trim().parse().unwrap())
-                .collect();
-            assert!(msgs[0] * 2 < msgs[1], "dfs must at least halve traffic: {r:?}");
+            let msgs: Vec<u64> = r[3].split('/').map(|p| p.trim().parse().unwrap()).collect();
+            assert!(
+                msgs[0] * 2 < msgs[1],
+                "dfs must at least halve traffic: {r:?}"
+            );
             // The headline finding: slowdowns within 2× of each other —
             // critical-path cycles, not traffic, dominate.
             let sd: f64 = r[4].parse().unwrap();

@@ -60,16 +60,20 @@ pub fn run(scale: Scale) -> Table {
     for &f in &factors {
         let degraded = degraded_host(f);
         let run_with = |placement: &overlap_core::pipeline::LinePlacement| {
-            Engine::new(&guest, &degraded, &placement.assignment, EngineConfig::default())
-                .run()
-                .expect("run")
+            Engine::new(
+                &guest,
+                &degraded,
+                &placement.assignment,
+                EngineConfig::default(),
+            )
+            .run()
+            .expect("run")
         };
         let stale_run = run_with(&stale);
         let fresh = plan_line_placement(&guest, &degraded, LineStrategy::Overlap { c: 4.0 })
             .expect("fresh plan");
         let fresh_run = run_with(&fresh);
-        let auto = plan_line_placement(&guest, &degraded, LineStrategy::Auto)
-            .expect("auto plan");
+        let auto = plan_line_placement(&guest, &degraded, LineStrategy::Auto).expect("auto plan");
         let auto_run = run_with(&auto);
         let ok = validate_run(&trace, &stale_run).is_empty()
             && validate_run(&trace, &fresh_run).is_empty()
@@ -108,7 +112,10 @@ mod tests {
         let fresh = t.column_f64("re-planned overlap");
         for (s, f) in stale.iter().zip(&fresh) {
             let ratio = (s / f).max(f / s);
-            assert!(ratio < 1.25, "overlap replanning should be a no-op: {s} vs {f}");
+            assert!(
+                ratio < 1.25,
+                "overlap replanning should be a no-op: {s} vs {f}"
+            );
         }
         // Finding 2: auto adaptation wins by ≥ 3× at the largest spike.
         let gain = t.column_f64("stale/auto");

@@ -26,11 +26,19 @@ fn pocket_host(w: u32, h: u32, pocket_delay: u64) -> HostGraph {
         for y in 0..h {
             let v = x * h + y;
             if y + 1 < h {
-                let d = if in_pocket(v) && in_pocket(v + 1) { pocket_delay } else { 2 };
+                let d = if in_pocket(v) && in_pocket(v + 1) {
+                    pocket_delay
+                } else {
+                    2
+                };
                 g.add_link(v, v + 1, d);
             }
             if x + 1 < w {
-                let d = if in_pocket(v) && in_pocket(v + h) { pocket_delay } else { 2 };
+                let d = if in_pocket(v) && in_pocket(v + h) {
+                    pocket_delay
+                } else {
+                    2
+                };
                 g.add_link(v, v + h, d);
             }
         }
@@ -64,10 +72,7 @@ pub fn run(scale: Scale) -> Table {
     );
     for &pd in &pockets {
         let host = pocket_host(w, h, pd);
-        let killed = kill2d(&host, w, h, 4.0)
-            .iter()
-            .filter(|&&a| !a)
-            .count();
+        let killed = kill2d(&host, w, h, 4.0).iter().filter(|&&a| !a).count();
         let plain = halo2d_assignment(w, h, g, omega);
         let adaptive = adaptive2d_assignment(&host, w, h, g, omega, 4.0);
         let run = |a: &overlap_sim::Assignment| {

@@ -8,9 +8,9 @@
 //! differ. A cheap but sharp regression check on the whole stack: any
 //! workload-dependent timing leak would break the equality.
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
@@ -65,7 +65,10 @@ mod tests {
         let t = run(Scale::Quick);
         let slowdowns = t.column_f64("slowdown");
         for s in &slowdowns {
-            assert_eq!(s, &slowdowns[0], "workload-dependent timing leak: {slowdowns:?}");
+            assert_eq!(
+                s, &slowdowns[0],
+                "workload-dependent timing leak: {slowdowns:?}"
+            );
         }
         // All digests distinct.
         let digests: Vec<&String> = t.rows.iter().map(|r| &r[2]).collect();

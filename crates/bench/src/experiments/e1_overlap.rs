@@ -9,9 +9,9 @@
 //!   by orders of magnitude (spike delays). OVERLAP's measured slowdown
 //!   must stay flat while the blocked baseline tracks `d_max`.
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_core::theory;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
@@ -37,7 +37,14 @@ pub fn run_dave_sweep(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E1a · Theorem 2 — OVERLAP slowdown vs d_ave (n = {n} hosts)"),
-        &["d_ave", "d_max", "slowdown", "predicted O(d·log³n)", "load", "valid"],
+        &[
+            "d_ave",
+            "d_max",
+            "slowdown",
+            "predicted O(d·log³n)",
+            "load",
+            "valid",
+        ],
     );
     let rows = par_map(&daves, |&d| {
         let host = linear_array(n, DelayModel::uniform(1, 2 * d.max(1) - 1), 11);
@@ -107,9 +114,7 @@ pub fn run_dmax_stress(scale: Scale) -> Table {
     ];
 
     let mut t = Table::new(
-        format!(
-            "E1b · Theorem 2 — d_max robustness at fixed d_ave ≈ {d_bar} (n = {n} hosts)"
-        ),
+        format!("E1b · Theorem 2 — d_max robustness at fixed d_ave ≈ {d_bar} (n = {n} hosts)"),
         &[
             "host",
             "d_ave",
@@ -185,8 +190,7 @@ mod tests {
         // Across hosts of equal d_ave, d_max rises by orders of magnitude:
         // OVERLAP's spread must be a fraction of the blocked baseline's.
         let spread = |v: &[f64]| {
-            v.iter().cloned().fold(f64::MIN, f64::max)
-                / v.iter().cloned().fold(f64::MAX, f64::min)
+            v.iter().cloned().fold(f64::MIN, f64::max) / v.iter().cloned().fold(f64::MAX, f64::min)
         };
         assert!(
             spread(&o) < spread(&b) / 2.0,

@@ -5,9 +5,9 @@
 //! order, and *work efficiency* `Ω(1/polylog)`: guest work per host
 //! processor-tick must not collapse as the guest grows.
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, f3, Table};
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
@@ -75,7 +75,10 @@ mod tests {
             "bigger guests must amortize latency: {eff:?}"
         );
         let over = t.column_f64("work overhead");
-        assert!(over.iter().all(|&o| o < 4.0), "redundancy stays O(1): {over:?}");
+        assert!(
+            over.iter().all(|&o| o < 4.0),
+            "redundancy stays O(1): {over:?}"
+        );
         for r in &t.rows {
             assert_eq!(r[6], "true");
         }

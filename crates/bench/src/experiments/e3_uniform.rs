@@ -10,9 +10,9 @@
 //!
 //! The log-log exponents are the headline: ≈ 0.5 vs ≈ 1.0.
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_core::theory;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
@@ -50,8 +50,8 @@ pub fn run(scale: Scale) -> Table {
         let host = linear_array(n, DelayModel::constant(d), 0);
         let halo = simulate_line_with_trace(&guest, &host, LineStrategy::Halo { halo: 1 }, &trace)
             .expect("halo");
-        let blocked =
-            simulate_line_with_trace(&guest, &host, LineStrategy::Blocked, &trace).expect("blocked");
+        let blocked = simulate_line_with_trace(&guest, &host, LineStrategy::Blocked, &trace)
+            .expect("blocked");
         (d, m, halo, blocked)
     });
     let mut halo_pts = Vec::new();
@@ -80,7 +80,10 @@ pub fn run(scale: Scale) -> Table {
     );
     t.block(crate::plot::ascii_loglog(
         "slowdown vs d (log-log)",
-        &[("halo (√d)", 'o', &halo_pts), ("blocked (d)", 'x', &blocked_pts)],
+        &[
+            ("halo (√d)", 'o', &halo_pts),
+            ("blocked (d)", 'x', &blocked_pts),
+        ],
         64,
         18,
     ));

@@ -5,9 +5,9 @@
 //! the `√d_ave` factor: both are comparable at small `d_ave` and the
 //! combined strategy must win by a widening factor as `d_ave` grows.
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_core::theory;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
@@ -50,10 +50,7 @@ pub fn run(scale: Scale) -> Table {
         let c = simulate_line_with_trace(
             &guest,
             &host,
-            LineStrategy::Combined {
-                c: 4.0,
-                expansion,
-            },
+            LineStrategy::Combined { c: 4.0, expansion },
             &trace,
         )
         .expect("combined");
@@ -75,7 +72,12 @@ pub fn run(scale: Scale) -> Table {
         "theory: overlap O(d·log³n) = {} vs combined O(√d·log³n) = {} at d = {} — the \
          measured ratio should grow like √d",
         f2(theory::t2_predicted(n, *ds.last().unwrap() as f64)),
-        f2(theory::t5_predicted(n, *ds.last().unwrap() as f64, 4.0, expansion)),
+        f2(theory::t5_predicted(
+            n,
+            *ds.last().unwrap() as f64,
+            4.0,
+            expansion
+        )),
         ds.last().unwrap()
     ));
     t.block(crate::plot::ascii_loglog(

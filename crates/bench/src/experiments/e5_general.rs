@@ -5,15 +5,14 @@
 //! embedded array's average delay vs `δ·d_ave`, and the end-to-end
 //! validated OVERLAP slowdown.
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
 use overlap_core::general::embedded_array_stats;
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::{
-    binary_tree, butterfly, cube_connected_cycles, hypercube, mesh2d, random_regular, ring,
-    torus2d,
+    binary_tree, butterfly, cube_connected_cycles, hypercube, mesh2d, random_regular, ring, torus2d,
 };
 use overlap_net::{DelayModel, HostGraph};
 

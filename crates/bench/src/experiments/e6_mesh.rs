@@ -96,7 +96,14 @@ pub fn run_higher(scale: Scale) -> Table {
         ),
         (
             format!("{s3}×{s3}×{s3} mesh", s3 = side / 2),
-            GuestSpec::mesh3(side / 2, side / 2, side / 2, ProgramKind::Relaxation, 3, steps),
+            GuestSpec::mesh3(
+                side / 2,
+                side / 2,
+                side / 2,
+                ProgramKind::Relaxation,
+                3,
+                steps,
+            ),
         ),
     ];
     for (name, guest) in guests {

@@ -7,10 +7,10 @@
 //! and of OVERLAP's multi-copy assignment on the same host. Redundant
 //! copies are exactly what escapes the bound.
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
 use overlap_core::lower::{one_copy_certificate, one_copy_layout, OneCopyLayout};
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::h1_lower_bound;
@@ -56,11 +56,7 @@ pub fn run(scale: Scale) -> Table {
         let guest = GuestSpec::line(m, ProgramKind::Relaxation, 1, steps);
         let trace = ReferenceRun::execute(&guest);
         let holders = one_copy_layout(OneCopyLayout::Blocked, n, m);
-        let single = Assignment::from_holders(
-            n,
-            m,
-            holders.iter().map(|&p| vec![p]).collect(),
-        );
+        let single = Assignment::from_holders(n, m, holders.iter().map(|&p| vec![p]).collect());
         let one = Engine::new(&guest, &host, &single, EngineConfig::default())
             .run()
             .expect("single-copy run");

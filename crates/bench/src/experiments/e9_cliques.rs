@@ -6,10 +6,10 @@
 //! of `m` used cliques — far above the `O(√d_ave·log³n)` that bounded
 //! degree would give.
 
+use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
 use overlap_core::general::{cliques_best_bound, cliques_slowdown_bound};
-use super::simulate_line_with_trace;
 use overlap_core::pipeline::LineStrategy;
 use overlap_core::theory;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};

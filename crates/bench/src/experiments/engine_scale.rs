@@ -8,8 +8,8 @@
 //! depth (the engine's dominant dynamic allocation — a proxy for peak
 //! memory).
 
-use crate::Table;
 use crate::Scale;
+use crate::Table;
 use overlap_model::{GuestSpec, ProgramKind};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
@@ -67,7 +67,12 @@ fn time_best<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
 pub fn measure(scale: Scale) -> Vec<ScaleResult> {
     let scales: &[(u32, u32, u32)] = match scale {
         Scale::Quick => &[(16, 64, 32), (32, 128, 32), (64, 256, 32)],
-        Scale::Full => &[(16, 64, 64), (64, 256, 128), (128, 1024, 128), (256, 2048, 128)],
+        Scale::Full => &[
+            (16, 64, 64),
+            (64, 256, 128),
+            (128, 1024, 128),
+            (256, 2048, 128),
+        ],
     };
     let reps = scale.pick(3, 5);
     scales
@@ -75,9 +80,8 @@ pub fn measure(scale: Scale) -> Vec<ScaleResult> {
         .map(|&(procs, cells, steps)| {
             let (guest, host, assign) = scenario(procs, cells, steps);
             let cfg = EngineConfig::default();
-            let run_new = || -> RunOutcome {
-                Engine::new(&guest, &host, &assign, cfg).run().expect("run")
-            };
+            let run_new =
+                || -> RunOutcome { Engine::new(&guest, &host, &assign, cfg).run().expect("run") };
             let run_old =
                 || -> RunOutcome { run_classic(&guest, &host, &assign, cfg, None).expect("run") };
             let out = run_new();
@@ -131,8 +135,14 @@ pub fn run(scale: Scale) -> Table {
     let mut t = Table::new(
         "ENGINE · calendar-queue engine vs classic heap engine",
         &[
-            "procs", "cells", "steps", "events", "peak queue", "events/s (calendar)",
-            "events/s (classic)", "speedup",
+            "procs",
+            "cells",
+            "steps",
+            "events",
+            "peak queue",
+            "events/s (calendar)",
+            "events/s (classic)",
+            "speedup",
         ],
     );
     for r in &results {

@@ -95,7 +95,11 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
     // A NOW: mostly fast local links, a few slow wide-area hops — the
     // regime where the paper's redundant placements replicate databases
     // across the slow boundaries.
-    let dm = DelayModel::Bimodal { lo: 1, hi: scale.pick(120, 200), p_hi: 0.2 };
+    let dm = DelayModel::Bimodal {
+        lo: 1,
+        hi: scale.pick(120, 200),
+        p_hi: 0.2,
+    };
     let host = linear_array(procs, dm, 9);
     let guest = GuestSpec::line(cells, ProgramKind::KvWorkload, 7, steps);
     let trace = ReferenceRun::execute(&guest);
@@ -113,7 +117,10 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
     // Theorem 5's combined strategy is the OVERLAP composition that
     // actually replicates at lab scale (pure OVERLAP's interval overlap
     // vanishes at a dozen processors).
-    let overlap_strat = LineStrategy::Combined { c: 4.0, expansion: 2 };
+    let overlap_strat = LineStrategy::Combined {
+        c: 4.0,
+        expansion: 2,
+    };
     let clean_overlap = clean(overlap_strat);
     let clean_blocked = clean(LineStrategy::Blocked);
     // Outages must actually intersect the *redundant* run — scale the
@@ -126,12 +133,32 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
         .iter()
         .map(|&pct| {
             let plan = (pct > 0).then(|| {
-                FaultPlan::new().with_random_outages(&host, 77, pct as f64 / 100.0, mean_outage, horizon)
+                FaultPlan::new().with_random_outages(
+                    &host,
+                    77,
+                    pct as f64 / 100.0,
+                    mean_outage,
+                    horizon,
+                )
             });
             FaultRow {
                 downtime_pct: pct,
-                overlap: run_arm(&guest, &host, overlap_strat, plan.clone(), clean_overlap, &trace),
-                baseline: run_arm(&guest, &host, LineStrategy::Blocked, plan, clean_blocked, &trace),
+                overlap: run_arm(
+                    &guest,
+                    &host,
+                    overlap_strat,
+                    plan.clone(),
+                    clean_overlap,
+                    &trace,
+                ),
+                baseline: run_arm(
+                    &guest,
+                    &host,
+                    LineStrategy::Blocked,
+                    plan,
+                    clean_blocked,
+                    &trace,
+                ),
             }
         })
         .collect();
@@ -160,7 +187,9 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
     let (crash_strat, victim) = match find_victim(planned.assignment()) {
         Some(v) => (overlap_strat, v),
         None => {
-            let halo = LineStrategy::Halo { halo: cells.div_ceil(procs) };
+            let halo = LineStrategy::Halo {
+                halo: cells.div_ceil(procs),
+            };
             let p = Simulation::of(&guest)
                 .on(&host)
                 .strategy(halo)
@@ -171,14 +200,32 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
             (halo, v)
         }
     };
-    let clean_crash = if crash_strat == overlap_strat { clean_overlap } else { clean(crash_strat) };
+    let clean_crash = if crash_strat == overlap_strat {
+        clean_overlap
+    } else {
+        clean(crash_strat)
+    };
     // The crash must land while *both* placements are still running.
     let crash_at = (clean_crash.min(clean_blocked) * steps as f64 / 3.0).max(2.0) as u64;
     let plan = FaultPlan::new().crash(victim, crash_at);
     rows.push(FaultRow {
         downtime_pct: CRASH_ROW,
-        overlap: run_arm(&guest, &host, crash_strat, Some(plan.clone()), clean_crash, &trace),
-        baseline: run_arm(&guest, &host, LineStrategy::Blocked, Some(plan), clean_blocked, &trace),
+        overlap: run_arm(
+            &guest,
+            &host,
+            crash_strat,
+            Some(plan.clone()),
+            clean_crash,
+            &trace,
+        ),
+        baseline: run_arm(
+            &guest,
+            &host,
+            LineStrategy::Blocked,
+            Some(plan),
+            clean_blocked,
+            &trace,
+        ),
     });
     rows
 }
@@ -304,7 +351,12 @@ mod tests {
         // The crash aborts the single-copy baseline but not OVERLAP.
         let crash = rows.last().unwrap();
         assert_eq!(crash.downtime_pct, CRASH_ROW);
-        assert!(crash.baseline.abort.as_deref().unwrap_or("").contains("ColumnLost"));
+        assert!(crash
+            .baseline
+            .abort
+            .as_deref()
+            .unwrap_or("")
+            .contains("ColumnLost"));
         assert!(crash.overlap.faults.rerouted_subscriptions > 0);
         let json = to_json(&rows);
         assert!(json.contains("\"crash\""));

@@ -148,8 +148,10 @@ pub fn figure4() -> Table {
             c.exchanged_per_side.to_string(),
         ]);
     }
-    t.note("T computes without communication (2d steps); columns B/C out and A/D in \
-            (pipelined, < 2d); then L and R (d steps): 5d per √d guest steps = 5√d slowdown");
+    t.note(
+        "T computes without communication (2d steps); columns B/C out and A/D in \
+            (pipelined, < 2d); then L and R (d steps): 5d per √d guest steps = 5√d slowdown",
+    );
     t
 }
 
@@ -160,7 +162,13 @@ pub fn figure5() -> Table {
     let stats = DelayStats::of(&h2.graph);
     let mut t = Table::new(
         format!("F5 · Figure 5 — H2({n}): recursive boxes, d = {}", h2.d),
-        &["level ℓ", "segments", "segment size", "delay-1 edges", "delay-d edges in level"],
+        &[
+            "level ℓ",
+            "segments",
+            "segment size",
+            "delay-1 edges",
+            "delay-d edges in level",
+        ],
     );
     for l in 1..=h2.k {
         let segs: Vec<_> = h2.segments.iter().filter(|s| s.level == l).collect();

@@ -15,6 +15,7 @@
 //! | [`e11_mesh_on_mesh`] | §7 open question — 2-D guest on 2-D host, measured |
 //! | [`e12_ablations`] | halo width, killing constant, bandwidth ablations |
 //! | [`engine_scale`]  | simulator throughput: calendar-queue vs classic heap engine |
+//! | [`plan_reuse`]    | sweep wall-clock: shared ExecPlan vs per-run lowering |
 //! | [`fault_tolerance`] | graceful degradation: OVERLAP vs single-copy under link outages & crashes |
 //! | [`stall_attribution`] | where the ticks go: stall categories vs `d_ave` across placements |
 //! | [`figures`]       | Figures 1–6 regenerated as data |
@@ -60,4 +61,5 @@ pub mod e9_cliques;
 pub mod engine_scale;
 pub mod fault_tolerance;
 pub mod figures;
+pub mod plan_reuse;
 pub mod stall_attribution;

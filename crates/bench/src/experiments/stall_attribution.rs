@@ -86,7 +86,13 @@ fn run_cell(
 pub fn arms() -> Vec<(&'static str, LineStrategy)> {
     vec![
         ("overlap", LineStrategy::Overlap { c: 4.0 }),
-        ("combined", LineStrategy::Combined { c: 4.0, expansion: 2 }),
+        (
+            "combined",
+            LineStrategy::Combined {
+                c: 4.0,
+                expansion: 2,
+            },
+        ),
         ("blocked", LineStrategy::Blocked),
     ]
 }
@@ -105,8 +111,8 @@ pub fn measure(scale: Scale) -> Vec<TraceRow> {
     let mut rows = Vec::new();
     for &hi in his {
         let host = linear_array(procs, DelayModel::uniform(1, hi), 13);
-        let d_ave = host.links().iter().map(|l| l.delay).sum::<u64>() as f64
-            / host.links().len() as f64;
+        let d_ave =
+            host.links().iter().map(|l| l.delay).sum::<u64>() as f64 / host.links().len() as f64;
         for (label, strategy) in arms() {
             rows.push(run_cell(&guest, &host, strategy, label, hi, d_ave, &trace));
         }
@@ -220,8 +226,7 @@ mod tests {
         // The headline trend: OVERLAP's bandwidth share of the budget grows
         // with d_ave — the stalls migrate from dependency-bound (producer
         // not done) to bandwidth-bound (pebble in flight on slow links).
-        let overlap: Vec<&TraceRow> =
-            rows.iter().filter(|r| r.strategy == "overlap").collect();
+        let overlap: Vec<&TraceRow> = rows.iter().filter(|r| r.strategy == "overlap").collect();
         let first = overlap.first().expect("overlap rows");
         let last = overlap.last().expect("overlap rows");
         assert!(first.d_hi < last.d_hi);

@@ -84,17 +84,21 @@ mod tests {
     use super::*;
 
     fn sqrt_series() -> Vec<(f64, f64)> {
-        (1..=6).map(|i| {
-            let x = 4f64.powi(i);
-            (x, 5.0 * x.sqrt())
-        }).collect()
+        (1..=6)
+            .map(|i| {
+                let x = 4f64.powi(i);
+                (x, 5.0 * x.sqrt())
+            })
+            .collect()
     }
 
     fn linear_series() -> Vec<(f64, f64)> {
-        (1..=6).map(|i| {
-            let x = 4f64.powi(i);
-            (x, x)
-        }).collect()
+        (1..=6)
+            .map(|i| {
+                let x = 4f64.powi(i);
+                (x, x)
+            })
+            .collect()
     }
 
     #[test]

@@ -27,12 +27,19 @@ pub struct SlotAssignment {
 impl SlotAssignment {
     /// Maximum slots per position (1 for the load-1 assignment).
     pub fn load(&self) -> usize {
-        self.slots_of_position.iter().map(Vec::len).max().unwrap_or(0)
+        self.slots_of_position
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of positions holding at least one slot.
     pub fn active_positions(&self) -> usize {
-        self.slots_of_position.iter().filter(|s| !s.is_empty()).count()
+        self.slots_of_position
+            .iter()
+            .filter(|s| !s.is_empty())
+            .count()
     }
 
     /// Total slot copies (≥ `num_slots`; the excess is the redundancy).
@@ -129,10 +136,7 @@ mod tests {
                 holders[s as usize] += 1;
             }
         }
-        assert!(
-            holders.iter().all(|&h| h >= 1),
-            "every slot needs a holder"
-        );
+        assert!(holders.iter().all(|&h| h >= 1), "every slot needs a holder");
     }
 
     #[test]

@@ -125,12 +125,7 @@ mod tests {
     fn combined_load_scales_with_expansion_and_r() {
         let d = delays_of(64, DelayModel::constant(9), 0);
         let plan = plan_combined(&d, 4.0, 4, 512).unwrap();
-        let load = plan
-            .cells_of_position
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap();
+        let load = plan.cells_of_position.iter().map(Vec::len).max().unwrap();
         // load ≈ expansion × 3r (halo regions of 3 blocks each, partially
         // shared between consecutive H0 positions).
         assert!(load >= plan.r as usize, "load {load} < r {}", plan.r);
@@ -176,7 +171,10 @@ mod tests {
         let small = plan_combined(&d, 4.0, 2, 128).unwrap();
         let large = plan_combined(&d, 4.0, 2, 4096).unwrap();
         assert!(large.r > small.r);
-        assert_eq!(small.n0, large.n0, "intermediate width is guest-independent");
+        assert_eq!(
+            small.n0, large.n0,
+            "intermediate width is guest-independent"
+        );
     }
 
     #[test]
@@ -184,7 +182,9 @@ mod tests {
         let n = 128u32;
         let d_hi = delays_of(n, DelayModel::constant(400), 0);
         let overlap_only = plan_overlap(&d_hi, 4.0, 1).unwrap().predicted_slowdown;
-        let combined = plan_combined(&d_hi, 4.0, 4, 4096).unwrap().predicted_slowdown;
+        let combined = plan_combined(&d_hi, 4.0, 4, 4096)
+            .unwrap()
+            .predicted_slowdown;
         assert!(
             combined < overlap_only,
             "combined {combined} should beat overlap {overlap_only} at d=400"

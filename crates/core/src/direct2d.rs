@@ -18,7 +18,7 @@ use overlap_net::topology::mesh2d;
 use overlap_net::{Delay, DelayModel, HostGraph};
 use overlap_sim::engine::{Engine, EngineConfig};
 use overlap_sim::validate::validate_run;
-use overlap_sim::{Assignment, RunStats};
+use overlap_sim::{Assignment, ExecPlan, RunStats};
 
 /// The 2-D halo assignment: host node `(X, Y)` of a `W × H` mesh (node id
 /// `X·H + Y`) holds guest cells `[X·g − ω, (X+1)·g + ω) ×
@@ -98,9 +98,9 @@ pub fn simulate_mesh_on_mesh(
     };
     let host: HostGraph = mesh2d(host_w, host_h, DelayModel::constant(d), 0);
     let assignment = halo2d_assignment(host_w, host_h, g, omega);
-    let outcome = Engine::new(&guest, &host, &assignment, EngineConfig::default())
-        .run()
-        .map_err(Error::Run)?;
+    let plan =
+        ExecPlan::build(&guest, &host, &assignment, EngineConfig::default()).map_err(Error::Run)?;
+    let outcome = Engine::from_plan(&plan).run().map_err(Error::Run)?;
     let owned_trace;
     let trace = match trace {
         Some(t) => t,
@@ -214,7 +214,9 @@ pub fn adaptive2d_assignment(
     let gw = host_w * g;
     let gh = host_h * g;
     // Owner of each guest cell: nearest live processor centre.
-    let live: Vec<u32> = (0..host_w * host_h).filter(|&p| alive[p as usize]).collect();
+    let live: Vec<u32> = (0..host_w * host_h)
+        .filter(|&p| alive[p as usize])
+        .collect();
     assert!(!live.is_empty());
     let centre = |p: u32| {
         let (x, y) = (p / host_h, p % host_h);
@@ -299,8 +301,12 @@ mod tests {
 
     #[test]
     fn partial_halo_copies_scale_with_omega() {
-        let a1: usize = (0..9).map(|p| halo2d_assignment(3, 3, 4, 1).cells_of(p).len()).sum();
-        let a2: usize = (0..9).map(|p| halo2d_assignment(3, 3, 4, 2).cells_of(p).len()).sum();
+        let a1: usize = (0..9)
+            .map(|p| halo2d_assignment(3, 3, 4, 1).cells_of(p).len())
+            .sum();
+        let a2: usize = (0..9)
+            .map(|p| halo2d_assignment(3, 3, 4, 2).cells_of(p).len())
+            .sum();
         assert!(a2 > a1);
     }
 
@@ -310,14 +316,31 @@ mod tests {
         let steps = 24;
         let guest = GuestSpec::mesh(w * g, h * g, ProgramKind::Relaxation, 5, steps);
         let trace = ReferenceRun::execute(&guest);
-        let blocked =
-            simulate_mesh_on_mesh(w, h, g, d, 0, ProgramKind::Relaxation, 5, steps, Some(&trace))
-                .unwrap();
+        let blocked = simulate_mesh_on_mesh(
+            w,
+            h,
+            g,
+            d,
+            0,
+            ProgramKind::Relaxation,
+            5,
+            steps,
+            Some(&trace),
+        )
+        .unwrap();
         let best = [2u32, 4, 6]
             .iter()
             .map(|&om| {
                 simulate_mesh_on_mesh(
-                    w, h, g, d, om, ProgramKind::Relaxation, 5, steps, Some(&trace),
+                    w,
+                    h,
+                    g,
+                    d,
+                    om,
+                    ProgramKind::Relaxation,
+                    5,
+                    steps,
+                    Some(&trace),
                 )
                 .unwrap()
             })
@@ -353,7 +376,10 @@ mod tests {
             assert!(!alive[p as usize], "pocket cell {p} must die");
         }
         let dead = alive.iter().filter(|&&a| !a).count();
-        assert!(dead <= (w * h / 4 + 1) as usize, "Lemma-1-style bound: {dead} killed");
+        assert!(
+            dead <= (w * h / 4 + 1) as usize,
+            "Lemma-1-style bound: {dead} killed"
+        );
         assert!(alive[(w * h - 1) as usize], "far corner must live");
     }
 

@@ -27,6 +27,15 @@ pub enum Error {
     /// The builder was configured inconsistently (missing host,
     /// incompatible engine options, …).
     Config(String),
+    /// The selected executor does not implement the requested feature
+    /// (e.g. fault injection on the lockstep engine). Features are never
+    /// silently dropped; pick the event engine or drop the option.
+    Unsupported {
+        /// The executor that was asked (`"stepped"`, `"lockstep"`, …).
+        engine: &'static str,
+        /// The feature it does not implement.
+        feature: &'static str,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -38,6 +47,9 @@ impl std::fmt::Display for Error {
                 write!(f, "mesh guests use overlap_core::mesh")
             }
             Error::Config(msg) => write!(f, "configuration: {msg}"),
+            Error::Unsupported { engine, feature } => {
+                write!(f, "the {engine} engine does not support {feature}")
+            }
         }
     }
 }

@@ -118,7 +118,10 @@ pub fn verify_lemmas(out: &KillOutcome) -> Vec<String> {
         // Lemma 3.1/4: remaining labels are ≥ 2·m_k (stage 2) and stage 3
         // dominates stage 2.
         if out.label2[id] < 2 * out.m_of_len(node.len()) {
-            v.push(format!("Lemma 3.1: node {id} label₂ {} < 2m_k", out.label2[id]));
+            v.push(format!(
+                "Lemma 3.1: node {id} label₂ {} < 2m_k",
+                out.label2[id]
+            ));
         }
         if out.label3[id] < out.label2[id] {
             v.push(format!(
@@ -379,7 +382,9 @@ mod tests {
                     );
                 }
             }
-            assert!(out.root_label() as f64 >= (1.0 - 2.0 / 4.0) * 256.0 - out.m_of_len(256) as f64);
+            assert!(
+                out.root_label() as f64 >= (1.0 - 2.0 / 4.0) * 256.0 - out.m_of_len(256) as f64
+            );
         }
     }
 
@@ -426,7 +431,10 @@ mod tests {
         // whose D_k threshold is below 2^40 — all of them except possibly
         // the root; killing is confined around the middle.
         assert!(out.alive[0], "far-left processor must survive");
-        assert!(out.alive[n as usize - 1], "far-right processor must survive");
+        assert!(
+            out.alive[n as usize - 1],
+            "far-right processor must survive"
+        );
         assert!(out.root_label() as f64 >= 0.25 * n as f64);
     }
 

@@ -104,7 +104,9 @@ pub enum OneCopyLayout {
 /// Build the single-copy holder list for `m` columns on an `n`-node host.
 pub fn one_copy_layout(layout: OneCopyLayout, n: u32, m: u32) -> Vec<NodeId> {
     match layout {
-        OneCopyLayout::Blocked => (0..m).map(|i| (i as u64 * n as u64 / m as u64) as u32).collect(),
+        OneCopyLayout::Blocked => (0..m)
+            .map(|i| (i as u64 * n as u64 / m as u64) as u32)
+            .collect(),
         OneCopyLayout::OneIsland => {
             let island = (n as f64).sqrt().floor().max(1.0) as u32;
             (0..m)

@@ -9,17 +9,17 @@
 //! `O(√N·log³N + N^{1/4}·√d_ave·log³N)` for an `N`-cell guest.
 
 use crate::combined::compose;
-use crate::overlap::{plan_overlap, OverlapError};
 use crate::error::Error;
+use crate::overlap::{plan_overlap, OverlapError};
 use crate::pipeline::{host_as_array, SimReport};
 use overlap_model::{
-    mesh3d_slabs, mesh_columns, torus_fold, GuestSpec, GuestTopology, ReferenceRun,
-    ReferenceTrace, SlotMap,
+    mesh3d_slabs, mesh_columns, torus_fold, GuestSpec, GuestTopology, ReferenceRun, ReferenceTrace,
+    SlotMap,
 };
 use overlap_net::HostGraph;
 use overlap_sim::engine::{Engine, EngineConfig};
 use overlap_sim::validate::validate_run;
-use overlap_sim::Assignment;
+use overlap_sim::{Assignment, ExecPlan};
 
 /// Theorem 7 strip placement: distribute the `w` mesh columns over `n0`
 /// line positions, blocked: position `p` gets strips
@@ -122,16 +122,15 @@ pub fn simulate_mesh_with_trace(
         return Err(Error::UnsupportedTopology);
     }
     let (order, delays, dilation) = host_as_array(host);
-    let plan =
-        plan_mesh(&delays, c, expansion, &guest.topology).map_err(Error::Overlap)?;
+    let plan = plan_mesh(&delays, c, expansion, &guest.topology).map_err(Error::Overlap)?;
     let mut cells_of = vec![Vec::new(); host.num_nodes() as usize];
     for (pos, cells) in plan.cells_of_position.iter().enumerate() {
         cells_of[order[pos] as usize] = cells.clone();
     }
     let assignment = Assignment::from_cells_of(host.num_nodes(), guest.num_cells(), cells_of);
-    let outcome = Engine::new(guest, host, &assignment, EngineConfig::default())
-        .run()
-        .map_err(Error::Run)?;
+    let exec_plan =
+        ExecPlan::build(guest, host, &assignment, EngineConfig::default()).map_err(Error::Run)?;
+    let outcome = Engine::from_plan(&exec_plan).run().map_err(Error::Run)?;
     let errors = validate_run(trace, &outcome);
     let d_ave = if delays.is_empty() {
         0.0

@@ -55,7 +55,11 @@ pub struct OverlapPlan {
 impl OverlapPlan {
     /// Load: databases per processor (`block` for live positions).
     pub fn load(&self) -> usize {
-        self.cells_of_position.iter().map(Vec::len).max().unwrap_or(0)
+        self.cells_of_position
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -130,7 +134,11 @@ mod tests {
         let d = delays_of(256, DelayModel::constant(2), 0);
         let plan = plan_overlap(&d, 4.0, 1).unwrap();
         assert_eq!(plan.load(), 1);
-        assert!(plan.guest_cells as usize >= 128, "guest {}", plan.guest_cells);
+        assert!(
+            plan.guest_cells as usize >= 128,
+            "guest {}",
+            plan.guest_cells
+        );
         assert!(plan.predicted_slowdown > 1.0);
     }
 

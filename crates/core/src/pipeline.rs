@@ -10,7 +10,10 @@
 //! 2. view the host as a linear array: directly if it *is* a path, else
 //!    through the dilation-3 embedding of Fact 3 (§4);
 //! 3. build the database assignment per the chosen [`LineStrategy`];
-//! 4. execute with the cycle-accurate engine and validate every copy.
+//! 4. lower `(guest, host, assignment, config)` once into an
+//!    `overlap_sim::ExecPlan`, execute it on the chosen engine, and
+//!    validate every copy. Sweeps reuse the lowered plan across repeats
+//!    and engines instead of re-lowering per run.
 
 use crate::error::Error;
 use crate::overlap::plan_overlap;
@@ -248,7 +251,10 @@ fn place_slots(
                 .into_iter()
                 .map(|cs| cs.into_iter().filter(|&c| c < num_slots).collect())
                 .collect();
-            Ok((placed, Some(uniform::predicted_slowdown(d_ave.round() as u64))))
+            Ok((
+                placed,
+                Some(uniform::predicted_slowdown(d_ave.round() as u64)),
+            ))
         }
         LineStrategy::Combined { c, expansion } => {
             // OVERLAP with block = expansion: host position → intermediate
@@ -393,6 +399,21 @@ mod tests {
     }
 
     #[test]
+    fn placement_lowers_to_a_reusable_plan() {
+        use overlap_sim::engine::{Engine, EngineConfig};
+        use overlap_sim::ExecPlan;
+        let guest = GuestSpec::line(16, ProgramKind::KvWorkload, 2, 10);
+        let host = linear_array(4, DelayModel::uniform(1, 6), 3);
+        let placed = plan_line_placement(&guest, &host, LineStrategy::Halo { halo: 1 }).unwrap();
+        let plan =
+            ExecPlan::build(&guest, &host, &placed.assignment, EngineConfig::default()).unwrap();
+        let a = Engine::from_plan(&plan).run().unwrap();
+        let b = Engine::from_plan(&plan).run().unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.copies, b.copies);
+    }
+
+    #[test]
     fn path_hosts_are_detected() {
         let host = linear_array(6, DelayModel::uniform(1, 9), 3);
         let (order, delays, dil) = host_as_array(&host);
@@ -435,7 +456,10 @@ mod tests {
         for s in [
             LineStrategy::Overlap { c: 4.0 },
             LineStrategy::Halo { halo: 1 },
-            LineStrategy::Combined { c: 4.0, expansion: 2 },
+            LineStrategy::Combined {
+                c: 4.0,
+                expansion: 2,
+            },
             LineStrategy::Blocked,
             LineStrategy::Slackness,
             LineStrategy::AllOnOne,
@@ -524,7 +548,15 @@ mod tests {
         let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 3, 12);
         for host in [
             linear_array(8, DelayModel::constant(6), 0),
-            linear_array(8, DelayModel::Spike { base: 1, spike: 64, period: 4 }, 0),
+            linear_array(
+                8,
+                DelayModel::Spike {
+                    base: 1,
+                    spike: 64,
+                    period: 4,
+                },
+                0,
+            ),
         ] {
             let r = simulate(&guest, &host, LineStrategy::Auto).unwrap();
             assert!(r.validated, "{}", host.name());

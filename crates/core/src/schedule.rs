@@ -162,8 +162,8 @@ impl ScheduleTable {
         // Theorem 2's closed form: s_{m_0}^{(0)} ≤ base·n/(c·log n) +
         // 2·c·d_ave·n·log²n  (the paper's two terms).
         let log2n = (self.n as f64).log2().max(1.0);
-        let bound =
-            self.base * self.n as f64 / (self.c * log2n) + 2.0 * self.c * self.d_ave * self.n as f64 * log2n * log2n;
+        let bound = self.base * self.n as f64 / (self.c * log2n)
+            + 2.0 * self.c * self.d_ave * self.n as f64 * log2n * log2n;
         // Integer ceilings can push slightly past the real-valued bound;
         // allow 4×.
         if self.box_deadline(0) > 4.0 * bound + eps {

@@ -35,17 +35,18 @@ use overlap_net::{Delay, HostGraph};
 use overlap_sim::engine::{Engine, EngineConfig, Jitter, RunOutcome};
 use overlap_sim::faults::FaultPlan;
 use overlap_sim::validate::validate_run;
-use overlap_sim::{run_lockstep, run_stepped, Assignment, BandwidthMode, TraceConfig};
+use overlap_sim::{run_lockstep, run_stepped, Assignment, BandwidthMode, ExecPlan, TraceConfig};
 
 /// Which execution engine runs the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// The cycle-accurate discrete-event engine (the default; the only
-    /// engine supporting multicast, jitter, compute costs, and faults).
+    /// engine supporting multicast, jitter, and stall tracing).
     #[default]
     Event,
     /// The tick-stepped engine (independent implementation, used for
-    /// cross-validation; default configuration only).
+    /// cross-validation; supports compute costs and fault plans, but not
+    /// multicast, jitter, or tracing).
     Stepped,
     /// The lockstep baseline: global rounds of `d_max`-synchronised
     /// compute-then-exchange (prior work's model).
@@ -145,8 +146,8 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
-    /// Inject a deterministic fault plan (event engine only). An empty
-    /// plan is bit-identical to no plan.
+    /// Inject a deterministic fault plan (event and stepped engines). An
+    /// empty plan is bit-identical to no plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
@@ -185,30 +186,38 @@ impl<'a> SimulationBuilder<'a> {
                 return Err(Error::Config("compute costs must be ≥ 1".into()));
             }
         }
+        // Feature × engine support matrix. Features are rejected up
+        // front with `Error::Unsupported` — never silently dropped at
+        // run time.
         let has_faults = self.faults.as_ref().is_some_and(|p| !p.is_empty());
-        if self.engine != EngineKind::Event {
-            if has_faults {
-                return Err(Error::Config(
-                    "fault plans need the event engine".into(),
-                ));
+        let unsupported = |engine, feature| Err(Error::Unsupported { engine, feature });
+        match self.engine {
+            EngineKind::Event => {}
+            EngineKind::Stepped => {
+                if self.trace.is_some() {
+                    return unsupported("stepped", "stall-attribution tracing");
+                }
+                if self.config.multicast {
+                    return unsupported("stepped", "multicast distribution");
+                }
+                if self.config.jitter != Jitter::None {
+                    return unsupported("stepped", "delay jitter");
+                }
             }
-            if self.compute_costs.is_some() {
-                return Err(Error::Config(
-                    "compute costs need the event engine".into(),
-                ));
+            EngineKind::Lockstep => {
+                if has_faults {
+                    return unsupported("lockstep", "fault injection");
+                }
+                if self.compute_costs.is_some() {
+                    return unsupported("lockstep", "per-processor compute costs");
+                }
+                if self.trace.is_some() {
+                    return unsupported("lockstep", "stall-attribution tracing");
+                }
+                if self.config.multicast {
+                    return unsupported("lockstep", "multicast distribution");
+                }
             }
-            if self.trace.is_some() {
-                return Err(Error::Config(
-                    "stall-attribution tracing needs the event engine".into(),
-                ));
-            }
-        }
-        if self.engine == EngineKind::Stepped
-            && (self.config.multicast || self.config.jitter != Jitter::None)
-        {
-            return Err(Error::Config(
-                "the stepped engine supports the default configuration only".into(),
-            ));
         }
         let (assignment, predicted_slowdown, array_delays, dilation) = match self.assignment {
             Some(a) => {
@@ -283,34 +292,45 @@ impl ReadySimulation<'_> {
         self.dilation
     }
 
-    /// Execute without validating (no reference run). Returns the raw
-    /// engine outcome.
-    pub fn run_raw(&self) -> Result<RunOutcome, Error> {
+    /// Lower this simulation to its executable plan: interned tables,
+    /// routing, and the configured compute costs / fault plan, all
+    /// compiled once. The plan can be executed repeatedly (and on
+    /// different engines) via [`run_plan`](Self::run_plan) — sweeps
+    /// amortise the lowering across repeats.
+    pub fn build_plan(&self) -> Result<ExecPlan<'_>, Error> {
+        let mut plan = ExecPlan::build(self.guest, self.host, &self.assignment, self.config)?;
+        if let Some(costs) = &self.compute_costs {
+            plan = plan.with_compute_costs(costs.clone());
+        }
+        if let Some(faults) = &self.faults {
+            plan = plan.with_faults(faults.clone());
+        }
+        Ok(plan)
+    }
+
+    /// Execute an already-lowered plan on this simulation's engine.
+    /// `run_raw` is exactly `build_plan` + `run_plan`; calling them
+    /// separately lets sweeps lower once and run many times.
+    pub fn run_plan(&self, plan: &ExecPlan) -> Result<RunOutcome, Error> {
         let out = match self.engine {
             EngineKind::Event => {
-                let mut eng = Engine::new(self.guest, self.host, &self.assignment, self.config);
-                if let Some(costs) = &self.compute_costs {
-                    eng = eng.with_compute_costs(costs.clone());
-                }
-                if let Some(plan) = &self.faults {
-                    eng = eng.with_faults(plan.clone());
-                }
+                let eng = Engine::from_plan(plan);
                 match self.trace {
                     Some(cfg) => eng.run_traced(cfg)?,
                     None => eng.run()?,
                 }
             }
-            EngineKind::Stepped => {
-                run_stepped(self.guest, self.host, &self.assignment, self.config)?
-            }
-            EngineKind::Lockstep => run_lockstep(
-                self.guest,
-                self.host,
-                &self.assignment,
-                self.config.bandwidth,
-            )?,
+            EngineKind::Stepped => run_stepped(plan)?,
+            EngineKind::Lockstep => run_lockstep(plan)?,
         };
         Ok(out)
+    }
+
+    /// Execute without validating (no reference run). Returns the raw
+    /// engine outcome.
+    pub fn run_raw(&self) -> Result<RunOutcome, Error> {
+        let plan = self.build_plan()?;
+        self.run_plan(&plan)
     }
 
     /// Execute and validate every database copy against the unit-delay
@@ -442,7 +462,7 @@ mod tests {
     }
 
     #[test]
-    fn faults_require_event_engine() {
+    fn lockstep_rejects_faults_and_costs_as_unsupported() {
         let (guest, host) = lab();
         let err = Simulation::of(&guest)
             .on(&host)
@@ -450,14 +470,122 @@ mod tests {
             .faults(FaultPlan::new().link_down(0, 1, 5, 10))
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::Config(_)));
-        // But an *empty* plan is fine anywhere.
+        assert!(
+            matches!(
+                err,
+                Error::Unsupported {
+                    engine: "lockstep",
+                    feature: "fault injection"
+                }
+            ),
+            "{err}"
+        );
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .engine(EngineKind::Lockstep)
+            .compute_costs(vec![1, 2, 1, 1])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported { .. }), "{err}");
+        // But an *empty* fault plan is fine anywhere.
         assert!(Simulation::of(&guest)
             .on(&host)
             .engine(EngineKind::Lockstep)
             .faults(FaultPlan::new())
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn stepped_engine_supports_costs_and_faults() {
+        let (guest, host) = lab();
+        let base = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Halo { halo: 1 })
+            .engine(EngineKind::Stepped)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let costly = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Halo { halo: 1 })
+            .engine(EngineKind::Stepped)
+            .compute_costs(vec![1, 4, 1, 2])
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(costly.validated);
+        assert!(costly.stats.makespan > base.stats.makespan);
+        let faulty = Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Halo { halo: 1 })
+            .engine(EngineKind::Stepped)
+            .faults(FaultPlan::new().link_down(1, 2, 2, 40))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(faulty.validated, "degraded stepped run must validate");
+        assert!(faulty.stats.faults.retries > 0);
+        assert!(faulty.stats.makespan >= base.stats.makespan);
+    }
+
+    #[test]
+    fn stepped_rejects_multicast_and_jitter_as_unsupported() {
+        let (guest, host) = lab();
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .engine(EngineKind::Stepped)
+            .multicast(true)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Unsupported {
+                    engine: "stepped",
+                    feature: "multicast distribution"
+                }
+            ),
+            "{err}"
+        );
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .engine(EngineKind::Stepped)
+            .jitter(Jitter::Periodic {
+                amplitude_pct: 50,
+                period: 4,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn one_plan_runs_on_every_engine() {
+        let (guest, host) = lab();
+        let build = |kind| {
+            Simulation::of(&guest)
+                .on(&host)
+                .strategy(LineStrategy::Blocked)
+                .engine(kind)
+                .build()
+                .unwrap()
+        };
+        let event = build(EngineKind::Event);
+        let plan = event.build_plan().unwrap();
+        let ev = event.run_plan(&plan).unwrap();
+        let st = build(EngineKind::Stepped).run_plan(&plan).unwrap();
+        let lk = build(EngineKind::Lockstep).run_plan(&plan).unwrap();
+        assert_eq!(ev.stats.makespan, st.stats.makespan);
+        assert!(lk.stats.makespan >= ev.stats.makespan);
+        // Re-running the same plan is bit-identical to run_raw's fresh
+        // lowering.
+        let fresh = event.run_raw().unwrap();
+        assert_eq!(ev.stats, fresh.stats);
+        assert_eq!(ev.copies, fresh.copies);
     }
 
     #[test]
@@ -495,7 +623,10 @@ mod tests {
             .unwrap();
         assert_eq!(r.outcome.stats, r.stats);
         assert!(r.outcome.timing.is_some());
-        assert_eq!(r.outcome.copies.len(), r.outcome.timing.unwrap().ticks.len());
+        assert_eq!(
+            r.outcome.copies.len(),
+            r.outcome.timing.unwrap().ticks.len()
+        );
     }
 
     #[test]
@@ -555,7 +686,16 @@ mod tests {
                 .trace(TraceConfig::default())
                 .build()
                 .unwrap_err();
-            assert!(matches!(err, Error::Config(_)), "{err}");
+            assert!(
+                matches!(
+                    err,
+                    Error::Unsupported {
+                        feature: "stall-attribution tracing",
+                        ..
+                    }
+                ),
+                "{err}"
+            );
         }
     }
 

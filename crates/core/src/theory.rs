@@ -136,15 +136,19 @@ mod tests {
 
     #[test]
     fn loglog_slope_recovers_exponents() {
-        let sqrt_pts: Vec<(f64, f64)> = (1..=20).map(|i| {
-            let x = i as f64 * 10.0;
-            (x, 3.0 * x.sqrt())
-        }).collect();
+        let sqrt_pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                (x, 3.0 * x.sqrt())
+            })
+            .collect();
         assert!((loglog_slope(&sqrt_pts) - 0.5).abs() < 1e-9);
-        let lin_pts: Vec<(f64, f64)> = (1..=20).map(|i| {
-            let x = i as f64;
-            (x, 7.0 * x)
-        }).collect();
+        let lin_pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 7.0 * x)
+            })
+            .collect();
         assert!((loglog_slope(&lin_pts) - 1.0).abs() < 1e-9);
     }
 

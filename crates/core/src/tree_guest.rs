@@ -28,7 +28,7 @@ use overlap_model::{GuestSpec, GuestTopology, ReferenceRun, ReferenceTrace};
 use overlap_net::HostGraph;
 use overlap_sim::engine::{Engine, EngineConfig};
 use overlap_sim::validate::validate_run;
-use overlap_sim::Assignment;
+use overlap_sim::{Assignment, ExecPlan};
 
 /// Pre-order DFS traversal of the heap-ordered complete binary tree.
 pub fn dfs_order(levels: u32) -> Vec<u32> {
@@ -114,9 +114,9 @@ pub fn simulate_tree_on_host(
         cells_of[order[pos] as usize] = block;
     }
     let assignment = Assignment::from_cells_of(n, guest.num_cells(), cells_of);
-    let outcome = Engine::new(guest, host, &assignment, EngineConfig::default())
-        .run()
-        .map_err(Error::Run)?;
+    let plan =
+        ExecPlan::build(guest, host, &assignment, EngineConfig::default()).map_err(Error::Run)?;
+    let outcome = Engine::from_plan(&plan).run().map_err(Error::Run)?;
     let owned;
     let trace = match trace {
         Some(t) => t,
@@ -136,7 +136,11 @@ pub fn simulate_tree_on_host(
         validated: errors.is_empty(),
         mismatches: errors.len(),
         predicted_slowdown: None,
-        strategy: if locality { "tree-dfs".into() } else { "tree-bfs".into() },
+        strategy: if locality {
+            "tree-dfs".into()
+        } else {
+            "tree-bfs".into()
+        },
         host: host.name().to_string(),
         d_ave,
         d_max: delays.iter().copied().max().unwrap_or(0),

@@ -32,7 +32,9 @@ pub fn halo_assignment(n: u32, r: u32, halo: u32) -> Vec<Vec<u32>> {
         .map(|p| {
             let lo = (p as i64 - halo as i64) * r as i64;
             let hi = (p as i64 + 1 + halo as i64) * r as i64;
-            (lo.max(0)..hi.min(total as i64)).map(|c| c as u32).collect()
+            (lo.max(0)..hi.min(total as i64))
+                .map(|c| c as u32)
+                .collect()
         })
         .collect()
 }

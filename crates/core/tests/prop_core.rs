@@ -2,13 +2,13 @@
 
 use overlap_core::assign::{assign_slots, expand_blocks};
 use overlap_core::killing::verify_lemmas;
-use overlap_core::mesh::simulate_mesh_with_trace;
-use overlap_core::tree_guest::simulate_tree_on_host;
-use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_core::killing::{kill_and_label, KillParams};
 use overlap_core::lower::zigzag_path;
+use overlap_core::mesh::simulate_mesh_with_trace;
 use overlap_core::overlap::plan_overlap;
+use overlap_core::tree_guest::simulate_tree_on_host;
 use overlap_core::uniform::{halo_assignment, region_census};
+use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
 use proptest::prelude::*;
@@ -22,9 +22,8 @@ fn delay_model_strategy() -> impl Strategy<Value = DelayModel> {
             spike,
             period
         }),
-        (1u64..3, 0.4f64..3.0, 1u64..(1 << 24)).prop_map(|(min, alpha, cap)| {
-            DelayModel::HeavyTail { min, alpha, cap }
-        }),
+        (1u64..3, 0.4f64..3.0, 1u64..(1 << 24))
+            .prop_map(|(min, alpha, cap)| { DelayModel::HeavyTail { min, alpha, cap } }),
     ]
 }
 

@@ -243,7 +243,10 @@ impl GuestTopology {
                 debug_assert!(cell < n);
                 // canonical order: [parent, self, left child, right child]
                 if cell == 0 {
-                    out.push(Dep::Boundary { side: Side::Up, offset: 0 });
+                    out.push(Dep::Boundary {
+                        side: Side::Up,
+                        offset: 0,
+                    });
                 } else {
                     out.push(Dep::Cell((cell - 1) / 2));
                 }
@@ -253,12 +256,18 @@ impl GuestTopology {
                 if l < n {
                     out.push(Dep::Cell(l));
                 } else {
-                    out.push(Dep::Boundary { side: Side::Down, offset: 2 * cell });
+                    out.push(Dep::Boundary {
+                        side: Side::Down,
+                        offset: 2 * cell,
+                    });
                 }
                 if r < n {
                     out.push(Dep::Cell(r));
                 } else {
-                    out.push(Dep::Boundary { side: Side::Down, offset: 2 * cell + 1 });
+                    out.push(Dep::Boundary {
+                        side: Side::Down,
+                        offset: 2 * cell + 1,
+                    });
                 }
             }
             GuestTopology::Mesh3D { w, h, d } => {
@@ -268,33 +277,51 @@ impl GuestTopology {
                 let x = cell / (d * h);
                 // canonical order: [W, N, U, self, D, S, E]
                 if x == 0 {
-                    out.push(Dep::Boundary { side: Side::West, offset: y * d + z });
+                    out.push(Dep::Boundary {
+                        side: Side::West,
+                        offset: y * d + z,
+                    });
                 } else {
                     out.push(Dep::Cell(cell - h * d));
                 }
                 if y == 0 {
-                    out.push(Dep::Boundary { side: Side::North, offset: x * d + z });
+                    out.push(Dep::Boundary {
+                        side: Side::North,
+                        offset: x * d + z,
+                    });
                 } else {
                     out.push(Dep::Cell(cell - d));
                 }
                 if z == 0 {
-                    out.push(Dep::Boundary { side: Side::Up, offset: x * h + y });
+                    out.push(Dep::Boundary {
+                        side: Side::Up,
+                        offset: x * h + y,
+                    });
                 } else {
                     out.push(Dep::Cell(cell - 1));
                 }
                 out.push(Dep::Cell(cell));
                 if z + 1 == d {
-                    out.push(Dep::Boundary { side: Side::Down, offset: x * h + y });
+                    out.push(Dep::Boundary {
+                        side: Side::Down,
+                        offset: x * h + y,
+                    });
                 } else {
                     out.push(Dep::Cell(cell + 1));
                 }
                 if y + 1 == h {
-                    out.push(Dep::Boundary { side: Side::South, offset: x * d + z });
+                    out.push(Dep::Boundary {
+                        side: Side::South,
+                        offset: x * d + z,
+                    });
                 } else {
                     out.push(Dep::Cell(cell + d));
                 }
                 if x + 1 == w {
-                    out.push(Dep::Boundary { side: Side::East, offset: y * d + z });
+                    out.push(Dep::Boundary {
+                        side: Side::East,
+                        offset: y * d + z,
+                    });
                 } else {
                     out.push(Dep::Cell(cell + h * d));
                 }
@@ -449,16 +476,34 @@ mod tests {
     fn line_edges_have_boundary_deps() {
         let t = GuestTopology::Line { m: 10 };
         let l = t.deps(0);
-        assert!(matches!(l.as_slice()[0], Dep::Boundary { side: Side::West, .. }));
+        assert!(matches!(
+            l.as_slice()[0],
+            Dep::Boundary {
+                side: Side::West,
+                ..
+            }
+        ));
         let r = t.deps(9);
-        assert!(matches!(r.as_slice()[2], Dep::Boundary { side: Side::East, .. }));
+        assert!(matches!(
+            r.as_slice()[2],
+            Dep::Boundary {
+                side: Side::East,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn ring_wraps_with_no_boundaries() {
         let t = GuestTopology::Ring { m: 6 };
-        assert_eq!(t.deps(0).as_slice(), &[Dep::Cell(5), Dep::Cell(0), Dep::Cell(1)]);
-        assert_eq!(t.deps(5).as_slice(), &[Dep::Cell(4), Dep::Cell(5), Dep::Cell(0)]);
+        assert_eq!(
+            t.deps(0).as_slice(),
+            &[Dep::Cell(5), Dep::Cell(0), Dep::Cell(1)]
+        );
+        assert_eq!(
+            t.deps(5).as_slice(),
+            &[Dep::Cell(4), Dep::Cell(5), Dep::Cell(0)]
+        );
     }
 
     #[test]
@@ -483,8 +528,20 @@ mod tests {
         let t = GuestTopology::Mesh2D { w: 3, h: 3 };
         let d = t.deps(0); // (0,0)
         let slice = d.as_slice();
-        assert!(matches!(slice[0], Dep::Boundary { side: Side::West, offset: 0 }));
-        assert!(matches!(slice[1], Dep::Boundary { side: Side::North, offset: 0 }));
+        assert!(matches!(
+            slice[0],
+            Dep::Boundary {
+                side: Side::West,
+                offset: 0
+            }
+        ));
+        assert!(matches!(
+            slice[1],
+            Dep::Boundary {
+                side: Side::North,
+                offset: 0
+            }
+        ));
         assert_eq!(slice[2], Dep::Cell(0));
         assert_eq!(slice[3], Dep::Cell(1));
         assert_eq!(slice[4], Dep::Cell(3));
@@ -503,9 +560,12 @@ mod tests {
     #[test]
     fn binary_tree_deps() {
         let t = GuestTopology::BinaryTree { levels: 3 }; // 7 cells
-        // root: virtual parent, self, children 1 and 2
+                                                         // root: virtual parent, self, children 1 and 2
         let d = t.deps(0);
-        assert!(matches!(d.as_slice()[0], Dep::Boundary { side: Side::Up, .. }));
+        assert!(matches!(
+            d.as_slice()[0],
+            Dep::Boundary { side: Side::Up, .. }
+        ));
         assert_eq!(d.as_slice()[1], Dep::Cell(0));
         assert_eq!(d.as_slice()[2], Dep::Cell(1));
         assert_eq!(d.as_slice()[3], Dep::Cell(2));
@@ -516,8 +576,20 @@ mod tests {
         // leaf 6: parent 2, two virtual children
         let d = t.deps(6);
         assert_eq!(d.as_slice()[0], Dep::Cell(2));
-        assert!(matches!(d.as_slice()[2], Dep::Boundary { side: Side::Down, .. }));
-        assert!(matches!(d.as_slice()[3], Dep::Boundary { side: Side::Down, .. }));
+        assert!(matches!(
+            d.as_slice()[2],
+            Dep::Boundary {
+                side: Side::Down,
+                ..
+            }
+        ));
+        assert!(matches!(
+            d.as_slice()[3],
+            Dep::Boundary {
+                side: Side::Down,
+                ..
+            }
+        ));
         assert_eq!(t.num_cells(), 7);
         assert_eq!(t.max_deps(), 4);
     }

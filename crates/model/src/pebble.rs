@@ -90,7 +90,10 @@ impl PebbleGrid {
     #[inline]
     fn index(&self, id: PebbleId) -> usize {
         debug_assert!(id.cell < self.cells, "cell out of range: {id:?}");
-        debug_assert!(id.step >= 1 && id.step <= self.steps, "step out of range: {id:?}");
+        debug_assert!(
+            id.step >= 1 && id.step <= self.steps,
+            "step out of range: {id:?}"
+        );
         (id.step as usize - 1) * self.cells as usize + id.cell as usize
     }
 

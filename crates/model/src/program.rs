@@ -153,7 +153,13 @@ impl Program for RuleAutomaton {
         let state = db.consult(cell, step);
         let v = mix64(fold_deps(deps) ^ state);
         let slot = v % self.db_size.max(1) as u64;
-        (v, DbUpdate::Set { key: slot, value: v })
+        (
+            v,
+            DbUpdate::Set {
+                key: slot,
+                value: v,
+            },
+        )
     }
 
     fn db_kind(&self) -> DbKind {
@@ -239,9 +245,7 @@ impl Program for Histogram {
     }
 
     fn db_kind(&self) -> DbKind {
-        DbKind::Vec {
-            size: self.buckets,
-        }
+        DbKind::Vec { size: self.buckets }
     }
 
     fn name(&self) -> &'static str {
@@ -349,7 +353,10 @@ mod tests {
             // Perturb every slot a Vec db might be consulted on, plus the
             // counter/kv state.
             for k in 0..4 {
-                db.apply(&DbUpdate::Set { key: k, value: 77 ^ k });
+                db.apply(&DbUpdate::Set {
+                    key: k,
+                    value: 77 ^ k,
+                });
             }
             let after = p.compute(1, 2, &db, &[1, 2, 3]);
             assert_ne!(before, after, "{} must read the database", p.name());
@@ -383,7 +390,10 @@ mod tests {
             db.apply(&u);
             v = nv;
         }
-        assert!(adds > 0 && sets > 0 && removes > 0, "{adds}/{sets}/{removes}");
+        assert!(
+            adds > 0 && sets > 0 && removes > 0,
+            "{adds}/{sets}/{removes}"
+        );
     }
 
     #[test]

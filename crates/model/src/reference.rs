@@ -70,8 +70,7 @@ impl ReferenceRun {
                 }
                 let (v, u) = program.compute(c, t, &dbs[c as usize], &deps_buf);
                 dbs[c as usize].apply(&u);
-                update_log_digest[c as usize] =
-                    fold64(update_log_digest[c as usize], u.digest());
+                update_log_digest[c as usize] = fold64(update_log_digest[c as usize], u.digest());
                 cur[c as usize] = v;
                 grid.set(PebbleId::new(c, t), v);
             }
@@ -162,7 +161,13 @@ mod tests {
 
     #[test]
     fn mesh_reference_runs() {
-        let t = ReferenceRun::execute(&GuestSpec::mesh(4, 4, ProgramKind::RuleAutomaton { db_size: 8 }, 9, 5));
+        let t = ReferenceRun::execute(&GuestSpec::mesh(
+            4,
+            4,
+            ProgramKind::RuleAutomaton { db_size: 8 },
+            9,
+            5,
+        ));
         assert_eq!(t.work, 80);
         assert_eq!(t.final_db_digest.len(), 16);
     }

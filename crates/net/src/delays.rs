@@ -206,9 +206,24 @@ mod tests {
         let labels = [
             DelayModel::constant(2).label(),
             DelayModel::uniform(1, 2).label(),
-            DelayModel::Bimodal { lo: 1, hi: 2, p_hi: 0.5 }.label(),
-            DelayModel::HeavyTail { min: 1, alpha: 1.0, cap: 10 }.label(),
-            DelayModel::Spike { base: 1, spike: 2, period: 3 }.label(),
+            DelayModel::Bimodal {
+                lo: 1,
+                hi: 2,
+                p_hi: 0.5,
+            }
+            .label(),
+            DelayModel::HeavyTail {
+                min: 1,
+                alpha: 1.0,
+                cap: 10,
+            }
+            .label(),
+            DelayModel::Spike {
+                base: 1,
+                spike: 2,
+                period: 3,
+            }
+            .label(),
         ];
         for i in 0..labels.len() {
             for j in 0..labels.len() {

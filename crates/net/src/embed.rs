@@ -107,22 +107,38 @@ fn t3_hamiltonian_order(tree: &SpanningTree) -> Vec<NodeId> {
                 let (first, second) = if !rev {
                     (
                         match x2 {
-                            Some(x2) => Task::Path { x, y: x2, rev: false },
+                            Some(x2) => Task::Path {
+                                x,
+                                y: x2,
+                                rev: false,
+                            },
                             None => Task::Single(x),
                         },
                         match y2 {
-                            Some(y2) => Task::Path { x: y, y: y2, rev: true },
+                            Some(y2) => Task::Path {
+                                x: y,
+                                y: y2,
+                                rev: true,
+                            },
                             None => Task::Single(y),
                         },
                     )
                 } else {
                     (
                         match y2 {
-                            Some(y2) => Task::Path { x: y, y: y2, rev: false },
+                            Some(y2) => Task::Path {
+                                x: y,
+                                y: y2,
+                                rev: false,
+                            },
                             None => Task::Single(y),
                         },
                         match x2 {
-                            Some(x2) => Task::Path { x, y: x2, rev: true },
+                            Some(x2) => Task::Path {
+                                x,
+                                y: x2,
+                                rev: true,
+                            },
                             None => Task::Single(x),
                         },
                     )
@@ -155,7 +171,11 @@ pub fn embed_linear_array(g: &HostGraph) -> LineEmbedding {
     assert!(g.num_nodes() > 0, "cannot embed into an empty host");
     let tree = bfs_tree(g, 0);
     let order = t3_hamiltonian_order(&tree);
-    assert_eq!(order.len() as u32, g.num_nodes(), "order must be a permutation");
+    assert_eq!(
+        order.len() as u32,
+        g.num_nodes(),
+        "order must be a permutation"
+    );
 
     let mut pos = vec![u32::MAX; g.num_nodes() as usize];
     for (i, &v) in order.iter().enumerate() {
@@ -171,10 +191,7 @@ pub fn embed_linear_array(g: &HostGraph) -> LineEmbedding {
         dilation = dilation.max(hops);
         let delay: Delay = path
             .windows(2)
-            .map(|e| {
-                g.link_delay(e[0], e[1])
-                    .expect("tree edges are host links")
-            })
+            .map(|e| g.link_delay(e[0], e[1]).expect("tree edges are host links"))
             .sum::<Delay>()
             .max(1);
         array_delays.push(delay);

@@ -167,10 +167,15 @@ pub fn random_regular(n: u32, deg: u32, delays: DelayModel, seed: u64) -> HostGr
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     assert!(deg >= 2 && deg < n, "degree must be in [2, n)");
-    assert!((n as u64 * deg as u64).is_multiple_of(2), "n*deg must be even");
+    assert!(
+        (n as u64 * deg as u64).is_multiple_of(2),
+        "n*deg must be even"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     'retry: for _attempt in 0..1000 {
-        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, deg as usize)).collect();
+        let mut stubs: Vec<NodeId> = (0..n)
+            .flat_map(|v| std::iter::repeat_n(v, deg as usize))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut g = HostGraph::new(format!("rreg({n},{deg},{})", delays.label()), n);
         let mut idx = 0u64;
@@ -220,11 +225,16 @@ pub fn geometric(n: u32, radius: f64, max_delay: Delay, seed: u64) -> HostGraph 
     assert!(n >= 2 && radius > 0.0 && max_delay >= 1);
     for attempt in 0..200u64 {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt * 0x9e37));
-        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let mut g = HostGraph::new(format!("geo({n},r={radius})"), n);
         for a in 0..n {
             for b in (a + 1)..n {
-                let (dx, dy) = (pts[a as usize].0 - pts[b as usize].0, pts[a as usize].1 - pts[b as usize].1);
+                let (dx, dy) = (
+                    pts[a as usize].0 - pts[b as usize].0,
+                    pts[a as usize].1 - pts[b as usize].1,
+                );
                 let dist = (dx * dx + dy * dy).sqrt();
                 if dist <= radius {
                     let delay = ((dist / radius) * (max_delay as f64 - 1.0)).round() as Delay + 1;
@@ -577,12 +587,7 @@ mod tests {
     fn h2_edge_inventory_matches_paper() {
         // "a level ℓ box contains 2^ℓ edges of delay d"
         let h = h2_recursive_boxes(4096);
-        let delay_d_edges = h
-            .graph
-            .links()
-            .iter()
-            .filter(|l| l.delay == h.d)
-            .count() as u64;
+        let delay_d_edges = h.graph.links().iter().filter(|l| l.delay == h.d).count() as u64;
         assert_eq!(delay_d_edges, 1 << h.k);
         // segments: one per internal level-ℓ junction: 2^(k-ℓ) of level ℓ
         for l in 1..=h.k {

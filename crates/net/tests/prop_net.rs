@@ -3,9 +3,7 @@
 use overlap_net::embed::embed_linear_array;
 use overlap_net::paths::dijkstra;
 use overlap_net::spanning::bfs_tree;
-use overlap_net::topology::{
-    h2_recursive_boxes, linear_array, mesh2d, random_regular, ring,
-};
+use overlap_net::topology::{h2_recursive_boxes, linear_array, mesh2d, random_regular, ring};
 use overlap_net::DelayModel;
 use proptest::prelude::*;
 

@@ -163,11 +163,7 @@ mod tests {
     #[test]
     fn roundtrip_between_representations() {
         let a = Assignment::from_cells_of(3, 4, vec![vec![0, 1], vec![1, 2], vec![3]]);
-        let b = Assignment::from_holders(
-            3,
-            4,
-            vec![vec![0], vec![0, 1], vec![1], vec![2]],
-        );
+        let b = Assignment::from_holders(3, 4, vec![vec![0], vec![0, 1], vec![1], vec![2]]);
         assert_eq!(a, b);
     }
 

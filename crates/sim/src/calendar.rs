@@ -280,7 +280,9 @@ mod tests {
         let mut seq = 0u64;
         let mut rng = 0x1234_5678_9abc_def0u64;
         let mut next = |m: u64| {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng >> 33) % m
         };
         let mut now = 0u64;

@@ -24,8 +24,8 @@
 //!
 //! # Hot-path layout
 //!
-//! All identity resolution is interned into dense index tables at
-//! [`Engine::new`] (`Hot`): per-(processor, cell) dependency gather and
+//! All identity resolution is interned into dense index tables when the
+//! [`ExecPlan`] is lowered: per-(processor, cell) dependency gather and
 //! readiness-check lists, per-subscription link-id arrays, per-tree-edge
 //! link ids, and per-copy outbound route lists. The steady-state loop
 //! performs no `HashMap` probes, no `Dep` matching, and no allocation:
@@ -38,13 +38,13 @@ use crate::assignment::Assignment;
 use crate::bandwidth::BandwidthMode;
 use crate::calendar::CalendarQueue;
 use crate::faults::{FaultMark, FaultMarkKind, FaultPlan, FaultRt};
-use crate::multicast::MulticastTable;
+use crate::plan::{DepSrc, ExecPlan, ProcTables, Routes, SUB_BIT};
 use crate::routing::RoutingTable;
 use crate::stats::{FaultStats, RunStats};
 use crate::trace::{MsgKey, NoopTracer, ReadyCause, StallTracer, TraceConfig, TraceReport, Tracer};
-use overlap_model::{fold64, Db, Dep, GuestSpec, PebbleValue, ProgramRef, Side};
+use overlap_model::{fold64, Db, GuestSpec, PebbleValue, ProgramRef};
 use overlap_net::paths::dijkstra;
-use overlap_net::{Delay, HostGraph, NodeId};
+use overlap_net::{HostGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -153,6 +153,14 @@ pub enum RunError {
         /// Tick of the fatal crash.
         tick: u64,
     },
+    /// A routing table references a host link that does not exist
+    /// (malformed route; previously a panic in `lockstep::round_cost`).
+    MissingLink {
+        /// Claimed link source.
+        from: NodeId,
+        /// Claimed link destination.
+        to: NodeId,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -169,10 +177,10 @@ impl std::fmt::Display for RunError {
                 write!(f, "retries exhausted on downed link {link} at tick {tick}")
             }
             RunError::ColumnLost { cell, tick } => {
-                write!(
-                    f,
-                    "column {cell} lost every database copy at tick {tick}"
-                )
+                write!(f, "column {cell} lost every database copy at tick {tick}")
+            }
+            RunError::MissingLink { from, to } => {
+                write!(f, "route uses non-existent host link {from} -> {to}")
             }
         }
     }
@@ -348,252 +356,6 @@ enum Ev {
     Crash { proc: NodeId },
 }
 
-/// Marks a readiness-check entry as a subscription (vs. held-cell) index.
-const SUB_BIT: u32 = 1 << 31;
-
-/// Where one dependency-gather slot reads its value from: resolved once at
-/// `Engine::new`, so the per-event gather is pure array indexing.
-#[derive(Debug, Clone, Copy)]
-enum DepSrc {
-    /// Virtual boundary column (computed on the fly).
-    Boundary { side: Side, offset: u32 },
-    /// Held cell `own index` on the same processor (previous step).
-    Own(u32),
-    /// Subscribed column `dep index` (receive buffer, previous step).
-    Sub(u32),
-}
-
-/// Immutable per-processor lookup tables (flattened CSR-style: `xs[off[i]
-/// .. off[i+1]]` are the entries of held cell `i`).
-struct ProcTables {
-    /// Held cells (sorted).
-    cells: Vec<u32>,
-    /// Subscribed dependency columns, in inbound order.
-    dep_cells: Vec<u32>,
-    /// Dependency sources per held cell, in canonical dependency order.
-    gather: Vec<DepSrc>,
-    gather_off: Vec<u32>,
-    /// Readiness checks per held cell: non-self cell dependencies, encoded
-    /// as `own index` or `dep index | SUB_BIT`.
-    checks: Vec<u32>,
-    check_off: Vec<u32>,
-    /// For each held cell: held cells whose pebbles depend on it.
-    own_dependents: Vec<u32>,
-    own_dep_off: Vec<u32>,
-    /// For each dependency column: held cells depending on it.
-    dep_dependents: Vec<u32>,
-    dep_dep_off: Vec<u32>,
-}
-
-/// All interned hot-path tables, built once per engine.
-struct Hot {
-    /// Delay per directed link id.
-    link_delay: Vec<Delay>,
-    /// Per-processor dependency tables.
-    procs: Vec<ProcTables>,
-    /// Global copy id of processor `p`'s first copy (prefix sums).
-    copy_off: Vec<u32>,
-    /// Outbound route ids (sub ids or tree ids) per copy:
-    /// `out_ids[out_off[copy] .. out_off[copy+1]]`.
-    out_ids: Vec<u32>,
-    out_off: Vec<u32>,
-    /// Per subscription: directed link ids along the route (hop `h` uses
-    /// `sub_links[sub_link_off[sid] + h]`).
-    sub_links: Vec<u32>,
-    sub_link_off: Vec<u32>,
-    /// Per subscription: consumer processor and its dep-column index.
-    sub_dest: Vec<u32>,
-    sub_dest_dep: Vec<u32>,
-    /// Per tree, per node: link id of the parent→node edge (`u32::MAX` at
-    /// the root).
-    tree_edge_lid: Vec<Vec<u32>>,
-    /// Per tree, per node: dep-column index at the node's processor if the
-    /// node is a delivery target, else `u32::MAX`.
-    tree_deliver_dep: Vec<Vec<u32>>,
-}
-
-impl Hot {
-    fn build(guest: &GuestSpec, host: &HostGraph, assign: &Assignment, routes: &Routes) -> Self {
-        let n = host.num_nodes();
-        let topo = guest.topology;
-
-        // Directed link ids: forward 2i, reverse 2i+1, in host.links()
-        // order. Jitter phases depend on the id, so this order is part of
-        // the determinism contract with the classic engine.
-        let mut link_ids: HashMap<(NodeId, NodeId), u32> = HashMap::new();
-        let mut link_delay: Vec<Delay> = Vec::new();
-        for l in host.links() {
-            for (u, v) in [(l.a, l.b), (l.b, l.a)] {
-                link_ids.insert((u, v), link_delay.len() as u32);
-                link_delay.push(l.delay);
-            }
-        }
-
-        // Per-processor dependency tables.
-        let mut procs: Vec<ProcTables> = Vec::with_capacity(n as usize);
-        let mut copy_off: Vec<u32> = Vec::with_capacity(n as usize + 1);
-        copy_off.push(0);
-        for p in 0..n {
-            let cells = assign.cells_of(p).to_vec();
-            let own_pos: HashMap<u32, u32> = cells
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| (c, i as u32))
-                .collect();
-            let dep_cells: Vec<u32> = routes
-                .inbound(p as usize)
-                .iter()
-                .map(|&(c, _)| c)
-                .collect();
-            let dep_pos: HashMap<u32, u32> = dep_cells
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| (c, i as u32))
-                .collect();
-            let mut gather = Vec::new();
-            let mut gather_off = vec![0u32];
-            let mut checks = Vec::new();
-            let mut check_off = vec![0u32];
-            let mut own_dependents_v: Vec<Vec<u32>> = vec![Vec::new(); cells.len()];
-            let mut dep_dependents_v: Vec<Vec<u32>> = vec![Vec::new(); dep_cells.len()];
-            for (i, &c) in cells.iter().enumerate() {
-                for d in topo.deps(c).iter() {
-                    match d {
-                        Dep::Boundary { side, offset } => {
-                            gather.push(DepSrc::Boundary { side, offset })
-                        }
-                        Dep::Cell(c2) => {
-                            if let Some(&j) = own_pos.get(&c2) {
-                                gather.push(DepSrc::Own(j));
-                                if c2 != c {
-                                    checks.push(j);
-                                    own_dependents_v[j as usize].push(i as u32);
-                                }
-                            } else if let Some(&k) = dep_pos.get(&c2) {
-                                gather.push(DepSrc::Sub(k));
-                                checks.push(k | SUB_BIT);
-                                dep_dependents_v[k as usize].push(i as u32);
-                            } else {
-                                unreachable!(
-                                    "cell {c2} needed by {c} on proc {p} neither held nor subscribed"
-                                );
-                            }
-                        }
-                    }
-                }
-                gather_off.push(gather.len() as u32);
-                check_off.push(checks.len() as u32);
-            }
-            let flatten = |vs: Vec<Vec<u32>>| {
-                let mut flat = Vec::new();
-                let mut off = vec![0u32];
-                for v in vs {
-                    flat.extend_from_slice(&v);
-                    off.push(flat.len() as u32);
-                }
-                (flat, off)
-            };
-            let (own_dependents, own_dep_off) = flatten(own_dependents_v);
-            let (dep_dependents, dep_dep_off) = flatten(dep_dependents_v);
-            copy_off.push(copy_off.last().unwrap() + cells.len() as u32);
-            procs.push(ProcTables {
-                cells,
-                dep_cells,
-                gather,
-                gather_off,
-                checks,
-                check_off,
-                own_dependents,
-                own_dep_off,
-                dep_dependents,
-                dep_dep_off,
-            });
-        }
-
-        // Outbound route ids per copy, from the build-time by-cell index.
-        let mut out_ids: Vec<u32> = Vec::new();
-        let mut out_off: Vec<u32> = vec![0];
-        for (p, pt) in procs.iter().enumerate() {
-            let by_cell = match routes {
-                Routes::Unicast(rt) => &rt.outbound_by_cell[p],
-                Routes::Multicast(mt) => &mt.outbound_by_cell[p],
-            };
-            for &c in &pt.cells {
-                if let Ok(ix) = by_cell.binary_search_by_key(&c, |&(cell, _)| cell) {
-                    out_ids.extend_from_slice(&by_cell[ix].1);
-                }
-                out_off.push(out_ids.len() as u32);
-            }
-        }
-
-        // Per-subscription link-id arrays and delivery targets.
-        let mut sub_links: Vec<u32> = Vec::new();
-        let mut sub_link_off: Vec<u32> = vec![0];
-        let mut sub_dest: Vec<u32> = Vec::new();
-        let mut sub_dest_dep: Vec<u32> = Vec::new();
-        if let Routes::Unicast(rt) = routes {
-            for sub in &rt.subs {
-                for w in sub.path.windows(2) {
-                    sub_links.push(link_ids[&(w[0], w[1])]);
-                }
-                sub_link_off.push(sub_links.len() as u32);
-                sub_dest.push(sub.dest);
-                let k = rt.inbound[sub.dest as usize]
-                    .iter()
-                    .position(|&(c, _)| c == sub.cell)
-                    .expect("subscription registered inbound");
-                sub_dest_dep.push(k as u32);
-            }
-        }
-
-        // Per-tree-edge link ids and per-node delivery targets.
-        let mut tree_edge_lid: Vec<Vec<u32>> = Vec::new();
-        let mut tree_deliver_dep: Vec<Vec<u32>> = Vec::new();
-        if let Routes::Multicast(mt) = routes {
-            for t in &mt.trees {
-                let mut lids = vec![u32::MAX; t.nodes.len()];
-                for (v, &pa) in t.parent.iter().enumerate() {
-                    if pa != u32::MAX {
-                        lids[v] = link_ids[&(t.nodes[pa as usize], t.nodes[v])];
-                    }
-                }
-                let deliver_dep = t
-                    .nodes
-                    .iter()
-                    .zip(&t.deliver)
-                    .map(|(&v, &del)| {
-                        if del {
-                            mt.inbound[v as usize]
-                                .iter()
-                                .position(|&(c, _)| c == t.cell)
-                                .expect("delivery registered inbound")
-                                as u32
-                        } else {
-                            u32::MAX
-                        }
-                    })
-                    .collect();
-                tree_edge_lid.push(lids);
-                tree_deliver_dep.push(deliver_dep);
-            }
-        }
-
-        Self {
-            link_delay,
-            procs,
-            copy_off,
-            out_ids,
-            out_off,
-            sub_links,
-            sub_link_off,
-            sub_dest,
-            sub_dest_dep,
-            tree_edge_lid,
-            tree_deliver_dep,
-        }
-    }
-}
-
 /// Mutable per-processor run state. Step-indexed arrays are flat with
 /// stride `steps + 1` (index 0 = initial value).
 struct ProcState {
@@ -629,32 +391,6 @@ struct ProcState {
 pub(crate) struct LinkSlot {
     tick: u64,
     count: u32,
-}
-
-/// Which route structure a run uses.
-enum Routes {
-    Unicast(RoutingTable),
-    Multicast(MulticastTable),
-}
-
-impl Routes {
-    fn inbound(&self, p: usize) -> &[(u32, u32)] {
-        match self {
-            Routes::Unicast(r) => &r.inbound[p],
-            Routes::Multicast(m) => &m.inbound[p],
-        }
-    }
-
-    fn num_subscriptions(&self) -> usize {
-        match self {
-            Routes::Unicast(r) => r.num_subscriptions(),
-            Routes::Multicast(m) => m
-                .trees
-                .iter()
-                .map(|t| t.deliver.iter().filter(|&&d| d).count())
-                .sum(),
-        }
-    }
 }
 
 /// Is held cell `i` ready to compute its next step? Pure table walk over
@@ -728,66 +464,94 @@ fn deliver<T: Tracer>(
     }
     for idx in pt.dep_dep_off[k] as usize..pt.dep_dep_off[k + 1] as usize {
         let j = pt.dep_dependents[idx] as usize;
-        try_enqueue(pt, st, j, steps, proc, tick, ReadyCause::Delivered(msg), tracer);
+        try_enqueue(
+            pt,
+            st,
+            j,
+            steps,
+            proc,
+            tick,
+            ReadyCause::Delivered(msg),
+            tracer,
+        );
     }
 }
 
 /// The simulator: executes a guest under a database assignment on a host
 /// NOW, cycle-accurately (see the module docs for the exact semantics).
+///
+/// All lowering lives in [`ExecPlan`]: [`Engine::new`] builds a private
+/// plan for one-shot runs, while [`Engine::from_plan`] borrows a shared
+/// one so sweeps amortize the lowering across repeats, engines, and fault
+/// variants.
 pub struct Engine<'a> {
-    guest: &'a GuestSpec,
-    host: &'a HostGraph,
-    assign: &'a Assignment,
-    routing: Option<Routes>,
-    hot: Option<Hot>,
-    config: EngineConfig,
+    /// The lowered plan, or the lowering error reported when the engine
+    /// runs (incomplete assignment).
+    plan: Result<PlanRef<'a>, RunError>,
+    /// Processor count, kept for cost-table validation.
+    nprocs: u32,
     /// Ticks per pebble per processor (default all 1): models NOWs that
     /// mix workstation generations. Beyond the paper's unit-speed model.
+    /// Overrides the plan's cost table when set.
     compute_costs: Option<Vec<u32>>,
     /// Deterministic fault schedule; `None` or an empty plan takes the
     /// fault-free fast path (bit-identical to the plain engine).
+    /// Overrides the plan's fault schedule when set.
     faults: Option<FaultPlan>,
+}
+
+/// An owned or borrowed execution plan (boxed when owned: the lowered
+/// tables are large, and `Engine` moves by value through the builder).
+enum PlanRef<'a> {
+    Owned(Box<ExecPlan<'a>>),
+    Shared(&'a ExecPlan<'a>),
+}
+
+impl<'a> PlanRef<'a> {
+    fn get(&self) -> &ExecPlan<'a> {
+        match self {
+            PlanRef::Owned(p) => p,
+            PlanRef::Shared(p) => p,
+        }
+    }
 }
 
 /// A runtime re-subscription created when a holder crashed: `source`
 /// streams `cell` to `dest` over `links` (directed link ids in route
 /// order), delivering into the consumer's dependency slot `dest_dep`.
-struct DynSub {
-    cell: u32,
-    source: NodeId,
-    dest: NodeId,
-    dest_dep: u32,
-    links: Vec<u32>,
+pub(crate) struct DynSub {
+    pub(crate) cell: u32,
+    pub(crate) source: NodeId,
+    pub(crate) dest: NodeId,
+    pub(crate) dest_dep: u32,
+    pub(crate) links: Vec<u32>,
 }
 
 impl<'a> Engine<'a> {
-    /// Create an engine. The routing and interning tables are built
-    /// eagerly when the assignment covers every cell; otherwise `run`
-    /// reports [`RunError::IncompleteAssignment`].
+    /// Create an engine, lowering a private [`ExecPlan`]. When the
+    /// assignment misses cells the error is deferred: `run` reports
+    /// [`RunError::IncompleteAssignment`].
     pub fn new(
         guest: &'a GuestSpec,
         host: &'a HostGraph,
         assign: &'a Assignment,
         config: EngineConfig,
     ) -> Self {
-        let (routing, hot) = if assign.is_complete() {
-            let routes = if config.multicast {
-                Routes::Multicast(MulticastTable::build(host, &guest.topology, assign))
-            } else {
-                Routes::Unicast(RoutingTable::build(host, &guest.topology, assign))
-            };
-            let hot = Hot::build(guest, host, assign, &routes);
-            (Some(routes), Some(hot))
-        } else {
-            (None, None)
-        };
         Self {
-            guest,
-            host,
-            assign,
-            routing,
-            hot,
-            config,
+            plan: ExecPlan::build(guest, host, assign, config).map(|p| PlanRef::Owned(Box::new(p))),
+            nprocs: host.num_nodes(),
+            compute_costs: None,
+            faults: None,
+        }
+    }
+
+    /// Execute a pre-lowered plan. The plan's compute costs and fault
+    /// schedule apply unless overridden on this engine, so one plan can be
+    /// shared across repeats, engines, and fault variants.
+    pub fn from_plan(plan: &'a ExecPlan<'a>) -> Self {
+        Self {
+            nprocs: plan.host().num_nodes(),
+            plan: Ok(PlanRef::Shared(plan)),
             compute_costs: None,
             faults: None,
         }
@@ -797,7 +561,7 @@ impl<'a> Engine<'a> {
     /// Models heterogeneous workstation speeds — an extension beyond the
     /// paper's unit-speed processors.
     pub fn with_compute_costs(mut self, costs: Vec<u32>) -> Self {
-        assert_eq!(costs.len() as u32, self.host.num_nodes());
+        assert_eq!(costs.len() as u32, self.nprocs);
         assert!(costs.iter().all(|&c| c >= 1), "costs must be ≥ 1");
         self.compute_costs = Some(costs);
         self
@@ -816,10 +580,7 @@ impl<'a> Engine<'a> {
     /// Access the unicast routing table (for reporting). `None` when the
     /// assignment is incomplete or the engine runs in multicast mode.
     pub fn routing(&self) -> Option<&RoutingTable> {
-        match self.routing.as_ref() {
-            Some(Routes::Unicast(r)) => Some(r),
-            _ => None,
-        }
+        self.plan.as_ref().ok().and_then(|p| p.get().routing())
     }
 
     /// Execute the simulation.
@@ -835,11 +596,11 @@ impl<'a> Engine<'a> {
     ///
     /// [`run`]: Engine::run
     pub fn run_traced(&self, cfg: TraceConfig) -> Result<RunOutcome, RunError> {
-        let uncovered = self.assign.uncovered_cells();
-        if !uncovered.is_empty() {
-            return Err(RunError::IncompleteAssignment(uncovered));
-        }
-        let hot = self.hot.as_ref().expect("complete assignment has tables");
+        let plan = match &self.plan {
+            Ok(p) => p.get(),
+            Err(e) => return Err(e.clone()),
+        };
+        let hot = &plan.hot;
         let cid_of = |proc: NodeId, cell: u32| -> u32 {
             let p = proc as usize;
             let pos = hot.procs[p]
@@ -848,7 +609,7 @@ impl<'a> Engine<'a> {
                 .expect("route source holds its cell");
             hot.copy_off[p] + pos as u32
         };
-        let (sub_src, tree_src) = match self.routing.as_ref().unwrap() {
+        let (sub_src, tree_src) = match &plan.routes {
             Routes::Unicast(rt) => (
                 rt.subs.iter().map(|s| cid_of(s.source, s.cell)).collect(),
                 Vec::new(),
@@ -860,7 +621,7 @@ impl<'a> Engine<'a> {
         };
         let mut tracer = StallTracer::new(
             cfg,
-            self.guest.steps,
+            plan.guest.steps,
             hot.copy_off.clone(),
             sub_src,
             tree_src,
@@ -878,19 +639,19 @@ impl<'a> Engine<'a> {
     /// monomorphized untraced engine schedules bit-identical events to the
     /// pre-tracing engine (pinned by the golden determinism tests).
     pub fn run_with_tracer<T: Tracer>(&self, tracer: &mut T) -> Result<RunOutcome, RunError> {
-        let uncovered = self.assign.uncovered_cells();
-        if !uncovered.is_empty() {
-            return Err(RunError::IncompleteAssignment(uncovered));
-        }
-        let routing = self.routing.as_ref().expect("complete assignment has routing");
-        let hot = self.hot.as_ref().expect("complete assignment has tables");
-        let n = self.host.num_nodes();
-        let steps = self.guest.steps;
+        let plan = match &self.plan {
+            Ok(p) => p.get(),
+            Err(e) => return Err(e.clone()),
+        };
+        let routing = &plan.routes;
+        let hot = &plan.hot;
+        let n = plan.host.num_nodes();
+        let steps = plan.guest.steps;
         let stride = steps as usize + 1;
-        let program: ProgramRef = self.guest.program.instantiate();
-        let boundary = self.guest.boundary();
-        let bw = self.config.bandwidth.per_tick(n) as u64;
-        let record_timing = self.config.record_timing;
+        let program: ProgramRef = plan.guest.program.instantiate();
+        let boundary = plan.guest.boundary();
+        let bw = plan.config.bandwidth.per_tick(n) as u64;
+        let record_timing = plan.config.record_timing;
         let kind = program.db_kind();
 
         // ---- per-processor mutable state ----
@@ -902,12 +663,12 @@ impl<'a> Engine<'a> {
                 let nd = pt.dep_cells.len();
                 let mut history = vec![0 as PebbleValue; nc * stride];
                 for (i, &c) in pt.cells.iter().enumerate() {
-                    history[i * stride] = self.guest.initial_value(c);
+                    history[i * stride] = plan.guest.initial_value(c);
                 }
                 let mut dep_values = vec![0 as PebbleValue; nd * stride];
                 let mut dep_have = vec![false; nd * stride];
                 for (k, &c) in pt.dep_cells.iter().enumerate() {
-                    dep_values[k * stride] = self.guest.initial_value(c);
+                    dep_values[k * stride] = plan.guest.initial_value(c);
                     dep_have[k * stride] = true;
                 }
                 ProcState {
@@ -916,13 +677,15 @@ impl<'a> Engine<'a> {
                     dbs: pt
                         .cells
                         .iter()
-                        .map(|&c| kind.instantiate(c, self.guest.seed))
+                        .map(|&c| kind.instantiate(c, plan.guest.seed))
                         .collect(),
                     value_fold: vec![0xF01Du64; nc],
                     update_fold: vec![0xD16u64; nc],
                     finished_at: vec![0; nc],
                     times: if record_timing {
-                        (0..nc).map(|_| Vec::with_capacity(steps as usize)).collect()
+                        (0..nc)
+                            .map(|_| Vec::with_capacity(steps as usize))
+                            .collect()
                     } else {
                         vec![Vec::new(); nc]
                     },
@@ -943,8 +706,8 @@ impl<'a> Engine<'a> {
         // ---- fault runtime (compiled only for a non-empty plan, so the
         // fault-free path schedules the exact same events in the exact
         // same order as an engine without a plan) ----
-        let frt: Option<FaultRt> = match &self.faults {
-            Some(plan) if !plan.is_empty() => Some(FaultRt::build(plan, self.host)),
+        let frt: Option<FaultRt> = match self.faults.as_ref().or(plan.faults.as_ref()) {
+            Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, plan.host)),
             _ => None,
         };
         let n_orig_subs = hot.sub_link_off.len() - 1;
@@ -986,11 +749,10 @@ impl<'a> Engine<'a> {
                 link_traffic[lid as usize] += 1;
                 let depart = inject(&mut link_slots[lid as usize], $now, bw);
                 tracer.on_link_inject(lid, depart);
-                let base = self.config.jitter.effective(
-                    hot.link_delay[lid as usize],
-                    lid,
-                    depart,
-                );
+                let base = plan
+                    .config
+                    .jitter
+                    .effective(hot.link_delay[lid as usize], lid, depart);
                 match frt.as_ref() {
                     None => sched!(
                         depart + base,
@@ -1060,11 +822,10 @@ impl<'a> Engine<'a> {
                 link_traffic[lid as usize] += 1;
                 let depart = inject(&mut link_slots[lid as usize], $now, bw);
                 tracer.on_link_inject(lid, depart);
-                let base = self.config.jitter.effective(
-                    hot.link_delay[lid as usize],
-                    lid,
-                    depart,
-                );
+                let base = plan
+                    .config
+                    .jitter
+                    .effective(hot.link_delay[lid as usize], lid, depart);
                 match frt.as_ref() {
                     None => sched!(
                         depart + base,
@@ -1149,12 +910,11 @@ impl<'a> Engine<'a> {
         let mut pebble_hops = 0u64;
         let mut events_processed = 0u64;
 
-        let cost_of = |p: usize| -> u64 {
-            self.compute_costs
-                .as_ref()
-                .map(|c| c[p] as u64)
-                .unwrap_or(1)
-        };
+        let costs = self
+            .compute_costs
+            .as_deref()
+            .or(plan.compute_costs.as_deref());
+        let cost_of = |p: usize| -> u64 { costs.map(|c| c[p] as u64).unwrap_or(1) };
 
         // Seed: enqueue every initially-ready pebble and start processors.
         for (p, (pt, st)) in hot.procs.iter().zip(state.iter_mut()).enumerate() {
@@ -1174,12 +934,12 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let mut deps_buf: Vec<PebbleValue> = Vec::with_capacity(self.guest.topology.max_deps());
+        let mut deps_buf: Vec<PebbleValue> = Vec::with_capacity(plan.guest.topology.max_deps());
 
         // ---- main loop ----
         while let Some((tick, ev)) = queue.pop() {
-            if tick > self.config.max_ticks {
-                return Err(RunError::TickLimit(self.config.max_ticks));
+            if tick > plan.config.max_ticks {
+                return Err(RunError::TickLimit(plan.config.max_ticks));
             }
             if remaining == 0 {
                 break;
@@ -1242,7 +1002,8 @@ impl<'a> Engine<'a> {
                     // Stream to subscribers: the per-copy route list holds
                     // exactly this column's routes, in classic scan order.
                     let cid = hot.copy_off[p] as usize + i;
-                    let routes = &hot.out_ids[hot.out_off[cid] as usize..hot.out_off[cid + 1] as usize];
+                    let routes =
+                        &hot.out_ids[hot.out_off[cid] as usize..hot.out_off[cid + 1] as usize];
                     match routing {
                         Routes::Unicast(_) => {
                             for &sid in routes {
@@ -1268,8 +1029,7 @@ impl<'a> Engine<'a> {
                     if !dyn_out.is_empty() {
                         for &dsid in &dyn_out[cid] {
                             messages += 1;
-                            pebble_hops +=
-                                dyn_subs[dsid as usize - n_orig_subs].links.len() as u64;
+                            pebble_hops += dyn_subs[dsid as usize - n_orig_subs].links.len() as u64;
                             send_sub_hop!(tick, dsid, 1u16, s, v, 0u32);
                         }
                     }
@@ -1287,10 +1047,7 @@ impl<'a> Engine<'a> {
                             if let Some(Reverse((_s, j))) = st.ready.pop() {
                                 st.busy = true;
                                 tracer.on_start(proc, j, _s, tick);
-                                sched!(
-                                    tick + cost_of(p),
-                                    Ev::ComputeDone { proc, own_idx: j }
-                                );
+                                sched!(tick + cost_of(p), Ev::ComputeDone { proc, own_idx: j });
                             }
                         }
                     }
@@ -1452,11 +1209,7 @@ impl<'a> Engine<'a> {
 
                     // A column whose every copy is gone is unrecoverable.
                     for &c in &pt.cells {
-                        let alive = self
-                            .assign
-                            .holders(c)
-                            .iter()
-                            .any(|&q| !crashed[q as usize]);
+                        let alive = plan.assign.holders(c).iter().any(|&q| !crashed[q as usize]);
                         if !alive {
                             return Err(RunError::ColumnLost { cell: c, tick });
                         }
@@ -1471,11 +1224,7 @@ impl<'a> Engine<'a> {
                         Routes::Unicast(rt) => {
                             for (sid, sub) in rt.subs.iter().enumerate() {
                                 if sub.source == proc && !crashed[sub.dest as usize] {
-                                    orphans.push((
-                                        sub.cell,
-                                        sub.dest,
-                                        hot.sub_dest_dep[sid],
-                                    ));
+                                    orphans.push((sub.cell, sub.dest, hot.sub_dest_dep[sid]));
                                 }
                             }
                         }
@@ -1503,8 +1252,7 @@ impl<'a> Engine<'a> {
                     }
 
                     if !orphans.is_empty() && dyn_out.is_empty() {
-                        dyn_out =
-                            vec![Vec::new(); *hot.copy_off.last().unwrap() as usize];
+                        dyn_out = vec![Vec::new(); *hot.copy_off.last().unwrap() as usize];
                     }
                     // One Dijkstra per distinct consumer (consumer-rooted:
                     // the host is undirected, so the reversed path serves
@@ -1514,8 +1262,8 @@ impl<'a> Engine<'a> {
                     for (cell, dest, dest_dep) in orphans {
                         let sp = sp_cache
                             .entry(dest)
-                            .or_insert_with(|| dijkstra(self.host, dest));
-                        let best = self
+                            .or_insert_with(|| dijkstra(plan.host, dest));
+                        let best = plan
                             .assign
                             .holders(cell)
                             .iter()
@@ -1525,10 +1273,8 @@ impl<'a> Engine<'a> {
                             .expect("surviving holder checked above");
                         let mut path = sp.path_to(best).expect("connected host");
                         path.reverse();
-                        let links: Vec<u32> = path
-                            .windows(2)
-                            .map(|w| f.link_ids[&(w[0], w[1])])
-                            .collect();
+                        let links: Vec<u32> =
+                            path.windows(2).map(|w| f.link_ids[&(w[0], w[1])]).collect();
                         let nhops = links.len() as u64;
                         let src_pt = &hot.procs[best as usize];
                         let pos = src_pt
@@ -1561,8 +1307,7 @@ impl<'a> Engine<'a> {
                         // Duplicate deliveries are idempotent.
                         let w = state[dest as usize].dep_watermark[dest_dep as usize];
                         for s2 in (w + 1)..=computed {
-                            let value =
-                                state[best as usize].history[pos * stride + s2 as usize];
+                            let value = state[best as usize].history[pos * stride + s2 as usize];
                             messages += 1;
                             pebble_hops += nhops;
                             send_sub_hop!(tick, sid, 1u16, s2, value, 0u32);
@@ -1580,7 +1325,7 @@ impl<'a> Engine<'a> {
         }
 
         // ---- collect outcome (crashed processors' copies are lost) ----
-        let mut copies = Vec::with_capacity(self.assign.total_copies());
+        let mut copies = Vec::with_capacity(plan.assign.total_copies());
         let mut timing = record_timing.then(TimingTrace::default);
         for (p, (st, pt)) in state.iter().zip(&hot.procs).enumerate() {
             if frt.is_some() && crashed[p] {
@@ -1604,7 +1349,7 @@ impl<'a> Engine<'a> {
             t.fault_timeline = fault_timeline;
         }
         let stats = RunStats {
-            guest_cells: self.guest.num_cells(),
+            guest_cells: plan.guest.num_cells(),
             guest_steps: steps,
             host_procs: n,
             makespan,
@@ -1614,18 +1359,17 @@ impl<'a> Engine<'a> {
                 makespan as f64 / steps as f64
             },
             total_compute: total_compute - total_forfeited,
-            guest_work: self.guest.total_work(),
-            redundancy: self.assign.redundancy(),
-            load: self.assign.load(),
-            active_procs: self.assign.active_procs(),
+            guest_work: plan.guest.total_work(),
+            redundancy: plan.assign.redundancy(),
+            load: plan.assign.load(),
+            active_procs: plan.assign.active_procs(),
             messages,
             pebble_hops,
             subscriptions: routing.num_subscriptions(),
             bandwidth_per_link: bw as u32,
             busiest_link_pebbles: link_traffic.iter().copied().max().unwrap_or(0),
             mean_link_pebbles: {
-                let active: Vec<u64> =
-                    link_traffic.iter().copied().filter(|&t| t > 0).collect();
+                let active: Vec<u64> = link_traffic.iter().copied().filter(|&t| t > 0).collect();
                 if active.is_empty() {
                     0.0
                 } else {
@@ -1691,7 +1435,11 @@ mod tests {
             for t in 1..=guest.steps {
                 vf = fold64(vf, trace.grid.get(overlap_model::PebbleId::new(c.cell, t)));
             }
-            assert_eq!(c.value_fold, vf, "values of column {} on proc {}", c.cell, c.proc);
+            assert_eq!(
+                c.value_fold, vf,
+                "values of column {} on proc {}",
+                c.cell, c.proc
+            );
             assert_eq!(
                 c.db_digest, trace.final_db_digest[c.cell as usize],
                 "db of column {} on proc {}",
@@ -1798,11 +1546,8 @@ mod tests {
         let guest = GuestSpec::line(8, ProgramKind::Relaxation, 4, 64);
         let host = linear_array(2, DelayModel::constant(64), 0);
         let blocked = Assignment::blocked(2, 8);
-        let overlapped = Assignment::from_cells_of(
-            2,
-            8,
-            vec![vec![0, 1, 2, 3, 4, 5], vec![2, 3, 4, 5, 6, 7]],
-        );
+        let overlapped =
+            Assignment::from_cells_of(2, 8, vec![vec![0, 1, 2, 3, 4, 5], vec![2, 3, 4, 5, 6, 7]]);
         let out_b = run(&guest, &host, &blocked, BandwidthMode::LogN);
         let out_o = run(&guest, &host, &overlapped, BandwidthMode::LogN);
         check_against_reference(&guest, &out_b);
@@ -1993,8 +1738,7 @@ mod tests {
             .run()
             .unwrap();
         let timing = out.timing.as_ref().unwrap();
-        let weighted =
-            timing.utilization(&out.copies, 2, out.stats.makespan, Some(&costs));
+        let weighted = timing.utilization(&out.copies, 2, out.stats.makespan, Some(&costs));
         let unweighted = timing.utilization(&out.copies, 2, out.stats.makespan, None);
         // The slow processor is never idle between its pebbles: weighted
         // utilization must be exactly 4× the naive count, and high.
@@ -2023,10 +1767,7 @@ mod tests {
                 c.proc
             );
         }
-        assert_eq!(
-            stalls.total(),
-            out.stats.makespan * out.copies.len() as u64
-        );
+        assert_eq!(stalls.total(), out.stats.makespan * out.copies.len() as u64);
     }
 
     #[test]
@@ -2036,7 +1777,12 @@ mod tests {
         let assign = Assignment::from_cells_of(
             4,
             8,
-            vec![vec![0, 1, 2], vec![1, 2, 3, 4], vec![3, 4, 5, 6], vec![5, 6, 7]],
+            vec![
+                vec![0, 1, 2],
+                vec![1, 2, 3, 4],
+                vec![3, 4, 5, 6],
+                vec![5, 6, 7],
+            ],
         );
         let cfg = EngineConfig::default();
         let eng = Engine::new(&guest, &host, &assign, cfg);
@@ -2062,11 +1808,8 @@ mod tests {
     fn traced_multicast_run_conserves() {
         let guest = GuestSpec::line(6, ProgramKind::KvWorkload, 3, 10);
         let host = linear_array(3, DelayModel::constant(3), 0);
-        let assign = Assignment::from_cells_of(
-            3,
-            6,
-            vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5]],
-        );
+        let assign =
+            Assignment::from_cells_of(3, 6, vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5]]);
         let cfg = EngineConfig {
             multicast: true,
             ..Default::default()
@@ -2418,7 +2161,12 @@ mod tests {
         let assign = Assignment::from_cells_of(
             4,
             12,
-            vec![vec![0, 1, 2, 3], vec![3, 4, 5, 6], vec![6, 7, 8, 9], vec![9, 10, 11]],
+            vec![
+                vec![0, 1, 2, 3],
+                vec![3, 4, 5, 6],
+                vec![6, 7, 8, 9],
+                vec![9, 10, 11],
+            ],
         );
         for multicast in [false, true] {
             for jitter in [

@@ -32,9 +32,22 @@ use std::collections::{BinaryHeap, HashMap};
 /// Event payload (identical to the seed engine's).
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    ComputeDone { proc: NodeId, own_idx: u32 },
-    Arrival { sub: u32, hop: u16, step: u32, value: PebbleValue },
-    TreeHop { tree: u32, node: u32, step: u32, value: PebbleValue },
+    ComputeDone {
+        proc: NodeId,
+        own_idx: u32,
+    },
+    Arrival {
+        sub: u32,
+        hop: u16,
+        step: u32,
+        value: PebbleValue,
+    },
+    TreeHop {
+        tree: u32,
+        node: u32,
+        step: u32,
+        value: PebbleValue,
+    },
 }
 
 /// Per-processor simulation state (identical to the seed engine's).
@@ -188,7 +201,10 @@ pub fn run_classic(
                 vec![Vec::new(); cells.len()]
             },
             next_step: vec![1; cells.len()],
-            dbs: cells.iter().map(|&c| kind.instantiate(c, guest.seed)).collect(),
+            dbs: cells
+                .iter()
+                .map(|&c| kind.instantiate(c, guest.seed))
+                .collect(),
             value_fold: vec![0xF01Du64; cells.len()],
             update_fold: vec![0xD16u64; cells.len()],
             finished_at: vec![0; cells.len()],
@@ -477,7 +493,10 @@ pub fn run_classic(
                         &mut payloads,
                         &mut seq,
                         &mut peak_queue,
-                        depart + config.jitter.effective(link_delay[lid as usize], lid, depart),
+                        depart
+                            + config
+                                .jitter
+                                .effective(link_delay[lid as usize], lid, depart),
                         Ev::Arrival {
                             sub,
                             hop: hop + 1,
@@ -547,7 +566,10 @@ pub fn run_classic(
                         &mut payloads,
                         &mut seq,
                         &mut peak_queue,
-                        depart + config.jitter.effective(link_delay[lid as usize], lid, depart),
+                        depart
+                            + config
+                                .jitter
+                                .effective(link_delay[lid as usize], lid, depart),
                         Ev::TreeHop {
                             tree,
                             node: child,

@@ -168,7 +168,13 @@ impl FaultPlan {
     pub fn delay_spike(mut self, a: NodeId, b: NodeId, from: u64, until: u64, factor: u32) -> Self {
         assert!(from < until, "spike interval must be non-empty");
         assert!(factor >= 1, "spike factor must be ≥ 1");
-        self.spikes.push(DelaySpike { a, b, from, until, factor });
+        self.spikes.push(DelaySpike {
+            a,
+            b,
+            from,
+            until,
+            factor,
+        });
         self
     }
 
@@ -231,13 +237,7 @@ impl FaultPlan {
 
     /// Add `count` seeded random crashes among processors `0..procs`,
     /// uniformly spread over `[horizon/4, 3·horizon/4)`. Distinct victims.
-    pub fn with_random_crashes(
-        mut self,
-        procs: u32,
-        seed: u64,
-        count: u32,
-        horizon: u64,
-    ) -> Self {
+    pub fn with_random_crashes(mut self, procs: u32, seed: u64, count: u32, horizon: u64) -> Self {
         let mut rng = SplitMix64::new(seed ^ 0xC2A5u64.rotate_left(17));
         let mut victims: Vec<NodeId> = Vec::new();
         while victims.len() < count.min(procs) as usize {

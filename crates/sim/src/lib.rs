@@ -43,6 +43,7 @@ pub mod faults;
 pub mod lockstep;
 pub mod multicast;
 pub mod parallel;
+pub mod plan;
 pub mod routing;
 pub mod stats;
 pub mod stepped;
@@ -55,10 +56,9 @@ pub use bandwidth::BandwidthMode;
 pub use engine::{Engine, EngineConfig, Jitter, RunError, RunOutcome};
 pub use faults::{FaultPlan, RetryPolicy};
 pub use lockstep::run_lockstep;
+pub use plan::ExecPlan;
 pub use routing::RoutingTable;
 pub use stats::{FaultStats, RunStats};
 pub use stepped::run_stepped;
-pub use trace::{
-    MsgKey, NoopTracer, ReadyCause, StallBreakdown, TraceConfig, TraceReport, Tracer,
-};
+pub use trace::{MsgKey, NoopTracer, ReadyCause, StallBreakdown, TraceConfig, TraceReport, Tracer};
 pub use validate::{audit_causality, validate_run};

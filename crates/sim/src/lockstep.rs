@@ -18,25 +18,34 @@
 //! paper ascribes to clock-slowing, generalized to routed NOWs. The
 //! computed state is identical to the other engines' (validated the same
 //! way).
+//!
+//! Like the other executors, lockstep consumes a lowered
+//! [`ExecPlan`] — the routing table comes from the plan, never rebuilt
+//! here.
 
 use crate::assignment::Assignment;
 use crate::bandwidth::BandwidthMode;
 use crate::engine::{CopyRecord, RunError, RunOutcome};
+use crate::plan::ExecPlan;
 use crate::routing::RoutingTable;
 use crate::stats::RunStats;
-use overlap_model::{fold64, Db, Dep, GuestSpec, PebbleValue, ProgramRef};
+use overlap_model::{fold64, Db, Dep, PebbleValue, ProgramRef};
 use overlap_net::{HostGraph, NodeId};
 use std::collections::HashMap;
 
 /// The exact cost of one lockstep round: slowest processor's compute plus
 /// the slowest route's latency with per-link queueing (each subscription
 /// injects one pebble per round; links serve `bw` per tick).
+///
+/// Fails with [`RunError::MissingLink`] when a route references a host
+/// link that does not exist (a malformed routing table — previously a
+/// panic).
 pub fn round_cost(
     host: &HostGraph,
     assign: &Assignment,
     routing: &RoutingTable,
     bandwidth: BandwidthMode,
-) -> u64 {
+) -> Result<u64, RunError> {
     let compute = assign.load() as u64;
     let bw = bandwidth.per_tick(host.num_nodes()) as u64;
     // Pebbles per directed link per round.
@@ -52,33 +61,35 @@ pub fn round_cost(
         for w in sub.path.windows(2) {
             let load = per_link[&(w[0], w[1])];
             let queueing = load.div_ceil(bw) - 1;
-            t += host.link_delay(w[0], w[1]).expect("route uses host links") + queueing;
+            let delay = host.link_delay(w[0], w[1]).ok_or(RunError::MissingLink {
+                from: w[0],
+                to: w[1],
+            })?;
+            t += delay + queueing;
         }
         worst_route = worst_route.max(t);
     }
-    compute + worst_route
+    Ok(compute + worst_route)
 }
 
-/// Execute the guest under lockstep rounds. State is computed exactly (and
-/// can be validated like any other engine's outcome); time is the closed
-/// form `steps × round_cost`.
-pub fn run_lockstep(
-    guest: &GuestSpec,
-    host: &HostGraph,
-    assign: &Assignment,
-    bandwidth: BandwidthMode,
-) -> Result<RunOutcome, RunError> {
-    let uncovered = assign.uncovered_cells();
-    if !uncovered.is_empty() {
-        return Err(RunError::IncompleteAssignment(uncovered));
-    }
-    let routing = RoutingTable::build(host, &guest.topology, assign);
+/// Execute the guest under lockstep rounds over a lowered plan. State is
+/// computed exactly (and can be validated like any other engine's
+/// outcome); time is the closed form `steps × round_cost`.
+pub fn run_lockstep(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
+    let routing = plan.routing().expect(
+        "the lockstep engine implements unicast routing; \
+         use the event engine for multicast",
+    );
+    let guest = plan.guest();
+    let host = plan.host();
+    let assign = plan.assignment();
+    let bandwidth = plan.config().bandwidth;
     let n = host.num_nodes();
     let steps = guest.steps;
     let topo = guest.topology;
     let program: ProgramRef = guest.program.instantiate();
     let boundary = guest.boundary();
-    let cost = round_cost(host, assign, &routing, bandwidth);
+    let cost = round_cost(host, assign, routing, bandwidth)?;
 
     // Lockstep delivers every dependency every round, so execution reduces
     // to a redundant-copy reference run.
@@ -96,7 +107,11 @@ pub fn run_lockstep(
     let kind = program.db_kind();
     let mut copies: Vec<Copy> = (0..n)
         .flat_map(|p| {
-            assign.cells_of(p).iter().map(move |&c| (p, c)).collect::<Vec<_>>()
+            assign
+                .cells_of(p)
+                .iter()
+                .map(move |&c| (p, c))
+                .collect::<Vec<_>>()
         })
         .map(|(p, c)| Copy {
             cell: c,
@@ -193,12 +208,26 @@ mod tests {
     use overlap_net::topology::linear_array;
     use overlap_net::DelayModel;
 
+    fn lockstep(
+        guest: &GuestSpec,
+        host: &HostGraph,
+        assign: &Assignment,
+        bandwidth: BandwidthMode,
+    ) -> Result<RunOutcome, RunError> {
+        let cfg = EngineConfig {
+            bandwidth,
+            ..Default::default()
+        };
+        let plan = ExecPlan::build(guest, host, assign, cfg)?;
+        run_lockstep(&plan)
+    }
+
     #[test]
     fn lockstep_state_matches_reference() {
         let guest = GuestSpec::line(12, ProgramKind::KvWorkload, 5, 10);
         let host = linear_array(4, DelayModel::uniform(1, 9), 2);
         let assign = Assignment::blocked(4, 12);
-        let out = run_lockstep(&guest, &host, &assign, BandwidthMode::LogN).unwrap();
+        let out = lockstep(&guest, &host, &assign, BandwidthMode::LogN).unwrap();
         let trace = ReferenceRun::execute(&guest);
         assert!(validate_run(&trace, &out).is_empty());
     }
@@ -209,7 +238,7 @@ mod tests {
         let guest = GuestSpec::line(8, ProgramKind::Relaxation, 3, 6);
         let host = linear_array(4, DelayModel::constant(d), 0);
         let assign = Assignment::blocked(4, 8);
-        let out = run_lockstep(&guest, &host, &assign, BandwidthMode::LogN).unwrap();
+        let out = lockstep(&guest, &host, &assign, BandwidthMode::LogN).unwrap();
         // round = load (2) + worst route (one link, 50) = 52.
         assert_eq!(out.stats.slowdown, 52.0);
         assert_eq!(out.stats.makespan, 52 * 6);
@@ -221,10 +250,10 @@ mod tests {
             let guest = GuestSpec::line(16, ProgramKind::Relaxation, seed, 12);
             let host = linear_array(4, DelayModel::uniform(1, 40), seed);
             let assign = Assignment::blocked(4, 16);
-            let greedy = Engine::new(&guest, &host, &assign, EngineConfig::default())
-                .run()
-                .unwrap();
-            let lock = run_lockstep(&guest, &host, &assign, BandwidthMode::LogN).unwrap();
+            // One plan serves both engines.
+            let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+            let greedy = Engine::from_plan(&plan).run().unwrap();
+            let lock = run_lockstep(&plan).unwrap();
             assert!(
                 lock.stats.makespan >= greedy.stats.makespan,
                 "seed {seed}: lockstep {} < greedy {}",
@@ -249,8 +278,8 @@ mod tests {
         let guest = GuestSpec::line(12, ProgramKind::StencilSum, 1, 4);
         let host = linear_array(2, DelayModel::constant(5), 0);
         let assign = Assignment::blocked(2, 12);
-        let fat = run_lockstep(&guest, &host, &assign, BandwidthMode::Fixed(8)).unwrap();
-        let thin = run_lockstep(&guest, &host, &assign, BandwidthMode::Fixed(1)).unwrap();
+        let fat = lockstep(&guest, &host, &assign, BandwidthMode::Fixed(8)).unwrap();
+        let thin = lockstep(&guest, &host, &assign, BandwidthMode::Fixed(1)).unwrap();
         assert!(thin.stats.slowdown >= fat.stats.slowdown);
     }
 
@@ -260,8 +289,23 @@ mod tests {
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::from_cells_of(2, 4, vec![vec![0], vec![3]]);
         assert!(matches!(
-            run_lockstep(&guest, &host, &assign, BandwidthMode::LogN),
+            lockstep(&guest, &host, &assign, BandwidthMode::LogN),
             Err(RunError::IncompleteAssignment(_))
         ));
+    }
+
+    #[test]
+    fn malformed_route_reports_missing_link() {
+        // Build a routing table against one host, then cost it against a
+        // host whose links differ: the route references a missing link.
+        let guest = GuestSpec::line(6, ProgramKind::StencilSum, 0, 2);
+        let chain = linear_array(3, DelayModel::constant(1), 0);
+        let assign = Assignment::blocked(3, 6);
+        let routing = RoutingTable::build(&chain, &guest.topology, &assign);
+        // Same node count, but the 1–2 link the routes rely on is gone.
+        let mut sparse = HostGraph::new("sparse", 3);
+        sparse.add_link(0, 1, 1);
+        let err = round_cost(&sparse, &assign, &routing, BandwidthMode::LogN).unwrap_err();
+        assert!(matches!(err, RunError::MissingLink { .. }), "{err:?}");
     }
 }

@@ -56,17 +56,16 @@ impl MulticastTable {
     /// of the same `(source, cell)` are merged into one shortest-path tree
     /// (recomputed from the source, so shared prefixes are genuinely
     /// shared).
-    pub fn build(
-        host: &HostGraph,
-        topo: &GuestTopology,
-        assign: &Assignment,
-    ) -> Self {
+    pub fn build(host: &HostGraph, topo: &GuestTopology, assign: &Assignment) -> Self {
         let unicast = RoutingTable::build(host, topo, assign);
         let n = host.num_nodes();
         // Group subscribers by (source, cell).
         let mut groups: HashMap<(NodeId, u32), Vec<NodeId>> = HashMap::new();
         for sub in &unicast.subs {
-            groups.entry((sub.source, sub.cell)).or_default().push(sub.dest);
+            groups
+                .entry((sub.source, sub.cell))
+                .or_default()
+                .push(sub.dest);
         }
         let mut keys: Vec<(NodeId, u32)> = groups.keys().copied().collect();
         keys.sort_unstable();
@@ -86,18 +85,17 @@ impl MulticastTable {
             let mut index_of: HashMap<NodeId, u32> = HashMap::new();
             let mut nodes: Vec<NodeId> = Vec::new();
             let mut parent_of: HashMap<NodeId, NodeId> = HashMap::new();
-            let add_node = |v: NodeId,
-                                nodes: &mut Vec<NodeId>,
-                                index_of: &mut HashMap<NodeId, u32>| {
-                if let Some(&i) = index_of.get(&v) {
-                    i
-                } else {
-                    let i = nodes.len() as u32;
-                    nodes.push(v);
-                    index_of.insert(v, i);
-                    i
-                }
-            };
+            let add_node =
+                |v: NodeId, nodes: &mut Vec<NodeId>, index_of: &mut HashMap<NodeId, u32>| {
+                    if let Some(&i) = index_of.get(&v) {
+                        i
+                    } else {
+                        let i = nodes.len() as u32;
+                        nodes.push(v);
+                        index_of.insert(v, i);
+                        i
+                    }
+                };
             add_node(source, &mut nodes, &mut index_of);
             for &d in dests {
                 let path = sp.path_to(d).expect("subscriber reachable");
@@ -117,10 +115,7 @@ impl MulticastTable {
                 ch.sort_unstable();
             }
             let root = index_of[&source];
-            let deliver: Vec<bool> = nodes
-                .iter()
-                .map(|v| dests.contains(v))
-                .collect();
+            let deliver: Vec<bool> = nodes.iter().map(|v| dests.contains(v)).collect();
             let tid = trees.len() as u32;
             for &d in dests {
                 inbound[d as usize].push((cell, tid));
@@ -170,11 +165,7 @@ mod tests {
         // link once (4 hops vs 5).
         let host = linear_array(4, DelayModel::constant(1), 0);
         let topo = GuestTopology::Line { m: 4 };
-        let assign = Assignment::from_cells_of(
-            4,
-            4,
-            vec![vec![0], vec![], vec![1], vec![2, 3]],
-        );
+        let assign = Assignment::from_cells_of(4, 4, vec![vec![0], vec![], vec![1], vec![2, 3]]);
         let mc = MulticastTable::build(&host, &topo, &assign);
         // Find the tree for (source 0, cell 0): consumers 2 (holds 1) and
         // 3 (holds 2, needs 1's neighbour... ). Check global accounting:

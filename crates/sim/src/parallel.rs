@@ -7,7 +7,7 @@
 //! ground-truth traces in the experiment harness.
 
 use overlap_model::{
-    fold64, Db, Dep, DbUpdate, GuestSpec, PebbleGrid, PebbleId, PebbleValue, ReferenceTrace,
+    fold64, Db, DbUpdate, Dep, GuestSpec, PebbleGrid, PebbleId, PebbleValue, ReferenceTrace,
 };
 use rayon::prelude::*;
 

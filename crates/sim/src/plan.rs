@@ -1,0 +1,522 @@
+//! The compiled execution plan: lower once, run anywhere.
+//!
+//! The paper's whole pipeline is *plan once, execute*: an assignment is
+//! computed by the placement algorithms and then executed unchanged. The
+//! simulator mirrors that split. [`ExecPlan::build`] lowers a
+//! `(GuestSpec, HostGraph, Assignment, EngineConfig)` quadruple into the
+//! interned, dense-index tables every executor needs:
+//!
+//! * **directed link ids** — forward `2i`, reverse `2i+1`, in
+//!   `host.links()` order (jitter phases key on the id, so this order is
+//!   part of the determinism contract with the frozen classic oracle);
+//! * the **routing structure** — the unicast [`RoutingTable`] or the
+//!   multicast fan-out trees, with per-copy outbound route lists in
+//!   deterministic bandwidth-arbitration order;
+//! * **per-processor tables** — held cells, subscribed dependency
+//!   columns, CSR-flattened dependency-gather / readiness-check /
+//!   dependent lists ([`ProcTables`]), and per-subscription link-id
+//!   arrays.
+//!
+//! All three engines consume a `&ExecPlan` ([`Engine::from_plan`],
+//! [`run_stepped`], [`run_lockstep`]) instead of re-lowering, so a sweep
+//! can build the plan once per `(host, strategy)` point and share it
+//! across repeats, engines, and fault variants. The plan also carries the
+//! run's compute costs and fault schedule; engines may override them per
+//! run without re-lowering.
+//!
+//! [`Engine::from_plan`]: crate::engine::Engine::from_plan
+//! [`run_stepped`]: crate::stepped::run_stepped
+//! [`run_lockstep`]: crate::lockstep::run_lockstep
+
+use crate::assignment::Assignment;
+use crate::engine::{EngineConfig, RunError, RunOutcome};
+use crate::faults::FaultPlan;
+use crate::multicast::MulticastTable;
+use crate::routing::RoutingTable;
+use overlap_model::{Dep, GuestSpec, Side};
+use overlap_net::{Delay, HostGraph, NodeId};
+use std::collections::HashMap;
+
+/// Marks a readiness-check entry as a subscription (vs. held-cell) index.
+pub(crate) const SUB_BIT: u32 = 1 << 31;
+
+/// Where one dependency-gather slot reads its value from: resolved once at
+/// plan build, so the per-event gather is pure array indexing.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DepSrc {
+    /// Virtual boundary column (computed on the fly).
+    Boundary { side: Side, offset: u32 },
+    /// Held cell `own index` on the same processor (previous step).
+    Own(u32),
+    /// Subscribed column `dep index` (receive buffer, previous step).
+    Sub(u32),
+}
+
+/// Immutable per-processor lookup tables (flattened CSR-style: `xs[off[i]
+/// .. off[i+1]]` are the entries of held cell `i`).
+pub(crate) struct ProcTables {
+    /// Held cells (sorted).
+    pub(crate) cells: Vec<u32>,
+    /// Subscribed dependency columns, in inbound order.
+    pub(crate) dep_cells: Vec<u32>,
+    /// Dependency sources per held cell, in canonical dependency order.
+    pub(crate) gather: Vec<DepSrc>,
+    pub(crate) gather_off: Vec<u32>,
+    /// Readiness checks per held cell: non-self cell dependencies, encoded
+    /// as `own index` or `dep index | SUB_BIT`.
+    pub(crate) checks: Vec<u32>,
+    pub(crate) check_off: Vec<u32>,
+    /// For each held cell: held cells whose pebbles depend on it.
+    pub(crate) own_dependents: Vec<u32>,
+    pub(crate) own_dep_off: Vec<u32>,
+    /// For each dependency column: held cells depending on it.
+    pub(crate) dep_dependents: Vec<u32>,
+    pub(crate) dep_dep_off: Vec<u32>,
+}
+
+/// All interned hot-path tables, built once per plan.
+pub(crate) struct Hot {
+    /// Delay per directed link id.
+    pub(crate) link_delay: Vec<Delay>,
+    /// Per-processor dependency tables.
+    pub(crate) procs: Vec<ProcTables>,
+    /// Global copy id of processor `p`'s first copy (prefix sums).
+    pub(crate) copy_off: Vec<u32>,
+    /// Outbound route ids (sub ids or tree ids) per copy:
+    /// `out_ids[out_off[copy] .. out_off[copy+1]]`.
+    pub(crate) out_ids: Vec<u32>,
+    pub(crate) out_off: Vec<u32>,
+    /// Per subscription: directed link ids along the route (hop `h` uses
+    /// `sub_links[sub_link_off[sid] + h]`).
+    pub(crate) sub_links: Vec<u32>,
+    pub(crate) sub_link_off: Vec<u32>,
+    /// Per subscription: consumer processor and its dep-column index.
+    pub(crate) sub_dest: Vec<u32>,
+    pub(crate) sub_dest_dep: Vec<u32>,
+    /// Per tree, per node: link id of the parent→node edge (`u32::MAX` at
+    /// the root).
+    pub(crate) tree_edge_lid: Vec<Vec<u32>>,
+    /// Per tree, per node: dep-column index at the node's processor if the
+    /// node is a delivery target, else `u32::MAX`.
+    pub(crate) tree_deliver_dep: Vec<Vec<u32>>,
+}
+
+impl Hot {
+    fn build(guest: &GuestSpec, host: &HostGraph, assign: &Assignment, routes: &Routes) -> Self {
+        let n = host.num_nodes();
+        let topo = guest.topology;
+
+        // Directed link ids: forward 2i, reverse 2i+1, in host.links()
+        // order. Jitter phases depend on the id, so this order is part of
+        // the determinism contract with the classic engine.
+        let mut link_ids: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+        let mut link_delay: Vec<Delay> = Vec::new();
+        for l in host.links() {
+            for (u, v) in [(l.a, l.b), (l.b, l.a)] {
+                link_ids.insert((u, v), link_delay.len() as u32);
+                link_delay.push(l.delay);
+            }
+        }
+
+        // Per-processor dependency tables.
+        let mut procs: Vec<ProcTables> = Vec::with_capacity(n as usize);
+        let mut copy_off: Vec<u32> = Vec::with_capacity(n as usize + 1);
+        copy_off.push(0);
+        for p in 0..n {
+            let cells = assign.cells_of(p).to_vec();
+            let own_pos: HashMap<u32, u32> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u32))
+                .collect();
+            let dep_cells: Vec<u32> = routes.inbound(p as usize).iter().map(|&(c, _)| c).collect();
+            let dep_pos: HashMap<u32, u32> = dep_cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i as u32))
+                .collect();
+            let mut gather = Vec::new();
+            let mut gather_off = vec![0u32];
+            let mut checks = Vec::new();
+            let mut check_off = vec![0u32];
+            let mut own_dependents_v: Vec<Vec<u32>> = vec![Vec::new(); cells.len()];
+            let mut dep_dependents_v: Vec<Vec<u32>> = vec![Vec::new(); dep_cells.len()];
+            for (i, &c) in cells.iter().enumerate() {
+                for d in topo.deps(c).iter() {
+                    match d {
+                        Dep::Boundary { side, offset } => {
+                            gather.push(DepSrc::Boundary { side, offset })
+                        }
+                        Dep::Cell(c2) => {
+                            if let Some(&j) = own_pos.get(&c2) {
+                                gather.push(DepSrc::Own(j));
+                                if c2 != c {
+                                    checks.push(j);
+                                    own_dependents_v[j as usize].push(i as u32);
+                                }
+                            } else if let Some(&k) = dep_pos.get(&c2) {
+                                gather.push(DepSrc::Sub(k));
+                                checks.push(k | SUB_BIT);
+                                dep_dependents_v[k as usize].push(i as u32);
+                            } else {
+                                unreachable!(
+                                    "cell {c2} needed by {c} on proc {p} neither held nor subscribed"
+                                );
+                            }
+                        }
+                    }
+                }
+                gather_off.push(gather.len() as u32);
+                check_off.push(checks.len() as u32);
+            }
+            let flatten = |vs: Vec<Vec<u32>>| {
+                let mut flat = Vec::new();
+                let mut off = vec![0u32];
+                for v in vs {
+                    flat.extend_from_slice(&v);
+                    off.push(flat.len() as u32);
+                }
+                (flat, off)
+            };
+            let (own_dependents, own_dep_off) = flatten(own_dependents_v);
+            let (dep_dependents, dep_dep_off) = flatten(dep_dependents_v);
+            copy_off.push(copy_off.last().unwrap() + cells.len() as u32);
+            procs.push(ProcTables {
+                cells,
+                dep_cells,
+                gather,
+                gather_off,
+                checks,
+                check_off,
+                own_dependents,
+                own_dep_off,
+                dep_dependents,
+                dep_dep_off,
+            });
+        }
+
+        // Outbound route ids per copy, from the build-time by-cell index.
+        let mut out_ids: Vec<u32> = Vec::new();
+        let mut out_off: Vec<u32> = vec![0];
+        for (p, pt) in procs.iter().enumerate() {
+            let by_cell = match routes {
+                Routes::Unicast(rt) => &rt.outbound_by_cell[p],
+                Routes::Multicast(mt) => &mt.outbound_by_cell[p],
+            };
+            for &c in &pt.cells {
+                if let Ok(ix) = by_cell.binary_search_by_key(&c, |&(cell, _)| cell) {
+                    out_ids.extend_from_slice(&by_cell[ix].1);
+                }
+                out_off.push(out_ids.len() as u32);
+            }
+        }
+
+        // Per-subscription link-id arrays and delivery targets.
+        let mut sub_links: Vec<u32> = Vec::new();
+        let mut sub_link_off: Vec<u32> = vec![0];
+        let mut sub_dest: Vec<u32> = Vec::new();
+        let mut sub_dest_dep: Vec<u32> = Vec::new();
+        if let Routes::Unicast(rt) = routes {
+            for sub in &rt.subs {
+                for w in sub.path.windows(2) {
+                    sub_links.push(link_ids[&(w[0], w[1])]);
+                }
+                sub_link_off.push(sub_links.len() as u32);
+                sub_dest.push(sub.dest);
+                let k = rt.inbound[sub.dest as usize]
+                    .iter()
+                    .position(|&(c, _)| c == sub.cell)
+                    .expect("subscription registered inbound");
+                sub_dest_dep.push(k as u32);
+            }
+        }
+
+        // Per-tree-edge link ids and per-node delivery targets.
+        let mut tree_edge_lid: Vec<Vec<u32>> = Vec::new();
+        let mut tree_deliver_dep: Vec<Vec<u32>> = Vec::new();
+        if let Routes::Multicast(mt) = routes {
+            for t in &mt.trees {
+                let mut lids = vec![u32::MAX; t.nodes.len()];
+                for (v, &pa) in t.parent.iter().enumerate() {
+                    if pa != u32::MAX {
+                        lids[v] = link_ids[&(t.nodes[pa as usize], t.nodes[v])];
+                    }
+                }
+                let deliver_dep = t
+                    .nodes
+                    .iter()
+                    .zip(&t.deliver)
+                    .map(|(&v, &del)| {
+                        if del {
+                            mt.inbound[v as usize]
+                                .iter()
+                                .position(|&(c, _)| c == t.cell)
+                                .expect("delivery registered inbound")
+                                as u32
+                        } else {
+                            u32::MAX
+                        }
+                    })
+                    .collect();
+                tree_edge_lid.push(lids);
+                tree_deliver_dep.push(deliver_dep);
+            }
+        }
+
+        Self {
+            link_delay,
+            procs,
+            copy_off,
+            out_ids,
+            out_off,
+            sub_links,
+            sub_link_off,
+            sub_dest,
+            sub_dest_dep,
+            tree_edge_lid,
+            tree_deliver_dep,
+        }
+    }
+}
+
+/// Which route structure a plan uses.
+pub(crate) enum Routes {
+    Unicast(RoutingTable),
+    Multicast(MulticastTable),
+}
+
+impl Routes {
+    pub(crate) fn inbound(&self, p: usize) -> &[(u32, u32)] {
+        match self {
+            Routes::Unicast(r) => &r.inbound[p],
+            Routes::Multicast(m) => &m.inbound[p],
+        }
+    }
+
+    pub(crate) fn num_subscriptions(&self) -> usize {
+        match self {
+            Routes::Unicast(r) => r.num_subscriptions(),
+            Routes::Multicast(m) => m
+                .trees
+                .iter()
+                .map(|t| t.deliver.iter().filter(|&&d| d).count())
+                .sum(),
+        }
+    }
+}
+
+/// A fully lowered simulation: routing, interning, and dependency tables
+/// built once from `(GuestSpec, HostGraph, Assignment, EngineConfig)`,
+/// shared read-only by every executor.
+///
+/// ```
+/// use overlap_sim::plan::ExecPlan;
+/// use overlap_sim::engine::{Engine, EngineConfig};
+/// use overlap_sim::{run_lockstep, run_stepped, Assignment};
+/// use overlap_model::{GuestSpec, ProgramKind};
+/// use overlap_net::{topology, DelayModel};
+///
+/// let guest = GuestSpec::line(8, ProgramKind::StencilSum, 1, 6);
+/// let host = topology::linear_array(4, DelayModel::uniform(1, 6), 2);
+/// let assign = Assignment::blocked(4, 8);
+/// let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+/// // All three engines execute the same lowered plan.
+/// let ev = Engine::from_plan(&plan).run().unwrap();
+/// let st = run_stepped(&plan).unwrap();
+/// let lk = run_lockstep(&plan).unwrap();
+/// assert_eq!(ev.copies.len(), st.copies.len());
+/// assert_eq!(st.copies.len(), lk.copies.len());
+/// ```
+pub struct ExecPlan<'a> {
+    pub(crate) guest: &'a GuestSpec,
+    pub(crate) host: &'a HostGraph,
+    pub(crate) assign: &'a Assignment,
+    pub(crate) config: EngineConfig,
+    pub(crate) compute_costs: Option<Vec<u32>>,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) routes: Routes,
+    pub(crate) hot: Hot,
+}
+
+impl std::fmt::Debug for ExecPlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPlan")
+            .field("cells", &self.guest.num_cells())
+            .field("steps", &self.guest.steps)
+            .field("procs", &self.host.num_nodes())
+            .field("multicast", &self.config.multicast)
+            .field("subscriptions", &self.num_subscriptions())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ExecPlan<'a> {
+    /// Lower the inputs into an executable plan. The routing structure
+    /// (unicast table or multicast trees, per `config.multicast`) and
+    /// every interned table are built here — engines only read them.
+    ///
+    /// Fails with [`RunError::IncompleteAssignment`] when some guest cell
+    /// has no database copy anywhere.
+    pub fn build(
+        guest: &'a GuestSpec,
+        host: &'a HostGraph,
+        assign: &'a Assignment,
+        config: EngineConfig,
+    ) -> Result<Self, RunError> {
+        let uncovered = assign.uncovered_cells();
+        if !uncovered.is_empty() {
+            return Err(RunError::IncompleteAssignment(uncovered));
+        }
+        let routes = if config.multicast {
+            Routes::Multicast(MulticastTable::build(host, &guest.topology, assign))
+        } else {
+            Routes::Unicast(RoutingTable::build(host, &guest.topology, assign))
+        };
+        let hot = Hot::build(guest, host, assign, &routes);
+        Ok(Self {
+            guest,
+            host,
+            assign,
+            config,
+            compute_costs: None,
+            faults: None,
+            routes,
+            hot,
+        })
+    }
+
+    /// Attach per-processor compute costs (ticks per pebble, ≥ 1) to the
+    /// plan. Costs do not affect the lowering, only execution, so engines
+    /// may also override them per run.
+    pub fn with_compute_costs(mut self, costs: Vec<u32>) -> Self {
+        assert_eq!(costs.len() as u32, self.host.num_nodes());
+        assert!(costs.iter().all(|&c| c >= 1), "costs must be ≥ 1");
+        self.compute_costs = Some(costs);
+        self
+    }
+
+    /// Attach a deterministic fault plan. Faults do not affect the
+    /// lowering (routes and tables are for the healthy network; recovery
+    /// re-routes at runtime), so one plan can be shared across fault
+    /// variants via [`Engine::with_faults`].
+    ///
+    /// [`Engine::with_faults`]: crate::engine::Engine::with_faults
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The guest this plan lowers.
+    pub fn guest(&self) -> &'a GuestSpec {
+        self.guest
+    }
+
+    /// The host NOW this plan targets.
+    pub fn host(&self) -> &'a HostGraph {
+        self.host
+    }
+
+    /// The database assignment baked into the plan.
+    pub fn assignment(&self) -> &'a Assignment {
+        self.assign
+    }
+
+    /// The engine configuration the plan was lowered for.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The plan's compute-cost table, if any.
+    pub fn compute_costs(&self) -> Option<&[u32]> {
+        self.compute_costs.as_deref()
+    }
+
+    /// The plan's fault schedule, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The unicast routing table (for reporting); `None` when the plan
+    /// was lowered for multicast trees.
+    pub fn routing(&self) -> Option<&RoutingTable> {
+        match &self.routes {
+            Routes::Unicast(r) => Some(r),
+            Routes::Multicast(_) => None,
+        }
+    }
+
+    /// Number of subscriptions (unicast routes or multicast deliveries).
+    pub fn num_subscriptions(&self) -> usize {
+        self.routes.num_subscriptions()
+    }
+
+    /// Convenience: execute this plan on the event engine.
+    pub fn run(&self) -> Result<RunOutcome, RunError> {
+        crate::engine::Engine::from_plan(self).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use overlap_model::ProgramKind;
+    use overlap_net::topology::linear_array;
+    use overlap_net::DelayModel;
+
+    fn lab() -> (GuestSpec, HostGraph, Assignment) {
+        (
+            GuestSpec::line(12, ProgramKind::KvWorkload, 3, 8),
+            linear_array(4, DelayModel::uniform(1, 7), 5),
+            Assignment::blocked(4, 12),
+        )
+    }
+
+    #[test]
+    fn incomplete_assignment_fails_at_build() {
+        let (guest, host, _) = lab();
+        let assign = Assignment::from_cells_of(4, 12, vec![vec![0, 1], vec![3], vec![], vec![]]);
+        let err = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap_err();
+        assert!(matches!(err, RunError::IncompleteAssignment(_)));
+    }
+
+    #[test]
+    fn one_plan_serves_many_runs_identically() {
+        let (guest, host, assign) = lab();
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        let a = plan.run().unwrap();
+        let b = plan.run().unwrap();
+        let fresh = Engine::new(&guest, &host, &assign, EngineConfig::default())
+            .run()
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, fresh);
+    }
+
+    #[test]
+    fn plan_exposes_unicast_routing_only_in_unicast_mode() {
+        let (guest, host, assign) = lab();
+        let uni = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        assert!(uni.routing().is_some());
+        assert!(uni.num_subscriptions() > 0);
+        let mc_cfg = EngineConfig {
+            multicast: true,
+            ..Default::default()
+        };
+        let mc = ExecPlan::build(&guest, &host, &assign, mc_cfg).unwrap();
+        assert!(mc.routing().is_none());
+    }
+
+    #[test]
+    fn costs_and_faults_ride_on_the_plan() {
+        let (guest, host, assign) = lab();
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
+            .unwrap()
+            .with_compute_costs(vec![1, 2, 1, 3])
+            .with_faults(FaultPlan::new().link_down(0, 1, 4, 12));
+        assert_eq!(plan.compute_costs(), Some(&[1u32, 2, 1, 3][..]));
+        assert!(!plan.faults().unwrap().is_empty());
+        let out = plan.run().unwrap();
+        assert!(out.stats.makespan > 0);
+    }
+}

@@ -7,11 +7,21 @@
 //!    processors' dependency buffers (parallel over destinations);
 //! 2. **compute** — every processor with a ready pebble computes exactly
 //!    one (parallel over processors with rayon; each touches only its own
-//!    state and emits an outbox);
+//!    state and emits an outbox); heterogeneous compute costs hold a
+//!    pebble in flight for `cost` ticks;
 //! 3. **send** — outboxes are injected into links in processor-id order
 //!    (deterministic bandwidth arbitration), scheduling future arrivals.
 //!
-//! Empty stretches are skipped by jumping to the next calendar event.
+//! Empty stretches are skipped by jumping to the next calendar event or
+//! scheduled crash.
+//!
+//! The engine consumes a lowered [`ExecPlan`] — it builds no routing or
+//! interning tables of its own. Compute costs and fault plans attached to
+//! the plan are honored: link outages time out and retry with exponential
+//! backoff, delay spikes stretch transfers, and crashes forfeit the
+//! processor's work and re-subscribe its consumers to the nearest
+//! surviving copy, mirroring the event engine's graceful degradation.
+//! Multicast and jitter remain event-engine-only.
 //!
 //! Both engines execute *legal schedules* of the same model, so they must
 //! agree **exactly** on every computed value, database state and update
@@ -21,320 +31,466 @@
 //! implementations on all state is the workspace's strongest defence
 //! against engine bugs.
 
-use crate::assignment::Assignment;
-use crate::engine::{CopyRecord, EngineConfig, RunError, RunOutcome};
-use crate::routing::RoutingTable;
-use crate::stats::RunStats;
-use overlap_model::{fold64, Db, Dep, GuestSpec, PebbleValue, ProgramRef};
-use overlap_net::{Delay, HostGraph, NodeId};
+use crate::engine::{inject, CopyRecord, DynSub, Jitter, LinkSlot, RunError, RunOutcome};
+use crate::faults::FaultRt;
+use crate::plan::{DepSrc, ExecPlan, ProcTables, SUB_BIT};
+use crate::stats::{FaultStats, RunStats};
+use overlap_model::{fold64, Db, PebbleValue, ProgramRef};
+use overlap_net::paths::dijkstra;
+use overlap_net::NodeId;
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
-/// One scheduled arrival.
+/// One calendar entry: an arrival at route node `hop` (when `resend` is
+/// false) or a retry of the send *into* node `hop` after a link timeout.
 #[derive(Debug, Clone, Copy)]
 struct Delivery {
     sub: u32,
     hop: u16,
     step: u32,
     value: PebbleValue,
+    attempt: u32,
+    resend: bool,
 }
 
-/// Per-processor state (the stepped twin of the event engine's).
+/// Per-processor mutable state (the stepped twin of the event engine's).
+/// Step-indexed arrays are flat with stride `steps + 1`.
 struct Proc {
-    cells: Vec<u32>,
     next_step: Vec<u32>,
-    history: Vec<Vec<PebbleValue>>,
+    history: Vec<PebbleValue>,
     dbs: Vec<Db>,
     value_fold: Vec<u64>,
     update_fold: Vec<u64>,
     finished_at: Vec<u64>,
-    dep_values: Vec<Vec<PebbleValue>>,
-    dep_have: Vec<Vec<bool>>,
+    dep_values: Vec<PebbleValue>,
+    dep_have: Vec<bool>,
     dep_watermark: Vec<u32>,
-    own_pos: HashMap<u32, u32>,
-    dep_pos: HashMap<u32, u32>,
-    own_dependents: Vec<Vec<u32>>,
-    dep_dependents: Vec<Vec<u32>>,
     ready: BinaryHeap<Reverse<(u32, u32)>>,
     queued: Vec<bool>,
-    /// Pebbles sent this tick: (cell, step, value).
+    /// Multi-tick pebble in flight: `(own idx, finish tick)`.
+    pending: Option<(u32, u64)>,
+    /// Pebbles computed this tick: (own idx, step, value).
     outbox: Vec<(u32, u32, PebbleValue)>,
 }
 
 impl Proc {
-    fn is_ready(&self, i: usize, steps: u32, topo: &overlap_model::GuestTopology) -> bool {
+    /// Is held cell `i` ready? Pure walk over the plan's check tables.
+    fn is_ready(&self, pt: &ProcTables, i: usize, steps: u32) -> bool {
         let s = self.next_step[i];
         if s > steps {
             return false;
         }
-        let c = self.cells[i];
-        for d in topo.deps(c).iter() {
-            match d {
-                Dep::Boundary { .. } => {}
-                Dep::Cell(c2) => {
-                    if c2 == c {
-                        continue;
-                    }
-                    if let Some(&j) = self.own_pos.get(&c2) {
-                        if self.next_step[j as usize] < s {
-                            return false;
-                        }
-                    } else {
-                        let k = self.dep_pos[&c2] as usize;
-                        if self.dep_watermark[k] < s - 1 {
-                            return false;
-                        }
-                    }
+        for &enc in &pt.checks[pt.check_off[i] as usize..pt.check_off[i + 1] as usize] {
+            if enc & SUB_BIT != 0 {
+                if self.dep_watermark[(enc & !SUB_BIT) as usize] < s - 1 {
+                    return false;
                 }
+            } else if self.next_step[enc as usize] < s {
+                return false;
             }
         }
         true
     }
 
-    fn requeue(&mut self, i: usize, steps: u32, topo: &overlap_model::GuestTopology) {
-        if !self.queued[i] && self.is_ready(i, steps, topo) {
+    fn requeue(&mut self, pt: &ProcTables, i: usize, steps: u32) {
+        if !self.queued[i] && self.is_ready(pt, i, steps) {
             self.ready.push(Reverse((self.next_step[i], i as u32)));
             self.queued[i] = true;
         }
     }
 }
 
-/// Directed-link injection slot (same arbitration as the event engine).
-#[derive(Clone, Copy, Default)]
-struct LinkSlot {
-    tick: u64,
-    count: u32,
-}
-
-fn inject(slot: &mut LinkSlot, now: u64, bw: u64) -> u64 {
-    if slot.tick < now {
-        slot.tick = now;
-        slot.count = 0;
-    }
-    if (slot.count as u64) < bw {
-        slot.count += 1;
-    } else {
-        slot.tick += 1;
-        slot.count = 1;
-    }
-    slot.tick
-}
-
-/// Run the time-stepped engine. Accepts the same inputs as
-/// [`crate::engine::Engine`] and produces the same outcome shape.
-pub fn run_stepped(
-    guest: &GuestSpec,
-    host: &HostGraph,
-    assign: &Assignment,
-    config: EngineConfig,
-) -> Result<RunOutcome, RunError> {
+/// Run the time-stepped engine over a lowered plan. Produces the same
+/// outcome shape as [`crate::engine::Engine`].
+pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
+    let config = plan.config();
     assert!(
-        !config.multicast && config.jitter == crate::engine::Jitter::None,
+        !config.multicast && config.jitter == Jitter::None,
         "the stepped engine implements the default configuration \
          (unicast, fixed delays); use the event engine for multicast/jitter"
     );
-    let uncovered = assign.uncovered_cells();
-    if !uncovered.is_empty() {
-        return Err(RunError::IncompleteAssignment(uncovered));
-    }
-    let routing = RoutingTable::build(host, &guest.topology, assign);
+    let guest = plan.guest();
+    let host = plan.host();
+    let assign = plan.assignment();
+    let hot = &plan.hot;
+    let rt = plan.routing().expect("unicast plan");
     let n = host.num_nodes();
     let steps = guest.steps;
-    let topo = guest.topology;
+    let stride = steps as usize + 1;
     let program: ProgramRef = guest.program.instantiate();
     let boundary = guest.boundary();
     let bw = config.bandwidth.per_tick(n) as u64;
+    let costs = plan.compute_costs();
+    let cost_of = |p: usize| -> u64 { costs.map(|c| c[p] as u64).unwrap_or(1) };
 
-    // ---- processor states ----
-    let mut procs: Vec<Proc> = (0..n)
-        .map(|p| {
-            let cells = assign.cells_of(p).to_vec();
-            let own_pos: HashMap<u32, u32> = cells
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| (c, i as u32))
-                .collect();
-            let dep_cells: Vec<u32> = routing.inbound[p as usize]
-                .iter()
-                .map(|&(c, _)| c)
-                .collect();
-            let dep_pos: HashMap<u32, u32> = dep_cells
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| (c, i as u32))
-                .collect();
-            let mut own_dependents = vec![Vec::new(); cells.len()];
-            let mut dep_dependents = vec![Vec::new(); dep_cells.len()];
-            for (i, &c) in cells.iter().enumerate() {
-                for d in topo.deps(c).iter() {
-                    if let Dep::Cell(c2) = d {
-                        if c2 == c {
-                            continue;
-                        }
-                        if let Some(&j) = own_pos.get(&c2) {
-                            own_dependents[j as usize].push(i as u32);
-                        } else if let Some(&k) = dep_pos.get(&c2) {
-                            dep_dependents[k as usize].push(i as u32);
-                        }
-                    }
-                }
+    // ---- processor states, straight off the plan's tables ----
+    let kind = program.db_kind();
+    let mut procs: Vec<Proc> = hot
+        .procs
+        .iter()
+        .map(|pt| {
+            let nc = pt.cells.len();
+            let nd = pt.dep_cells.len();
+            let mut history = vec![0 as PebbleValue; nc * stride];
+            for (i, &c) in pt.cells.iter().enumerate() {
+                history[i * stride] = guest.initial_value(c);
             }
-            let kind = program.db_kind();
+            let mut dep_values = vec![0 as PebbleValue; nd * stride];
+            let mut dep_have = vec![false; nd * stride];
+            for (k, &c) in pt.dep_cells.iter().enumerate() {
+                dep_values[k * stride] = guest.initial_value(c);
+                dep_have[k * stride] = true;
+            }
             Proc {
-                next_step: vec![1; cells.len()],
-                history: cells
-                    .iter()
-                    .map(|&c| {
-                        let mut h = vec![0; steps as usize + 1];
-                        h[0] = guest.initial_value(c);
-                        h
-                    })
-                    .collect(),
-                dbs: cells
+                next_step: vec![1; nc],
+                history,
+                dbs: pt
+                    .cells
                     .iter()
                     .map(|&c| kind.instantiate(c, guest.seed))
                     .collect(),
-                value_fold: vec![0xF01Du64; cells.len()],
-                update_fold: vec![0xD16u64; cells.len()],
-                finished_at: vec![0; cells.len()],
-                dep_values: dep_cells
-                    .iter()
-                    .map(|&c| {
-                        let mut v = vec![0; steps as usize + 1];
-                        v[0] = guest.initial_value(c);
-                        v
-                    })
-                    .collect(),
-                dep_have: dep_cells
-                    .iter()
-                    .map(|_| {
-                        let mut h = vec![false; steps as usize + 1];
-                        h[0] = true;
-                        h
-                    })
-                    .collect(),
-                dep_watermark: vec![0; dep_cells.len()],
-                own_dependents,
-                dep_dependents,
+                value_fold: vec![0xF01Du64; nc],
+                update_fold: vec![0xD16u64; nc],
+                finished_at: vec![0; nc],
+                dep_values,
+                dep_have,
+                dep_watermark: vec![0; nd],
                 ready: BinaryHeap::new(),
-                queued: vec![false; cells.len()],
+                queued: vec![false; nc],
+                pending: None,
                 outbox: Vec::new(),
-                cells,
-                own_pos,
-                dep_pos,
             }
         })
         .collect();
 
-    // ---- links ----
-    let mut link_ids: HashMap<(NodeId, NodeId), u32> = HashMap::new();
-    let mut link_delay: Vec<Delay> = Vec::new();
-    for l in host.links() {
-        for (u, v) in [(l.a, l.b), (l.b, l.a)] {
-            link_ids.insert((u, v), link_delay.len() as u32);
-            link_delay.push(l.delay);
-        }
-    }
-    let mut link_slots: Vec<LinkSlot> = vec![LinkSlot::default(); link_delay.len()];
+    let mut link_slots: Vec<LinkSlot> = vec![LinkSlot::default(); hot.link_delay.len()];
+
+    // ---- fault runtime (compiled only for a non-empty plan) ----
+    let frt: Option<FaultRt> = match plan.faults() {
+        Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, host)),
+        _ => None,
+    };
+    let n_orig_subs = hot.sub_link_off.len() - 1;
+    let mut crashed: Vec<bool> = vec![false; if frt.is_some() { n as usize } else { 0 }];
+    let mut dyn_subs: Vec<DynSub> = Vec::new();
+    let mut dyn_out: Vec<Vec<u32>> = Vec::new();
+    let mut fstats = FaultStats::default();
+    let mut total_forfeited = 0u64;
+    // Scheduled crashes in (tick, proc) order; consumed as time passes.
+    let mut crash_sched: Vec<(u64, NodeId)> = frt
+        .as_ref()
+        .map(|f| {
+            let mut cs: Vec<(u64, NodeId)> = f
+                .crash_at
+                .iter()
+                .enumerate()
+                .filter(|&(_, &at)| at != u64::MAX)
+                .map(|(p, &at)| (at, p as NodeId))
+                .collect();
+            cs.sort_unstable();
+            cs
+        })
+        .unwrap_or_default();
+    crash_sched.reverse(); // pop from the back in time order
+    let mut calendar: BTreeMap<u64, Vec<Delivery>> = BTreeMap::new();
 
     // ---- seed ready queues ----
-    for p in procs.iter_mut() {
-        for i in 0..p.cells.len() {
-            p.requeue(i, steps, &topo);
+    for (pt, p) in hot.procs.iter().zip(procs.iter_mut()) {
+        for i in 0..pt.cells.len() {
+            p.requeue(pt, i, steps);
         }
     }
 
-    let mut remaining: u64 = procs
+    let mut remaining: u64 = hot
+        .procs
         .iter()
-        .map(|p| p.cells.len() as u64 * steps as u64)
+        .map(|pt| pt.cells.len() as u64 * steps as u64)
         .sum();
     let total_compute = remaining;
-    let mut calendar: BTreeMap<u64, Vec<Delivery>> = BTreeMap::new();
     let mut makespan = 0u64;
     let mut messages = 0u64;
     let mut pebble_hops = 0u64;
     let mut tick: u64 = 0;
 
+    // Route geometry, uniform over original and dynamic subscriptions.
+    macro_rules! sub_nlinks {
+        ($sid:expr) => {{
+            let sid = $sid as usize;
+            if sid < n_orig_subs {
+                (hot.sub_link_off[sid + 1] - hot.sub_link_off[sid]) as usize
+            } else {
+                dyn_subs[sid - n_orig_subs].links.len()
+            }
+        }};
+    }
+    // Directed link id carrying hop `h` (1-based destination node index).
+    macro_rules! sub_link {
+        ($sid:expr, $h:expr) => {{
+            let sid = $sid as usize;
+            if sid < n_orig_subs {
+                hot.sub_links[hot.sub_link_off[sid] as usize + $h as usize - 1]
+            } else {
+                dyn_subs[sid - n_orig_subs].links[$h as usize - 1]
+            }
+        }};
+    }
+
+    // Transmit one pebble over the link into route node `hop`, charging
+    // bandwidth at `now`. Under a fault plan: delay spikes stretch the
+    // transfer, and one overlapping a down interval is lost — the sender
+    // times out at the expected arrival and retries after exponential
+    // backoff; failed attempts still consume slots.
+    macro_rules! send_hop {
+        ($now:expr, $sid:expr, $hop:expr, $step:expr, $value:expr, $attempt:expr) => {{
+            let lid = sub_link!($sid, $hop) as usize;
+            let depart = inject(&mut link_slots[lid], $now, bw);
+            let base = hot.link_delay[lid];
+            match frt.as_ref() {
+                None => calendar.entry(depart + base).or_default().push(Delivery {
+                    sub: $sid,
+                    hop: $hop,
+                    step: $step,
+                    value: $value,
+                    attempt: 0,
+                    resend: false,
+                }),
+                Some(f) => {
+                    let arrive = depart + base * f.spike_factor(lid as u32, depart);
+                    if !f.down_overlap(lid as u32, depart, arrive) {
+                        calendar.entry(arrive).or_default().push(Delivery {
+                            sub: $sid,
+                            hop: $hop,
+                            step: $step,
+                            value: $value,
+                            attempt: 0,
+                            resend: false,
+                        });
+                    } else {
+                        let attempt = $attempt + 1;
+                        if attempt > f.retry.max_attempts {
+                            return Err(RunError::RetriesExhausted {
+                                link: lid as u32,
+                                tick: arrive,
+                            });
+                        }
+                        let back = f.retry.backoff(attempt);
+                        fstats.retries += 1;
+                        fstats.fault_stall_ticks += arrive - $now + back;
+                        calendar.entry(arrive + back).or_default().push(Delivery {
+                            sub: $sid,
+                            hop: $hop,
+                            step: $step,
+                            value: $value,
+                            attempt,
+                            resend: true,
+                        });
+                    }
+                }
+            }
+        }};
+    }
+
     while remaining > 0 {
         if tick > config.max_ticks {
             return Err(RunError::TickLimit(config.max_ticks));
         }
+
+        // ---- phase 0: crashes scheduled at this tick (before deliveries
+        // and computes, matching the event engine's crash-first order) ----
+        while crash_sched.last().is_some_and(|&(at, _)| at <= tick) {
+            let (_, proc) = crash_sched.pop().unwrap();
+            let p = proc as usize;
+            let f = frt.as_ref().expect("crash implies fault plan");
+            if crashed[p] {
+                continue;
+            }
+            crashed[p] = true;
+            fstats.crashed_procs += 1;
+            let pt = &hot.procs[p];
+            fstats.lost_copies += pt.cells.len() as u32;
+            // Forfeit uncomputed pebbles, including any in flight.
+            let forfeited: u64 = procs[p]
+                .next_step
+                .iter()
+                .map(|&ns| (steps + 1 - ns) as u64)
+                .sum();
+            remaining -= forfeited;
+            total_forfeited += forfeited;
+            procs[p].pending = None;
+            procs[p].ready.clear();
+
+            // A column whose every copy is gone is unrecoverable.
+            for &c in &pt.cells {
+                let alive = assign.holders(c).iter().any(|&q| !crashed[q as usize]);
+                if !alive {
+                    return Err(RunError::ColumnLost { cell: c, tick });
+                }
+            }
+
+            // Re-subscribe every consumer this processor was serving to
+            // the nearest surviving holder (the paper's redundancy,
+            // exploited for recovery).
+            let mut orphans: Vec<(u32, NodeId, u32)> = Vec::new();
+            for (sid, sub) in rt.subs.iter().enumerate() {
+                if sub.source == proc && !crashed[sub.dest as usize] {
+                    orphans.push((sub.cell, sub.dest, hot.sub_dest_dep[sid]));
+                }
+            }
+            for ds in &dyn_subs {
+                if ds.source == proc && !crashed[ds.dest as usize] {
+                    orphans.push((ds.cell, ds.dest, ds.dest_dep));
+                }
+            }
+            if !orphans.is_empty() && dyn_out.is_empty() {
+                dyn_out = vec![Vec::new(); *hot.copy_off.last().unwrap() as usize];
+            }
+            let mut sp_cache: HashMap<NodeId, overlap_net::paths::PathResult> = HashMap::new();
+            for (cell, dest, dest_dep) in orphans {
+                let sp = sp_cache.entry(dest).or_insert_with(|| dijkstra(host, dest));
+                let best = assign
+                    .holders(cell)
+                    .iter()
+                    .copied()
+                    .filter(|&q| !crashed[q as usize])
+                    .min_by_key(|&q| (sp.dist[q as usize], q))
+                    .expect("surviving holder checked above");
+                let mut path = sp.path_to(best).expect("connected host");
+                path.reverse();
+                let links: Vec<u32> = path.windows(2).map(|w| f.link_ids[&(w[0], w[1])]).collect();
+                let nhops = links.len() as u64;
+                let src_pt = &hot.procs[best as usize];
+                let pos = src_pt
+                    .cells
+                    .binary_search(&cell)
+                    .expect("holder holds cell");
+                let src_cid = hot.copy_off[best as usize] as usize + pos;
+                let sid = (n_orig_subs + dyn_subs.len()) as u32;
+                let computed = procs[best as usize].next_step[pos] - 1;
+                dyn_subs.push(DynSub {
+                    cell,
+                    source: best,
+                    dest,
+                    dest_dep,
+                    links,
+                });
+                dyn_out[src_cid].push(sid);
+                fstats.rerouted_subscriptions += 1;
+                // Backfill pebbles the consumer may still be missing, from
+                // its contiguous watermark up to the new source's progress;
+                // duplicate deliveries are idempotent.
+                let w = procs[dest as usize].dep_watermark[dest_dep as usize];
+                for s2 in (w + 1)..=computed {
+                    let value = procs[best as usize].history[pos * stride + s2 as usize];
+                    messages += 1;
+                    pebble_hops += nhops;
+                    send_hop!(tick, sid, 1u16, s2, value, 0u32);
+                }
+            }
+        }
+
         // ---- phase 1: deliveries scheduled for this tick ----
         if let Some(deliveries) = calendar.remove(&tick) {
-            // Forward non-final hops sequentially (link arbitration),
-            // collect final-hop deliveries grouped by destination.
+            // Retry timed-out sends and forward non-final hops
+            // sequentially (link arbitration); collect final-hop
+            // deliveries grouped by destination.
             let mut finals: HashMap<u32, Vec<Delivery>> = HashMap::new();
             for d in deliveries {
-                let sub = &routing.subs[d.sub as usize];
-                let at = d.hop as usize;
-                if at + 1 < sub.path.len() {
-                    let lid = link_ids[&(sub.path[at], sub.path[at + 1])];
-                    let depart = inject(&mut link_slots[lid as usize], tick, bw);
-                    calendar
-                        .entry(depart + link_delay[lid as usize])
-                        .or_default()
-                        .push(Delivery {
-                            hop: d.hop + 1,
-                            ..d
-                        });
+                if d.resend {
+                    send_hop!(tick, d.sub, d.hop, d.step, d.value, d.attempt);
+                    continue;
+                }
+                let nlinks = sub_nlinks!(d.sub);
+                if (d.hop as usize) < nlinks {
+                    // Intermediate processors store-and-forward even if
+                    // crashed: the fabric outlives the workstation.
+                    send_hop!(tick, d.sub, d.hop + 1, d.step, d.value, 0u32);
                 } else {
-                    finals.entry(sub.dest).or_default().push(d);
+                    let dest = if (d.sub as usize) < n_orig_subs {
+                        hot.sub_dest[d.sub as usize]
+                    } else {
+                        dyn_subs[d.sub as usize - n_orig_subs].dest
+                    };
+                    if !(frt.is_some() && crashed[dest as usize]) {
+                        finals.entry(dest).or_default().push(d);
+                    }
                 }
             }
             // Apply final deliveries in parallel over destinations.
             let mut by_dest: Vec<(u32, Vec<Delivery>)> = finals.into_iter().collect();
             by_dest.sort_unstable_by_key(|e| e.0);
-            // Split-borrow procs via raw indexing: each destination is
-            // unique, so parallel mutation is safe through par chunks.
+            let dyn_ref = &dyn_subs;
             procs.par_iter_mut().enumerate().for_each(|(pid, proc_)| {
-                if let Ok(ix) = by_dest.binary_search_by_key(&(pid as u32), |e| e.0) {
-                    for d in &by_dest[ix].1 {
-                        let cell = routing.subs[d.sub as usize].cell;
-                        let k = proc_.dep_pos[&cell] as usize;
-                        proc_.dep_values[k][d.step as usize] = d.value;
-                        proc_.dep_have[k][d.step as usize] = true;
-                        while (proc_.dep_watermark[k] as usize) < steps as usize
-                            && proc_.dep_have[k][proc_.dep_watermark[k] as usize + 1]
-                        {
-                            proc_.dep_watermark[k] += 1;
-                        }
-                        let dependents = proc_.dep_dependents[k].clone();
-                        for j in dependents {
-                            proc_.requeue(j as usize, steps, &topo);
-                        }
+                let Ok(ix) = by_dest.binary_search_by_key(&(pid as u32), |e| e.0) else {
+                    return;
+                };
+                let pt = &hot.procs[pid];
+                for d in &by_dest[ix].1 {
+                    let k = if (d.sub as usize) < n_orig_subs {
+                        hot.sub_dest_dep[d.sub as usize] as usize
+                    } else {
+                        dyn_ref[d.sub as usize - n_orig_subs].dest_dep as usize
+                    };
+                    let base = k * stride;
+                    proc_.dep_values[base + d.step as usize] = d.value;
+                    proc_.dep_have[base + d.step as usize] = true;
+                    while (proc_.dep_watermark[k] as usize) < steps as usize
+                        && proc_.dep_have[base + proc_.dep_watermark[k] as usize + 1]
+                    {
+                        proc_.dep_watermark[k] += 1;
+                    }
+                    for idx in pt.dep_dep_off[k] as usize..pt.dep_dep_off[k + 1] as usize {
+                        let j = pt.dep_dependents[idx] as usize;
+                        proc_.requeue(pt, j, steps);
                     }
                 }
             });
         }
 
-        // ---- phase 2: parallel compute (≤ 1 pebble per processor) ----
+        // ---- phase 2: parallel compute (≤ 1 pebble per processor; a
+        // cost-`c` pebble occupies the processor for `c` ticks) ----
+        let crashed_ref = &crashed;
         let computed: u64 = procs
             .par_iter_mut()
-            .map(|proc_| {
-                let Some(Reverse((_s, i))) = proc_.ready.pop() else {
+            .enumerate()
+            .map(|(pid, proc_)| {
+                if !crashed_ref.is_empty() && crashed_ref[pid] {
                     return 0u64;
-                };
-                let i = i as usize;
-                let cell = proc_.cells[i];
-                let s = proc_.next_step[i];
-                let mut deps_buf = Vec::with_capacity(topo.max_deps());
-                for d in topo.deps(cell).iter() {
-                    deps_buf.push(match d {
-                        Dep::Boundary { side, offset } => boundary.value(side, offset, s),
-                        Dep::Cell(c2) => {
-                            if let Some(&j) = proc_.own_pos.get(&c2) {
-                                proc_.history[j as usize][s as usize - 1]
-                            } else {
-                                let k = proc_.dep_pos[&c2] as usize;
-                                proc_.dep_values[k][s as usize - 1]
-                            }
+                }
+                let pt = &hot.procs[pid];
+                let i = match proc_.pending {
+                    Some((i, fin)) if fin == tick => {
+                        proc_.pending = None;
+                        i as usize
+                    }
+                    Some(_) => return 0, // still in flight
+                    None => {
+                        let Some(Reverse((_s, i))) = proc_.ready.pop() else {
+                            return 0;
+                        };
+                        let c = cost_of(pid);
+                        if c > 1 {
+                            proc_.pending = Some((i, tick + c - 1));
+                            return 0;
                         }
+                        i as usize
+                    }
+                };
+                let cell = pt.cells[i];
+                let s = proc_.next_step[i];
+                let sm1 = s as usize - 1;
+                let mut deps_buf =
+                    Vec::with_capacity((pt.gather_off[i + 1] - pt.gather_off[i]) as usize);
+                for &src in &pt.gather[pt.gather_off[i] as usize..pt.gather_off[i + 1] as usize] {
+                    deps_buf.push(match src {
+                        DepSrc::Boundary { side, offset } => boundary.value(side, offset, s),
+                        DepSrc::Own(j) => proc_.history[j as usize * stride + sm1],
+                        DepSrc::Sub(k) => proc_.dep_values[k as usize * stride + sm1],
                     });
                 }
                 let (v, u) = program.compute(cell, s, &proc_.dbs[i], &deps_buf);
                 proc_.dbs[i].apply(&u);
-                proc_.history[i][s as usize] = v;
+                proc_.history[i * stride + s as usize] = v;
                 proc_.value_fold[i] = fold64(proc_.value_fold[i], v);
                 proc_.update_fold[i] = fold64(proc_.update_fold[i], u.digest());
                 proc_.next_step[i] = s + 1;
@@ -342,12 +498,12 @@ pub fn run_stepped(
                 if s == steps {
                     proc_.finished_at[i] = tick + 1;
                 }
-                proc_.outbox.push((cell, s, v));
+                proc_.outbox.push((i as u32, s, v));
                 // Unblock self and local dependents.
-                proc_.requeue(i, steps, &topo);
-                let deps = proc_.own_dependents[i].clone();
-                for j in deps {
-                    proc_.requeue(j as usize, steps, &topo);
+                proc_.requeue(pt, i, steps);
+                for idx in pt.own_dep_off[i] as usize..pt.own_dep_off[i + 1] as usize {
+                    let j = pt.own_dependents[idx] as usize;
+                    proc_.requeue(pt, j, steps);
                 }
                 1
             })
@@ -357,55 +513,57 @@ pub fn run_stepped(
             makespan = tick + 1;
         }
 
-        // ---- phase 3: deterministic sends ----
-        for (p, proc) in procs.iter_mut().enumerate() {
-            if proc.outbox.is_empty() {
+        // ---- phase 3: deterministic sends over the plan's route lists ----
+        for (p, proc_) in procs.iter_mut().enumerate() {
+            if proc_.outbox.is_empty() {
                 continue;
             }
-            let outbox = std::mem::take(&mut proc.outbox);
-            for (cell, step, value) in outbox {
-                for &sid in &routing.outbound[p] {
-                    let sub = &routing.subs[sid as usize];
-                    if sub.cell != cell {
-                        continue;
-                    }
+            let outbox = std::mem::take(&mut proc_.outbox);
+            for (i, step, value) in outbox {
+                let cid = hot.copy_off[p] as usize + i as usize;
+                for &sid in &hot.out_ids[hot.out_off[cid] as usize..hot.out_off[cid + 1] as usize] {
                     messages += 1;
-                    pebble_hops += sub.path.len() as u64 - 1;
-                    let lid = link_ids[&(sub.path[0], sub.path[1])];
-                    let depart = inject(&mut link_slots[lid as usize], tick + 1, bw);
-                    calendar
-                        .entry(depart + link_delay[lid as usize])
-                        .or_default()
-                        .push(Delivery {
-                            sub: sid,
-                            hop: 1,
-                            step,
-                            value,
-                        });
+                    pebble_hops += sub_nlinks!(sid) as u64;
+                    send_hop!(tick + 1, sid, 1u16, step, value, 0u32);
+                }
+                if !dyn_out.is_empty() {
+                    for &dsid in &dyn_out[cid].clone() {
+                        messages += 1;
+                        pebble_hops += sub_nlinks!(dsid) as u64;
+                        send_hop!(tick + 1, dsid, 1u16, step, value, 0u32);
+                    }
                 }
             }
         }
 
         // ---- advance, skipping dead time ----
-        let any_ready = procs.iter().any(|p| !p.ready.is_empty());
-        tick = if any_ready {
+        if remaining == 0 {
+            break;
+        }
+        let any_work = procs
+            .iter()
+            .any(|p| !p.ready.is_empty() || p.pending.is_some());
+        tick = if any_work {
             tick + 1
-        } else if let Some((&next, _)) = calendar.iter().next() {
-            next.max(tick + 1)
-        } else if remaining > 0 {
-            return Err(RunError::Deadlock {
-                tick,
-                remaining,
-            });
         } else {
-            tick + 1
+            let next_cal = calendar.keys().next().copied();
+            let next_crash = crash_sched.last().map(|&(at, _)| at);
+            match (next_cal, next_crash) {
+                (None, None) => {
+                    return Err(RunError::Deadlock { tick, remaining });
+                }
+                (a, b) => a.into_iter().chain(b).min().unwrap().max(tick + 1),
+            }
         };
     }
 
-    // ---- collect ----
+    // ---- collect (crashed processors' copies are lost) ----
     let mut copies = Vec::with_capacity(assign.total_copies());
-    for (p, pr) in procs.iter().enumerate() {
-        for (i, &c) in pr.cells.iter().enumerate() {
+    for (p, (pr, pt)) in procs.iter().zip(&hot.procs).enumerate() {
+        if frt.is_some() && crashed[p] {
+            continue;
+        }
+        for (i, &c) in pt.cells.iter().enumerate() {
             copies.push(CopyRecord {
                 cell: c,
                 proc: p as NodeId,
@@ -426,20 +584,20 @@ pub fn run_stepped(
         } else {
             makespan as f64 / steps as f64
         },
-        total_compute,
+        total_compute: total_compute - total_forfeited,
         guest_work: guest.total_work(),
         redundancy: assign.redundancy(),
         load: assign.load(),
         active_procs: assign.active_procs(),
         messages,
         pebble_hops,
-        subscriptions: routing.num_subscriptions(),
+        subscriptions: plan.num_subscriptions(),
         bandwidth_per_link: bw as u32,
         busiest_link_pebbles: 0,
         mean_link_pebbles: 0.0,
         events_processed: 0,
         peak_queue_depth: 0,
-        faults: crate::stats::FaultStats::default(),
+        faults: fstats,
         stalls: None,
     };
     Ok(RunOutcome {
@@ -453,15 +611,19 @@ pub fn run_stepped(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::Engine;
+    use crate::assignment::Assignment;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::faults::FaultPlan;
     use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
     use overlap_net::topology::{linear_array, mesh2d};
     use overlap_net::DelayModel;
+    use overlap_net::HostGraph;
 
     fn differential(guest: &GuestSpec, host: &HostGraph, assign: &Assignment) {
         let cfg = EngineConfig::default();
-        let ev = Engine::new(guest, host, assign, cfg).run().expect("event");
-        let st = run_stepped(guest, host, assign, cfg).expect("stepped");
+        let plan = ExecPlan::build(guest, host, assign, cfg).expect("plan");
+        let ev = Engine::from_plan(&plan).run().expect("event");
+        let st = run_stepped(&plan).expect("stepped");
         // State must agree exactly (sorted copy records).
         let mut a = ev.copies.clone();
         let mut b = st.copies.clone();
@@ -501,7 +663,11 @@ mod tests {
         let assign = Assignment::from_cells_of(
             3,
             12,
-            vec![vec![0, 1, 2, 3, 4, 5], vec![4, 5, 6, 7, 8, 9], vec![8, 9, 10, 11]],
+            vec![
+                vec![0, 1, 2, 3, 4, 5],
+                vec![4, 5, 6, 7, 8, 9],
+                vec![8, 9, 10, 11],
+            ],
         );
         differential(&guest, &host, &assign);
     }
@@ -513,11 +679,7 @@ mod tests {
         // strips over the 6 hosts
         let strips = overlap_model::mesh_columns(6, 4);
         let cells_of: Vec<Vec<u32>> = strips.slots.clone();
-        differential(
-            &guest,
-            &host,
-            &Assignment::from_cells_of(6, 24, cells_of),
-        );
+        differential(&guest, &host, &Assignment::from_cells_of(6, 24, cells_of));
     }
 
     #[test]
@@ -533,11 +695,92 @@ mod tests {
     }
 
     #[test]
-    fn stepped_engine_rejects_incomplete_assignment() {
+    fn engines_agree_under_compute_costs() {
+        let guest = GuestSpec::line(12, ProgramKind::KvWorkload, 3, 10);
+        let host = linear_array(4, DelayModel::uniform(1, 8), 2);
+        let assign = Assignment::blocked(4, 12);
+        let costs = vec![1u32, 3, 2, 1];
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
+            .unwrap()
+            .with_compute_costs(costs.clone());
+        let ev = Engine::from_plan(&plan).run().expect("event");
+        let st = run_stepped(&plan).expect("stepped");
+        let mut a = ev.copies.clone();
+        let mut b = st.copies.clone();
+        a.sort_by_key(|c| (c.cell, c.proc));
+        b.sort_by_key(|c| (c.cell, c.proc));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.value_fold, y.value_fold);
+            assert_eq!(x.db_digest, y.db_digest);
+        }
+        // Costs slow the run down relative to unit speed.
+        let unit = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        let fast = run_stepped(&unit).expect("unit stepped");
+        assert!(st.stats.makespan > fast.stats.makespan);
+        let trace = ReferenceRun::execute(&guest);
+        assert!(crate::validate::validate_run(&trace, &st).is_empty());
+    }
+
+    #[test]
+    fn stepped_retries_through_link_outage() {
+        let guest = GuestSpec::line(8, ProgramKind::StencilSum, 1, 8);
+        let host = linear_array(4, DelayModel::constant(3), 0);
+        let assign = Assignment::blocked(4, 8);
+        let faults = FaultPlan::new().link_down(1, 2, 5, 30);
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
+            .unwrap()
+            .with_faults(faults);
+        let out = run_stepped(&plan).expect("survives outage");
+        assert!(out.stats.faults.retries > 0, "outage must force retries");
+        let clean = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        let base = run_stepped(&clean).unwrap();
+        assert!(out.stats.makespan >= base.stats.makespan);
+        let trace = ReferenceRun::execute(&guest);
+        assert!(crate::validate::validate_run(&trace, &out).is_empty());
+    }
+
+    #[test]
+    fn stepped_survives_crash_with_redundancy() {
+        // Middle columns held twice: crashing one holder reroutes its
+        // consumers to the surviving copy.
+        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 11, 12);
+        let host = linear_array(3, DelayModel::constant(4), 0);
+        let assign = Assignment::from_cells_of(
+            3,
+            8,
+            vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5], vec![4, 5, 6, 7]],
+        );
+        let faults = FaultPlan::new().crash(1, 20);
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
+            .unwrap()
+            .with_faults(faults);
+        let out = run_stepped(&plan).expect("crash is survivable");
+        assert_eq!(out.stats.faults.crashed_procs, 1);
+        assert!(out.stats.faults.rerouted_subscriptions > 0);
+        // Surviving copies still validate against the reference.
+        let trace = ReferenceRun::execute(&guest);
+        assert!(crate::validate::validate_run(&trace, &out).is_empty());
+    }
+
+    #[test]
+    fn stepped_reports_column_lost_without_redundancy() {
+        let guest = GuestSpec::line(8, ProgramKind::StencilSum, 0, 10);
+        let host = linear_array(4, DelayModel::constant(2), 0);
+        let assign = Assignment::blocked(4, 8);
+        let faults = FaultPlan::new().crash(2, 6);
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
+            .unwrap()
+            .with_faults(faults);
+        let err = run_stepped(&plan).unwrap_err();
+        assert!(matches!(err, RunError::ColumnLost { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn incomplete_assignment_fails_at_plan_build() {
         let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::from_cells_of(2, 4, vec![vec![0, 1], vec![3]]);
-        let err = run_stepped(&guest, &host, &assign, EngineConfig::default()).unwrap_err();
+        let err = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap_err();
         assert_eq!(err, RunError::IncompleteAssignment(vec![2]));
     }
 
@@ -550,15 +793,18 @@ mod tests {
             multicast: true,
             ..Default::default()
         };
-        let _ = run_stepped(&guest, &host, &Assignment::blocked(2, 4), cfg);
+        let assign = Assignment::blocked(2, 4);
+        let plan = ExecPlan::build(&guest, &host, &assign, cfg).unwrap();
+        let _ = run_stepped(&plan);
     }
 
     #[test]
     fn stepped_engine_zero_steps() {
         let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 0);
         let host = linear_array(2, DelayModel::constant(5), 0);
-        let out = run_stepped(&guest, &host, &Assignment::blocked(2, 4), EngineConfig::default())
-            .unwrap();
+        let assign = Assignment::blocked(2, 4);
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        let out = run_stepped(&plan).unwrap();
         assert_eq!(out.stats.makespan, 0);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::assignment::Assignment;
 use crate::engine::{Engine, EngineConfig, RunError, RunOutcome};
+use crate::plan::ExecPlan;
 use crate::validate::{validate_run, ValidationError};
 use overlap_model::{GuestSpec, ReferenceTrace};
 use overlap_net::HostGraph;
@@ -30,6 +31,11 @@ impl ValidatedRun {
 }
 
 /// Run one simulation and validate it against a precomputed reference.
+///
+/// Lowers a fresh [`ExecPlan`] per call. Sweeps that repeat the same
+/// `(guest, host, assign, config)` point — across repeats, engines, or
+/// fault variants — should build the plan once and call
+/// [`run_plan_and_validate`] instead.
 pub fn run_and_validate(
     guest: &GuestSpec,
     host: &HostGraph,
@@ -37,7 +43,19 @@ pub fn run_and_validate(
     config: EngineConfig,
     trace: &ReferenceTrace,
 ) -> Result<ValidatedRun, RunError> {
-    let outcome = Engine::new(guest, host, assign, config).run()?;
+    let plan = ExecPlan::build(guest, host, assign, config)?;
+    run_plan_and_validate(&plan, trace)
+}
+
+/// Run one simulation from an already-lowered plan and validate it
+/// against a precomputed reference. The plan is shared, so a sweep pays
+/// the lowering cost once per `(host, strategy)` point rather than once
+/// per run.
+pub fn run_plan_and_validate(
+    plan: &ExecPlan,
+    trace: &ReferenceTrace,
+) -> Result<ValidatedRun, RunError> {
+    let outcome = Engine::from_plan(plan).run()?;
     let errors = validate_run(trace, &outcome);
     Ok(ValidatedRun { outcome, errors })
 }
@@ -74,12 +92,33 @@ mod tests {
         let results = par_map(&delays, |&d| {
             let host = linear_array(4, DelayModel::constant(d), 0);
             let assign = Assignment::blocked(4, 8);
-            run_and_validate(&guest, &host, &assign, EngineConfig::default(), &trace)
-                .expect("run")
+            run_and_validate(&guest, &host, &assign, EngineConfig::default(), &trace).expect("run")
         });
         assert!(results.iter().all(|r| r.is_valid()));
         // Higher delays cannot reduce the makespan.
         let spans: Vec<u64> = results.iter().map(|r| r.outcome.stats.makespan).collect();
         assert!(spans[0] <= spans[1] && spans[1] <= spans[2], "{spans:?}");
+    }
+
+    #[test]
+    fn shared_plan_sweep_matches_fresh_lowering() {
+        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 3, 6);
+        let trace = ReferenceRun::execute(&guest);
+        let host = linear_array(4, DelayModel::uniform(1, 7), 1);
+        let assign = Assignment::blocked(4, 8);
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        // Repeats share the plan; each must be bit-identical to a fresh
+        // per-run lowering.
+        let repeats = [0u32; 3];
+        let shared = par_map(&repeats, |_| {
+            run_plan_and_validate(&plan, &trace).expect("run")
+        });
+        let fresh =
+            run_and_validate(&guest, &host, &assign, EngineConfig::default(), &trace).unwrap();
+        for r in &shared {
+            assert!(r.is_valid());
+            assert_eq!(r.outcome.stats, fresh.outcome.stats);
+            assert_eq!(r.outcome.copies, fresh.outcome.copies);
+        }
     }
 }

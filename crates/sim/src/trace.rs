@@ -163,7 +163,14 @@ pub enum ReadyCause {
 pub trait Tracer {
     /// Copy `(proc, own_idx)`'s step `step` became ready at `tick`.
     #[inline]
-    fn on_enqueued(&mut self, _proc: u32, _own_idx: u32, _step: u32, _tick: u64, _cause: ReadyCause) {
+    fn on_enqueued(
+        &mut self,
+        _proc: u32,
+        _own_idx: u32,
+        _step: u32,
+        _tick: u64,
+        _cause: ReadyCause,
+    ) {
     }
 
     /// Copy `(proc, own_idx)`'s step `step` was popped from the ready
@@ -374,7 +381,12 @@ impl Tracer for StallTracer {
                 (send, fault)
             }
         };
-        self.pending[cid] = Pending { ready: tick, send, fault, start: 0 };
+        self.pending[cid] = Pending {
+            ready: tick,
+            send,
+            fault,
+            start: 0,
+        };
         let p = proc as usize;
         self.depth[p] += 1;
         self.sample_depth(p, tick);
@@ -391,7 +403,12 @@ impl Tracer for StallTracer {
     fn on_compute_done(&mut self, proc: u32, own_idx: u32, step: u32, tick: u64) {
         let cid = self.cid(proc, own_idx);
         let prev = self.done[cid * self.stride + step as usize - 1];
-        let Pending { ready, send, fault, start } = self.pending[cid];
+        let Pending {
+            ready,
+            send,
+            fault,
+            start,
+        } = self.pending[cid];
         let b = &mut self.per_copy[cid];
         b.compute_ticks += tick - start;
         b.stall_db_order += start - ready;
@@ -466,7 +483,13 @@ mod tests {
         // Copy 0 step 2 waits on the remote value: produced at 2 (send),
         // delivered at 9 with 3 fault ticks, starts at 10, done at 12.
         tr.on_fault_wait(MsgKey::Sub { sub: 0, step: 1 }, 3);
-        tr.on_enqueued(0, 0, 2, 9, ReadyCause::Delivered(MsgKey::Sub { sub: 0, step: 1 }));
+        tr.on_enqueued(
+            0,
+            0,
+            2,
+            9,
+            ReadyCause::Delivered(MsgKey::Sub { sub: 0, step: 1 }),
+        );
         tr.on_start(0, 0, 2, 10);
         tr.on_compute_done(0, 0, 2, 12);
 
@@ -535,7 +558,10 @@ mod tests {
         assert_eq!(report.link_occupancy[0][2], 1);
         assert_eq!(report.link_occupancy[1][9], 1);
         // Same padded length for every link.
-        assert_eq!(report.link_occupancy[0].len(), report.link_occupancy[1].len());
+        assert_eq!(
+            report.link_occupancy[0].len(),
+            report.link_occupancy[1].len()
+        );
         assert_eq!(report.queue_depth[0][0], 1);
         assert_eq!(report.queue_depth[0][3], 0);
     }

@@ -95,7 +95,10 @@ pub fn audit_causality(out: &RunOutcome) -> Vec<String> {
         }
         for w in ticks.windows(2) {
             if w[1] <= w[0] {
-                problems.push(format!("copy {i}: steps out of order ({} ≤ {})", w[1], w[0]));
+                problems.push(format!(
+                    "copy {i}: steps out of order ({} ≤ {})",
+                    w[1], w[0]
+                ));
                 break;
             }
         }

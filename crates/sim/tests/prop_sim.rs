@@ -4,10 +4,10 @@ use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
 use overlap_sim::engine::{Engine, EngineConfig};
-use overlap_sim::validate::validate_run;
 use overlap_sim::lockstep::run_lockstep;
 use overlap_sim::stepped::run_stepped;
-use overlap_sim::{Assignment, BandwidthMode};
+use overlap_sim::validate::validate_run;
+use overlap_sim::{Assignment, BandwidthMode, ExecPlan};
 use proptest::prelude::*;
 
 proptest! {
@@ -101,8 +101,9 @@ proptest! {
         let host = linear_array(procs, DelayModel::uniform(1, d), seed);
         let assign = Assignment::blocked(procs, cells);
         let cfg = EngineConfig::default();
-        let ev = Engine::new(&guest, &host, &assign, cfg).run().expect("event");
-        let st = run_stepped(&guest, &host, &assign, cfg).expect("stepped");
+        let plan = ExecPlan::build(&guest, &host, &assign, cfg).expect("plan");
+        let ev = Engine::from_plan(&plan).run().expect("event");
+        let st = run_stepped(&plan).expect("stepped");
         let mut a = ev.copies.clone();
         let mut b = st.copies.clone();
         a.sort_by_key(|c| (c.cell, c.proc));
@@ -169,10 +170,9 @@ proptest! {
         let guest = GuestSpec::line(cells, ProgramKind::KvWorkload, seed, steps);
         let host = linear_array(procs, DelayModel::uniform(1, d), seed);
         let assign = Assignment::blocked(procs, cells);
-        let greedy = Engine::new(&guest, &host, &assign, EngineConfig::default())
-            .run()
-            .expect("greedy");
-        let lock = run_lockstep(&guest, &host, &assign, BandwidthMode::LogN).expect("lockstep");
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).expect("plan");
+        let greedy = Engine::from_plan(&plan).run().expect("greedy");
+        let lock = run_lockstep(&plan).expect("lockstep");
         prop_assert!(lock.stats.makespan >= greedy.stats.makespan);
         let trace = ReferenceRun::execute(&guest);
         prop_assert!(validate_run(&trace, &lock).is_empty());

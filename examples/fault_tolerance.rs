@@ -15,7 +15,9 @@
 //!
 //! Run with: `cargo run --release --example fault_tolerance`
 
-use overlap::{topology, DelayModel, Error, FaultPlan, GuestSpec, LineStrategy, ProgramKind, Simulation};
+use overlap::{
+    topology, DelayModel, Error, FaultPlan, GuestSpec, LineStrategy, ProgramKind, Simulation,
+};
 
 fn main() {
     let host = topology::linear_array(12, DelayModel::uniform(1, 8), 11);
@@ -80,7 +82,10 @@ fn main() {
         .and_then(|sim| sim.run());
     match single {
         Err(Error::Run(e)) => println!("\nsingle-copy baseline under the same faults: ABORT ({e})"),
-        Ok(r) => println!("\nsingle-copy baseline survived?! slowdown {:.2}", r.stats.slowdown),
+        Ok(r) => println!(
+            "\nsingle-copy baseline survived?! slowdown {:.2}",
+            r.stats.slowdown
+        ),
         Err(e) => println!("\nsingle-copy baseline failed to plan: {e}"),
     }
     println!(

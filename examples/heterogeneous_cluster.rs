@@ -39,8 +39,7 @@ fn main() {
         let ok = validate_run(&trace, &out).is_empty();
         println!(
             "{name:<28} slowdown {:>7.2}   max shards/machine {:>3}   validated {ok}",
-            out.stats.slowdown,
-            out.stats.load
+            out.stats.slowdown, out.stats.load
         );
         assert!(ok);
     }

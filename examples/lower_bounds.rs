@@ -27,7 +27,10 @@ fn main() {
         OneCopyLayout::Scatter { stride: 7 },
     ] {
         let cert = one_copy_certificate(&host, &one_copy_layout(layout, n, n));
-        println!("  {layout:?}: slowdown ≥ {cert:.1}  (√n = {:.1})", (n as f64).sqrt());
+        println!(
+            "  {layout:?}: slowdown ≥ {cert:.1}  (√n = {:.1})",
+            (n as f64).sqrt()
+        );
     }
 
     let guest = GuestSpec::line(n, ProgramKind::Relaxation, 3, 24);
@@ -55,13 +58,14 @@ fn main() {
         h2.segments.len(),
         h2.d
     );
-    println!(
-        "Fact 4 check: min over segment pairs of delay/(min(u,v)·log n) = {ratio:.2} > 0 ✓\n"
-    );
+    println!("Fact 4 check: min over segment pairs of delay/(min(u,v)·log n) = {ratio:.2} > 0 ✓\n");
 
     println!("Figure 6 — the 4j-pebble zigzag path (i = 10, j = 4, t = 50):");
     for p in zigzag_path(10, 4, 50) {
-        println!("  set {}: pebble (col {:>2}, step {:>2})", p.set, p.col, p.step);
+        println!(
+            "  set {}: pebble (col {:>2}, step {:>2})",
+            p.set, p.col, p.step
+        );
     }
     println!(
         "\nwith ≤2 copies and constant load, computing this path forces either one \

@@ -26,7 +26,10 @@ fn main() {
 
     let r = simulate_mesh_on_host(&guest, &host, 4.0, 2).expect("mesh emulation");
     println!("slowdown:          {:.2}", r.stats.slowdown);
-    println!("load:              {} mesh cells / workstation", r.stats.load);
+    println!(
+        "load:              {} mesh cells / workstation",
+        r.stats.load
+    );
     println!("work efficiency:   {:.3}", r.stats.efficiency());
     println!("embedding dilation {}", r.dilation);
     println!(

@@ -12,8 +12,8 @@
 
 use overlap::core::pipeline::host_as_array;
 use overlap::{
-    topology, validate_run, Assignment, DelayModel, Engine, EngineConfig, GuestSpec,
-    LineStrategy, ProgramKind, ReferenceRun, Simulation,
+    topology, validate_run, Assignment, DelayModel, Engine, EngineConfig, GuestSpec, LineStrategy,
+    ProgramKind, ReferenceRun, Simulation,
 };
 
 fn main() {

@@ -62,7 +62,10 @@ fn main() {
             "{:<18} {:>9.2} {:>6} {:>11.2} {:>9}",
             r.strategy, r.stats.slowdown, r.stats.load, r.stats.redundancy, r.validated
         );
-        assert!(r.validated, "every copy must match the unit-delay reference");
+        assert!(
+            r.validated,
+            "every copy must match the unit-delay reference"
+        );
     }
     println!(
         "\nThe combined strategy (Theorem 5) hides the {}-tick worst links by replicating \

@@ -42,7 +42,13 @@ fn main() {
     );
 
     for (label, strategy) in [
-        ("combined", LineStrategy::Combined { c: 4.0, expansion: 2 }),
+        (
+            "combined",
+            LineStrategy::Combined {
+                c: 4.0,
+                expansion: 2,
+            },
+        ),
         ("blocked", LineStrategy::Blocked),
     ] {
         let report = Simulation::of(&guest)

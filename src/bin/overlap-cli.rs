@@ -40,8 +40,8 @@
 use overlap::core::mesh::simulate_mesh_on_host;
 use overlap::net::metrics::DelayStats;
 use overlap::{
-    topology, DelayModel, EngineKind, FaultPlan, GuestSpec, GuestTopology, HostGraph,
-    LineStrategy, ProgramKind, Simulation, TraceConfig,
+    topology, DelayModel, EngineKind, FaultPlan, GuestSpec, GuestTopology, HostGraph, LineStrategy,
+    ProgramKind, Simulation, TraceConfig,
 };
 use std::process::exit;
 
@@ -53,7 +53,10 @@ fn usage(msg: &str) -> ! {
 fn parse_nums(s: &str) -> Vec<u64> {
     s.split(&[':', 'x'][..])
         .skip(1)
-        .map(|p| p.parse().unwrap_or_else(|_| usage(&format!("bad number in '{s}'"))))
+        .map(|p| {
+            p.parse()
+                .unwrap_or_else(|_| usage(&format!("bad number in '{s}'")))
+        })
         .collect()
 }
 
@@ -98,7 +101,10 @@ fn parse_delays(spec: &str) -> DelayModel {
 
 fn parse_host(spec: &str, dm: DelayModel, seed: u64) -> HostGraph {
     let v = parse_nums(spec);
-    let get = |i: usize| *v.get(i).unwrap_or_else(|| usage(&format!("'{spec}' needs more parameters"))) as u32;
+    let get = |i: usize| {
+        *v.get(i)
+            .unwrap_or_else(|| usage(&format!("'{spec}' needs more parameters"))) as u32
+    };
     if spec.starts_with("line") {
         topology::linear_array(get(0), dm, seed)
     } else if spec.starts_with("ring") {
@@ -132,7 +138,10 @@ fn parse_host(spec: &str, dm: DelayModel, seed: u64) -> HostGraph {
 
 fn parse_guest(spec: &str, seed: u64, steps: u32) -> GuestSpec {
     let v = parse_nums(spec);
-    let get = |i: usize| *v.get(i).unwrap_or_else(|| usage(&format!("'{spec}' needs more parameters"))) as u32;
+    let get = |i: usize| {
+        *v.get(i)
+            .unwrap_or_else(|| usage(&format!("'{spec}' needs more parameters"))) as u32
+    };
     let pk = ProgramKind::KvWorkload;
     if spec.starts_with("line") {
         GuestSpec::line(get(0), pk, seed, steps)
@@ -187,10 +196,13 @@ fn parse_faults(args: &[String], host: &HostGraph, seed: u64, horizon: u64) -> O
         if a != "--faults" {
             continue;
         }
-        let spec = args.get(i + 1).unwrap_or_else(|| usage("--faults needs a value"));
+        let spec = args
+            .get(i + 1)
+            .unwrap_or_else(|| usage("--faults needs a value"));
         let v = parse_nums(spec);
         let get = |i: usize| {
-            *v.get(i).unwrap_or_else(|| usage(&format!("'{spec}' needs more parameters")))
+            *v.get(i)
+                .unwrap_or_else(|| usage(&format!("'{spec}' needs more parameters")))
         };
         any = true;
         plan = if spec.starts_with("down") {
@@ -200,7 +212,13 @@ fn parse_faults(args: &[String], host: &HostGraph, seed: u64, horizon: u64) -> O
         } else if spec.starts_with("crash") {
             plan.crash(get(0) as u32, get(1))
         } else if spec.starts_with("rand") {
-            plan.with_random_outages(host, seed, get(0) as f64 / 100.0, (horizon / 16).max(8), horizon)
+            plan.with_random_outages(
+                host,
+                seed,
+                get(0) as f64 / 100.0,
+                (horizon / 16).max(8),
+                horizon,
+            )
         } else {
             usage(&format!("unknown fault '{spec}'"))
         };
@@ -213,10 +231,15 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         // The module doc is the help text.
         println!("overlap-cli — latency-hiding simulations (SPAA'96 reproduction)\n");
-        println!("{}", include_str!("overlap-cli.rs").lines()
-            .take_while(|l| l.starts_with("//!"))
-            .map(|l| l.trim_start_matches("//!").trim_start_matches(' '))
-            .collect::<Vec<_>>().join("\n"));
+        println!(
+            "{}",
+            include_str!("overlap-cli.rs")
+                .lines()
+                .take_while(|l| l.starts_with("//!"))
+                .map(|l| l.trim_start_matches("//!").trim_start_matches(' '))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
         return;
     }
     let opt = |name: &str, default: &str| -> String {
@@ -226,8 +249,12 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| default.to_string())
     };
-    let seed: u64 = opt("--seed", "42").parse().unwrap_or_else(|_| usage("bad --seed"));
-    let steps: u32 = opt("--steps", "64").parse().unwrap_or_else(|_| usage("bad --steps"));
+    let seed: u64 = opt("--seed", "42")
+        .parse()
+        .unwrap_or_else(|_| usage("bad --seed"));
+    let steps: u32 = opt("--steps", "64")
+        .parse()
+        .unwrap_or_else(|_| usage("bad --steps"));
     let dm = parse_delays(&opt("--delays", "uniform:1:9"));
     let host = parse_host(&opt("--host", "line:32"), dm, seed);
     let default_guest = format!("line:{}", 2 * host.num_nodes());
@@ -244,12 +271,23 @@ fn main() {
         use overlap::core::general::embedded_array_stats;
         use overlap::core::pipeline::{host_as_array, resolve_auto};
         use overlap::net::metrics::DistanceStats;
-        println!("host      : {} — {} nodes, {} links", host.name(), host.num_nodes(), host.num_links());
-        println!("delays    : d_ave {:.2}, d_max {}, d_min {}", stats.d_ave, stats.d_max, stats.d_min);
+        println!(
+            "host      : {} — {} nodes, {} links",
+            host.name(),
+            host.num_nodes(),
+            host.num_links()
+        );
+        println!(
+            "delays    : d_ave {:.2}, d_max {}, d_min {}",
+            stats.d_ave, stats.d_max, stats.d_min
+        );
         println!("degree    : max {}", host.max_degree());
         if host.num_nodes() <= 4096 {
             let dist = DistanceStats::of(&host);
-            println!("distances : diameter {} (delay-weighted), mean {:.1}", dist.diameter, dist.mean_distance);
+            println!(
+                "distances : diameter {} (delay-weighted), mean {:.1}",
+                dist.diameter, dist.mean_distance
+            );
         }
         let e = embedded_array_stats(&host);
         println!(
@@ -262,17 +300,29 @@ fn main() {
         println!("auto pick : {}", resolve_auto(&delays).label());
         return;
     }
-    println!("host    : {} — {} nodes, d_ave {:.2}, d_max {}", host.name(), host.num_nodes(), stats.d_ave, stats.d_max);
-    println!("guest   : {:?} — {} cells × {} steps", guest.topology, guest.num_cells(), guest.steps);
+    println!(
+        "host    : {} — {} nodes, d_ave {:.2}, d_max {}",
+        host.name(),
+        host.num_nodes(),
+        stats.d_ave,
+        stats.d_max
+    );
+    println!(
+        "guest   : {:?} — {} cells × {} steps",
+        guest.topology,
+        guest.num_cells(),
+        guest.steps
+    );
 
     // Horizon estimate for random fault generation: the run's tick count
     // is unknown up front, so scale the guest length by the delay spread.
     let horizon = steps as u64 * (stats.d_max + 2);
     let faults = parse_faults(&args, &host, seed, horizon);
-    let trace_json: Option<String> = args
-        .iter()
-        .position(|a| a == "--trace-json")
-        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage("--trace-json needs a file path")));
+    let trace_json: Option<String> = args.iter().position(|a| a == "--trace-json").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| usage("--trace-json needs a file path"))
+    });
 
     let report = match guest.topology {
         GuestTopology::Line { .. } | GuestTopology::Ring { .. } => {
@@ -317,10 +367,23 @@ fn main() {
     match report {
         Ok(r) => {
             println!("strategy: {}", r.strategy);
-            println!("slowdown : {:.2}  (makespan {} / {} steps)", r.stats.slowdown, r.stats.makespan, r.stats.guest_steps);
-            println!("load     : {} databases/processor, redundancy {:.2}×", r.stats.load, r.stats.redundancy);
-            println!("traffic  : {} pebble messages, {} link hops", r.stats.messages, r.stats.pebble_hops);
-            println!("efficiency {:.3}, work overhead {:.2}×", r.stats.efficiency(), r.stats.work_overhead());
+            println!(
+                "slowdown : {:.2}  (makespan {} / {} steps)",
+                r.stats.slowdown, r.stats.makespan, r.stats.guest_steps
+            );
+            println!(
+                "load     : {} databases/processor, redundancy {:.2}×",
+                r.stats.load, r.stats.redundancy
+            );
+            println!(
+                "traffic  : {} pebble messages, {} link hops",
+                r.stats.messages, r.stats.pebble_hops
+            );
+            println!(
+                "efficiency {:.3}, work overhead {:.2}×",
+                r.stats.efficiency(),
+                r.stats.work_overhead()
+            );
             let f = r.stats.faults;
             if f != Default::default() {
                 println!(

@@ -11,8 +11,9 @@
 //! * [`net`] — the host network substrate (topologies, link delays,
 //!   embeddings, metrics);
 //! * [`sim`] — the NOW simulator: three execution engines (greedy
-//!   event-driven, parallel time-stepped, lockstep baseline), unicast and
-//!   multicast routing, the paper's bandwidth law, link jitter,
+//!   event-driven, parallel time-stepped, lockstep baseline) all consuming
+//!   one lowered [`ExecPlan`] (compile a placement once, run it anywhere),
+//!   unicast and multicast routing, the paper's bandwidth law, link jitter,
 //!   heterogeneous machine speeds, timing traces, and bit-exact validation
 //!   against the unit-delay reference;
 //! * [`core`] — the paper's algorithms: the OVERLAP killing/labeling tree
@@ -73,12 +74,10 @@ pub use overlap_model as model;
 pub use overlap_net as net;
 pub use overlap_sim as sim;
 
-pub use overlap_core::{
-    Error, EngineKind, LineStrategy, SimReport, Simulation, SimulationBuilder,
-};
+pub use overlap_core::{EngineKind, Error, LineStrategy, SimReport, Simulation, SimulationBuilder};
 pub use overlap_model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun, ReferenceTrace};
 pub use overlap_net::{topology, DelayModel, HostGraph};
 pub use overlap_sim::{
-    validate_run, Assignment, BandwidthMode, Engine, EngineConfig, FaultPlan, FaultStats, Jitter,
-    RetryPolicy, RunError, RunOutcome, RunStats, StallBreakdown, TraceConfig, TraceReport,
+    validate_run, Assignment, BandwidthMode, Engine, EngineConfig, ExecPlan, FaultPlan, FaultStats,
+    Jitter, RetryPolicy, RunError, RunOutcome, RunStats, StallBreakdown, TraceConfig, TraceReport,
 };

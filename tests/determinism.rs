@@ -15,9 +15,12 @@ fn simulate(
     host: &overlap::HostGraph,
     strategy: LineStrategy,
 ) -> Result<overlap::SimReport, overlap::Error> {
-    Simulation::of(guest).on(host).strategy(strategy).build().and_then(|s| s.run())
+    Simulation::of(guest)
+        .on(host)
+        .strategy(strategy)
+        .build()
+        .and_then(|s| s.run())
 }
-
 
 #[test]
 fn pipeline_is_deterministic_across_runs() {
@@ -126,14 +129,9 @@ fn golden_engine_run_is_bit_stable() {
     assert_eq!(tdigest, 0x13bc53be88719ba8, "timing trace moved");
 
     // The frozen classic (heap-based) engine must agree bit for bit.
-    let classic = overlap::sim::engine_classic::run_classic(
-        &guest,
-        &host,
-        &assign,
-        cfg,
-        Some(&[1, 3, 2, 1]),
-    )
-    .expect("classic run");
+    let classic =
+        overlap::sim::engine_classic::run_classic(&guest, &host, &assign, cfg, Some(&[1, 3, 2, 1]))
+            .expect("classic run");
     assert_eq!(out, classic);
 }
 
@@ -179,14 +177,9 @@ fn traced_golden_run_matches_classic_oracle_and_conserves() {
         out.stats.makespan * out.copies.len() as u64
     );
 
-    let classic = overlap::sim::engine_classic::run_classic(
-        &guest,
-        &host,
-        &assign,
-        cfg,
-        Some(&[1, 3, 2, 1]),
-    )
-    .expect("classic run");
+    let classic =
+        overlap::sim::engine_classic::run_classic(&guest, &host, &assign, cfg, Some(&[1, 3, 2, 1]))
+            .expect("classic run");
     let mut stripped = out;
     stripped.trace = None;
     stripped.stats.stalls = None;

@@ -10,7 +10,11 @@ fn simulate(
     host: &overlap::HostGraph,
     strategy: LineStrategy,
 ) -> Result<overlap::SimReport, overlap::Error> {
-    Simulation::of(guest).on(host).strategy(strategy).build().and_then(|s| s.run())
+    Simulation::of(guest)
+        .on(host)
+        .strategy(strategy)
+        .build()
+        .and_then(|s| s.run())
 }
 
 use overlap::model::{GuestSpec, ProgramKind};

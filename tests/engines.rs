@@ -1,7 +1,8 @@
-//! Three execution semantics, one model: the event-driven engine, the
-//! parallel time-stepped engine, and the lockstep executor must compute
-//! identical state for every strategy's assignment, and their makespans
-//! must order sensibly (greedy ≤ lockstep).
+//! Three execution semantics, one lowered plan: every strategy's
+//! assignment is compiled once into an `ExecPlan`, and the event-driven
+//! engine, the parallel time-stepped engine, and the lockstep executor
+//! all consume that same plan. They must compute identical state, and
+//! their makespans must order sensibly (greedy ≤ lockstep).
 
 use overlap::core::pipeline::{plan_line_placement, LineStrategy};
 use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
@@ -10,7 +11,7 @@ use overlap::sim::engine::{Engine, EngineConfig};
 use overlap::sim::lockstep::run_lockstep;
 use overlap::sim::stepped::run_stepped;
 use overlap::sim::validate::validate_run;
-use overlap::sim::BandwidthMode;
+use overlap::sim::{ExecPlan, RunOutcome};
 
 fn strategies() -> Vec<LineStrategy> {
     vec![
@@ -25,19 +26,40 @@ fn strategies() -> Vec<LineStrategy> {
     ]
 }
 
+/// Copy-level state must agree between two outcomes (folds and database
+/// digests; completion times legitimately differ between engines).
+fn assert_same_state(label: &str, a: &RunOutcome, b: &RunOutcome) {
+    let mut xs = a.copies.clone();
+    let mut ys = b.copies.clone();
+    xs.sort_by_key(|c| (c.cell, c.proc));
+    ys.sort_by_key(|c| (c.cell, c.proc));
+    assert_eq!(xs.len(), ys.len(), "{label}: copy count mismatch");
+    for (x, y) in xs.iter().zip(&ys) {
+        assert_eq!(x.value_fold, y.value_fold, "{label}: value fold");
+        assert_eq!(x.db_digest, y.db_digest, "{label}: db digest");
+        assert_eq!(x.update_fold, y.update_fold, "{label}: update fold");
+    }
+}
+
 #[test]
-fn all_three_engines_agree_on_state_for_every_strategy() {
+fn all_three_engines_agree_on_state_from_one_plan() {
+    // Heterogeneous link delays, every placement strategy; one lowering
+    // feeds all three executors.
     let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 11, 10);
     let host = topology::linear_array(8, DelayModel::uniform(1, 12), 5);
     let trace = ReferenceRun::execute(&guest);
     for s in strategies() {
         let placement = plan_line_placement(&guest, &host, s).expect("placement");
-        let a = &placement.assignment;
-        let ev = Engine::new(&guest, &host, a, EngineConfig::default())
-            .run()
-            .expect("event");
-        let st = run_stepped(&guest, &host, a, EngineConfig::default()).expect("stepped");
-        let lk = run_lockstep(&guest, &host, a, BandwidthMode::LogN).expect("lockstep");
+        let plan = ExecPlan::build(
+            &guest,
+            &host,
+            &placement.assignment,
+            EngineConfig::default(),
+        )
+        .expect("plan");
+        let ev = Engine::from_plan(&plan).run().expect("event");
+        let st = run_stepped(&plan).expect("stepped");
+        let lk = run_lockstep(&plan).expect("lockstep");
         for out in [&ev, &st, &lk] {
             assert!(
                 validate_run(&trace, out).is_empty(),
@@ -45,6 +67,8 @@ fn all_three_engines_agree_on_state_for_every_strategy() {
                 s.label()
             );
         }
+        assert_same_state(&s.label(), &ev, &st);
+        assert_same_state(&s.label(), &ev, &lk);
         assert!(
             ev.stats.makespan <= lk.stats.makespan,
             "{}: greedy {} should not lose to lockstep {}",
@@ -56,20 +80,56 @@ fn all_three_engines_agree_on_state_for_every_strategy() {
 }
 
 #[test]
-fn engines_agree_on_embedded_non_path_hosts() {
+fn engines_agree_on_ring_fold_over_embedded_host() {
+    // Ring guest (the slowdown-2 fold) on a non-path host: the plan is
+    // lowered from the embedded placement and shared three ways.
     let guest = GuestSpec::ring(18, ProgramKind::RuleAutomaton { db_size: 8 }, 3, 8);
     let host = topology::mesh2d(3, 3, DelayModel::uniform(1, 10), 7);
     let trace = ReferenceRun::execute(&guest);
     let placement =
         plan_line_placement(&guest, &host, LineStrategy::Overlap { c: 4.0 }).expect("placement");
-    let a = &placement.assignment;
-    let ev = Engine::new(&guest, &host, a, EngineConfig::default())
-        .run()
-        .expect("event");
-    let st = run_stepped(&guest, &host, a, EngineConfig::default()).expect("stepped");
+    let plan = ExecPlan::build(
+        &guest,
+        &host,
+        &placement.assignment,
+        EngineConfig::default(),
+    )
+    .expect("plan");
+    let ev = Engine::from_plan(&plan).run().expect("event");
+    let st = run_stepped(&plan).expect("stepped");
+    let lk = run_lockstep(&plan).expect("lockstep");
     assert!(validate_run(&trace, &ev).is_empty());
     assert!(validate_run(&trace, &st).is_empty());
+    assert!(validate_run(&trace, &lk).is_empty());
+    assert_same_state("ring-fold", &ev, &st);
+    assert_same_state("ring-fold", &ev, &lk);
     assert_eq!(ev.stats.messages, st.stats.messages);
+}
+
+#[test]
+fn plan_reuse_is_bit_identical_to_fresh_lowerings() {
+    // Two runs from one plan must equal two runs from two independent
+    // lowerings, outcome-for-outcome — including the multicast tables
+    // (event engine only; the other executors reject multicast up front).
+    let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 7, 12);
+    let host = topology::mesh2d(3, 3, DelayModel::uniform(1, 9), 2);
+    let placement =
+        plan_line_placement(&guest, &host, LineStrategy::Halo { halo: 1 }).expect("placement");
+    let a = &placement.assignment;
+    for multicast in [false, true] {
+        let cfg = EngineConfig {
+            multicast,
+            ..Default::default()
+        };
+        let shared = ExecPlan::build(&guest, &host, a, cfg).expect("plan");
+        let r1 = Engine::from_plan(&shared).run().expect("first shared run");
+        let r2 = Engine::from_plan(&shared).run().expect("second shared run");
+        let f1 = Engine::new(&guest, &host, a, cfg).run().expect("fresh 1");
+        let f2 = Engine::new(&guest, &host, a, cfg).run().expect("fresh 2");
+        assert_eq!(r1, r2, "multicast={multicast}: shared plan not reusable");
+        assert_eq!(r1, f1, "multicast={multicast}: shared vs fresh diverge");
+        assert_eq!(f1, f2, "multicast={multicast}: fresh lowerings diverge");
+    }
 }
 
 #[test]
@@ -100,8 +160,7 @@ fn calendar_engine_matches_classic_on_planned_placements() {
                 .with_compute_costs(costs.clone())
                 .run()
                 .expect("calendar engine");
-            let classic =
-                run_classic(&guest, &host, a, cfg, Some(&costs)).expect("classic engine");
+            let classic = run_classic(&guest, &host, a, cfg, Some(&costs)).expect("classic engine");
             assert_eq!(
                 new,
                 classic,
@@ -125,11 +184,15 @@ fn lockstep_slowdown_tracks_dmax_while_greedy_does_not() {
         let host = topology::line_with_middle_spike(128, spike);
         let placement = plan_line_placement(&guest, &host, LineStrategy::Overlap { c: 4.0 })
             .expect("placement");
-        let a = &placement.assignment;
-        let lk = run_lockstep(&guest, &host, a, BandwidthMode::LogN).expect("lockstep");
-        let ev = Engine::new(&guest, &host, a, EngineConfig::default())
-            .run()
-            .expect("event");
+        let plan = ExecPlan::build(
+            &guest,
+            &host,
+            &placement.assignment,
+            EngineConfig::default(),
+        )
+        .expect("plan");
+        let lk = run_lockstep(&plan).expect("lockstep");
+        let ev = Engine::from_plan(&plan).run().expect("event");
         lock_slow.push(lk.stats.slowdown);
         greedy_slow.push(ev.stats.slowdown);
     }

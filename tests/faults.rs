@@ -34,7 +34,9 @@ fn empty_fault_plan_is_bit_identical_across_engines_and_configs() {
                 jitter,
                 ..EngineConfig::default()
             };
-            let plain = Engine::new(&guest, &host, &assign, cfg).run().expect("plain");
+            let plain = Engine::new(&guest, &host, &assign, cfg)
+                .run()
+                .expect("plain");
             let empty = Engine::new(&guest, &host, &assign, cfg)
                 .with_faults(FaultPlan::new())
                 .run()

@@ -2,12 +2,12 @@
 //! must always produce simulations that validate bit-for-bit against the
 //! unit-delay reference — the workspace's core safety property.
 
-use overlap::{LineStrategy, Simulation};
 use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap::net::{topology, DelayModel};
 use overlap::sim::engine::{Engine, EngineConfig};
 use overlap::sim::validate::validate_run;
 use overlap::sim::Assignment;
+use overlap::{LineStrategy, Simulation};
 use proptest::prelude::*;
 
 fn program_strategy() -> impl Strategy<Value = ProgramKind> {

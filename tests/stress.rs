@@ -10,7 +10,11 @@ fn simulate(
     host: &overlap::HostGraph,
     strategy: LineStrategy,
 ) -> Result<overlap::SimReport, overlap::Error> {
-    Simulation::of(guest).on(host).strategy(strategy).build().and_then(|s| s.run())
+    Simulation::of(guest)
+        .on(host)
+        .strategy(strategy)
+        .build()
+        .and_then(|s| s.run())
 }
 
 use overlap::model::{GuestSpec, ProgramKind};
@@ -21,8 +25,7 @@ use overlap::net::{topology, DelayModel};
 fn overlap_on_4096_processor_host() {
     let host = topology::linear_array(4096, DelayModel::uniform(1, 32), 9);
     let guest = GuestSpec::line(8192, ProgramKind::Relaxation, 5, 128);
-    let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 })
-        .expect("large overlap run");
+    let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).expect("large overlap run");
     assert!(r.validated);
     assert!(r.stats.slowdown >= 1.0);
 }
@@ -58,7 +61,6 @@ fn long_horizon_run_stays_consistent() {
     // histories.
     let host = topology::linear_array(16, DelayModel::uniform(1, 12), 2);
     let guest = GuestSpec::line(64, ProgramKind::CacheChurn, 3, 4096);
-    let r = simulate(&guest, &host, LineStrategy::Halo { halo: 1 })
-        .expect("long run");
+    let r = simulate(&guest, &host, LineStrategy::Halo { halo: 1 }).expect("long run");
     assert!(r.validated);
 }

@@ -132,10 +132,18 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, 
     let per_sec = |count: u64| count as f64 * 1e9 / b.ns_per_iter.max(1.0);
     match throughput {
         Some(Throughput::Elements(n)) => {
-            println!("{label}: {:.0} ns/iter ({:.0} elem/s)", b.ns_per_iter, per_sec(n));
+            println!(
+                "{label}: {:.0} ns/iter ({:.0} elem/s)",
+                b.ns_per_iter,
+                per_sec(n)
+            );
         }
         Some(Throughput::Bytes(n)) => {
-            println!("{label}: {:.0} ns/iter ({:.0} B/s)", b.ns_per_iter, per_sec(n));
+            println!(
+                "{label}: {:.0} ns/iter ({:.0} B/s)",
+                b.ns_per_iter,
+                per_sec(n)
+            );
         }
         None => println!("{label}: {:.0} ns/iter", b.ns_per_iter),
     }

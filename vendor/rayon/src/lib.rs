@@ -80,7 +80,9 @@ mod tests {
         let squared: Vec<u32> = (1u32..4).into_par_iter().map(|x| x * x).collect();
         assert_eq!(squared, vec![1, 4, 9]);
         let mut w = vec![1u32, 2, 3];
-        w.par_iter_mut().zip(v.par_iter()).for_each(|(a, b)| *a += b);
+        w.par_iter_mut()
+            .zip(v.par_iter())
+            .for_each(|(a, b)| *a += b);
         assert_eq!(w, vec![2, 4, 6]);
     }
 }

@@ -52,7 +52,10 @@ impl Value {
     }
 
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 }
 
@@ -362,7 +365,12 @@ mod tests {
         // Missing non-default field errors.
         assert!(P::from_value(&Value::Map(vec![])).is_err());
 
-        for e in [E::Unit, E::New(7), E::Pair(1, 2), E::Named { a: 3, b: true }] {
+        for e in [
+            E::Unit,
+            E::New(7),
+            E::Pair(1, 2),
+            E::Named { a: 3, b: true },
+        ] {
             let v = e.to_value();
             assert_eq!(E::from_value(&v), Ok(e));
         }

@@ -216,9 +216,7 @@ fn parse_item(input: TokenStream) -> Item {
     let kw = c.expect_ident("`struct` or `enum`");
     let name = c.expect_ident("type name");
     if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        panic!(
-            "serde_derive: generic type `{name}` is not supported by the vendored stand-in"
-        );
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored stand-in");
     }
     let shape = match (kw.as_str(), c.peek()) {
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
@@ -304,9 +302,7 @@ fn de_tuple(ty: &str, ctor: &str, arity: usize, payload: &str) -> String {
 fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
-        Shape::Struct(Fields::Named(fields)) => {
-            ser_named(fields, |f| format!("&self.{f}"))
-        }
+        Shape::Struct(Fields::Named(fields)) => ser_named(fields, |f| format!("&self.{f}")),
         Shape::Struct(Fields::Tuple(arity)) => {
             let elems: Vec<String> = (0..*arity)
                 .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
@@ -320,9 +316,9 @@ fn gen_serialize(item: &Item) -> String {
                 let vn = &v.name;
                 let tag = format!("::std::string::String::from(\"{vn}\")");
                 match &v.fields {
-                    Fields::Unit => arms.push_str(&format!(
-                        "{name}::{vn} => ::serde::Value::Str({tag}), "
-                    )),
+                    Fields::Unit => {
+                        arms.push_str(&format!("{name}::{vn} => ::serde::Value::Str({tag}), "))
+                    }
                     Fields::Tuple(arity) => {
                         let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
                         let payload = if *arity == 1 {
@@ -340,8 +336,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let payload = ser_named(fields, |f| f.to_string());
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![({tag}, {payload})]), ",
@@ -373,9 +368,8 @@ fn gen_deserialize(item: &Item) -> String {
                 let vn = &v.name;
                 let ctor = format!("{name}::{vn}");
                 match &v.fields {
-                    Fields::Unit => unit_arms.push_str(&format!(
-                        "\"{vn}\" => ::std::result::Result::Ok({ctor}), "
-                    )),
+                    Fields::Unit => unit_arms
+                        .push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({ctor}), ")),
                     Fields::Tuple(arity) => data_arms.push_str(&format!(
                         "\"{vn}\" => {}, ",
                         de_tuple(&format!("{name}::{vn}"), &ctor, *arity, "payload")

@@ -265,8 +265,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(Error::custom("invalid surrogate pair"));
                                 }
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error::custom("invalid surrogate pair"))?
                             } else {
