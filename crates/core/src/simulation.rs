@@ -186,6 +186,11 @@ impl<'a> SimulationBuilder<'a> {
                 return Err(Error::Config("compute costs must be ≥ 1".into()));
             }
         }
+        // A fault plan must name real links and processors of *this* host;
+        // a typo'd `--faults` spec used to abort the process at lowering.
+        if let Some(faults) = &self.faults {
+            faults.validate(host).map_err(Error::Run)?;
+        }
         // Feature × engine support matrix. Features are rejected up
         // front with `Error::Unsupported` — never silently dropped at
         // run time.
@@ -303,7 +308,7 @@ impl ReadySimulation<'_> {
             plan = plan.with_compute_costs(costs.clone());
         }
         if let Some(faults) = &self.faults {
-            plan = plan.with_faults(faults.clone());
+            plan = plan.with_faults(faults.clone())?;
         }
         Ok(plan)
     }
@@ -609,6 +614,42 @@ mod tests {
         assert!(faulty.validated, "degraded run must still validate");
         assert!(faulty.stats.faults.retries > 0);
         assert!(faulty.stats.makespan >= clean.stats.makespan);
+    }
+
+    #[test]
+    fn fault_plan_on_missing_link_is_rejected_at_build() {
+        let (guest, host) = lab();
+        // The 4-node linear array has no 0–3 link.
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .faults(FaultPlan::new().link_down(0, 3, 5, 10))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Run(RunError::MissingLink { from: 0, to: 3 })),
+            "{err}"
+        );
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .faults(FaultPlan::new().delay_spike(2, 0, 5, 10, 3))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Run(RunError::MissingLink { .. })),
+            "{err}"
+        );
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .faults(FaultPlan::new().crash(12, 5))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Run(RunError::NoSuchProcessor { proc: 12, procs: 4 })
+            ),
+            "{err}"
+        );
     }
 
     #[test]

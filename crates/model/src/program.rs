@@ -76,6 +76,24 @@ impl ProgramKind {
             ProgramKind::CacheChurn => Arc::new(CacheChurn),
         }
     }
+
+    /// Derive a program kind deterministically from `bits` (e.g. a PRNG
+    /// draw): every variant is reachable and parameters stay in sane,
+    /// fuzz-friendly ranges. Used by the differential fuzzer.
+    pub fn arbitrary(bits: u64) -> Self {
+        match bits % 6 {
+            0 => ProgramKind::StencilSum,
+            1 => ProgramKind::RuleAutomaton {
+                db_size: 1 + (bits >> 3) as u32 % 9,
+            },
+            2 => ProgramKind::KvWorkload,
+            3 => ProgramKind::Relaxation,
+            4 => ProgramKind::Histogram {
+                buckets: 1 + (bits >> 3) as u32 % 12,
+            },
+            _ => ProgramKind::CacheChurn,
+        }
+    }
 }
 
 /// Convenience constructors for the built-in programs.

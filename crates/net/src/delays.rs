@@ -124,6 +124,38 @@ impl DelayModel {
             } => format!("spike({base},{spike}/{period})"),
         }
     }
+
+    /// Derive a delay model deterministically from `bits` (e.g. a PRNG
+    /// draw): every variant is reachable with small, fuzz-friendly
+    /// parameters. Used by the differential fuzzer.
+    pub fn arbitrary(bits: u64) -> Self {
+        let p = bits >> 3;
+        match bits % 5 {
+            0 => DelayModel::Constant(1 + p % 9),
+            1 => {
+                let lo = 1 + p % 6;
+                DelayModel::Uniform {
+                    lo,
+                    hi: lo + (p >> 8) % 20,
+                }
+            }
+            2 => DelayModel::Bimodal {
+                lo: 1 + p % 4,
+                hi: 8 + (p >> 8) % 40,
+                p_hi: 0.05 + ((p >> 16) % 50) as f64 / 100.0,
+            },
+            3 => DelayModel::HeavyTail {
+                min: 1 + p % 4,
+                alpha: 1.1 + ((p >> 8) % 20) as f64 / 10.0,
+                cap: 32 + (p >> 16) % 200,
+            },
+            _ => DelayModel::Spike {
+                base: 1 + p % 3,
+                spike: 10 + (p >> 8) % 60,
+                period: 1 + (p >> 16) % 7,
+            },
+        }
+    }
 }
 
 #[cfg(test)]

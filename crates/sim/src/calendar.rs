@@ -110,11 +110,16 @@ impl<T> CalendarQueue<T> {
         self.len() == 0
     }
 
-    /// Schedule `ev` at `tick`. `tick` must be `>= ` the tick of the most
-    /// recent `pop` (events are never scheduled in the past).
+    /// Schedule `ev` at `tick`. Events must never be scheduled in the past:
+    /// a `tick` below the tick of the most recent `pop` is clamped up to
+    /// the cursor, so the event is delivered at the current tick instead of
+    /// silently wrapping into a future ring bucket and corrupting the
+    /// pop order. (The old behaviour only `debug_assert`ed, so release
+    /// builds could reorder events; the clamp makes the invariant
+    /// unconditional while keeping delivery order ascending.)
     #[inline]
     pub fn push(&mut self, tick: u64, ev: T) {
-        debug_assert!(tick >= self.cursor, "event scheduled in the past");
+        let tick = tick.max(self.cursor);
         self.seq += 1;
         if tick < self.cursor + WINDOW {
             let slot = (tick & MASK) as usize;
@@ -334,7 +339,7 @@ mod tests {
         fn overflow_spikes_match_reference_heap_prop(
             ops in proptest::collection::vec(
                 (
-                    0u8..4,
+                    0u8..5,
                     prop_oneof![
                         0u64..4,                    // same-tick / near
                         4u64..64,                   // in-window
@@ -358,6 +363,14 @@ mod tests {
                     prop_assert_eq!((t1, v1), (t2, v2));
                     now = t1;
                     pending -= 1;
+                } else if op == 4 {
+                    // Past-tick push: the calendar clamps to its cursor, so
+                    // the reference heap must schedule at `now` instead.
+                    cal.push(now.saturating_sub(delta), id);
+                    heap.push(Reverse((now, seq, id)));
+                    seq += 1;
+                    id += 1;
+                    pending += 1;
                 } else {
                     cal.push(now + delta, id);
                     heap.push(Reverse((now + delta, seq, id)));
@@ -373,6 +386,26 @@ mod tests {
             }
             prop_assert!(heap.pop().is_none());
         }
+    }
+
+    #[test]
+    fn past_tick_push_is_clamped_to_cursor() {
+        // Before the clamp, a past tick was masked straight into the ring
+        // and could land in a *future* bucket (tick & MASK wraps), so
+        // release builds popped events out of order. Now it is delivered
+        // at the cursor tick, after events already queued there.
+        let mut cal = CalendarQueue::new();
+        cal.push(0, 'a');
+        cal.push(10, 'b');
+        assert_eq!(cal.pop(), Some((0, 'a'))); // cursor now 0 -> scans to 10
+        assert_eq!(cal.pop(), Some((10, 'b'))); // cursor now 10
+        cal.push(3, 'p'); // in the past: clamped to 10
+        cal.push(10, 'q');
+        cal.push(11, 'r');
+        assert_eq!(cal.pop(), Some((10, 'p')));
+        assert_eq!(cal.pop(), Some((10, 'q')));
+        assert_eq!(cal.pop(), Some((11, 'r')));
+        assert!(cal.pop().is_none());
     }
 
     #[test]

@@ -155,11 +155,20 @@ pub enum RunError {
     },
     /// A routing table references a host link that does not exist
     /// (malformed route; previously a panic in `lockstep::round_cost`).
+    /// Also reported when a fault plan names a link absent from the host
+    /// (previously a panic in fault-plan lowering).
     MissingLink {
         /// Claimed link source.
         from: NodeId,
         /// Claimed link destination.
         to: NodeId,
+    },
+    /// A fault plan names a processor the host does not have.
+    NoSuchProcessor {
+        /// The named processor.
+        proc: NodeId,
+        /// Number of processors the host actually has.
+        procs: u32,
     },
 }
 
@@ -181,6 +190,12 @@ impl std::fmt::Display for RunError {
             }
             RunError::MissingLink { from, to } => {
                 write!(f, "route uses non-existent host link {from} -> {to}")
+            }
+            RunError::NoSuchProcessor { proc, procs } => {
+                write!(
+                    f,
+                    "fault plan names processor {proc}, but the host has only {procs}"
+                )
             }
         }
     }
@@ -707,7 +722,7 @@ impl<'a> Engine<'a> {
         // fault-free path schedules the exact same events in the exact
         // same order as an engine without a plan) ----
         let frt: Option<FaultRt> = match self.faults.as_ref().or(plan.faults.as_ref()) {
-            Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, plan.host)),
+            Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, plan.host)?),
             _ => None,
         };
         let n_orig_subs = hot.sub_link_off.len() - 1;
@@ -1322,6 +1337,30 @@ impl<'a> Engine<'a> {
                 tick: makespan,
                 remaining,
             });
+        }
+
+        // Crashes scheduled beyond the last pebble still destroy their
+        // processor's databases: the surviving set depends only on the
+        // fault plan, never on an engine's timing model, so the event,
+        // stepped and classic engines report identical copies even when
+        // their makespans straddle a crash tick. No work is left to
+        // forfeit and the run already completed, so a late crash cannot
+        // retroactively make a column unrecoverable.
+        if let Some(f) = frt.as_ref() {
+            for (p, &at) in f.crash_at.iter().enumerate() {
+                if at != u64::MAX && !crashed[p] {
+                    crashed[p] = true;
+                    tracer.on_crash(p as NodeId);
+                    fstats.crashed_procs += 1;
+                    fstats.lost_copies += hot.procs[p].cells.len() as u32;
+                    if record_timing {
+                        fault_timeline.push(FaultMark {
+                            tick: at,
+                            kind: FaultMarkKind::Crash { proc: p as NodeId },
+                        });
+                    }
+                }
+            }
         }
 
         // ---- collect outcome (crashed processors' copies are lost) ----

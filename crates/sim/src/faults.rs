@@ -25,6 +25,12 @@
 //!   consumer has not yet received. If a crash leaves some column with no
 //!   surviving copy anywhere, the run aborts with
 //!   `RunError::ColumnLost` — the fate of every single-copy layout.
+//!   A crash scheduled after an engine's last pebble still destroys the
+//!   processor's copies (storage is gone at the fault plan's horizon),
+//!   so the surviving set is a function of the plan alone and every
+//!   engine reports identical copies regardless of its timing model; a
+//!   post-completion crash cannot, however, retroactively abort a run
+//!   that already finished.
 //!
 //! Crashes kill *computation and storage*; the store-and-forward fabric
 //! (links, forwarding) stays up, as in a NOW whose switches are separate
@@ -37,6 +43,7 @@
 //! [`FaultPlan::with_random_crashes`]) derive every interval from a
 //! SplitMix64 stream keyed by `(seed, link)`.
 
+use crate::engine::RunError;
 use overlap_net::{HostGraph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -235,6 +242,36 @@ impl FaultPlan {
         self
     }
 
+    /// Check the plan against a concrete host: every outage and spike must
+    /// name an existing link, every crash an existing processor. Called by
+    /// [`ExecPlan::with_faults`] and the `Simulation` builder so a typo'd
+    /// fault spec surfaces as an error long before lowering (it used to be
+    /// a panic inside `FaultRt::build`).
+    ///
+    /// [`ExecPlan::with_faults`]: crate::plan::ExecPlan::with_faults
+    pub fn validate(&self, host: &HostGraph) -> Result<(), RunError> {
+        for (a, b) in self
+            .outages
+            .iter()
+            .map(|o| (o.a, o.b))
+            .chain(self.spikes.iter().map(|s| (s.a, s.b)))
+        {
+            if !host.has_link(a, b) {
+                return Err(RunError::MissingLink { from: a, to: b });
+            }
+        }
+        let procs = host.num_nodes();
+        for c in &self.crashes {
+            if c.proc >= procs {
+                return Err(RunError::NoSuchProcessor {
+                    proc: c.proc,
+                    procs,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Add `count` seeded random crashes among processors `0..procs`,
     /// uniformly spread over `[horizon/4, 3·horizon/4)`. Distinct victims.
     pub fn with_random_crashes(mut self, procs: u32, seed: u64, count: u32, horizon: u64) -> Self {
@@ -327,9 +364,10 @@ pub(crate) struct FaultRt {
 }
 
 impl FaultRt {
-    /// Compile `plan` against `host`. Panics if a fault names a
-    /// non-existent link or processor.
-    pub fn build(plan: &FaultPlan, host: &HostGraph) -> Self {
+    /// Compile `plan` against `host`. A fault naming a non-existent link
+    /// or processor is reported as [`RunError::MissingLink`] /
+    /// [`RunError::NoSuchProcessor`] (it used to abort the process).
+    pub fn build(plan: &FaultPlan, host: &HostGraph) -> Result<Self, RunError> {
         let mut link_ids: HashMap<(NodeId, NodeId), u32> = HashMap::new();
         let mut num_dirs = 0u32;
         for l in host.links() {
@@ -342,7 +380,7 @@ impl FaultRt {
             for (u, v) in [(o.a, o.b), (o.b, o.a)] {
                 let lid = *link_ids
                     .get(&(u, v))
-                    .unwrap_or_else(|| panic!("outage names non-link {u}–{v}"));
+                    .ok_or(RunError::MissingLink { from: u, to: v })?;
                 down[lid as usize].push((o.from, o.until));
             }
         }
@@ -363,7 +401,7 @@ impl FaultRt {
             for (u, v) in [(s.a, s.b), (s.b, s.a)] {
                 let lid = *link_ids
                     .get(&(u, v))
-                    .unwrap_or_else(|| panic!("spike names non-link {u}–{v}"));
+                    .ok_or(RunError::MissingLink { from: u, to: v })?;
                 spike[lid as usize].push((s.from, s.until, s.factor as u64));
             }
         }
@@ -372,21 +410,22 @@ impl FaultRt {
         }
         let mut crash_at = vec![u64::MAX; host.num_nodes() as usize];
         for c in &plan.crashes {
-            assert!(
-                (c.proc as usize) < crash_at.len(),
-                "crash names non-existent processor {}",
-                c.proc
-            );
+            if (c.proc as usize) >= crash_at.len() {
+                return Err(RunError::NoSuchProcessor {
+                    proc: c.proc,
+                    procs: host.num_nodes(),
+                });
+            }
             let e = &mut crash_at[c.proc as usize];
             *e = (*e).min(c.at);
         }
-        Self {
+        Ok(Self {
             down,
             spike,
             crash_at,
             link_ids,
             retry: plan.retry(),
-        }
+        })
     }
 
     /// Does any down interval of directed link `lid` intersect the
@@ -452,7 +491,7 @@ mod tests {
             .link_down(0, 1, 10, 20)
             .link_down(1, 0, 15, 30) // overlaps, reversed endpoints
             .link_down(0, 1, 50, 60);
-        let rt = FaultRt::build(&p, &h);
+        let rt = FaultRt::build(&p, &h).unwrap();
         for lid in [0u32, 1] {
             // both directed ids of link 0–1
             assert!(rt.down_overlap(lid, 12, 13));
@@ -470,7 +509,7 @@ mod tests {
     fn spike_factor_applies_inside_interval_only() {
         let h = host(3);
         let p = FaultPlan::new().delay_spike(1, 2, 10, 20, 6);
-        let rt = FaultRt::build(&p, &h);
+        let rt = FaultRt::build(&p, &h).unwrap();
         let lid = rt.link_ids[&(1, 2)];
         assert_eq!(rt.spike_factor(lid, 9), 1);
         assert_eq!(rt.spike_factor(lid, 10), 6);
@@ -557,10 +596,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-link")]
-    fn outage_on_missing_link_panics() {
+    fn outage_on_missing_link_is_an_error_not_a_panic() {
         let h = host(3);
         let p = FaultPlan::new().link_down(0, 2, 1, 2);
-        let _ = FaultRt::build(&p, &h);
+        let err = FaultRt::build(&p, &h).unwrap_err();
+        assert!(matches!(err, RunError::MissingLink { from: 0, to: 2 }));
+        assert_eq!(p.validate(&h).unwrap_err(), err);
+    }
+
+    #[test]
+    fn spike_on_missing_link_is_an_error() {
+        let h = host(3);
+        let p = FaultPlan::new().delay_spike(0, 2, 1, 2, 4);
+        assert!(matches!(
+            FaultRt::build(&p, &h).unwrap_err(),
+            RunError::MissingLink { from: 0, to: 2 }
+        ));
+        assert!(p.validate(&h).is_err());
+    }
+
+    #[test]
+    fn crash_on_missing_processor_is_an_error() {
+        let h = host(3);
+        let p = FaultPlan::new().crash(7, 10);
+        let err = FaultRt::build(&p, &h).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::NoSuchProcessor { proc: 7, procs: 3 }
+        ));
+        assert_eq!(p.validate(&h).unwrap_err(), err);
+        assert!(err.to_string().contains("processor 7"));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        let h = host(4);
+        let p = FaultPlan::new()
+            .link_down(0, 1, 10, 20)
+            .delay_spike(2, 3, 5, 9, 4)
+            .crash(3, 100);
+        assert!(p.validate(&h).is_ok());
+        assert!(FaultPlan::new().validate(&h).is_ok());
     }
 }

@@ -40,6 +40,7 @@ pub mod calendar;
 pub mod engine;
 pub mod engine_classic;
 pub mod faults;
+pub mod fuzz;
 pub mod lockstep;
 pub mod multicast;
 pub mod parallel;

@@ -14,7 +14,7 @@
 //!   deterministic bandwidth-arbitration order;
 //! * **per-processor tables** — held cells, subscribed dependency
 //!   columns, CSR-flattened dependency-gather / readiness-check /
-//!   dependent lists ([`ProcTables`]), and per-subscription link-id
+//!   dependent lists (`ProcTables`), and per-subscription link-id
 //!   arrays.
 //!
 //! All three engines consume a `&ExecPlan` ([`Engine::from_plan`],
@@ -400,10 +400,17 @@ impl<'a> ExecPlan<'a> {
     /// re-routes at runtime), so one plan can be shared across fault
     /// variants via [`Engine::with_faults`].
     ///
+    /// The plan is validated against the host here: an outage or spike on
+    /// a link the host does not have fails with [`RunError::MissingLink`],
+    /// a crash of a non-existent processor with
+    /// [`RunError::NoSuchProcessor`] — a typo'd fault spec used to abort
+    /// the process deep inside fault lowering.
+    ///
     /// [`Engine::with_faults`]: crate::engine::Engine::with_faults
-    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+    pub fn with_faults(mut self, plan: FaultPlan) -> Result<Self, RunError> {
+        plan.validate(self.host)?;
         self.faults = Some(plan);
-        self
+        Ok(self)
     }
 
     /// The guest this plan lowers.
@@ -513,10 +520,27 @@ mod tests {
         let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
             .unwrap()
             .with_compute_costs(vec![1, 2, 1, 3])
-            .with_faults(FaultPlan::new().link_down(0, 1, 4, 12));
+            .with_faults(FaultPlan::new().link_down(0, 1, 4, 12))
+            .unwrap();
         assert_eq!(plan.compute_costs(), Some(&[1u32, 2, 1, 3][..]));
         assert!(!plan.faults().unwrap().is_empty());
         let out = plan.run().unwrap();
         assert!(out.stats.makespan > 0);
+    }
+
+    #[test]
+    fn fault_plan_naming_missing_link_fails_at_attach() {
+        let (guest, host, assign) = lab();
+        // 0–2 is not a link of the 4-node linear array.
+        let err = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
+            .unwrap()
+            .with_faults(FaultPlan::new().link_down(0, 2, 1, 9))
+            .unwrap_err();
+        assert!(matches!(err, RunError::MissingLink { from: 0, to: 2 }));
+        let err = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
+            .unwrap()
+            .with_faults(FaultPlan::new().crash(99, 5))
+            .unwrap_err();
+        assert!(matches!(err, RunError::NoSuchProcessor { proc: 99, .. }));
     }
 }

@@ -168,7 +168,7 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
 
     // ---- fault runtime (compiled only for a non-empty plan) ----
     let frt: Option<FaultRt> = match plan.faults() {
-        Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, host)),
+        Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, host)?),
         _ => None,
     };
     let n_orig_subs = hot.sub_link_off.len() - 1;
@@ -557,6 +557,25 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
         };
     }
 
+    // Crashes scheduled beyond the last pebble still destroy their
+    // processor's databases (matching the event engine): the surviving
+    // set depends only on the fault plan, never on this engine's makespan.
+    if let Some(f) = frt.as_ref() {
+        for (_, proc) in crash_sched.drain(..) {
+            let p = proc as usize;
+            if !crashed[p] {
+                crashed[p] = true;
+                fstats.crashed_procs += 1;
+                fstats.lost_copies += hot.procs[p].cells.len() as u32;
+            }
+        }
+        debug_assert!(f
+            .crash_at
+            .iter()
+            .enumerate()
+            .all(|(p, &at)| { at == u64::MAX || crashed[p] }));
+    }
+
     // ---- collect (crashed processors' copies are lost) ----
     let mut copies = Vec::with_capacity(assign.total_copies());
     for (p, (pr, pt)) in procs.iter().zip(&hot.procs).enumerate() {
@@ -729,7 +748,8 @@ mod tests {
         let faults = FaultPlan::new().link_down(1, 2, 5, 30);
         let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
             .unwrap()
-            .with_faults(faults);
+            .with_faults(faults)
+            .unwrap();
         let out = run_stepped(&plan).expect("survives outage");
         assert!(out.stats.faults.retries > 0, "outage must force retries");
         let clean = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
@@ -753,7 +773,8 @@ mod tests {
         let faults = FaultPlan::new().crash(1, 20);
         let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
             .unwrap()
-            .with_faults(faults);
+            .with_faults(faults)
+            .unwrap();
         let out = run_stepped(&plan).expect("crash is survivable");
         assert_eq!(out.stats.faults.crashed_procs, 1);
         assert!(out.stats.faults.rerouted_subscriptions > 0);
@@ -770,7 +791,8 @@ mod tests {
         let faults = FaultPlan::new().crash(2, 6);
         let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
             .unwrap()
-            .with_faults(faults);
+            .with_faults(faults)
+            .unwrap();
         let err = run_stepped(&plan).unwrap_err();
         assert!(matches!(err, RunError::ColumnLost { .. }), "{err:?}");
     }

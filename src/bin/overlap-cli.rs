@@ -4,6 +4,15 @@
 //! overlap-cli [--host <topo>] [--delays <model>] [--guest <shape>]
 //!             [--steps N] [--strategy <s>] [--seed N] [--engine <e>]
 //!             [--faults <f>]...
+//! overlap-cli fuzz [--seed N] [--cases K]
+//!
+//!   fuzz        differential fuzzing: sample K random scenarios (guest,
+//!               host, delays, assignment, costs, faults, multicast),
+//!               lower each once and run every legal engine plus the
+//!               parallel reference over the shared plan, auditing state
+//!               agreement and the invariant catalogue. Failures are
+//!               shrunk to a minimal repro printed as a paste-able
+//!               regression test; exits non-zero on any divergence.
 //!
 //!   --host      line:N | ring:N | mesh:WxH | torus:WxH | hypercube:D |
 //!               tree:LEVELS | rreg:N:DEG | bfly:K | ccc:K |
@@ -226,8 +235,61 @@ fn parse_faults(args: &[String], host: &HostGraph, seed: u64, horizon: u64) -> O
     any.then_some(plan)
 }
 
+/// `overlap-cli fuzz --seed N --cases K` — stream the differential fuzzer
+/// with progress lines, printing a shrunk paste-able repro per divergence.
+fn fuzz_main(args: &[String]) -> ! {
+    use overlap::sim::fuzz::{check_spec, gen_spec, shrink, Divergence};
+    let opt = |name: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let seed: u64 = opt("--seed", "0")
+        .parse()
+        .unwrap_or_else(|_| usage("bad --seed"));
+    let cases: u64 = opt("--cases", "1000")
+        .parse()
+        .unwrap_or_else(|_| usage("bad --cases"));
+    println!("fuzzing {cases} scenarios (seed {seed}) across event/stepped/lockstep/reference…");
+    let mut divergences = 0u64;
+    for case in 0..cases {
+        let spec = gen_spec(seed, case);
+        if check_spec(&spec).is_err() {
+            divergences += 1;
+            let (min, detail) = shrink(&spec);
+            let d = Divergence {
+                case,
+                spec: min,
+                detail,
+            };
+            println!("\ncase {case} DIVERGED:\n  {}", d.detail);
+            println!(
+                "\nminimal repro (paste into tests/fuzz_regressions.rs):\n{}",
+                d.repro_test(&format!("fuzz_repro_seed{seed}_case{case}"))
+            );
+        }
+        if (case + 1) % 250 == 0 || case + 1 == cases {
+            println!(
+                "  {}/{cases} checked, {divergences} divergence(s)",
+                case + 1
+            );
+        }
+    }
+    if divergences > 0 {
+        eprintln!("FAIL: {divergences} divergence(s) in {cases} cases");
+        exit(1)
+    }
+    println!("OK: no divergences in {cases} cases");
+    exit(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        fuzz_main(&args[1..]);
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         // The module doc is the help text.
         println!("overlap-cli — latency-hiding simulations (SPAA'96 reproduction)\n");
