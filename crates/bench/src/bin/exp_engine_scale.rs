@@ -1,11 +1,27 @@
-//! ENGINE — calendar-queue engine throughput vs the classic heap engine.
+//! ENGINE — calendar-queue engine throughput vs the classic heap engine,
+//! plus the sharded-engine thread sweep.
 //! Writes `BENCH_engine.json` at the workspace root.
-//! Usage: `cargo run --release --bin exp_engine_scale [--quick]`
+//! Usage: `cargo run --release --bin exp_engine_scale [--quick | --gate]`
+//!
+//! `--gate` runs the CI smoke perf gate instead of the sweep: one
+//! mid-size tier, failing (exit 1) if the sequential or sharded engine
+//! regresses more than 30% below the checked-in floor in
+//! `BENCH_engine_floor.json`.
 
 use overlap_bench::experiments::engine_scale;
 use overlap_bench::{save_table, Scale};
 
 fn main() {
+    if std::env::args().any(|a| a == "--gate") {
+        match engine_scale::gate() {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("perf gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let t = engine_scale::run(Scale::from_args());
     println!("{}", save_table(&t, "engine_scale").expect("write results"));
 }

@@ -1,12 +1,19 @@
 //! Engine-scale benchmark: events/sec of the calendar-queue engine vs the
-//! frozen classic heap engine, across growing scenario sizes.
+//! frozen classic heap engine, plus a thread-count sweep of the sharded
+//! conservative-parallel engine, across growing scenario sizes.
 //!
-//! The outcomes are asserted bit-identical before timing, so the speedup
-//! is a pure implementation delta. Results land in the usual markdown
-//! table **and** in `BENCH_engine.json` at the workspace root: per scale,
-//! events/sec for both engines, the makespan, and the peak event-queue
-//! depth (the engine's dominant dynamic allocation — a proxy for peak
-//! memory).
+//! The outcomes are asserted bit-identical before timing, so every
+//! speedup is a pure implementation delta. Results land in the usual
+//! markdown table **and** in `BENCH_engine.json` at the workspace root:
+//! per scale, events/sec for the sequential engines and for the sharded
+//! engine at each thread count, the makespan, and the peak event-queue
+//! depth. The JSON also records the host's core count — sharded scaling
+//! numbers are meaningless without it.
+//!
+//! [`gate`] is the CI smoke perf gate (first slice of the regression-gate
+//! roadmap item): it re-measures one mid-size tier and fails if either
+//! the sequential or the sharded engine drops more than 30% below the
+//! checked-in floor in `BENCH_engine_floor.json`.
 
 use crate::Scale;
 use crate::Table;
@@ -15,8 +22,19 @@ use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
 use overlap_sim::engine::{Engine, EngineConfig, RunOutcome};
 use overlap_sim::engine_classic::run_classic;
-use overlap_sim::Assignment;
+use overlap_sim::{run_sharded, Assignment, ExecPlan};
 use std::time::Instant;
+
+/// Thread counts swept for the sharded engine at every scale.
+pub const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// Sharded-engine throughput at one thread count.
+pub struct ShardedPoint {
+    /// Worker threads (= shards).
+    pub threads: usize,
+    /// Events per second.
+    pub events_per_sec: f64,
+}
 
 /// One measured scale.
 pub struct ScaleResult {
@@ -26,7 +44,7 @@ pub struct ScaleResult {
     pub cells: u32,
     /// Guest steps.
     pub steps: u32,
-    /// Events dispatched per run (identical for both engines).
+    /// Events dispatched per run (identical for all engines).
     pub events: u64,
     /// Simulated makespan in ticks.
     pub makespan: u64,
@@ -36,12 +54,23 @@ pub struct ScaleResult {
     pub events_per_sec: f64,
     /// Classic heap engine throughput, events per second (the baseline).
     pub classic_events_per_sec: f64,
+    /// Sharded-engine throughput per swept thread count.
+    pub sharded: Vec<ShardedPoint>,
 }
 
 impl ScaleResult {
     /// Calendar throughput over classic throughput.
     pub fn speedup(&self) -> f64 {
         self.events_per_sec / self.classic_events_per_sec
+    }
+
+    /// Sharded throughput at `threads` over the sequential calendar
+    /// engine — the parallel-scaling curve.
+    pub fn sharded_speedup(&self, threads: usize) -> Option<f64> {
+        self.sharded
+            .iter()
+            .find(|p| p.threads == threads)
+            .map(|p| p.events_per_sec / self.events_per_sec)
     }
 }
 
@@ -72,43 +101,96 @@ pub fn measure(scale: Scale) -> Vec<ScaleResult> {
             (64, 256, 128),
             (128, 1024, 128),
             (256, 2048, 128),
+            (512, 8192, 64),
+            // The million-cell tier: ~8.4M events per run.
+            (1024, 1 << 20, 8),
         ],
     };
     let reps = scale.pick(3, 5);
     scales
         .iter()
-        .map(|&(procs, cells, steps)| {
-            let (guest, host, assign) = scenario(procs, cells, steps);
-            let cfg = EngineConfig::default();
-            let run_new =
-                || -> RunOutcome { Engine::new(&guest, &host, &assign, cfg).run().expect("run") };
-            let run_old =
-                || -> RunOutcome { run_classic(&guest, &host, &assign, cfg, None).expect("run") };
-            let out = run_new();
-            assert_eq!(out, run_old(), "engines diverge at {procs}x{cells}x{steps}");
-            let t_new = time_best(reps, run_new);
-            let t_old = time_best(reps, run_old);
-            ScaleResult {
-                procs,
-                cells,
-                steps,
-                events: out.stats.events_processed,
-                makespan: out.stats.makespan,
-                peak_queue_depth: out.stats.peak_queue_depth,
-                events_per_sec: out.stats.events_processed as f64 / t_new,
-                classic_events_per_sec: out.stats.events_processed as f64 / t_old,
+        .map(|&(procs, cells, steps)| measure_tier(procs, cells, steps, reps))
+        .collect()
+}
+
+fn measure_tier(procs: u32, cells: u32, steps: u32, reps: u32) -> ScaleResult {
+    let (guest, host, assign) = scenario(procs, cells, steps);
+    let cfg = EngineConfig::default();
+    // Lower once; every engine consumes the shared plan (classic excepted —
+    // it predates the plan and rebuilds internally, part of its baseline).
+    let plan = ExecPlan::build(&guest, &host, &assign, cfg).expect("lower");
+    let run_new = || -> RunOutcome { Engine::from_plan(&plan).run().expect("run") };
+    let run_old = || -> RunOutcome { run_classic(&guest, &host, &assign, cfg, None).expect("run") };
+    let out = run_new();
+    assert_eq!(out, run_old(), "engines diverge at {procs}x{cells}x{steps}");
+    // Identity first, timing after: the sharded engine must match bit for
+    // bit at every thread count (peak_queue_depth has its own documented
+    // multi-queue definition and is excluded).
+    for &t in THREAD_SWEEP {
+        let mut sh = run_sharded(&plan, t).expect("sharded run");
+        sh.stats.peak_queue_depth = out.stats.peak_queue_depth;
+        assert_eq!(sh, out, "sharded({t}) diverges at {procs}x{cells}x{steps}");
+    }
+    // Keep the giant tiers affordable: above a million events per run the
+    // best-of window shrinks to 2.
+    let reps = if out.stats.events_processed > 1_000_000 {
+        reps.min(2)
+    } else {
+        reps
+    };
+    let events = out.stats.events_processed;
+    let t_new = time_best(reps, run_new);
+    let t_old = time_best(reps, run_old);
+    let sharded = THREAD_SWEEP
+        .iter()
+        .map(|&t| {
+            let dt = time_best(reps, || run_sharded(&plan, t).expect("sharded run"));
+            ShardedPoint {
+                threads: t,
+                events_per_sec: events as f64 / dt,
             }
         })
-        .collect()
+        .collect();
+    ScaleResult {
+        procs,
+        cells,
+        steps,
+        events,
+        makespan: out.stats.makespan,
+        peak_queue_depth: out.stats.peak_queue_depth,
+        events_per_sec: events as f64 / t_new,
+        classic_events_per_sec: events as f64 / t_old,
+        sharded,
+    }
+}
+
+/// Physical parallelism of the machine the numbers were taken on.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Render the results as `BENCH_engine.json` (hand-rolled; the bench crate
 /// carries no JSON dependency).
 pub fn to_json(results: &[ScaleResult]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"engine_scale\",\n  \"baseline\": \"classic heap engine (engine_classic)\",\n  \"scales\": [\n");
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"engine_scale\",\n  \"baseline\": \"classic heap engine (engine_classic)\",\n  \"host_cores\": {},\n  \"scales\": [\n",
+        host_cores()
+    );
     for (i, r) in results.iter().enumerate() {
+        let sharded: Vec<String> = r
+            .sharded
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"threads\": {}, \"events_per_sec\": {:.0}, \"speedup_vs_event\": {:.2}}}",
+                    p.threads,
+                    p.events_per_sec,
+                    p.events_per_sec / r.events_per_sec
+                )
+            })
+            .collect();
         out.push_str(&format!(
-            "    {{\"procs\": {}, \"cells\": {}, \"steps\": {}, \"events\": {}, \"makespan\": {}, \"peak_queue_depth\": {}, \"events_per_sec\": {:.0}, \"classic_events_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"procs\": {}, \"cells\": {}, \"steps\": {}, \"events\": {}, \"makespan\": {}, \"peak_queue_depth\": {}, \"events_per_sec\": {:.0}, \"classic_events_per_sec\": {:.0}, \"speedup\": {:.2}, \"sharded\": [{}]}}{}\n",
             r.procs,
             r.cells,
             r.steps,
@@ -118,6 +200,7 @@ pub fn to_json(results: &[ScaleResult]) -> String {
             r.events_per_sec,
             r.classic_events_per_sec,
             r.speedup(),
+            sharded.join(", "),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -133,36 +216,97 @@ pub fn run(scale: Scale) -> Table {
     std::fs::write(&path, &json).expect("write BENCH_engine.json");
 
     let mut t = Table::new(
-        "ENGINE · calendar-queue engine vs classic heap engine",
+        "ENGINE · calendar-queue vs classic heap vs sharded parallel",
         &[
             "procs",
             "cells",
-            "steps",
             "events",
             "peak queue",
-            "events/s (calendar)",
+            "events/s (event)",
             "events/s (classic)",
-            "speedup",
+            "events/s sharded 1/2/4/8",
+            "speedup@8",
         ],
     );
     for r in &results {
+        let sweep: Vec<String> = r
+            .sharded
+            .iter()
+            .map(|p| format!("{:.2}M", p.events_per_sec / 1e6))
+            .collect();
         t.row(vec![
             r.procs.to_string(),
             r.cells.to_string(),
-            r.steps.to_string(),
             r.events.to_string(),
             r.peak_queue_depth.to_string(),
             format!("{:.0}", r.events_per_sec),
             format!("{:.0}", r.classic_events_per_sec),
-            format!("{:.2}x", r.speedup()),
+            sweep.join("/"),
+            format!("{:.2}x", r.sharded_speedup(8).unwrap_or(0.0)),
         ]);
     }
-    t.note(
-        "outcomes are asserted bit-identical before timing; the speedup is purely the \
-         hot-path rewrite (calendar queue, interned dependency tables, zero steady-state \
-         allocation). JSON copy written to BENCH_engine.json.",
-    );
+    t.note(&format!(
+        "outcomes are asserted bit-identical before timing (sharded modulo its documented \
+         peak_queue_depth definition); speedup@8 is sharded-at-8-threads over the sequential \
+         calendar engine, measured on a {}-core host — expect ~1x or below on a single core, \
+         where only the window batching can help. JSON copy written to BENCH_engine.json.",
+        host_cores()
+    ));
     t
+}
+
+/// Extract `"key": <number>` from the hand-rolled floor JSON.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// CI smoke perf gate: re-measure the mid Quick tier and fail if the
+/// sequential or sharded engine regresses more than 30% below the floor
+/// checked in at `BENCH_engine_floor.json`. Returns a human-readable
+/// summary on pass, the violation on fail.
+pub fn gate() -> Result<String, String> {
+    let floor_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine_floor.json");
+    let floor = std::fs::read_to_string(&floor_path)
+        .map_err(|e| format!("cannot read {}: {e}", floor_path.display()))?;
+    let f_event = json_number(&floor, "event_events_per_sec")
+        .ok_or("floor file missing event_events_per_sec")?;
+    let f_sharded = json_number(&floor, "sharded_events_per_sec")
+        .ok_or("floor file missing sharded_events_per_sec")?;
+
+    let r = measure_tier(64, 256, 32, 3);
+    let sharded = r
+        .sharded
+        .iter()
+        .find(|p| p.threads == 2)
+        .map(|p| p.events_per_sec)
+        .ok_or("no sharded@2 measurement")?;
+
+    let mut violations = Vec::new();
+    for (name, got, floor) in [
+        ("event", r.events_per_sec, f_event),
+        ("sharded@2", sharded, f_sharded),
+    ] {
+        if got < floor * 0.70 {
+            violations.push(format!(
+                "{name} engine: {got:.0} events/s is more than 30% below the floor {floor:.0}"
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(format!(
+            "perf gate OK: event {:.0} events/s (floor {:.0}), sharded@2 {:.0} events/s (floor {:.0}), tolerance 30%",
+            r.events_per_sec, f_event, sharded, f_sharded
+        ))
+    } else {
+        Err(violations.join("; "))
+    }
 }
 
 #[cfg(test)]
@@ -175,9 +319,23 @@ mod tests {
         assert!(results.len() >= 3);
         let json = to_json(&results);
         assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"sharded\""));
         assert_eq!(json.matches("{\"procs\"").count(), results.len());
         for r in &results {
             assert!(r.events > 0 && r.events_per_sec > 0.0);
+            assert_eq!(r.sharded.len(), THREAD_SWEEP.len());
+            for p in &r.sharded {
+                assert!(p.events_per_sec > 0.0);
+            }
         }
+    }
+
+    #[test]
+    fn json_number_parses_hand_rolled_floor() {
+        let j = "{\"event_events_per_sec\": 123456, \"sharded_events_per_sec\": 7.5}";
+        assert_eq!(json_number(j, "event_events_per_sec"), Some(123456.0));
+        assert_eq!(json_number(j, "sharded_events_per_sec"), Some(7.5));
+        assert_eq!(json_number(j, "missing"), None);
     }
 }

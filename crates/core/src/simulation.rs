@@ -35,7 +35,9 @@ use overlap_net::{Delay, HostGraph};
 use overlap_sim::engine::{Engine, EngineConfig, Jitter, RunOutcome};
 use overlap_sim::faults::FaultPlan;
 use overlap_sim::validate::validate_run;
-use overlap_sim::{run_lockstep, run_stepped, Assignment, BandwidthMode, ExecPlan, TraceConfig};
+use overlap_sim::{
+    run_lockstep, run_sharded, run_stepped, Assignment, BandwidthMode, ExecPlan, TraceConfig,
+};
 
 /// Which execution engine runs the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +53,16 @@ pub enum EngineKind {
     /// The lockstep baseline: global rounds of `d_max`-synchronised
     /// compute-then-exchange (prior work's model).
     Lockstep,
+    /// The sharded conservative-parallel event engine: the host graph is
+    /// partitioned into `threads` shards, each with its own calendar
+    /// queue, synchronised in bounded time windows whose width is the
+    /// minimum cross-shard link delay. Bit-identical to
+    /// [`Event`](EngineKind::Event) for every plan; supports everything the
+    /// event engine does except stall-attribution tracing.
+    Sharded {
+        /// Worker-thread (= shard) count; clamped to `1..=host procs`.
+        threads: usize,
+    },
 }
 
 /// Entry point of the builder API: `Simulation::of(&guest)`.
@@ -223,6 +235,11 @@ impl<'a> SimulationBuilder<'a> {
                     return unsupported("lockstep", "multicast distribution");
                 }
             }
+            EngineKind::Sharded { .. } => {
+                if self.trace.is_some() {
+                    return unsupported("sharded", "stall-attribution tracing");
+                }
+            }
         }
         let (assignment, predicted_slowdown, array_delays, dilation) = match self.assignment {
             Some(a) => {
@@ -327,6 +344,7 @@ impl ReadySimulation<'_> {
             }
             EngineKind::Stepped => run_stepped(plan)?,
             EngineKind::Lockstep => run_lockstep(plan)?,
+            EngineKind::Sharded { threads } => run_sharded(plan, threads)?,
         };
         Ok(out)
     }

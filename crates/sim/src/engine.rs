@@ -329,9 +329,11 @@ pub struct RunOutcome {
     pub trace: Option<TraceReport>,
 }
 
-/// Event payload, stored inline in the calendar buckets.
+/// Event payload, stored inline in the calendar buckets. Shared with the
+/// sharded engine ([`crate::sharded`]), which schedules the exact same
+/// events per shard.
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub(crate) enum Ev {
     /// Processor `proc` finishes computing its `own_idx`-th column's next
     /// step at the event tick.
     ComputeDone { proc: NodeId, own_idx: u32 },
@@ -372,33 +374,87 @@ enum Ev {
 }
 
 /// Mutable per-processor run state. Step-indexed arrays are flat with
-/// stride `steps + 1` (index 0 = initial value).
-struct ProcState {
+/// stride `steps + 1` (index 0 = initial value). Shared with the sharded
+/// engine, which owns a disjoint subset of these per shard.
+pub(crate) struct ProcState {
     /// Next step (1-based) to compute per held cell; `T+1` = done.
-    next_step: Vec<u32>,
+    pub(crate) next_step: Vec<u32>,
     /// Value history per held cell: `history[i·stride + s]`.
-    history: Vec<PebbleValue>,
+    pub(crate) history: Vec<PebbleValue>,
     /// Database copy per held cell.
-    dbs: Vec<Db>,
+    pub(crate) dbs: Vec<Db>,
     /// Value/update folds per held cell (validator food).
-    value_fold: Vec<u64>,
-    update_fold: Vec<u64>,
-    finished_at: Vec<u64>,
+    pub(crate) value_fold: Vec<u64>,
+    pub(crate) update_fold: Vec<u64>,
+    pub(crate) finished_at: Vec<u64>,
     /// Per held cell: completion tick per step (only when timing).
-    times: Vec<Vec<u64>>,
+    pub(crate) times: Vec<Vec<u64>>,
     /// Receive buffers per dependency column: `dep_values[k·stride + s]`.
-    dep_values: Vec<PebbleValue>,
-    dep_have: Vec<bool>,
+    pub(crate) dep_values: Vec<PebbleValue>,
+    pub(crate) dep_have: Vec<bool>,
     /// Highest contiguous step received per dependency column.
-    dep_watermark: Vec<u32>,
+    pub(crate) dep_watermark: Vec<u32>,
     /// Ready-pebble queue: `(step, own_idx)` min-heap; at most one entry
     /// per held cell (its next step).
-    ready: BinaryHeap<Reverse<(u32, u32)>>,
+    pub(crate) ready: BinaryHeap<Reverse<(u32, u32)>>,
     /// Whether each held cell currently sits in `ready` or is being
     /// computed.
-    queued: Vec<bool>,
+    pub(crate) queued: Vec<bool>,
     /// Processor is computing until the pending `ComputeDone` fires.
-    busy: bool,
+    pub(crate) busy: bool,
+}
+
+impl ProcState {
+    /// Fresh state for the processor described by `pt`, exactly as the
+    /// sequential engine seeds it (initial values at step 0, dependency
+    /// step 0 pre-delivered). Factored out so the sharded engine starts
+    /// from bit-identical state.
+    pub(crate) fn seed(
+        pt: &ProcTables,
+        plan: &ExecPlan<'_>,
+        stride: usize,
+        kind: overlap_model::DbKind,
+    ) -> Self {
+        let steps = plan.guest.steps;
+        let record_timing = plan.config.record_timing;
+        let nc = pt.cells.len();
+        let nd = pt.dep_cells.len();
+        let mut history = vec![0 as PebbleValue; nc * stride];
+        for (i, &c) in pt.cells.iter().enumerate() {
+            history[i * stride] = plan.guest.initial_value(c);
+        }
+        let mut dep_values = vec![0 as PebbleValue; nd * stride];
+        let mut dep_have = vec![false; nd * stride];
+        for (k, &c) in pt.dep_cells.iter().enumerate() {
+            dep_values[k * stride] = plan.guest.initial_value(c);
+            dep_have[k * stride] = true;
+        }
+        ProcState {
+            next_step: vec![1; nc],
+            history,
+            dbs: pt
+                .cells
+                .iter()
+                .map(|&c| kind.instantiate(c, plan.guest.seed))
+                .collect(),
+            value_fold: vec![0xF01Du64; nc],
+            update_fold: vec![0xD16u64; nc],
+            finished_at: vec![0; nc],
+            times: if record_timing {
+                (0..nc)
+                    .map(|_| Vec::with_capacity(steps as usize))
+                    .collect()
+            } else {
+                vec![Vec::new(); nc]
+            },
+            dep_values,
+            dep_have,
+            dep_watermark: vec![0; nd],
+            ready: BinaryHeap::new(),
+            queued: vec![false; nc],
+            busy: false,
+        }
+    }
 }
 
 /// Directed-link injection bookkeeping for pipelined bandwidth.
@@ -411,7 +467,7 @@ pub(crate) struct LinkSlot {
 /// Is held cell `i` ready to compute its next step? Pure table walk over
 /// the interned check list — no hashing, no `Dep` matching.
 #[inline]
-fn is_ready(pt: &ProcTables, st: &ProcState, i: usize, steps: u32) -> bool {
+pub(crate) fn is_ready(pt: &ProcTables, st: &ProcState, i: usize, steps: u32) -> bool {
     let s = st.next_step[i];
     if s > steps {
         return false;
@@ -434,7 +490,7 @@ fn is_ready(pt: &ProcTables, st: &ProcState, i: usize, steps: u32) -> bool {
 /// the pebble ready, which is what `tracer` gets told.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn try_enqueue<T: Tracer>(
+pub(crate) fn try_enqueue<T: Tracer>(
     pt: &ProcTables,
     st: &mut ProcState,
     j: usize,
@@ -456,7 +512,7 @@ fn try_enqueue<T: Tracer>(
 /// stall attribution.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn deliver<T: Tracer>(
+pub(crate) fn deliver<T: Tracer>(
     pt: &ProcTables,
     st: &mut ProcState,
     k: usize,
@@ -534,6 +590,8 @@ impl<'a> PlanRef<'a> {
 /// A runtime re-subscription created when a holder crashed: `source`
 /// streams `cell` to `dest` over `links` (directed link ids in route
 /// order), delivering into the consumer's dependency slot `dest_dep`.
+/// `Clone` because the sharded engine snapshots these per window.
+#[derive(Clone)]
 pub(crate) struct DynSub {
     pub(crate) cell: u32,
     pub(crate) source: NodeId,
@@ -673,45 +731,7 @@ impl<'a> Engine<'a> {
         let mut state: Vec<ProcState> = hot
             .procs
             .iter()
-            .map(|pt| {
-                let nc = pt.cells.len();
-                let nd = pt.dep_cells.len();
-                let mut history = vec![0 as PebbleValue; nc * stride];
-                for (i, &c) in pt.cells.iter().enumerate() {
-                    history[i * stride] = plan.guest.initial_value(c);
-                }
-                let mut dep_values = vec![0 as PebbleValue; nd * stride];
-                let mut dep_have = vec![false; nd * stride];
-                for (k, &c) in pt.dep_cells.iter().enumerate() {
-                    dep_values[k * stride] = plan.guest.initial_value(c);
-                    dep_have[k * stride] = true;
-                }
-                ProcState {
-                    next_step: vec![1; nc],
-                    history,
-                    dbs: pt
-                        .cells
-                        .iter()
-                        .map(|&c| kind.instantiate(c, plan.guest.seed))
-                        .collect(),
-                    value_fold: vec![0xF01Du64; nc],
-                    update_fold: vec![0xD16u64; nc],
-                    finished_at: vec![0; nc],
-                    times: if record_timing {
-                        (0..nc)
-                            .map(|_| Vec::with_capacity(steps as usize))
-                            .collect()
-                    } else {
-                        vec![Vec::new(); nc]
-                    },
-                    dep_values,
-                    dep_have,
-                    dep_watermark: vec![0; nd],
-                    ready: BinaryHeap::new(),
-                    queued: vec![false; nc],
-                    busy: false,
-                }
-            })
+            .map(|pt| ProcState::seed(pt, plan, stride, kind))
             .collect();
 
         // ---- link slots for bandwidth accounting ----

@@ -1,10 +1,11 @@
 //! Cross-engine differential fuzzer and invariant audit.
 //!
 //! The repo's correctness story rests on one claim: the event engine, the
-//! time-stepped engine, the lockstep executor and the parallel reference
-//! all agree — bit-identically on state, sensibly on time — for *every*
-//! scenario the lowering accepts, not just the handful the unit tests
-//! pick. This module turns that claim into a machine-checkable property:
+//! sharded parallel engine, the time-stepped engine, the lockstep executor
+//! and the parallel reference all agree — bit-identically on state,
+//! sensibly on time — for *every* scenario the lowering accepts, not just
+//! the handful the unit tests pick. This module turns that claim into a
+//! machine-checkable property:
 //!
 //! 1. [`gen_spec`] samples an arbitrary [`ScenarioSpec`] (guest topology
 //!    and program, host graph and delay model, assignment shape, compute
@@ -25,6 +26,11 @@
 //!   agree on `(value_fold, db_digest, update_fold)` per `(cell, proc)`.
 //! * **Plan reuse** — running the event engine twice off one `ExecPlan`
 //!   is bit-identical (`RunOutcome` equality).
+//! * **Sharding is free** — the sharded conservative-parallel engine
+//!   ([`run_sharded_with`]) equals the event engine bit-for-bit (modulo
+//!   `peak_queue_depth`, redefined for multi-queue execution) at every
+//!   thread count and under both partition heuristics, on every legal
+//!   scenario — faults, multicast, jitter, and costs included.
 //! * **Tracing is free** — a traced run equals the untraced run once the
 //!   stall report is stripped, and its stall breakdown conserves ticks:
 //!   `totals.total() == makespan × surviving copies`.
@@ -44,6 +50,7 @@ use crate::faults::FaultPlan;
 use crate::lockstep::run_lockstep;
 use crate::parallel::par_reference;
 use crate::plan::ExecPlan;
+use crate::sharded::{run_sharded_with, Partition};
 use crate::stats::FaultStats;
 use crate::stepped::run_stepped;
 use crate::trace::TraceConfig;
@@ -715,6 +722,29 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
             }
         }
         Err(e) => problems.push(format!("traced event run failed: {e}")),
+    }
+
+    // Sharded engine: legal for every scenario; must be bit-identical to
+    // the event engine except peak_queue_depth (multi-queue definition).
+    for (threads, how) in [
+        (1, Partition::DelayCut),
+        (3, Partition::DelayCut),
+        (3, Partition::RoundRobin),
+    ] {
+        match run_sharded_with(&plan, threads, how) {
+            Ok(sh) => {
+                let mut sh = sh;
+                sh.stats.peak_queue_depth = ev.stats.peak_queue_depth;
+                if sh != ev {
+                    problems.push(format!(
+                        "sharded({threads}, {how:?}) diverged from the event engine"
+                    ));
+                }
+            }
+            Err(e) => problems.push(format!(
+                "sharded({threads}, {how:?}) failed where the event engine succeeded: {e}"
+            )),
+        }
     }
 
     // Stepped engine: legal whenever the plan is unicast and jitter-free.

@@ -46,6 +46,7 @@ pub mod multicast;
 pub mod parallel;
 pub mod plan;
 pub mod routing;
+pub mod sharded;
 pub mod stats;
 pub mod stepped;
 pub mod sweep;
@@ -59,6 +60,7 @@ pub use faults::{FaultPlan, RetryPolicy};
 pub use lockstep::run_lockstep;
 pub use plan::ExecPlan;
 pub use routing::RoutingTable;
+pub use sharded::{run_sharded, run_sharded_with, Partition};
 pub use stats::{FaultStats, RunStats};
 pub use stepped::run_stepped;
 pub use trace::{MsgKey, NoopTracer, ReadyCause, StallBreakdown, TraceConfig, TraceReport, Tracer};

@@ -78,6 +78,12 @@ pub(crate) struct ProcTables {
 pub(crate) struct Hot {
     /// Delay per directed link id.
     pub(crate) link_delay: Vec<Delay>,
+    /// Source / destination processor per directed link id. The sharded
+    /// engine uses these to assign each link's injection slot to the
+    /// sender's shard and to find the minimum cross-shard delay (the
+    /// conservative lookahead).
+    pub(crate) link_src: Vec<NodeId>,
+    pub(crate) link_dst: Vec<NodeId>,
     /// Per-processor dependency tables.
     pub(crate) procs: Vec<ProcTables>,
     /// Global copy id of processor `p`'s first copy (prefix sums).
@@ -111,10 +117,14 @@ impl Hot {
         // the determinism contract with the classic engine.
         let mut link_ids: HashMap<(NodeId, NodeId), u32> = HashMap::new();
         let mut link_delay: Vec<Delay> = Vec::new();
+        let mut link_src: Vec<NodeId> = Vec::new();
+        let mut link_dst: Vec<NodeId> = Vec::new();
         for l in host.links() {
             for (u, v) in [(l.a, l.b), (l.b, l.a)] {
                 link_ids.insert((u, v), link_delay.len() as u32);
                 link_delay.push(l.delay);
+                link_src.push(u);
+                link_dst.push(v);
             }
         }
 
@@ -265,6 +275,8 @@ impl Hot {
 
         Self {
             link_delay,
+            link_src,
+            link_dst,
             procs,
             copy_off,
             out_ids,

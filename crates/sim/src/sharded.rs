@@ -1,0 +1,1974 @@
+//! Sharded conservative-parallel event engine.
+//!
+//! Partitions the host graph of a lowered [`ExecPlan`] into per-core
+//! shards, gives each shard its own event queues, and synchronizes with
+//! conservative bounded time windows: the minimum effective delay over
+//! cross-shard directed links is the lookahead `L`, so a window
+//! `[W, W+L)` can run on every shard in parallel without ever receiving
+//! a cross-shard event inside the window — any pebble a shard sends
+//! across the cut departs no earlier than its current tick and takes at
+//! least `L` ticks, landing at or beyond the window end. Cross-shard
+//! deliveries become horizon-bounded messages drained at the window
+//! barrier.
+//!
+//! The engine is **bit-identical** to the sequential event engine
+//! ([`Engine::run`](crate::Engine::run)) on every plan — faults,
+//! multicast, jitter, heterogeneous compute costs — for a given
+//! `(plan, threads, partition)` triple, independent of thread
+//! scheduling. The one intentional exception is
+//! `RunStats::peak_queue_depth`, which is redefined for multi-queue
+//! execution (see [`RunStats`]). How:
+//!
+//! * Every event carries a key `(tick, prio, j)` reproducing the
+//!   sequential engine's `(tick, push-sequence)` order: `prio` is the
+//!   seed index for seed events, or `n_seeds + g` for an event pushed by
+//!   the parent with global processing index `g`; `j` numbers the pushes
+//!   of one parent. Within a tick the sequential queue pops in push
+//!   order, and push order is exactly (parent processing position, push
+//!   index).
+//! * Each shard keeps two queues: `resolved` (a min-heap of events whose
+//!   key is fully known — seeds, barrier-drained messages) and `fresh`
+//!   (a FIFO-per-tick calendar of events pushed *during* the current
+//!   window, keyed provisionally by their parent's window-log entry).
+//!   Within one tick every resolved event precedes every fresh event —
+//!   resolved parents were processed in earlier windows, so their
+//!   processing index is smaller — which makes the two-queue pop rule
+//!   (earliest tick, resolved first on ties) exact.
+//! * At the barrier the per-shard window logs are merged in global
+//!   order, each entry is assigned its dense global processing index,
+//!   leftover fresh events and cross-shard messages have their keys
+//!   resolved against the log, and stats deltas from events the
+//!   sequential engine would never have processed (those after the run's
+//!   final completion, or after a fatal error) are subtracted.
+//!
+//! Crashes are processed sequentially at barriers: windows never span a
+//! crash tick, so re-subscription (which rewires global routing state)
+//! happens while the main thread owns every shard. See DESIGN.md §13
+//! for the full protocol and the safety argument.
+
+use crate::calendar::CalendarQueue;
+use crate::engine::{
+    deliver, inject, try_enqueue, CopyRecord, DynSub, Ev, Jitter, LinkSlot, ProcState, RunError,
+    RunOutcome, TimingTrace,
+};
+use crate::faults::{FaultMark, FaultMarkKind, FaultRt};
+use crate::plan::{DepSrc, ExecPlan, Routes};
+use crate::stats::{FaultStats, RunStats};
+use crate::trace::{MsgKey, NoopTracer, ReadyCause};
+use overlap_model::{fold64, BoundaryRule, PebbleValue, ProgramRef};
+use overlap_net::paths::dijkstra;
+use overlap_net::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+/// Heuristic used to map host processors to shards. Both are pure
+/// functions of `(plan, shard count)`, so results are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// Greedy min-cut over link delays (Kruskal-style): merge endpoints
+    /// of low-delay links first under a balanced size cap, so the links
+    /// left crossing shards are the high-delay ones — maximizing the
+    /// conservative lookahead and with it the window size.
+    #[default]
+    DelayCut,
+    /// Fixed `proc % shards` assignment; ignores the topology. Useful as
+    /// a determinism cross-check and a worst-case baseline.
+    RoundRobin,
+}
+
+/// Smallest delay `Jitter::effective` can produce for a base-`d` link,
+/// over all ticks and phases.
+fn min_effective(jitter: Jitter, d: u64) -> u64 {
+    match jitter {
+        Jitter::None => d,
+        Jitter::Periodic { amplitude_pct, .. } => {
+            let amp = (d as i128 * amplitude_pct.min(100) as i128) / 100;
+            ((d as i128 - amp).max(1)) as u64
+        }
+    }
+}
+
+/// Assign each host processor a shard in `0..nshards`.
+pub(crate) fn partition_procs(plan: &ExecPlan<'_>, nshards: usize, how: Partition) -> Vec<u32> {
+    let n = plan.host.num_nodes() as usize;
+    if nshards <= 1 {
+        return vec![0; n];
+    }
+    match how {
+        Partition::RoundRobin => (0..n).map(|p| (p % nshards) as u32).collect(),
+        Partition::DelayCut => {
+            // Kruskal under a size cap: union endpoints of cheap links
+            // first so expensive links end up on the cut.
+            let hot = &plan.hot;
+            let cap = n.div_ceil(nshards);
+            let mut parent: Vec<u32> = (0..n as u32).collect();
+            let mut size: Vec<u32> = vec![1; n];
+            fn find(parent: &mut [u32], x: u32) -> u32 {
+                let mut r = x;
+                while parent[r as usize] != r {
+                    r = parent[r as usize];
+                }
+                let mut c = x;
+                while parent[c as usize] != r {
+                    let nx = parent[c as usize];
+                    parent[c as usize] = r;
+                    c = nx;
+                }
+                r
+            }
+            // Undirected link i has directed ids 2i (a→b) and 2i+1 (b→a).
+            let nlinks = hot.link_delay.len() / 2;
+            let mut order: Vec<u32> = (0..nlinks as u32).collect();
+            order.sort_by_key(|&i| {
+                let l = i as usize;
+                (hot.link_delay[2 * l].min(hot.link_delay[2 * l + 1]), i)
+            });
+            for i in order {
+                let l = i as usize;
+                let (a, b) = (hot.link_src[2 * l], hot.link_dst[2 * l]);
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb && (size[ra as usize] + size[rb as usize]) as usize <= cap {
+                    // Deterministic union: smaller root id wins.
+                    let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                    parent[hi as usize] = lo;
+                    size[lo as usize] += size[hi as usize];
+                }
+            }
+            // Components, largest first (ties: smallest member), packed
+            // into the currently lightest bin (ties: lowest bin id).
+            let mut members: HashMap<u32, Vec<u32>> = HashMap::new();
+            for p in 0..n as u32 {
+                let r = find(&mut parent, p);
+                members.entry(r).or_default().push(p);
+            }
+            let mut comps: Vec<Vec<u32>> = members.into_values().collect();
+            comps.sort_by_key(|c| (Reverse(c.len()), c[0]));
+            let mut load = vec![0usize; nshards];
+            let mut shard_of = vec![0u32; n];
+            for comp in comps {
+                let bin = (0..nshards).min_by_key(|&b| (load[b], b)).unwrap();
+                load[bin] += comp.len();
+                for p in comp {
+                    shard_of[p as usize] = bin as u32;
+                }
+            }
+            shard_of
+        }
+    }
+}
+
+/// Total event order key: `(tick, prio, j)` — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EvKey {
+    tick: u64,
+    prio: u64,
+    j: u32,
+}
+
+/// A fully-keyed event in a shard's `resolved` heap.
+struct RItem {
+    key: EvKey,
+    ev: Ev,
+}
+
+impl PartialEq for RItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for RItem {}
+impl PartialOrd for RItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// An event pushed during the current window whose final key is not yet
+/// known: its parent is entry `pidx` of this window's log.
+struct FreshEv {
+    pidx: u32,
+    j: u32,
+    ev: Ev,
+}
+
+/// A cross-shard event, keyed like [`FreshEv`] against the *sender's*
+/// window log; resolved and delivered at the barrier.
+struct OutMsg {
+    tick: u64,
+    pidx: u32,
+    j: u32,
+    ev: Ev,
+}
+
+/// Per-window log of processed events: everything the barrier needs to
+/// merge shards into the global order and to un-count events the
+/// sequential engine would never have processed. Columnar; `link_ids`
+/// and `marks` are CSR per entry.
+#[derive(Default)]
+struct WinLog {
+    tick: Vec<u64>,
+    /// Key prio, or `u64::MAX` when the event was fresh (parent is this
+    /// window's entry `key_pidx`).
+    key_prio: Vec<u64>,
+    key_pidx: Vec<u32>,
+    key_j: Vec<u32>,
+    /// Did this event complete a pebble (decrement `remaining`)?
+    completed: Vec<bool>,
+    /// Global prio (`n_seeds + processing index`), assigned at merge.
+    gprio: Vec<u64>,
+    /// Stat deltas to subtract if the entry is dropped at the cut.
+    d_hops: Vec<u64>,
+    d_retries: Vec<u64>,
+    d_stall: Vec<u64>,
+    link_off: Vec<u32>,
+    link_ids: Vec<u32>,
+    mark_off: Vec<u32>,
+    marks: Vec<FaultMark>,
+}
+
+impl WinLog {
+    fn new() -> Self {
+        let mut l = WinLog::default();
+        l.link_off.push(0);
+        l.mark_off.push(0);
+        l
+    }
+
+    fn len(&self) -> usize {
+        self.tick.len()
+    }
+
+    fn begin(&mut self, tick: u64, key_prio: u64, key_pidx: u32, key_j: u32) -> usize {
+        let e = self.tick.len();
+        self.tick.push(tick);
+        self.key_prio.push(key_prio);
+        self.key_pidx.push(key_pidx);
+        self.key_j.push(key_j);
+        self.completed.push(false);
+        self.gprio.push(u64::MAX);
+        self.d_hops.push(0);
+        self.d_retries.push(0);
+        self.d_stall.push(0);
+        e
+    }
+
+    fn close(&mut self) {
+        self.link_off.push(self.link_ids.len() as u32);
+        self.mark_off.push(self.marks.len() as u32);
+    }
+
+    fn clear(&mut self) {
+        self.tick.clear();
+        self.key_prio.clear();
+        self.key_pidx.clear();
+        self.key_j.clear();
+        self.completed.clear();
+        self.gprio.clear();
+        self.d_hops.clear();
+        self.d_retries.clear();
+        self.d_stall.clear();
+        self.link_off.clear();
+        self.link_off.push(0);
+        self.link_ids.clear();
+        self.mark_off.clear();
+        self.mark_off.push(0);
+        self.marks.clear();
+    }
+}
+
+/// Routing state shared read-only by all shards during a window. Only
+/// crash processing (which runs at barriers on the main thread) mutates
+/// it, via `Arc::make_mut`.
+#[derive(Default, Clone)]
+struct SharedRo {
+    crashed: Vec<bool>,
+    dyn_subs: Vec<DynSub>,
+    dyn_out: Vec<Vec<u32>>,
+}
+
+/// One shard: a disjoint set of processors plus everything needed to run
+/// their events. Boxed and shipped to a worker thread per window.
+struct ShardState {
+    id: u32,
+    resolved: BinaryHeap<Reverse<RItem>>,
+    fresh: CalendarQueue<FreshEv>,
+    /// Per owned processor (dense local index, ascending global id).
+    state: Vec<ProcState>,
+    /// Full-size link tables; a slot is only ever touched by the shard
+    /// owning the link's source processor, so shards never conflict.
+    link_slots: Vec<LinkSlot>,
+    link_traffic: Vec<u64>,
+    // Run-long accumulators, summed at finalization.
+    messages: u64,
+    pebble_hops: u64,
+    retries: u64,
+    stall_ticks: u64,
+    makespan: u64,
+    /// Largest `resolved.len() + fresh.len()` seen this window.
+    win_peak: usize,
+    // Window products, consumed at the barrier.
+    log: WinLog,
+    outbox: Vec<Vec<OutMsg>>,
+    /// First error this window: `(log entry, error)`. The shard stops at
+    /// it; the barrier decides whether the sequential engine would have
+    /// reached it.
+    err: Option<(u32, RunError)>,
+    deps_buf: Vec<PebbleValue>,
+}
+
+/// Immutable per-run context shared by every worker.
+struct Env<'p, 'a> {
+    plan: &'p ExecPlan<'a>,
+    frt: Option<FaultRt>,
+    program: ProgramRef,
+    boundary: BoundaryRule,
+    bw: u64,
+    steps: u32,
+    stride: usize,
+    record_timing: bool,
+    n_orig_subs: usize,
+    n_seeds: u64,
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+}
+
+impl Env<'_, '_> {
+    fn cost_of(&self, p: usize) -> u64 {
+        self.plan
+            .compute_costs
+            .as_ref()
+            .map(|c| c[p] as u64)
+            .unwrap_or(1)
+    }
+}
+
+/// Push a child event of log entry `parent` at `tick`, owned by
+/// processor `owner`: same shard → `fresh`, other shard → outbox.
+fn push_child(
+    env: &Env<'_, '_>,
+    sh: &mut ShardState,
+    parent: usize,
+    j: &mut u32,
+    tick: u64,
+    owner: NodeId,
+    ev: Ev,
+) {
+    let jj = *j;
+    *j += 1;
+    let target = env.shard_of[owner as usize];
+    if target == sh.id {
+        sh.fresh.push(
+            tick,
+            FreshEv {
+                pidx: parent as u32,
+                j: jj,
+                ev,
+            },
+        );
+        let depth = sh.resolved.len() + sh.fresh.len();
+        if depth > sh.win_peak {
+            sh.win_peak = depth;
+        }
+    } else {
+        sh.outbox[target as usize].push(OutMsg {
+            tick,
+            pidx: parent as u32,
+            j: jj,
+            ev,
+        });
+    }
+}
+
+/// Transmit one pebble over the link into `Arrival { sub, hop }` —
+/// the sharded mirror of the sequential engine's `send_sub_hop!`.
+#[allow(clippy::too_many_arguments)]
+fn send_sub(
+    env: &Env<'_, '_>,
+    sh: &mut ShardState,
+    ro: &SharedRo,
+    entry: usize,
+    j: &mut u32,
+    now: u64,
+    sid: u32,
+    hop: u16,
+    step: u32,
+    value: PebbleValue,
+    attempt: u32,
+) -> Result<(), RunError> {
+    let hot = &env.plan.hot;
+    let s = sid as usize;
+    let lid = if s < env.n_orig_subs {
+        hot.sub_links[hot.sub_link_off[s] as usize + hop as usize - 1]
+    } else {
+        ro.dyn_subs[s - env.n_orig_subs].links[hop as usize - 1]
+    };
+    let l = lid as usize;
+    sh.link_traffic[l] += 1;
+    sh.log.link_ids.push(lid);
+    let depart = inject(&mut sh.link_slots[l], now, env.bw);
+    let base = env
+        .plan
+        .config
+        .jitter
+        .effective(hot.link_delay[l], lid, depart);
+    match env.frt.as_ref() {
+        None => push_child(
+            env,
+            sh,
+            entry,
+            j,
+            depart + base,
+            hot.link_dst[l],
+            Ev::Arrival {
+                sub: sid,
+                hop,
+                step,
+                value,
+            },
+        ),
+        Some(f) => {
+            let arrive = depart + base * f.spike_factor(lid, depart);
+            if !f.down_overlap(lid, depart, arrive) {
+                push_child(
+                    env,
+                    sh,
+                    entry,
+                    j,
+                    arrive,
+                    hot.link_dst[l],
+                    Ev::Arrival {
+                        sub: sid,
+                        hop,
+                        step,
+                        value,
+                    },
+                );
+            } else {
+                let attempt = attempt + 1;
+                if attempt > f.retry.max_attempts {
+                    return Err(RunError::RetriesExhausted {
+                        link: lid,
+                        tick: arrive,
+                    });
+                }
+                let back = f.retry.backoff(attempt);
+                sh.retries += 1;
+                sh.log.d_retries[entry] += 1;
+                sh.stall_ticks += arrive - now + back;
+                sh.log.d_stall[entry] += arrive - now + back;
+                if env.record_timing {
+                    sh.log.marks.push(FaultMark {
+                        tick: arrive,
+                        kind: FaultMarkKind::LinkTimeout { link: lid },
+                    });
+                }
+                push_child(
+                    env,
+                    sh,
+                    entry,
+                    j,
+                    arrive + back,
+                    hot.link_src[l],
+                    Ev::Resend {
+                        sub: sid,
+                        hop,
+                        step,
+                        value,
+                        attempt,
+                    },
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Transmit one pebble over the multicast tree edge into `node` —
+/// mirror of `send_tree_hop!`.
+#[allow(clippy::too_many_arguments)]
+fn send_tree(
+    env: &Env<'_, '_>,
+    sh: &mut ShardState,
+    tree_nodes: &[NodeId],
+    entry: usize,
+    j: &mut u32,
+    now: u64,
+    tid: u32,
+    node: u32,
+    step: u32,
+    value: PebbleValue,
+    attempt: u32,
+) -> Result<(), RunError> {
+    let hot = &env.plan.hot;
+    let lid = hot.tree_edge_lid[tid as usize][node as usize];
+    let l = lid as usize;
+    sh.link_traffic[l] += 1;
+    sh.log.link_ids.push(lid);
+    let depart = inject(&mut sh.link_slots[l], now, env.bw);
+    let base = env
+        .plan
+        .config
+        .jitter
+        .effective(hot.link_delay[l], lid, depart);
+    match env.frt.as_ref() {
+        None => push_child(
+            env,
+            sh,
+            entry,
+            j,
+            depart + base,
+            tree_nodes[node as usize],
+            Ev::TreeHop {
+                tree: tid,
+                node,
+                step,
+                value,
+            },
+        ),
+        Some(f) => {
+            let arrive = depart + base * f.spike_factor(lid, depart);
+            if !f.down_overlap(lid, depart, arrive) {
+                push_child(
+                    env,
+                    sh,
+                    entry,
+                    j,
+                    arrive,
+                    tree_nodes[node as usize],
+                    Ev::TreeHop {
+                        tree: tid,
+                        node,
+                        step,
+                        value,
+                    },
+                );
+            } else {
+                let attempt = attempt + 1;
+                if attempt > f.retry.max_attempts {
+                    return Err(RunError::RetriesExhausted {
+                        link: lid,
+                        tick: arrive,
+                    });
+                }
+                let back = f.retry.backoff(attempt);
+                sh.retries += 1;
+                sh.log.d_retries[entry] += 1;
+                sh.stall_ticks += arrive - now + back;
+                sh.log.d_stall[entry] += arrive - now + back;
+                if env.record_timing {
+                    sh.log.marks.push(FaultMark {
+                        tick: arrive,
+                        kind: FaultMarkKind::LinkTimeout { link: lid },
+                    });
+                }
+                push_child(
+                    env,
+                    sh,
+                    entry,
+                    j,
+                    arrive + back,
+                    hot.link_src[l],
+                    Ev::TreeResend {
+                        tree: tid,
+                        node,
+                        step,
+                        value,
+                        attempt,
+                    },
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Process one event on its shard — the mirror of the sequential match
+/// arms, with `sched!` replaced by [`push_child`]. `Crash` never appears
+/// here: crashes run at barriers.
+fn process_event(
+    env: &Env<'_, '_>,
+    sh: &mut ShardState,
+    ro: &SharedRo,
+    tick: u64,
+    ev: Ev,
+    entry: usize,
+) -> Result<(), RunError> {
+    let plan = env.plan;
+    let hot = &plan.hot;
+    let steps = env.steps;
+    let stride = env.stride;
+    let mut j: u32 = 0;
+    match ev {
+        Ev::ComputeDone { proc, own_idx } => {
+            let p = proc as usize;
+            if env.frt.is_some() && ro.crashed[p] {
+                return Ok(());
+            }
+            let i = own_idx as usize;
+            let pt = &hot.procs[p];
+            let lp = env.local_of[p] as usize;
+            let (cell, s) = (pt.cells[i], sh.state[lp].next_step[i]);
+            debug_assert!(s <= steps);
+            let mut deps = std::mem::take(&mut sh.deps_buf);
+            deps.clear();
+            {
+                let st = &sh.state[lp];
+                let sm1 = s as usize - 1;
+                for &src in &pt.gather[pt.gather_off[i] as usize..pt.gather_off[i + 1] as usize] {
+                    deps.push(match src {
+                        DepSrc::Boundary { side, offset } => env.boundary.value(side, offset, s),
+                        DepSrc::Own(o) => st.history[o as usize * stride + sm1],
+                        DepSrc::Sub(k) => {
+                            debug_assert!(st.dep_have[k as usize * stride + sm1]);
+                            st.dep_values[k as usize * stride + sm1]
+                        }
+                    });
+                }
+            }
+            let (v, u) = env.program.compute(cell, s, &sh.state[lp].dbs[i], &deps);
+            sh.deps_buf = deps;
+            {
+                let st = &mut sh.state[lp];
+                st.dbs[i].apply(&u);
+                st.history[i * stride + s as usize] = v;
+                st.value_fold[i] = fold64(st.value_fold[i], v);
+                st.update_fold[i] = fold64(st.update_fold[i], u.digest());
+                st.next_step[i] = s + 1;
+                st.queued[i] = false;
+                st.busy = false;
+                if env.record_timing {
+                    st.times[i].push(tick);
+                }
+                if s == steps {
+                    st.finished_at[i] = tick;
+                }
+            }
+            sh.log.completed[entry] = true;
+            sh.makespan = sh.makespan.max(tick);
+
+            let cid = hot.copy_off[p] as usize + i;
+            let routes = &hot.out_ids[hot.out_off[cid] as usize..hot.out_off[cid + 1] as usize];
+            match &plan.routes {
+                Routes::Unicast(_) => {
+                    for &sid in routes {
+                        sh.messages += 1;
+                        let llo = hot.sub_link_off[sid as usize] as usize;
+                        let lhi = hot.sub_link_off[sid as usize + 1] as usize;
+                        sh.pebble_hops += (lhi - llo) as u64;
+                        send_sub(env, sh, ro, entry, &mut j, tick, sid, 1, s, v, 0)?;
+                    }
+                }
+                Routes::Multicast(mt) => {
+                    for &tid in routes {
+                        sh.messages += 1;
+                        let tree = &mt.trees[tid as usize];
+                        for &child in &tree.children[tree.root as usize] {
+                            sh.pebble_hops += 1;
+                            send_tree(
+                                env,
+                                sh,
+                                &tree.nodes,
+                                entry,
+                                &mut j,
+                                tick,
+                                tid,
+                                child,
+                                s,
+                                v,
+                                0,
+                            )?;
+                        }
+                    }
+                }
+            }
+            if !ro.dyn_out.is_empty() {
+                for &dsid in &ro.dyn_out[cid] {
+                    sh.messages += 1;
+                    sh.pebble_hops +=
+                        ro.dyn_subs[dsid as usize - env.n_orig_subs].links.len() as u64;
+                    send_sub(env, sh, ro, entry, &mut j, tick, dsid, 1, s, v, 0)?;
+                }
+            }
+
+            let mut started = None;
+            {
+                let st = &mut sh.state[lp];
+                try_enqueue(
+                    pt,
+                    st,
+                    i,
+                    steps,
+                    proc,
+                    tick,
+                    ReadyCause::Local,
+                    &mut NoopTracer,
+                );
+                for idx in pt.own_dep_off[i] as usize..pt.own_dep_off[i + 1] as usize {
+                    let d = pt.own_dependents[idx] as usize;
+                    try_enqueue(
+                        pt,
+                        st,
+                        d,
+                        steps,
+                        proc,
+                        tick,
+                        ReadyCause::Local,
+                        &mut NoopTracer,
+                    );
+                }
+                if !st.busy {
+                    if let Some(Reverse((_s, jx))) = st.ready.pop() {
+                        st.busy = true;
+                        started = Some(jx);
+                    }
+                }
+            }
+            if let Some(jx) = started {
+                push_child(
+                    env,
+                    sh,
+                    entry,
+                    &mut j,
+                    tick + env.cost_of(p),
+                    proc,
+                    Ev::ComputeDone { proc, own_idx: jx },
+                );
+            }
+        }
+        Ev::Arrival {
+            sub,
+            hop,
+            step,
+            value,
+        } => {
+            let sid = sub as usize;
+            let (nlinks, dest, dep) = if sid < env.n_orig_subs {
+                let llo = hot.sub_link_off[sid] as usize;
+                let lhi = hot.sub_link_off[sid + 1] as usize;
+                (
+                    lhi - llo,
+                    hot.sub_dest[sid] as usize,
+                    hot.sub_dest_dep[sid] as usize,
+                )
+            } else {
+                let ds = &ro.dyn_subs[sid - env.n_orig_subs];
+                (ds.links.len(), ds.dest as usize, ds.dest_dep as usize)
+            };
+            if (hop as usize) < nlinks {
+                send_sub(
+                    env,
+                    sh,
+                    ro,
+                    entry,
+                    &mut j,
+                    tick,
+                    sub,
+                    hop + 1,
+                    step,
+                    value,
+                    0,
+                )?;
+            } else if !(env.frt.is_some() && ro.crashed[dest]) {
+                let p = dest;
+                let pt = &hot.procs[p];
+                let lp = env.local_of[p] as usize;
+                let mut started = None;
+                {
+                    let st = &mut sh.state[lp];
+                    deliver(
+                        pt,
+                        st,
+                        dep,
+                        step,
+                        value,
+                        steps,
+                        stride,
+                        p as NodeId,
+                        tick,
+                        MsgKey::Sub { sub, step },
+                        &mut NoopTracer,
+                    );
+                    if !st.busy {
+                        if let Some(Reverse((_s2, jx))) = st.ready.pop() {
+                            st.busy = true;
+                            started = Some(jx);
+                        }
+                    }
+                }
+                if let Some(jx) = started {
+                    push_child(
+                        env,
+                        sh,
+                        entry,
+                        &mut j,
+                        tick + env.cost_of(p),
+                        p as NodeId,
+                        Ev::ComputeDone {
+                            proc: p as NodeId,
+                            own_idx: jx,
+                        },
+                    );
+                }
+            }
+        }
+        Ev::TreeHop {
+            tree,
+            node,
+            step,
+            value,
+        } => {
+            let Routes::Multicast(mt) = &plan.routes else {
+                unreachable!("tree hop in unicast mode");
+            };
+            let t = &mt.trees[tree as usize];
+            for &child in &t.children[node as usize] {
+                sh.pebble_hops += 1;
+                sh.log.d_hops[entry] += 1;
+                send_tree(
+                    env, sh, &t.nodes, entry, &mut j, tick, tree, child, step, value, 0,
+                )?;
+            }
+            let kdep = hot.tree_deliver_dep[tree as usize][node as usize];
+            if kdep != u32::MAX {
+                let p = t.nodes[node as usize] as usize;
+                if !(env.frt.is_some() && ro.crashed[p]) {
+                    let pt = &hot.procs[p];
+                    let lp = env.local_of[p] as usize;
+                    let mut started = None;
+                    {
+                        let st = &mut sh.state[lp];
+                        deliver(
+                            pt,
+                            st,
+                            kdep as usize,
+                            step,
+                            value,
+                            steps,
+                            stride,
+                            p as NodeId,
+                            tick,
+                            MsgKey::Tree { tree, step },
+                            &mut NoopTracer,
+                        );
+                        if !st.busy {
+                            if let Some(Reverse((_s2, jx))) = st.ready.pop() {
+                                st.busy = true;
+                                started = Some(jx);
+                            }
+                        }
+                    }
+                    if let Some(jx) = started {
+                        push_child(
+                            env,
+                            sh,
+                            entry,
+                            &mut j,
+                            tick + env.cost_of(p),
+                            p as NodeId,
+                            Ev::ComputeDone {
+                                proc: p as NodeId,
+                                own_idx: jx,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        Ev::Resend {
+            sub,
+            hop,
+            step,
+            value,
+            attempt,
+        } => {
+            send_sub(
+                env, sh, ro, entry, &mut j, tick, sub, hop, step, value, attempt,
+            )?;
+        }
+        Ev::TreeResend {
+            tree,
+            node,
+            step,
+            value,
+            attempt,
+        } => {
+            let Routes::Multicast(mt) = &plan.routes else {
+                unreachable!("tree resend in unicast mode");
+            };
+            let nodes = &mt.trees[tree as usize].nodes;
+            send_tree(
+                env, sh, nodes, entry, &mut j, tick, tree, node, step, value, attempt,
+            )?;
+        }
+        Ev::Crash { .. } => unreachable!("crashes are processed at barriers"),
+    }
+    Ok(())
+}
+
+/// Run one shard's window `[*, w_end)`: pop the earliest-keyed event
+/// (resolved first on tick ties — see module docs for why that is the
+/// exact global order) and process it, logging every entry. Stops early
+/// at the shard's first error; the barrier decides its fate.
+fn run_window(env: &Env<'_, '_>, sh: &mut ShardState, ro: &SharedRo, w_end: u64) {
+    loop {
+        let rt = sh.resolved.peek().map(|Reverse(r)| r.key.tick);
+        let ft = sh.fresh.peek_tick();
+        let use_resolved = match (rt, ft) {
+            (None, None) => return,
+            (Some(a), Some(b)) => a <= b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+        };
+        let tick = if use_resolved {
+            rt.unwrap()
+        } else {
+            ft.unwrap()
+        };
+        if tick >= w_end {
+            return;
+        }
+        let (entry, ev) = if use_resolved {
+            let Reverse(item) = sh.resolved.pop().unwrap();
+            (sh.log.begin(tick, item.key.prio, 0, item.key.j), item.ev)
+        } else {
+            let (_, f) = sh.fresh.pop().unwrap();
+            (sh.log.begin(tick, u64::MAX, f.pidx, f.j), f.ev)
+        };
+        let res = process_event(env, sh, ro, tick, ev, entry);
+        sh.log.close();
+        if let Err(e) = res {
+            sh.err = Some((entry as u32, e));
+            return;
+        }
+    }
+}
+
+/// A crash scheduled at seed time, processed at its barrier.
+#[derive(Clone, Copy)]
+struct PendingCrash {
+    tick: u64,
+    proc: u32,
+}
+
+/// What the barrier merge concluded.
+struct MergeOut {
+    /// Error the sequential engine would have hit (at the earliest
+    /// global position, and only if not past the final completion).
+    err: Option<RunError>,
+    /// `remaining` hit zero inside this window.
+    cut: bool,
+    completions: u64,
+    kept_events: u64,
+    /// Earliest tick among dropped (post-completion) entries.
+    dropped_min_tick: Option<u64>,
+}
+
+/// Merge the shards' window logs into the global event order, assign
+/// global processing indices, splice kept fault marks into the timeline,
+/// and un-count everything past the run's final completion.
+#[allow(clippy::too_many_arguments)]
+fn merge_windows(
+    slots: &mut [Option<Box<ShardState>>],
+    n_seeds: u64,
+    gpos: &mut u64,
+    r_start: u64,
+    record_timing: bool,
+    timeline: &mut Vec<FaultMark>,
+) -> MergeOut {
+    let nshards = slots.len();
+    // Build the global visit order tick by tick. Each shard's same-tick
+    // run is already key-ascending, and every same-tick parent reference
+    // points at a strictly earlier tick (all delays and costs are ≥ 1
+    // whenever nshards > 1), so prios resolve as we go. With one shard
+    // the log order *is* the global order — no sort, which also keeps
+    // zero-delay plans (forced to one shard) exact.
+    let mut order: Vec<(u32, u32)> = Vec::new();
+    {
+        let mut cursors = vec![0usize; nshards];
+        let mut cand: Vec<(u64, u32, u32, u32)> = Vec::new(); // (prio, j, shard, idx)
+        loop {
+            let mut t = u64::MAX;
+            for (s, cur) in cursors.iter().enumerate() {
+                let log = &slots[s].as_ref().unwrap().log;
+                if *cur < log.len() {
+                    t = t.min(log.tick[*cur]);
+                }
+            }
+            if t == u64::MAX {
+                break;
+            }
+            cand.clear();
+            for (s, cur) in cursors.iter_mut().enumerate() {
+                let log = &slots[s].as_ref().unwrap().log;
+                while *cur < log.len() && log.tick[*cur] == t {
+                    let i = *cur;
+                    let prio = if log.key_prio[i] != u64::MAX {
+                        log.key_prio[i]
+                    } else {
+                        log.gprio[log.key_pidx[i] as usize]
+                    };
+                    cand.push((prio, log.key_j[i], s as u32, i as u32));
+                    *cur += 1;
+                }
+            }
+            if nshards > 1 {
+                cand.sort_unstable();
+            }
+            for &(_, _, s, i) in &cand {
+                slots[s as usize].as_mut().unwrap().log.gprio[i as usize] = n_seeds + *gpos;
+                *gpos += 1;
+                order.push((s, i));
+            }
+        }
+    }
+
+    let mut out = MergeOut {
+        err: None,
+        cut: false,
+        completions: 0,
+        kept_events: 0,
+        dropped_min_tick: None,
+    };
+    for &(s, i) in &order {
+        let sh = slots[s as usize].as_mut().unwrap();
+        let i = i as usize;
+        if !out.cut {
+            if let Some((eidx, e)) = &sh.err {
+                if *eidx as usize == i {
+                    out.err = Some(e.clone());
+                    return out;
+                }
+            }
+            out.kept_events += 1;
+            if record_timing {
+                let lo = sh.log.mark_off[i] as usize;
+                let hi = sh.log.mark_off[i + 1] as usize;
+                timeline.extend_from_slice(&sh.log.marks[lo..hi]);
+            }
+            if sh.log.completed[i] {
+                out.completions += 1;
+                if out.completions == r_start {
+                    out.cut = true;
+                }
+            }
+        } else {
+            // The sequential engine stopped before this event: undo its
+            // externally-visible side effects. (Completions past the cut
+            // are impossible — `remaining` already hit zero.)
+            debug_assert!(!sh.log.completed[i]);
+            if out.dropped_min_tick.is_none() {
+                out.dropped_min_tick = Some(sh.log.tick[i]);
+            }
+            sh.pebble_hops -= sh.log.d_hops[i];
+            sh.retries -= sh.log.d_retries[i];
+            sh.stall_ticks -= sh.log.d_stall[i];
+            let lo = sh.log.link_off[i] as usize;
+            let hi = sh.log.link_off[i + 1] as usize;
+            for k in lo..hi {
+                sh.link_traffic[sh.log.link_ids[k] as usize] -= 1;
+            }
+        }
+    }
+    out
+}
+
+/// Crash-time pebble transmit: like [`send_sub`], but runs on the main
+/// thread at a barrier, against the *sender shard's* link state, with
+/// children delivered straight into their owner shard's resolved heap.
+#[allow(clippy::too_many_arguments)]
+fn crash_send_sub(
+    env: &Env<'_, '_>,
+    slots: &mut [Option<Box<ShardState>>],
+    ro: &SharedRo,
+    crash_prio: u64,
+    j: &mut u32,
+    now: u64,
+    sid: u32,
+    step: u32,
+    value: PebbleValue,
+    attempt: u32,
+    fstats: &mut FaultStats,
+    timeline: &mut Vec<FaultMark>,
+) -> Result<(), RunError> {
+    let hot = &env.plan.hot;
+    // Crash-time sends always use the freshly created dynamic route.
+    let ds = &ro.dyn_subs[sid as usize - env.n_orig_subs];
+    let hop: u16 = 1;
+    let lid = ds.links[hop as usize - 1];
+    let l = lid as usize;
+    let sender = env.shard_of[hot.link_src[l] as usize] as usize;
+    let sh = slots[sender].as_mut().unwrap();
+    sh.link_traffic[l] += 1;
+    let depart = inject(&mut sh.link_slots[l], now, env.bw);
+    let base = env
+        .plan
+        .config
+        .jitter
+        .effective(hot.link_delay[l], lid, depart);
+    let f = env.frt.as_ref().expect("crash implies fault plan");
+    let arrive = depart + base * f.spike_factor(lid, depart);
+    let (tick, ev, owner) = if !f.down_overlap(lid, depart, arrive) {
+        (
+            arrive,
+            Ev::Arrival {
+                sub: sid,
+                hop,
+                step,
+                value,
+            },
+            hot.link_dst[l],
+        )
+    } else {
+        let attempt = attempt + 1;
+        if attempt > f.retry.max_attempts {
+            return Err(RunError::RetriesExhausted {
+                link: lid,
+                tick: arrive,
+            });
+        }
+        let back = f.retry.backoff(attempt);
+        fstats.retries += 1;
+        fstats.fault_stall_ticks += arrive - now + back;
+        if env.record_timing {
+            timeline.push(FaultMark {
+                tick: arrive,
+                kind: FaultMarkKind::LinkTimeout { link: lid },
+            });
+        }
+        (
+            arrive + back,
+            Ev::Resend {
+                sub: sid,
+                hop,
+                step,
+                value,
+                attempt,
+            },
+            hot.link_src[l],
+        )
+    };
+    let jj = *j;
+    *j += 1;
+    let target = slots[env.shard_of[owner as usize] as usize]
+        .as_mut()
+        .unwrap();
+    target.resolved.push(Reverse(RItem {
+        key: EvKey {
+            tick,
+            prio: crash_prio,
+            j: jj,
+        },
+        ev,
+    }));
+    Ok(())
+}
+
+/// Process one crash at a barrier — the mirror of the sequential
+/// `Ev::Crash` arm. Mutates the shared routing snapshot (so subsequent
+/// windows see the re-subscriptions) and backfills missed pebbles.
+#[allow(clippy::too_many_arguments)]
+fn process_crash(
+    env: &Env<'_, '_>,
+    ro: &mut Arc<SharedRo>,
+    slots: &mut [Option<Box<ShardState>>],
+    c: PendingCrash,
+    remaining: &mut u64,
+    total_forfeited: &mut u64,
+    gpos: &mut u64,
+    events_processed: &mut u64,
+    messages: &mut u64,
+    pebble_hops: &mut u64,
+    fstats: &mut FaultStats,
+    timeline: &mut Vec<FaultMark>,
+) -> Result<(), RunError> {
+    let plan = env.plan;
+    let hot = &plan.hot;
+    let f = env.frt.as_ref().expect("crash implies fault plan");
+    let (tick, p) = (c.tick, c.proc as usize);
+    *events_processed += 1;
+    let crash_prio = env.n_seeds + *gpos;
+    *gpos += 1;
+    let snap = Arc::make_mut(ro);
+    if snap.crashed[p] {
+        return Ok(());
+    }
+    snap.crashed[p] = true;
+    fstats.crashed_procs += 1;
+    let pt = &hot.procs[p];
+    fstats.lost_copies += pt.cells.len() as u32;
+    if env.record_timing {
+        timeline.push(FaultMark {
+            tick,
+            kind: FaultMarkKind::Crash { proc: c.proc },
+        });
+    }
+    let (psh, plp) = (env.shard_of[p] as usize, env.local_of[p] as usize);
+    let forfeited: u64 = slots[psh].as_ref().unwrap().state[plp]
+        .next_step
+        .iter()
+        .map(|&ns| (env.steps + 1 - ns) as u64)
+        .sum();
+    *remaining -= forfeited;
+    *total_forfeited += forfeited;
+
+    for &cell in &pt.cells {
+        let alive = plan
+            .assign
+            .holders(cell)
+            .iter()
+            .any(|&q| !snap.crashed[q as usize]);
+        if !alive {
+            return Err(RunError::ColumnLost { cell, tick });
+        }
+    }
+
+    let mut orphans: Vec<(u32, NodeId, u32)> = Vec::new();
+    match &plan.routes {
+        Routes::Unicast(rt) => {
+            for (sid, sub) in rt.subs.iter().enumerate() {
+                if sub.source == c.proc && !snap.crashed[sub.dest as usize] {
+                    orphans.push((sub.cell, sub.dest, hot.sub_dest_dep[sid]));
+                }
+            }
+        }
+        Routes::Multicast(mt) => {
+            for (tid, t) in mt.trees.iter().enumerate() {
+                if t.source != c.proc {
+                    continue;
+                }
+                for (v, &del) in t.deliver.iter().enumerate() {
+                    if del && !snap.crashed[t.nodes[v] as usize] {
+                        orphans.push((t.cell, t.nodes[v], hot.tree_deliver_dep[tid][v]));
+                    }
+                }
+            }
+        }
+    }
+    for ds in &snap.dyn_subs {
+        if ds.source == c.proc && !snap.crashed[ds.dest as usize] {
+            orphans.push((ds.cell, ds.dest, ds.dest_dep));
+        }
+    }
+
+    if !orphans.is_empty() && snap.dyn_out.is_empty() {
+        snap.dyn_out = vec![Vec::new(); *hot.copy_off.last().unwrap() as usize];
+    }
+    let mut sp_cache: HashMap<NodeId, overlap_net::paths::PathResult> = HashMap::new();
+    let mut j: u32 = 0;
+    for (cell, dest, dest_dep) in orphans {
+        let sp = sp_cache
+            .entry(dest)
+            .or_insert_with(|| dijkstra(plan.host, dest));
+        let best = plan
+            .assign
+            .holders(cell)
+            .iter()
+            .copied()
+            .filter(|&q| !snap.crashed[q as usize])
+            .min_by_key(|&q| (sp.dist[q as usize], q))
+            .expect("surviving holder checked above");
+        let mut path = sp.path_to(best).expect("connected host");
+        path.reverse();
+        let links: Vec<u32> = path.windows(2).map(|w| f.link_ids[&(w[0], w[1])]).collect();
+        let nhops = links.len() as u64;
+        let src_pt = &hot.procs[best as usize];
+        let pos = src_pt
+            .cells
+            .binary_search(&cell)
+            .expect("holder holds cell");
+        let src_cid = hot.copy_off[best as usize] as usize + pos;
+        let sid = (env.n_orig_subs + snap.dyn_subs.len()) as u32;
+        let (bsh, blp) = (
+            env.shard_of[best as usize] as usize,
+            env.local_of[best as usize] as usize,
+        );
+        let computed = slots[bsh].as_ref().unwrap().state[blp].next_step[pos] - 1;
+        snap.dyn_subs.push(DynSub {
+            cell,
+            source: best,
+            dest,
+            dest_dep,
+            links,
+        });
+        snap.dyn_out[src_cid].push(sid);
+        fstats.rerouted_subscriptions += 1;
+        if env.record_timing {
+            timeline.push(FaultMark {
+                tick,
+                kind: FaultMarkKind::Reroute { cell, to: best },
+            });
+        }
+        let (dsh, dlp) = (
+            env.shard_of[dest as usize] as usize,
+            env.local_of[dest as usize] as usize,
+        );
+        let w = slots[dsh].as_ref().unwrap().state[dlp].dep_watermark[dest_dep as usize];
+        for s2 in (w + 1)..=computed {
+            let value =
+                slots[bsh].as_ref().unwrap().state[blp].history[pos * env.stride + s2 as usize];
+            *messages += 1;
+            *pebble_hops += nhops;
+            crash_send_sub(
+                env, slots, snap, crash_prio, &mut j, tick, sid, s2, value, 0, fstats, timeline,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Earliest pending tick across every queue the run still owes events
+/// to: shard heaps, fresh leftovers, unexchanged outboxes, and the
+/// crash schedule.
+fn pending_min(
+    slots: &mut [Option<Box<ShardState>>],
+    crash_list: &[PendingCrash],
+    crash_cur: usize,
+) -> Option<u64> {
+    let mut m = u64::MAX;
+    for slot in slots.iter_mut() {
+        let sh = slot.as_mut().unwrap();
+        if let Some(Reverse(r)) = sh.resolved.peek() {
+            m = m.min(r.key.tick);
+        }
+        if let Some(t) = sh.fresh.peek_tick() {
+            m = m.min(t);
+        }
+        for ob in &sh.outbox {
+            for msg in ob {
+                m = m.min(msg.tick);
+            }
+        }
+    }
+    if crash_cur < crash_list.len() {
+        m = m.min(crash_list[crash_cur].tick);
+    }
+    (m != u64::MAX).then_some(m)
+}
+
+/// A window job shipped to a worker thread.
+struct Job {
+    sh: Box<ShardState>,
+    ro: Arc<SharedRo>,
+    w_end: u64,
+}
+
+/// Run `plan` on the sharded engine with the default
+/// [`Partition::DelayCut`] heuristic. Bit-identical to
+/// [`Engine::run`](crate::Engine::run) except `peak_queue_depth` (see
+/// [`RunStats`]).
+pub fn run_sharded(plan: &ExecPlan<'_>, threads: usize) -> Result<RunOutcome, RunError> {
+    run_sharded_with(plan, threads, Partition::DelayCut)
+}
+
+/// [`run_sharded`] with an explicit partition heuristic.
+pub fn run_sharded_with(
+    plan: &ExecPlan<'_>,
+    threads: usize,
+    how: Partition,
+) -> Result<RunOutcome, RunError> {
+    let hot = &plan.hot;
+    let n = plan.host.num_nodes() as usize;
+    let steps = plan.guest.steps;
+    let stride = steps as usize + 1;
+    let program: ProgramRef = plan.guest.program.instantiate();
+    let kind = program.db_kind();
+    let frt: Option<FaultRt> = match plan.faults.as_ref() {
+        Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, plan.host)?),
+        _ => None,
+    };
+    let jitter = plan.config.jitter;
+    let max_ticks = plan.config.max_ticks;
+
+    // A zero-delay link allows same-tick parent→child chains, which the
+    // tick-batched barrier merge cannot order; collapse to one shard
+    // (whole run = one window, log order = global order, still exact).
+    let mut nshards = threads.clamp(1, n.max(1));
+    if hot
+        .link_delay
+        .iter()
+        .any(|&d| min_effective(jitter, d) == 0)
+    {
+        nshards = 1;
+    }
+    let shard_of = partition_procs(plan, nshards, how);
+    let mut local_of = vec![0u32; n];
+    let mut shard_procs: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+    for p in 0..n {
+        let s = shard_of[p] as usize;
+        local_of[p] = shard_procs[s].len() as u32;
+        shard_procs[s].push(p as u32);
+    }
+
+    // Conservative lookahead: minimum effective delay over cross-shard
+    // directed links. Every cross-shard event departs at or after the
+    // sender's current tick and arrives ≥ lookahead later, so a window
+    // bounded by W + lookahead is safe. No cross links ⇒ unbounded.
+    let mut lookahead = u64::MAX;
+    for l in 0..hot.link_delay.len() {
+        if shard_of[hot.link_src[l] as usize] != shard_of[hot.link_dst[l] as usize] {
+            lookahead = lookahead.min(min_effective(jitter, hot.link_delay[l]));
+        }
+    }
+    debug_assert!(nshards == 1 || lookahead >= 1);
+
+    let mut shards: Vec<Box<ShardState>> = shard_procs
+        .iter()
+        .enumerate()
+        .map(|(sid, procs)| {
+            Box::new(ShardState {
+                id: sid as u32,
+                resolved: BinaryHeap::new(),
+                fresh: CalendarQueue::new(),
+                state: procs
+                    .iter()
+                    .map(|&p| ProcState::seed(&hot.procs[p as usize], plan, stride, kind))
+                    .collect(),
+                link_slots: vec![LinkSlot::default(); hot.link_delay.len()],
+                link_traffic: vec![0; hot.link_delay.len()],
+                messages: 0,
+                pebble_hops: 0,
+                retries: 0,
+                stall_ticks: 0,
+                makespan: 0,
+                win_peak: 0,
+                log: WinLog::new(),
+                outbox: (0..nshards).map(|_| Vec::new()).collect(),
+                err: None,
+                deps_buf: Vec::with_capacity(plan.guest.topology.max_deps()),
+            })
+        })
+        .collect();
+
+    // Seed in the sequential push order: crashes first (processed at
+    // barriers, so they live in a main-thread list, not shard queues),
+    // then each processor's initial pebble in processor order.
+    let mut seed_ctr: u64 = 0;
+    let mut crash_list: Vec<PendingCrash> = Vec::new();
+    if let Some(f) = frt.as_ref() {
+        for (p, &at) in f.crash_at.iter().enumerate() {
+            if at != u64::MAX {
+                crash_list.push(PendingCrash {
+                    tick: at,
+                    proc: p as u32,
+                });
+                seed_ctr += 1;
+            }
+        }
+    }
+    crash_list.sort_by_key(|c| c.tick); // stable: proc order within a tick
+
+    let cost0 = |p: usize| -> u64 {
+        plan.compute_costs
+            .as_ref()
+            .map(|c| c[p] as u64)
+            .unwrap_or(1)
+    };
+    for p in 0..n {
+        let pt = &hot.procs[p];
+        let sh = &mut shards[shard_of[p] as usize];
+        let st = &mut sh.state[local_of[p] as usize];
+        for i in 0..pt.cells.len() {
+            try_enqueue(
+                pt,
+                st,
+                i,
+                steps,
+                p as NodeId,
+                0,
+                ReadyCause::Local,
+                &mut NoopTracer,
+            );
+        }
+        if let Some(Reverse((_s, i))) = st.ready.pop() {
+            st.busy = true;
+            sh.resolved.push(Reverse(RItem {
+                key: EvKey {
+                    tick: cost0(p),
+                    prio: seed_ctr,
+                    j: 0,
+                },
+                ev: Ev::ComputeDone {
+                    proc: p as NodeId,
+                    own_idx: i,
+                },
+            }));
+            seed_ctr += 1;
+        }
+    }
+    for sh in &mut shards {
+        sh.win_peak = sh.resolved.len();
+    }
+
+    let total_compute: u64 = hot
+        .procs
+        .iter()
+        .map(|pt| pt.cells.len() as u64 * steps as u64)
+        .sum();
+
+    let env = Env {
+        plan,
+        frt,
+        program,
+        boundary: plan.guest.boundary(),
+        bw: plan.config.bandwidth.per_tick(plan.host.num_nodes()) as u64,
+        steps,
+        stride,
+        record_timing: plan.config.record_timing,
+        n_orig_subs: hot.sub_link_off.len() - 1,
+        n_seeds: seed_ctr,
+        shard_of,
+        local_of,
+    };
+
+    let mut ro: Arc<SharedRo> = Arc::new(SharedRo {
+        crashed: vec![false; if env.frt.is_some() { n } else { 0 }],
+        dyn_subs: Vec::new(),
+        dyn_out: Vec::new(),
+    });
+
+    std::thread::scope(|scope| -> Result<RunOutcome, RunError> {
+        // Persistent workers for shards 1..; shard 0 runs on this thread
+        // (it has to wait for the barrier anyway).
+        let mut job_tx = Vec::new();
+        let (done_tx, done_rx) = channel::<(usize, Box<ShardState>)>();
+        let env_ref = &env;
+        for wid in 1..nshards {
+            let (tx, rx) = channel::<Job>();
+            job_tx.push(tx);
+            let done = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok(mut job) = rx.recv() {
+                    run_window(env_ref, &mut job.sh, &job.ro, job.w_end);
+                    if done.send((wid, job.sh)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+
+        let mut slots: Vec<Option<Box<ShardState>>> = shards.into_iter().map(Some).collect();
+        let mut crash_cur = 0usize;
+        let mut remaining = total_compute;
+        let mut gpos: u64 = 0;
+        let mut events_processed: u64 = 0;
+        let mut g_messages = 0u64;
+        let mut g_pebble_hops = 0u64;
+        let mut fstats = FaultStats::default();
+        let mut timeline: Vec<FaultMark> = Vec::new();
+        let mut total_forfeited = 0u64;
+        let mut peak: usize = slots
+            .iter()
+            .map(|s| s.as_ref().unwrap().win_peak)
+            .max()
+            .unwrap_or(0);
+
+        loop {
+            let next = pending_min(&mut slots, &crash_list, crash_cur);
+            if remaining == 0 {
+                // Mirror the sequential pop: a next event past the tick
+                // cap errors before the `remaining == 0` break fires.
+                if let Some(nt) = next {
+                    if nt > max_ticks {
+                        return Err(RunError::TickLimit(max_ticks));
+                    }
+                }
+                break;
+            }
+            let Some(nt) = next else {
+                let makespan = slots
+                    .iter()
+                    .map(|s| s.as_ref().unwrap().makespan)
+                    .max()
+                    .unwrap_or(0);
+                return Err(RunError::Deadlock {
+                    tick: makespan,
+                    remaining,
+                });
+            };
+            if nt > max_ticks {
+                return Err(RunError::TickLimit(max_ticks));
+            }
+
+            // Crash phase: crashes at the earliest pending tick run
+            // sequentially before any same-tick compute/arrival event,
+            // exactly like their first-in-tick position in the
+            // sequential queue.
+            if crash_cur < crash_list.len() && crash_list[crash_cur].tick == nt {
+                while crash_cur < crash_list.len()
+                    && crash_list[crash_cur].tick == nt
+                    && remaining > 0
+                {
+                    let c = crash_list[crash_cur];
+                    crash_cur += 1;
+                    process_crash(
+                        &env,
+                        &mut ro,
+                        &mut slots,
+                        c,
+                        &mut remaining,
+                        &mut total_forfeited,
+                        &mut gpos,
+                        &mut events_processed,
+                        &mut g_messages,
+                        &mut g_pebble_hops,
+                        &mut fstats,
+                        &mut timeline,
+                    )?;
+                }
+                continue;
+            }
+
+            // Window [nt, w_end): bounded by the lookahead, the next
+            // crash (windows never span one), and the tick cap.
+            let mut w_end = nt.saturating_add(lookahead);
+            if crash_cur < crash_list.len() {
+                w_end = w_end.min(crash_list[crash_cur].tick);
+            }
+            w_end = w_end.min(max_ticks.saturating_add(1));
+            debug_assert!(w_end > nt);
+
+            // The previous barrier drained every fresh queue but left its
+            // cursor at the last drained tick; rewind so this window's
+            // pushes land at their true ticks instead of being clamped.
+            for slot in slots.iter_mut() {
+                slot.as_mut().unwrap().fresh.reset_cursor(nt);
+            }
+
+            let r_start = remaining;
+            if nshards == 1 {
+                let sh = slots[0].as_mut().unwrap();
+                run_window(&env, sh, &ro, w_end);
+            } else {
+                for wid in 1..nshards {
+                    let sh = slots[wid].take().unwrap();
+                    job_tx[wid - 1]
+                        .send(Job {
+                            sh,
+                            ro: Arc::clone(&ro),
+                            w_end,
+                        })
+                        .expect("worker alive");
+                }
+                run_window(&env, slots[0].as_mut().unwrap(), &ro, w_end);
+                for _ in 1..nshards {
+                    let (wid, sh) = done_rx.recv().expect("worker alive");
+                    slots[wid] = Some(sh);
+                }
+            }
+
+            // ---- barrier ----
+            let m = merge_windows(
+                &mut slots,
+                env.n_seeds,
+                &mut gpos,
+                r_start,
+                env.record_timing,
+                &mut timeline,
+            );
+            if let Some(e) = m.err {
+                return Err(e);
+            }
+            events_processed += m.kept_events;
+            remaining -= m.completions;
+
+            let in_flight: usize = slots
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .unwrap()
+                        .outbox
+                        .iter()
+                        .map(Vec::len)
+                        .sum::<usize>()
+                })
+                .sum();
+            let wpeak = slots
+                .iter()
+                .map(|s| s.as_ref().unwrap().win_peak)
+                .max()
+                .unwrap_or(0);
+            peak = peak.max(wpeak + in_flight);
+
+            if m.cut {
+                debug_assert_eq!(remaining, 0);
+                let nx = match m.dropped_min_tick {
+                    Some(t) => Some(t),
+                    None => pending_min(&mut slots, &crash_list, crash_cur),
+                };
+                if let Some(t) = nx {
+                    if t > max_ticks {
+                        return Err(RunError::TickLimit(max_ticks));
+                    }
+                }
+                break;
+            }
+
+            // Drain fresh leftovers (now fully keyed via the merged log)
+            // and exchange cross-shard messages.
+            let mut inbound: Vec<(usize, RItem)> = Vec::new();
+            for slot in slots.iter_mut() {
+                let sh = slot.as_mut().unwrap();
+                while let Some((t, fe)) = sh.fresh.pop() {
+                    let prio = sh.log.gprio[fe.pidx as usize];
+                    debug_assert_ne!(prio, u64::MAX);
+                    sh.resolved.push(Reverse(RItem {
+                        key: EvKey {
+                            tick: t,
+                            prio,
+                            j: fe.j,
+                        },
+                        ev: fe.ev,
+                    }));
+                }
+                for (tgt, ob) in sh.outbox.iter_mut().enumerate() {
+                    for msg in ob.drain(..) {
+                        let prio = sh.log.gprio[msg.pidx as usize];
+                        debug_assert_ne!(prio, u64::MAX);
+                        inbound.push((
+                            tgt,
+                            RItem {
+                                key: EvKey {
+                                    tick: msg.tick,
+                                    prio,
+                                    j: msg.j,
+                                },
+                                ev: msg.ev,
+                            },
+                        ));
+                    }
+                }
+            }
+            for (tgt, item) in inbound {
+                slots[tgt].as_mut().unwrap().resolved.push(Reverse(item));
+            }
+            for slot in slots.iter_mut() {
+                let sh = slot.as_mut().unwrap();
+                sh.log.clear();
+                sh.win_peak = sh.resolved.len();
+            }
+        }
+
+        // ---- finalize (mirrors the sequential post-loop) ----
+        if let Some(f) = env.frt.as_ref() {
+            let snap = Arc::make_mut(&mut ro);
+            for (p, &at) in f.crash_at.iter().enumerate() {
+                if at != u64::MAX && !snap.crashed[p] {
+                    snap.crashed[p] = true;
+                    fstats.crashed_procs += 1;
+                    fstats.lost_copies += hot.procs[p].cells.len() as u32;
+                    if env.record_timing {
+                        timeline.push(FaultMark {
+                            tick: at,
+                            kind: FaultMarkKind::Crash { proc: p as NodeId },
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut copies = Vec::with_capacity(plan.assign.total_copies());
+        let mut timing = env.record_timing.then(TimingTrace::default);
+        for p in 0..n {
+            if env.frt.is_some() && ro.crashed[p] {
+                continue;
+            }
+            let pt = &hot.procs[p];
+            let st =
+                &slots[env.shard_of[p] as usize].as_ref().unwrap().state[env.local_of[p] as usize];
+            for (i, &c) in pt.cells.iter().enumerate() {
+                copies.push(CopyRecord {
+                    cell: c,
+                    proc: p as NodeId,
+                    value_fold: st.value_fold[i],
+                    db_digest: st.dbs[i].digest(),
+                    update_fold: st.update_fold[i],
+                    finished_at: st.finished_at[i],
+                });
+                if let Some(t) = timing.as_mut() {
+                    t.ticks.push(st.times[i].clone());
+                }
+            }
+        }
+        if let Some(t) = timing.as_mut() {
+            t.fault_timeline = timeline;
+        }
+
+        let mut makespan = 0u64;
+        let mut messages = g_messages;
+        let mut pebble_hops = g_pebble_hops;
+        let mut link_traffic: Vec<u64> = vec![0; hot.link_delay.len()];
+        for slot in &slots {
+            let sh = slot.as_ref().unwrap();
+            makespan = makespan.max(sh.makespan);
+            messages += sh.messages;
+            pebble_hops += sh.pebble_hops;
+            fstats.retries += sh.retries;
+            fstats.fault_stall_ticks += sh.stall_ticks;
+            for (l, &t) in sh.link_traffic.iter().enumerate() {
+                link_traffic[l] += t;
+            }
+        }
+
+        let stats = RunStats {
+            guest_cells: plan.guest.num_cells(),
+            guest_steps: steps,
+            host_procs: plan.host.num_nodes(),
+            makespan,
+            slowdown: if steps == 0 {
+                0.0
+            } else {
+                makespan as f64 / steps as f64
+            },
+            total_compute: total_compute - total_forfeited,
+            guest_work: plan.guest.total_work(),
+            redundancy: plan.assign.redundancy(),
+            load: plan.assign.load(),
+            active_procs: plan.assign.active_procs(),
+            messages,
+            pebble_hops,
+            subscriptions: plan.routes.num_subscriptions(),
+            bandwidth_per_link: env.bw as u32,
+            busiest_link_pebbles: link_traffic.iter().copied().max().unwrap_or(0),
+            mean_link_pebbles: {
+                let active: Vec<u64> = link_traffic.iter().copied().filter(|&t| t > 0).collect();
+                if active.is_empty() {
+                    0.0
+                } else {
+                    active.iter().sum::<u64>() as f64 / active.len() as f64
+                }
+            },
+            events_processed,
+            peak_queue_depth: peak as u64,
+            faults: fstats,
+            stalls: None,
+        };
+        Ok(RunOutcome {
+            stats,
+            copies,
+            timing,
+            trace: None,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use crate::bandwidth::BandwidthMode;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::faults::FaultPlan;
+    use overlap_model::{GuestSpec, ProgramKind};
+    use overlap_net::topology::linear_array;
+    use overlap_net::{DelayModel, HostGraph};
+
+    fn golden_scenario() -> (GuestSpec, HostGraph, Assignment, EngineConfig) {
+        let guest = GuestSpec::line(9, ProgramKind::KvWorkload, 5, 12);
+        let mut host = HostGraph::new("sharded-golden", 4);
+        host.add_link(0, 1, 3);
+        host.add_link(1, 2, 5);
+        host.add_link(2, 3, 2);
+        host.add_link(0, 2, 7);
+        let assign = Assignment::from_cells_of(
+            4,
+            9,
+            vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 6, 7], vec![7, 8]],
+        );
+        let config = EngineConfig {
+            bandwidth: BandwidthMode::Fixed(2),
+            record_timing: true,
+            jitter: Jitter::Periodic {
+                amplitude_pct: 40,
+                period: 8,
+            },
+            ..Default::default()
+        };
+        (guest, host, assign, config)
+    }
+
+    fn assert_matches_sequential(plan: &ExecPlan<'_>) {
+        let seq = Engine::from_plan(plan).run();
+        for threads in [1, 2, 3, 8] {
+            for how in [Partition::DelayCut, Partition::RoundRobin] {
+                let got = run_sharded_with(plan, threads, how);
+                match (&seq, &got) {
+                    (Ok(a), Ok(b)) => {
+                        let mut b = b.clone();
+                        b.stats.peak_queue_depth = a.stats.peak_queue_depth;
+                        assert_eq!(a, &b, "threads={threads} how={how:?}");
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "threads={threads} how={how:?}"),
+                    _ => panic!(
+                        "divergent outcome threads={threads} how={how:?}: {seq:?} vs {got:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_golden_scenario() {
+        let (guest, host, assign, config) = golden_scenario();
+        let plan = ExecPlan::build(&guest, &host, &assign, config).unwrap();
+        assert_matches_sequential(&plan);
+    }
+
+    #[test]
+    fn matches_sequential_multicast_with_costs() {
+        let (guest, host, assign, mut config) = golden_scenario();
+        config.multicast = true;
+        let plan = ExecPlan::build(&guest, &host, &assign, config)
+            .unwrap()
+            .with_compute_costs(vec![1, 3, 2, 1]);
+        assert_matches_sequential(&plan);
+    }
+
+    #[test]
+    fn matches_sequential_under_faults() {
+        let (guest, host, assign, config) = golden_scenario();
+        let faults = FaultPlan::new()
+            .link_down(1, 2, 10, 40)
+            .delay_spike(0, 1, 5, 60, 3)
+            .crash(3, 55);
+        let plan = ExecPlan::build(&guest, &host, &assign, config)
+            .unwrap()
+            .with_faults(faults)
+            .unwrap();
+        assert_matches_sequential(&plan);
+    }
+
+    #[test]
+    fn matches_sequential_on_larger_line() {
+        let guest = GuestSpec::line(24, ProgramKind::Relaxation, 3, 20);
+        let host = linear_array(6, DelayModel::uniform(1, 7), 5);
+        let assign = Assignment::blocked(6, 24);
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        assert_matches_sequential(&plan);
+    }
+
+    #[test]
+    fn partition_is_balanced_and_deterministic() {
+        let guest = GuestSpec::line(16, ProgramKind::StencilSum, 1, 4);
+        let host = linear_array(8, DelayModel::uniform(1, 9), 3);
+        let assign = Assignment::blocked(8, 16);
+        let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        for how in [Partition::DelayCut, Partition::RoundRobin] {
+            let a = partition_procs(&plan, 4, how);
+            let b = partition_procs(&plan, 4, how);
+            assert_eq!(a, b);
+            let mut counts = vec![0usize; 4];
+            for &s in &a {
+                counts[s as usize] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 2), "{how:?}: {counts:?}");
+        }
+    }
+}

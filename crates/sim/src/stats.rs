@@ -44,6 +44,16 @@ pub struct RunStats {
     pub events_processed: u64,
     /// Largest number of simultaneously pending events — a proxy for the
     /// engine's peak memory footprint.
+    ///
+    /// Under multi-queue execution (the sharded engine) this is the
+    /// per-window maximum of **max over shards** of that shard's queue
+    /// depth **plus** all cross-shard messages in flight at the window
+    /// barrier. It measures the same thing — peak storage for pending
+    /// events — but is *not* bit-comparable to the sequential engine's
+    /// single-queue value: events that would coexist in one global queue
+    /// are split across shard queues whose local peaks occur at different
+    /// ticks. Differential tests normalise this field before comparing
+    /// outcomes; every other field is bit-identical across engines.
     #[serde(default)]
     pub peak_queue_depth: u64,
     /// Fault-recovery counters (all zero when the run had no fault plan).

@@ -27,7 +27,10 @@
 //!   --strategy  auto | overlap[:C] | halo[:W] | combined[:C:L] | blocked |
 //!               slackness | all-on-one   (default overlap:4; grid guests
 //!               always use the Theorem 8 pipeline)
-//!   --engine    event | stepped | lockstep  (default event; line/ring only)
+//!   --engine    event | stepped | lockstep | sharded  (default event;
+//!               line/ring only; sharded is the conservative-parallel
+//!               engine, bit-identical to event)
+//!   --threads   worker threads for --engine sharded (default: all cores)
 //!   --faults    down:A:B:FROM:UNTIL | spike:A:B:FROM:UNTIL:FACTOR |
 //!               crash:P:AT | rand:PCT  (repeatable; injects deterministic
 //!               link outages / delay spikes / processor crashes; rand:PCT
@@ -252,7 +255,9 @@ fn fuzz_main(args: &[String]) -> ! {
     let cases: u64 = opt("--cases", "1000")
         .parse()
         .unwrap_or_else(|_| usage("bad --cases"));
-    println!("fuzzing {cases} scenarios (seed {seed}) across event/stepped/lockstep/reference…");
+    println!(
+        "fuzzing {cases} scenarios (seed {seed}) across event/sharded/stepped/lockstep/reference…"
+    );
     let mut divergences = 0u64;
     for case in 0..cases {
         let spec = gen_spec(seed, case);
@@ -323,6 +328,9 @@ fn main() {
     let guest = parse_guest(&opt("--guest", &default_guest), seed, steps);
     let strategy_spec = opt("--strategy", "overlap:4");
     let engine = opt("--engine", "event");
+    let threads: usize = opt("--threads", "0")
+        .parse()
+        .unwrap_or_else(|_| usage("bad --threads"));
 
     let stats = DelayStats::of(&host);
     if args.iter().any(|a| a == "--dot") {
@@ -393,6 +401,13 @@ fn main() {
                 "event" => EngineKind::Event,
                 "stepped" => EngineKind::Stepped,
                 "lockstep" => EngineKind::Lockstep,
+                "sharded" => EngineKind::Sharded {
+                    threads: if threads == 0 {
+                        std::thread::available_parallelism().map_or(1, |n| n.get())
+                    } else {
+                        threads
+                    },
+                },
                 other => usage(&format!("unknown engine '{other}'")),
             };
             let mut builder = Simulation::of(&guest)

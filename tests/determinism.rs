@@ -186,6 +186,127 @@ fn traced_golden_run_matches_classic_oracle_and_conserves() {
     assert_eq!(stripped, classic, "tracing perturbed the schedule");
 }
 
+/// The sharded conservative-parallel engine must be bit-identical to the
+/// sequential event engine — for every thread count, under both partition
+/// heuristics — on the full-feature golden scenario (multicast, jitter,
+/// heterogeneous costs, timing trace). `peak_queue_depth` is the one
+/// field with a different (documented) multi-queue definition, so it is
+/// normalised before comparing.
+#[test]
+fn sharded_engine_matches_event_on_golden_scenario() {
+    use overlap::sim::{run_sharded_with, ExecPlan, Partition};
+
+    let guest = GuestSpec::line(9, ProgramKind::KvWorkload, 5, 12);
+    let mut host = HostGraph::new("golden", 4);
+    host.add_link(0, 1, 3);
+    host.add_link(1, 2, 5);
+    host.add_link(2, 3, 2);
+    host.add_link(0, 2, 7);
+    let assign = Assignment::from_cells_of(
+        4,
+        9,
+        vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 6, 7], vec![7, 8]],
+    );
+    let cfg = EngineConfig {
+        multicast: true,
+        jitter: Jitter::Periodic {
+            amplitude_pct: 40,
+            period: 8,
+        },
+        record_timing: true,
+        ..Default::default()
+    };
+    let plan = ExecPlan::build(&guest, &host, &assign, cfg)
+        .unwrap()
+        .with_compute_costs(vec![1, 3, 2, 1]);
+    let ev = Engine::from_plan(&plan).run().expect("event run");
+    assert_eq!(ev.stats.makespan, 108, "golden scenario drifted");
+
+    for threads in [1, 2, 8] {
+        for how in [Partition::DelayCut, Partition::RoundRobin] {
+            let mut sh = run_sharded_with(&plan, threads, how)
+                .unwrap_or_else(|e| panic!("sharded({threads}, {how:?}): {e}"));
+            sh.stats.peak_queue_depth = ev.stats.peak_queue_depth;
+            assert_eq!(sh, ev, "sharded({threads}, {how:?}) diverged");
+        }
+    }
+}
+
+/// Same bit-identity under a fault schedule exercising every fault event
+/// the engine orders at barriers: a link outage (forcing retries), a
+/// delay spike, and a processor crash that strands subscribers and
+/// triggers re-subscription plus replayed backfill sends.
+#[test]
+fn sharded_engine_matches_event_under_crash_faults() {
+    use overlap::sim::{run_sharded_with, ExecPlan, Partition};
+    use overlap::FaultPlan;
+
+    let guest = GuestSpec::line(24, ProgramKind::Relaxation, 11, 20);
+    let host = topology::linear_array(6, DelayModel::uniform(1, 7), 5);
+    // Every cell on exactly two processors, so the crash strands live
+    // subscribers (re-subscription) instead of losing a column.
+    let assign = Assignment::from_cells_of(
+        6,
+        24,
+        (0..6u32)
+            .map(|p| (0..8).map(|i| (4 * p + i) % 24).collect())
+            .collect(),
+    );
+    let cfg = EngineConfig {
+        record_timing: true,
+        ..Default::default()
+    };
+    let faults = FaultPlan::new()
+        .link_down(1, 2, 10, 40)
+        .delay_spike(0, 1, 5, 60, 3)
+        .crash(3, 55);
+    let plan = ExecPlan::build(&guest, &host, &assign, cfg)
+        .unwrap()
+        .with_faults(faults)
+        .unwrap();
+    let ev = Engine::from_plan(&plan).run().expect("event run");
+    assert!(ev.stats.faults.crashed_procs > 0, "crash did not land");
+    assert!(
+        ev.stats.faults.rerouted_subscriptions > 0,
+        "no re-subscription exercised"
+    );
+
+    for threads in [1, 2, 8] {
+        for how in [Partition::DelayCut, Partition::RoundRobin] {
+            let mut sh = run_sharded_with(&plan, threads, how)
+                .unwrap_or_else(|e| panic!("sharded({threads}, {how:?}): {e}"));
+            sh.stats.peak_queue_depth = ev.stats.peak_queue_depth;
+            assert_eq!(sh, ev, "sharded({threads}, {how:?}) diverged under faults");
+        }
+    }
+}
+
+/// `EngineKind::Sharded` through the builder facade reaches the same
+/// validated report as the default event engine.
+#[test]
+fn sharded_engine_via_builder_matches_event() {
+    use overlap::EngineKind;
+
+    let guest = GuestSpec::line(20, ProgramKind::KvWorkload, 7, 16);
+    let host = topology::linear_array(5, DelayModel::uniform(2, 6), 3);
+    let run = |kind| {
+        Simulation::of(&guest)
+            .on(&host)
+            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .engine(kind)
+            .build()
+            .and_then(|s| s.run())
+            .unwrap()
+    };
+    let ev = run(EngineKind::Event);
+    let sh = run(EngineKind::Sharded { threads: 4 });
+    assert_eq!(ev.stats.makespan, sh.stats.makespan);
+    assert_eq!(ev.stats.messages, sh.stats.messages);
+    assert_eq!(ev.stats.pebble_hops, sh.stats.pebble_hops);
+    assert_eq!(ev.stats.events_processed, sh.stats.events_processed);
+    assert!(sh.validated && ev.validated);
+}
+
 #[test]
 fn topology_generation_is_seed_stable() {
     for seed in 0..4 {
