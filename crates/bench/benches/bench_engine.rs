@@ -14,7 +14,7 @@ use overlap_sim::{Assignment, BandwidthMode, ExecPlan};
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     for &(n, cells, steps) in &[(16u32, 64u32, 64u32), (64, 256, 64), (128, 1024, 64)] {
-        let guest = GuestSpec::line(cells, ProgramKind::Relaxation, 3, steps);
+        let guest = GuestSpec::array(cells, ProgramKind::Relaxation, 3, steps);
         let host = linear_array(n, DelayModel::uniform(1, 7), 5);
         let assign = Assignment::blocked(n, cells);
         let pebbles = cells as u64 * steps as u64;
@@ -33,7 +33,7 @@ fn bench_engine(c: &mut Criterion) {
     }
     // Engine-implementation comparison at fixed scenario.
     {
-        let guest = GuestSpec::line(256, ProgramKind::Relaxation, 3, 64);
+        let guest = GuestSpec::array(256, ProgramKind::Relaxation, 3, 64);
         let host = linear_array(64, DelayModel::uniform(1, 7), 5);
         let assign = Assignment::blocked(64, 256);
         g.bench_function("impl/event", |b| {
@@ -62,7 +62,7 @@ fn bench_engine(c: &mut Criterion) {
     }
 
     // Bandwidth-model comparison at fixed scenario.
-    let guest = GuestSpec::line(256, ProgramKind::Relaxation, 3, 64);
+    let guest = GuestSpec::array(256, ProgramKind::Relaxation, 3, 64);
     let host = linear_array(64, DelayModel::uniform(1, 7), 5);
     let assign = Assignment::blocked(64, 256);
     for bw in [BandwidthMode::LogN, BandwidthMode::Fixed(1)] {

@@ -2,7 +2,7 @@
 //! host (wall-clock of the simulator itself, not the simulated makespan).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_core::Simulation;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
@@ -13,13 +13,13 @@ fn bench_uniform(c: &mut Criterion) {
     let d = 64u64;
     let n = 16u32;
     let r = (d as f64).sqrt() as u32;
-    let guest = GuestSpec::line(n * r, ProgramKind::Relaxation, 9, 4 * r);
+    let guest = GuestSpec::array(n * r, ProgramKind::Relaxation, 9, 4 * r);
     let trace = ReferenceRun::execute(&guest);
     let host = linear_array(n, DelayModel::constant(d), 0);
     for (label, strat) in [
-        ("halo1", LineStrategy::Halo { halo: 1 }),
-        ("halo2", LineStrategy::Halo { halo: 2 }),
-        ("blocked", LineStrategy::Blocked),
+        ("halo1", Strategy::Halo { halo: 1 }),
+        ("halo2", Strategy::Halo { halo: 2 }),
+        ("blocked", Strategy::Blocked),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &strat, |b, &s| {
             b.iter(|| {

@@ -60,6 +60,7 @@ fn main() {
             stall_attribution::run(scale),
             "stall_attribution".to_string(),
         ),
+        (task_graphs::run(scale), "task_graphs".to_string()),
     ];
     let mut titles: Vec<(String, String)> = Vec::new();
     for (t, name) in tables {

@@ -1,0 +1,12 @@
+//! TASKGRAPH — arbitrary task-graph guests: work-stealing vs OVERLAP vs
+//! blocked placement, across latency regimes and memory budgets.
+//! Writes `BENCH_taskgraph.json` at the workspace root.
+//! Usage: `cargo run --release --bin exp_task_graphs [--quick]`
+
+use overlap_bench::experiments::task_graphs;
+use overlap_bench::{save_table, Scale};
+
+fn main() {
+    let t = task_graphs::run(Scale::from_args());
+    println!("{}", save_table(&t, "task_graphs").expect("write results"));
+}

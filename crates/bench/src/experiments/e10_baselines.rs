@@ -9,7 +9,7 @@
 use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
@@ -29,7 +29,7 @@ pub fn run(scale: Scale) -> Table {
     // The work-efficient regime: the guest is several times larger than
     // the host, so redundancy buffers have real width (Theorem 3's
     // sizing; without it, no strategy can amortize anything).
-    let guest = GuestSpec::line(8 * n, ProgramKind::Relaxation, 21, steps);
+    let guest = GuestSpec::array(8 * n, ProgramKind::Relaxation, 21, steps);
     let trace = ReferenceRun::execute(&guest);
 
     let mut t = Table::new(
@@ -61,14 +61,14 @@ pub fn run(scale: Scale) -> Table {
         let lock_plan =
             ExecPlan::build(&guest, &host, &blocked_assign, EngineConfig::default()).unwrap();
         let lock = run_lockstep(&lock_plan).unwrap();
-        let b = simulate_line_with_trace(&guest, &host, LineStrategy::Blocked, &trace).unwrap();
-        let s = simulate_line_with_trace(&guest, &host, LineStrategy::Slackness, &trace).unwrap();
-        let o = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
-            .unwrap();
+        let b = simulate_line_with_trace(&guest, &host, Strategy::Blocked, &trace).unwrap();
+        let s = simulate_line_with_trace(&guest, &host, Strategy::Slackness, &trace).unwrap();
+        let o =
+            simulate_line_with_trace(&guest, &host, Strategy::Overlap { c: 4.0 }, &trace).unwrap();
         let c = simulate_line_with_trace(
             &guest,
             &host,
-            LineStrategy::Combined {
+            Strategy::Combined {
                 c: 4.0,
                 expansion: 2,
             },

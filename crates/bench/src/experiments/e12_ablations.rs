@@ -12,7 +12,7 @@
 use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
@@ -26,7 +26,7 @@ pub fn run_halo_width(scale: Scale) -> Table {
     let d = scale.pick(256u64, 1024);
     let r = (d as f64).sqrt() as u32;
     let steps = 4 * r;
-    let guest = GuestSpec::line(n * r, ProgramKind::Relaxation, 9, steps);
+    let guest = GuestSpec::array(n * r, ProgramKind::Relaxation, 9, steps);
     let trace = ReferenceRun::execute(&guest);
     let host = linear_array(n, DelayModel::constant(d), 0);
 
@@ -41,7 +41,7 @@ pub fn run_halo_width(scale: Scale) -> Table {
         ],
     );
     for halo in [0u32, 1, 2, 3] {
-        let rep = simulate_line_with_trace(&guest, &host, LineStrategy::Halo { halo }, &trace)
+        let rep = simulate_line_with_trace(&guest, &host, Strategy::Halo { halo }, &trace)
             .expect("halo run");
         t.row(vec![
             halo.to_string(),
@@ -63,7 +63,7 @@ pub fn run_halo_width(scale: Scale) -> Table {
 pub fn run_c_constant(scale: Scale) -> Table {
     let n = scale.pick(256u32, 512);
     let steps = scale.pick(48u32, 96);
-    let guest = GuestSpec::line(2 * n, ProgramKind::Relaxation, 7, steps);
+    let guest = GuestSpec::array(2 * n, ProgramKind::Relaxation, 7, steps);
     let trace = ReferenceRun::execute(&guest);
     let host = linear_array(
         n,
@@ -80,7 +80,7 @@ pub fn run_c_constant(scale: Scale) -> Table {
         &["c", "slowdown", "valid"],
     );
     for c in [2.5f64, 3.0, 4.0, 6.0, 10.0] {
-        let rep = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c }, &trace)
+        let rep = simulate_line_with_trace(&guest, &host, Strategy::Overlap { c }, &trace)
             .expect("overlap run");
         t.row(vec![
             format!("{c}"),
@@ -101,7 +101,7 @@ pub fn run_bandwidth(scale: Scale) -> Table {
     let n = scale.pick(64u32, 128);
     let steps = scale.pick(48u32, 96);
     let cells = 4 * n;
-    let guest = GuestSpec::line(cells, ProgramKind::Relaxation, 5, steps);
+    let guest = GuestSpec::array(cells, ProgramKind::Relaxation, 5, steps);
     let trace = ReferenceRun::execute(&guest);
     let host = linear_array(n, DelayModel::uniform(1, 15), 3);
     let assign = Assignment::blocked(n, cells);
@@ -141,11 +141,11 @@ pub fn run_multicast(scale: Scale) -> Table {
     use overlap_core::pipeline::plan_line_placement;
     let n = scale.pick(64u32, 128);
     let steps = scale.pick(32u32, 64);
-    let guest = GuestSpec::line(4 * n, ProgramKind::Relaxation, 5, steps);
+    let guest = GuestSpec::array(4 * n, ProgramKind::Relaxation, 5, steps);
     let trace = ReferenceRun::execute(&guest);
     let host = linear_array(n, DelayModel::uniform(1, 15), 3);
     let placement =
-        plan_line_placement(&guest, &host, LineStrategy::Overlap { c: 4.0 }).expect("placement");
+        plan_line_placement(&guest, &host, Strategy::Overlap { c: 4.0 }).expect("placement");
 
     let mut t = Table::new(
         format!("E12-A4 · unicast vs multicast column distribution (n = {n}, OVERLAP)"),
@@ -180,7 +180,7 @@ pub fn run_jitter(scale: Scale) -> Table {
     let n = scale.pick(32u32, 64);
     let steps = scale.pick(48u32, 96);
     let cells = 4 * n;
-    let guest = GuestSpec::line(cells, ProgramKind::Relaxation, 5, steps);
+    let guest = GuestSpec::array(cells, ProgramKind::Relaxation, 5, steps);
     let trace = ReferenceRun::execute(&guest);
     let host = linear_array(n, DelayModel::constant(8), 0);
     let assign = Assignment::blocked(n, cells);

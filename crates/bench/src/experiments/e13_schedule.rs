@@ -32,7 +32,7 @@ pub fn run(scale: Scale) -> Table {
     // Execute the exact plan (guest = the plan's own slot count).
     let m0 = table.m[0].ceil() as u32;
     let steps = 2 * m0; // two rounds of the box B_0
-    let guest = GuestSpec::line(plan.guest_cells, ProgramKind::Relaxation, 3, steps);
+    let guest = GuestSpec::array(plan.guest_cells, ProgramKind::Relaxation, 3, steps);
     let assignment = Assignment::from_cells_of(n, plan.guest_cells, plan.cells_of_position.clone());
     let cfg = EngineConfig {
         record_timing: true,

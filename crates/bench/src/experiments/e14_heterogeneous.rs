@@ -23,7 +23,7 @@ pub fn run(scale: Scale) -> Table {
     let n = scale.pick(32u32, 64);
     let steps = scale.pick(32u32, 64);
     let cells = 4 * n;
-    let guest = GuestSpec::line(cells, ProgramKind::Relaxation, 3, steps);
+    let guest = GuestSpec::array(cells, ProgramKind::Relaxation, 3, steps);
     let trace = ReferenceRun::execute(&guest);
     let host = linear_array(n, DelayModel::constant(2), 0);
 

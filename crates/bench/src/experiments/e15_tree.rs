@@ -40,7 +40,7 @@ pub fn run(scale: Scale) -> Table {
         ],
     );
     for &lv in &levels {
-        let guest = GuestSpec::binary_tree(lv, ProgramKind::Relaxation, 3, steps);
+        let guest = GuestSpec::tree(lv, ProgramKind::Relaxation, 3, steps);
         let trace = ReferenceRun::execute(&guest);
         let dfs = simulate_tree_on_host(&guest, &host, true, Some(&trace)).expect("dfs");
         let bfs = simulate_tree_on_host(&guest, &host, false, Some(&trace)).expect("bfs");

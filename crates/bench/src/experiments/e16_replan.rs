@@ -16,7 +16,7 @@
 use crate::scale::Scale;
 use crate::table::{f2, Table};
 use overlap_core::pipeline::plan_line_placement;
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::{DelayModel, HostGraph};
@@ -27,10 +27,10 @@ use overlap_sim::validate::validate_run;
 pub fn run(scale: Scale) -> Table {
     let n = scale.pick(256u32, 512);
     let steps = scale.pick(48u32, 96);
-    let guest = GuestSpec::line(4 * n, ProgramKind::Relaxation, 7, steps);
+    let guest = GuestSpec::array(4 * n, ProgramKind::Relaxation, 7, steps);
     let trace = ReferenceRun::execute(&guest);
     let original = linear_array(n, DelayModel::constant(1), 0);
-    let stale = plan_line_placement(&guest, &original, LineStrategy::Overlap { c: 4.0 })
+    let stale = plan_line_placement(&guest, &original, Strategy::Overlap { c: 4.0 })
         .expect("original plan");
 
     let factors: Vec<u64> = match scale {
@@ -70,10 +70,10 @@ pub fn run(scale: Scale) -> Table {
             .expect("run")
         };
         let stale_run = run_with(&stale);
-        let fresh = plan_line_placement(&guest, &degraded, LineStrategy::Overlap { c: 4.0 })
+        let fresh = plan_line_placement(&guest, &degraded, Strategy::Overlap { c: 4.0 })
             .expect("fresh plan");
         let fresh_run = run_with(&fresh);
-        let auto = plan_line_placement(&guest, &degraded, LineStrategy::Auto).expect("auto plan");
+        let auto = plan_line_placement(&guest, &degraded, Strategy::Auto).expect("auto plan");
         let auto_run = run_with(&auto);
         let ok = validate_run(&trace, &stale_run).is_empty()
             && validate_run(&trace, &fresh_run).is_empty()

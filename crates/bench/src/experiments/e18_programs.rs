@@ -11,7 +11,7 @@
 use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
@@ -36,9 +36,9 @@ pub fn run(scale: Scale) -> Table {
         &["program", "slowdown", "final-db digest of cell 0", "valid"],
     );
     for (name, pk) in programs {
-        let guest = GuestSpec::line(cells, pk, 7, steps);
+        let guest = GuestSpec::array(cells, pk, 7, steps);
         let trace = ReferenceRun::execute(&guest);
-        let r = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+        let r = simulate_line_with_trace(&guest, &host, Strategy::Overlap { c: 4.0 }, &trace)
             .expect("run");
         t.row(vec![
             name.to_string(),

@@ -12,7 +12,7 @@
 use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_core::theory;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
@@ -32,7 +32,7 @@ pub fn run_dave_sweep(scale: Scale) -> Table {
         Scale::Quick => vec![1, 4, 16],
         Scale::Full => vec![1, 2, 4, 8, 16, 32, 64],
     };
-    let guest = GuestSpec::line(n / 2, ProgramKind::Relaxation, 7, steps);
+    let guest = GuestSpec::array(n / 2, ProgramKind::Relaxation, 7, steps);
     let trace = ReferenceRun::execute(&guest);
 
     let mut t = Table::new(
@@ -49,7 +49,7 @@ pub fn run_dave_sweep(scale: Scale) -> Table {
     let rows = par_map(&daves, |&d| {
         let host = linear_array(n, DelayModel::uniform(1, 2 * d.max(1) - 1), 11);
         let (d_ave, d_max) = host_stats(&host);
-        let r = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+        let r = simulate_line_with_trace(&guest, &host, Strategy::Overlap { c: 4.0 }, &trace)
             .expect("overlap run");
         (d_ave, d_max, r)
     });
@@ -92,7 +92,7 @@ pub fn run_dmax_stress(scale: Scale) -> Table {
     let links = (n - 1) as u64;
     // Work-efficient sizing: a guest 4× the host gives the overlap
     // regions real width (in cells), which is what amortizes the spikes.
-    let guest = GuestSpec::line(4 * n, ProgramKind::Relaxation, 7, steps);
+    let guest = GuestSpec::array(4 * n, ProgramKind::Relaxation, 7, steps);
     let trace = ReferenceRun::execute(&guest);
 
     // Three hosts with total delay ≈ links·d_bar.
@@ -127,10 +127,9 @@ pub fn run_dmax_stress(scale: Scale) -> Table {
     );
     let rows = par_map(&hosts, |host| {
         let (d_ave, d_max) = host_stats(host);
-        let o = simulate_line_with_trace(&guest, host, LineStrategy::Overlap { c: 4.0 }, &trace)
+        let o = simulate_line_with_trace(&guest, host, Strategy::Overlap { c: 4.0 }, &trace)
             .expect("overlap");
-        let b =
-            simulate_line_with_trace(&guest, host, LineStrategy::Blocked, &trace).expect("blocked");
+        let b = simulate_line_with_trace(&guest, host, Strategy::Blocked, &trace).expect("blocked");
         (host.name().to_string(), d_ave, d_max, o, b)
     });
     let mut overlap_slow = Vec::new();

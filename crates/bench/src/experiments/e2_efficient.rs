@@ -8,7 +8,7 @@
 use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, f3, Table};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
@@ -38,10 +38,9 @@ pub fn run(scale: Scale) -> Table {
         ],
     );
     let rows = par_map(&multipliers, |&k| {
-        let guest = GuestSpec::line(n * k, ProgramKind::Relaxation, 5, steps);
+        let guest = GuestSpec::array(n * k, ProgramKind::Relaxation, 5, steps);
         let trace = ReferenceRun::execute(&guest);
-        simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
-            .expect("run")
+        simulate_line_with_trace(&guest, &host, Strategy::Overlap { c: 4.0 }, &trace).expect("run")
     });
     for (k, r) in multipliers.iter().zip(rows) {
         t.row(vec![

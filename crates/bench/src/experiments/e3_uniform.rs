@@ -13,7 +13,7 @@
 use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_core::theory;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
@@ -45,13 +45,13 @@ pub fn run(scale: Scale) -> Table {
         let m = n * r;
         // enough steps to reach steady state: several exchange rounds
         let steps = (4 * r).max(32);
-        let guest = GuestSpec::line(m, ProgramKind::Relaxation, 9, steps);
+        let guest = GuestSpec::array(m, ProgramKind::Relaxation, 9, steps);
         let trace = ReferenceRun::execute(&guest);
         let host = linear_array(n, DelayModel::constant(d), 0);
-        let halo = simulate_line_with_trace(&guest, &host, LineStrategy::Halo { halo: 1 }, &trace)
+        let halo = simulate_line_with_trace(&guest, &host, Strategy::Halo { halo: 1 }, &trace)
             .expect("halo");
-        let blocked = simulate_line_with_trace(&guest, &host, LineStrategy::Blocked, &trace)
-            .expect("blocked");
+        let blocked =
+            simulate_line_with_trace(&guest, &host, Strategy::Blocked, &trace).expect("blocked");
         (d, m, halo, blocked)
     });
     let mut halo_pts = Vec::new();

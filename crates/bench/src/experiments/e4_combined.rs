@@ -8,7 +8,7 @@
 use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_core::theory;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
@@ -42,15 +42,15 @@ pub fn run(scale: Scale) -> Table {
         // guest sized for the combined pipeline: n·L·√d cells (lab scale)
         let m = (n * expansion * r).min(scale.pick(2048, 16384));
         let steps = (3 * r).max(24);
-        let guest = GuestSpec::line(m, ProgramKind::Relaxation, 13, steps);
+        let guest = GuestSpec::array(m, ProgramKind::Relaxation, 13, steps);
         let trace = ReferenceRun::execute(&guest);
         let host = linear_array(n, DelayModel::constant(d), 0);
-        let o = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+        let o = simulate_line_with_trace(&guest, &host, Strategy::Overlap { c: 4.0 }, &trace)
             .expect("overlap");
         let c = simulate_line_with_trace(
             &guest,
             &host,
-            LineStrategy::Combined { c: 4.0, expansion },
+            Strategy::Combined { c: 4.0, expansion },
             &trace,
         )
         .expect("combined");

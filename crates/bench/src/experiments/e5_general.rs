@@ -9,7 +9,7 @@ use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
 use overlap_core::general::embedded_array_stats;
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::{
     binary_tree, butterfly, cube_connected_cycles, hypercube, mesh2d, random_regular, ring, torus2d,
@@ -57,9 +57,9 @@ pub fn run(scale: Scale) -> Table {
     for host in hosts(scale) {
         let st = embedded_array_stats(&host);
         let m = host.num_nodes() / 2;
-        let guest = GuestSpec::line(m.max(4), ProgramKind::Relaxation, 3, steps);
+        let guest = GuestSpec::array(m.max(4), ProgramKind::Relaxation, 3, steps);
         let trace = ReferenceRun::execute(&guest);
-        let r = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+        let r = simulate_line_with_trace(&guest, &host, Strategy::Overlap { c: 4.0 }, &trace)
             .expect("run");
         t.row(vec![
             host.name().to_string(),

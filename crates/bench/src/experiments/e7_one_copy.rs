@@ -11,7 +11,7 @@ use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
 use overlap_core::lower::{one_copy_certificate, one_copy_layout, OneCopyLayout};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::h1_lower_bound;
 use overlap_sim::engine::{Engine, EngineConfig};
@@ -53,7 +53,7 @@ pub fn run(scale: Scale) -> Table {
         .collect();
 
         // Engine-measured: blocked single-copy vs OVERLAP multi-copy.
-        let guest = GuestSpec::line(m, ProgramKind::Relaxation, 1, steps);
+        let guest = GuestSpec::array(m, ProgramKind::Relaxation, 1, steps);
         let trace = ReferenceRun::execute(&guest);
         let holders = one_copy_layout(OneCopyLayout::Blocked, n, m);
         let single = Assignment::from_holders(n, m, holders.iter().map(|&p| vec![p]).collect());
@@ -66,7 +66,7 @@ pub fn run(scale: Scale) -> Table {
         // adjacent regions share 2w columns, so each spike is paid once per
         // 2w rows at the price of 2w+1 database copies per processor.
         let w = (sqrt_n.sqrt().ceil() as u32).max(2);
-        let ov = simulate_line_with_trace(&guest, &host, LineStrategy::Halo { halo: w }, &trace)
+        let ov = simulate_line_with_trace(&guest, &host, Strategy::Halo { halo: w }, &trace)
             .expect("halo");
         t.row(vec![
             n.to_string(),

@@ -44,7 +44,7 @@ pub fn run(scale: Scale) -> Table {
         let m = (procs / 4).max(16);
         let assignment = h2_two_copy_assignment(&h2, m);
         let cert = multi_copy_certificate(&h2.graph, &assignment);
-        let guest = GuestSpec::line(m, ProgramKind::Relaxation, 2, steps);
+        let guest = GuestSpec::array(m, ProgramKind::Relaxation, 2, steps);
         let trace = ReferenceRun::execute(&guest);
         let out = Engine::new(&guest, &h2.graph, &assignment, EngineConfig::default())
             .run()

@@ -10,7 +10,7 @@ use super::simulate_line_with_trace;
 use crate::scale::Scale;
 use crate::table::{f2, Table};
 use overlap_core::general::{cliques_best_bound, cliques_slowdown_bound};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_core::theory;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::metrics::DelayStats;
@@ -42,9 +42,9 @@ pub fn run(scale: Scale) -> Table {
         let host = clique_of_cliques(k);
         let stats = DelayStats::of(&host);
         let n = k * k;
-        let guest = GuestSpec::line(n / 2, ProgramKind::Relaxation, 3, steps);
+        let guest = GuestSpec::array(n / 2, ProgramKind::Relaxation, 3, steps);
         let trace = ReferenceRun::execute(&guest);
-        let r = simulate_line_with_trace(&guest, &host, LineStrategy::Overlap { c: 4.0 }, &trace)
+        let r = simulate_line_with_trace(&guest, &host, Strategy::Overlap { c: 4.0 }, &trace)
             .expect("run");
         let msqrt = (k as f64).sqrt().round().max(1.0) as u32;
         t.row(vec![

@@ -11,13 +11,14 @@
 //! numbers are meaningless without it.
 //!
 //! [`gate`] is the CI smoke perf gate (first slice of the regression-gate
-//! roadmap item): it re-measures one mid-size tier and fails if either
-//! the sequential or the sharded engine drops more than 30% below the
-//! checked-in floor in `BENCH_engine_floor.json`.
+//! roadmap item): it re-measures one mid-size tier plus a task-graph
+//! tier (a non-uniform DAG guest through the dynamic-table event path)
+//! and fails if the sequential, sharded, or task-graph throughput drops
+//! more than 30% below the checked-in floor in `BENCH_engine_floor.json`.
 
 use crate::Scale;
 use crate::Table;
-use overlap_model::{GuestSpec, ProgramKind};
+use overlap_model::{GuestSpec, ProgramKind, TaskGraph};
 use overlap_net::topology::linear_array;
 use overlap_net::DelayModel;
 use overlap_sim::engine::{Engine, EngineConfig, RunOutcome};
@@ -75,7 +76,7 @@ impl ScaleResult {
 }
 
 fn scenario(procs: u32, cells: u32, steps: u32) -> (GuestSpec, overlap_net::HostGraph, Assignment) {
-    let guest = GuestSpec::line(cells, ProgramKind::Relaxation, 3, steps);
+    let guest = GuestSpec::array(cells, ProgramKind::Relaxation, 3, steps);
     let host = linear_array(procs, DelayModel::uniform(1, 7), 5);
     let assign = Assignment::blocked(procs, cells);
     (guest, host, assign)
@@ -245,7 +246,7 @@ pub fn run(scale: Scale) -> Table {
             format!("{:.2}x", r.sharded_speedup(8).unwrap_or(0.0)),
         ]);
     }
-    t.note(&format!(
+    t.note(format!(
         "outcomes are asserted bit-identical before timing (sharded modulo its documented \
          peak_queue_depth definition); speedup@8 is sharded-at-8-threads over the sequential \
          calendar engine, measured on a {}-core host — expect ~1x or below on a single core, \
@@ -266,10 +267,33 @@ fn json_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// CI smoke perf gate: re-measure the mid Quick tier and fail if the
-/// sequential or sharded engine regresses more than 30% below the floor
-/// checked in at `BENCH_engine_floor.json`. Returns a human-readable
-/// summary on pass, the violation on fail.
+/// The gate's task-graph tier: a non-uniform layered-random DAG guest,
+/// which forces the event engine down the dynamic per-(cell,step) table
+/// path instead of the static uniform tables the grid tier exercises.
+/// Asserts event/sharded bit-agreement first, then returns events/sec of
+/// the sequential event engine.
+fn measure_taskgraph_tier(reps: u32) -> f64 {
+    let guest = GuestSpec::dag(
+        TaskGraph::layered_random(256, 32, 2, 3, 7),
+        ProgramKind::KvWorkload,
+        3,
+    );
+    let host = linear_array(64, DelayModel::uniform(1, 7), 5);
+    let assign = Assignment::blocked(64, guest.topology.num_cells());
+    let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).expect("lower");
+    let run = || -> RunOutcome { Engine::from_plan(&plan).run().expect("run") };
+    let out = run();
+    let mut sh = run_sharded(&plan, 2).expect("sharded run");
+    sh.stats.peak_queue_depth = out.stats.peak_queue_depth;
+    assert_eq!(sh, out, "sharded diverges on the task-graph gate tier");
+    out.stats.events_processed as f64 / time_best(reps, run)
+}
+
+/// CI smoke perf gate: re-measure the mid Quick tier plus the task-graph
+/// tier and fail if the sequential, sharded, or task-graph throughput
+/// regresses more than 30% below the floor checked in at
+/// `BENCH_engine_floor.json`. Returns a human-readable summary on pass,
+/// the violation on fail.
 pub fn gate() -> Result<String, String> {
     let floor_path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine_floor.json");
@@ -279,8 +303,11 @@ pub fn gate() -> Result<String, String> {
         .ok_or("floor file missing event_events_per_sec")?;
     let f_sharded = json_number(&floor, "sharded_events_per_sec")
         .ok_or("floor file missing sharded_events_per_sec")?;
+    let f_taskgraph = json_number(&floor, "taskgraph_events_per_sec")
+        .ok_or("floor file missing taskgraph_events_per_sec")?;
 
     let r = measure_tier(64, 256, 32, 3);
+    let taskgraph = measure_taskgraph_tier(3);
     let sharded = r
         .sharded
         .iter()
@@ -292,6 +319,7 @@ pub fn gate() -> Result<String, String> {
     for (name, got, floor) in [
         ("event", r.events_per_sec, f_event),
         ("sharded@2", sharded, f_sharded),
+        ("task-graph", taskgraph, f_taskgraph),
     ] {
         if got < floor * 0.70 {
             violations.push(format!(
@@ -301,8 +329,8 @@ pub fn gate() -> Result<String, String> {
     }
     if violations.is_empty() {
         Ok(format!(
-            "perf gate OK: event {:.0} events/s (floor {:.0}), sharded@2 {:.0} events/s (floor {:.0}), tolerance 30%",
-            r.events_per_sec, f_event, sharded, f_sharded
+            "perf gate OK: event {:.0} events/s (floor {:.0}), sharded@2 {:.0} events/s (floor {:.0}), task-graph {:.0} events/s (floor {:.0}), tolerance 30%",
+            r.events_per_sec, f_event, sharded, f_sharded, taskgraph, f_taskgraph
         ))
     } else {
         Err(violations.join("; "))

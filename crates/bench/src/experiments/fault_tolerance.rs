@@ -16,7 +16,7 @@
 //! and stall counts for both placements, plus the crash scenario.
 
 use crate::{Scale, Table};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_core::{Error, Simulation};
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap_net::topology::linear_array;
@@ -51,7 +51,7 @@ pub struct FaultRow {
 fn run_arm(
     guest: &GuestSpec,
     host: &HostGraph,
-    strategy: LineStrategy,
+    strategy: Strategy,
     faults: Option<FaultPlan>,
     clean_slowdown: f64,
     trace: &overlap_model::ReferenceTrace,
@@ -101,10 +101,10 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
         p_hi: 0.2,
     };
     let host = linear_array(procs, dm, 9);
-    let guest = GuestSpec::line(cells, ProgramKind::KvWorkload, 7, steps);
+    let guest = GuestSpec::array(cells, ProgramKind::KvWorkload, 7, steps);
     let trace = ReferenceRun::execute(&guest);
 
-    let clean = |strategy: LineStrategy| -> f64 {
+    let clean = |strategy: Strategy| -> f64 {
         Simulation::of(&guest)
             .on(&host)
             .strategy(strategy)
@@ -117,12 +117,12 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
     // Theorem 5's combined strategy is the OVERLAP composition that
     // actually replicates at lab scale (pure OVERLAP's interval overlap
     // vanishes at a dozen processors).
-    let overlap_strat = LineStrategy::Combined {
+    let overlap_strat = Strategy::Combined {
         c: 4.0,
         expansion: 2,
     };
     let clean_overlap = clean(overlap_strat);
-    let clean_blocked = clean(LineStrategy::Blocked);
+    let clean_blocked = clean(Strategy::Blocked);
     // Outages must actually intersect the *redundant* run — scale the
     // horizon to its fault-free makespan (with slack for degradation).
     // The baseline runs longer still, so it sees at least this exposure.
@@ -154,7 +154,7 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
                 baseline: run_arm(
                     &guest,
                     &host,
-                    LineStrategy::Blocked,
+                    Strategy::Blocked,
                     plan,
                     clean_blocked,
                     &trace,
@@ -187,7 +187,7 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
     let (crash_strat, victim) = match find_victim(planned.assignment()) {
         Some(v) => (overlap_strat, v),
         None => {
-            let halo = LineStrategy::Halo {
+            let halo = Strategy::Halo {
                 halo: cells.div_ceil(procs),
             };
             let p = Simulation::of(&guest)
@@ -221,7 +221,7 @@ pub fn measure(scale: Scale) -> Vec<FaultRow> {
         baseline: run_arm(
             &guest,
             &host,
-            LineStrategy::Blocked,
+            Strategy::Blocked,
             Some(plan),
             clean_blocked,
             &trace,

@@ -16,7 +16,7 @@ use overlap_net::DelayModel;
 /// Figure 1 — the computation of pebbles: dependency lists of a sample of
 /// pebbles of a line guest.
 pub fn figure1() -> Table {
-    let spec = GuestSpec::line(6, ProgramKind::StencilSum, 1, 3);
+    let spec = GuestSpec::array(6, ProgramKind::StencilSum, 1, 3);
     let mut t = Table::new(
         "F1 · Figure 1 — pebble dependencies, 6-cell line guest",
         &["pebble (cell,t)", "depends on"],
@@ -219,19 +219,19 @@ pub fn figure6() -> Table {
 /// Figure 7 (ours) — processor utilization under OVERLAP vs blocked on a
 /// spiky host: where the latency hiding actually goes.
 pub fn figure7() -> Table {
-    use overlap_core::pipeline::{plan_line_placement, LineStrategy};
+    use overlap_core::pipeline::{plan_line_placement, Strategy};
     use overlap_model::GuestSpec;
     use overlap_net::topology::line_with_middle_spike;
     use overlap_sim::engine::{Engine, EngineConfig};
 
     let n = 64u32;
     let host = line_with_middle_spike(n, 512);
-    let guest = GuestSpec::line(4 * n, ProgramKind::Relaxation, 3, 32);
+    let guest = GuestSpec::array(4 * n, ProgramKind::Relaxation, 3, 32);
     let mut t = Table::new(
         "F7 · processor utilization (ours) — giant-spike host, guest 4n",
         &["strategy", "slowdown", "median utilization", "min", "max"],
     );
-    for strategy in [LineStrategy::Overlap { c: 4.0 }, LineStrategy::Blocked] {
+    for strategy in [Strategy::Overlap { c: 4.0 }, Strategy::Blocked] {
         let placement = plan_line_placement(&guest, &host, strategy).expect("placement");
         let cfg = EngineConfig {
             record_timing: true,

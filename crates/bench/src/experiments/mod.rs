@@ -18,9 +18,10 @@
 //! | [`plan_reuse`]    | sweep wall-clock: shared ExecPlan vs per-run lowering |
 //! | [`fault_tolerance`] | graceful degradation: OVERLAP vs single-copy under link outages & crashes |
 //! | [`stall_attribution`] | where the ticks go: stall categories vs `d_ave` across placements |
+//! | [`task_graphs`]   | DAG guests: work-stealing vs OVERLAP vs blocked across latency regimes & memory budgets |
 //! | [`figures`]       | Figures 1–6 regenerated as data |
 
-use overlap_core::pipeline::{LineStrategy, SimReport};
+use overlap_core::pipeline::{SimReport, Strategy};
 use overlap_core::{Error, Simulation};
 use overlap_model::{GuestSpec, ReferenceTrace};
 use overlap_net::HostGraph;
@@ -30,7 +31,7 @@ use overlap_net::HostGraph;
 pub(crate) fn simulate_line_with_trace(
     guest: &GuestSpec,
     host: &HostGraph,
-    strategy: LineStrategy,
+    strategy: Strategy,
     trace: &ReferenceTrace,
 ) -> Result<SimReport, Error> {
     Simulation::of(guest)
@@ -63,3 +64,4 @@ pub mod fault_tolerance;
 pub mod figures;
 pub mod plan_reuse;
 pub mod stall_attribution;
+pub mod task_graphs;

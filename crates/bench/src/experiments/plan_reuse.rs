@@ -49,7 +49,7 @@ fn scenario(scale: Scale) -> (GuestSpec, HostGraph, Assignment) {
     let procs = side * side;
     let cells = procs * 2;
     let steps = 2;
-    let guest = GuestSpec::line(cells, ProgramKind::Relaxation, 3, steps);
+    let guest = GuestSpec::array(cells, ProgramKind::Relaxation, 3, steps);
     let host = mesh2d(side, side, DelayModel::uniform(1, 5), 7);
     let assign = Assignment::blocked(procs, cells);
     (guest, host, assign)

@@ -18,7 +18,7 @@
 //! and each category's share of the copy-time budget.
 
 use crate::{Scale, Table};
-use overlap_core::pipeline::LineStrategy;
+use overlap_core::pipeline::Strategy;
 use overlap_core::Simulation;
 use overlap_model::{GuestSpec, ProgramKind, ReferenceRun, ReferenceTrace};
 use overlap_net::topology::linear_array;
@@ -56,7 +56,7 @@ impl TraceRow {
 fn run_cell(
     guest: &GuestSpec,
     host: &HostGraph,
-    strategy: LineStrategy,
+    strategy: Strategy,
     label: &'static str,
     d_hi: u64,
     d_ave: f64,
@@ -83,17 +83,17 @@ fn run_cell(
 }
 
 /// The placements the sweep compares.
-pub fn arms() -> Vec<(&'static str, LineStrategy)> {
+pub fn arms() -> Vec<(&'static str, Strategy)> {
     vec![
-        ("overlap", LineStrategy::Overlap { c: 4.0 }),
+        ("overlap", Strategy::Overlap { c: 4.0 }),
         (
             "combined",
-            LineStrategy::Combined {
+            Strategy::Combined {
                 c: 4.0,
                 expansion: 2,
             },
         ),
-        ("blocked", LineStrategy::Blocked),
+        ("blocked", Strategy::Blocked),
     ]
 }
 
@@ -105,7 +105,7 @@ pub fn measure(scale: Scale) -> Vec<TraceRow> {
     } else {
         &[2, 16, 64, 160]
     };
-    let guest = GuestSpec::line(cells, ProgramKind::KvWorkload, 11, steps);
+    let guest = GuestSpec::array(cells, ProgramKind::KvWorkload, 11, steps);
     let trace = ReferenceRun::execute(&guest);
 
     let mut rows = Vec::new();

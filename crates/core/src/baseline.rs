@@ -10,7 +10,7 @@
 //! * **Blocked**: the naive even partition over all processors with no
 //!   redundancy (what a programmer gets without latency hiding).
 //!
-//! The assignment builders live here; [`crate::pipeline::LineStrategy`]
+//! The assignment builders live here; [`crate::pipeline::Strategy`]
 //! exposes them to the pipeline and experiments.
 
 use overlap_net::{Delay, HostGraph};

@@ -13,7 +13,7 @@
 //! area, not length. Experiment E11 measures exactly this.
 
 use crate::error::Error;
-use overlap_model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun, ReferenceTrace};
+use overlap_model::{GuestSpec, ProgramKind, ReferenceRun, ReferenceTrace};
 use overlap_net::topology::mesh2d;
 use overlap_net::{Delay, DelayModel, HostGraph};
 use overlap_sim::engine::{Engine, EngineConfig};
@@ -87,15 +87,7 @@ pub fn simulate_mesh_on_mesh(
     steps: u32,
     trace: Option<&ReferenceTrace>,
 ) -> Result<Direct2DReport, Error> {
-    let guest = GuestSpec {
-        topology: GuestTopology::Mesh2D {
-            w: host_w * g,
-            h: host_h * g,
-        },
-        program,
-        seed,
-        steps,
-    };
+    let guest = GuestSpec::mesh(host_w * g, host_h * g, program, seed, steps);
     let host: HostGraph = mesh2d(host_w, host_h, DelayModel::constant(d), 0);
     let assignment = halo2d_assignment(host_w, host_h, g, omega);
     let plan =

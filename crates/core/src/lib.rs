@@ -44,6 +44,7 @@ pub mod overlap;
 pub mod pipeline;
 pub mod schedule;
 pub mod simulation;
+pub mod steal;
 pub mod theory;
 pub mod tree;
 pub mod tree_guest;
@@ -53,6 +54,6 @@ pub use assign::{expand_blocks, SlotAssignment};
 pub use error::Error;
 pub use killing::{KillOutcome, KillParams};
 pub use overlap::{plan_overlap, OverlapError, OverlapPlan};
-pub use pipeline::{LineStrategy, SimReport};
+pub use pipeline::{SimReport, Strategy};
 pub use simulation::{EngineKind, Simulation, SimulationBuilder};
 pub use tree::{IntervalTree, TreeNode};

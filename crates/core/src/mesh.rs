@@ -246,7 +246,7 @@ mod tests {
 
     #[test]
     fn line_guest_is_rejected() {
-        let guest = GuestSpec::line(8, ProgramKind::StencilSum, 0, 2);
+        let guest = GuestSpec::array(8, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(4, DelayModel::constant(1), 0);
         assert!(matches!(
             simulate_mesh_on_host(&guest, &host, 4.0, 2),

@@ -9,7 +9,7 @@
 //!    ring with slowdown 2");
 //! 2. view the host as a linear array: directly if it *is* a path, else
 //!    through the dilation-3 embedding of Fact 3 (§4);
-//! 3. build the database assignment per the chosen [`LineStrategy`];
+//! 3. build the database assignment per the chosen [`Strategy`];
 //! 4. lower `(guest, host, assignment, config)` once into an
 //!    `overlap_sim::ExecPlan`, execute it on the chosen engine, and
 //!    validate every copy. Sweeps reuse the lowered plan across repeats
@@ -26,7 +26,7 @@ use overlap_sim::{Assignment, RunStats};
 
 /// How to place guest databases on the host line.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum LineStrategy {
+pub enum Strategy {
     /// Algorithm OVERLAP, load-1 structure proportionally scaled to the
     /// guest (Theorems 2/3; with a guest larger than the root label the
     /// assignment is the work-efficient blocked variant).
@@ -57,30 +57,45 @@ pub enum LineStrategy {
     Slackness,
     /// Everything on one processor (degenerate sanity baseline).
     AllOnOne,
+    /// Deterministic work stealing: an offline event simulation over the
+    /// embedded host array seeds a blocked partition and lets idle
+    /// processors steal chunks of pending slots from the most-loaded
+    /// victim, paying the round-trip array delay before the stolen work
+    /// may start. The slots each processor ends up computing become its
+    /// (redundancy-1) database assignment — see `crate::steal`.
+    WorkStealing {
+        /// Slots moved per steal; `0` steals half the victim's remainder.
+        chunk: u32,
+    },
     /// Pick automatically from the host's delay statistics: near-uniform
     /// delays → Theorem 4 halo regions; high average delay → the Theorem 5
     /// combined pipeline; otherwise OVERLAP.
     Auto,
 }
 
-impl LineStrategy {
+/// Deprecated name of [`Strategy`] (predates guests that are not lines).
+#[deprecated(since = "0.7.0", note = "use Strategy")]
+pub type LineStrategy = Strategy;
+
+impl Strategy {
     /// Short label for reports.
     pub fn label(&self) -> String {
         match self {
-            LineStrategy::Overlap { c } => format!("overlap(c={c})"),
-            LineStrategy::Halo { halo } => format!("halo({halo})"),
-            LineStrategy::Combined { c, expansion } => {
+            Strategy::Overlap { c } => format!("overlap(c={c})"),
+            Strategy::Halo { halo } => format!("halo({halo})"),
+            Strategy::Combined { c, expansion } => {
                 format!("combined(c={c},L={expansion})")
             }
-            LineStrategy::Blocked => "blocked".into(),
-            LineStrategy::Slackness => "slackness".into(),
-            LineStrategy::AllOnOne => "all-on-one".into(),
-            LineStrategy::Auto => "auto".into(),
+            Strategy::Blocked => "blocked".into(),
+            Strategy::Slackness => "slackness".into(),
+            Strategy::AllOnOne => "all-on-one".into(),
+            Strategy::WorkStealing { chunk } => format!("work-stealing(chunk={chunk})"),
+            Strategy::Auto => "auto".into(),
         }
     }
 }
 
-/// Resolve [`LineStrategy::Auto`] from the host array's delay statistics.
+/// Resolve [`Strategy::Auto`] from the host array's delay statistics.
 ///
 /// * `d_max ≤ 3·d_ave`, small `d_ave`: the host is effectively uniform —
 ///   Theorem 4's halo regions are optimal up to constants;
@@ -92,9 +107,9 @@ impl LineStrategy {
 ///   spike itself inflates), so uniform halo redundancy — which bridges a
 ///   spike *anywhere* — wins (measured in E16);
 /// * otherwise (moderately varying delays): OVERLAP (Theorem 2/3).
-pub fn resolve_auto(delays: &[Delay]) -> LineStrategy {
+pub fn resolve_auto(delays: &[Delay]) -> Strategy {
     if delays.is_empty() {
-        return LineStrategy::Blocked;
+        return Strategy::Blocked;
     }
     let d_ave = delays.iter().sum::<u64>() as f64 / delays.len() as f64;
     let d_max = *delays.iter().max().expect("non-empty") as f64;
@@ -105,17 +120,17 @@ pub fn resolve_auto(delays: &[Delay]) -> LineStrategy {
     let d_median = sorted[sorted.len() / 2] as f64;
     if d_max <= 3.0 * d_ave {
         if d_ave > 16.0 {
-            LineStrategy::Combined {
+            Strategy::Combined {
                 c: 4.0,
                 expansion: 2,
             }
         } else {
-            LineStrategy::Halo { halo: 1 }
+            Strategy::Halo { halo: 1 }
         }
     } else if d_max > 32.0 * d_median {
-        LineStrategy::Halo { halo: 2 }
+        Strategy::Halo { halo: 2 }
     } else {
-        LineStrategy::Overlap { c: 4.0 }
+        Strategy::Overlap { c: 4.0 }
     }
 }
 
@@ -217,7 +232,7 @@ fn proportional(src: &[u32], total: u32, m: u32) -> Vec<u32> {
 
 /// Build the per-position guest-slot lists for a strategy.
 fn place_slots(
-    strategy: LineStrategy,
+    strategy: Strategy,
     delays: &[Delay],
     num_slots: u32,
 ) -> Result<(Vec<Vec<u32>>, Option<f64>), Error> {
@@ -229,7 +244,7 @@ fn place_slots(
     };
     let d_max = delays.iter().copied().max().unwrap_or(0);
     match strategy {
-        LineStrategy::Overlap { c } => {
+        Strategy::Overlap { c } => {
             let plan = plan_overlap(delays, c, 1)?;
             let total = plan.slots.num_slots;
             let placed = plan
@@ -243,7 +258,7 @@ fn place_slots(
                 crate::overlap::predicted_slowdown(n, plan.kill.d_ave, c, block.ceil() as u32);
             Ok((placed, Some(predicted)))
         }
-        LineStrategy::Halo { halo } => {
+        Strategy::Halo { halo } => {
             let r = num_slots.div_ceil(n).max(1);
             let cells = uniform::halo_assignment(n, r, halo);
             // halo_assignment produces n·r slots; clip to num_slots.
@@ -256,7 +271,7 @@ fn place_slots(
                 Some(uniform::predicted_slowdown(d_ave.round() as u64)),
             ))
         }
-        LineStrategy::Combined { c, expansion } => {
+        Strategy::Combined { c, expansion } => {
             // OVERLAP with block = expansion: host position → intermediate
             // H0 positions; then Theorem 4 regions over H0 positions.
             let plan = plan_overlap(delays, c, expansion)?;
@@ -280,14 +295,14 @@ fn place_slots(
             let pred = crate::theory::t5_predicted(n, d_ave, c, expansion);
             Ok((placed, Some(pred)))
         }
-        LineStrategy::Blocked => {
+        Strategy::Blocked => {
             let a = Assignment::blocked(n, num_slots);
             Ok((
                 (0..n).map(|p| a.cells_of(p).to_vec()).collect(),
                 Some(crate::theory::blocked_predicted(d_ave)),
             ))
         }
-        LineStrategy::Slackness => {
+        Strategy::Slackness => {
             let used = ((n as u64) / d_max.max(1)).max(1).min(n as u64) as u32;
             // Evenly spaced positions hold contiguous blocks.
             let mut placed = vec![Vec::new(); n as usize];
@@ -299,12 +314,15 @@ fn place_slots(
             }
             Ok((placed, Some(crate::theory::lockstep_predicted(d_max))))
         }
-        LineStrategy::AllOnOne => {
+        Strategy::AllOnOne => {
             let mut placed = vec![Vec::new(); n as usize];
             placed[0] = (0..num_slots).collect();
             Ok((placed, Some(num_slots as f64)))
         }
-        LineStrategy::Auto => place_slots(resolve_auto(delays), delays, num_slots),
+        Strategy::WorkStealing { chunk } => {
+            Ok((crate::steal::steal_slots(delays, num_slots, chunk), None))
+        }
+        Strategy::Auto => place_slots(resolve_auto(delays), delays, num_slots),
     }
 }
 
@@ -328,11 +346,15 @@ pub struct LinePlacement {
 pub fn plan_line_placement(
     guest: &GuestSpec,
     host: &HostGraph,
-    strategy: LineStrategy,
+    strategy: Strategy,
 ) -> Result<LinePlacement, Error> {
     let slot_map: SlotMap = match guest.topology {
         GuestTopology::Line { m } => line_slots(m),
         GuestTopology::Ring { m } => ring_fold(m),
+        // Task-graph lanes sit on the line in lane order (identity slots):
+        // every line strategy — including work stealing — then applies to
+        // dag guests unchanged.
+        GuestTopology::Dag { dbs, .. } => line_slots(dbs),
         GuestTopology::Mesh2D { .. }
         | GuestTopology::Torus2D { .. }
         | GuestTopology::BinaryTree { .. }
@@ -372,7 +394,7 @@ mod tests {
     fn simulate(
         guest: &GuestSpec,
         host: &HostGraph,
-        strategy: LineStrategy,
+        strategy: Strategy,
     ) -> Result<SimReport, Error> {
         Simulation::of(guest)
             .on(host)
@@ -383,14 +405,14 @@ mod tests {
 
     #[test]
     fn precomputed_trace_matches_plain_run() {
-        let guest = GuestSpec::line(12, ProgramKind::KvWorkload, 1, 8);
+        let guest = GuestSpec::array(12, ProgramKind::KvWorkload, 1, 8);
         let host = linear_array(4, DelayModel::constant(3), 0);
-        let r = simulate(&guest, &host, LineStrategy::Blocked).unwrap();
+        let r = simulate(&guest, &host, Strategy::Blocked).unwrap();
         assert!(r.validated);
         let trace = overlap_model::ReferenceRun::execute(&guest);
         let r2 = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Blocked)
+            .strategy(Strategy::Blocked)
             .build()
             .unwrap()
             .run_with_trace(&trace)
@@ -402,9 +424,9 @@ mod tests {
     fn placement_lowers_to_a_reusable_plan() {
         use overlap_sim::engine::{Engine, EngineConfig};
         use overlap_sim::ExecPlan;
-        let guest = GuestSpec::line(16, ProgramKind::KvWorkload, 2, 10);
+        let guest = GuestSpec::array(16, ProgramKind::KvWorkload, 2, 10);
         let host = linear_array(4, DelayModel::uniform(1, 6), 3);
-        let placed = plan_line_placement(&guest, &host, LineStrategy::Halo { halo: 1 }).unwrap();
+        let placed = plan_line_placement(&guest, &host, Strategy::Halo { halo: 1 }).unwrap();
         let plan =
             ExecPlan::build(&guest, &host, &placed.assignment, EngineConfig::default()).unwrap();
         let a = Engine::from_plan(&plan).run().unwrap();
@@ -433,9 +455,9 @@ mod tests {
 
     #[test]
     fn overlap_strategy_runs_and_validates_on_line_host() {
-        let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 3, 16);
+        let guest = GuestSpec::array(24, ProgramKind::KvWorkload, 3, 16);
         let host = linear_array(8, DelayModel::uniform(1, 8), 5);
-        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        let r = simulate(&guest, &host, Strategy::Overlap { c: 4.0 }).unwrap();
         assert!(r.validated, "{} mismatches", r.mismatches);
         assert!(r.stats.slowdown >= 1.0);
         assert!(r.predicted_slowdown.is_some());
@@ -443,7 +465,7 @@ mod tests {
 
     #[test]
     fn all_strategies_validate() {
-        let guest = GuestSpec::line(16, ProgramKind::Relaxation, 9, 12);
+        let guest = GuestSpec::array(16, ProgramKind::Relaxation, 9, 12);
         let host = linear_array(
             8,
             DelayModel::Spike {
@@ -454,15 +476,15 @@ mod tests {
             0,
         );
         for s in [
-            LineStrategy::Overlap { c: 4.0 },
-            LineStrategy::Halo { halo: 1 },
-            LineStrategy::Combined {
+            Strategy::Overlap { c: 4.0 },
+            Strategy::Halo { halo: 1 },
+            Strategy::Combined {
                 c: 4.0,
                 expansion: 2,
             },
-            LineStrategy::Blocked,
-            LineStrategy::Slackness,
-            LineStrategy::AllOnOne,
+            Strategy::Blocked,
+            Strategy::Slackness,
+            Strategy::AllOnOne,
         ] {
             let r = simulate(&guest, &host, s).unwrap();
             assert!(r.validated, "{}: {} mismatches", r.strategy, r.mismatches);
@@ -473,7 +495,7 @@ mod tests {
     fn ring_guest_validates_through_fold() {
         let guest = GuestSpec::ring(20, ProgramKind::KvWorkload, 2, 10);
         let host = linear_array(5, DelayModel::uniform(1, 5), 1);
-        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        let r = simulate(&guest, &host, Strategy::Overlap { c: 4.0 }).unwrap();
         assert!(r.validated);
     }
 
@@ -482,16 +504,16 @@ mod tests {
         let guest = GuestSpec::mesh(4, 4, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(4, DelayModel::constant(1), 0);
         assert!(matches!(
-            simulate(&guest, &host, LineStrategy::Blocked),
+            simulate(&guest, &host, Strategy::Blocked),
             Err(Error::UnsupportedTopology)
         ));
     }
 
     #[test]
     fn guest_on_non_path_host_validates() {
-        let guest = GuestSpec::line(18, ProgramKind::RuleAutomaton { db_size: 8 }, 4, 10);
+        let guest = GuestSpec::array(18, ProgramKind::RuleAutomaton { db_size: 8 }, 4, 10);
         let host = mesh2d(3, 3, DelayModel::uniform(1, 6), 2);
-        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        let r = simulate(&guest, &host, Strategy::Overlap { c: 4.0 }).unwrap();
         assert!(r.validated);
         assert!(r.dilation >= 1);
     }
@@ -500,10 +522,10 @@ mod tests {
     fn halo_beats_blocked_on_uniform_high_delay_host() {
         // The Theorem 4 vs baseline comparison in miniature.
         let d = 64;
-        let guest = GuestSpec::line(32, ProgramKind::Relaxation, 7, 48);
+        let guest = GuestSpec::array(32, ProgramKind::Relaxation, 7, 48);
         let host = linear_array(4, DelayModel::constant(d), 0);
-        let halo = simulate(&guest, &host, LineStrategy::Halo { halo: 1 }).unwrap();
-        let blocked = simulate(&guest, &host, LineStrategy::Blocked).unwrap();
+        let halo = simulate(&guest, &host, Strategy::Halo { halo: 1 }).unwrap();
+        let blocked = simulate(&guest, &host, Strategy::Blocked).unwrap();
         assert!(halo.validated && blocked.validated);
         assert!(
             halo.stats.slowdown < 0.7 * blocked.stats.slowdown,
@@ -516,36 +538,27 @@ mod tests {
     #[test]
     fn auto_resolves_by_host_shape() {
         // Uniform host → halo(1).
-        assert!(matches!(
-            resolve_auto(&[5; 20]),
-            LineStrategy::Halo { halo: 1 }
-        ));
+        assert!(matches!(resolve_auto(&[5; 20]), Strategy::Halo { halo: 1 }));
         // Moderately varying delays → overlap. (d_ave 4.3, d_max 30)
         let mut moderate = vec![3u64; 30];
         moderate[15] = 30;
         moderate[7] = 12;
-        assert!(matches!(
-            resolve_auto(&moderate),
-            LineStrategy::Overlap { .. }
-        ));
+        assert!(matches!(resolve_auto(&moderate), Strategy::Overlap { .. }));
         // Extreme spike (d_max ≫ d_ave) → wide halo.
         let mut spiky = vec![1u64; 30];
         spiky[15] = 1000;
-        assert!(matches!(
-            resolve_auto(&spiky),
-            LineStrategy::Halo { halo: 2 }
-        ));
+        assert!(matches!(resolve_auto(&spiky), Strategy::Halo { halo: 2 }));
         // Uniform heavy average → combined.
         assert!(matches!(
             resolve_auto(&[40u64; 30]),
-            LineStrategy::Combined { .. }
+            Strategy::Combined { .. }
         ));
-        assert!(matches!(resolve_auto(&[]), LineStrategy::Blocked));
+        assert!(matches!(resolve_auto(&[]), Strategy::Blocked));
     }
 
     #[test]
     fn auto_strategy_runs_and_validates() {
-        let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 3, 12);
+        let guest = GuestSpec::array(24, ProgramKind::KvWorkload, 3, 12);
         for host in [
             linear_array(8, DelayModel::constant(6), 0),
             linear_array(
@@ -558,7 +571,7 @@ mod tests {
                 0,
             ),
         ] {
-            let r = simulate(&guest, &host, LineStrategy::Auto).unwrap();
+            let r = simulate(&guest, &host, Strategy::Auto).unwrap();
             assert!(r.validated, "{}", host.name());
         }
     }

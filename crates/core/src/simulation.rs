@@ -6,15 +6,15 @@
 //!
 //! ```
 //! use overlap_core::simulation::Simulation;
-//! use overlap_core::pipeline::LineStrategy;
+//! use overlap_core::pipeline::Strategy;
 //! use overlap_model::{GuestSpec, ProgramKind};
 //! use overlap_net::{topology, DelayModel};
 //!
 //! let host = topology::linear_array(8, DelayModel::uniform(1, 8), 5);
-//! let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 3, 16);
+//! let guest = GuestSpec::array(24, ProgramKind::KvWorkload, 3, 16);
 //! let report = Simulation::of(&guest)
 //!     .on(&host)
-//!     .strategy(LineStrategy::Overlap { c: 4.0 })
+//!     .strategy(Strategy::Overlap { c: 4.0 })
 //!     .build()
 //!     .and_then(|sim| sim.run())
 //!     .unwrap();
@@ -29,10 +29,10 @@
 //! processor crashes — see `overlap_sim::faults`.
 
 use crate::error::Error;
-use crate::pipeline::{plan_line_placement, LineStrategy, SimReport};
+use crate::pipeline::{plan_line_placement, SimReport, Strategy};
 use overlap_model::{GuestSpec, ReferenceRun, ReferenceTrace};
 use overlap_net::{Delay, HostGraph};
-use overlap_sim::engine::{Engine, EngineConfig, Jitter, RunOutcome};
+use overlap_sim::engine::{Engine, EngineConfig, Jitter, MemBudget, RunOutcome};
 use overlap_sim::faults::FaultPlan;
 use overlap_sim::validate::validate_run;
 use overlap_sim::{
@@ -74,7 +74,7 @@ impl Simulation {
         SimulationBuilder {
             guest,
             host: None,
-            strategy: LineStrategy::Auto,
+            strategy: Strategy::Auto,
             assignment: None,
             config: EngineConfig::default(),
             compute_costs: None,
@@ -90,7 +90,7 @@ impl Simulation {
 pub struct SimulationBuilder<'a> {
     guest: &'a GuestSpec,
     host: Option<&'a HostGraph>,
-    strategy: LineStrategy,
+    strategy: Strategy,
     assignment: Option<Assignment>,
     config: EngineConfig,
     compute_costs: Option<Vec<u32>>,
@@ -106,10 +106,10 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
-    /// Database placement strategy (default [`LineStrategy::Auto`]).
+    /// Database placement strategy (default [`Strategy::Auto`]).
     /// Applies to line/ring guests; other topologies need
     /// [`assignment`](Self::assignment).
-    pub fn strategy(mut self, strategy: LineStrategy) -> Self {
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
         self
     }
@@ -137,6 +137,16 @@ impl<'a> SimulationBuilder<'a> {
     /// Deterministic time-varying link-delay jitter.
     pub fn jitter(mut self, jitter: Jitter) -> Self {
         self.config.jitter = jitter;
+        self
+    }
+
+    /// Cap resident database copies per processor (red–blue pebbling
+    /// mode): evicted copies must be re-fetched for
+    /// [`MemBudget::reload_cost`] extra ticks before the next compute.
+    /// Pure timing/accounting — values are unchanged, so validation
+    /// still holds. Event, stepped, and sharded engines only.
+    pub fn memory_budget(mut self, budget: MemBudget) -> Self {
+        self.config.mem = Some(budget);
         self
     }
 
@@ -208,8 +218,21 @@ impl<'a> SimulationBuilder<'a> {
         // run time.
         let has_faults = self.faults.as_ref().is_some_and(|p| !p.is_empty());
         let unsupported = |engine, feature| Err(Error::Unsupported { engine, feature });
+        let nonuniform_guest = self.guest.has_nonunit_task_costs() || !self.guest.is_static();
         match self.engine {
-            EngineKind::Event => {}
+            EngineKind::Event => {
+                // The stall tracer's conservation law assumes uniform
+                // `cost_of(p)` pebbles; reload penalties and per-task
+                // costs break it.
+                if self.trace.is_some() {
+                    if self.config.mem.is_some() {
+                        return unsupported("event (traced)", "memory budget");
+                    }
+                    if nonuniform_guest {
+                        return unsupported("event (traced)", "non-uniform task graph");
+                    }
+                }
+            }
             EngineKind::Stepped => {
                 if self.trace.is_some() {
                     return unsupported("stepped", "stall-attribution tracing");
@@ -233,6 +256,14 @@ impl<'a> SimulationBuilder<'a> {
                 }
                 if self.config.multicast {
                     return unsupported("lockstep", "multicast distribution");
+                }
+                // The closed-form lockstep makespan assumes unit-cost
+                // pebbles with always-resident copies.
+                if self.config.mem.is_some() {
+                    return unsupported("lockstep", "memory budget");
+                }
+                if self.guest.has_nonunit_task_costs() {
+                    return unsupported("lockstep", "non-unit task costs");
                 }
             }
             EngineKind::Sharded { .. } => {
@@ -286,7 +317,7 @@ pub struct ReadySimulation<'a> {
     guest: &'a GuestSpec,
     host: &'a HostGraph,
     assignment: Assignment,
-    strategy: LineStrategy,
+    strategy: Strategy,
     config: EngineConfig,
     compute_costs: Option<Vec<u32>>,
     faults: Option<FaultPlan>,
@@ -399,7 +430,7 @@ mod tests {
 
     fn lab() -> (GuestSpec, HostGraph) {
         (
-            GuestSpec::line(16, ProgramKind::KvWorkload, 3, 12),
+            GuestSpec::array(16, ProgramKind::KvWorkload, 3, 12),
             linear_array(4, DelayModel::uniform(1, 6), 7),
         )
     }
@@ -407,7 +438,7 @@ mod tests {
     #[test]
     fn builder_runs_are_deterministic() {
         let (guest, host) = lab();
-        let strategy = LineStrategy::Overlap { c: 4.0 };
+        let strategy = Strategy::Overlap { c: 4.0 };
         let run = || {
             Simulation::of(&guest)
                 .on(&host)
@@ -457,14 +488,14 @@ mod tests {
         let (guest, host) = lab();
         let event = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Blocked)
+            .strategy(Strategy::Blocked)
             .build()
             .unwrap()
             .run()
             .unwrap();
         let stepped = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Blocked)
+            .strategy(Strategy::Blocked)
             .engine(EngineKind::Stepped)
             .build()
             .unwrap()
@@ -474,7 +505,7 @@ mod tests {
         assert_eq!(event.stats.makespan, stepped.stats.makespan);
         let lockstep = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Blocked)
+            .strategy(Strategy::Blocked)
             .engine(EngineKind::Lockstep)
             .build()
             .unwrap()
@@ -524,7 +555,7 @@ mod tests {
         let (guest, host) = lab();
         let base = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Halo { halo: 1 })
+            .strategy(Strategy::Halo { halo: 1 })
             .engine(EngineKind::Stepped)
             .build()
             .unwrap()
@@ -532,7 +563,7 @@ mod tests {
             .unwrap();
         let costly = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Halo { halo: 1 })
+            .strategy(Strategy::Halo { halo: 1 })
             .engine(EngineKind::Stepped)
             .compute_costs(vec![1, 4, 1, 2])
             .build()
@@ -543,7 +574,7 @@ mod tests {
         assert!(costly.stats.makespan > base.stats.makespan);
         let faulty = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Halo { halo: 1 })
+            .strategy(Strategy::Halo { halo: 1 })
             .engine(EngineKind::Stepped)
             .faults(FaultPlan::new().link_down(1, 2, 2, 40))
             .build()
@@ -592,7 +623,7 @@ mod tests {
         let build = |kind| {
             Simulation::of(&guest)
                 .on(&host)
-                .strategy(LineStrategy::Blocked)
+                .strategy(Strategy::Blocked)
                 .engine(kind)
                 .build()
                 .unwrap()
@@ -616,14 +647,14 @@ mod tests {
         let (guest, host) = lab();
         let clean = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Halo { halo: 1 })
+            .strategy(Strategy::Halo { halo: 1 })
             .build()
             .unwrap()
             .run()
             .unwrap();
         let faulty = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Halo { halo: 1 })
+            .strategy(Strategy::Halo { halo: 1 })
             .faults(FaultPlan::new().link_down(1, 2, 2, 40))
             .build()
             .unwrap()
@@ -693,7 +724,7 @@ mod tests {
         let (guest, host) = lab();
         let err = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Blocked)
+            .strategy(Strategy::Blocked)
             .max_ticks(2)
             .build()
             .unwrap()
@@ -707,14 +738,14 @@ mod tests {
         let (guest, host) = lab();
         let plain = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .strategy(Strategy::Overlap { c: 4.0 })
             .build()
             .unwrap()
             .run()
             .unwrap();
         let traced = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .strategy(Strategy::Overlap { c: 4.0 })
             .trace(TraceConfig::default())
             .build()
             .unwrap()
@@ -756,6 +787,174 @@ mod tests {
                 "{err}"
             );
         }
+    }
+
+    #[test]
+    fn memory_budget_validates_and_counts_reloads() {
+        let (guest, host) = lab();
+        let build = |mem: Option<MemBudget>| {
+            let mut b = Simulation::of(&guest).on(&host).strategy(Strategy::Blocked);
+            if let Some(m) = mem {
+                b = b.memory_budget(m);
+            }
+            b.build().unwrap().run().unwrap()
+        };
+        let free = build(None);
+        // Blocked places 4 copies per processor; a budget of 1 thrashes.
+        let tight = build(Some(MemBudget {
+            budget: 1,
+            reload_cost: 3,
+        }));
+        assert!(tight.validated, "reloads are pure timing");
+        assert!(tight.stats.mem.reloads > 0);
+        assert!(tight.stats.mem.reload_ticks > 0);
+        assert!(tight.stats.makespan > free.stats.makespan);
+        assert_eq!(free.stats.mem, Default::default());
+        // Sharded prices the same reloads identically.
+        let sharded = Simulation::of(&guest)
+            .on(&host)
+            .strategy(Strategy::Blocked)
+            .memory_budget(MemBudget {
+                budget: 1,
+                reload_cost: 3,
+            })
+            .engine(EngineKind::Sharded { threads: 2 })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(sharded.stats.makespan, tight.stats.makespan);
+        assert_eq!(sharded.stats.mem, tight.stats.mem);
+    }
+
+    #[test]
+    fn memory_budget_matrix_rejections() {
+        let (guest, host) = lab();
+        let mem = MemBudget {
+            budget: 2,
+            reload_cost: 1,
+        };
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .engine(EngineKind::Lockstep)
+            .memory_budget(mem)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Unsupported {
+                    engine: "lockstep",
+                    feature: "memory budget"
+                }
+            ),
+            "{err}"
+        );
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .memory_budget(mem)
+            .trace(TraceConfig::default())
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Unsupported {
+                    engine: "event (traced)",
+                    feature: "memory budget"
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn nonuniform_dag_matrix_rejections() {
+        use overlap_model::TaskGraph;
+        let graph = TaskGraph::layered_random(8, 5, 2, 3, 9);
+        let guest = GuestSpec::dag(graph, ProgramKind::KvWorkload, 3);
+        let host = linear_array(4, DelayModel::constant(2), 0);
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .engine(EngineKind::Lockstep)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Unsupported {
+                    engine: "lockstep",
+                    feature: "non-unit task costs"
+                }
+            ),
+            "{err}"
+        );
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .trace(TraceConfig::default())
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Unsupported {
+                    engine: "event (traced)",
+                    feature: "non-uniform task graph"
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dag_guest_runs_through_the_builder_on_every_engine() {
+        use overlap_model::TaskGraph;
+        let guest = GuestSpec::dag(TaskGraph::wavefront(12, 8), ProgramKind::KvWorkload, 5);
+        let host = linear_array(4, DelayModel::uniform(1, 5), 2);
+        let mut spans = Vec::new();
+        for kind in [
+            EngineKind::Event,
+            EngineKind::Stepped,
+            EngineKind::Sharded { threads: 2 },
+        ] {
+            let r = Simulation::of(&guest)
+                .on(&host)
+                .strategy(Strategy::Blocked)
+                .engine(kind)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert!(r.validated, "{kind:?}");
+            spans.push(r.stats.makespan);
+        }
+        assert_eq!(spans[0], spans[1]);
+        assert_eq!(spans[0], spans[2]);
+        // Wavefront is uniform (unit costs), so lockstep runs it too.
+        let lk = Simulation::of(&guest)
+            .on(&host)
+            .strategy(Strategy::Blocked)
+            .engine(EngineKind::Lockstep)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(lk.validated);
+        assert!(lk.stats.makespan >= spans[0]);
+    }
+
+    #[test]
+    fn work_stealing_strategy_validates() {
+        let (guest, host) = lab();
+        let r = Simulation::of(&guest)
+            .on(&host)
+            .strategy(Strategy::WorkStealing { chunk: 0 })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(r.validated);
+        assert_eq!(r.strategy, "work-stealing(chunk=0)");
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Deterministic work-stealing placement over the embedded host array.
+//!
+//! The classic strategies (§2–§5) fix the database assignment before the
+//! run. Work stealing instead *derives* an assignment by simulating a
+//! randomized-free stealing protocol offline: every host position starts
+//! with a blocked deque of guest slots, consumes one slot per tick from
+//! the front, and when its deque runs dry steals a chunk from the tail of
+//! the most-loaded victim — paying a round trip of the array distance
+//! between thief and victim before the stolen work can start. The slots
+//! each position actually consumed become its (redundancy-1) assignment,
+//! so the placement reflects where the protocol's load balancing would
+//! have moved the work under the given link delays.
+//!
+//! Everything is deterministic: the event queue is ordered by
+//! `(tick, proc id)`, victim selection breaks remaining-work ties toward
+//! the lowest id, and no randomness enters anywhere. Two calls with the
+//! same inputs return byte-identical placements (see
+//! [`Strategy::WorkStealing`](crate::pipeline::Strategy)).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use overlap_net::Delay;
+
+/// Simulate deterministic work stealing over an array of `delays.len()+1`
+/// host positions and return, per position, the guest slots it consumed.
+///
+/// * `delays` — link delays of the embedded host array (empty → 1 proc).
+/// * `num_slots` — guest slots `0..num_slots` to distribute.
+/// * `chunk` — slots moved per steal; `0` steals half the victim's
+///   remaining deque (at least one slot).
+///
+/// Every slot appears in exactly one returned list (redundancy 1), and
+/// each list is sorted.
+pub fn steal_slots(delays: &[Delay], num_slots: u32, chunk: u32) -> Vec<Vec<u32>> {
+    let n = delays.len() + 1;
+    let mut consumed: Vec<Vec<u32>> = vec![Vec::new(); n];
+    if num_slots == 0 {
+        return consumed;
+    }
+
+    // Prefix sums of link delays: distance(a, b) = |prefix[a] - prefix[b]|.
+    let mut prefix = Vec::with_capacity(n);
+    prefix.push(0u64);
+    for &d in delays {
+        prefix.push(prefix.last().unwrap() + d);
+    }
+
+    // Blocked initial deques, same split as `Assignment::blocked`.
+    let mut deques: Vec<VecDeque<u32>> = (0..n as u64)
+        .map(|p| {
+            let lo = (p * num_slots as u64 / n as u64) as u32;
+            let hi = ((p + 1) * num_slots as u64 / n as u64) as u32;
+            (lo..hi).collect()
+        })
+        .collect();
+
+    // Min-heap of (tick, proc): the next instant each proc is free.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|p| Reverse((0, p))).collect();
+    let mut left = num_slots as u64;
+
+    while left > 0 {
+        let Reverse((tick, p)) = heap.pop().expect("procs outlive remaining work");
+        if let Some(slot) = deques[p].pop_front() {
+            consumed[p].push(slot);
+            left -= 1;
+            heap.push(Reverse((tick + 1, p)));
+            continue;
+        }
+        // Steal from the most-loaded victim (ties → lowest id).
+        let victim = (0..n)
+            .filter(|&v| !deques[v].is_empty())
+            .max_by_key(|&v| (deques[v].len(), Reverse(v)));
+        let Some(v) = victim else { continue }; // all work in flight; proc retires
+        let len = deques[v].len();
+        let k = if chunk == 0 {
+            (len / 2).max(1)
+        } else {
+            (chunk as usize).min(len)
+        };
+        // Take `k` slots off the tail, preserving their order.
+        let tail: VecDeque<u32> = deques[v].split_off(len - k);
+        deques[p] = tail;
+        // Round trip to the victim and back before the stolen work starts.
+        let dist = prefix[p].abs_diff(prefix[v]);
+        heap.push(Reverse((tick + 2 * dist, p)));
+    }
+
+    for list in &mut consumed {
+        list.sort_unstable();
+    }
+    consumed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flatten_sorted(placed: &[Vec<u32>]) -> Vec<u32> {
+        let mut all: Vec<u32> = placed.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn every_slot_exactly_once() {
+        for &chunk in &[0u32, 1, 3] {
+            let placed = steal_slots(&[2, 5, 1, 9], 37, chunk);
+            assert_eq!(placed.len(), 5);
+            assert_eq!(flatten_sorted(&placed), (0..37).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = steal_slots(&[3, 3, 7, 1, 4], 100, 0);
+        let b = steal_slots(&[3, 3, 7, 1, 4], 100, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_delay_spreads_work() {
+        // Free steals: every proc should end up with some work.
+        let placed = steal_slots(&[0, 0, 0], 64, 0);
+        assert!(placed.iter().all(|l| !l.is_empty()), "{placed:?}");
+    }
+
+    #[test]
+    fn single_proc_consumes_all() {
+        let placed = steal_slots(&[], 9, 0);
+        assert_eq!(placed, vec![(0..9).collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn no_slots() {
+        assert_eq!(steal_slots(&[1, 2], 0, 0), vec![Vec::<u32>::new(); 3]);
+    }
+
+    #[test]
+    fn huge_delays_keep_blocks_local() {
+        // Steals cost 2·distance; with enormous link delays and equal
+        // initial blocks nobody profits from stealing, so the blocked
+        // split survives.
+        let placed = steal_slots(&[1_000_000, 1_000_000], 30, 0);
+        assert_eq!(placed[0], (0..10).collect::<Vec<_>>());
+        assert_eq!(placed[1], (10..20).collect::<Vec<_>>());
+        assert_eq!(placed[2], (20..30).collect::<Vec<_>>());
+    }
+}

@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn tree_guest_validates_on_line_and_mesh_hosts() {
-        let guest = GuestSpec::binary_tree(5, ProgramKind::KvWorkload, 3, 10);
+        let guest = GuestSpec::tree(5, ProgramKind::KvWorkload, 3, 10);
         for host in [
             linear_array(6, DelayModel::uniform(1, 8), 2),
             mesh2d(3, 2, DelayModel::uniform(1, 8), 2),
@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn locality_reduces_traffic() {
-        let guest = GuestSpec::binary_tree(8, ProgramKind::Relaxation, 5, 12);
+        let guest = GuestSpec::tree(8, ProgramKind::Relaxation, 5, 12);
         let host = linear_array(8, DelayModel::constant(8), 0);
         let trace = ReferenceRun::execute(&guest);
         let dfs = simulate_tree_on_host(&guest, &host, true, Some(&trace)).unwrap();
@@ -211,7 +211,7 @@ mod tests {
 
     #[test]
     fn line_guest_is_rejected() {
-        let guest = GuestSpec::line(8, ProgramKind::StencilSum, 0, 2);
+        let guest = GuestSpec::array(8, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(4, DelayModel::constant(1), 0);
         assert!(matches!(
             simulate_tree_on_host(&guest, &host, true, None),

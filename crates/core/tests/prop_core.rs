@@ -190,7 +190,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let host = linear_array(hosts, DelayModel::uniform(1, 10), seed);
-        let guest = GuestSpec::binary_tree(levels, ProgramKind::KvWorkload, seed, steps);
+        let guest = GuestSpec::tree(levels, ProgramKind::KvWorkload, seed, steps);
         let trace = ReferenceRun::execute(&guest);
         for locality in [true, false] {
             let r = simulate_tree_on_host(&guest, &host, locality, Some(&trace))

@@ -19,11 +19,12 @@ use crate::boundary::BoundaryRule;
 use crate::database::DbKind;
 use crate::pebble::PebbleValue;
 use crate::program::ProgramKind;
+use crate::taskgraph::TaskGraph;
 use serde::{Deserialize, Serialize};
 
 /// One dependency of a pebble: either the previous-step pebble of a guest
 /// cell, or a virtual boundary value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Dep {
     /// Pebble `(cell, t-1)`.
     Cell(u32),
@@ -142,6 +143,20 @@ pub enum GuestTopology {
         /// Extent in z.
         d: u32,
     },
+    /// Marker for an arbitrary task-graph guest: the real structure lives
+    /// in [`GuestSpec::graph`] (a [`TaskGraph`] in layered normal form,
+    /// which isn't `Copy`). Lanes play the role of cells and layers the
+    /// role of steps. Per-step structure must be read through
+    /// [`GuestSpec::visit_deps`] and friends — the per-topology
+    /// [`deps`](GuestTopology::deps) / [`neighbours`](GuestTopology::neighbours)
+    /// accessors panic for this variant because a task graph has no
+    /// step-invariant dependency list.
+    Dag {
+        /// Number of lanes (databases).
+        dbs: u32,
+        /// Number of layers (guest steps).
+        layers: u32,
+    },
 }
 
 impl GuestTopology {
@@ -152,6 +167,7 @@ impl GuestTopology {
             GuestTopology::Mesh2D { w, h } | GuestTopology::Torus2D { w, h } => w * h,
             GuestTopology::BinaryTree { levels } => (1 << levels) - 1,
             GuestTopology::Mesh3D { w, h, d } => w * h * d,
+            GuestTopology::Dag { dbs, .. } => dbs,
         }
     }
 
@@ -160,6 +176,9 @@ impl GuestTopology {
     pub fn deps(&self, cell: u32) -> DepList {
         let mut out = DepList::new();
         match *self {
+            GuestTopology::Dag { .. } => {
+                panic!("task-graph deps are per-layer; use GuestSpec::visit_deps")
+            }
             GuestTopology::Line { m } => {
                 debug_assert!(cell < m);
                 if cell == 0 {
@@ -343,12 +362,19 @@ impl GuestTopology {
     }
 
     /// Maximum dependency count for this topology (3, 4, 5 or 7).
+    ///
+    /// # Panics
+    /// For [`GuestTopology::Dag`] — the bound lives on the task graph; use
+    /// [`GuestSpec::max_deps`].
     pub fn max_deps(&self) -> usize {
         match self {
             GuestTopology::Line { .. } | GuestTopology::Ring { .. } => 3,
             GuestTopology::BinaryTree { .. } => 4,
             GuestTopology::Mesh2D { .. } | GuestTopology::Torus2D { .. } => 5,
             GuestTopology::Mesh3D { .. } => 7,
+            GuestTopology::Dag { .. } => {
+                panic!("task-graph dep bound is per-graph; use GuestSpec::max_deps")
+            }
         }
     }
 }
@@ -372,17 +398,33 @@ pub struct GuestSpec {
     pub seed: u64,
     /// Number of guest steps `T` to simulate.
     pub steps: u32,
+    /// The task graph for [`GuestTopology::Dag`] guests (`None` for every
+    /// other topology). Read per-step structure through
+    /// [`visit_deps`](GuestSpec::visit_deps) / [`task_cost`](GuestSpec::task_cost)
+    /// rather than touching this directly.
+    #[serde(default)]
+    pub graph: Option<TaskGraph>,
 }
 
 impl GuestSpec {
-    /// A line guest running `program` for `steps` steps.
-    pub fn line(m: u32, program: ProgramKind, seed: u64, steps: u32) -> Self {
+    /// A linear-array guest running `program` for `steps` steps — the
+    /// paper's canonical shape. Part of the factory family
+    /// `GuestSpec::{ring, array, mesh, tree, dag}` that is the one entry
+    /// point to `Simulation::of()`.
+    pub fn array(m: u32, program: ProgramKind, seed: u64, steps: u32) -> Self {
         Self {
             topology: GuestTopology::Line { m },
             program,
             seed,
             steps,
+            graph: None,
         }
+    }
+
+    /// Deprecated name of [`GuestSpec::array`].
+    #[deprecated(since = "0.7.0", note = "use GuestSpec::array")]
+    pub fn line(m: u32, program: ProgramKind, seed: u64, steps: u32) -> Self {
+        Self::array(m, program, seed, steps)
     }
 
     /// A ring guest.
@@ -392,6 +434,7 @@ impl GuestSpec {
             program,
             seed,
             steps,
+            graph: None,
         }
     }
 
@@ -402,6 +445,7 @@ impl GuestSpec {
             program,
             seed,
             steps,
+            graph: None,
         }
     }
 
@@ -412,6 +456,7 @@ impl GuestSpec {
             program,
             seed,
             steps,
+            graph: None,
         }
     }
 
@@ -422,16 +467,46 @@ impl GuestSpec {
             program,
             seed,
             steps,
+            graph: None,
         }
     }
 
     /// A complete binary tree guest with `levels` levels.
-    pub fn binary_tree(levels: u32, program: ProgramKind, seed: u64, steps: u32) -> Self {
+    pub fn tree(levels: u32, program: ProgramKind, seed: u64, steps: u32) -> Self {
         Self {
             topology: GuestTopology::BinaryTree { levels },
             program,
             seed,
             steps,
+            graph: None,
+        }
+    }
+
+    /// Deprecated name of [`GuestSpec::tree`].
+    #[deprecated(since = "0.7.0", note = "use GuestSpec::tree")]
+    pub fn binary_tree(levels: u32, program: ProgramKind, seed: u64, steps: u32) -> Self {
+        Self::tree(levels, program, seed, steps)
+    }
+
+    /// An arbitrary task-graph guest: lanes of `graph` become cells and
+    /// its layers become guest steps (so `steps` is implied by the graph).
+    ///
+    /// ```
+    /// use overlap_model::{GuestSpec, ProgramKind, TaskGraph};
+    /// let g = GuestSpec::dag(TaskGraph::wavefront(8, 12), ProgramKind::StencilSum, 3);
+    /// assert_eq!(g.num_cells(), 8);
+    /// assert_eq!(g.steps, 12);
+    /// ```
+    pub fn dag(graph: TaskGraph, program: ProgramKind, seed: u64) -> Self {
+        Self {
+            topology: GuestTopology::Dag {
+                dbs: graph.num_dbs(),
+                layers: graph.layers(),
+            },
+            program,
+            seed,
+            steps: graph.layers(),
+            graph: Some(graph),
         }
     }
 
@@ -440,9 +515,89 @@ impl GuestSpec {
         self.topology.num_cells()
     }
 
-    /// Total guest work: one pebble per cell per step.
+    /// Total guest work: one pebble per cell per step (relay slots of a
+    /// task graph count — the host still computes them).
     pub fn total_work(&self) -> u64 {
         self.num_cells() as u64 * self.steps as u64
+    }
+
+    /// Does every step share one dependency list per cell? True for all
+    /// grid topologies and for *uniform* task graphs, which then lower
+    /// through the same static tables (bit-identical machinery). False
+    /// only for non-uniform task graphs.
+    pub fn is_static(&self) -> bool {
+        match &self.graph {
+            None => true,
+            Some(g) => g.is_uniform(),
+        }
+    }
+
+    /// Visit the dependencies of pebble `(cell, step)` in canonical order
+    /// (all at `step - 1`). The one dependency accessor that works for
+    /// every guest, task graphs included.
+    pub fn visit_deps(&self, cell: u32, step: u32, mut f: impl FnMut(Dep)) {
+        match &self.graph {
+            None => {
+                for d in self.topology.deps(cell).iter() {
+                    f(d);
+                }
+            }
+            Some(g) => {
+                // Out-of-range probes (e.g. the static lowering reading
+                // layer 1 of a zero-layer graph) see an empty list.
+                if step >= 1 && step <= g.layers() {
+                    for &d in g.deps_of(cell, step) {
+                        f(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Largest dependency-list length over all pebbles of this guest.
+    pub fn max_deps(&self) -> usize {
+        match &self.graph {
+            None => self.topology.max_deps(),
+            Some(g) => g.max_deps(),
+        }
+    }
+
+    /// Compute-cost multiplier of pebble `(cell, step)`: a task of cost
+    /// `k` takes `k×` the processor's per-pebble compute time. Always 1
+    /// for grid guests.
+    pub fn task_cost(&self, cell: u32, step: u32) -> u32 {
+        match &self.graph {
+            None => 1,
+            Some(g) => g.cost_of(cell, step),
+        }
+    }
+
+    /// Is `(cell, step)` a relay slot (pass-through: repeats the lane's
+    /// previous value, no program call, no database update)? Always false
+    /// for grid guests.
+    pub fn is_relay(&self, cell: u32, step: u32) -> bool {
+        match &self.graph {
+            None => false,
+            Some(g) => g.is_relay(cell, step),
+        }
+    }
+
+    /// Any pebble with a compute cost above 1?
+    pub fn has_nonunit_task_costs(&self) -> bool {
+        self.graph.as_ref().is_some_and(|g| g.has_nonunit_costs())
+    }
+
+    /// The distinct cells whose pebbles `cell` ever reads, over all steps
+    /// (sorted, excluding `cell` itself) — what routing must subscribe to.
+    pub fn dep_union(&self, cell: u32) -> Vec<u32> {
+        match &self.graph {
+            None => {
+                let mut n = self.topology.neighbours(cell);
+                n.sort_unstable();
+                n
+            }
+            Some(g) => g.dep_lanes(cell),
+        }
     }
 
     /// The boundary rule induced by this spec's seed.
@@ -603,8 +758,8 @@ mod tests {
 
     #[test]
     fn initial_values_differ_across_cells_and_seeds() {
-        let a = GuestSpec::line(8, ProgramKind::StencilSum, 1, 4);
-        let b = GuestSpec::line(8, ProgramKind::StencilSum, 2, 4);
+        let a = GuestSpec::array(8, ProgramKind::StencilSum, 1, 4);
+        let b = GuestSpec::array(8, ProgramKind::StencilSum, 2, 4);
         assert_ne!(a.initial_value(0), a.initial_value(1));
         assert_ne!(a.initial_value(0), b.initial_value(0));
     }

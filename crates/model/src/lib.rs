@@ -32,6 +32,7 @@ pub mod guest;
 pub mod pebble;
 pub mod program;
 pub mod reference;
+pub mod taskgraph;
 pub mod transform;
 
 pub use boundary::BoundaryRule;
@@ -40,4 +41,5 @@ pub use guest::{Dep, DepList, GuestSpec, GuestTopology, Side};
 pub use pebble::{Pebble, PebbleGrid, PebbleId, PebbleValue};
 pub use program::{programs, ComputeResult, Program, ProgramKind, ProgramRef};
 pub use reference::{ReferenceRun, ReferenceTrace};
+pub use taskgraph::{DagBuilder, TaskGraph, TaskGraphError, TaskId};
 pub use transform::{line_slots, mesh3d_slabs, mesh_columns, ring_fold, torus_fold, SlotMap};

@@ -57,18 +57,25 @@ impl ReferenceRun {
 
         let mut prev: Vec<PebbleValue> = (0..cells).map(|c| spec.initial_value(c)).collect();
         let mut cur: Vec<PebbleValue> = vec![0; cells as usize];
-        let mut deps_buf: Vec<PebbleValue> = Vec::with_capacity(spec.topology.max_deps());
+        let mut deps_buf: Vec<PebbleValue> = Vec::with_capacity(spec.max_deps());
 
         for t in 1..=steps {
             for c in 0..cells {
                 deps_buf.clear();
-                for d in spec.topology.deps(c).iter() {
+                spec.visit_deps(c, t, |d| {
                     deps_buf.push(match d {
                         Dep::Cell(cc) => prev[cc as usize],
                         Dep::Boundary { side, offset } => boundary.value(side, offset, t),
                     });
-                }
-                let (v, u) = program.compute(c, t, &dbs[c as usize], &deps_buf);
+                });
+                let (v, u) = if spec.is_relay(c, t) {
+                    // Relay slots repeat the lane's previous value and leave
+                    // the database untouched (DbUpdate::None still folds
+                    // into the update log, keeping digests well-defined).
+                    (prev[c as usize], crate::database::DbUpdate::None)
+                } else {
+                    program.compute(c, t, &dbs[c as usize], &deps_buf)
+                };
                 dbs[c as usize].apply(&u);
                 update_log_digest[c as usize] = fold64(update_log_digest[c as usize], u.digest());
                 cur[c as usize] = v;
@@ -93,7 +100,7 @@ mod tests {
     use crate::program::ProgramKind;
 
     fn spec() -> GuestSpec {
-        GuestSpec::line(8, ProgramKind::KvWorkload, 7, 12)
+        GuestSpec::array(8, ProgramKind::KvWorkload, 7, 12)
     }
 
     #[test]
@@ -125,7 +132,7 @@ mod tests {
     fn values_propagate_spatially() {
         // After t steps, a perturbation of cell 0's initial value must reach
         // cell t (information travels 1 cell per step) but not further.
-        let base = GuestSpec::line(10, ProgramKind::StencilSum, 100, 5);
+        let base = GuestSpec::array(10, ProgramKind::StencilSum, 100, 5);
         let a = ReferenceRun::execute(&base);
         let mut pert = base.clone();
         pert.seed = 101; // changes every initial value; instead compare two
@@ -140,7 +147,7 @@ mod tests {
 
     #[test]
     fn ring_and_line_differ() {
-        let line = ReferenceRun::execute(&GuestSpec::line(6, ProgramKind::StencilSum, 3, 6));
+        let line = ReferenceRun::execute(&GuestSpec::array(6, ProgramKind::StencilSum, 3, 6));
         let ring = ReferenceRun::execute(&GuestSpec::ring(6, ProgramKind::StencilSum, 3, 6));
         // Edge cells see boundary vs wraparound values.
         assert_ne!(
@@ -174,7 +181,7 @@ mod tests {
 
     #[test]
     fn db_digests_change_over_time_for_updating_programs() {
-        let s = GuestSpec::line(4, ProgramKind::KvWorkload, 5, 1);
+        let s = GuestSpec::array(4, ProgramKind::KvWorkload, 5, 1);
         let t1 = ReferenceRun::execute(&s);
         let mut s2 = s.clone();
         s2.steps = 20;
@@ -183,8 +190,51 @@ mod tests {
     }
 
     #[test]
+    fn pebble_grid_taskgraph_matches_native_guest() {
+        // The grid expressed as a TaskGraph must reproduce the native
+        // topology's run exactly: same pebbles, same database digests.
+        for topo in [
+            crate::guest::GuestTopology::Line { m: 8 },
+            crate::guest::GuestTopology::Ring { m: 8 },
+            crate::guest::GuestTopology::Mesh2D { w: 3, h: 3 },
+        ] {
+            let native = GuestSpec {
+                topology: topo,
+                program: ProgramKind::KvWorkload,
+                seed: 7,
+                steps: 6,
+                graph: None,
+            };
+            let dag = GuestSpec::dag(
+                crate::taskgraph::TaskGraph::pebble_grid(&topo, 6),
+                ProgramKind::KvWorkload,
+                7,
+            );
+            let a = ReferenceRun::execute(&native);
+            let b = ReferenceRun::execute(&dag);
+            assert_eq!(a.grid, b.grid);
+            assert_eq!(a.final_db_digest, b.final_db_digest);
+            assert_eq!(a.update_log_digest, b.update_log_digest);
+        }
+    }
+
+    #[test]
+    fn relay_slots_pass_values_through_untouched() {
+        let g = crate::taskgraph::TaskGraph::fork_join(3); // 4 lanes, 5 layers
+        let spec = GuestSpec::dag(g, ProgramKind::KvWorkload, 11);
+        let t = ReferenceRun::execute(&spec);
+        // Lane 3 idles (relays) until layer 3: its pebbles repeat the
+        // initial value and its database stays fresh until then.
+        assert_eq!(t.value(PebbleId::new(3, 1)), spec.initial_value(3));
+        assert_eq!(t.value(PebbleId::new(3, 2)), spec.initial_value(3));
+        assert_ne!(t.value(PebbleId::new(3, 3)), spec.initial_value(3));
+        // Lane 0 computes at every layer of the fork and join phases.
+        assert_ne!(t.value(PebbleId::new(0, 1)), spec.initial_value(0));
+    }
+
+    #[test]
     fn stencil_program_leaves_dbs_untouched() {
-        let s = GuestSpec::line(4, ProgramKind::StencilSum, 5, 10);
+        let s = GuestSpec::array(4, ProgramKind::StencilSum, 5, 10);
         let t = ReferenceRun::execute(&s);
         let fresh: Vec<u64> = (0..4)
             .map(|c| s.db_kind().instantiate(c, s.seed).digest())

@@ -90,7 +90,7 @@ proptest! {
         // edge; interior pebbles further than `t` cells from both ends
         // cannot have seen the difference by step t.
         prop_assume!(steps + 2 < m / 2);
-        let line = ReferenceRun::execute(&GuestSpec::line(m, ProgramKind::KvWorkload, seed, steps));
+        let line = ReferenceRun::execute(&GuestSpec::array(m, ProgramKind::KvWorkload, seed, steps));
         let ring = ReferenceRun::execute(&GuestSpec::ring(m, ProgramKind::KvWorkload, seed, steps));
         for t in 1..=steps {
             for c in 0..m {
@@ -139,7 +139,7 @@ proptest! {
         steps in 0u32..20,
         seed in any::<u64>(),
     ) {
-        let trace = ReferenceRun::execute(&GuestSpec::line(m, ProgramKind::Relaxation, seed, steps));
+        let trace = ReferenceRun::execute(&GuestSpec::array(m, ProgramKind::Relaxation, seed, steps));
         prop_assert_eq!(trace.work, m as u64 * steps as u64);
         prop_assert_eq!(trace.final_db_digest.len() as u32, m);
     }

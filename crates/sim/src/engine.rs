@@ -92,6 +92,23 @@ impl Jitter {
     }
 }
 
+/// Per-processor memory budget on database copies — the red-blue pebbling
+/// mode. Each processor keeps at most `budget` of its copies in fast
+/// memory; starting a compute on a non-resident copy first *evicts* the
+/// least-recently-used resident copy and charges `reload_cost` extra ticks
+/// to re-materialize the database (values are never altered — the budget
+/// is pure timing and accounting, so validation and cross-engine
+/// bit-identity hold unchanged). Counters land in
+/// [`RunStats::mem`](crate::stats::RunStats::mem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemBudget {
+    /// Database copies that fit in fast memory per processor (a budget of
+    /// 0 is clamped to 1 — a processor must hold the copy it computes on).
+    pub budget: u32,
+    /// Extra ticks charged per reload of an evicted copy.
+    pub reload_cost: u32,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -108,6 +125,10 @@ pub struct EngineConfig {
     pub multicast: bool,
     /// Time-varying link-delay jitter.
     pub jitter: Jitter,
+    /// Per-processor memory budget on database copies (`None` = unbounded,
+    /// the paper's model).
+    #[serde(default)]
+    pub mem: Option<MemBudget>,
 }
 
 impl Default for EngineConfig {
@@ -118,6 +139,7 @@ impl Default for EngineConfig {
             record_timing: false,
             multicast: false,
             jitter: Jitter::None,
+            mem: None,
         }
     }
 }
@@ -170,6 +192,16 @@ pub enum RunError {
         /// Number of processors the host actually has.
         procs: u32,
     },
+    /// The plan carries a feature this engine does not implement (e.g. a
+    /// memory budget on the lockstep engine). The builder's validation
+    /// matrix catches these at `build()`; engines also check at entry so a
+    /// hand-built plan fails cleanly instead of asserting mid-run.
+    UnsupportedFeature {
+        /// Engine that rejected the plan.
+        engine: &'static str,
+        /// The unsupported plan feature.
+        feature: &'static str,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -196,6 +228,9 @@ impl std::fmt::Display for RunError {
                     f,
                     "fault plan names processor {proc}, but the host has only {procs}"
                 )
+            }
+            RunError::UnsupportedFeature { engine, feature } => {
+                write!(f, "the {engine} engine does not support {feature}")
             }
         }
     }
@@ -464,6 +499,94 @@ pub(crate) struct LinkSlot {
     count: u32,
 }
 
+/// Deterministic per-processor LRU over database copies, driven by the
+/// compute schedule (touched once per compute *start*, in schedule order).
+/// Shared by the event, sharded and stepped engines; because the sharded
+/// engine replays the sequential per-processor compute order exactly, the
+/// LRU evolves bit-identically there too. Cloneable so the sharded engine
+/// can snapshot it at window barriers.
+#[derive(Clone)]
+pub(crate) struct MemLru {
+    cap: usize,
+    reload: u64,
+    resident: Vec<bool>,
+    last_use: Vec<u64>,
+    clock: u64,
+    pub(crate) evictions: u64,
+    pub(crate) reloads: u64,
+    pub(crate) reload_ticks: u64,
+}
+
+impl MemLru {
+    /// Seed residency: the first `budget` copies in held-cell order are
+    /// resident with ascending use stamps (so stamps are always unique and
+    /// the eviction choice is total-ordered).
+    pub(crate) fn new(num_cells: usize, budget: u32, reload_cost: u32) -> Self {
+        let cap = (budget.max(1) as usize).min(num_cells.max(1));
+        let mut resident = vec![false; num_cells];
+        let mut last_use = vec![0u64; num_cells];
+        let mut clock = 0u64;
+        for (i, r) in resident.iter_mut().enumerate().take(cap) {
+            *r = true;
+            last_use[i] = clock;
+            clock += 1;
+        }
+        Self {
+            cap,
+            reload: reload_cost as u64,
+            resident,
+            last_use,
+            clock,
+            evictions: 0,
+            reloads: 0,
+            reload_ticks: 0,
+        }
+    }
+
+    /// Charge a compute start on held cell `i`: 0 extra ticks when the
+    /// copy is resident, else evict the LRU resident copy and charge the
+    /// reload cost. Returns the extra ticks.
+    pub(crate) fn touch(&mut self, i: usize) -> u64 {
+        if self.cap >= self.resident.len() {
+            return 0; // every copy fits; no accounting needed
+        }
+        if self.resident[i] {
+            self.last_use[i] = self.clock;
+            self.clock += 1;
+            return 0;
+        }
+        let victim = self
+            .resident
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r)
+            .min_by_key(|&(j, _)| (self.last_use[j], j))
+            .map(|(j, _)| j)
+            .expect("cap ≥ 1 resident copies");
+        self.resident[victim] = false;
+        self.evictions += 1;
+        self.resident[i] = true;
+        self.last_use[i] = self.clock;
+        self.clock += 1;
+        self.reloads += 1;
+        self.reload_ticks += self.reload;
+        self.reload
+    }
+}
+
+/// Sum LRU counters over processors into the run's [`MemStats`].
+pub(crate) fn mem_stats_of(lrus: Option<&[MemLru]>) -> crate::stats::MemStats {
+    let mut out = crate::stats::MemStats::default();
+    if let Some(ms) = lrus {
+        for m in ms {
+            out.evictions += m.evictions;
+            out.reloads += m.reloads;
+            out.reload_ticks += m.reload_ticks;
+        }
+    }
+    out
+}
+
 /// Is held cell `i` ready to compute its next step? Pure table walk over
 /// the interned check list — no hashing, no `Dep` matching.
 #[inline]
@@ -472,7 +595,7 @@ pub(crate) fn is_ready(pt: &ProcTables, st: &ProcState, i: usize, steps: u32) ->
     if s > steps {
         return false;
     }
-    for &enc in &pt.checks[pt.check_off[i] as usize..pt.check_off[i + 1] as usize] {
+    for &enc in pt.checks_at(i, s) {
         if enc & SUB_BIT != 0 {
             if st.dep_watermark[(enc & !SUB_BIT) as usize] < s - 1 {
                 return false;
@@ -673,6 +796,23 @@ impl<'a> Engine<'a> {
             Ok(p) => p.get(),
             Err(e) => return Err(e.clone()),
         };
+        // The stall tracer's per-copy conservation law assumes every pebble
+        // of processor `p` takes exactly `cost_of(p)` ticks; memory-budget
+        // reload penalties and per-task costs break that invariant, so
+        // traced runs reject them (the builder's validation matrix reports
+        // the same error at build()).
+        if plan.config.mem.is_some() {
+            return Err(RunError::UnsupportedFeature {
+                engine: "event (traced)",
+                feature: "memory budget",
+            });
+        }
+        if plan.guest.has_nonunit_task_costs() || !plan.guest.is_static() {
+            return Err(RunError::UnsupportedFeature {
+                engine: "event (traced)",
+                feature: "non-uniform task graph",
+            });
+        }
         let hot = &plan.hot;
         let cid_of = |proc: NodeId, cell: u32| -> u32 {
             let p = proc as usize;
@@ -951,6 +1091,37 @@ impl<'a> Engine<'a> {
             .or(plan.compute_costs.as_deref());
         let cost_of = |p: usize| -> u64 { costs.map(|c| c[p] as u64).unwrap_or(1) };
 
+        // Task-graph extensions: per-task cost multipliers, relay slots,
+        // and the per-processor memory budget. All three are `false`/`None`
+        // for grid guests, so the static path is unchanged.
+        let has_task_costs = plan.guest.has_nonunit_task_costs();
+        let has_relays = plan.guest.graph.is_some();
+        let mut mem: Option<Vec<MemLru>> = plan.config.mem.map(|m| {
+            hot.procs
+                .iter()
+                .map(|pt| MemLru::new(pt.cells.len(), m.budget, m.reload_cost))
+                .collect()
+        });
+        // Ticks to compute held cell `j` of processor `p` starting now:
+        // processor speed × task cost, plus the memory-budget reload
+        // penalty (which also advances the LRU — call once per start).
+        macro_rules! compute_dur {
+            ($p:expr, $j:expr, $st:expr) => {{
+                let jj = $j as usize;
+                let mut d = cost_of($p);
+                if has_task_costs {
+                    d *= plan
+                        .guest
+                        .task_cost(hot.procs[$p].cells[jj], $st.next_step[jj])
+                        as u64;
+                }
+                if let Some(ms) = mem.as_mut() {
+                    d += ms[$p].touch(jj);
+                }
+                d
+            }};
+        }
+
         // Seed: enqueue every initially-ready pebble and start processors.
         for (p, (pt, st)) in hot.procs.iter().zip(state.iter_mut()).enumerate() {
             for i in 0..pt.cells.len() {
@@ -959,8 +1130,9 @@ impl<'a> Engine<'a> {
             if let Some(Reverse((_s, i))) = st.ready.pop() {
                 st.busy = true;
                 tracer.on_start(p as NodeId, i, _s, 0);
+                let d = compute_dur!(p, i, st);
                 sched!(
-                    cost_of(p),
+                    d,
                     Ev::ComputeDone {
                         proc: p as NodeId,
                         own_idx: i,
@@ -969,7 +1141,7 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let mut deps_buf: Vec<PebbleValue> = Vec::with_capacity(plan.guest.topology.max_deps());
+        let mut deps_buf: Vec<PebbleValue> = Vec::with_capacity(plan.guest.max_deps());
 
         // ---- main loop ----
         while let Some((tick, ev)) = queue.pop() {
@@ -998,9 +1170,7 @@ impl<'a> Engine<'a> {
                     {
                         let st = &state[p];
                         let sm1 = s as usize - 1;
-                        for &src in
-                            &pt.gather[pt.gather_off[i] as usize..pt.gather_off[i + 1] as usize]
-                        {
+                        for &src in pt.gather_at(i, s) {
                             deps_buf.push(match src {
                                 DepSrc::Boundary { side, offset } => {
                                     boundary.value(side, offset, s)
@@ -1013,7 +1183,14 @@ impl<'a> Engine<'a> {
                             });
                         }
                     }
-                    let (v, u) = program.compute(cell, s, &state[p].dbs[i], &deps_buf);
+                    let (v, u) = if has_relays && plan.guest.is_relay(cell, s) {
+                        // Relay slots repeat the lane's previous value and
+                        // leave the database untouched; DbUpdate::None still
+                        // folds into the update log (as in the reference).
+                        (deps_buf[0], overlap_model::DbUpdate::None)
+                    } else {
+                        program.compute(cell, s, &state[p].dbs[i], &deps_buf)
+                    };
                     {
                         let st = &mut state[p];
                         st.dbs[i].apply(&u);
@@ -1082,7 +1259,8 @@ impl<'a> Engine<'a> {
                             if let Some(Reverse((_s, j))) = st.ready.pop() {
                                 st.busy = true;
                                 tracer.on_start(proc, j, _s, tick);
-                                sched!(tick + cost_of(p), Ev::ComputeDone { proc, own_idx: j });
+                                let d = compute_dur!(p, j, st);
+                                sched!(tick + d, Ev::ComputeDone { proc, own_idx: j });
                             }
                         }
                     }
@@ -1133,8 +1311,9 @@ impl<'a> Engine<'a> {
                             if let Some(Reverse((_s2, j))) = st.ready.pop() {
                                 st.busy = true;
                                 tracer.on_start(p as NodeId, j, _s2, tick);
+                                let d = compute_dur!(p, j, st);
                                 sched!(
-                                    tick + cost_of(p),
+                                    tick + d,
                                     Ev::ComputeDone {
                                         proc: p as NodeId,
                                         own_idx: j,
@@ -1184,8 +1363,9 @@ impl<'a> Engine<'a> {
                                 if let Some(Reverse((_s2, j))) = st.ready.pop() {
                                     st.busy = true;
                                     tracer.on_start(p as NodeId, j, _s2, tick);
+                                    let d = compute_dur!(p, j, st);
                                     sched!(
-                                        tick + cost_of(p),
+                                        tick + d,
                                         Ev::ComputeDone {
                                             proc: p as NodeId,
                                             own_idx: j,
@@ -1439,6 +1619,7 @@ impl<'a> Engine<'a> {
             peak_queue_depth: peak_queue as u64,
             faults: fstats,
             stalls: None,
+            mem: mem_stats_of(mem.as_deref()),
         };
         Ok(RunOutcome {
             stats,
@@ -1514,7 +1695,7 @@ mod tests {
 
     #[test]
     fn single_processor_runs_sequentially() {
-        let guest = GuestSpec::line(4, ProgramKind::KvWorkload, 3, 5);
+        let guest = GuestSpec::array(4, ProgramKind::KvWorkload, 3, 5);
         let host = linear_array(1, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(1, 4);
         let out = run(&guest, &host, &assign, BandwidthMode::Fixed(1));
@@ -1529,7 +1710,7 @@ mod tests {
         // Host = guest-sized line with unit delays, load 1: the simulation
         // is the guest itself. Communication of each boundary pebble takes
         // 1 tick, computation 1 tick: slowdown ≈ 2 (compute+exchange).
-        let guest = GuestSpec::line(8, ProgramKind::Relaxation, 1, 16);
+        let guest = GuestSpec::array(8, ProgramKind::Relaxation, 1, 16);
         let host = linear_array(8, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(8, 8);
         let out = run(&guest, &host, &assign, BandwidthMode::Fixed(1));
@@ -1549,7 +1730,7 @@ mod tests {
             ProgramKind::KvWorkload,
             ProgramKind::Relaxation,
         ] {
-            let guest = GuestSpec::line(12, pk, 5, 10);
+            let guest = GuestSpec::array(12, pk, 5, 10);
             let host = linear_array(4, DelayModel::uniform(1, 6), 9);
             let assign = Assignment::blocked(4, 12);
             let out = run(&guest, &host, &assign, BandwidthMode::LogN);
@@ -1587,7 +1768,7 @@ mod tests {
     #[test]
     fn redundant_copies_all_validate() {
         // Overlapping assignment: middle cells held twice.
-        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 11, 12);
+        let guest = GuestSpec::array(8, ProgramKind::KvWorkload, 11, 12);
         let host = linear_array(2, DelayModel::constant(10), 0);
         let assign =
             Assignment::from_cells_of(2, 8, vec![vec![0, 1, 2, 3, 4], vec![3, 4, 5, 6, 7]]);
@@ -1602,7 +1783,7 @@ mod tests {
         // Blocked (no redundancy): every step each side waits ~64 ticks for
         // the boundary column. With a 2-column overlap the engine can run
         // ahead; slowdown must drop substantially.
-        let guest = GuestSpec::line(8, ProgramKind::Relaxation, 4, 64);
+        let guest = GuestSpec::array(8, ProgramKind::Relaxation, 4, 64);
         let host = linear_array(2, DelayModel::constant(64), 0);
         let blocked = Assignment::blocked(2, 8);
         let overlapped =
@@ -1621,7 +1802,7 @@ mod tests {
 
     #[test]
     fn incomplete_assignment_is_rejected() {
-        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 2);
+        let guest = GuestSpec::array(4, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::from_cells_of(2, 4, vec![vec![0, 1], vec![3]]);
         let err = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -1637,7 +1818,7 @@ mod tests {
         // critical path pays d per step: makespan ≥ T·d (roughly).
         let d = 32;
         let t = 8;
-        let guest = GuestSpec::line(2, ProgramKind::StencilSum, 0, t);
+        let guest = GuestSpec::array(2, ProgramKind::StencilSum, 0, t);
         let host = linear_array(2, DelayModel::constant(d), 0);
         let assign = Assignment::blocked(2, 2);
         let out = run(&guest, &host, &assign, BandwidthMode::LogN);
@@ -1655,7 +1836,7 @@ mod tests {
         // One source column feeding a consumer over a single link; with
         // bw=1 the T pebbles serialize: arrival of pebble T at ≥ T ticks
         // after the first. We detect it through a larger makespan vs LogN.
-        let guest = GuestSpec::line(6, ProgramKind::StencilSum, 3, 40);
+        let guest = GuestSpec::array(6, ProgramKind::StencilSum, 3, 40);
         let host = linear_array(2, DelayModel::constant(2), 0);
         let assign = Assignment::blocked(2, 6);
         let fast = run(&guest, &host, &assign, BandwidthMode::Fixed(8));
@@ -1666,7 +1847,7 @@ mod tests {
 
     #[test]
     fn engine_is_deterministic() {
-        let guest = GuestSpec::line(16, ProgramKind::KvWorkload, 7, 20);
+        let guest = GuestSpec::array(16, ProgramKind::KvWorkload, 7, 20);
         let host = linear_array(4, DelayModel::uniform(1, 20), 3);
         let assign = Assignment::from_cells_of(
             4,
@@ -1686,7 +1867,7 @@ mod tests {
 
     #[test]
     fn zero_steps_guest_completes_instantly() {
-        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 0);
+        let guest = GuestSpec::array(4, ProgramKind::StencilSum, 0, 0);
         let host = linear_array(2, DelayModel::constant(5), 0);
         let assign = Assignment::blocked(2, 4);
         let out = run(&guest, &host, &assign, BandwidthMode::LogN);
@@ -1696,7 +1877,7 @@ mod tests {
 
     #[test]
     fn timing_trace_records_every_pebble_in_order() {
-        let guest = GuestSpec::line(6, ProgramKind::Relaxation, 2, 8);
+        let guest = GuestSpec::array(6, ProgramKind::Relaxation, 2, 8);
         let host = linear_array(3, DelayModel::constant(4), 0);
         let assign = Assignment::blocked(3, 6);
         let cfg = EngineConfig {
@@ -1733,7 +1914,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "compute-cost table covers")]
     fn utilization_rejects_short_cost_table() {
-        let guest = GuestSpec::line(2, ProgramKind::KvWorkload, 3, 4);
+        let guest = GuestSpec::array(2, ProgramKind::KvWorkload, 3, 4);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(2, 2);
         let cfg = EngineConfig {
@@ -1750,7 +1931,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "copy records were passed")]
     fn utilization_rejects_misaligned_copy_records() {
-        let guest = GuestSpec::line(2, ProgramKind::KvWorkload, 3, 4);
+        let guest = GuestSpec::array(2, ProgramKind::KvWorkload, 3, 4);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(2, 2);
         let cfg = EngineConfig {
@@ -1766,7 +1947,7 @@ mod tests {
     fn utilization_clamps_overstated_costs() {
         // A cost table that overstates the run's actual per-pebble cost
         // would push busy time past the makespan; the ratio is clamped.
-        let guest = GuestSpec::line(2, ProgramKind::KvWorkload, 3, 6);
+        let guest = GuestSpec::array(2, ProgramKind::KvWorkload, 3, 6);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(2, 2);
         let cfg = EngineConfig {
@@ -1784,7 +1965,7 @@ mod tests {
         // One column per proc; proc 1 computes at cost 4. Unweighted, its
         // busy time would be T ticks out of a ≥ 4T makespan (≤ 25%); the
         // cost-weighted utilization counts 4T busy ticks.
-        let guest = GuestSpec::line(2, ProgramKind::KvWorkload, 3, 10);
+        let guest = GuestSpec::array(2, ProgramKind::KvWorkload, 3, 10);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(2, 2);
         let cfg = EngineConfig {
@@ -1831,7 +2012,7 @@ mod tests {
 
     #[test]
     fn traced_run_is_schedule_identical_and_conserves() {
-        let guest = GuestSpec::line(8, ProgramKind::Relaxation, 4, 12);
+        let guest = GuestSpec::array(8, ProgramKind::Relaxation, 4, 12);
         let host = linear_array(4, DelayModel::uniform(2, 8), 5);
         let assign = Assignment::from_cells_of(
             4,
@@ -1865,7 +2046,7 @@ mod tests {
 
     #[test]
     fn traced_multicast_run_conserves() {
-        let guest = GuestSpec::line(6, ProgramKind::KvWorkload, 3, 10);
+        let guest = GuestSpec::array(6, ProgramKind::KvWorkload, 3, 10);
         let host = linear_array(3, DelayModel::constant(3), 0);
         let assign =
             Assignment::from_cells_of(3, 6, vec![vec![0, 1, 2], vec![2, 3, 4], vec![4, 5]]);
@@ -1883,7 +2064,7 @@ mod tests {
     #[test]
     fn traced_fault_run_attributes_fault_ticks_and_conserves() {
         use crate::faults::FaultPlan;
-        let guest = GuestSpec::line(6, ProgramKind::Relaxation, 2, 20);
+        let guest = GuestSpec::array(6, ProgramKind::Relaxation, 2, 20);
         let host = linear_array(3, DelayModel::constant(2), 0);
         let assign = Assignment::blocked(3, 6);
         let cfg = EngineConfig::default();
@@ -1905,7 +2086,7 @@ mod tests {
     fn traced_crash_run_conserves_over_survivors() {
         use crate::faults::FaultPlan;
         // Every column held twice, so a single crash is survivable.
-        let guest = GuestSpec::line(6, ProgramKind::KvWorkload, 3, 16);
+        let guest = GuestSpec::array(6, ProgramKind::KvWorkload, 3, 16);
         let host = linear_array(3, DelayModel::constant(2), 0);
         let assign = Assignment::from_cells_of(
             3,
@@ -1931,7 +2112,7 @@ mod tests {
     fn traced_single_processor_is_pure_compute_and_db_order() {
         // One processor, no links: nothing to wait for except the
         // in-order one-pebble-per-tick database serialization.
-        let guest = GuestSpec::line(4, ProgramKind::KvWorkload, 3, 5);
+        let guest = GuestSpec::array(4, ProgramKind::KvWorkload, 3, 5);
         let host = linear_array(1, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(1, 4);
         let traced = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -1947,7 +2128,7 @@ mod tests {
 
     #[test]
     fn timing_is_absent_by_default() {
-        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 3);
+        let guest = GuestSpec::array(4, ProgramKind::StencilSum, 0, 3);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(2, 4);
         let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -1963,7 +2144,7 @@ mod tests {
         // queueing; the consumer's column completes by ≈ T + d + T/bw.
         let d = 20u64;
         let t_steps = 10u32;
-        let guest = GuestSpec::line(2, ProgramKind::StencilSum, 1, t_steps);
+        let guest = GuestSpec::array(2, ProgramKind::StencilSum, 1, t_steps);
         let host = linear_array(2, DelayModel::constant(d), 0);
         let assign = Assignment::blocked(2, 2);
         let cfg = EngineConfig {
@@ -1980,7 +2161,7 @@ mod tests {
 
     #[test]
     fn heterogeneous_speeds_slow_the_run_proportionally_and_validate() {
-        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 3, 12);
+        let guest = GuestSpec::array(8, ProgramKind::KvWorkload, 3, 12);
         let host = linear_array(4, DelayModel::constant(2), 0);
         let assign = Assignment::blocked(4, 8);
         let base = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -1999,7 +2180,7 @@ mod tests {
 
     #[test]
     fn uniform_costs_equal_default() {
-        let guest = GuestSpec::line(6, ProgramKind::Relaxation, 3, 10);
+        let guest = GuestSpec::array(6, ProgramKind::Relaxation, 3, 10);
         let host = linear_array(3, DelayModel::uniform(1, 5), 1);
         let assign = Assignment::blocked(3, 6);
         let a = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -2016,7 +2197,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "costs must be ≥ 1")]
     fn zero_cost_is_rejected() {
-        let guest = GuestSpec::line(2, ProgramKind::StencilSum, 0, 1);
+        let guest = GuestSpec::array(2, ProgramKind::StencilSum, 0, 1);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(2, 2);
         let _ = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -2027,7 +2208,7 @@ mod tests {
     fn multicast_mode_validates_and_reduces_traffic() {
         // A column consumed by several processors: overlapping assignment
         // where cell 4 feeds three consumers.
-        let guest = GuestSpec::line(10, ProgramKind::KvWorkload, 7, 14);
+        let guest = GuestSpec::array(10, ProgramKind::KvWorkload, 7, 14);
         let host = linear_array(5, DelayModel::constant(3), 0);
         let assign = Assignment::from_cells_of(
             5,
@@ -2062,7 +2243,7 @@ mod tests {
     fn multicast_shares_links_under_fanout() {
         // Source at one end, consumers spread along the line: unicast
         // retraverses the first link per consumer, multicast once.
-        let guest = GuestSpec::line(5, ProgramKind::StencilSum, 1, 10);
+        let guest = GuestSpec::array(5, ProgramKind::StencilSum, 1, 10);
         let host = linear_array(5, DelayModel::constant(2), 0);
         // cell 0 on proc 0; cells 1..5 each on their own proc, all of
         // which need cell 0? Only proc 1 needs cell 0 (line deps).
@@ -2116,7 +2297,7 @@ mod tests {
 
     #[test]
     fn jittered_runs_validate_and_stay_near_the_baseline() {
-        let guest = GuestSpec::line(16, ProgramKind::KvWorkload, 9, 24);
+        let guest = GuestSpec::array(16, ProgramKind::KvWorkload, 9, 24);
         let host = linear_array(4, DelayModel::constant(16), 0);
         let assign = Assignment::blocked(4, 16);
         let base = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -2142,7 +2323,7 @@ mod tests {
     #[test]
     fn single_cell_guest_runs() {
         // One cell, boundary deps only: pure sequential work.
-        let guest = GuestSpec::line(1, ProgramKind::KvWorkload, 3, 16);
+        let guest = GuestSpec::array(1, ProgramKind::KvWorkload, 3, 16);
         let host = linear_array(2, DelayModel::constant(9), 0);
         let assign = Assignment::from_cells_of(2, 1, vec![vec![0], vec![]]);
         let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -2169,7 +2350,7 @@ mod tests {
     fn duplicate_full_copies_still_agree() {
         // Every processor holds the whole guest: maximal redundancy, no
         // communication at all.
-        let guest = GuestSpec::line(5, ProgramKind::KvWorkload, 2, 7);
+        let guest = GuestSpec::array(5, ProgramKind::KvWorkload, 2, 7);
         let host = linear_array(3, DelayModel::constant(1000), 0);
         let assign = Assignment::from_cells_of(
             3,
@@ -2186,7 +2367,7 @@ mod tests {
 
     #[test]
     fn tick_limit_triggers() {
-        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 100);
+        let guest = GuestSpec::array(4, ProgramKind::StencilSum, 0, 100);
         let host = linear_array(2, DelayModel::constant(50), 0);
         let assign = Assignment::blocked(2, 4);
         let cfg = EngineConfig {
@@ -2200,7 +2381,7 @@ mod tests {
 
     #[test]
     fn stats_count_events_and_queue_depth() {
-        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 3, 12);
+        let guest = GuestSpec::array(8, ProgramKind::KvWorkload, 3, 12);
         let host = linear_array(4, DelayModel::constant(5), 0);
         let assign = Assignment::blocked(4, 8);
         let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -2215,7 +2396,7 @@ mod tests {
     /// outcome bit for bit, across route modes, jitter, and costs.
     #[test]
     fn matches_classic_engine_exactly() {
-        let guest = GuestSpec::line(12, ProgramKind::KvWorkload, 5, 18);
+        let guest = GuestSpec::array(12, ProgramKind::KvWorkload, 5, 18);
         let host = linear_array(4, DelayModel::uniform(1, 9), 7);
         let assign = Assignment::from_cells_of(
             4,

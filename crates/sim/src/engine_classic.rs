@@ -110,6 +110,18 @@ pub fn run_classic(
     if !uncovered.is_empty() {
         return Err(RunError::IncompleteAssignment(uncovered));
     }
+    if guest.graph.is_some() {
+        return Err(RunError::UnsupportedFeature {
+            engine: "classic (frozen seed)",
+            feature: "task-graph guests",
+        });
+    }
+    if config.mem.is_some() {
+        return Err(RunError::UnsupportedFeature {
+            engine: "classic (frozen seed)",
+            feature: "memory budget",
+        });
+    }
     if let Some(c) = costs {
         assert_eq!(c.len() as u32, host.num_nodes());
         assert!(c.iter().all(|&c| c >= 1), "costs must be ≥ 1");
@@ -678,6 +690,7 @@ pub fn run_classic(
         peak_queue_depth: peak_queue as u64,
         faults: crate::stats::FaultStats::default(),
         stalls: None,
+        mem: crate::stats::MemStats::default(),
     };
     Ok(RunOutcome {
         stats,

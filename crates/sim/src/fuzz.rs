@@ -45,7 +45,7 @@
 //!   lockstep bound on the same plan.
 
 use crate::assignment::Assignment;
-use crate::engine::{Engine, EngineConfig, RunOutcome};
+use crate::engine::{Engine, EngineConfig, MemBudget, RunOutcome};
 use crate::faults::FaultPlan;
 use crate::lockstep::run_lockstep;
 use crate::parallel::par_reference;
@@ -55,7 +55,7 @@ use crate::stats::FaultStats;
 use crate::stepped::run_stepped;
 use crate::trace::TraceConfig;
 use crate::validate::{audit_causality, validate_run};
-use overlap_model::{GuestSpec, ProgramKind};
+use overlap_model::{GuestSpec, ProgramKind, TaskGraph};
 use overlap_net::topology;
 use overlap_net::{DelayModel, HostGraph, NodeId};
 
@@ -108,6 +108,31 @@ pub enum GuestKind {
     Mesh(u32, u32),
     /// Complete binary tree of `levels ≥ 1`.
     Tree(u32),
+    /// Seeded random layered DAG over `dbs` lanes: each task reads its
+    /// own lane plus up to `extra` others at the previous layer with
+    /// costs in `1..=max_cost` ([`TaskGraph::layered_random`]); the
+    /// spec's `steps` is the layer count. Non-uniform whenever `extra`
+    /// or `max_cost` exceed the trivial values, exercising the dynamic
+    /// per-`(cell, step)` lowering.
+    DagRandom {
+        /// Lane (database) count.
+        dbs: u32,
+        /// Extra cross-lane dependencies per task.
+        extra: u32,
+        /// Upper bound on per-task compute cost.
+        max_cost: u32,
+        /// Graph-shape seed.
+        seed: u64,
+    },
+    /// Wavefront (systolic) sweep over `lanes` lanes
+    /// ([`TaskGraph::wavefront`]) — an asymmetric stencil no grid
+    /// topology expresses, yet uniform (static lowering); the spec's
+    /// `steps` is the layer count.
+    Wavefront(u32),
+    /// Fork-join diamond of `levels` ([`TaskGraph::fork_join`]): relays
+    /// off the active frontier make it non-uniform. Its layer count is
+    /// fixed at `2·levels − 1`, overriding the spec's `steps`.
+    ForkJoin(u32),
 }
 
 impl GuestKind {
@@ -117,6 +142,9 @@ impl GuestKind {
             GuestKind::Line(m) | GuestKind::Ring(m) => m,
             GuestKind::Mesh(w, h) => w * h,
             GuestKind::Tree(levels) => (1u32 << levels) - 1,
+            GuestKind::DagRandom { dbs, .. } => dbs,
+            GuestKind::Wavefront(lanes) => lanes,
+            GuestKind::ForkJoin(levels) => 1u32 << (levels - 1),
         }
     }
 }
@@ -224,6 +252,9 @@ pub struct ScenarioSpec {
     pub costs: Option<Vec<u32>>,
     /// Lower the plan for multicast trees instead of unicast routes.
     pub multicast: bool,
+    /// Per-processor memory budget on database copies (red–blue pebbling
+    /// mode; event, stepped and sharded engines only).
+    pub mem: Option<MemBudget>,
     /// Scheduled faults.
     pub faults: Vec<FaultSpec>,
 }
@@ -233,10 +264,22 @@ impl ScenarioSpec {
     pub fn build_guest(&self) -> GuestSpec {
         let (p, s, t) = (self.program, self.guest_seed, self.steps);
         match self.guest {
-            GuestKind::Line(m) => GuestSpec::line(m, p, s, t),
+            GuestKind::Line(m) => GuestSpec::array(m, p, s, t),
             GuestKind::Ring(m) => GuestSpec::ring(m, p, s, t),
             GuestKind::Mesh(w, h) => GuestSpec::mesh(w, h, p, s, t),
-            GuestKind::Tree(levels) => GuestSpec::binary_tree(levels, p, s, t),
+            GuestKind::Tree(levels) => GuestSpec::tree(levels, p, s, t),
+            GuestKind::DagRandom {
+                dbs,
+                extra,
+                max_cost,
+                seed,
+            } => GuestSpec::dag(
+                TaskGraph::layered_random(dbs, t, extra, max_cost, seed),
+                p,
+                s,
+            ),
+            GuestKind::Wavefront(lanes) => GuestSpec::dag(TaskGraph::wavefront(lanes, t), p, s),
+            GuestKind::ForkJoin(levels) => GuestSpec::dag(TaskGraph::fork_join(levels), p, s),
         }
     }
 
@@ -299,6 +342,17 @@ impl ScenarioSpec {
             GuestKind::Ring(m) => format!("GuestKind::Ring({m})"),
             GuestKind::Mesh(w, h) => format!("GuestKind::Mesh({w}, {h})"),
             GuestKind::Tree(l) => format!("GuestKind::Tree({l})"),
+            GuestKind::DagRandom {
+                dbs,
+                extra,
+                max_cost,
+                seed,
+            } => format!(
+                "GuestKind::DagRandom {{ dbs: {dbs}, extra: {extra}, \
+                 max_cost: {max_cost}, seed: {seed} }}"
+            ),
+            GuestKind::Wavefront(l) => format!("GuestKind::Wavefront({l})"),
+            GuestKind::ForkJoin(l) => format!("GuestKind::ForkJoin({l})"),
         };
         let program = match self.program {
             ProgramKind::StencilSum => "ProgramKind::StencilSum".into(),
@@ -346,6 +400,13 @@ impl ScenarioSpec {
             None => "None".into(),
             Some(v) => format!("Some(vec!{v:?})"),
         };
+        let mem = match self.mem {
+            None => "None".into(),
+            Some(m) => format!(
+                "Some(MemBudget {{ budget: {}, reload_cost: {} }})",
+                m.budget, m.reload_cost
+            ),
+        };
         let faults = if self.faults.is_empty() {
             "vec![]".into()
         } else {
@@ -377,7 +438,8 @@ impl ScenarioSpec {
             "ScenarioSpec {{\n        guest: {guest},\n        program: {program},\n        \
              steps: {steps},\n        guest_seed: {gseed},\n        host: {host},\n        \
              delays: {delays},\n        host_seed: {hseed},\n        assign: {assign},\n        \
-             costs: {costs},\n        multicast: {multicast},\n        faults: {faults},\n    }}",
+             costs: {costs},\n        multicast: {multicast},\n        mem: {mem},\n        \
+             faults: {faults},\n    }}",
             steps = self.steps,
             gseed = self.guest_seed,
             hseed = self.host_seed,
@@ -404,11 +466,24 @@ pub fn gen_spec(seed: u64, case: u64) -> ScenarioSpec {
     };
     let procs = host.num_procs();
 
-    let guest = match rng.below(4) {
+    let guest = match rng.below(6) {
         0 => GuestKind::Line(rng.range(2, 24) as u32),
         1 => GuestKind::Ring(rng.range(3, 24) as u32),
         2 => GuestKind::Mesh(rng.range(2, 5) as u32, rng.range(2, 5) as u32),
-        _ => GuestKind::Tree(rng.range(2, 4) as u32),
+        3 => GuestKind::Tree(rng.range(2, 4) as u32),
+        4 => GuestKind::DagRandom {
+            dbs: rng.range(2, 16) as u32,
+            extra: rng.range(0, 2) as u32,
+            max_cost: rng.range(1, 3) as u32,
+            seed: rng.next(),
+        },
+        _ => {
+            if rng.chance(1, 2) {
+                GuestKind::Wavefront(rng.range(2, 16) as u32)
+            } else {
+                GuestKind::ForkJoin(rng.range(2, 4) as u32)
+            }
+        }
     };
 
     // Zero-step guests are legal and historically under-tested; keep them
@@ -433,6 +508,17 @@ pub fn gen_spec(seed: u64, case: u64) -> ScenarioSpec {
 
     let multicast = rng.chance(1, 8);
 
+    // Small budgets relative to the blocked copies-per-processor load, so
+    // real eviction churn is common.
+    let mem = if rng.chance(1, 5) {
+        Some(MemBudget {
+            budget: rng.range(1, 5) as u32,
+            reload_cost: rng.range(1, 5) as u32,
+        })
+    } else {
+        None
+    };
+
     let mut faults = Vec::new();
     if steps > 0 && rng.chance(1, 3) {
         // Crashes only under the guaranteed-redundant assignment, where a
@@ -449,6 +535,7 @@ pub fn gen_spec(seed: u64, case: u64) -> ScenarioSpec {
             assign,
             costs: None,
             multicast,
+            mem: None,
             faults: vec![],
         };
         let links = spec_so_far.build_host().links().to_vec();
@@ -498,8 +585,39 @@ pub fn gen_spec(seed: u64, case: u64) -> ScenarioSpec {
         assign,
         costs,
         multicast,
+        mem,
         faults,
     }
+}
+
+/// The DAG-focused scenario stream (`overlap-cli fuzz --dag`, the CI
+/// smoke profile): every scenario runs a task-graph guest, and half the
+/// budget-free draws gain a memory budget. Scenarios whose mixed-stream
+/// draw already picked a DAG kind pass through unchanged, so the stream
+/// stays replayable by `(seed, case)` exactly like [`gen_spec`].
+pub fn gen_spec_dag(seed: u64, case: u64) -> ScenarioSpec {
+    let mut spec = gen_spec(seed, case);
+    let mut rng = Rng::new(seed ^ case.wrapping_mul(0xa0761d6478bd642f));
+    spec.guest = match spec.guest {
+        g @ (GuestKind::DagRandom { .. } | GuestKind::Wavefront(_) | GuestKind::ForkJoin(_)) => g,
+        g => match rng.below(3) {
+            0 => GuestKind::DagRandom {
+                dbs: g.num_cells().max(2),
+                extra: rng.range(0, 2) as u32,
+                max_cost: rng.range(1, 3) as u32,
+                seed: rng.next(),
+            },
+            1 => GuestKind::Wavefront(g.num_cells().max(2)),
+            _ => GuestKind::ForkJoin(rng.range(2, 4) as u32),
+        },
+    };
+    if spec.mem.is_none() && rng.chance(1, 2) {
+        spec.mem = Some(MemBudget {
+            budget: rng.range(1, 4) as u32,
+            reload_cost: rng.range(1, 6) as u32,
+        });
+    }
+    spec
 }
 
 // ---------------------------------------------------------------------------
@@ -530,12 +648,14 @@ fn audit_outcome(
         ));
     }
     // Crashed copies may have computed pebbles before dying, so the bound
-    // is the assignment's full copy set, not just the survivors.
-    if s.total_compute > assign.total_copies() as u64 * spec.steps as u64 {
+    // is the assignment's full copy set, not just the survivors. Steps
+    // come from the built guest: DAG kinds may fix their own layer count.
+    let steps = guest.steps;
+    if s.total_compute > assign.total_copies() as u64 * steps as u64 {
         problems.push(format!(
             "{label}: total_compute {} exceeds total copies × steps {}",
             s.total_compute,
-            assign.total_copies() as u64 * spec.steps as u64
+            assign.total_copies() as u64 * steps as u64
         ));
     }
     // The surviving set is a function of the fault plan alone: no copy of
@@ -563,11 +683,11 @@ fn audit_outcome(
         ));
     }
     if spec.faults.is_empty() {
-        if s.total_compute != out.copies.len() as u64 * spec.steps as u64 {
+        if s.total_compute != out.copies.len() as u64 * steps as u64 {
             problems.push(format!(
                 "{label}: fault-free total_compute {} != copies × steps {}",
                 s.total_compute,
-                out.copies.len() as u64 * spec.steps as u64
+                out.copies.len() as u64 * steps as u64
             ));
         }
         if s.faults != FaultStats::default() {
@@ -577,11 +697,37 @@ fn audit_outcome(
             ));
         }
     }
-    if spec.steps == 0 && s.makespan != 0 {
+    if steps == 0 && s.makespan != 0 {
         problems.push(format!(
             "{label}: zero-step run has makespan {}",
             s.makespan
         ));
+    }
+    // Memory-budget accounting: no budget ⇒ no churn; with one, every
+    // eviction is matched by a reload priced at exactly `reload_cost`.
+    match spec.mem {
+        None => {
+            if s.mem != crate::stats::MemStats::default() {
+                problems.push(format!(
+                    "{label}: budget-free run reports memory churn: {:?}",
+                    s.mem
+                ));
+            }
+        }
+        Some(m) => {
+            if s.mem.evictions != s.mem.reloads {
+                problems.push(format!(
+                    "{label}: evictions {} != reloads {}",
+                    s.mem.evictions, s.mem.reloads
+                ));
+            }
+            if s.mem.reload_ticks != s.mem.reloads * m.reload_cost as u64 {
+                problems.push(format!(
+                    "{label}: reload_ticks {} != reloads {} × cost {}",
+                    s.mem.reload_ticks, s.mem.reloads, m.reload_cost
+                ));
+            }
+        }
     }
     finite(&format!("{label}: slowdown"), s.slowdown, problems);
     finite(&format!("{label}: efficiency"), s.efficiency(), problems);
@@ -647,6 +793,7 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
     let config = EngineConfig {
         multicast: spec.multicast,
         record_timing: true,
+        mem: spec.mem,
         ..EngineConfig::default()
     };
 
@@ -692,36 +839,41 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
     }
 
     // Traced run: identical modulo the stall report, which must conserve
-    // every tick of every surviving copy.
-    match Engine::from_plan(&plan).run_traced(TraceConfig::default()) {
-        Ok(traced) => {
-            let report = traced.trace.clone().expect("tracing was enabled");
-            if report.totals.total() != traced.stats.makespan * traced.copies.len() as u64 {
-                problems.push(format!(
-                    "stall conservation broken: totals {} != makespan {} × copies {}",
-                    report.totals.total(),
-                    traced.stats.makespan,
-                    traced.copies.len()
-                ));
-            }
-            for (i, b) in report.per_copy.iter().enumerate() {
-                if b.total() != traced.stats.makespan {
+    // every tick of every surviving copy. The tracer's conservation law
+    // assumes uniform per-processor pebble costs, so memory budgets and
+    // non-uniform task graphs are out of scope (rejected at build()).
+    let traceable = spec.mem.is_none() && guest.is_static() && !guest.has_nonunit_task_costs();
+    if traceable {
+        match Engine::from_plan(&plan).run_traced(TraceConfig::default()) {
+            Ok(traced) => {
+                let report = traced.trace.clone().expect("tracing was enabled");
+                if report.totals.total() != traced.stats.makespan * traced.copies.len() as u64 {
                     problems.push(format!(
-                        "copy {i} stall breakdown leaks ticks: {} != makespan {}",
-                        b.total(),
-                        traced.stats.makespan
+                        "stall conservation broken: totals {} != makespan {} × copies {}",
+                        report.totals.total(),
+                        traced.stats.makespan,
+                        traced.copies.len()
                     ));
-                    break;
+                }
+                for (i, b) in report.per_copy.iter().enumerate() {
+                    if b.total() != traced.stats.makespan {
+                        problems.push(format!(
+                            "copy {i} stall breakdown leaks ticks: {} != makespan {}",
+                            b.total(),
+                            traced.stats.makespan
+                        ));
+                        break;
+                    }
+                }
+                let mut stripped = traced;
+                stripped.trace = None;
+                stripped.stats.stalls = None;
+                if stripped != ev {
+                    problems.push("traced run differs from untraced run".into());
                 }
             }
-            let mut stripped = traced;
-            stripped.trace = None;
-            stripped.stats.stalls = None;
-            if stripped != ev {
-                problems.push("traced run differs from untraced run".into());
-            }
+            Err(e) => problems.push(format!("traced event run failed: {e}")),
         }
-        Err(e) => problems.push(format!("traced event run failed: {e}")),
     }
 
     // Sharded engine: legal for every scenario; must be bit-identical to
@@ -767,8 +919,15 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
         }
     }
 
-    // Lockstep: legal without faults, costs, and multicast.
-    if !spec.multicast && spec.faults.is_empty() && spec.costs.is_none() {
+    // Lockstep: legal without faults, costs, multicast, memory budgets,
+    // and non-unit task costs (its closed-form makespan assumes unit-cost
+    // pebbles on always-resident copies).
+    if !spec.multicast
+        && spec.faults.is_empty()
+        && spec.costs.is_none()
+        && spec.mem.is_none()
+        && !guest.has_nonunit_task_costs()
+    {
         match run_lockstep(&plan) {
             Ok(lk) => {
                 for err in validate_run(&reference, &lk) {
@@ -831,6 +990,12 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
             ..spec.clone()
         });
     }
+    if spec.mem.is_some() {
+        push(ScenarioSpec {
+            mem: None,
+            ..spec.clone()
+        });
+    }
     if spec.delays != DelayModel::Constant(1) {
         // Flattening delays keeps links valid, so faults can stay.
         push(ScenarioSpec {
@@ -854,6 +1019,19 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         GuestKind::Ring(m) if m > 3 => Some(GuestKind::Ring((m / 2).max(3))),
         GuestKind::Mesh(w, h) if w * h > 4 => Some(GuestKind::Mesh((w / 2).max(2), h.min(2))),
         GuestKind::Tree(l) if l > 2 => Some(GuestKind::Tree(l - 1)),
+        GuestKind::DagRandom {
+            dbs,
+            extra,
+            max_cost,
+            seed,
+        } if dbs > 2 => Some(GuestKind::DagRandom {
+            dbs: (dbs / 2).max(2),
+            extra,
+            max_cost,
+            seed,
+        }),
+        GuestKind::Wavefront(l) if l > 2 => Some(GuestKind::Wavefront((l / 2).max(2))),
+        GuestKind::ForkJoin(l) if l > 2 => Some(GuestKind::ForkJoin(l - 1)),
         _ => None,
     };
     if let Some(g) = smaller_guest {
@@ -861,6 +1039,38 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
             guest: g,
             ..spec.clone()
         });
+    }
+    // Simpler DAG shape: drop the cross-lane edges, then the costs — each
+    // alone can already flip the graph back to the uniform fast path.
+    if let GuestKind::DagRandom {
+        dbs,
+        extra,
+        max_cost,
+        seed,
+    } = spec.guest
+    {
+        if extra > 0 {
+            push(ScenarioSpec {
+                guest: GuestKind::DagRandom {
+                    dbs,
+                    extra: 0,
+                    max_cost,
+                    seed,
+                },
+                ..spec.clone()
+            });
+        }
+        if max_cost > 1 {
+            push(ScenarioSpec {
+                guest: GuestKind::DagRandom {
+                    dbs,
+                    extra,
+                    max_cost: 1,
+                    seed,
+                },
+                ..spec.clone()
+            });
+        }
     }
     if spec.guest != GuestKind::Line(4) {
         push(ScenarioSpec {
@@ -1060,6 +1270,7 @@ mod tests {
             assign: AssignKind::Blocked,
             costs: Some(vec![1, 2, 1, 2]),
             multicast: false,
+            mem: None,
             faults: vec![FaultSpec::LinkDown {
                 a: 0,
                 b: 3,

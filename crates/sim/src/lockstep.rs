@@ -86,7 +86,22 @@ pub fn run_lockstep(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
     let bandwidth = plan.config().bandwidth;
     let n = host.num_nodes();
     let steps = guest.steps;
-    let topo = guest.topology;
+    // The closed-form makespan `steps × round_cost` assumes every pebble
+    // costs one compute tick and every copy is always resident; weighted
+    // task graphs and memory budgets would silently mis-time, so they are
+    // rejected up front (use the event/stepped/sharded engines).
+    if plan.config().mem.is_some() {
+        return Err(RunError::UnsupportedFeature {
+            engine: "lockstep",
+            feature: "memory budget",
+        });
+    }
+    if guest.has_nonunit_task_costs() {
+        return Err(RunError::UnsupportedFeature {
+            engine: "lockstep",
+            feature: "non-unit task costs",
+        });
+    }
     let program: ProgramRef = guest.program.instantiate();
     let boundary = guest.boundary();
     let cost = round_cost(host, assign, routing, bandwidth)?;
@@ -122,25 +137,29 @@ pub fn run_lockstep(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
         })
         .collect();
 
-    let mut deps_buf = Vec::with_capacity(topo.max_deps());
+    let mut deps_buf = Vec::with_capacity(guest.max_deps());
     for t in 1..=steps {
         // Compute each cell once into `cur` (all copies agree by purity);
         // apply per-copy database updates.
         for c in 0..cells {
             deps_buf.clear();
-            for d in topo.deps(c).iter() {
+            guest.visit_deps(c, t, |d| {
                 deps_buf.push(match d {
                     Dep::Cell(cc) => prev[cc as usize],
                     Dep::Boundary { side, offset } => boundary.value(side, offset, t),
                 });
-            }
+            });
             // Use the first copy's db (all copies of a cell hold identical
             // state; asserted below in debug builds).
             let idx = copies
                 .iter()
                 .position(|cp| cp.cell == c)
                 .expect("complete assignment");
-            let (v, u) = program.compute(c, t, &copies[idx].db, &deps_buf);
+            let (v, u) = if guest.is_relay(c, t) {
+                (prev[c as usize], overlap_model::DbUpdate::None)
+            } else {
+                program.compute(c, t, &copies[idx].db, &deps_buf)
+            };
             cur[c as usize] = v;
             for cp in copies.iter_mut().filter(|cp| cp.cell == c) {
                 cp.db.apply(&u);
@@ -190,6 +209,7 @@ pub fn run_lockstep(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
         peak_queue_depth: 0,
         faults: crate::stats::FaultStats::default(),
         stalls: None,
+        mem: crate::stats::MemStats::default(),
     };
     Ok(RunOutcome {
         stats,
@@ -224,7 +244,7 @@ mod tests {
 
     #[test]
     fn lockstep_state_matches_reference() {
-        let guest = GuestSpec::line(12, ProgramKind::KvWorkload, 5, 10);
+        let guest = GuestSpec::array(12, ProgramKind::KvWorkload, 5, 10);
         let host = linear_array(4, DelayModel::uniform(1, 9), 2);
         let assign = Assignment::blocked(4, 12);
         let out = lockstep(&guest, &host, &assign, BandwidthMode::LogN).unwrap();
@@ -235,7 +255,7 @@ mod tests {
     #[test]
     fn lockstep_pays_dmax_every_step() {
         let d = 50;
-        let guest = GuestSpec::line(8, ProgramKind::Relaxation, 3, 6);
+        let guest = GuestSpec::array(8, ProgramKind::Relaxation, 3, 6);
         let host = linear_array(4, DelayModel::constant(d), 0);
         let assign = Assignment::blocked(4, 8);
         let out = lockstep(&guest, &host, &assign, BandwidthMode::LogN).unwrap();
@@ -247,7 +267,7 @@ mod tests {
     #[test]
     fn lockstep_never_beats_the_greedy_engine() {
         for seed in 0..5 {
-            let guest = GuestSpec::line(16, ProgramKind::Relaxation, seed, 12);
+            let guest = GuestSpec::array(16, ProgramKind::Relaxation, seed, 12);
             let host = linear_array(4, DelayModel::uniform(1, 40), seed);
             let assign = Assignment::blocked(4, 16);
             // One plan serves both engines.
@@ -275,7 +295,7 @@ mod tests {
     #[test]
     fn queueing_shows_up_with_bandwidth_one() {
         // Many subscriptions over one link: bw = 1 queues them.
-        let guest = GuestSpec::line(12, ProgramKind::StencilSum, 1, 4);
+        let guest = GuestSpec::array(12, ProgramKind::StencilSum, 1, 4);
         let host = linear_array(2, DelayModel::constant(5), 0);
         let assign = Assignment::blocked(2, 12);
         let fat = lockstep(&guest, &host, &assign, BandwidthMode::Fixed(8)).unwrap();
@@ -285,7 +305,7 @@ mod tests {
 
     #[test]
     fn incomplete_assignment_rejected() {
-        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 2);
+        let guest = GuestSpec::array(4, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::from_cells_of(2, 4, vec![vec![0], vec![3]]);
         assert!(matches!(
@@ -298,7 +318,7 @@ mod tests {
     fn malformed_route_reports_missing_link() {
         // Build a routing table against one host, then cost it against a
         // host whose links differ: the route references a missing link.
-        let guest = GuestSpec::line(6, ProgramKind::StencilSum, 0, 2);
+        let guest = GuestSpec::array(6, ProgramKind::StencilSum, 0, 2);
         let chain = linear_array(3, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(3, 6);
         let routing = RoutingTable::build(&chain, &guest.topology, &assign);

@@ -57,7 +57,18 @@ impl MulticastTable {
     /// (recomputed from the source, so shared prefixes are genuinely
     /// shared).
     pub fn build(host: &HostGraph, topo: &GuestTopology, assign: &Assignment) -> Self {
-        let unicast = RoutingTable::build(host, topo, assign);
+        Self::build_with(host, assign, |c| topo.neighbours(c))
+    }
+
+    /// Multicast analogue of [`RoutingTable::build_with`]: the dependency
+    /// sets come from an arbitrary per-cell closure (the per-layer union
+    /// for task-graph guests).
+    pub fn build_with(
+        host: &HostGraph,
+        assign: &Assignment,
+        dep_cells_of: impl Fn(u32) -> Vec<u32>,
+    ) -> Self {
+        let unicast = RoutingTable::build_with(host, assign, dep_cells_of);
         let n = host.num_nodes();
         // Group subscribers by (source, cell).
         let mut groups: HashMap<(NodeId, u32), Vec<NodeId>> = HashMap::new();

@@ -28,14 +28,18 @@ pub fn par_reference(spec: &GuestSpec) -> ReferenceTrace {
         let results: Vec<(PebbleValue, DbUpdate)> = (0..cells)
             .into_par_iter()
             .map(|c| {
-                let mut deps_buf = Vec::with_capacity(spec.topology.max_deps());
-                for d in spec.topology.deps(c).iter() {
+                let mut deps_buf = Vec::with_capacity(spec.max_deps());
+                spec.visit_deps(c, t, |d| {
                     deps_buf.push(match d {
                         Dep::Cell(cc) => prev[cc as usize],
                         Dep::Boundary { side, offset } => boundary.value(side, offset, t),
                     });
+                });
+                if spec.is_relay(c, t) {
+                    (prev[c as usize], DbUpdate::None)
+                } else {
+                    program.compute(c, t, &dbs[c as usize], &deps_buf)
                 }
-                program.compute(c, t, &dbs[c as usize], &deps_buf)
             })
             .collect();
         dbs.par_iter_mut()
@@ -64,7 +68,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_line() {
-        let spec = GuestSpec::line(64, ProgramKind::KvWorkload, 3, 32);
+        let spec = GuestSpec::array(64, ProgramKind::KvWorkload, 3, 32);
         let seq = ReferenceRun::execute(&spec);
         let par = par_reference(&spec);
         assert_eq!(seq.grid, par.grid);

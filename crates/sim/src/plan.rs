@@ -54,6 +54,17 @@ pub(crate) enum DepSrc {
 
 /// Immutable per-processor lookup tables (flattened CSR-style: `xs[off[i]
 /// .. off[i+1]]` are the entries of held cell `i`).
+///
+/// Static guests (grid topologies and *uniform* task graphs) use the
+/// per-cell `gather`/`checks` tables — one dependency list per cell, valid
+/// at every step. Non-uniform task graphs additionally fill the `dyn_*`
+/// tables, indexed per `(cell, step)`; the [`gather_at`](Self::gather_at) /
+/// [`checks_at`](Self::checks_at) accessors dispatch on which family is
+/// populated, so engines are oblivious to the difference. The dependent
+/// wake lists (`own_dependents`/`dep_dependents`) always hold the **union**
+/// over steps: a superset wake is harmless (`try_enqueue` re-checks
+/// readiness against the step's actual check list) and cannot miss (every
+/// readiness change flows through a dependency that is in the union).
 pub(crate) struct ProcTables {
     /// Held cells (sorted).
     pub(crate) cells: Vec<u32>,
@@ -72,6 +83,39 @@ pub(crate) struct ProcTables {
     /// For each dependency column: held cells depending on it.
     pub(crate) dep_dependents: Vec<u32>,
     pub(crate) dep_dep_off: Vec<u32>,
+    /// Guest steps (the dyn tables' inner dimension).
+    pub(crate) steps: u32,
+    /// Per-(cell, step) dependency sources for non-uniform task graphs,
+    /// indexed `i * steps + (s - 1)`. Empty for static guests.
+    pub(crate) dyn_gather: Vec<DepSrc>,
+    pub(crate) dyn_gather_off: Vec<u32>,
+    /// Per-(cell, step) readiness checks (same encoding as `checks`).
+    pub(crate) dyn_checks: Vec<u32>,
+    pub(crate) dyn_check_off: Vec<u32>,
+}
+
+impl ProcTables {
+    /// Dependency sources of held cell `i` at step `s`.
+    #[inline]
+    pub(crate) fn gather_at(&self, i: usize, s: u32) -> &[DepSrc] {
+        if self.dyn_gather_off.is_empty() {
+            &self.gather[self.gather_off[i] as usize..self.gather_off[i + 1] as usize]
+        } else {
+            let k = i * self.steps as usize + (s as usize - 1);
+            &self.dyn_gather[self.dyn_gather_off[k] as usize..self.dyn_gather_off[k + 1] as usize]
+        }
+    }
+
+    /// Readiness checks of held cell `i` at step `s`.
+    #[inline]
+    pub(crate) fn checks_at(&self, i: usize, s: u32) -> &[u32] {
+        if self.dyn_check_off.is_empty() {
+            &self.checks[self.check_off[i] as usize..self.check_off[i + 1] as usize]
+        } else {
+            let k = i * self.steps as usize + (s as usize - 1);
+            &self.dyn_checks[self.dyn_check_off[k] as usize..self.dyn_check_off[k + 1] as usize]
+        }
+    }
 }
 
 /// All interned hot-path tables, built once per plan.
@@ -110,7 +154,8 @@ pub(crate) struct Hot {
 impl Hot {
     fn build(guest: &GuestSpec, host: &HostGraph, assign: &Assignment, routes: &Routes) -> Self {
         let n = host.num_nodes();
-        let topo = guest.topology;
+        let is_static = guest.is_static();
+        let steps = guest.steps;
 
         // Directed link ids: forward 2i, reverse 2i+1, in host.links()
         // order. Jitter phases depend on the id, so this order is part of
@@ -149,35 +194,90 @@ impl Hot {
             let mut gather_off = vec![0u32];
             let mut checks = Vec::new();
             let mut check_off = vec![0u32];
+            let mut dyn_gather = Vec::new();
+            let mut dyn_gather_off = vec![0u32];
+            let mut dyn_checks = Vec::new();
+            let mut dyn_check_off = vec![0u32];
             let mut own_dependents_v: Vec<Vec<u32>> = vec![Vec::new(); cells.len()];
             let mut dep_dependents_v: Vec<Vec<u32>> = vec![Vec::new(); dep_cells.len()];
-            for (i, &c) in cells.iter().enumerate() {
-                for d in topo.deps(c).iter() {
-                    match d {
-                        Dep::Boundary { side, offset } => {
-                            gather.push(DepSrc::Boundary { side, offset })
-                        }
-                        Dep::Cell(c2) => {
-                            if let Some(&j) = own_pos.get(&c2) {
-                                gather.push(DepSrc::Own(j));
-                                if c2 != c {
-                                    checks.push(j);
-                                    own_dependents_v[j as usize].push(i as u32);
+            // Lower one dependency list (of cell `c` = held index `i`) into
+            // the given gather/check tables, wiring the union dependents.
+            let lower_deps = |i: usize,
+                              c: u32,
+                              d: Dep,
+                              gather: &mut Vec<DepSrc>,
+                              checks: &mut Vec<u32>,
+                              own_v: &mut Vec<Vec<u32>>,
+                              dep_v: &mut Vec<Vec<u32>>| {
+                match d {
+                    Dep::Boundary { side, offset } => {
+                        gather.push(DepSrc::Boundary { side, offset })
+                    }
+                    Dep::Cell(c2) => {
+                        if let Some(&j) = own_pos.get(&c2) {
+                            gather.push(DepSrc::Own(j));
+                            if c2 != c {
+                                checks.push(j);
+                                if !own_v[j as usize].contains(&(i as u32)) {
+                                    own_v[j as usize].push(i as u32);
                                 }
-                            } else if let Some(&k) = dep_pos.get(&c2) {
-                                gather.push(DepSrc::Sub(k));
-                                checks.push(k | SUB_BIT);
-                                dep_dependents_v[k as usize].push(i as u32);
-                            } else {
-                                unreachable!(
-                                    "cell {c2} needed by {c} on proc {p} neither held nor subscribed"
-                                );
                             }
+                        } else if let Some(&k) = dep_pos.get(&c2) {
+                            gather.push(DepSrc::Sub(k));
+                            checks.push(k | SUB_BIT);
+                            if !dep_v[k as usize].contains(&(i as u32)) {
+                                dep_v[k as usize].push(i as u32);
+                            }
+                        } else {
+                            unreachable!(
+                                "cell {c2} needed by {c} on proc {p} neither held nor subscribed"
+                            );
                         }
                     }
                 }
-                gather_off.push(gather.len() as u32);
-                check_off.push(checks.len() as u32);
+            };
+            for (i, &c) in cells.iter().enumerate() {
+                if is_static {
+                    // One list per cell, valid at every step. For a uniform
+                    // task graph layer 1 is that list, so uniform graphs
+                    // lower through tables byte-identical to a grid guest's.
+                    guest.visit_deps(c, 1, |d| {
+                        lower_deps(
+                            i,
+                            c,
+                            d,
+                            &mut gather,
+                            &mut checks,
+                            &mut own_dependents_v,
+                            &mut dep_dependents_v,
+                        )
+                    });
+                    gather_off.push(gather.len() as u32);
+                    check_off.push(checks.len() as u32);
+                } else {
+                    // Non-uniform task graph: one list per (cell, step).
+                    for s in 1..=steps {
+                        guest.visit_deps(c, s, |d| {
+                            lower_deps(
+                                i,
+                                c,
+                                d,
+                                &mut dyn_gather,
+                                &mut dyn_checks,
+                                &mut own_dependents_v,
+                                &mut dep_dependents_v,
+                            )
+                        });
+                        dyn_gather_off.push(dyn_gather.len() as u32);
+                        dyn_check_off.push(dyn_checks.len() as u32);
+                    }
+                    gather_off.push(0);
+                    check_off.push(0);
+                }
+            }
+            if is_static {
+                dyn_gather_off.clear();
+                dyn_check_off.clear();
             }
             let flatten = |vs: Vec<Vec<u32>>| {
                 let mut flat = Vec::new();
@@ -202,6 +302,11 @@ impl Hot {
                 own_dep_off,
                 dep_dependents,
                 dep_dep_off,
+                steps,
+                dyn_gather,
+                dyn_gather_off,
+                dyn_checks,
+                dyn_check_off,
             });
         }
 
@@ -328,7 +433,7 @@ impl Routes {
 /// use overlap_model::{GuestSpec, ProgramKind};
 /// use overlap_net::{topology, DelayModel};
 ///
-/// let guest = GuestSpec::line(8, ProgramKind::StencilSum, 1, 6);
+/// let guest = GuestSpec::array(8, ProgramKind::StencilSum, 1, 6);
 /// let host = topology::linear_array(4, DelayModel::uniform(1, 6), 2);
 /// let assign = Assignment::blocked(4, 8);
 /// let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
@@ -379,10 +484,22 @@ impl<'a> ExecPlan<'a> {
         if !uncovered.is_empty() {
             return Err(RunError::IncompleteAssignment(uncovered));
         }
+        assert_eq!(
+            matches!(guest.topology, overlap_model::GuestTopology::Dag { .. }),
+            guest.graph.is_some(),
+            "Dag topology and GuestSpec::graph must come together (use GuestSpec::dag)"
+        );
+        // Subscriptions cover the union of dependency cells over all steps
+        // (for static guests that union IS the per-step neighbour set, so
+        // the lowering is unchanged).
         let routes = if config.multicast {
-            Routes::Multicast(MulticastTable::build(host, &guest.topology, assign))
+            Routes::Multicast(MulticastTable::build_with(host, assign, |c| {
+                guest.dep_union(c)
+            }))
         } else {
-            Routes::Unicast(RoutingTable::build(host, &guest.topology, assign))
+            Routes::Unicast(RoutingTable::build_with(host, assign, |c| {
+                guest.dep_union(c)
+            }))
         };
         let hot = Hot::build(guest, host, assign, &routes);
         Ok(Self {
@@ -485,7 +602,7 @@ mod tests {
 
     fn lab() -> (GuestSpec, HostGraph, Assignment) {
         (
-            GuestSpec::line(12, ProgramKind::KvWorkload, 3, 8),
+            GuestSpec::array(12, ProgramKind::KvWorkload, 3, 8),
             linear_array(4, DelayModel::uniform(1, 7), 5),
             Assignment::blocked(4, 12),
         )

@@ -59,6 +59,19 @@ impl RoutingTable {
     /// assignment) or the host is disconnected between consumer and every
     /// holder.
     pub fn build(host: &HostGraph, topo: &GuestTopology, assign: &Assignment) -> Self {
+        Self::build_with(host, assign, |c| topo.neighbours(c))
+    }
+
+    /// Build the routing table from an arbitrary per-cell dependency
+    /// closure: `dep_cells_of(c)` lists the distinct cells whose pebbles
+    /// `c` ever reads (excluding `c`). This is what task-graph guests use
+    /// (their dependency sets vary per layer; routing subscribes to the
+    /// union); [`RoutingTable::build`] is the static-topology wrapper.
+    pub fn build_with(
+        host: &HostGraph,
+        assign: &Assignment,
+        dep_cells_of: impl Fn(u32) -> Vec<u32>,
+    ) -> Self {
         let n = host.num_nodes();
         assert_eq!(n, assign.num_procs(), "host/assignment size mismatch");
         let mut subs: Vec<Subscription> = Vec::new();
@@ -74,7 +87,7 @@ impl RoutingTable {
             let own_set: BTreeSet<u32> = own.iter().copied().collect();
             let mut dep_cells: BTreeSet<u32> = BTreeSet::new();
             for &c in own {
-                for nb in topo.neighbours(c) {
+                for nb in dep_cells_of(c) {
                     if !own_set.contains(&nb) {
                         dep_cells.insert(nb);
                     }

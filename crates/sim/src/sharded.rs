@@ -321,6 +321,11 @@ struct ShardState {
     /// reached it.
     err: Option<(u32, RunError)>,
     deps_buf: Vec<PebbleValue>,
+    /// Memory-budget LRU per owned processor (empty-slot `None` for
+    /// unbounded runs). Touched only from this shard's events, in the
+    /// same per-processor order as the sequential engine, so the charged
+    /// reload penalties are bit-identical.
+    mems: Vec<Option<crate::engine::MemLru>>,
 }
 
 /// Immutable per-run context shared by every worker.
@@ -337,6 +342,8 @@ struct Env<'p, 'a> {
     n_seeds: u64,
     shard_of: Vec<u32>,
     local_of: Vec<u32>,
+    has_task_costs: bool,
+    has_relays: bool,
 }
 
 impl Env<'_, '_> {
@@ -347,6 +354,23 @@ impl Env<'_, '_> {
             .map(|c| c[p] as u64)
             .unwrap_or(1)
     }
+}
+
+/// Duration of the compute that processor `p` (local index `lp`) is about
+/// to start on its held cell `jx` — the sharded mirror of the sequential
+/// engine's `compute_dur!`: per-processor cost × per-task weight, plus
+/// any memory-budget reload penalty (charged exactly once, at start).
+fn compute_dur(env: &Env<'_, '_>, sh: &mut ShardState, p: usize, lp: usize, jx: u32) -> u64 {
+    let mut d = env.cost_of(p);
+    if env.has_task_costs {
+        let pt = &env.plan.hot.procs[p];
+        let s = sh.state[lp].next_step[jx as usize];
+        d *= env.plan.guest.task_cost(pt.cells[jx as usize], s) as u64;
+    }
+    if let Some(m) = sh.mems[lp].as_mut() {
+        d += m.touch(jx as usize);
+    }
+    d
 }
 
 /// Push a child event of log entry `parent` at `tick`, owned by
@@ -621,7 +645,7 @@ fn process_event(
             {
                 let st = &sh.state[lp];
                 let sm1 = s as usize - 1;
-                for &src in &pt.gather[pt.gather_off[i] as usize..pt.gather_off[i + 1] as usize] {
+                for &src in pt.gather_at(i, s) {
                     deps.push(match src {
                         DepSrc::Boundary { side, offset } => env.boundary.value(side, offset, s),
                         DepSrc::Own(o) => st.history[o as usize * stride + sm1],
@@ -632,7 +656,11 @@ fn process_event(
                     });
                 }
             }
-            let (v, u) = env.program.compute(cell, s, &sh.state[lp].dbs[i], &deps);
+            let (v, u) = if env.has_relays && plan.guest.is_relay(cell, s) {
+                (deps[0], overlap_model::DbUpdate::None)
+            } else {
+                env.program.compute(cell, s, &sh.state[lp].dbs[i], &deps)
+            };
             sh.deps_buf = deps;
             {
                 let st = &mut sh.state[lp];
@@ -731,12 +759,13 @@ fn process_event(
                 }
             }
             if let Some(jx) = started {
+                let d = compute_dur(env, sh, p, lp, jx);
                 push_child(
                     env,
                     sh,
                     entry,
                     &mut j,
-                    tick + env.cost_of(p),
+                    tick + d,
                     proc,
                     Ev::ComputeDone { proc, own_idx: jx },
                 );
@@ -803,12 +832,13 @@ fn process_event(
                     }
                 }
                 if let Some(jx) = started {
+                    let d = compute_dur(env, sh, p, lp, jx);
                     push_child(
                         env,
                         sh,
                         entry,
                         &mut j,
-                        tick + env.cost_of(p),
+                        tick + d,
                         p as NodeId,
                         Ev::ComputeDone {
                             proc: p as NodeId,
@@ -865,12 +895,13 @@ fn process_event(
                         }
                     }
                     if let Some(jx) = started {
+                        let d = compute_dur(env, sh, p, lp, jx);
                         push_child(
                             env,
                             sh,
                             entry,
                             &mut j,
-                            tick + env.cost_of(p),
+                            tick + d,
                             p as NodeId,
                             Ev::ComputeDone {
                                 proc: p as NodeId,
@@ -1441,7 +1472,19 @@ pub fn run_sharded_with(
                 log: WinLog::new(),
                 outbox: (0..nshards).map(|_| Vec::new()).collect(),
                 err: None,
-                deps_buf: Vec::with_capacity(plan.guest.topology.max_deps()),
+                deps_buf: Vec::with_capacity(plan.guest.max_deps()),
+                mems: procs
+                    .iter()
+                    .map(|&p| {
+                        plan.config.mem.map(|m| {
+                            crate::engine::MemLru::new(
+                                hot.procs[p as usize].cells.len(),
+                                m.budget,
+                                m.reload_cost,
+                            )
+                        })
+                    })
+                    .collect(),
             })
         })
         .collect();
@@ -1470,27 +1513,44 @@ pub fn run_sharded_with(
             .map(|c| c[p] as u64)
             .unwrap_or(1)
     };
+    let has_task_costs = plan.guest.has_nonunit_task_costs();
     for p in 0..n {
         let pt = &hot.procs[p];
         let sh = &mut shards[shard_of[p] as usize];
-        let st = &mut sh.state[local_of[p] as usize];
-        for i in 0..pt.cells.len() {
-            try_enqueue(
-                pt,
-                st,
-                i,
-                steps,
-                p as NodeId,
-                0,
-                ReadyCause::Local,
-                &mut NoopTracer,
-            );
-        }
-        if let Some(Reverse((_s, i))) = st.ready.pop() {
-            st.busy = true;
+        let lp = local_of[p] as usize;
+        let popped = {
+            let st = &mut sh.state[lp];
+            for i in 0..pt.cells.len() {
+                try_enqueue(
+                    pt,
+                    st,
+                    i,
+                    steps,
+                    p as NodeId,
+                    0,
+                    ReadyCause::Local,
+                    &mut NoopTracer,
+                );
+            }
+            if let Some(Reverse((_s, i))) = st.ready.pop() {
+                st.busy = true;
+                Some(i)
+            } else {
+                None
+            }
+        };
+        if let Some(i) = popped {
+            let mut d = cost0(p);
+            if has_task_costs {
+                let s = sh.state[lp].next_step[i as usize];
+                d *= plan.guest.task_cost(pt.cells[i as usize], s) as u64;
+            }
+            if let Some(m) = sh.mems[lp].as_mut() {
+                d += m.touch(i as usize);
+            }
             sh.resolved.push(Reverse(RItem {
                 key: EvKey {
-                    tick: cost0(p),
+                    tick: d,
                     prio: seed_ctr,
                     j: 0,
                 },
@@ -1525,6 +1585,8 @@ pub fn run_sharded_with(
         n_seeds: seed_ctr,
         shard_of,
         local_of,
+        has_task_costs,
+        has_relays: plan.guest.graph.is_some(),
     };
 
     let mut ro: Arc<SharedRo> = Arc::new(SharedRo {
@@ -1805,6 +1867,7 @@ pub fn run_sharded_with(
         let mut messages = g_messages;
         let mut pebble_hops = g_pebble_hops;
         let mut link_traffic: Vec<u64> = vec![0; hot.link_delay.len()];
+        let mut mem_stats = crate::stats::MemStats::default();
         for slot in &slots {
             let sh = slot.as_ref().unwrap();
             makespan = makespan.max(sh.makespan);
@@ -1814,6 +1877,11 @@ pub fn run_sharded_with(
             fstats.fault_stall_ticks += sh.stall_ticks;
             for (l, &t) in sh.link_traffic.iter().enumerate() {
                 link_traffic[l] += t;
+            }
+            for l in sh.mems.iter().flatten() {
+                mem_stats.evictions += l.evictions;
+                mem_stats.reloads += l.reloads;
+                mem_stats.reload_ticks += l.reload_ticks;
             }
         }
 
@@ -1849,6 +1917,7 @@ pub fn run_sharded_with(
             peak_queue_depth: peak as u64,
             faults: fstats,
             stalls: None,
+            mem: mem_stats,
         };
         Ok(RunOutcome {
             stats,
@@ -1871,7 +1940,7 @@ mod tests {
     use overlap_net::{DelayModel, HostGraph};
 
     fn golden_scenario() -> (GuestSpec, HostGraph, Assignment, EngineConfig) {
-        let guest = GuestSpec::line(9, ProgramKind::KvWorkload, 5, 12);
+        let guest = GuestSpec::array(9, ProgramKind::KvWorkload, 5, 12);
         let mut host = HostGraph::new("sharded-golden", 4);
         host.add_link(0, 1, 3);
         host.add_link(1, 2, 5);
@@ -1947,7 +2016,7 @@ mod tests {
 
     #[test]
     fn matches_sequential_on_larger_line() {
-        let guest = GuestSpec::line(24, ProgramKind::Relaxation, 3, 20);
+        let guest = GuestSpec::array(24, ProgramKind::Relaxation, 3, 20);
         let host = linear_array(6, DelayModel::uniform(1, 7), 5);
         let assign = Assignment::blocked(6, 24);
         let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
@@ -1956,7 +2025,7 @@ mod tests {
 
     #[test]
     fn partition_is_balanced_and_deterministic() {
-        let guest = GuestSpec::line(16, ProgramKind::StencilSum, 1, 4);
+        let guest = GuestSpec::array(16, ProgramKind::StencilSum, 1, 4);
         let host = linear_array(8, DelayModel::uniform(1, 9), 3);
         let assign = Assignment::blocked(8, 16);
         let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();

@@ -64,6 +64,24 @@ pub struct RunStats {
     /// `None` otherwise, so untraced stats compare equal across engines.
     #[serde(default)]
     pub stalls: Option<StallBreakdown>,
+    /// Memory-budget eviction/reload accounting (all zero when the run had
+    /// no [`MemBudget`](crate::engine::MemBudget), so equality with
+    /// unbounded-memory engines is unaffected).
+    #[serde(default)]
+    pub mem: MemStats,
+}
+
+/// Counters for the red-blue pebbling memory budget: how often database
+/// copies were evicted from a processor's fast memory and how many extra
+/// ticks reloads cost. All zero for unbounded runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Database copies evicted from fast memory.
+    pub evictions: u64,
+    /// Copies reloaded into fast memory after an eviction.
+    pub reloads: u64,
+    /// Extra compute ticks charged for reloads (summed over processors).
+    pub reload_ticks: u64,
 }
 
 /// Counters describing how much fault recovery a run performed. All zero
@@ -130,6 +148,7 @@ mod tests {
             peak_queue_depth: 12,
             faults: FaultStats::default(),
             stalls: None,
+            mem: MemStats::default(),
         }
     }
 

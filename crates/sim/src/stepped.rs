@@ -72,6 +72,8 @@ struct Proc {
     pending: Option<(u32, u64)>,
     /// Pebbles computed this tick: (own idx, step, value).
     outbox: Vec<(u32, u32, PebbleValue)>,
+    /// Memory-budget LRU over held copies (`None` for unbounded runs).
+    mem: Option<crate::engine::MemLru>,
 }
 
 impl Proc {
@@ -81,7 +83,7 @@ impl Proc {
         if s > steps {
             return false;
         }
-        for &enc in &pt.checks[pt.check_off[i] as usize..pt.check_off[i + 1] as usize] {
+        for &enc in pt.checks_at(i, s) {
             if enc & SUB_BIT != 0 {
                 if self.dep_watermark[(enc & !SUB_BIT) as usize] < s - 1 {
                     return false;
@@ -105,11 +107,18 @@ impl Proc {
 /// outcome shape as [`crate::engine::Engine`].
 pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
     let config = plan.config();
-    assert!(
-        !config.multicast && config.jitter == Jitter::None,
-        "the stepped engine implements the default configuration \
-         (unicast, fixed delays); use the event engine for multicast/jitter"
-    );
+    if config.multicast {
+        return Err(RunError::UnsupportedFeature {
+            engine: "stepped",
+            feature: "multicast routing",
+        });
+    }
+    if config.jitter != Jitter::None {
+        return Err(RunError::UnsupportedFeature {
+            engine: "stepped",
+            feature: "delay jitter",
+        });
+    }
     let guest = plan.guest();
     let host = plan.host();
     let assign = plan.assignment();
@@ -123,6 +132,8 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
     let bw = config.bandwidth.per_tick(n) as u64;
     let costs = plan.compute_costs();
     let cost_of = |p: usize| -> u64 { costs.map(|c| c[p] as u64).unwrap_or(1) };
+    let has_task_costs = guest.has_nonunit_task_costs();
+    let has_relays = guest.graph.is_some();
 
     // ---- processor states, straight off the plan's tables ----
     let kind = program.db_kind();
@@ -160,6 +171,9 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
                 queued: vec![false; nc],
                 pending: None,
                 outbox: Vec::new(),
+                mem: config
+                    .mem
+                    .map(|m| crate::engine::MemLru::new(nc, m.budget, m.reload_cost)),
             }
         })
         .collect();
@@ -468,7 +482,14 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
                         let Some(Reverse((_s, i))) = proc_.ready.pop() else {
                             return 0;
                         };
-                        let c = cost_of(pid);
+                        let mut c = cost_of(pid);
+                        if has_task_costs {
+                            let s = proc_.next_step[i as usize];
+                            c *= guest.task_cost(pt.cells[i as usize], s) as u64;
+                        }
+                        if let Some(m) = proc_.mem.as_mut() {
+                            c += m.touch(i as usize);
+                        }
                         if c > 1 {
                             proc_.pending = Some((i, tick + c - 1));
                             return 0;
@@ -479,16 +500,20 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
                 let cell = pt.cells[i];
                 let s = proc_.next_step[i];
                 let sm1 = s as usize - 1;
-                let mut deps_buf =
-                    Vec::with_capacity((pt.gather_off[i + 1] - pt.gather_off[i]) as usize);
-                for &src in &pt.gather[pt.gather_off[i] as usize..pt.gather_off[i + 1] as usize] {
+                let gather = pt.gather_at(i, s);
+                let mut deps_buf = Vec::with_capacity(gather.len());
+                for &src in gather {
                     deps_buf.push(match src {
                         DepSrc::Boundary { side, offset } => boundary.value(side, offset, s),
                         DepSrc::Own(j) => proc_.history[j as usize * stride + sm1],
                         DepSrc::Sub(k) => proc_.dep_values[k as usize * stride + sm1],
                     });
                 }
-                let (v, u) = program.compute(cell, s, &proc_.dbs[i], &deps_buf);
+                let (v, u) = if has_relays && guest.is_relay(cell, s) {
+                    (deps_buf[0], overlap_model::DbUpdate::None)
+                } else {
+                    program.compute(cell, s, &proc_.dbs[i], &deps_buf)
+                };
                 proc_.dbs[i].apply(&u);
                 proc_.history[i * stride + s as usize] = v;
                 proc_.value_fold[i] = fold64(proc_.value_fold[i], v);
@@ -618,6 +643,17 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
         peak_queue_depth: 0,
         faults: fstats,
         stalls: None,
+        mem: {
+            let mut m = crate::stats::MemStats::default();
+            for p in &procs {
+                if let Some(l) = &p.mem {
+                    m.evictions += l.evictions;
+                    m.reloads += l.reloads;
+                    m.reload_ticks += l.reload_ticks;
+                }
+            }
+            m
+        },
     };
     Ok(RunOutcome {
         stats,
@@ -670,14 +706,14 @@ mod tests {
 
     #[test]
     fn engines_agree_on_blocked_line() {
-        let guest = GuestSpec::line(16, ProgramKind::KvWorkload, 7, 12);
+        let guest = GuestSpec::array(16, ProgramKind::KvWorkload, 7, 12);
         let host = linear_array(4, DelayModel::uniform(1, 9), 3);
         differential(&guest, &host, &Assignment::blocked(4, 16));
     }
 
     #[test]
     fn engines_agree_on_redundant_assignments() {
-        let guest = GuestSpec::line(12, ProgramKind::RuleAutomaton { db_size: 8 }, 5, 10);
+        let guest = GuestSpec::array(12, ProgramKind::RuleAutomaton { db_size: 8 }, 5, 10);
         let host = linear_array(3, DelayModel::constant(12), 0);
         let assign = Assignment::from_cells_of(
             3,
@@ -715,7 +751,7 @@ mod tests {
 
     #[test]
     fn engines_agree_under_compute_costs() {
-        let guest = GuestSpec::line(12, ProgramKind::KvWorkload, 3, 10);
+        let guest = GuestSpec::array(12, ProgramKind::KvWorkload, 3, 10);
         let host = linear_array(4, DelayModel::uniform(1, 8), 2);
         let assign = Assignment::blocked(4, 12);
         let costs = vec![1u32, 3, 2, 1];
@@ -742,7 +778,7 @@ mod tests {
 
     #[test]
     fn stepped_retries_through_link_outage() {
-        let guest = GuestSpec::line(8, ProgramKind::StencilSum, 1, 8);
+        let guest = GuestSpec::array(8, ProgramKind::StencilSum, 1, 8);
         let host = linear_array(4, DelayModel::constant(3), 0);
         let assign = Assignment::blocked(4, 8);
         let faults = FaultPlan::new().link_down(1, 2, 5, 30);
@@ -763,7 +799,7 @@ mod tests {
     fn stepped_survives_crash_with_redundancy() {
         // Middle columns held twice: crashing one holder reroutes its
         // consumers to the surviving copy.
-        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 11, 12);
+        let guest = GuestSpec::array(8, ProgramKind::KvWorkload, 11, 12);
         let host = linear_array(3, DelayModel::constant(4), 0);
         let assign = Assignment::from_cells_of(
             3,
@@ -785,7 +821,7 @@ mod tests {
 
     #[test]
     fn stepped_reports_column_lost_without_redundancy() {
-        let guest = GuestSpec::line(8, ProgramKind::StencilSum, 0, 10);
+        let guest = GuestSpec::array(8, ProgramKind::StencilSum, 0, 10);
         let host = linear_array(4, DelayModel::constant(2), 0);
         let assign = Assignment::blocked(4, 8);
         let faults = FaultPlan::new().crash(2, 6);
@@ -799,7 +835,7 @@ mod tests {
 
     #[test]
     fn incomplete_assignment_fails_at_plan_build() {
-        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 2);
+        let guest = GuestSpec::array(4, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::from_cells_of(2, 4, vec![vec![0, 1], vec![3]]);
         let err = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap_err();
@@ -807,9 +843,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stepped engine implements the default")]
     fn stepped_engine_rejects_multicast_config() {
-        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 2);
+        let guest = GuestSpec::array(4, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let cfg = EngineConfig {
             multicast: true,
@@ -817,12 +852,22 @@ mod tests {
         };
         let assign = Assignment::blocked(2, 4);
         let plan = ExecPlan::build(&guest, &host, &assign, cfg).unwrap();
-        let _ = run_stepped(&plan);
+        let err = run_stepped(&plan).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RunError::UnsupportedFeature {
+                    engine: "stepped",
+                    feature: "multicast routing",
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn stepped_engine_zero_steps() {
-        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 0);
+        let guest = GuestSpec::array(4, ProgramKind::StencilSum, 0, 0);
         let host = linear_array(2, DelayModel::constant(5), 0);
         let assign = Assignment::blocked(2, 4);
         let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();

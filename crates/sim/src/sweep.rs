@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn parallel_sweep_matches_sequential_runs() {
-        let guest = GuestSpec::line(8, ProgramKind::Relaxation, 1, 6);
+        let guest = GuestSpec::array(8, ProgramKind::Relaxation, 1, 6);
         let trace = ReferenceRun::execute(&guest);
         let delays = [1u64, 4, 16];
         let results = par_map(&delays, |&d| {
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn shared_plan_sweep_matches_fresh_lowering() {
-        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 3, 6);
+        let guest = GuestSpec::array(8, ProgramKind::KvWorkload, 3, 6);
         let trace = ReferenceRun::execute(&guest);
         let host = linear_array(4, DelayModel::uniform(1, 7), 1);
         let assign = Assignment::blocked(4, 8);

@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn valid_run_has_no_errors() {
-        let guest = GuestSpec::line(10, ProgramKind::KvWorkload, 4, 8);
+        let guest = GuestSpec::array(10, ProgramKind::KvWorkload, 4, 8);
         let host = linear_array(3, DelayModel::uniform(1, 4), 2);
         let assign = Assignment::blocked(3, 10);
         let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn causality_audit_passes_for_real_runs_and_catches_corruption() {
-        let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 4, 10);
+        let guest = GuestSpec::array(8, ProgramKind::KvWorkload, 4, 10);
         let host = linear_array(3, DelayModel::uniform(1, 8), 2);
         let assign = Assignment::blocked(3, 8);
         let cfg = crate::engine::EngineConfig {
@@ -166,7 +166,7 @@ mod tests {
 
     #[test]
     fn causality_audit_requires_timing() {
-        let guest = GuestSpec::line(4, ProgramKind::StencilSum, 0, 2);
+        let guest = GuestSpec::array(4, ProgramKind::StencilSum, 0, 2);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(2, 4);
         let out = crate::engine::Engine::new(&guest, &host, &assign, Default::default())
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn corrupted_copy_is_detected() {
-        let guest = GuestSpec::line(6, ProgramKind::Relaxation, 4, 5);
+        let guest = GuestSpec::array(6, ProgramKind::Relaxation, 4, 5);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(2, 6);
         let mut out = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -196,7 +196,7 @@ mod tests {
 
     #[test]
     fn wrong_seed_reference_rejects_everything() {
-        let guest = GuestSpec::line(6, ProgramKind::KvWorkload, 4, 5);
+        let guest = GuestSpec::array(6, ProgramKind::KvWorkload, 4, 5);
         let host = linear_array(2, DelayModel::constant(1), 0);
         let assign = Assignment::blocked(2, 6);
         let out = Engine::new(&guest, &host, &assign, EngineConfig::default())

@@ -77,7 +77,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let cells = procs * cells_per;
-        let guest = GuestSpec::line(cells, ProgramKind::RuleAutomaton { db_size: 8 }, seed, steps);
+        let guest = GuestSpec::array(cells, ProgramKind::RuleAutomaton { db_size: 8 }, seed, steps);
         let host = linear_array(procs, DelayModel::uniform(1, d), seed);
         let assign = Assignment::blocked(procs, cells);
         let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
@@ -97,7 +97,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let cells = procs * cells_per;
-        let guest = GuestSpec::line(cells, ProgramKind::KvWorkload, seed, steps);
+        let guest = GuestSpec::array(cells, ProgramKind::KvWorkload, seed, steps);
         let host = linear_array(procs, DelayModel::uniform(1, d), seed);
         let assign = Assignment::blocked(procs, cells);
         let cfg = EngineConfig::default();
@@ -126,7 +126,7 @@ proptest! {
         extra_copies in 0u32..6,
     ) {
         let cells = procs * cells_per;
-        let guest = GuestSpec::line(cells, ProgramKind::Relaxation, seed, steps);
+        let guest = GuestSpec::array(cells, ProgramKind::Relaxation, seed, steps);
         let host = linear_array(procs, DelayModel::uniform(1, d), seed);
         // blocked + a few deterministic extra copies for fan-out
         let base = Assignment::blocked(procs, cells);
@@ -167,7 +167,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let cells = procs * cells_per;
-        let guest = GuestSpec::line(cells, ProgramKind::KvWorkload, seed, steps);
+        let guest = GuestSpec::array(cells, ProgramKind::KvWorkload, seed, steps);
         let host = linear_array(procs, DelayModel::uniform(1, d), seed);
         let assign = Assignment::blocked(procs, cells);
         let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).expect("plan");
@@ -188,7 +188,7 @@ proptest! {
         let assign = Assignment::blocked(procs, procs * 2);
         let mut last = 0;
         for steps in [2u32, 4, 8] {
-            let guest = GuestSpec::line(procs * 2, ProgramKind::Relaxation, seed, steps);
+            let guest = GuestSpec::array(procs * 2, ProgramKind::Relaxation, seed, steps);
             let out = Engine::new(&guest, &host, &assign, EngineConfig::default())
                 .run()
                 .unwrap();

@@ -16,12 +16,12 @@
 //! Run with: `cargo run --release --example fault_tolerance`
 
 use overlap::{
-    topology, DelayModel, Error, FaultPlan, GuestSpec, LineStrategy, ProgramKind, Simulation,
+    topology, DelayModel, Error, FaultPlan, GuestSpec, ProgramKind, Simulation, Strategy,
 };
 
 fn main() {
     let host = topology::linear_array(12, DelayModel::uniform(1, 8), 11);
-    let guest = GuestSpec::line(48, ProgramKind::KvWorkload, 5, 48);
+    let guest = GuestSpec::array(48, ProgramKind::KvWorkload, 5, 48);
     println!(
         "host: {} ({} nodes)   guest: {} cells × {} steps\n",
         host.name(),
@@ -33,7 +33,7 @@ fn main() {
     // Every processor holds its own block of 4 databases plus its
     // neighbours' — two copies of everything, so any single crash and any
     // single link are survivable.
-    let redundant = LineStrategy::Halo { halo: 4 };
+    let redundant = Strategy::Halo { halo: 4 };
 
     // A clean run for reference.
     let clean = Simulation::of(&guest)
@@ -76,7 +76,7 @@ fn main() {
     // crash makes its columns unrecoverable and the engine reports it.
     let single = Simulation::of(&guest)
         .on(&host)
-        .strategy(LineStrategy::Blocked)
+        .strategy(Strategy::Blocked)
         .faults(plan)
         .build()
         .and_then(|sim| sim.run());

@@ -18,7 +18,7 @@ use overlap::sim::Assignment;
 fn main() {
     let n = 30u32;
     let cells = 4 * n;
-    let guest = GuestSpec::line(cells, ProgramKind::Histogram { buckets: 16 }, 9, 48);
+    let guest = GuestSpec::array(cells, ProgramKind::Histogram { buckets: 16 }, 9, 48);
     let trace = ReferenceRun::execute(&guest);
     let host = topology::linear_array(n, DelayModel::uniform(1, 4), 3);
     let costs: Vec<u32> = (0..n).map(|p| if p % 6 == 5 { 8 } else { 1 }).collect();

@@ -13,7 +13,7 @@ use overlap::core::lower::{
     fact4_min_ratio, one_copy_certificate, one_copy_layout, zigzag_path, OneCopyLayout,
 };
 use overlap::topology::{h1_lower_bound, h2_recursive_boxes};
-use overlap::{GuestSpec, LineStrategy, ProgramKind, Simulation};
+use overlap::{GuestSpec, ProgramKind, Simulation, Strategy};
 
 fn main() {
     let n = 1024u32;
@@ -33,10 +33,10 @@ fn main() {
         );
     }
 
-    let guest = GuestSpec::line(n, ProgramKind::Relaxation, 3, 24);
+    let guest = GuestSpec::array(n, ProgramKind::Relaxation, 3, 24);
     let halo = Simulation::of(&guest)
         .on(&host)
-        .strategy(LineStrategy::Halo { halo: 6 })
+        .strategy(Strategy::Halo { halo: 6 })
         .build()
         .and_then(|sim| sim.run())
         .expect("halo run");

@@ -12,8 +12,8 @@
 
 use overlap::core::pipeline::host_as_array;
 use overlap::{
-    topology, validate_run, Assignment, DelayModel, Engine, EngineConfig, GuestSpec, LineStrategy,
-    ProgramKind, ReferenceRun, Simulation,
+    topology, validate_run, Assignment, DelayModel, Engine, EngineConfig, GuestSpec, ProgramKind,
+    ReferenceRun, Simulation, Strategy,
 };
 
 fn main() {
@@ -33,10 +33,10 @@ fn main() {
     );
 
     // 80 database shards, 48 update rounds.
-    let guest = GuestSpec::line(80, ProgramKind::KvWorkload, 1234, 48);
+    let guest = GuestSpec::array(80, ProgramKind::KvWorkload, 1234, 48);
     let report = Simulation::of(&guest)
         .on(&host)
-        .strategy(LineStrategy::Overlap { c: 4.0 })
+        .strategy(Strategy::Overlap { c: 4.0 })
         .build()
         .and_then(|sim| sim.run())
         .expect("overlap simulation");

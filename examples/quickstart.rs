@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use overlap::net::metrics::DelayStats;
-use overlap::{topology, DelayModel, GuestSpec, LineStrategy, ProgramKind, Simulation};
+use overlap::{topology, DelayModel, GuestSpec, ProgramKind, Simulation, Strategy};
 
 fn main() {
     // A NOW: mostly delay-1 links, a few delay-200 wide-area hops.
@@ -44,10 +44,10 @@ fn main() {
         "strategy", "slowdown", "load", "redundancy", "validated"
     );
     for strategy in [
-        LineStrategy::Blocked,
-        LineStrategy::Slackness,
-        LineStrategy::Overlap { c: 4.0 },
-        LineStrategy::Combined {
+        Strategy::Blocked,
+        Strategy::Slackness,
+        Strategy::Overlap { c: 4.0 },
+        Strategy::Combined {
             c: 4.0,
             expansion: 2,
         },

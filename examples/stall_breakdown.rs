@@ -11,8 +11,7 @@
 //! Run with: `cargo run --release --example stall_breakdown`
 
 use overlap::{
-    topology, DelayModel, GuestSpec, LineStrategy, ProgramKind, Simulation, StallBreakdown,
-    TraceConfig,
+    topology, DelayModel, GuestSpec, ProgramKind, Simulation, StallBreakdown, Strategy, TraceConfig,
 };
 
 fn print_breakdown(label: &str, makespan: u64, copies: u64, b: &StallBreakdown) {
@@ -32,7 +31,7 @@ fn print_breakdown(label: &str, makespan: u64, copies: u64, b: &StallBreakdown) 
 
 fn main() {
     let host = topology::linear_array(8, DelayModel::uniform(1, 24), 7);
-    let guest = GuestSpec::line(32, ProgramKind::KvWorkload, 5, 40);
+    let guest = GuestSpec::array(32, ProgramKind::KvWorkload, 5, 40);
     println!(
         "host: {} ({} nodes)   guest: {} cells × {} steps\n",
         host.name(),
@@ -44,12 +43,12 @@ fn main() {
     for (label, strategy) in [
         (
             "combined",
-            LineStrategy::Combined {
+            Strategy::Combined {
                 c: 4.0,
                 expansion: 2,
             },
         ),
-        ("blocked", LineStrategy::Blocked),
+        ("blocked", Strategy::Blocked),
     ] {
         let report = Simulation::of(&guest)
             .on(&host)

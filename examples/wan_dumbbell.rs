@@ -10,11 +10,11 @@
 //! Run with: `cargo run --release --example wan_dumbbell`
 
 use overlap::core::pipeline::{host_as_array, plan_line_placement, resolve_auto};
-use overlap::{topology, GuestSpec, LineStrategy, ProgramKind, Simulation};
+use overlap::{topology, GuestSpec, ProgramKind, Simulation, Strategy};
 
 fn main() {
     let (site_a, site_b) = (10u32, 6u32);
-    let guest = GuestSpec::line(4 * (site_a + site_b), ProgramKind::KvWorkload, 5, 48);
+    let guest = GuestSpec::array(4 * (site_a + site_b), ProgramKind::KvWorkload, 5, 48);
     println!(
         "two sites ({site_a} + {site_b} workstations), guest {} shards × {} rounds\n",
         guest.num_cells(),
@@ -30,13 +30,13 @@ fn main() {
         let picked = resolve_auto(&delays).label();
         let blocked = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Blocked)
+            .strategy(Strategy::Blocked)
             .build()
             .and_then(|sim| sim.run())
             .expect("blocked run");
         let auto = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Auto)
+            .strategy(Strategy::Auto)
             .build()
             .and_then(|sim| sim.run())
             .expect("auto run");
@@ -48,7 +48,7 @@ fn main() {
             blocked.stats.slowdown / auto.stats.slowdown
         );
         // sanity: the planner is reachable for reporting too
-        let _ = plan_line_placement(&guest, &host, LineStrategy::Auto).unwrap();
+        let _ = plan_line_placement(&guest, &host, Strategy::Auto).unwrap();
     }
     println!(
         "\nthe WAN hop is paid once per halo-width of guest steps instead of every step — \

@@ -4,15 +4,18 @@
 //! overlap-cli [--host <topo>] [--delays <model>] [--guest <shape>]
 //!             [--steps N] [--strategy <s>] [--seed N] [--engine <e>]
 //!             [--faults <f>]...
-//! overlap-cli fuzz [--seed N] [--cases K]
+//! overlap-cli fuzz [--seed N] [--cases K] [--dag]
 //!
 //!   fuzz        differential fuzzing: sample K random scenarios (guest,
-//!               host, delays, assignment, costs, faults, multicast),
-//!               lower each once and run every legal engine plus the
-//!               parallel reference over the shared plan, auditing state
-//!               agreement and the invariant catalogue. Failures are
-//!               shrunk to a minimal repro printed as a paste-able
-//!               regression test; exits non-zero on any divergence.
+//!               host, delays, assignment, costs, faults, multicast,
+//!               memory budgets), lower each once and run every legal
+//!               engine plus the parallel reference over the shared plan,
+//!               auditing state agreement and the invariant catalogue.
+//!               Failures are shrunk to a minimal repro printed as a
+//!               paste-able regression test; exits non-zero on any
+//!               divergence. --dag forces every scenario onto a
+//!               task-graph guest (random layered DAGs, wavefronts,
+//!               fork-joins) with memory budgets twice as likely.
 //!
 //!   --host      line:N | ring:N | mesh:WxH | torus:WxH | hypercube:D |
 //!               tree:LEVELS | rreg:N:DEG | bfly:K | ccc:K |
@@ -52,8 +55,8 @@
 use overlap::core::mesh::simulate_mesh_on_host;
 use overlap::net::metrics::DelayStats;
 use overlap::{
-    topology, DelayModel, EngineKind, FaultPlan, GuestSpec, GuestTopology, HostGraph, LineStrategy,
-    ProgramKind, Simulation, TraceConfig,
+    topology, DelayModel, EngineKind, FaultPlan, GuestSpec, GuestTopology, HostGraph, ProgramKind,
+    Simulation, Strategy, TraceConfig,
 };
 use std::process::exit;
 
@@ -156,13 +159,13 @@ fn parse_guest(spec: &str, seed: u64, steps: u32) -> GuestSpec {
     };
     let pk = ProgramKind::KvWorkload;
     if spec.starts_with("line") {
-        GuestSpec::line(get(0), pk, seed, steps)
+        GuestSpec::array(get(0), pk, seed, steps)
     } else if spec.starts_with("ring") {
         GuestSpec::ring(get(0), pk, seed, steps)
     } else if spec.starts_with("mesh3") {
         GuestSpec::mesh3(get(0), get(1), get(2), pk, seed, steps)
     } else if spec.starts_with("btree") {
-        GuestSpec::binary_tree(get(0), pk, seed, steps)
+        GuestSpec::tree(get(0), pk, seed, steps)
     } else if spec.starts_with("mesh") {
         GuestSpec::mesh(get(0), get(1), pk, seed, steps)
     } else if spec.starts_with("torus") {
@@ -172,29 +175,29 @@ fn parse_guest(spec: &str, seed: u64, steps: u32) -> GuestSpec {
     }
 }
 
-fn parse_strategy(spec: &str) -> LineStrategy {
+fn parse_strategy(spec: &str) -> Strategy {
     let v = parse_nums(spec);
     if spec.starts_with("auto") {
-        LineStrategy::Auto
+        Strategy::Auto
     } else if spec.starts_with("overlap") {
-        LineStrategy::Overlap {
+        Strategy::Overlap {
             c: v.first().map(|&c| c as f64).unwrap_or(4.0),
         }
     } else if spec.starts_with("halo") {
-        LineStrategy::Halo {
+        Strategy::Halo {
             halo: v.first().map(|&w| w as u32).unwrap_or(1),
         }
     } else if spec.starts_with("combined") {
-        LineStrategy::Combined {
+        Strategy::Combined {
             c: v.first().map(|&c| c as f64).unwrap_or(4.0),
             expansion: v.get(1).map(|&l| l as u32).unwrap_or(2),
         }
     } else if spec.starts_with("blocked") {
-        LineStrategy::Blocked
+        Strategy::Blocked
     } else if spec.starts_with("slackness") {
-        LineStrategy::Slackness
+        Strategy::Slackness
     } else if spec.starts_with("all-on-one") {
-        LineStrategy::AllOnOne
+        Strategy::AllOnOne
     } else {
         usage(&format!("unknown strategy '{spec}'"))
     }
@@ -241,7 +244,7 @@ fn parse_faults(args: &[String], host: &HostGraph, seed: u64, horizon: u64) -> O
 /// `overlap-cli fuzz --seed N --cases K` — stream the differential fuzzer
 /// with progress lines, printing a shrunk paste-able repro per divergence.
 fn fuzz_main(args: &[String]) -> ! {
-    use overlap::sim::fuzz::{check_spec, gen_spec, shrink, Divergence};
+    use overlap::sim::fuzz::{check_spec, gen_spec, gen_spec_dag, shrink, Divergence};
     let opt = |name: &str, default: &str| -> String {
         args.iter()
             .position(|a| a == name)
@@ -255,12 +258,19 @@ fn fuzz_main(args: &[String]) -> ! {
     let cases: u64 = opt("--cases", "1000")
         .parse()
         .unwrap_or_else(|_| usage("bad --cases"));
+    let dag = args.iter().any(|a| a == "--dag");
+    let profile = if dag { " [dag profile]" } else { "" };
     println!(
-        "fuzzing {cases} scenarios (seed {seed}) across event/sharded/stepped/lockstep/reference…"
+        "fuzzing {cases} scenarios (seed {seed}){profile} across \
+         event/sharded/stepped/lockstep/reference…"
     );
     let mut divergences = 0u64;
     for case in 0..cases {
-        let spec = gen_spec(seed, case);
+        let spec = if dag {
+            gen_spec_dag(seed, case)
+        } else {
+            gen_spec(seed, case)
+        };
         if check_spec(&spec).is_err() {
             divergences += 1;
             let (min, detail) = shrink(&spec);

@@ -30,16 +30,16 @@
 //! ## Quickstart
 //!
 //! ```
-//! use overlap::{topology, DelayModel, GuestSpec, LineStrategy, ProgramKind, Simulation};
+//! use overlap::{topology, DelayModel, GuestSpec, Strategy, ProgramKind, Simulation};
 //!
 //! // A 64-cell unit-delay guest line running a KV workload for 32 steps.
-//! let guest = GuestSpec::line(64, ProgramKind::KvWorkload, 42, 32);
+//! let guest = GuestSpec::array(64, ProgramKind::KvWorkload, 42, 32);
 //! // A 16-workstation host line with seeded random link delays.
 //! let host = topology::linear_array(16, DelayModel::uniform(1, 9), 7);
 //! // Run OVERLAP and validate against the unit-delay reference.
 //! let report = Simulation::of(&guest)
 //!     .on(&host)
-//!     .strategy(LineStrategy::Overlap { c: 4.0 })
+//!     .strategy(Strategy::Overlap { c: 4.0 })
 //!     .build()
 //!     .and_then(|sim| sim.run())
 //!     .expect("simulation must run");
@@ -52,7 +52,7 @@
 //! ```
 //! use overlap::{topology, DelayModel, FaultPlan, GuestSpec, ProgramKind, Simulation};
 //!
-//! let guest = GuestSpec::line(32, ProgramKind::StencilSum, 3, 24);
+//! let guest = GuestSpec::array(32, ProgramKind::StencilSum, 3, 24);
 //! let host = topology::linear_array(8, DelayModel::uniform(1, 6), 5);
 //! // Take a link down mid-run; in-flight transfers time out and retry
 //! // with exponential backoff, and the run still validates.
@@ -74,7 +74,9 @@ pub use overlap_model as model;
 pub use overlap_net as net;
 pub use overlap_sim as sim;
 
-pub use overlap_core::{EngineKind, Error, LineStrategy, SimReport, Simulation, SimulationBuilder};
+#[allow(deprecated)]
+pub use overlap_core::pipeline::LineStrategy;
+pub use overlap_core::{EngineKind, Error, SimReport, Simulation, SimulationBuilder, Strategy};
 pub use overlap_model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun, ReferenceTrace};
 pub use overlap_net::{topology, DelayModel, HostGraph};
 pub use overlap_sim::{

@@ -7,13 +7,13 @@ use overlap::net::{topology, DelayModel, HostGraph};
 use overlap::sim::engine::{Engine, EngineConfig, Jitter};
 use overlap::sim::sweep::par_map;
 use overlap::sim::Assignment;
-use overlap::{LineStrategy, Simulation};
+use overlap::{Simulation, Strategy};
 /// Run via the builder facade (the old free-function entry points are
 /// deprecated).
 fn simulate(
     guest: &overlap::GuestSpec,
     host: &overlap::HostGraph,
-    strategy: LineStrategy,
+    strategy: Strategy,
 ) -> Result<overlap::SimReport, overlap::Error> {
     Simulation::of(guest)
         .on(host)
@@ -24,10 +24,10 @@ fn simulate(
 
 #[test]
 fn pipeline_is_deterministic_across_runs() {
-    let guest = GuestSpec::line(28, ProgramKind::KvWorkload, 17, 14);
+    let guest = GuestSpec::array(28, ProgramKind::KvWorkload, 17, 14);
     let host = topology::mesh2d(4, 4, DelayModel::uniform(1, 15), 8);
-    let a = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
-    let b = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+    let a = simulate(&guest, &host, Strategy::Overlap { c: 4.0 }).unwrap();
+    let b = simulate(&guest, &host, Strategy::Overlap { c: 4.0 }).unwrap();
     assert_eq!(a.stats.makespan, b.stats.makespan);
     assert_eq!(a.stats.messages, b.stats.messages);
     assert_eq!(a.stats.pebble_hops, b.stats.pebble_hops);
@@ -35,13 +35,13 @@ fn pipeline_is_deterministic_across_runs() {
 
 #[test]
 fn parallel_sweep_equals_sequential() {
-    let guest = GuestSpec::line(16, ProgramKind::Relaxation, 3, 10);
+    let guest = GuestSpec::array(16, ProgramKind::Relaxation, 3, 10);
     let seeds: Vec<u64> = (0..8).collect();
     let sequential: Vec<u64> = seeds
         .iter()
         .map(|&s| {
             let host = topology::linear_array(8, DelayModel::uniform(1, 9), s);
-            simulate(&guest, &host, LineStrategy::Blocked)
+            simulate(&guest, &host, Strategy::Blocked)
                 .unwrap()
                 .stats
                 .makespan
@@ -49,7 +49,7 @@ fn parallel_sweep_equals_sequential() {
         .collect();
     let parallel: Vec<u64> = par_map(&seeds, |&s| {
         let host = topology::linear_array(8, DelayModel::uniform(1, 9), s);
-        simulate(&guest, &host, LineStrategy::Blocked)
+        simulate(&guest, &host, Strategy::Blocked)
             .unwrap()
             .stats
             .makespan
@@ -59,8 +59,8 @@ fn parallel_sweep_equals_sequential() {
 
 #[test]
 fn reference_trace_is_seed_stable() {
-    let a = ReferenceRun::execute(&GuestSpec::line(10, ProgramKind::KvWorkload, 42, 8));
-    let b = ReferenceRun::execute(&GuestSpec::line(10, ProgramKind::KvWorkload, 42, 8));
+    let a = ReferenceRun::execute(&GuestSpec::array(10, ProgramKind::KvWorkload, 42, 8));
+    let b = ReferenceRun::execute(&GuestSpec::array(10, ProgramKind::KvWorkload, 42, 8));
     assert_eq!(a.grid, b.grid);
     assert_eq!(a.final_db_digest, b.final_db_digest);
 }
@@ -73,7 +73,7 @@ fn reference_trace_is_seed_stable() {
 /// at least one of them.
 #[test]
 fn golden_engine_run_is_bit_stable() {
-    let guest = GuestSpec::line(9, ProgramKind::KvWorkload, 5, 12);
+    let guest = GuestSpec::array(9, ProgramKind::KvWorkload, 5, 12);
     let mut host = HostGraph::new("golden", 4);
     host.add_link(0, 1, 3);
     host.add_link(1, 2, 5);
@@ -142,7 +142,7 @@ fn golden_engine_run_is_bit_stable() {
 /// exactly.
 #[test]
 fn traced_golden_run_matches_classic_oracle_and_conserves() {
-    let guest = GuestSpec::line(9, ProgramKind::KvWorkload, 5, 12);
+    let guest = GuestSpec::array(9, ProgramKind::KvWorkload, 5, 12);
     let mut host = HostGraph::new("golden", 4);
     host.add_link(0, 1, 3);
     host.add_link(1, 2, 5);
@@ -196,7 +196,7 @@ fn traced_golden_run_matches_classic_oracle_and_conserves() {
 fn sharded_engine_matches_event_on_golden_scenario() {
     use overlap::sim::{run_sharded_with, ExecPlan, Partition};
 
-    let guest = GuestSpec::line(9, ProgramKind::KvWorkload, 5, 12);
+    let guest = GuestSpec::array(9, ProgramKind::KvWorkload, 5, 12);
     let mut host = HostGraph::new("golden", 4);
     host.add_link(0, 1, 3);
     host.add_link(1, 2, 5);
@@ -241,7 +241,7 @@ fn sharded_engine_matches_event_under_crash_faults() {
     use overlap::sim::{run_sharded_with, ExecPlan, Partition};
     use overlap::FaultPlan;
 
-    let guest = GuestSpec::line(24, ProgramKind::Relaxation, 11, 20);
+    let guest = GuestSpec::array(24, ProgramKind::Relaxation, 11, 20);
     let host = topology::linear_array(6, DelayModel::uniform(1, 7), 5);
     // Every cell on exactly two processors, so the crash strands live
     // subscribers (re-subscription) instead of losing a column.
@@ -287,12 +287,12 @@ fn sharded_engine_matches_event_under_crash_faults() {
 fn sharded_engine_via_builder_matches_event() {
     use overlap::EngineKind;
 
-    let guest = GuestSpec::line(20, ProgramKind::KvWorkload, 7, 16);
+    let guest = GuestSpec::array(20, ProgramKind::KvWorkload, 7, 16);
     let host = topology::linear_array(5, DelayModel::uniform(2, 6), 3);
     let run = |kind| {
         Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .strategy(Strategy::Overlap { c: 4.0 })
             .engine(kind)
             .build()
             .and_then(|s| s.run())

@@ -2,13 +2,13 @@
 //! several host families, all validated against the unit-delay reference.
 
 use overlap::core::mesh::simulate_mesh_on_host;
-use overlap::{LineStrategy, Simulation};
+use overlap::{Simulation, Strategy};
 /// Run via the builder facade (the old free-function entry points are
 /// deprecated).
 fn simulate(
     guest: &overlap::GuestSpec,
     host: &overlap::HostGraph,
-    strategy: LineStrategy,
+    strategy: Strategy,
 ) -> Result<overlap::SimReport, overlap::Error> {
     Simulation::of(guest)
         .on(host)
@@ -31,22 +31,22 @@ fn hosts() -> Vec<HostGraph> {
     ]
 }
 
-fn strategies() -> Vec<LineStrategy> {
+fn strategies() -> Vec<Strategy> {
     vec![
-        LineStrategy::Overlap { c: 4.0 },
-        LineStrategy::Halo { halo: 1 },
-        LineStrategy::Combined {
+        Strategy::Overlap { c: 4.0 },
+        Strategy::Halo { halo: 1 },
+        Strategy::Combined {
             c: 4.0,
             expansion: 2,
         },
-        LineStrategy::Blocked,
-        LineStrategy::Slackness,
+        Strategy::Blocked,
+        Strategy::Slackness,
     ]
 }
 
 #[test]
 fn line_guests_validate_everywhere() {
-    let guest = GuestSpec::line(30, ProgramKind::KvWorkload, 9, 12);
+    let guest = GuestSpec::array(30, ProgramKind::KvWorkload, 9, 12);
     for host in hosts() {
         for s in strategies() {
             let r = simulate(&guest, &host, s)
@@ -66,7 +66,7 @@ fn line_guests_validate_everywhere() {
 fn ring_guests_validate_everywhere() {
     let guest = GuestSpec::ring(26, ProgramKind::RuleAutomaton { db_size: 8 }, 4, 10);
     for host in hosts() {
-        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 })
+        let r = simulate(&guest, &host, Strategy::Overlap { c: 4.0 })
             .unwrap_or_else(|e| panic!("{}: {e}", host.name()));
         assert!(r.validated, "{}", host.name());
     }
@@ -81,8 +81,8 @@ fn every_program_kind_validates() {
         ProgramKind::KvWorkload,
         ProgramKind::Relaxation,
     ] {
-        let guest = GuestSpec::line(24, pk, 3, 16);
-        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 }).unwrap();
+        let guest = GuestSpec::array(24, pk, 3, 16);
+        let r = simulate(&guest, &host, Strategy::Overlap { c: 4.0 }).unwrap();
         assert!(r.validated, "{pk:?}");
     }
 }
@@ -99,13 +99,13 @@ fn mesh_guests_validate_on_every_host() {
 
 #[test]
 fn adversarial_hosts_still_validate() {
-    let guest = GuestSpec::line(32, ProgramKind::Relaxation, 5, 12);
+    let guest = GuestSpec::array(32, ProgramKind::Relaxation, 5, 12);
     for host in [
         topology::h1_lower_bound(64),
         topology::clique_of_cliques(6),
         topology::h2_recursive_boxes(256).graph,
     ] {
-        let r = simulate(&guest, &host, LineStrategy::Overlap { c: 4.0 })
+        let r = simulate(&guest, &host, Strategy::Overlap { c: 4.0 })
             .unwrap_or_else(|e| panic!("{}: {e}", host.name()));
         assert!(r.validated, "{}", host.name());
     }
@@ -115,7 +115,7 @@ fn adversarial_hosts_still_validate() {
 fn slowdown_never_below_work_floor() {
     // makespan ≥ guest_work / host_procs: a processor computes at most one
     // pebble per tick.
-    let guest = GuestSpec::line(40, ProgramKind::Relaxation, 5, 20);
+    let guest = GuestSpec::array(40, ProgramKind::Relaxation, 5, 20);
     for host in hosts() {
         for s in strategies() {
             let r = simulate(&guest, &host, s).unwrap();

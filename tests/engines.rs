@@ -4,7 +4,7 @@
 //! all consume that same plan. They must compute identical state, and
 //! their makespans must order sensibly (greedy ≤ lockstep).
 
-use overlap::core::pipeline::{plan_line_placement, LineStrategy};
+use overlap::core::pipeline::{plan_line_placement, Strategy};
 use overlap::model::{GuestSpec, ProgramKind, ReferenceRun};
 use overlap::net::{topology, DelayModel};
 use overlap::sim::engine::{Engine, EngineConfig};
@@ -13,16 +13,16 @@ use overlap::sim::stepped::run_stepped;
 use overlap::sim::validate::validate_run;
 use overlap::sim::{ExecPlan, RunOutcome};
 
-fn strategies() -> Vec<LineStrategy> {
+fn strategies() -> Vec<Strategy> {
     vec![
-        LineStrategy::Overlap { c: 4.0 },
-        LineStrategy::Halo { halo: 1 },
-        LineStrategy::Combined {
+        Strategy::Overlap { c: 4.0 },
+        Strategy::Halo { halo: 1 },
+        Strategy::Combined {
             c: 4.0,
             expansion: 2,
         },
-        LineStrategy::Blocked,
-        LineStrategy::Slackness,
+        Strategy::Blocked,
+        Strategy::Slackness,
     ]
 }
 
@@ -45,7 +45,7 @@ fn assert_same_state(label: &str, a: &RunOutcome, b: &RunOutcome) {
 fn all_three_engines_agree_on_state_from_one_plan() {
     // Heterogeneous link delays, every placement strategy; one lowering
     // feeds all three executors.
-    let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 11, 10);
+    let guest = GuestSpec::array(24, ProgramKind::KvWorkload, 11, 10);
     let host = topology::linear_array(8, DelayModel::uniform(1, 12), 5);
     let trace = ReferenceRun::execute(&guest);
     for s in strategies() {
@@ -87,7 +87,7 @@ fn engines_agree_on_ring_fold_over_embedded_host() {
     let host = topology::mesh2d(3, 3, DelayModel::uniform(1, 10), 7);
     let trace = ReferenceRun::execute(&guest);
     let placement =
-        plan_line_placement(&guest, &host, LineStrategy::Overlap { c: 4.0 }).expect("placement");
+        plan_line_placement(&guest, &host, Strategy::Overlap { c: 4.0 }).expect("placement");
     let plan = ExecPlan::build(
         &guest,
         &host,
@@ -111,10 +111,10 @@ fn plan_reuse_is_bit_identical_to_fresh_lowerings() {
     // Two runs from one plan must equal two runs from two independent
     // lowerings, outcome-for-outcome — including the multicast tables
     // (event engine only; the other executors reject multicast up front).
-    let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 7, 12);
+    let guest = GuestSpec::array(24, ProgramKind::KvWorkload, 7, 12);
     let host = topology::mesh2d(3, 3, DelayModel::uniform(1, 9), 2);
     let placement =
-        plan_line_placement(&guest, &host, LineStrategy::Halo { halo: 1 }).expect("placement");
+        plan_line_placement(&guest, &host, Strategy::Halo { halo: 1 }).expect("placement");
     let a = &placement.assignment;
     for multicast in [false, true] {
         let cfg = EngineConfig {
@@ -140,10 +140,10 @@ fn calendar_engine_matches_classic_on_planned_placements() {
     use overlap::sim::engine::Jitter;
     use overlap::sim::engine_classic::run_classic;
 
-    let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 11, 10);
+    let guest = GuestSpec::array(24, ProgramKind::KvWorkload, 11, 10);
     let host = topology::mesh2d(3, 3, DelayModel::uniform(1, 12), 5);
     let costs: Vec<u32> = (0..9).map(|p| 1 + p % 3).collect();
-    for s in [LineStrategy::Overlap { c: 4.0 }, LineStrategy::Blocked] {
+    for s in [Strategy::Overlap { c: 4.0 }, Strategy::Blocked] {
         let placement = plan_line_placement(&guest, &host, s).expect("placement");
         let a = &placement.assignment;
         for multicast in [false, true] {
@@ -177,13 +177,13 @@ fn lockstep_slowdown_tracks_dmax_while_greedy_does_not() {
     // n must be large enough that the integer overlaps m_k are nonzero
     // (m_0 = n/(c·log n) ≥ 4 at n = 128), else OVERLAP degenerates to
     // blocked and pays the spike like everyone else.
-    let guest = GuestSpec::line(512, ProgramKind::Relaxation, 5, 24);
+    let guest = GuestSpec::array(512, ProgramKind::Relaxation, 5, 24);
     let mut lock_slow = Vec::new();
     let mut greedy_slow = Vec::new();
     for spike in [8u64, 1024] {
         let host = topology::line_with_middle_spike(128, spike);
-        let placement = plan_line_placement(&guest, &host, LineStrategy::Overlap { c: 4.0 })
-            .expect("placement");
+        let placement =
+            plan_line_placement(&guest, &host, Strategy::Overlap { c: 4.0 }).expect("placement");
         let plan = ExecPlan::build(
             &guest,
             &host,
@@ -202,4 +202,55 @@ fn lockstep_slowdown_tracks_dmax_while_greedy_does_not() {
         greedy_growth < lock_growth,
         "greedy growth {greedy_growth:.2} vs lockstep {lock_growth:.2}"
     );
+}
+
+#[test]
+fn pebble_grid_as_taskgraph_is_bit_identical_to_line_guest() {
+    // The tentpole invariant of the task-graph IR: the paper's pebble
+    // grid expressed as an explicit `TaskGraph` must lower through the
+    // same static tables as the native line guest and reproduce its full
+    // `RunOutcome` — stats, copies, event counts — on all four engines.
+    use overlap::model::TaskGraph;
+    use overlap::sim::sharded::run_sharded;
+
+    let (m, steps) = (24u32, 10u32);
+    let line = GuestSpec::array(m, ProgramKind::KvWorkload, 11, steps);
+    let dag = GuestSpec::dag(
+        TaskGraph::pebble_grid(&line.topology, steps),
+        ProgramKind::KvWorkload,
+        11,
+    );
+    assert_eq!(dag.steps, steps);
+    let host = topology::linear_array(8, DelayModel::uniform(1, 12), 5);
+    for s in [
+        Strategy::Overlap { c: 4.0 },
+        Strategy::Halo { halo: 1 },
+        Strategy::Blocked,
+    ] {
+        let placement = plan_line_placement(&line, &host, s).expect("placement");
+        let a = &placement.assignment;
+        let pl_line = ExecPlan::build(&line, &host, a, EngineConfig::default()).expect("line plan");
+        let pl_dag = ExecPlan::build(&dag, &host, a, EngineConfig::default()).expect("dag plan");
+        let label = s.label();
+        assert_eq!(
+            Engine::from_plan(&pl_line).run().expect("event line"),
+            Engine::from_plan(&pl_dag).run().expect("event dag"),
+            "{label}: event"
+        );
+        assert_eq!(
+            run_stepped(&pl_line).expect("stepped line"),
+            run_stepped(&pl_dag).expect("stepped dag"),
+            "{label}: stepped"
+        );
+        assert_eq!(
+            run_lockstep(&pl_line).expect("lockstep line"),
+            run_lockstep(&pl_dag).expect("lockstep dag"),
+            "{label}: lockstep"
+        );
+        assert_eq!(
+            run_sharded(&pl_line, 3).expect("sharded line"),
+            run_sharded(&pl_dag, 3).expect("sharded dag"),
+            "{label}: sharded"
+        );
+    }
 }

@@ -13,12 +13,12 @@
 use overlap::sim::engine_classic::run_classic;
 use overlap::{
     topology, validate_run, DelayModel, Engine, EngineConfig, Error, FaultPlan, GuestSpec, Jitter,
-    LineStrategy, ProgramKind, ReferenceRun, RunError, Simulation,
+    ProgramKind, ReferenceRun, RunError, Simulation, Strategy,
 };
 
 #[test]
 fn empty_fault_plan_is_bit_identical_across_engines_and_configs() {
-    let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 11, 12);
+    let guest = GuestSpec::array(24, ProgramKind::KvWorkload, 11, 12);
     let host = topology::linear_array(8, DelayModel::uniform(1, 9), 5);
     let assign = overlap::Assignment::blocked(8, 24);
     for multicast in [false, true] {
@@ -56,17 +56,17 @@ fn empty_fault_plan_is_bit_identical_across_engines_and_configs() {
 
 #[test]
 fn empty_plan_via_builder_matches_plain_builder_run() {
-    let guest = GuestSpec::line(32, ProgramKind::Relaxation, 3, 16);
+    let guest = GuestSpec::array(32, ProgramKind::Relaxation, 3, 16);
     let host = topology::linear_array(8, DelayModel::uniform(1, 12), 9);
     let plain = Simulation::of(&guest)
         .on(&host)
-        .strategy(LineStrategy::Halo { halo: 1 })
+        .strategy(Strategy::Halo { halo: 1 })
         .build()
         .and_then(|s| s.run())
         .expect("plain");
     let empty = Simulation::of(&guest)
         .on(&host)
-        .strategy(LineStrategy::Halo { halo: 1 })
+        .strategy(Strategy::Halo { halo: 1 })
         .faults(FaultPlan::new())
         .build()
         .and_then(|s| s.run())
@@ -77,11 +77,11 @@ fn empty_plan_via_builder_matches_plain_builder_run() {
 
 #[test]
 fn mid_run_holder_crash_still_validates_against_the_reference() {
-    let guest = GuestSpec::line(32, ProgramKind::KvWorkload, 7, 24);
+    let guest = GuestSpec::array(32, ProgramKind::KvWorkload, 7, 24);
     let host = topology::linear_array(8, DelayModel::uniform(1, 6), 5);
     // Block-wide halo: every column is held by at least two processors,
     // so any single crash is survivable.
-    let strategy = LineStrategy::Halo { halo: 4 };
+    let strategy = Strategy::Halo { halo: 4 };
     let clean = Simulation::of(&guest)
         .on(&host)
         .strategy(strategy)
@@ -110,11 +110,11 @@ fn mid_run_holder_crash_still_validates_against_the_reference() {
 
 #[test]
 fn crashing_the_only_holder_aborts_with_column_lost() {
-    let guest = GuestSpec::line(24, ProgramKind::StencilSum, 2, 16);
+    let guest = GuestSpec::array(24, ProgramKind::StencilSum, 2, 16);
     let host = topology::linear_array(8, DelayModel::uniform(1, 6), 5);
     let err = Simulation::of(&guest)
         .on(&host)
-        .strategy(LineStrategy::Blocked)
+        .strategy(Strategy::Blocked)
         .faults(FaultPlan::new().crash(2, 4))
         .build()
         .and_then(|s| s.run())
@@ -127,11 +127,11 @@ fn crashing_the_only_holder_aborts_with_column_lost() {
 
 #[test]
 fn link_outage_retries_and_still_validates() {
-    let guest = GuestSpec::line(32, ProgramKind::KvWorkload, 5, 24);
+    let guest = GuestSpec::array(32, ProgramKind::KvWorkload, 5, 24);
     let host = topology::linear_array(8, DelayModel::uniform(1, 6), 7);
     let r = Simulation::of(&guest)
         .on(&host)
-        .strategy(LineStrategy::Blocked)
+        .strategy(Strategy::Blocked)
         .faults(FaultPlan::new().link_down(3, 4, 10, 200))
         .build()
         .and_then(|s| s.run())

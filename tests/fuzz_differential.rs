@@ -75,6 +75,7 @@ fn feature_matrix_corners_agree() {
             assign: AssignKind::Blocked,
             costs: None,
             multicast: true,
+            mem: None,
             faults: vec![],
         },
         // Heterogeneous compute costs over a heavy-tailed network.
@@ -93,6 +94,7 @@ fn feature_matrix_corners_agree() {
             assign: AssignKind::Redundant { seed: 99 },
             costs: Some(vec![1, 3, 2, 4]),
             multicast: false,
+            mem: None,
             faults: vec![],
         },
         // All databases on one processor: no messages at all.
@@ -111,6 +113,7 @@ fn feature_matrix_corners_agree() {
             assign: AssignKind::AllOnOne,
             costs: None,
             multicast: false,
+            mem: None,
             faults: vec![],
         },
     ];
@@ -138,6 +141,7 @@ fn shrinker_minimizes_while_preserving_failure() {
         assign: AssignKind::Redundant { seed: 1 },
         costs: Some(vec![2; 8]),
         multicast: false,
+        mem: None,
         faults: vec![
             crate_fault_missing_link(),
             overlap::sim::fuzz::FaultSpec::Spike {

@@ -31,6 +31,7 @@ fn fuzz_repro_seed0_case770_crash_after_completion() {
         },
         costs: None,
         multicast: false,
+        mem: None,
         faults: vec![FaultSpec::Crash { proc: 2, at: 4 }],
     };
     check_spec(&spec).expect("engines must agree");
@@ -53,6 +54,7 @@ fn fuzz_repro_seed0_case86_crash_straddles_makespans() {
         },
         costs: None,
         multicast: false,
+        mem: None,
         faults: vec![FaultSpec::Crash { proc: 2, at: 4 }],
     };
     check_spec(&spec).expect("engines must agree");
@@ -63,7 +65,7 @@ fn fuzz_repro_seed0_case86_crash_straddles_makespans() {
 /// agree with the plan.
 #[test]
 fn crash_beyond_makespan_still_destroys_copies() {
-    let guest = GuestSpec::line(8, ProgramKind::KvWorkload, 3, 2);
+    let guest = GuestSpec::array(8, ProgramKind::KvWorkload, 3, 2);
     let host = topology::linear_array(4, DelayModel::constant(1), 0);
     let assign = Assignment::from_cells_of(
         4,
@@ -105,7 +107,7 @@ fn crash_beyond_makespan_still_destroys_copies() {
 /// path — attaching to a plan, and running a scenario.
 #[test]
 fn fault_on_missing_link_is_an_error_on_every_path() {
-    let guest = GuestSpec::line(8, ProgramKind::StencilSum, 0, 4);
+    let guest = GuestSpec::array(8, ProgramKind::StencilSum, 0, 4);
     let host = topology::linear_array(4, DelayModel::constant(2), 0);
     let assign = Assignment::blocked(4, 8);
     let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
@@ -130,6 +132,7 @@ fn fault_on_missing_link_is_an_error_on_every_path() {
         assign: AssignKind::Blocked,
         costs: None,
         multicast: false,
+        mem: None,
         faults: vec![FaultSpec::LinkDown {
             a: 0,
             b: 3,
@@ -145,7 +148,7 @@ fn fault_on_missing_link_is_an_error_on_every_path() {
 /// typed error, not an index panic.
 #[test]
 fn crash_of_missing_processor_is_an_error() {
-    let guest = GuestSpec::line(8, ProgramKind::StencilSum, 0, 4);
+    let guest = GuestSpec::array(8, ProgramKind::StencilSum, 0, 4);
     let host = topology::linear_array(4, DelayModel::constant(2), 0);
     let assign = Assignment::blocked(4, 8);
     let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
@@ -178,12 +181,13 @@ fn zero_step_scenarios_are_well_defined() {
             assign,
             costs: None,
             multicast,
+            mem: None,
             faults: vec![],
         };
         check_spec(&spec).unwrap_or_else(|d| panic!("{assign:?}/multicast={multicast}: {d}"));
     }
 
-    let guest = GuestSpec::line(6, ProgramKind::KvWorkload, 1, 0);
+    let guest = GuestSpec::array(6, ProgramKind::KvWorkload, 1, 0);
     let host = topology::linear_array(3, DelayModel::constant(3), 0);
     let assign = Assignment::blocked(3, 6);
     let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
@@ -193,4 +197,111 @@ fn zero_step_scenarios_are_well_defined() {
     assert_eq!(out.stats.slowdown, 0.0);
     assert!(out.stats.efficiency().is_finite());
     assert!(out.stats.work_overhead().is_finite());
+}
+
+/// Task-graph scenarios in the exact paste-able form the fuzzer prints,
+/// pinning the DAG/memory-budget fuzzing profile: a non-uniform random
+/// layered DAG under a thrashing memory budget must keep all engines in
+/// bit-agreement (lockstep and tracing are auto-skipped as unsupported).
+#[test]
+fn fuzz_pin_dag_random_under_memory_budget() {
+    use overlap::sim::engine::MemBudget;
+    let spec = ScenarioSpec {
+        guest: GuestKind::DagRandom {
+            dbs: 11,
+            extra: 2,
+            max_cost: 3,
+            seed: 0xD151_71CE,
+        },
+        program: ProgramKind::KvWorkload,
+        steps: 7,
+        guest_seed: 414243,
+        host: HostKind::Mesh(2, 3),
+        delays: DelayModel::Uniform { lo: 1, hi: 9 },
+        host_seed: 55,
+        assign: AssignKind::Blocked,
+        costs: Some(vec![1, 2, 1, 3, 1, 2]),
+        multicast: false,
+        mem: Some(MemBudget {
+            budget: 1,
+            reload_cost: 4,
+        }),
+        faults: vec![],
+    };
+    check_spec(&spec).expect("engines must agree");
+}
+
+/// Fork-join diamonds exercise relay slots (pass-through tasks padding
+/// the layered normal form) under faults and redundant placement.
+#[test]
+fn fuzz_pin_fork_join_relays_with_link_fault() {
+    let spec = ScenarioSpec {
+        guest: GuestKind::ForkJoin(3),
+        program: ProgramKind::RuleAutomaton { db_size: 4 },
+        steps: 5, // overridden by the graph's fixed 2·levels−1 layers
+        guest_seed: 99,
+        host: HostKind::Line(3),
+        delays: DelayModel::Constant(3),
+        host_seed: 0,
+        assign: AssignKind::Redundant { seed: 1234 },
+        costs: None,
+        multicast: false,
+        mem: None,
+        faults: vec![FaultSpec::LinkDown {
+            a: 0,
+            b: 1,
+            from: 2,
+            until: 20,
+        }],
+    };
+    check_spec(&spec).expect("engines must agree");
+}
+
+/// A uniform wavefront DAG lowers through the static tables, so every
+/// engine (lockstep and the traced event run included) is in scope —
+/// with multicast routing on top for the event/sharded pair.
+#[test]
+fn fuzz_pin_wavefront_multicast() {
+    let spec = ScenarioSpec {
+        guest: GuestKind::Wavefront(9),
+        program: ProgramKind::Histogram { buckets: 6 },
+        steps: 6,
+        guest_seed: 77,
+        host: HostKind::Ring(5),
+        delays: DelayModel::Bimodal {
+            lo: 1,
+            hi: 12,
+            p_hi: 0.25,
+        },
+        host_seed: 3,
+        assign: AssignKind::Blocked,
+        costs: None,
+        multicast: true,
+        mem: None,
+        faults: vec![],
+    };
+    check_spec(&spec).expect("engines must agree");
+}
+
+/// Zero-layer task graphs are legal everywhere: the static lowering's
+/// layer-1 probe of an empty graph must see an empty dependency list
+/// instead of tripping the slot bounds (regression: `TaskGraph::slot`
+/// debug-assert via `visit_deps` during `ExecPlan::build`).
+#[test]
+fn zero_layer_task_graph_is_well_defined() {
+    let spec = ScenarioSpec {
+        guest: GuestKind::Wavefront(6),
+        program: ProgramKind::KvWorkload,
+        steps: 0,
+        guest_seed: 1,
+        host: HostKind::Line(3),
+        delays: DelayModel::Constant(2),
+        host_seed: 0,
+        assign: AssignKind::Blocked,
+        costs: None,
+        multicast: false,
+        mem: None,
+        faults: vec![],
+    };
+    check_spec(&spec).expect("engines must agree");
 }

@@ -7,7 +7,7 @@ use overlap::sim::validate::validate_run;
 use overlap::sim::{Assignment, BandwidthMode};
 
 fn setup() -> (GuestSpec, overlap::net::HostGraph, Assignment) {
-    let guest = GuestSpec::line(24, ProgramKind::KvWorkload, 5, 16);
+    let guest = GuestSpec::array(24, ProgramKind::KvWorkload, 5, 16);
     let host = topology::linear_array(6, DelayModel::uniform(1, 9), 3);
     let assign = Assignment::from_cells_of(
         6,
@@ -88,7 +88,7 @@ fn lower_bandwidth_cannot_speed_things_up() {
 
 #[test]
 fn scaling_host_delays_never_reduces_makespan() {
-    let guest = GuestSpec::line(16, ProgramKind::Relaxation, 5, 12);
+    let guest = GuestSpec::array(16, ProgramKind::Relaxation, 5, 12);
     let assign = Assignment::blocked(4, 16);
     let mut last = 0;
     for f in [1u64, 2, 8, 32] {

@@ -46,7 +46,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let cells = procs * cells_per;
-        let guest = GuestSpec::line(cells, pk, seed, steps);
+        let guest = GuestSpec::array(cells, pk, seed, steps);
         let host = topology::linear_array(procs, DelayModel::uniform(1, 12), seed);
         let assign = Assignment::blocked(procs, cells);
         let cfg = EngineConfig { multicast, jitter, ..EngineConfig::default() };
@@ -71,7 +71,7 @@ proptest! {
         when_pct in 5u64..80,
     ) {
         let cells = procs * cells_per;
-        let guest = GuestSpec::line(cells, pk, seed, steps);
+        let guest = GuestSpec::array(cells, pk, seed, steps);
         let host = topology::linear_array(procs, DelayModel::uniform(1, 8), seed);
         // Double coverage: every processor holds its block and its right
         // neighbour's (wrapping), so any single crash is survivable.

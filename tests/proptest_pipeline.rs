@@ -7,7 +7,7 @@ use overlap::net::{topology, DelayModel};
 use overlap::sim::engine::{Engine, EngineConfig};
 use overlap::sim::validate::validate_run;
 use overlap::sim::Assignment;
-use overlap::{LineStrategy, Simulation};
+use overlap::{Simulation, Strategy as Placement};
 use proptest::prelude::*;
 
 fn program_strategy() -> impl Strategy<Value = ProgramKind> {
@@ -51,7 +51,7 @@ proptest! {
     ) {
         let _ = extra;
         let cells = procs * cells_per;
-        let guest = GuestSpec::line(cells, pk, seed, steps);
+        let guest = GuestSpec::array(cells, pk, seed, steps);
         let host = topology::linear_array(procs, dm, seed);
         let trace = ReferenceRun::execute(&guest);
         let assign = Assignment::blocked(procs, cells);
@@ -71,7 +71,7 @@ proptest! {
         assign_seed in 0u64..100,
     ) {
         let cells = procs * cells_per;
-        let guest = GuestSpec::line(cells, ProgramKind::KvWorkload, seed, steps);
+        let guest = GuestSpec::array(cells, ProgramKind::KvWorkload, seed, steps);
         let host = topology::linear_array(procs, DelayModel::uniform(1, 30), seed);
         let trace = ReferenceRun::execute(&guest);
         // Derive random extra copies deterministically from assign_seed.
@@ -107,7 +107,7 @@ proptest! {
         let trace = ReferenceRun::execute(&guest);
         let r = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .strategy(Placement::Overlap { c: 4.0 })
             .build()
             .and_then(|s| s.run_with_trace(&trace))
             .expect("pipeline");
@@ -122,11 +122,11 @@ proptest! {
         seed in 0u64..500,
     ) {
         let host = topology::mesh2d(w, h, DelayModel::uniform(1, 15), seed);
-        let guest = GuestSpec::line(w * h * 2, ProgramKind::KvWorkload, seed, steps);
+        let guest = GuestSpec::array(w * h * 2, ProgramKind::KvWorkload, seed, steps);
         let trace = ReferenceRun::execute(&guest);
         let r = Simulation::of(&guest)
             .on(&host)
-            .strategy(LineStrategy::Overlap { c: 4.0 })
+            .strategy(Placement::Overlap { c: 4.0 })
             .build()
             .and_then(|s| s.run_with_trace(&trace))
             .expect("pipeline");

@@ -17,12 +17,12 @@ fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std
 #[test]
 fn guest_specs_roundtrip() {
     for spec in [
-        GuestSpec::line(16, ProgramKind::KvWorkload, 7, 10),
+        GuestSpec::array(16, ProgramKind::KvWorkload, 7, 10),
         GuestSpec::ring(9, ProgramKind::Histogram { buckets: 8 }, 1, 2),
         GuestSpec::mesh(4, 5, ProgramKind::StencilSum, 0, 1),
         GuestSpec::torus(3, 3, ProgramKind::CacheChurn, 2, 4),
         GuestSpec::mesh3(2, 3, 4, ProgramKind::Relaxation, 3, 5),
-        GuestSpec::binary_tree(5, ProgramKind::RuleAutomaton { db_size: 16 }, 4, 6),
+        GuestSpec::tree(5, ProgramKind::RuleAutomaton { db_size: 16 }, 4, 6),
     ] {
         let json = serde_json::to_string(&spec).unwrap();
         let back: GuestSpec = serde_json::from_str(&json).unwrap();
@@ -73,6 +73,10 @@ fn engine_config_roundtrips() {
             amplitude_pct: 30,
             period: 16,
         },
+        mem: Some(overlap::sim::engine::MemBudget {
+            budget: 2,
+            reload_cost: 5,
+        }),
     });
 }
 
