@@ -6,7 +6,10 @@
 //! `--gate` runs the CI smoke perf gate instead of the sweep: one
 //! mid-size tier, failing (exit 1) if the sequential or sharded engine
 //! regresses more than 30% below the checked-in floor in
-//! `BENCH_engine_floor.json`.
+//! `BENCH_engine_floor.json`, if the plan-reuse or delta-sweep speedups
+//! fall below the ratio floors in `BENCH_plan_floor.json`, or if the
+//! deterministic task-graph grid exceeds the makespan ceilings in
+//! `BENCH_taskgraph_floor.json`.
 
 use overlap_bench::experiments::engine_scale;
 use overlap_bench::{save_table, Scale};

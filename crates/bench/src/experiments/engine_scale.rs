@@ -15,6 +15,10 @@
 //! tier (a non-uniform DAG guest through the dynamic-table event path)
 //! and fails if the sequential, sharded, or task-graph throughput drops
 //! more than 30% below the checked-in floor in `BENCH_engine_floor.json`.
+//! It also re-measures the plan-reuse and delta-sweep speedups against
+//! the ratio floors in `BENCH_plan_floor.json` and replays the quick
+//! task-graph grid against the deterministic makespan ceilings in
+//! `BENCH_taskgraph_floor.json`.
 
 use crate::Scale;
 use crate::Table;
@@ -125,11 +129,9 @@ fn measure_tier(procs: u32, cells: u32, steps: u32, reps: u32) -> ScaleResult {
     let out = run_new();
     assert_eq!(out, run_old(), "engines diverge at {procs}x{cells}x{steps}");
     // Identity first, timing after: the sharded engine must match bit for
-    // bit at every thread count (peak_queue_depth has its own documented
-    // multi-queue definition and is excluded).
+    // bit at every thread count, peak_queue_depth included.
     for &t in THREAD_SWEEP {
-        let mut sh = run_sharded(&plan, t).expect("sharded run");
-        sh.stats.peak_queue_depth = out.stats.peak_queue_depth;
+        let sh = run_sharded(&plan, t).expect("sharded run");
         assert_eq!(sh, out, "sharded({t}) diverges at {procs}x{cells}x{steps}");
     }
     // Keep the giant tiers affordable: above a million events per run the
@@ -247,8 +249,8 @@ pub fn run(scale: Scale) -> Table {
         ]);
     }
     t.note(format!(
-        "outcomes are asserted bit-identical before timing (sharded modulo its documented \
-         peak_queue_depth definition); speedup@8 is sharded-at-8-threads over the sequential \
+        "outcomes are asserted bit-identical before timing, peak_queue_depth included; \
+         speedup@8 is sharded-at-8-threads over the sequential \
          calendar engine, measured on a {}-core host — expect ~1x or below on a single core, \
          where only the window batching can help. JSON copy written to BENCH_engine.json.",
         host_cores()
@@ -283,17 +285,30 @@ fn measure_taskgraph_tier(reps: u32) -> f64 {
     let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).expect("lower");
     let run = || -> RunOutcome { Engine::from_plan(&plan).run().expect("run") };
     let out = run();
-    let mut sh = run_sharded(&plan, 2).expect("sharded run");
-    sh.stats.peak_queue_depth = out.stats.peak_queue_depth;
+    let sh = run_sharded(&plan, 2).expect("sharded run");
     assert_eq!(sh, out, "sharded diverges on the task-graph gate tier");
     out.stats.events_processed as f64 / time_best(reps, run)
+}
+
+/// Read and parse one numeric field from a checked-in floor file at the
+/// workspace root.
+fn floor_field(file: &str, key: &'static str) -> Result<f64, String> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{file}"));
+    let json = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    json_number(&json, key).ok_or_else(|| format!("{file} missing {key}"))
 }
 
 /// CI smoke perf gate: re-measure the mid Quick tier plus the task-graph
 /// tier and fail if the sequential, sharded, or task-graph throughput
 /// regresses more than 30% below the floor checked in at
-/// `BENCH_engine_floor.json`. Returns a human-readable summary on pass,
-/// the violation on fail.
+/// `BENCH_engine_floor.json`. Also enforces the machine-independent
+/// floors in `BENCH_plan_floor.json` (plan-reuse and delta-sweep speedup
+/// ratios — both arms are measured in the same process, so no tolerance
+/// is needed) and the deterministic ceilings in
+/// `BENCH_taskgraph_floor.json` (the quick task-graph grid's makespans
+/// are exact, so any increase is a real scheduling regression). Returns
+/// a human-readable summary on pass, the violations on fail.
 pub fn gate() -> Result<String, String> {
     let floor_path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine_floor.json");
@@ -327,10 +342,67 @@ pub fn gate() -> Result<String, String> {
             ));
         }
     }
+    // Plan-reuse / delta-sweep ratio floors: both arms of each ratio are
+    // timed in the same process, so the speedups are machine-independent
+    // and checked without tolerance.
+    let f_reuse = floor_field("BENCH_plan_floor.json", "reuse_min_speedup")?;
+    let f_delta = floor_field("BENCH_plan_floor.json", "delta_min_speedup")?;
+    let reuse = super::plan_reuse::measure(Scale::Quick);
+    let best_reuse = reuse.iter().map(|p| p.speedup()).fold(0.0, f64::max);
+    if best_reuse < f_reuse {
+        violations.push(format!(
+            "plan reuse: best speedup {best_reuse:.2}x is below the floor {f_reuse:.2}x"
+        ));
+    }
+    let delta = super::plan_reuse::measure_delta(Scale::Quick);
+    if delta.speedup() < f_delta {
+        violations.push(format!(
+            "delta sweep: speedup {:.2}x is below the floor {f_delta:.2}x",
+            delta.speedup()
+        ));
+    }
+
+    // Task-graph makespan ceilings: the quick grid is deterministic, so
+    // the checked-in totals must be reproduced exactly (improvements —
+    // lower makespans — pass).
+    let f_cases = floor_field("BENCH_taskgraph_floor.json", "cases")?;
+    let f_span = floor_field("BENCH_taskgraph_floor.json", "total_makespan_ceiling")?;
+    let grid = super::task_graphs::measure(Scale::Quick);
+    let total_span: u64 = grid.iter().map(|c| c.makespan).sum();
+    if grid.len() != f_cases as usize {
+        violations.push(format!(
+            "task-graph grid: {} cases measured, floor expects {}",
+            grid.len(),
+            f_cases as usize
+        ));
+    }
+    if let Some(bad) = grid.iter().find(|c| !c.validated) {
+        violations.push(format!(
+            "task-graph grid: {}/{}/{}/{} failed reference validation",
+            bad.graph, bad.regime, bad.budget, bad.strategy
+        ));
+    }
+    if total_span > f_span as u64 {
+        violations.push(format!(
+            "task-graph grid: total makespan {total_span} exceeds the deterministic ceiling {}",
+            f_span as u64
+        ));
+    }
+
     if violations.is_empty() {
         Ok(format!(
-            "perf gate OK: event {:.0} events/s (floor {:.0}), sharded@2 {:.0} events/s (floor {:.0}), task-graph {:.0} events/s (floor {:.0}), tolerance 30%",
-            r.events_per_sec, f_event, sharded, f_sharded, taskgraph, f_taskgraph
+            "perf gate OK: event {:.0} events/s (floor {:.0}), sharded@2 {:.0} events/s (floor {:.0}), task-graph {:.0} events/s (floor {:.0}), tolerance 30%; \
+             plan reuse {best_reuse:.2}x (floor {f_reuse:.2}x), delta sweep {:.2}x (floor {f_delta:.2}x); \
+             task-graph grid {} cases all validated, total makespan {total_span} (ceiling {})",
+            r.events_per_sec,
+            f_event,
+            sharded,
+            f_sharded,
+            taskgraph,
+            f_taskgraph,
+            delta.speedup(),
+            grid.len(),
+            f_span as u64
         ))
     } else {
         Err(violations.join("; "))

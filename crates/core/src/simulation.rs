@@ -349,7 +349,10 @@ impl ReadySimulation<'_> {
     /// routing, and the configured compute costs / fault plan, all
     /// compiled once. The plan can be executed repeatedly (and on
     /// different engines) via [`run_plan`](Self::run_plan) — sweeps
-    /// amortise the lowering across repeats.
+    /// amortise the lowering across repeats — and varied in place with
+    /// [`ExecPlan::apply_delta`]: single-link delay edits, fault-plan
+    /// swaps, and compute-cost overrides each yield a plan bit-identical
+    /// to a fresh lowering, usually without rebuilding any table.
     pub fn build_plan(&self) -> Result<ExecPlan<'_>, Error> {
         let mut plan = ExecPlan::build(self.guest, self.host, &self.assignment, self.config)?;
         if let Some(costs) = &self.compute_costs {

@@ -86,6 +86,33 @@ impl HostGraph {
         self.adj[b as usize].push((a, delay));
     }
 
+    /// Change the delay of an existing link (≥ 1 enforced). The link's
+    /// identity — its position in [`links`](Self::links) order, and hence
+    /// any directed link ids derived from it — is unchanged.
+    ///
+    /// # Panics
+    /// If the link does not exist or the delay is zero.
+    pub fn set_link_delay(&mut self, a: NodeId, b: NodeId, delay: Delay) {
+        assert!(delay >= 1, "zero-delay link {a}-{b}");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let l = self
+            .links
+            .iter_mut()
+            .find(|l| (l.a, l.b) == (lo, hi))
+            .unwrap_or_else(|| panic!("no link {a}-{b}"));
+        l.delay = delay;
+        for e in self.adj[a as usize].iter_mut() {
+            if e.0 == b {
+                e.1 = delay;
+            }
+        }
+        for e in self.adj[b as usize].iter_mut() {
+            if e.0 == a {
+                e.1 = delay;
+            }
+        }
+    }
+
     /// True if a link between `a` and `b` exists.
     pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
         self.adj

@@ -85,6 +85,8 @@ pub struct CalendarQueue<T> {
     overflow: BinaryHeap<Spill<T>>,
     /// Monotone push counter; orders overflow events among themselves.
     seq: u64,
+    /// Past-tick pushes clamped up to the cursor (see [`push`](Self::push)).
+    clamped: u64,
 }
 
 impl<T> CalendarQueue<T> {
@@ -97,6 +99,7 @@ impl<T> CalendarQueue<T> {
             ring_len: 0,
             overflow: BinaryHeap::new(),
             seq: 0,
+            clamped: 0,
         }
     }
 
@@ -111,14 +114,33 @@ impl<T> CalendarQueue<T> {
     }
 
     /// Schedule `ev` at `tick`. Events must never be scheduled in the past:
-    /// a `tick` below the tick of the most recent `pop` is clamped up to
-    /// the cursor, so the event is delivered at the current tick instead of
-    /// silently wrapping into a future ring bucket and corrupting the
-    /// pop order. (The old behaviour only `debug_assert`ed, so release
-    /// builds could reorder events; the clamp makes the invariant
-    /// unconditional while keeping delivery order ascending.)
+    /// an engine pushing below the tick of the most recent `pop` is a bug,
+    /// so debug builds assert. Release builds clamp the tick up to the
+    /// cursor (delivering at the current tick instead of silently wrapping
+    /// into a future ring bucket and corrupting the pop order) **and count
+    /// the anomaly** in [`clamped`](Self::clamped), which engines surface
+    /// as `RunStats::queue_clamped_pushes` — silent time-travel can no
+    /// longer mask a scheduling bug. Callers that push past ticks *by
+    /// design* use [`push_clamping`](Self::push_clamping).
     #[inline]
     pub fn push(&mut self, tick: u64, ev: T) {
+        debug_assert!(
+            tick >= self.cursor,
+            "past-tick push: tick {tick} < cursor {}",
+            self.cursor
+        );
+        self.push_clamping(tick, ev);
+    }
+
+    /// [`push`](Self::push) without the past-tick debug assertion: the
+    /// entry point for callers that *deliberately* schedule at-or-before
+    /// the cursor and rely on the documented clamp-to-cursor semantics.
+    /// Clamped pushes are still counted.
+    #[inline]
+    pub fn push_clamping(&mut self, tick: u64, ev: T) {
+        if tick < self.cursor {
+            self.clamped += 1;
+        }
         let tick = tick.max(self.cursor);
         self.seq += 1;
         if tick < self.cursor + WINDOW {
@@ -133,6 +155,14 @@ impl<T> CalendarQueue<T> {
                 ev,
             });
         }
+    }
+
+    /// Number of past-tick pushes that were clamped up to the cursor over
+    /// this queue's lifetime ([`reset_cursor`](Self::reset_cursor) does not
+    /// reset it). Zero on every healthy engine run.
+    #[inline]
+    pub fn clamped(&self) -> u64 {
+        self.clamped
     }
 
     /// Tick of the earliest pending event without removing it. Does NOT
@@ -396,7 +426,9 @@ mod tests {
                 } else if op == 4 {
                     // Past-tick push: the calendar clamps to its cursor, so
                     // the reference heap must schedule at `now` instead.
-                    cal.push(now.saturating_sub(delta), id);
+                    // `push_clamping` is the deliberate-past entry point
+                    // (plain `push` asserts in debug builds).
+                    cal.push_clamping(now.saturating_sub(delta), id);
                     heap.push(Reverse((now, seq, id)));
                     seq += 1;
                     id += 1;
@@ -427,15 +459,27 @@ mod tests {
         let mut cal = CalendarQueue::new();
         cal.push(0, 'a');
         cal.push(10, 'b');
+        assert_eq!(cal.clamped(), 0);
         assert_eq!(cal.pop(), Some((0, 'a'))); // cursor now 0 -> scans to 10
         assert_eq!(cal.pop(), Some((10, 'b'))); // cursor now 10
-        cal.push(3, 'p'); // in the past: clamped to 10
+        cal.push_clamping(3, 'p'); // in the past: clamped to 10
         cal.push(10, 'q');
         cal.push(11, 'r');
+        assert_eq!(cal.clamped(), 1, "exactly the past push is counted");
         assert_eq!(cal.pop(), Some((10, 'p')));
         assert_eq!(cal.pop(), Some((10, 'q')));
         assert_eq!(cal.pop(), Some((11, 'r')));
         assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "past-tick push")]
+    fn plain_push_asserts_on_past_ticks_in_debug() {
+        let mut cal = CalendarQueue::new();
+        cal.push(5, 'a');
+        assert_eq!(cal.pop(), Some((5, 'a'))); // cursor now 5
+        cal.push(2, 'b'); // engines must never do this
     }
 
     #[test]

@@ -192,6 +192,20 @@ pub enum RunError {
         /// Number of processors the host actually has.
         procs: u32,
     },
+    /// Crash recovery found a surviving holder for an orphaned consumer,
+    /// but the host graph has no path between them (disconnected host
+    /// with the only same-component copies destroyed). Previously a panic
+    /// (`expect("connected host")`) in all three fault-capable engines.
+    NoRouteToHolder {
+        /// The guest column being re-subscribed.
+        cell: u32,
+        /// The surviving holder picked for the re-subscription.
+        holder: NodeId,
+        /// The consumer left without a reachable source.
+        consumer: NodeId,
+        /// Tick of the crash being recovered from.
+        tick: u64,
+    },
     /// The plan carries a feature this engine does not implement (e.g. a
     /// memory budget on the lockstep engine). The builder's validation
     /// matrix catches these at `build()`; engines also check at entry so a
@@ -227,6 +241,18 @@ impl std::fmt::Display for RunError {
                 write!(
                     f,
                     "fault plan names processor {proc}, but the host has only {procs}"
+                )
+            }
+            RunError::NoRouteToHolder {
+                cell,
+                holder,
+                consumer,
+                tick,
+            } => {
+                write!(
+                    f,
+                    "no host path from surviving holder {holder} of column {cell} \
+                     to consumer {consumer} after crash at tick {tick}"
                 )
             }
             RunError::UnsupportedFeature { engine, feature } => {
@@ -882,7 +908,7 @@ impl<'a> Engine<'a> {
         // fault-free path schedules the exact same events in the exact
         // same order as an engine without a plan) ----
         let frt: Option<FaultRt> = match self.faults.as_ref().or(plan.faults.as_ref()) {
-            Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, plan.host)?),
+            Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, &plan.host)?),
             _ => None,
         };
         let n_orig_subs = hot.sub_link_off.len() - 1;
@@ -1477,7 +1503,7 @@ impl<'a> Engine<'a> {
                     for (cell, dest, dest_dep) in orphans {
                         let sp = sp_cache
                             .entry(dest)
-                            .or_insert_with(|| dijkstra(plan.host, dest));
+                            .or_insert_with(|| dijkstra(&plan.host, dest));
                         let best = plan
                             .assign
                             .holders(cell)
@@ -1486,7 +1512,14 @@ impl<'a> Engine<'a> {
                             .filter(|&q| !crashed[q as usize])
                             .min_by_key(|&q| (sp.dist[q as usize], q))
                             .expect("surviving holder checked above");
-                        let mut path = sp.path_to(best).expect("connected host");
+                        let Some(mut path) = sp.path_to(best) else {
+                            return Err(RunError::NoRouteToHolder {
+                                cell,
+                                holder: best,
+                                consumer: dest,
+                                tick,
+                            });
+                        };
                         path.reverse();
                         let links: Vec<u32> =
                             path.windows(2).map(|w| f.link_ids[&(w[0], w[1])]).collect();
@@ -1617,6 +1650,7 @@ impl<'a> Engine<'a> {
             },
             events_processed,
             peak_queue_depth: peak_queue as u64,
+            queue_clamped_pushes: queue.clamped(),
             faults: fstats,
             stalls: None,
             mem: mem_stats_of(mem.as_deref()),

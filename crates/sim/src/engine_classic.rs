@@ -688,6 +688,7 @@ pub fn run_classic(
         },
         events_processed,
         peak_queue_depth: peak_queue as u64,
+        queue_clamped_pushes: 0,
         faults: crate::stats::FaultStats::default(),
         stalls: None,
         mem: crate::stats::MemStats::default(),

@@ -16,8 +16,10 @@
 //!    below;
 //! 3. on a failure, [`shrink`] greedily simplifies the spec (drop faults,
 //!    clear costs, flatten delays, halve the guest/host) while the
-//!    failure persists, and [`Divergence::repro_test`] prints the
-//!    minimal scenario as a paste-able regression test.
+//!    failure persists — fault- and cost-only simplifications reuse one
+//!    lowering via [`ExecPlan::apply_delta`] — and
+//!    [`Divergence::repro_test`] prints the minimal scenario as a
+//!    paste-able regression test.
 //!
 //! # Invariant catalogue
 //!
@@ -27,8 +29,7 @@
 //! * **Plan reuse** — running the event engine twice off one `ExecPlan`
 //!   is bit-identical (`RunOutcome` equality).
 //! * **Sharding is free** — the sharded conservative-parallel engine
-//!   ([`run_sharded_with`]) equals the event engine bit-for-bit (modulo
-//!   `peak_queue_depth`, redefined for multi-queue execution) at every
+//!   ([`run_sharded_with`]) equals the event engine bit-for-bit at every
 //!   thread count and under both partition heuristics, on every legal
 //!   scenario — faults, multicast, jitter, and costs included.
 //! * **Tracing is free** — a traced run equals the untraced run once the
@@ -49,7 +50,7 @@ use crate::engine::{Engine, EngineConfig, MemBudget, RunOutcome};
 use crate::faults::FaultPlan;
 use crate::lockstep::run_lockstep;
 use crate::parallel::par_reference;
-use crate::plan::ExecPlan;
+use crate::plan::{ExecPlan, PlanDelta};
 use crate::sharded::{run_sharded_with, Partition};
 use crate::stats::FaultStats;
 use crate::stepped::run_stepped;
@@ -797,8 +798,6 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
         ..EngineConfig::default()
     };
 
-    let mut problems: Vec<String> = Vec::new();
-
     // One lowering feeds everything below.
     let mut plan = match ExecPlan::build(&guest, &host, &assign, config) {
         Ok(p) => p,
@@ -813,24 +812,37 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
             Err(e) => return Err(format!("fault plan rejected: {e}")),
         };
     }
+    check_plan(spec, &plan)
+}
 
-    let reference = par_reference(&guest);
+/// Drive every engine an already-lowered plan is legal for, auditing the
+/// full invariant catalogue — the body of [`check_spec`], factored out so
+/// the shrinker can re-check fault- and cost-only candidates through
+/// [`ExecPlan::apply_delta`] on a shared plan instead of re-lowering per
+/// candidate. `spec` must describe the plan (it is consulted for audit
+/// expectations and engine legality).
+pub fn check_plan(spec: &ScenarioSpec, plan: &ExecPlan) -> Result<(), String> {
+    let guest = plan.guest();
+    let assign = plan.assignment();
+    let mut problems: Vec<String> = Vec::new();
+
+    let reference = par_reference(guest);
 
     // Event engine: the ground truth the others are compared against.
-    let ev = match Engine::from_plan(&plan).run() {
+    let ev = match Engine::from_plan(plan).run() {
         Ok(out) => out,
         Err(e) => return Err(format!("event engine failed: {e}")),
     };
     for err in validate_run(&reference, &ev) {
         problems.push(format!("event vs reference: {err:?}"));
     }
-    audit_outcome("event", spec, &guest, &assign, &ev, &mut problems);
+    audit_outcome("event", spec, guest, assign, &ev, &mut problems);
     for p in audit_causality(&ev) {
         problems.push(format!("event causality: {p}"));
     }
 
     // Plan reuse: a second run off the same plan is bit-identical.
-    match Engine::from_plan(&plan).run() {
+    match Engine::from_plan(plan).run() {
         Ok(again) if again != ev => {
             problems.push("rerun from the same plan diverged (plan reuse broken)".into());
         }
@@ -844,7 +856,7 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
     // non-uniform task graphs are out of scope (rejected at build()).
     let traceable = spec.mem.is_none() && guest.is_static() && !guest.has_nonunit_task_costs();
     if traceable {
-        match Engine::from_plan(&plan).run_traced(TraceConfig::default()) {
+        match Engine::from_plan(plan).run_traced(TraceConfig::default()) {
             Ok(traced) => {
                 let report = traced.trace.clone().expect("tracing was enabled");
                 if report.totals.total() != traced.stats.makespan * traced.copies.len() as u64 {
@@ -877,16 +889,14 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
     }
 
     // Sharded engine: legal for every scenario; must be bit-identical to
-    // the event engine except peak_queue_depth (multi-queue definition).
+    // the event engine on the full RunOutcome, peak_queue_depth included.
     for (threads, how) in [
         (1, Partition::DelayCut),
         (3, Partition::DelayCut),
         (3, Partition::RoundRobin),
     ] {
-        match run_sharded_with(&plan, threads, how) {
+        match run_sharded_with(plan, threads, how) {
             Ok(sh) => {
-                let mut sh = sh;
-                sh.stats.peak_queue_depth = ev.stats.peak_queue_depth;
                 if sh != ev {
                     problems.push(format!(
                         "sharded({threads}, {how:?}) diverged from the event engine"
@@ -901,12 +911,12 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
 
     // Stepped engine: legal whenever the plan is unicast and jitter-free.
     if !spec.multicast {
-        match run_stepped(&plan) {
+        match run_stepped(plan) {
             Ok(st) => {
                 for err in validate_run(&reference, &st) {
                     problems.push(format!("stepped vs reference: {err:?}"));
                 }
-                audit_outcome("stepped", spec, &guest, &assign, &st, &mut problems);
+                audit_outcome("stepped", spec, guest, assign, &st, &mut problems);
                 audit_same_state("event vs stepped", &ev, &st, &mut problems);
                 if spec.faults.is_empty() && ev.stats.messages != st.stats.messages {
                     problems.push(format!(
@@ -928,7 +938,7 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<(), String> {
         && spec.mem.is_none()
         && !guest.has_nonunit_task_costs()
     {
-        match run_lockstep(&plan) {
+        match run_lockstep(plan) {
             Ok(lk) => {
                 for err in validate_run(&reference, &lk) {
                     problems.push(format!("lockstep vs reference: {err:?}"));
@@ -1108,10 +1118,41 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
     out
 }
 
+/// If `cand` differs from `cur` **only** in its fault list or **only**
+/// in its compute costs, the [`PlanDelta`] that turns `cur`'s lowered
+/// plan into `cand`'s — such candidates share `cur`'s lowering.
+fn fault_or_cost_delta(cur: &ScenarioSpec, cand: &ScenarioSpec) -> Option<PlanDelta> {
+    let same_but_faults = ScenarioSpec {
+        faults: cur.faults.clone(),
+        ..cand.clone()
+    } == *cur;
+    if same_but_faults {
+        return Some(PlanDelta::Faults(if cand.faults.is_empty() {
+            None
+        } else {
+            Some(cand.build_faults())
+        }));
+    }
+    let same_but_costs = ScenarioSpec {
+        costs: cur.costs.clone(),
+        ..cand.clone()
+    } == *cur;
+    if same_but_costs {
+        return Some(PlanDelta::ComputeCosts(cand.costs.clone()));
+    }
+    None
+}
+
 /// Greedily shrink a failing spec: repeatedly adopt the first candidate
-/// simplification that still fails [`check_spec`], until none does. The
-/// result is the minimal failing scenario this strategy can reach,
-/// together with its failure detail.
+/// simplification that still fails, until none does. The result is the
+/// minimal failing scenario this strategy can reach, together with its
+/// failure detail.
+///
+/// Candidates that differ from the current spec only in faults or only
+/// in compute costs are checked through [`ExecPlan::apply_delta`] on a
+/// plan lowered once per round (the delta's inverse restores it), so the
+/// most common shrink steps — dropping fault entries, clearing costs —
+/// never re-lower. Everything else goes through [`check_spec`].
 pub fn shrink(spec: &ScenarioSpec) -> (ScenarioSpec, String) {
     let mut cur = spec.clone();
     let mut detail = match check_spec(&cur) {
@@ -1122,8 +1163,43 @@ pub fn shrink(spec: &ScenarioSpec) -> (ScenarioSpec, String) {
     // terminates; the iteration cap is a pure backstop.
     for _ in 0..200 {
         let mut improved = false;
+        // One lowering per round serves every fault/cost-only candidate.
+        let guest = cur.build_guest();
+        let host = cur.build_host();
+        let assign = cur.build_assignment();
+        let config = EngineConfig {
+            multicast: cur.multicast,
+            record_timing: true,
+            mem: cur.mem,
+            ..EngineConfig::default()
+        };
+        let mut base = ExecPlan::build(&guest, &host, &assign, config)
+            .ok()
+            .map(|p| match &cur.costs {
+                Some(c) => p.with_compute_costs(c.clone()),
+                None => p,
+            })
+            .and_then(|p| {
+                if cur.faults.is_empty() {
+                    Some(p)
+                } else {
+                    p.with_faults(cur.build_faults()).ok()
+                }
+            });
         for cand in candidates(&cur) {
-            if let Err(d) = check_spec(&cand) {
+            let res = match (&mut base, fault_or_cost_delta(&cur, &cand)) {
+                (Some(plan), Some(delta)) => match plan.apply_delta(delta) {
+                    Ok(receipt) => {
+                        let r = check_plan(&cand, plan);
+                        plan.apply_delta(receipt.inverse)
+                            .expect("inverse delta must apply");
+                        r
+                    }
+                    Err(_) => check_spec(&cand),
+                },
+                _ => check_spec(&cand),
+            };
+            if let Err(d) = res {
                 cur = cand;
                 detail = d;
                 improved = true;

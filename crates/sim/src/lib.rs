@@ -58,7 +58,7 @@ pub use bandwidth::BandwidthMode;
 pub use engine::{Engine, EngineConfig, Jitter, RunError, RunOutcome};
 pub use faults::{FaultPlan, RetryPolicy};
 pub use lockstep::run_lockstep;
-pub use plan::ExecPlan;
+pub use plan::{AppliedDelta, ExecPlan, PlanDelta};
 pub use routing::RoutingTable;
 pub use sharded::{run_sharded, run_sharded_with, Partition};
 pub use stats::{FaultStats, RunStats};

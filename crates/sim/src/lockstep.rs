@@ -207,6 +207,7 @@ pub fn run_lockstep(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
         mean_link_pebbles: 0.0,
         events_processed: 0,
         peak_queue_depth: 0,
+        queue_clamped_pushes: 0,
         faults: crate::stats::FaultStats::default(),
         stalls: None,
         mem: crate::stats::MemStats::default(),

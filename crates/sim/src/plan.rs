@@ -35,6 +35,7 @@ use crate::multicast::MulticastTable;
 use crate::routing::RoutingTable;
 use overlap_model::{Dep, GuestSpec, Side};
 use overlap_net::{Delay, HostGraph, NodeId};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Marks a readiness-check entry as a subscription (vs. held-cell) index.
@@ -422,6 +423,39 @@ impl Routes {
     }
 }
 
+/// An incremental mutation of an already-lowered [`ExecPlan`], applied by
+/// [`ExecPlan::apply_delta`]. Fault and compute-cost deltas never touch
+/// the lowering; a link-delay delta re-lowers only when the stored routes
+/// could actually change (see [`ExecPlan::apply_delta`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanDelta {
+    /// Set the delay of the undirected host link `a`–`b`.
+    LinkDelay {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// New delay in ticks (≥ 1).
+        delay: Delay,
+    },
+    /// Replace (or clear, with `None`) the plan's fault schedule.
+    Faults(Option<FaultPlan>),
+    /// Replace (or clear, with `None`) the per-processor compute costs.
+    ComputeCosts(Option<Vec<u32>>),
+}
+
+/// Receipt of a successful [`ExecPlan::apply_delta`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedDelta {
+    /// The delta that undoes this one — applying it restores the plan to
+    /// its prior state (sweeps and the fuzzer's shrinker use this to walk
+    /// a neighbourhood of plans without re-lowering).
+    pub inverse: PlanDelta,
+    /// True when the delta forced the routes and interned tables to be
+    /// rebuilt (still in place, sharing the guest and assignment).
+    pub relowered: bool,
+}
+
 /// A fully lowered simulation: routing, interning, and dependency tables
 /// built once from `(GuestSpec, HostGraph, Assignment, EngineConfig)`,
 /// shared read-only by every executor.
@@ -446,7 +480,9 @@ impl Routes {
 /// ```
 pub struct ExecPlan<'a> {
     pub(crate) guest: &'a GuestSpec,
-    pub(crate) host: &'a HostGraph,
+    /// Borrowed until the first [`apply_delta`](Self::apply_delta) that
+    /// edits a link delay, which clones the host into the plan.
+    pub(crate) host: Cow<'a, HostGraph>,
     pub(crate) assign: &'a Assignment,
     pub(crate) config: EngineConfig,
     pub(crate) compute_costs: Option<Vec<u32>>,
@@ -504,7 +540,7 @@ impl<'a> ExecPlan<'a> {
         let hot = Hot::build(guest, host, assign, &routes);
         Ok(Self {
             guest,
-            host,
+            host: Cow::Borrowed(host),
             assign,
             config,
             compute_costs: None,
@@ -537,7 +573,7 @@ impl<'a> ExecPlan<'a> {
     ///
     /// [`Engine::with_faults`]: crate::engine::Engine::with_faults
     pub fn with_faults(mut self, plan: FaultPlan) -> Result<Self, RunError> {
-        plan.validate(self.host)?;
+        plan.validate(&self.host)?;
         self.faults = Some(plan);
         Ok(self)
     }
@@ -547,9 +583,10 @@ impl<'a> ExecPlan<'a> {
         self.guest
     }
 
-    /// The host NOW this plan targets.
-    pub fn host(&self) -> &'a HostGraph {
-        self.host
+    /// The host NOW this plan targets (possibly delta-edited, in which
+    /// case it is a private copy owned by the plan).
+    pub fn host(&self) -> &HostGraph {
+        &self.host
     }
 
     /// The database assignment baked into the plan.
@@ -589,6 +626,136 @@ impl<'a> ExecPlan<'a> {
     /// Convenience: execute this plan on the event engine.
     pub fn run(&self) -> Result<RunOutcome, RunError> {
         crate::engine::Engine::from_plan(self).run()
+    }
+
+    /// Apply an incremental change to this plan, returning the inverse
+    /// delta that undoes it.
+    ///
+    /// Fault-plan swaps and compute-cost overrides never touch the
+    /// lowering: they are validated and stored, exactly as
+    /// [`with_faults`](Self::with_faults) /
+    /// [`with_compute_costs`](Self::with_compute_costs) would.
+    ///
+    /// A [`PlanDelta::LinkDelay`] keeps the interned tables when the
+    /// stored routes provably cannot change (DESIGN.md §15.3):
+    ///
+    /// * on a **tree host** every route is forced, so only the per-link
+    ///   delay table (and unicast route totals) are patched;
+    /// * otherwise, only when the delay **grew** and **no lowered route
+    ///   crosses the link** — every stored route keeps its old length
+    ///   while alternatives can only lengthen, and the deterministic
+    ///   tie-breaks (`(dist, proc)` holder choice, Dijkstra's parent
+    ///   order) resolve as before, so a fresh lowering would reproduce
+    ///   the stored tables verbatim.
+    ///
+    /// Any other delay change rebuilds routes and tables in place
+    /// (`relowered: true` in the receipt) — still cheaper than a fresh
+    /// [`build`](Self::build) call site, and the plan's identity (guest,
+    /// assignment, config, attached faults/costs) is preserved.
+    ///
+    /// The receipt's [`inverse`](AppliedDelta::inverse) restores the
+    /// prior plan state; a delta-applied plan is always bit-identical to
+    /// a fresh lowering of the same inputs, on every engine.
+    ///
+    /// Fails with [`RunError::MissingLink`] when the named link does not
+    /// exist; the fault variant validates like `with_faults`.
+    pub fn apply_delta(&mut self, delta: PlanDelta) -> Result<AppliedDelta, RunError> {
+        match delta {
+            PlanDelta::Faults(fp) => {
+                if let Some(p) = &fp {
+                    p.validate(&self.host)?;
+                }
+                let old = std::mem::replace(&mut self.faults, fp);
+                Ok(AppliedDelta {
+                    inverse: PlanDelta::Faults(old),
+                    relowered: false,
+                })
+            }
+            PlanDelta::ComputeCosts(costs) => {
+                if let Some(c) = &costs {
+                    assert_eq!(c.len() as u32, self.host.num_nodes());
+                    assert!(c.iter().all(|&x| x >= 1), "costs must be ≥ 1");
+                }
+                let old = std::mem::replace(&mut self.compute_costs, costs);
+                Ok(AppliedDelta {
+                    inverse: PlanDelta::ComputeCosts(old),
+                    relowered: false,
+                })
+            }
+            PlanDelta::LinkDelay { a, b, delay } => {
+                assert!(delay >= 1, "zero-delay link {a}-{b}");
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                let Some(li) = self
+                    .host
+                    .links()
+                    .iter()
+                    .position(|l| (l.a, l.b) == (lo, hi))
+                else {
+                    return Err(RunError::MissingLink { from: a, to: b });
+                };
+                let old = self.host.links()[li].delay;
+                let inverse = PlanDelta::LinkDelay {
+                    a: lo,
+                    b: hi,
+                    delay: old,
+                };
+                if delay == old {
+                    return Ok(AppliedDelta {
+                        inverse,
+                        relowered: false,
+                    });
+                }
+                let n = self.host.num_nodes();
+                let is_tree =
+                    self.host.num_links() as u32 == n.saturating_sub(1) && self.host.is_connected();
+                let fwd = (2 * li) as u32; // directed ids 2i / 2i+1
+                let fast = is_tree
+                    || (delay > old
+                        && matches!(self.routes, Routes::Unicast(_))
+                        && !self.hot.sub_links.iter().any(|&l| l == fwd || l == fwd + 1));
+                self.host.to_mut().set_link_delay(lo, hi, delay);
+                if fast {
+                    self.hot.link_delay[fwd as usize] = delay;
+                    self.hot.link_delay[fwd as usize + 1] = delay;
+                    if let Routes::Unicast(rt) = &mut self.routes {
+                        // Patch unicast route totals (tree case; on the
+                        // unused-link path every count is zero). Routes are
+                        // simple paths, so a link is crossed at most once.
+                        for (sid, sub) in rt.subs.iter_mut().enumerate() {
+                            let r = self.hot.sub_link_off[sid] as usize
+                                ..self.hot.sub_link_off[sid + 1] as usize;
+                            let uses = self.hot.sub_links[r]
+                                .iter()
+                                .filter(|&&l| l == fwd || l == fwd + 1)
+                                .count() as u64;
+                            sub.delay = sub.delay - uses * old + uses * delay;
+                        }
+                    }
+                    Ok(AppliedDelta {
+                        inverse,
+                        relowered: false,
+                    })
+                } else {
+                    let routes = if self.config.multicast {
+                        Routes::Multicast(MulticastTable::build_with(
+                            &self.host,
+                            self.assign,
+                            |c| self.guest.dep_union(c),
+                        ))
+                    } else {
+                        Routes::Unicast(RoutingTable::build_with(&self.host, self.assign, |c| {
+                            self.guest.dep_union(c)
+                        }))
+                    };
+                    self.hot = Hot::build(self.guest, &self.host, self.assign, &routes);
+                    self.routes = routes;
+                    Ok(AppliedDelta {
+                        inverse,
+                        relowered: true,
+                    })
+                }
+            }
+        }
     }
 }
 

@@ -15,9 +15,10 @@
 //! ([`Engine::run`](crate::Engine::run)) on every plan — faults,
 //! multicast, jitter, heterogeneous compute costs — for a given
 //! `(plan, threads, partition)` triple, independent of thread
-//! scheduling. The one intentional exception is
-//! `RunStats::peak_queue_depth`, which is redefined for multi-queue
-//! execution (see [`RunStats`]). How:
+//! scheduling. That includes `RunStats::peak_queue_depth`: each window
+//! log records how many children every event pushed, and the barrier
+//! merge replays the global pop order with those counts to reconstruct
+//! the sequential engine's single-queue depth exactly. How:
 //!
 //! * Every event carries a key `(tick, prio, j)` reproducing the
 //!   sequential engine's `(tick, push-sequence)` order: `prio` is the
@@ -221,6 +222,10 @@ struct WinLog {
     key_j: Vec<u32>,
     /// Did this event complete a pebble (decrement `remaining`)?
     completed: Vec<bool>,
+    /// Events this entry pushed (children). The barrier replays the
+    /// global pop order with these counts to reconstruct the sequential
+    /// engine's single-queue depth: `len += children - 1` per event.
+    children: Vec<u32>,
     /// Global prio (`n_seeds + processing index`), assigned at merge.
     gprio: Vec<u64>,
     /// Stat deltas to subtract if the entry is dropped at the cut.
@@ -252,6 +257,7 @@ impl WinLog {
         self.key_pidx.push(key_pidx);
         self.key_j.push(key_j);
         self.completed.push(false);
+        self.children.push(0);
         self.gprio.push(u64::MAX);
         self.d_hops.push(0);
         self.d_retries.push(0);
@@ -270,6 +276,7 @@ impl WinLog {
         self.key_pidx.clear();
         self.key_j.clear();
         self.completed.clear();
+        self.children.clear();
         self.gprio.clear();
         self.d_hops.clear();
         self.d_retries.clear();
@@ -311,8 +318,6 @@ struct ShardState {
     retries: u64,
     stall_ticks: u64,
     makespan: u64,
-    /// Largest `resolved.len() + fresh.len()` seen this window.
-    win_peak: usize,
     // Window products, consumed at the barrier.
     log: WinLog,
     outbox: Vec<Vec<OutMsg>>,
@@ -396,10 +401,6 @@ fn push_child(
                 ev,
             },
         );
-        let depth = sh.resolved.len() + sh.fresh.len();
-        if depth > sh.win_peak {
-            sh.win_peak = depth;
-        }
     } else {
         sh.outbox[target as usize].push(OutMsg {
             tick,
@@ -940,6 +941,7 @@ fn process_event(
         }
         Ev::Crash { .. } => unreachable!("crashes are processed at barriers"),
     }
+    sh.log.children[entry] = j;
     Ok(())
 }
 
@@ -1004,6 +1006,13 @@ struct MergeOut {
 /// Merge the shards' window logs into the global event order, assign
 /// global processing indices, splice kept fault marks into the timeline,
 /// and un-count everything past the run's final completion.
+///
+/// `qlen`/`peak` carry the reconstructed single-queue depth across
+/// windows: the sequential engine pops one event (`len -= 1`) and pushes
+/// its children one by one (peak checked after each push), so per kept
+/// event the depth maximum is `len - 1 + children` — replayed here in the
+/// exact global pop order. Dropped (post-cut) entries would only have
+/// been pops and never raise the peak.
 #[allow(clippy::too_many_arguments)]
 fn merge_windows(
     slots: &mut [Option<Box<ShardState>>],
@@ -1012,6 +1021,8 @@ fn merge_windows(
     r_start: u64,
     record_timing: bool,
     timeline: &mut Vec<FaultMark>,
+    qlen: &mut u64,
+    peak: &mut u64,
 ) -> MergeOut {
     let nshards = slots.len();
     // Build the global visit order tick by tick. Each shard's same-tick
@@ -1078,6 +1089,14 @@ fn merge_windows(
                 }
             }
             out.kept_events += 1;
+            *qlen -= 1;
+            let c = sh.log.children[i] as u64;
+            if c > 0 {
+                *qlen += c;
+                if *qlen > *peak {
+                    *peak = *qlen;
+                }
+            }
             if record_timing {
                 let lo = sh.log.mark_off[i] as usize;
                 let hi = sh.log.mark_off[i + 1] as usize;
@@ -1218,12 +1237,16 @@ fn process_crash(
     pebble_hops: &mut u64,
     fstats: &mut FaultStats,
     timeline: &mut Vec<FaultMark>,
+    qlen: &mut u64,
+    peak: &mut u64,
 ) -> Result<(), RunError> {
     let plan = env.plan;
     let hot = &plan.hot;
     let f = env.frt.as_ref().expect("crash implies fault plan");
     let (tick, p) = (c.tick, c.proc as usize);
     *events_processed += 1;
+    // The crash event is a queue pop in the sequential engine.
+    *qlen -= 1;
     let crash_prio = env.n_seeds + *gpos;
     *gpos += 1;
     let snap = Arc::make_mut(ro);
@@ -1296,7 +1319,7 @@ fn process_crash(
     for (cell, dest, dest_dep) in orphans {
         let sp = sp_cache
             .entry(dest)
-            .or_insert_with(|| dijkstra(plan.host, dest));
+            .or_insert_with(|| dijkstra(&plan.host, dest));
         let best = plan
             .assign
             .holders(cell)
@@ -1305,7 +1328,14 @@ fn process_crash(
             .filter(|&q| !snap.crashed[q as usize])
             .min_by_key(|&q| (sp.dist[q as usize], q))
             .expect("surviving holder checked above");
-        let mut path = sp.path_to(best).expect("connected host");
+        let Some(mut path) = sp.path_to(best) else {
+            return Err(RunError::NoRouteToHolder {
+                cell,
+                holder: best,
+                consumer: dest,
+                tick,
+            });
+        };
         path.reverse();
         let links: Vec<u32> = path.windows(2).map(|w| f.link_ids[&(w[0], w[1])]).collect();
         let nhops = links.len() as u64;
@@ -1351,6 +1381,14 @@ fn process_crash(
             )?;
         }
     }
+    // Backfill sends are the crash event's children in the sequential
+    // queue; the depth maximum occurs after the last push.
+    if j > 0 {
+        *qlen += j as u64;
+        if *qlen > *peak {
+            *peak = *qlen;
+        }
+    }
     Ok(())
 }
 
@@ -1392,8 +1430,9 @@ struct Job {
 
 /// Run `plan` on the sharded engine with the default
 /// [`Partition::DelayCut`] heuristic. Bit-identical to
-/// [`Engine::run`](crate::Engine::run) except `peak_queue_depth` (see
-/// [`RunStats`]).
+/// [`Engine::run`](crate::Engine::run), including `peak_queue_depth`
+/// (the barrier merge replays the global pop order and reconstructs the
+/// sequential single-queue depth from per-event child counts).
 pub fn run_sharded(plan: &ExecPlan<'_>, threads: usize) -> Result<RunOutcome, RunError> {
     run_sharded_with(plan, threads, Partition::DelayCut)
 }
@@ -1411,7 +1450,7 @@ pub fn run_sharded_with(
     let program: ProgramRef = plan.guest.program.instantiate();
     let kind = program.db_kind();
     let frt: Option<FaultRt> = match plan.faults.as_ref() {
-        Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, plan.host)?),
+        Some(fp) if !fp.is_empty() => Some(FaultRt::build(fp, &plan.host)?),
         _ => None,
     };
     let jitter = plan.config.jitter;
@@ -1468,7 +1507,6 @@ pub fn run_sharded_with(
                 retries: 0,
                 stall_ticks: 0,
                 makespan: 0,
-                win_peak: 0,
                 log: WinLog::new(),
                 outbox: (0..nshards).map(|_| Vec::new()).collect(),
                 err: None,
@@ -1562,10 +1600,6 @@ pub fn run_sharded_with(
             seed_ctr += 1;
         }
     }
-    for sh in &mut shards {
-        sh.win_peak = sh.resolved.len();
-    }
-
     let total_compute: u64 = hot
         .procs
         .iter()
@@ -1626,11 +1660,10 @@ pub fn run_sharded_with(
         let mut fstats = FaultStats::default();
         let mut timeline: Vec<FaultMark> = Vec::new();
         let mut total_forfeited = 0u64;
-        let mut peak: usize = slots
-            .iter()
-            .map(|s| s.as_ref().unwrap().win_peak)
-            .max()
-            .unwrap_or(0);
+        // Reconstructed sequential queue depth: seeding pushes `n_seeds`
+        // events before the first pop, so both start there.
+        let mut qlen: u64 = env.n_seeds;
+        let mut peak: u64 = qlen;
 
         loop {
             let next = pending_min(&mut slots, &crash_list, crash_cur);
@@ -1683,6 +1716,8 @@ pub fn run_sharded_with(
                         &mut g_pebble_hops,
                         &mut fstats,
                         &mut timeline,
+                        &mut qlen,
+                        &mut peak,
                     )?;
                 }
                 continue;
@@ -1734,30 +1769,14 @@ pub fn run_sharded_with(
                 r_start,
                 env.record_timing,
                 &mut timeline,
+                &mut qlen,
+                &mut peak,
             );
             if let Some(e) = m.err {
                 return Err(e);
             }
             events_processed += m.kept_events;
             remaining -= m.completions;
-
-            let in_flight: usize = slots
-                .iter()
-                .map(|s| {
-                    s.as_ref()
-                        .unwrap()
-                        .outbox
-                        .iter()
-                        .map(Vec::len)
-                        .sum::<usize>()
-                })
-                .sum();
-            let wpeak = slots
-                .iter()
-                .map(|s| s.as_ref().unwrap().win_peak)
-                .max()
-                .unwrap_or(0);
-            peak = peak.max(wpeak + in_flight);
 
             if m.cut {
                 debug_assert_eq!(remaining, 0);
@@ -1814,7 +1833,6 @@ pub fn run_sharded_with(
             for slot in slots.iter_mut() {
                 let sh = slot.as_mut().unwrap();
                 sh.log.clear();
-                sh.win_peak = sh.resolved.len();
             }
         }
 
@@ -1868,8 +1886,10 @@ pub fn run_sharded_with(
         let mut pebble_hops = g_pebble_hops;
         let mut link_traffic: Vec<u64> = vec![0; hot.link_delay.len()];
         let mut mem_stats = crate::stats::MemStats::default();
+        let mut clamped = 0u64;
         for slot in &slots {
             let sh = slot.as_ref().unwrap();
+            clamped += sh.fresh.clamped();
             makespan = makespan.max(sh.makespan);
             messages += sh.messages;
             pebble_hops += sh.pebble_hops;
@@ -1914,7 +1934,8 @@ pub fn run_sharded_with(
                 }
             },
             events_processed,
-            peak_queue_depth: peak as u64,
+            peak_queue_depth: peak,
+            queue_clamped_pushes: clamped,
             faults: fstats,
             stalls: None,
             mem: mem_stats,
@@ -1970,9 +1991,7 @@ mod tests {
                 let got = run_sharded_with(plan, threads, how);
                 match (&seq, &got) {
                     (Ok(a), Ok(b)) => {
-                        let mut b = b.clone();
-                        b.stats.peak_queue_depth = a.stats.peak_queue_depth;
-                        assert_eq!(a, &b, "threads={threads} how={how:?}");
+                        assert_eq!(a, b, "threads={threads} how={how:?}");
                     }
                     (Err(a), Err(b)) => assert_eq!(a, b, "threads={threads} how={how:?}"),
                     _ => panic!(

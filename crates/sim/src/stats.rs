@@ -45,17 +45,20 @@ pub struct RunStats {
     /// Largest number of simultaneously pending events — a proxy for the
     /// engine's peak memory footprint.
     ///
-    /// Under multi-queue execution (the sharded engine) this is the
-    /// per-window maximum of **max over shards** of that shard's queue
-    /// depth **plus** all cross-shard messages in flight at the window
-    /// barrier. It measures the same thing — peak storage for pending
-    /// events — but is *not* bit-comparable to the sequential engine's
-    /// single-queue value: events that would coexist in one global queue
-    /// are split across shard queues whose local peaks occur at different
-    /// ticks. Differential tests normalise this field before comparing
-    /// outcomes; every other field is bit-identical across engines.
+    /// The sharded engine reports the *same* value as the sequential
+    /// event engine: each window's merge replays the global
+    /// `(tick, prio, seq)` pop order and reconstructs the single-queue
+    /// depth from per-event child counts, so this field is bit-comparable
+    /// across every [`EngineKind`](crate::engine). The stepped and
+    /// lockstep engines have no event queue and report 0.
     #[serde(default)]
     pub peak_queue_depth: u64,
+    /// Past-tick pushes the event calendar had to clamp forward to its
+    /// cursor — an anomaly counter, always zero on a healthy run. A
+    /// non-zero value means an engine tried to schedule work in the past
+    /// (silent time-travel); debug builds assert instead of counting.
+    #[serde(default)]
+    pub queue_clamped_pushes: u64,
     /// Fault-recovery counters (all zero when the run had no fault plan).
     #[serde(default)]
     pub faults: FaultStats,
@@ -146,6 +149,7 @@ mod tests {
             mean_link_pebbles: 10.0,
             events_processed: 250,
             peak_queue_depth: 12,
+            queue_clamped_pushes: 0,
             faults: FaultStats::default(),
             stalls: None,
             mem: MemStats::default(),

@@ -15,6 +15,20 @@
 //! Empty stretches are skipped by jumping to the next calendar event or
 //! scheduled crash.
 //!
+//! Per-copy state lives in **structure-of-arrays** form (see [`SoA`]):
+//! one flat array per field, indexed by the plan's dense copy id
+//! `copy_off[p] + i`, with dependency rows indexed by `dep_off[p] + k`.
+//! Per-tick sweeps walk contiguous memory instead of pointer-chasing
+//! per-copy structs. The ready set and the received-pebble table are
+//! **bitsets**: selection of the next pebble is a word scan over the
+//! processor's ready words, and the dependency watermark advances by
+//! counting trailing ones — no per-step boolean loads. The parallel
+//! phases carve the flat arrays into disjoint per-processor
+//! [`ProcView`]s with `split_at_mut`, so each worker owns exactly its
+//! processor's word-aligned range (bitset ranges are word-padded per
+//! processor for this reason). DESIGN.md §15 documents the layout and
+//! its invariants.
+//!
 //! The engine consumes a lowered [`ExecPlan`] — it builds no routing or
 //! interning tables of its own. Compute costs and fault plans attached to
 //! the plan are honored: link outages time out and retry with exponential
@@ -39,8 +53,7 @@ use overlap_model::{fold64, Db, PebbleValue, ProgramRef};
 use overlap_net::paths::dijkstra;
 use overlap_net::NodeId;
 use rayon::prelude::*;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, HashMap};
 
 /// One calendar entry: an arrival at route node `hop` (when `resend` is
 /// false) or a retry of the send *into* node `hop` after a link timeout.
@@ -54,20 +67,53 @@ struct Delivery {
     resend: bool,
 }
 
-/// Per-processor mutable state (the stepped twin of the event engine's).
-/// Step-indexed arrays are flat with stride `steps + 1`.
-struct Proc {
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+#[inline]
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1u64 << (i % 64));
+}
+
+/// Structure-of-arrays per-copy state. Copy-indexed arrays use the
+/// plan's dense copy id `copy_off[p] + i`; step-indexed arrays are flat
+/// with stride `steps + 1`; dependency rows use `dep_off[p] + k`.
+///
+/// The two bitsets are **word-padded per processor**: processor `p`
+/// owns ready/queued words `[rw_off[p], rw_off[p+1])` (bit `i` of the
+/// range = held cell `i`), and dependency-receipt rows of
+/// `row_words = ⌈(steps+1)/64⌉` words each — so disjoint `ProcView`s
+/// never share a word.
+struct SoA {
     next_step: Vec<u32>,
-    history: Vec<PebbleValue>,
-    dbs: Vec<Db>,
     value_fold: Vec<u64>,
     update_fold: Vec<u64>,
     finished_at: Vec<u64>,
+    history: Vec<PebbleValue>,
+    dbs: Vec<Db>,
     dep_values: Vec<PebbleValue>,
-    dep_have: Vec<bool>,
     dep_watermark: Vec<u32>,
-    ready: BinaryHeap<Reverse<(u32, u32)>>,
-    queued: Vec<bool>,
+    /// Bit `s` of row `dep_off[p] + k`: pebble `s` of dependency `k`
+    /// has been received.
+    dep_have: Vec<u64>,
+    /// Queueable frontier: bit set ⇔ the cell is in the ready set
+    /// (the SoA twin of the old per-proc binary heap's membership).
+    ready: Vec<u64>,
+    /// Claimed flags: set while a cell is queued *or* its pebble is in
+    /// flight, so deliveries cannot re-queue an already-claimed cell.
+    /// Cleared only when the pebble completes.
+    queued: Vec<u64>,
+}
+
+/// Per-processor control state that is not per-copy array data.
+struct Ctl {
     /// Multi-tick pebble in flight: `(own idx, finish tick)`.
     pending: Option<(u32, u64)>,
     /// Pebbles computed this tick: (own idx, step, value).
@@ -76,7 +122,84 @@ struct Proc {
     mem: Option<crate::engine::MemLru>,
 }
 
-impl Proc {
+/// Array geometry shared by the global loop and the per-proc views.
+struct Layout {
+    /// Copy-id range of processor `p`: `[copy_off[p], copy_off[p+1])`.
+    copy_off: Vec<usize>,
+    /// Dependency-row range of processor `p`.
+    dep_off: Vec<usize>,
+    /// Ready/queued word range of processor `p` (word-aligned).
+    rw_off: Vec<usize>,
+    stride: usize,
+    /// Words per dependency-receipt row: `⌈stride / 64⌉`.
+    row_words: usize,
+}
+
+/// One processor's disjoint mutable window into the [`SoA`] arrays —
+/// what phase 1 (deliver) and phase 2 (compute) hand to each parallel
+/// worker. All indices are processor-local.
+struct ProcView<'a> {
+    next_step: &'a mut [u32],
+    value_fold: &'a mut [u64],
+    update_fold: &'a mut [u64],
+    finished_at: &'a mut [u64],
+    history: &'a mut [PebbleValue],
+    dbs: &'a mut [Db],
+    dep_values: &'a mut [PebbleValue],
+    dep_watermark: &'a mut [u32],
+    dep_have: &'a mut [u64],
+    ready: &'a mut [u64],
+    queued: &'a mut [u64],
+    ctl: &'a mut Ctl,
+}
+
+/// Carve the flat arrays into per-processor disjoint views. Bitset
+/// ranges are word-aligned per processor, so no two views alias.
+fn split_views<'a>(soa: &'a mut SoA, ctls: &'a mut [Ctl], lay: &Layout) -> Vec<ProcView<'a>> {
+    let n = lay.copy_off.len() - 1;
+    let mut next_step = soa.next_step.as_mut_slice();
+    let mut value_fold = soa.value_fold.as_mut_slice();
+    let mut update_fold = soa.update_fold.as_mut_slice();
+    let mut finished_at = soa.finished_at.as_mut_slice();
+    let mut history = soa.history.as_mut_slice();
+    let mut dbs = soa.dbs.as_mut_slice();
+    let mut dep_values = soa.dep_values.as_mut_slice();
+    let mut dep_watermark = soa.dep_watermark.as_mut_slice();
+    let mut dep_have = soa.dep_have.as_mut_slice();
+    let mut ready = soa.ready.as_mut_slice();
+    let mut queued = soa.queued.as_mut_slice();
+    let mut ctls = ctls;
+    macro_rules! carve {
+        ($arr:ident, $len:expr) => {{
+            let (head, tail) = std::mem::take(&mut $arr).split_at_mut($len);
+            $arr = tail;
+            head
+        }};
+    }
+    let mut out = Vec::with_capacity(n);
+    for p in 0..n {
+        let nc = lay.copy_off[p + 1] - lay.copy_off[p];
+        let nd = lay.dep_off[p + 1] - lay.dep_off[p];
+        let nw = lay.rw_off[p + 1] - lay.rw_off[p];
+        out.push(ProcView {
+            next_step: carve!(next_step, nc),
+            value_fold: carve!(value_fold, nc),
+            update_fold: carve!(update_fold, nc),
+            finished_at: carve!(finished_at, nc),
+            history: carve!(history, nc * lay.stride),
+            dbs: carve!(dbs, nc),
+            dep_values: carve!(dep_values, nd * lay.stride),
+            dep_watermark: carve!(dep_watermark, nd),
+            dep_have: carve!(dep_have, nd * lay.row_words),
+            ready: carve!(ready, nw),
+            queued: carve!(queued, nw),
+            ctl: &mut carve!(ctls, 1)[0],
+        });
+    }
+    out
+}
+
+impl ProcView<'_> {
     /// Is held cell `i` ready? Pure walk over the plan's check tables.
     fn is_ready(&self, pt: &ProcTables, i: usize, steps: u32) -> bool {
         let s = self.next_step[i];
@@ -96,10 +219,57 @@ impl Proc {
     }
 
     fn requeue(&mut self, pt: &ProcTables, i: usize, steps: u32) {
-        if !self.queued[i] && self.is_ready(pt, i, steps) {
-            self.ready.push(Reverse((self.next_step[i], i as u32)));
-            self.queued[i] = true;
+        if !bit_get(self.queued, i) && self.is_ready(pt, i, steps) {
+            bit_set(self.queued, i);
+            bit_set(self.ready, i);
         }
+    }
+
+    /// Pop the ready cell minimizing `(next_step, index)` — the exact
+    /// order the old binary heap produced, since `next_step` is frozen
+    /// while a cell is queued. Word scan over the ready bitset; the
+    /// claimed (`queued`) bit stays set until the pebble completes.
+    fn pop_min(&mut self) -> Option<u32> {
+        let mut best: Option<(u32, u32)> = None;
+        for (w, &bits) in self.ready.iter().enumerate() {
+            let mut word = bits;
+            while word != 0 {
+                let i = (w * 64) as u32 + word.trailing_zeros();
+                let key = (self.next_step[i as usize], i);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+                word &= word - 1;
+            }
+        }
+        let (_, i) = best?;
+        bit_clear(self.ready, i as usize);
+        Some(i)
+    }
+
+    /// Record receipt of pebble `step` on dependency row `k` and advance
+    /// the contiguous watermark by counting trailing ones in the row.
+    fn deliver_dep(&mut self, k: usize, step: u32, value: PebbleValue, steps: u32, lay: &Layout) {
+        self.dep_values[k * lay.stride + step as usize] = value;
+        let row = &mut self.dep_have[k * lay.row_words..(k + 1) * lay.row_words];
+        let b = step as usize;
+        row[b / 64] |= 1u64 << (b % 64);
+        let mut w = self.dep_watermark[k];
+        while w < steps {
+            let bit = w as usize + 1;
+            let word = row[bit / 64] >> (bit % 64);
+            let ones = (!word).trailing_zeros();
+            if ones == 0 {
+                break;
+            }
+            let span = (64 - (bit % 64) as u32).min(steps - w);
+            let adv = ones.min(span);
+            w += adv;
+            if ones < span {
+                break;
+            }
+        }
+        self.dep_watermark[k] = w;
     }
 }
 
@@ -135,46 +305,71 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
     let has_task_costs = guest.has_nonunit_task_costs();
     let has_relays = guest.graph.is_some();
 
-    // ---- processor states, straight off the plan's tables ----
+    // ---- array geometry, straight off the plan's tables ----
+    let row_words = stride.div_ceil(64);
+    let lay = {
+        let mut copy_off = Vec::with_capacity(n as usize + 1);
+        let mut dep_off = Vec::with_capacity(n as usize + 1);
+        let mut rw_off = Vec::with_capacity(n as usize + 1);
+        let (mut co, mut dof, mut rw) = (0usize, 0usize, 0usize);
+        copy_off.push(0);
+        dep_off.push(0);
+        rw_off.push(0);
+        for pt in &hot.procs {
+            co += pt.cells.len();
+            dof += pt.dep_cells.len();
+            rw += pt.cells.len().div_ceil(64);
+            copy_off.push(co);
+            dep_off.push(dof);
+            rw_off.push(rw);
+        }
+        Layout {
+            copy_off,
+            dep_off,
+            rw_off,
+            stride,
+            row_words,
+        }
+    };
+    let total_copies = *lay.copy_off.last().unwrap();
+    let total_deps = *lay.dep_off.last().unwrap();
+    let total_words = *lay.rw_off.last().unwrap();
+    debug_assert_eq!(total_copies, *hot.copy_off.last().unwrap() as usize);
+
     let kind = program.db_kind();
-    let mut procs: Vec<Proc> = hot
+    let mut soa = SoA {
+        next_step: vec![1; total_copies],
+        value_fold: vec![0xF01Du64; total_copies],
+        update_fold: vec![0xD16u64; total_copies],
+        finished_at: vec![0; total_copies],
+        history: vec![0 as PebbleValue; total_copies * stride],
+        dbs: Vec::with_capacity(total_copies),
+        dep_values: vec![0 as PebbleValue; total_deps * stride],
+        dep_watermark: vec![0; total_deps],
+        dep_have: vec![0u64; total_deps * row_words],
+        ready: vec![0u64; total_words],
+        queued: vec![0u64; total_words],
+    };
+    for (p, pt) in hot.procs.iter().enumerate() {
+        for (i, &c) in pt.cells.iter().enumerate() {
+            soa.history[(lay.copy_off[p] + i) * stride] = guest.initial_value(c);
+            soa.dbs.push(kind.instantiate(c, guest.seed));
+        }
+        for (k, &c) in pt.dep_cells.iter().enumerate() {
+            let row = lay.dep_off[p] + k;
+            soa.dep_values[row * stride] = guest.initial_value(c);
+            soa.dep_have[row * row_words] |= 1;
+        }
+    }
+    let mut ctls: Vec<Ctl> = hot
         .procs
         .iter()
-        .map(|pt| {
-            let nc = pt.cells.len();
-            let nd = pt.dep_cells.len();
-            let mut history = vec![0 as PebbleValue; nc * stride];
-            for (i, &c) in pt.cells.iter().enumerate() {
-                history[i * stride] = guest.initial_value(c);
-            }
-            let mut dep_values = vec![0 as PebbleValue; nd * stride];
-            let mut dep_have = vec![false; nd * stride];
-            for (k, &c) in pt.dep_cells.iter().enumerate() {
-                dep_values[k * stride] = guest.initial_value(c);
-                dep_have[k * stride] = true;
-            }
-            Proc {
-                next_step: vec![1; nc],
-                history,
-                dbs: pt
-                    .cells
-                    .iter()
-                    .map(|&c| kind.instantiate(c, guest.seed))
-                    .collect(),
-                value_fold: vec![0xF01Du64; nc],
-                update_fold: vec![0xD16u64; nc],
-                finished_at: vec![0; nc],
-                dep_values,
-                dep_have,
-                dep_watermark: vec![0; nd],
-                ready: BinaryHeap::new(),
-                queued: vec![false; nc],
-                pending: None,
-                outbox: Vec::new(),
-                mem: config
-                    .mem
-                    .map(|m| crate::engine::MemLru::new(nc, m.budget, m.reload_cost)),
-            }
+        .map(|pt| Ctl {
+            pending: None,
+            outbox: Vec::new(),
+            mem: config
+                .mem
+                .map(|m| crate::engine::MemLru::new(pt.cells.len(), m.budget, m.reload_cost)),
         })
         .collect();
 
@@ -210,9 +405,13 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
     let mut calendar: BTreeMap<u64, Vec<Delivery>> = BTreeMap::new();
 
     // ---- seed ready queues ----
-    for (pt, p) in hot.procs.iter().zip(procs.iter_mut()) {
+    for (p, mut v) in split_views(&mut soa, &mut ctls, &lay)
+        .into_iter()
+        .enumerate()
+    {
+        let pt = &hot.procs[p];
         for i in 0..pt.cells.len() {
-            p.requeue(pt, i, steps);
+            v.requeue(pt, i, steps);
         }
     }
 
@@ -312,8 +511,11 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
 
         // ---- phase 0: crashes scheduled at this tick (before deliveries
         // and computes, matching the event engine's crash-first order) ----
-        while crash_sched.last().is_some_and(|&(at, _)| at <= tick) {
-            let (_, proc) = crash_sched.pop().unwrap();
+        while let Some(&(at, proc)) = crash_sched.last() {
+            if at > tick {
+                break;
+            }
+            crash_sched.pop();
             let p = proc as usize;
             let f = frt.as_ref().expect("crash implies fault plan");
             if crashed[p] {
@@ -324,15 +526,14 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
             let pt = &hot.procs[p];
             fstats.lost_copies += pt.cells.len() as u32;
             // Forfeit uncomputed pebbles, including any in flight.
-            let forfeited: u64 = procs[p]
-                .next_step
+            let forfeited: u64 = soa.next_step[lay.copy_off[p]..lay.copy_off[p + 1]]
                 .iter()
                 .map(|&ns| (steps + 1 - ns) as u64)
                 .sum();
             remaining -= forfeited;
             total_forfeited += forfeited;
-            procs[p].pending = None;
-            procs[p].ready.clear();
+            ctls[p].pending = None;
+            soa.ready[lay.rw_off[p]..lay.rw_off[p + 1]].fill(0);
 
             // A column whose every copy is gone is unrecoverable.
             for &c in &pt.cells {
@@ -357,7 +558,7 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
                 }
             }
             if !orphans.is_empty() && dyn_out.is_empty() {
-                dyn_out = vec![Vec::new(); *hot.copy_off.last().unwrap() as usize];
+                dyn_out = vec![Vec::new(); total_copies];
             }
             let mut sp_cache: HashMap<NodeId, overlap_net::paths::PathResult> = HashMap::new();
             for (cell, dest, dest_dep) in orphans {
@@ -369,7 +570,14 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
                     .filter(|&q| !crashed[q as usize])
                     .min_by_key(|&q| (sp.dist[q as usize], q))
                     .expect("surviving holder checked above");
-                let mut path = sp.path_to(best).expect("connected host");
+                let Some(mut path) = sp.path_to(best) else {
+                    return Err(RunError::NoRouteToHolder {
+                        cell,
+                        holder: best,
+                        consumer: dest,
+                        tick,
+                    });
+                };
                 path.reverse();
                 let links: Vec<u32> = path.windows(2).map(|w| f.link_ids[&(w[0], w[1])]).collect();
                 let nhops = links.len() as u64;
@@ -378,9 +586,9 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
                     .cells
                     .binary_search(&cell)
                     .expect("holder holds cell");
-                let src_cid = hot.copy_off[best as usize] as usize + pos;
+                let src_cid = lay.copy_off[best as usize] + pos;
                 let sid = (n_orig_subs + dyn_subs.len()) as u32;
-                let computed = procs[best as usize].next_step[pos] - 1;
+                let computed = soa.next_step[src_cid] - 1;
                 dyn_subs.push(DynSub {
                     cell,
                     source: best,
@@ -393,9 +601,9 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
                 // Backfill pebbles the consumer may still be missing, from
                 // its contiguous watermark up to the new source's progress;
                 // duplicate deliveries are idempotent.
-                let w = procs[dest as usize].dep_watermark[dest_dep as usize];
+                let w = soa.dep_watermark[lay.dep_off[dest as usize] + dest_dep as usize];
                 for s2 in (w + 1)..=computed {
-                    let value = procs[best as usize].history[pos * stride + s2 as usize];
+                    let value = soa.history[src_cid * stride + s2 as usize];
                     messages += 1;
                     pebble_hops += nhops;
                     send_hop!(tick, sid, 1u16, s2, value, 0u32);
@@ -434,7 +642,9 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
             let mut by_dest: Vec<(u32, Vec<Delivery>)> = finals.into_iter().collect();
             by_dest.sort_unstable_by_key(|e| e.0);
             let dyn_ref = &dyn_subs;
-            procs.par_iter_mut().enumerate().for_each(|(pid, proc_)| {
+            let lay_ref = &lay;
+            let mut views = split_views(&mut soa, &mut ctls, &lay);
+            views.par_iter_mut().enumerate().for_each(|(pid, v)| {
                 let Ok(ix) = by_dest.binary_search_by_key(&(pid as u32), |e| e.0) else {
                     return;
                 };
@@ -445,17 +655,10 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
                     } else {
                         dyn_ref[d.sub as usize - n_orig_subs].dest_dep as usize
                     };
-                    let base = k * stride;
-                    proc_.dep_values[base + d.step as usize] = d.value;
-                    proc_.dep_have[base + d.step as usize] = true;
-                    while (proc_.dep_watermark[k] as usize) < steps as usize
-                        && proc_.dep_have[base + proc_.dep_watermark[k] as usize + 1]
-                    {
-                        proc_.dep_watermark[k] += 1;
-                    }
+                    v.deliver_dep(k, d.step, d.value, steps, lay_ref);
                     for idx in pt.dep_dep_off[k] as usize..pt.dep_dep_off[k + 1] as usize {
                         let j = pt.dep_dependents[idx] as usize;
-                        proc_.requeue(pt, j, steps);
+                        v.requeue(pt, j, steps);
                     }
                 }
             });
@@ -464,88 +667,90 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
         // ---- phase 2: parallel compute (≤ 1 pebble per processor; a
         // cost-`c` pebble occupies the processor for `c` ticks) ----
         let crashed_ref = &crashed;
-        let computed: u64 = procs
+        let mut views = split_views(&mut soa, &mut ctls, &lay);
+        let computed: u64 = views
             .par_iter_mut()
             .enumerate()
-            .map(|(pid, proc_)| {
+            .map(|(pid, v)| {
                 if !crashed_ref.is_empty() && crashed_ref[pid] {
                     return 0u64;
                 }
                 let pt = &hot.procs[pid];
-                let i = match proc_.pending {
+                let i = match v.ctl.pending {
                     Some((i, fin)) if fin == tick => {
-                        proc_.pending = None;
+                        v.ctl.pending = None;
                         i as usize
                     }
                     Some(_) => return 0, // still in flight
                     None => {
-                        let Some(Reverse((_s, i))) = proc_.ready.pop() else {
+                        let Some(i) = v.pop_min() else {
                             return 0;
                         };
                         let mut c = cost_of(pid);
                         if has_task_costs {
-                            let s = proc_.next_step[i as usize];
+                            let s = v.next_step[i as usize];
                             c *= guest.task_cost(pt.cells[i as usize], s) as u64;
                         }
-                        if let Some(m) = proc_.mem.as_mut() {
+                        if let Some(m) = v.ctl.mem.as_mut() {
                             c += m.touch(i as usize);
                         }
                         if c > 1 {
-                            proc_.pending = Some((i, tick + c - 1));
+                            v.ctl.pending = Some((i, tick + c - 1));
                             return 0;
                         }
                         i as usize
                     }
                 };
                 let cell = pt.cells[i];
-                let s = proc_.next_step[i];
+                let s = v.next_step[i];
                 let sm1 = s as usize - 1;
                 let gather = pt.gather_at(i, s);
                 let mut deps_buf = Vec::with_capacity(gather.len());
                 for &src in gather {
                     deps_buf.push(match src {
                         DepSrc::Boundary { side, offset } => boundary.value(side, offset, s),
-                        DepSrc::Own(j) => proc_.history[j as usize * stride + sm1],
-                        DepSrc::Sub(k) => proc_.dep_values[k as usize * stride + sm1],
+                        DepSrc::Own(j) => v.history[j as usize * stride + sm1],
+                        DepSrc::Sub(k) => v.dep_values[k as usize * stride + sm1],
                     });
                 }
-                let (v, u) = if has_relays && guest.is_relay(cell, s) {
+                let (val, u) = if has_relays && guest.is_relay(cell, s) {
                     (deps_buf[0], overlap_model::DbUpdate::None)
                 } else {
-                    program.compute(cell, s, &proc_.dbs[i], &deps_buf)
+                    program.compute(cell, s, &v.dbs[i], &deps_buf)
                 };
-                proc_.dbs[i].apply(&u);
-                proc_.history[i * stride + s as usize] = v;
-                proc_.value_fold[i] = fold64(proc_.value_fold[i], v);
-                proc_.update_fold[i] = fold64(proc_.update_fold[i], u.digest());
-                proc_.next_step[i] = s + 1;
-                proc_.queued[i] = false;
+                v.dbs[i].apply(&u);
+                v.history[i * stride + s as usize] = val;
+                v.value_fold[i] = fold64(v.value_fold[i], val);
+                v.update_fold[i] = fold64(v.update_fold[i], u.digest());
+                v.next_step[i] = s + 1;
+                bit_clear(v.queued, i);
                 if s == steps {
-                    proc_.finished_at[i] = tick + 1;
+                    v.finished_at[i] = tick + 1;
                 }
-                proc_.outbox.push((i as u32, s, v));
+                v.ctl.outbox.push((i as u32, s, val));
                 // Unblock self and local dependents.
-                proc_.requeue(pt, i, steps);
+                v.requeue(pt, i, steps);
                 for idx in pt.own_dep_off[i] as usize..pt.own_dep_off[i + 1] as usize {
                     let j = pt.own_dependents[idx] as usize;
-                    proc_.requeue(pt, j, steps);
+                    v.requeue(pt, j, steps);
                 }
                 1
             })
             .sum();
+        drop(views);
         if computed > 0 {
             remaining -= computed;
             makespan = tick + 1;
         }
 
         // ---- phase 3: deterministic sends over the plan's route lists ----
-        for (p, proc_) in procs.iter_mut().enumerate() {
-            if proc_.outbox.is_empty() {
+        for (p, ctl) in ctls.iter_mut().enumerate() {
+            if ctl.outbox.is_empty() {
                 continue;
             }
-            let outbox = std::mem::take(&mut proc_.outbox);
+            let outbox = std::mem::take(&mut ctl.outbox);
             for (i, step, value) in outbox {
-                let cid = hot.copy_off[p] as usize + i as usize;
+                let cid = lay.copy_off[p] + i as usize;
                 for &sid in &hot.out_ids[hot.out_off[cid] as usize..hot.out_off[cid + 1] as usize] {
                     messages += 1;
                     pebble_hops += sub_nlinks!(sid) as u64;
@@ -565,9 +770,8 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
         if remaining == 0 {
             break;
         }
-        let any_work = procs
-            .iter()
-            .any(|p| !p.ready.is_empty() || p.pending.is_some());
+        let any_work =
+            soa.ready.iter().any(|&w| w != 0) || ctls.iter().any(|c| c.pending.is_some());
         tick = if any_work {
             tick + 1
         } else {
@@ -603,18 +807,19 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
 
     // ---- collect (crashed processors' copies are lost) ----
     let mut copies = Vec::with_capacity(assign.total_copies());
-    for (p, (pr, pt)) in procs.iter().zip(&hot.procs).enumerate() {
+    for (p, pt) in hot.procs.iter().enumerate() {
         if frt.is_some() && crashed[p] {
             continue;
         }
         for (i, &c) in pt.cells.iter().enumerate() {
+            let cid = lay.copy_off[p] + i;
             copies.push(CopyRecord {
                 cell: c,
                 proc: p as NodeId,
-                value_fold: pr.value_fold[i],
-                db_digest: pr.dbs[i].digest(),
-                update_fold: pr.update_fold[i],
-                finished_at: pr.finished_at[i],
+                value_fold: soa.value_fold[cid],
+                db_digest: soa.dbs[cid].digest(),
+                update_fold: soa.update_fold[cid],
+                finished_at: soa.finished_at[cid],
             });
         }
     }
@@ -641,12 +846,13 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
         mean_link_pebbles: 0.0,
         events_processed: 0,
         peak_queue_depth: 0,
+        queue_clamped_pushes: 0,
         faults: fstats,
         stalls: None,
         mem: {
             let mut m = crate::stats::MemStats::default();
-            for p in &procs {
-                if let Some(l) = &p.mem {
+            for c in &ctls {
+                if let Some(l) = &c.mem {
                     m.evictions += l.evictions;
                     m.reloads += l.reloads;
                     m.reload_ticks += l.reload_ticks;
@@ -873,5 +1079,64 @@ mod tests {
         let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
         let out = run_stepped(&plan).unwrap();
         assert_eq!(out.stats.makespan, 0);
+    }
+
+    /// The bitset watermark advance must agree with the naive per-step
+    /// boolean walk for every receipt pattern, including runs crossing
+    /// word boundaries.
+    #[test]
+    fn watermark_advance_matches_naive_walk() {
+        let steps: u32 = 150; // three words of receipt bits
+        let stride = steps as usize + 1;
+        let row_words = stride.div_ceil(64);
+        let lay = Layout {
+            copy_off: vec![0, 1],
+            dep_off: vec![0, 1],
+            rw_off: vec![0, 1],
+            stride,
+            row_words,
+        };
+        let mut rng: u64 = 0x5EED;
+        for _ in 0..50 {
+            let mut soa = SoA {
+                next_step: vec![1],
+                value_fold: vec![0],
+                update_fold: vec![0],
+                finished_at: vec![0],
+                history: vec![0; stride],
+                dbs: vec![overlap_model::DbKind::Counter.instantiate(1, 0)],
+                dep_values: vec![0; stride],
+                dep_watermark: vec![0],
+                dep_have: vec![0; row_words],
+                ready: vec![0],
+                queued: vec![0],
+            };
+            soa.dep_have[0] |= 1; // step 0 seeded
+            let mut have = vec![false; stride];
+            have[0] = true;
+            // Deliver a random subset in random order.
+            let mut order: Vec<u32> = (1..=steps).collect();
+            for i in (1..order.len()).rev() {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                order.swap(i, (rng >> 33) as usize % (i + 1));
+            }
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let keep = (rng >> 33) as usize % order.len();
+            let mut ctls = [Ctl {
+                pending: None,
+                outbox: Vec::new(),
+                mem: None,
+            }];
+            for &s in &order[..keep] {
+                have[s as usize] = true;
+                let mut views = split_views(&mut soa, &mut ctls, &lay);
+                views[0].deliver_dep(0, s, 7, steps, &lay);
+                let mut w = 0u32;
+                while (w as usize) < steps as usize && have[w as usize + 1] {
+                    w += 1;
+                }
+                assert_eq!(views[0].dep_watermark[0], w, "after delivering {s}");
+            }
+        }
     }
 }

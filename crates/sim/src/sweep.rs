@@ -8,7 +8,7 @@
 
 use crate::assignment::Assignment;
 use crate::engine::{Engine, EngineConfig, RunError, RunOutcome};
-use crate::plan::ExecPlan;
+use crate::plan::{ExecPlan, PlanDelta};
 use crate::validate::{validate_run, ValidationError};
 use overlap_model::{GuestSpec, ReferenceTrace};
 use overlap_net::HostGraph;
@@ -60,6 +60,33 @@ pub fn run_plan_and_validate(
     Ok(ValidatedRun { outcome, errors })
 }
 
+/// Sweep a neighbourhood of plans by incremental deltas, validating each
+/// point, without re-lowering per point.
+///
+/// Each delta is applied relative to the **base** plan (the receipt's
+/// inverse undoes it before the next point), so the points are
+/// independent variations, exactly as if each had been lowered fresh —
+/// [`ExecPlan::apply_delta`] guarantees bit-identical outcomes. This is
+/// the cheap form of the delay/fault/cost sweeps the experiments run:
+/// fault-plan and compute-cost points never re-lower, and single-link
+/// delay points re-lower only when the routes could actually move.
+///
+/// The plan is returned to its base state even when a point's run fails.
+pub fn sweep_plan_deltas(
+    plan: &mut ExecPlan,
+    deltas: &[PlanDelta],
+    trace: &ReferenceTrace,
+) -> Result<Vec<ValidatedRun>, RunError> {
+    let mut out = Vec::with_capacity(deltas.len());
+    for d in deltas {
+        let receipt = plan.apply_delta(d.clone())?;
+        let run = run_plan_and_validate(plan, trace);
+        plan.apply_delta(receipt.inverse)?;
+        out.push(run?);
+    }
+    Ok(out)
+}
+
 /// Map `f` over `items` in parallel, preserving order.
 pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
 where
@@ -98,6 +125,51 @@ mod tests {
         // Higher delays cannot reduce the makespan.
         let spans: Vec<u64> = results.iter().map(|r| r.outcome.stats.makespan).collect();
         assert!(spans[0] <= spans[1] && spans[1] <= spans[2], "{spans:?}");
+    }
+
+    #[test]
+    fn delta_sweep_matches_fresh_lowerings() {
+        use crate::faults::FaultPlan;
+        let guest = GuestSpec::array(10, ProgramKind::KvWorkload, 5, 8);
+        let trace = ReferenceRun::execute(&guest);
+        let host = linear_array(5, DelayModel::constant(3), 0);
+        let assign = Assignment::blocked(5, 10);
+        let mut plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        let deltas = vec![
+            PlanDelta::LinkDelay {
+                a: 2,
+                b: 3,
+                delay: 9,
+            },
+            PlanDelta::LinkDelay {
+                a: 0,
+                b: 1,
+                delay: 1,
+            },
+            PlanDelta::ComputeCosts(Some(vec![1, 2, 1, 1, 3])),
+            PlanDelta::Faults(Some(FaultPlan::new().link_down(1, 2, 4, 10))),
+        ];
+        let swept = sweep_plan_deltas(&mut plan, &deltas, &trace).unwrap();
+        assert_eq!(swept.len(), deltas.len());
+        // Every point must be bit-identical to a from-scratch lowering.
+        for (d, got) in deltas.iter().zip(&swept) {
+            assert!(got.is_valid());
+            let mut h2 = host.clone();
+            if let PlanDelta::LinkDelay { a, b, delay } = d {
+                h2.set_link_delay(*a, *b, *delay);
+            }
+            let fresh = ExecPlan::build(&guest, &h2, &assign, EngineConfig::default()).unwrap();
+            let fresh = match d {
+                PlanDelta::ComputeCosts(Some(c)) => fresh.with_compute_costs(c.clone()),
+                PlanDelta::Faults(Some(f)) => fresh.with_faults(f.clone()).unwrap(),
+                _ => fresh,
+            };
+            let want = run_plan_and_validate(&fresh, &trace).unwrap();
+            assert_eq!(got.outcome, want.outcome, "delta {d:?}");
+        }
+        // And the base plan is restored: rerunning matches a clean build.
+        let base = ExecPlan::build(&guest, &host, &assign, EngineConfig::default()).unwrap();
+        assert_eq!(plan.run().unwrap(), base.run().unwrap());
     }
 
     #[test]

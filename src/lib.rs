@@ -80,6 +80,7 @@ pub use overlap_core::{EngineKind, Error, SimReport, Simulation, SimulationBuild
 pub use overlap_model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun, ReferenceTrace};
 pub use overlap_net::{topology, DelayModel, HostGraph};
 pub use overlap_sim::{
-    validate_run, Assignment, BandwidthMode, Engine, EngineConfig, ExecPlan, FaultPlan, FaultStats,
-    Jitter, RetryPolicy, RunError, RunOutcome, RunStats, StallBreakdown, TraceConfig, TraceReport,
+    validate_run, AppliedDelta, Assignment, BandwidthMode, Engine, EngineConfig, ExecPlan,
+    FaultPlan, FaultStats, Jitter, PlanDelta, RetryPolicy, RunError, RunOutcome, RunStats,
+    StallBreakdown, TraceConfig, TraceReport,
 };

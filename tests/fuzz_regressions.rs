@@ -199,6 +199,60 @@ fn zero_step_scenarios_are_well_defined() {
     assert!(out.stats.work_overhead().is_finite());
 }
 
+/// Satellite regression: crash recovery on a *disconnected* host used to
+/// panic (`expect("connected host")`) in every fault-capable engine. A
+/// cell redundantly held in two components, all subscriptions
+/// intra-component (so the plan builds cleanly), then a crash of the
+/// same-component holder: the nearest surviving holder sits across the
+/// cut with no path to the orphaned consumer. That must surface as
+/// `RunError::NoRouteToHolder`, identically everywhere.
+#[test]
+fn crash_recovery_without_a_route_is_an_error_not_a_panic() {
+    use overlap::model::taskgraph::DagBuilder;
+    use overlap::net::HostGraph;
+    use overlap::sim::{run_sharded_with, Partition};
+
+    // Lane 0 is a self-contained chain; lane 1 consumes lane 0. Only the
+    // lane-1 copy ever subscribes, so the redundant lane-0 copy on the
+    // isolated processor needs no route at build time.
+    let mut b = DagBuilder::new(2);
+    let t0 = b.node(0, 1, &[]);
+    let t1 = b.node(0, 1, &[t0]);
+    let t2 = b.node(0, 1, &[t1]);
+    let u1 = b.node(1, 1, &[t0]);
+    let u2 = b.node(1, 1, &[t1, u1]);
+    let _ = b.node(1, 1, &[t2, u2]);
+    let guest = GuestSpec::dag(b.build().unwrap(), ProgramKind::KvWorkload, 7);
+
+    // Processors {0, 1} are linked; processor 2 is an island holding the
+    // redundant copy of cell 0.
+    let mut host = HostGraph::new("split-host", 3);
+    host.add_link(0, 1, 2);
+    let assign = Assignment::from_cells_of(3, 2, vec![vec![0], vec![1], vec![0]]);
+
+    let plan = ExecPlan::build(&guest, &host, &assign, EngineConfig::default())
+        .unwrap()
+        .with_faults(FaultPlan::new().crash(0, 1))
+        .unwrap();
+    let want = RunError::NoRouteToHolder {
+        cell: 0,
+        holder: 2,
+        consumer: 1,
+        tick: 1,
+    };
+    assert_eq!(Engine::from_plan(&plan).run().unwrap_err(), want, "event");
+    assert_eq!(run_stepped(&plan).unwrap_err(), want, "stepped");
+    for threads in [1, 3] {
+        for how in [Partition::DelayCut, Partition::RoundRobin] {
+            assert_eq!(
+                run_sharded_with(&plan, threads, how).unwrap_err(),
+                want,
+                "sharded({threads}, {how:?})"
+            );
+        }
+    }
+}
+
 /// Task-graph scenarios in the exact paste-able form the fuzzer prints,
 /// pinning the DAG/memory-budget fuzzing profile: a non-uniform random
 /// layered DAG under a thrashing memory budget must keep all engines in
