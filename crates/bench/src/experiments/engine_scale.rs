@@ -16,9 +16,13 @@
 //! and fails if the sequential, sharded, or task-graph throughput drops
 //! more than 30% below the checked-in floor in `BENCH_engine_floor.json`.
 //! It also re-measures the plan-reuse and delta-sweep speedups against
-//! the ratio floors in `BENCH_plan_floor.json` and replays the quick
+//! the ratio floors in `BENCH_plan_floor.json`, replays the quick
 //! task-graph grid against the deterministic makespan ceilings in
-//! `BENCH_taskgraph_floor.json`.
+//! `BENCH_taskgraph_floor.json`, and re-times a micro-smoke subset of
+//! the criterion benches (`crates/bench/benches/`) against the floors
+//! in `BENCH_micro_floor.json` — those benches are write-only in CI, so
+//! without the mirror here a regression in embedding, overlap planning,
+//! or the mesh/Theorem-4 pipelines would land silently.
 
 use crate::Scale;
 use crate::Table;
@@ -290,9 +294,83 @@ fn measure_taskgraph_tier(reps: u32) -> f64 {
     out.stats.events_processed as f64 / time_best(reps, run)
 }
 
+/// The gate's mirror of the criterion micro-benches: one representative
+/// workload per bench file in `crates/bench/benches/`, measured as
+/// operations per second. The criterion harness itself never runs in CI
+/// (it is write-only tuning tooling), so this subset is what actually
+/// guards the embedding, overlap-planning, Theorem-4, and mesh-emulation
+/// hot paths against regressions.
+fn measure_micro(reps: u32) -> Vec<(&'static str, f64)> {
+    use overlap_core::mesh::simulate_mesh_with_trace;
+    use overlap_core::overlap::plan_overlap;
+    use overlap_core::pipeline::Strategy;
+    use overlap_core::Simulation;
+    use overlap_model::ReferenceRun;
+    use overlap_net::embed::embed_linear_array;
+    use overlap_net::topology::mesh2d;
+
+    let mut out = Vec::new();
+    // bench_embed: Fact 3 embedding on the 32x32 mesh host. Fast per
+    // call, so batch enough iterations for a stable sample.
+    let embed_host = mesh2d(32, 32, DelayModel::uniform(1, 9), 1);
+    let iters = 64u32;
+    let t = time_best(reps, || {
+        for _ in 0..iters {
+            std::hint::black_box(embed_linear_array(&embed_host));
+        }
+    });
+    out.push(("embed_mesh32x32", iters as f64 / t));
+    // bench_overlap: interval-tree kill/label + recursive database
+    // assignment over 4096 heavy-tail delays.
+    let overlap_host = linear_array(
+        4096,
+        DelayModel::HeavyTail {
+            min: 1,
+            alpha: 0.8,
+            cap: 1 << 20,
+        },
+        7,
+    );
+    let delays: Vec<u64> = overlap_host.links().iter().map(|l| l.delay).collect();
+    let iters = 8u32;
+    let t = time_best(reps, || {
+        for _ in 0..iters {
+            std::hint::black_box(plan_overlap(&delays, 4.0, 1).expect("plan"));
+        }
+    });
+    out.push(("overlap_plan_4096", iters as f64 / t));
+    // bench_uniform: the Theorem 4 halo-1 scenario (n=16, d=64),
+    // builder included — this is the whole user-facing pipeline.
+    let d = 64u64;
+    let n = 16u32;
+    let r = (d as f64).sqrt() as u32;
+    let t4_guest = GuestSpec::array(n * r, ProgramKind::Relaxation, 9, 4 * r);
+    let t4_trace = ReferenceRun::execute(&t4_guest);
+    let t4_host = linear_array(n, DelayModel::constant(d), 0);
+    let t = time_best(reps, || {
+        Simulation::of(&t4_guest)
+            .on(&t4_host)
+            .strategy(Strategy::Halo { halo: 1 })
+            .build()
+            .and_then(|sim| sim.run_with_trace(&t4_trace))
+            .expect("theorem4 run")
+    });
+    out.push(("theorem4_halo1", 1.0 / t));
+    // bench_mesh: Theorem 7/8 emulation of an 8x8 guest mesh on the
+    // 8-processor linear host.
+    let mesh_guest = GuestSpec::mesh(8, 8, ProgramKind::Relaxation, 3, 12);
+    let mesh_trace = ReferenceRun::execute(&mesh_guest);
+    let mesh_host = linear_array(8, DelayModel::uniform(1, 5), 3);
+    let t = time_best(reps, || {
+        simulate_mesh_with_trace(&mesh_guest, &mesh_host, 4.0, 2, &mesh_trace).expect("mesh run")
+    });
+    out.push(("mesh_trace_8x8", 1.0 / t));
+    out
+}
+
 /// Read and parse one numeric field from a checked-in floor file at the
 /// workspace root.
-fn floor_field(file: &str, key: &'static str) -> Result<f64, String> {
+fn floor_field(file: &str, key: &str) -> Result<f64, String> {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{file}"));
     let json = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -305,10 +383,12 @@ fn floor_field(file: &str, key: &'static str) -> Result<f64, String> {
 /// `BENCH_engine_floor.json`. Also enforces the machine-independent
 /// floors in `BENCH_plan_floor.json` (plan-reuse and delta-sweep speedup
 /// ratios — both arms are measured in the same process, so no tolerance
-/// is needed) and the deterministic ceilings in
+/// is needed), the deterministic ceilings in
 /// `BENCH_taskgraph_floor.json` (the quick task-graph grid's makespans
-/// are exact, so any increase is a real scheduling regression). Returns
-/// a human-readable summary on pass, the violations on fail.
+/// are exact, so any increase is a real scheduling regression), and the
+/// criterion micro-smoke mirror (`measure_micro`) against the
+/// throughput floors in `BENCH_micro_floor.json`. Returns a
+/// human-readable summary on pass, the violations on fail.
 pub fn gate() -> Result<String, String> {
     let floor_path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine_floor.json");
@@ -389,11 +469,27 @@ pub fn gate() -> Result<String, String> {
         ));
     }
 
+    // Criterion micro-smoke mirror: same 30% tolerance as the engine
+    // tiers, floors in BENCH_micro_floor.json keyed `<name>_ops_per_sec`.
+    let micro = measure_micro(3);
+    let mut micro_summary = Vec::new();
+    for (name, ops) in &micro {
+        let key = format!("{name}_ops_per_sec");
+        let floor = floor_field("BENCH_micro_floor.json", &key)?;
+        if *ops < floor * 0.70 {
+            violations.push(format!(
+                "micro {name}: {ops:.1} ops/s is more than 30% below the floor {floor:.1}"
+            ));
+        }
+        micro_summary.push(format!("{name} {ops:.0}/s (floor {floor:.0})"));
+    }
+
     if violations.is_empty() {
         Ok(format!(
             "perf gate OK: event {:.0} events/s (floor {:.0}), sharded@2 {:.0} events/s (floor {:.0}), task-graph {:.0} events/s (floor {:.0}), tolerance 30%; \
              plan reuse {best_reuse:.2}x (floor {f_reuse:.2}x), delta sweep {:.2}x (floor {f_delta:.2}x); \
-             task-graph grid {} cases all validated, total makespan {total_span} (ceiling {})",
+             task-graph grid {} cases all validated, total makespan {total_span} (ceiling {}); \
+             micro {}",
             r.events_per_sec,
             f_event,
             sharded,
@@ -402,7 +498,8 @@ pub fn gate() -> Result<String, String> {
             f_taskgraph,
             delta.speedup(),
             grid.len(),
-            f_span as u64
+            f_span as u64,
+            micro_summary.join(", ")
         ))
     } else {
         Err(violations.join("; "))
@@ -428,6 +525,26 @@ mod tests {
             for p in &r.sharded {
                 assert!(p.events_per_sec > 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn micro_smoke_covers_every_criterion_bench_file() {
+        // One workload per bench file in crates/bench/benches/ (the
+        // engine bench is covered by measure_tier itself).
+        let micro = measure_micro(1);
+        let names: Vec<&str> = micro.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "embed_mesh32x32",
+                "overlap_plan_4096",
+                "theorem4_halo1",
+                "mesh_trace_8x8"
+            ]
+        );
+        for (name, ops) in &micro {
+            assert!(*ops > 0.0, "{name} measured no throughput");
         }
     }
 

@@ -27,6 +27,17 @@ pub enum Error {
     /// The builder was configured inconsistently (missing host,
     /// incompatible engine options, …).
     Config(String),
+    /// A configuration value is outside its valid domain (e.g.
+    /// `Sharded { threads: 0 }`). Unlike [`Error::Config`] (free-form,
+    /// builder-level inconsistencies) the offending option is named, so
+    /// clients — the CLI, the daemon's scenario validator — can point at
+    /// the exact field.
+    InvalidConfig {
+        /// The offending option (`"threads"`, …).
+        option: &'static str,
+        /// Why the value is invalid.
+        reason: String,
+    },
     /// The selected executor does not implement the requested feature
     /// (e.g. fault injection on the lockstep engine). Features are never
     /// silently dropped; pick the event engine or drop the option.
@@ -47,6 +58,9 @@ impl std::fmt::Display for Error {
                 write!(f, "mesh guests use overlap_core::mesh")
             }
             Error::Config(msg) => write!(f, "configuration: {msg}"),
+            Error::InvalidConfig { option, reason } => {
+                write!(f, "invalid value for {option}: {reason}")
+            }
             Error::Unsupported { engine, feature } => {
                 write!(f, "the {engine} engine does not support {feature}")
             }
@@ -91,5 +105,10 @@ mod tests {
         let e = Error::Config("no host".into());
         assert!(e.to_string().contains("no host"));
         assert!(std::error::Error::source(&e).is_none());
+        let e = Error::InvalidConfig {
+            option: "threads",
+            reason: "must be ≥ 1".into(),
+        };
+        assert!(e.to_string().contains("invalid value for threads"));
     }
 }

@@ -42,6 +42,7 @@ pub mod lower;
 pub mod mesh;
 pub mod overlap;
 pub mod pipeline;
+pub mod scenario;
 pub mod schedule;
 pub mod simulation;
 pub mod steal;
@@ -55,5 +56,6 @@ pub use error::Error;
 pub use killing::{KillOutcome, KillParams};
 pub use overlap::{plan_overlap, OverlapError, OverlapPlan};
 pub use pipeline::{SimReport, Strategy};
+pub use scenario::ScenarioSpec;
 pub use simulation::{EngineKind, Simulation, SimulationBuilder};
 pub use tree::{IntervalTree, TreeNode};

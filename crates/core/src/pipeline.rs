@@ -23,9 +23,10 @@ use overlap_net::embed::embed_linear_array;
 use overlap_net::{Delay, HostGraph, NodeId};
 use overlap_sim::engine::RunOutcome;
 use overlap_sim::{Assignment, RunStats};
+use serde::{Deserialize, Serialize};
 
 /// How to place guest databases on the host line.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Strategy {
     /// Algorithm OVERLAP, load-1 structure proportionally scaled to the
     /// guest (Theorems 2/3; with a guest larger than the root label the
@@ -72,10 +73,6 @@ pub enum Strategy {
     /// combined pipeline; otherwise OVERLAP.
     Auto,
 }
-
-/// Deprecated name of [`Strategy`] (predates guests that are not lines).
-#[deprecated(since = "0.7.0", note = "use Strategy")]
-pub type LineStrategy = Strategy;
 
 impl Strategy {
     /// Short label for reports.

@@ -38,9 +38,10 @@ use overlap_sim::validate::validate_run;
 use overlap_sim::{
     run_lockstep, run_sharded, run_stepped, Assignment, BandwidthMode, ExecPlan, TraceConfig,
 };
+use serde::{Deserialize, Serialize};
 
 /// Which execution engine runs the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum EngineKind {
     /// The cycle-accurate discrete-event engine (the default; the only
     /// engine supporting multicast, jitter, and stall tracing).
@@ -266,7 +267,18 @@ impl<'a> SimulationBuilder<'a> {
                     return unsupported("lockstep", "non-unit task costs");
                 }
             }
-            EngineKind::Sharded { .. } => {
+            EngineKind::Sharded { threads } => {
+                // `threads: 0` used to fall through to the engine, which
+                // silently clamped it to 1 — neither the "auto" the caller
+                // probably meant nor an error. Reject it up front.
+                if threads == 0 {
+                    return Err(Error::InvalidConfig {
+                        option: "threads",
+                        reason: "a sharded engine needs at least one shard \
+                                 (use available_parallelism for auto)"
+                            .into(),
+                    });
+                }
                 if self.trace.is_some() {
                     return unsupported("sharded", "stall-attribution tracing");
                 }
@@ -767,6 +779,35 @@ mod tests {
         );
         let report = traced.outcome.trace.as_ref().expect("trace report");
         assert_eq!(report.totals, totals);
+    }
+
+    #[test]
+    fn sharded_zero_threads_is_invalid_config() {
+        // Pinned regression: `Sharded { threads: 0 }` used to reach the
+        // engine (which silently clamped it); it must be a typed
+        // validation error naming the option.
+        let (guest, host) = lab();
+        let err = Simulation::of(&guest)
+            .on(&host)
+            .engine(EngineKind::Sharded { threads: 0 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::InvalidConfig {
+                    option: "threads",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // 1 is the smallest valid shard count.
+        assert!(Simulation::of(&guest)
+            .on(&host)
+            .engine(EngineKind::Sharded { threads: 1 })
+            .build()
+            .is_ok());
     }
 
     #[test]

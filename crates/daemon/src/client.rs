@@ -1,0 +1,195 @@
+//! A small blocking client for the daemon's HTTP API (used by the
+//! `overlap-cli` client subcommands and the integration tests).
+
+use crate::cache::CacheStats;
+use crate::daemon::SessionView;
+use crate::store::RunRecord;
+use crate::wire::{ErrorResponse, EventsResponse, OkResponse, RunsResponse, SubmitResponse};
+use overlap_core::ScenarioSpec;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach or talk to the daemon.
+    Io(std::io::Error),
+    /// The daemon answered with a non-200 status.
+    Api {
+        /// HTTP status code.
+        status: u16,
+        /// The daemon's error message.
+        message: String,
+    },
+    /// The response body did not parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "daemon unreachable: {e}"),
+            ClientError::Api { status, message } => write!(f, "daemon error ({status}): {message}"),
+            ClientError::Protocol(msg) => write!(f, "bad daemon response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Blocking HTTP client bound to one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (e.g. `"127.0.0.1:7341"`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    /// Submit a scenario; returns its session id.
+    pub fn submit(&self, spec: &ScenarioSpec) -> Result<u64, ClientError> {
+        let body = serde_json::to_string(spec).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let resp: SubmitResponse = self.call("POST", "/v1/scenarios", Some(&body))?;
+        Ok(resp.session)
+    }
+
+    /// Current view of a session.
+    pub fn status(&self, session: u64) -> Result<SessionView, ClientError> {
+        self.call("GET", &format!("/v1/sessions/{session}"), None)
+    }
+
+    /// Pause a running session at its next checkpoint.
+    pub fn pause(&self, session: u64) -> Result<(), ClientError> {
+        let _: OkResponse = self.call("POST", &format!("/v1/sessions/{session}/pause"), None)?;
+        Ok(())
+    }
+
+    /// Resume a paused session.
+    pub fn resume(&self, session: u64) -> Result<(), ClientError> {
+        let _: OkResponse = self.call("POST", &format!("/v1/sessions/{session}/resume"), None)?;
+        Ok(())
+    }
+
+    /// Cancel a session.
+    pub fn cancel(&self, session: u64) -> Result<(), ClientError> {
+        let _: OkResponse = self.call("POST", &format!("/v1/sessions/{session}/cancel"), None)?;
+        Ok(())
+    }
+
+    /// Events `since..` of a session, long-polling up to `wait_ms` for
+    /// at least one new event.
+    pub fn events(
+        &self,
+        session: u64,
+        since: u64,
+        wait_ms: u64,
+    ) -> Result<EventsResponse, ClientError> {
+        self.call(
+            "GET",
+            &format!("/v1/sessions/{session}/events?since={since}&wait_ms={wait_ms}"),
+            None,
+        )
+    }
+
+    /// Persisted runs, optionally filtered to one plan hash.
+    pub fn runs(&self, plan_hash: Option<u64>) -> Result<Vec<RunRecord>, ClientError> {
+        let path = match plan_hash {
+            Some(h) => format!("/v1/runs?hash={h}"),
+            None => "/v1/runs".into(),
+        };
+        let resp: RunsResponse = self.call("GET", &path, None)?;
+        Ok(resp.runs)
+    }
+
+    /// Plan-cache counters.
+    pub fn cache(&self) -> Result<CacheStats, ClientError> {
+        self.call("GET", "/v1/cache", None)
+    }
+
+    /// Ask the daemon (and its HTTP server) to shut down.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        let _: OkResponse = self.call("POST", "/v1/shutdown", None)?;
+        Ok(())
+    }
+
+    fn call<T: serde::de::DeserializeOwned>(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<T, ClientError> {
+        let (status, text) = self.request(method, path, body)?;
+        if status == 200 {
+            serde_json::from_str(&text).map_err(|e| ClientError::Protocol(e.to_string()))
+        } else {
+            let message = serde_json::from_str::<ErrorResponse>(&text)
+                .map(|e| e.error)
+                .unwrap_or(text);
+            Err(ClientError::Api { status, message })
+        }
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let body = body.unwrap_or("");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        )?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line: {status_line:?}")))?;
+        let mut content_length = None;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse::<usize>().ok();
+                }
+            }
+        }
+        let text = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                reader.read_exact(&mut buf)?;
+                String::from_utf8(buf)
+                    .map_err(|_| ClientError::Protocol("body is not UTF-8".into()))?
+            }
+            None => {
+                let mut buf = String::new();
+                reader.read_to_string(&mut buf)?;
+                buf
+            }
+        };
+        Ok((status, text))
+    }
+}

@@ -1,0 +1,192 @@
+//! Pluggable persistence for completed runs.
+//!
+//! Every finished simulation produces one [`RunRecord`] — stats,
+//! makespan, validation verdict, stall totals when traced, and the plan
+//! hash that ties it back to its cache entry — appended to a
+//! [`RunStore`]. The daemon ships two stores behind the trait:
+//! [`MemStore`] (tests, ephemeral serving) and [`JsonlStore`] (one JSON
+//! object per line; survives daemon restarts, greppable, trivially
+//! ingestible). A SQLite store slots in behind the same trait when the
+//! toolchain gains the dependency.
+
+use overlap_sim::stats::RunStats;
+use overlap_sim::trace::StallBreakdown;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One completed run, as persisted and as returned by `GET /v1/runs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Monotone id assigned by the daemon at completion time.
+    pub run_id: u64,
+    /// The session that produced this run.
+    pub session: u64,
+    /// FNV-1a hash of the plan-cache key — groups runs of the same
+    /// lowered scenario across engines, faults, and daemon restarts.
+    pub plan_hash: u64,
+    /// Whether the plan came out of the cache (`apply_delta` path) or
+    /// was lowered fresh for this run.
+    pub cache_hit: bool,
+    /// Engine label (`"event"`, `"stepped"`, `"lockstep"`,
+    /// `"sharded(t)"`).
+    pub engine: String,
+    /// Placement strategy label (see `Strategy::label`).
+    pub strategy: String,
+    /// Host graph name.
+    pub host: String,
+    /// Full engine statistics (makespan, slowdown, traffic, memory and
+    /// fault counters).
+    pub stats: RunStats,
+    /// Did every database copy match the unit-delay reference?
+    pub validated: bool,
+    /// Number of mismatching copies (0 when `validated`).
+    pub mismatches: u64,
+    /// Stall-attribution totals when the run was traced.
+    #[serde(default)]
+    pub stalls: Option<StallBreakdown>,
+}
+
+/// Where completed runs go. Implementations must be safe to call from
+/// many worker threads.
+pub trait RunStore: Send + Sync {
+    /// Persist one completed run.
+    fn append(&self, record: &RunRecord) -> io::Result<()>;
+    /// All persisted runs, oldest first (including runs persisted by
+    /// previous daemon processes, for durable stores).
+    fn load_all(&self) -> io::Result<Vec<RunRecord>>;
+}
+
+/// In-memory store: fast, gone when the daemon exits.
+#[derive(Default)]
+pub struct MemStore {
+    records: Mutex<Vec<RunRecord>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RunStore for MemStore {
+    fn append(&self, record: &RunRecord) -> io::Result<()> {
+        self.records.lock().unwrap().push(record.clone());
+        Ok(())
+    }
+
+    fn load_all(&self) -> io::Result<Vec<RunRecord>> {
+        Ok(self.records.lock().unwrap().clone())
+    }
+}
+
+/// JSON-lines store: one `RunRecord` object per line, appended and
+/// flushed per run, re-read from disk on every query so records written
+/// by earlier daemon processes stay visible.
+pub struct JsonlStore {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlStore {
+    /// Open (or create) the store at `path`.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl RunStore for JsonlStore {
+    fn append(&self, record: &RunRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut w = self.writer.lock().unwrap();
+        writeln!(w, "{line}")?;
+        w.flush()
+    }
+
+    fn load_all(&self) -> io::Result<Vec<RunRecord>> {
+        // Take the writer lock so a concurrent append's line is either
+        // fully flushed or not started.
+        let _w = self.writer.lock().unwrap();
+        let mut text = String::new();
+        File::open(&self.path)?.read_to_string(&mut text)?;
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: RunRecord = serde_json::from_str(line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", self.path.display(), i + 1),
+                )
+            })?;
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(run_id: u64) -> RunRecord {
+        RunRecord {
+            run_id,
+            session: 1,
+            plan_hash: 0xfeed,
+            cache_hit: run_id > 0,
+            engine: "event".into(),
+            strategy: "overlap(c=4)".into(),
+            host: "array-4".into(),
+            stats: RunStats::default(),
+            validated: true,
+            mismatches: 0,
+            stalls: None,
+        }
+    }
+
+    #[test]
+    fn mem_store_round_trips() {
+        let s = MemStore::new();
+        s.append(&record(0)).unwrap();
+        s.append(&record(1)).unwrap();
+        let all = s.load_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1], record(1));
+    }
+
+    #[test]
+    fn jsonl_store_survives_reopen() {
+        let path = std::env::temp_dir().join(format!(
+            "overlap-daemon-store-test-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let s = JsonlStore::open(&path).unwrap();
+            s.append(&record(0)).unwrap();
+        }
+        let s = JsonlStore::open(&path).unwrap();
+        s.append(&record(1)).unwrap();
+        let all = s.load_all().unwrap();
+        assert_eq!(all.len(), 2, "records from the first open must persist");
+        assert_eq!(all[0], record(0));
+        assert_eq!(all[1], record(1));
+        let _ = std::fs::remove_file(&path);
+    }
+}

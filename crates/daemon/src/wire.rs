@@ -1,0 +1,42 @@
+//! JSON envelopes shared by the HTTP server and the client.
+
+use crate::daemon::Event;
+use crate::store::RunRecord;
+use serde::{Deserialize, Serialize};
+
+/// `POST /v1/scenarios` success body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitResponse {
+    /// The accepted session's id.
+    pub session: u64,
+}
+
+/// Generic acknowledgement body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OkResponse {
+    /// Always true on 200.
+    pub ok: bool,
+}
+
+/// Error body carried on non-200 responses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable message (the typed builder error's `Display`).
+    pub error: String,
+}
+
+/// `GET /v1/sessions/{id}/events` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventsResponse {
+    /// Events at indices `since..next` of the session's stream.
+    pub events: Vec<Event>,
+    /// Pass as the next request's `since` to continue the stream.
+    pub next: u64,
+}
+
+/// `GET /v1/runs` body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunsResponse {
+    /// Matching persisted runs, oldest first.
+    pub runs: Vec<RunRecord>,
+}

@@ -388,7 +388,7 @@ impl GuestTopology {
 /// assert_eq!(g.num_cells(), 16);
 /// assert_eq!(g.total_work(), 160);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GuestSpec {
     /// The guest network shape.
     pub topology: GuestTopology,
@@ -419,12 +419,6 @@ impl GuestSpec {
             steps,
             graph: None,
         }
-    }
-
-    /// Deprecated name of [`GuestSpec::array`].
-    #[deprecated(since = "0.7.0", note = "use GuestSpec::array")]
-    pub fn line(m: u32, program: ProgramKind, seed: u64, steps: u32) -> Self {
-        Self::array(m, program, seed, steps)
     }
 
     /// A ring guest.
@@ -480,12 +474,6 @@ impl GuestSpec {
             steps,
             graph: None,
         }
-    }
-
-    /// Deprecated name of [`GuestSpec::tree`].
-    #[deprecated(since = "0.7.0", note = "use GuestSpec::tree")]
-    pub fn binary_tree(levels: u32, program: ProgramKind, seed: u64, steps: u32) -> Self {
-        Self::tree(levels, program, seed, steps)
     }
 
     /// An arbitrary task-graph guest: lanes of `graph` become cells and

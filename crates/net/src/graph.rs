@@ -24,7 +24,7 @@ pub struct Link {
 ///
 /// Parallel links and self-loops are rejected: none of the paper's
 /// constructions need them, and forbidding them keeps routing tables simple.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HostGraph {
     name: String,
     n: u32,

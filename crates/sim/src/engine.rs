@@ -37,6 +37,7 @@
 use crate::assignment::Assignment;
 use crate::bandwidth::BandwidthMode;
 use crate::calendar::CalendarQueue;
+use crate::control::RunControl;
 use crate::faults::{FaultMark, FaultMarkKind, FaultPlan, FaultRt};
 use crate::plan::{DepSrc, ExecPlan, ProcTables, Routes, SUB_BIT};
 use crate::routing::RoutingTable;
@@ -206,6 +207,15 @@ pub enum RunError {
         /// Tick of the crash being recovered from.
         tick: u64,
     },
+    /// The run was cancelled through its [`RunControl`] — no outcome was
+    /// produced and no simulation state escaped the engine.
+    ///
+    /// [`RunControl`]: crate::control::RunControl
+    Cancelled {
+        /// Dispatch units (events/ticks/rounds/windows) completed when the
+        /// cancellation was observed.
+        at: u64,
+    },
     /// The plan carries a feature this engine does not implement (e.g. a
     /// memory budget on the lockstep engine). The builder's validation
     /// matrix catches these at `build()`; engines also check at entry so a
@@ -254,6 +264,9 @@ impl std::fmt::Display for RunError {
                     "no host path from surviving holder {holder} of column {cell} \
                      to consumer {consumer} after crash at tick {tick}"
                 )
+            }
+            RunError::Cancelled { at } => {
+                write!(f, "run cancelled after {at} dispatch units")
             }
             RunError::UnsupportedFeature { engine, feature } => {
                 write!(f, "the {engine} engine does not support {feature}")
@@ -718,6 +731,9 @@ pub struct Engine<'a> {
     /// fault-free fast path (bit-identical to the plain engine).
     /// Overrides the plan's fault schedule when set.
     faults: Option<FaultPlan>,
+    /// Cooperative pause/cancel control, observed every
+    /// [`CHECK_EVERY`](crate::control::CHECK_EVERY) events.
+    control: Option<&'a RunControl>,
 }
 
 /// An owned or borrowed execution plan (boxed when owned: the lowered
@@ -764,6 +780,7 @@ impl<'a> Engine<'a> {
             nprocs: host.num_nodes(),
             compute_costs: None,
             faults: None,
+            control: None,
         }
     }
 
@@ -776,6 +793,7 @@ impl<'a> Engine<'a> {
             plan: Ok(PlanRef::Shared(plan)),
             compute_costs: None,
             faults: None,
+            control: None,
         }
     }
 
@@ -796,6 +814,16 @@ impl<'a> Engine<'a> {
     /// empty plan leaves the run bit-identical to a fault-free engine.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attach a cooperative [`RunControl`]: the dispatch loop honours
+    /// pause/resume and returns [`RunError::Cancelled`] on cancel, checked
+    /// every [`CHECK_EVERY`](crate::control::CHECK_EVERY) events. Control
+    /// never perturbs the schedule — a paused-and-resumed run is
+    /// bit-identical to an uninterrupted one.
+    pub fn with_control(mut self, control: &'a RunControl) -> Self {
+        self.control = Some(control);
         self
     }
 
@@ -1178,6 +1206,11 @@ impl<'a> Engine<'a> {
                 break;
             }
             events_processed += 1;
+            if events_processed.is_multiple_of(crate::control::CHECK_EVERY) {
+                if let Some(ctl) = self.control {
+                    ctl.checkpoint(events_processed)?;
+                }
+            }
             match ev {
                 Ev::ComputeDone { proc, own_idx } => {
                     let p = proc as usize;

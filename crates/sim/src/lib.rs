@@ -37,6 +37,7 @@
 pub mod assignment;
 pub mod bandwidth;
 pub mod calendar;
+pub mod control;
 pub mod engine;
 pub mod engine_classic;
 pub mod faults;
@@ -55,13 +56,14 @@ pub mod validate;
 
 pub use assignment::Assignment;
 pub use bandwidth::BandwidthMode;
+pub use control::RunControl;
 pub use engine::{Engine, EngineConfig, Jitter, RunError, RunOutcome};
 pub use faults::{FaultPlan, RetryPolicy};
-pub use lockstep::run_lockstep;
-pub use plan::{AppliedDelta, ExecPlan, PlanDelta};
+pub use lockstep::{run_lockstep, run_lockstep_controlled};
+pub use plan::{fnv1a, scenario_hash, scenario_key, AppliedDelta, ExecPlan, PlanDelta};
 pub use routing::RoutingTable;
-pub use sharded::{run_sharded, run_sharded_with, Partition};
+pub use sharded::{run_sharded, run_sharded_controlled, run_sharded_with, Partition};
 pub use stats::{FaultStats, RunStats};
-pub use stepped::run_stepped;
+pub use stepped::{run_stepped, run_stepped_controlled};
 pub use trace::{MsgKey, NoopTracer, ReadyCause, StallBreakdown, TraceConfig, TraceReport, Tracer};
 pub use validate::{audit_causality, validate_run};

@@ -76,6 +76,16 @@ pub fn round_cost(
 /// computed exactly (and can be validated like any other engine's
 /// outcome); time is the closed form `steps × round_cost`.
 pub fn run_lockstep(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
+    run_lockstep_controlled(plan, None)
+}
+
+/// [`run_lockstep`] under a cooperative [`RunControl`](crate::control::RunControl):
+/// checked once per
+/// simulated round (rounds are the lockstep engine's dispatch unit).
+pub fn run_lockstep_controlled(
+    plan: &ExecPlan,
+    control: Option<&crate::control::RunControl>,
+) -> Result<RunOutcome, RunError> {
     let routing = plan.routing().expect(
         "the lockstep engine implements unicast routing; \
          use the event engine for multicast",
@@ -139,6 +149,9 @@ pub fn run_lockstep(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
 
     let mut deps_buf = Vec::with_capacity(guest.max_deps());
     for t in 1..=steps {
+        if let Some(ctl) = control {
+            ctl.checkpoint(t as u64)?;
+        }
         // Compute each cell once into `cur` (all copies agree by purity);
         // apply per-copy database updates.
         for c in 0..cells {

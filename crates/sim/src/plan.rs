@@ -479,11 +479,14 @@ pub struct AppliedDelta {
 /// assert_eq!(st.copies.len(), lk.copies.len());
 /// ```
 pub struct ExecPlan<'a> {
-    pub(crate) guest: &'a GuestSpec,
+    /// Borrowed from the caller by [`build`](Self::build); owned after
+    /// [`into_owned`](Self::into_owned) / [`build_owned`](Self::build_owned)
+    /// (the daemon's plan cache stores `ExecPlan<'static>` entries).
+    pub(crate) guest: Cow<'a, GuestSpec>,
     /// Borrowed until the first [`apply_delta`](Self::apply_delta) that
     /// edits a link delay, which clones the host into the plan.
     pub(crate) host: Cow<'a, HostGraph>,
-    pub(crate) assign: &'a Assignment,
+    pub(crate) assign: Cow<'a, Assignment>,
     pub(crate) config: EngineConfig,
     pub(crate) compute_costs: Option<Vec<u32>>,
     pub(crate) faults: Option<FaultPlan>,
@@ -539,15 +542,62 @@ impl<'a> ExecPlan<'a> {
         };
         let hot = Hot::build(guest, host, assign, &routes);
         Ok(Self {
-            guest,
+            guest: Cow::Borrowed(guest),
             host: Cow::Borrowed(host),
-            assign,
+            assign: Cow::Borrowed(assign),
             config,
             compute_costs: None,
             faults: None,
             routes,
             hot,
         })
+    }
+
+    /// Lower owned inputs into a fully owned plan (`ExecPlan<'static>`).
+    /// The interned tables are built exactly as by [`build`](Self::build);
+    /// the inputs are then moved (not cloned) into the plan, so long-lived
+    /// plan caches can hold entries with no external borrows.
+    pub fn build_owned(
+        guest: GuestSpec,
+        host: HostGraph,
+        assign: Assignment,
+        config: EngineConfig,
+    ) -> Result<ExecPlan<'static>, RunError> {
+        let plan = ExecPlan::build(&guest, &host, &assign, config)?;
+        let ExecPlan {
+            config,
+            compute_costs,
+            faults,
+            routes,
+            hot,
+            ..
+        } = plan;
+        Ok(ExecPlan {
+            guest: Cow::Owned(guest),
+            host: Cow::Owned(host),
+            assign: Cow::Owned(assign),
+            config,
+            compute_costs,
+            faults,
+            routes,
+            hot,
+        })
+    }
+
+    /// Detach the plan from its borrowed inputs, cloning whatever is still
+    /// borrowed. The lowered tables are moved, never rebuilt, and the
+    /// result is bit-identical to the source plan on every engine.
+    pub fn into_owned(self) -> ExecPlan<'static> {
+        ExecPlan {
+            guest: Cow::Owned(self.guest.into_owned()),
+            host: Cow::Owned(self.host.into_owned()),
+            assign: Cow::Owned(self.assign.into_owned()),
+            config: self.config,
+            compute_costs: self.compute_costs,
+            faults: self.faults,
+            routes: self.routes,
+            hot: self.hot,
+        }
     }
 
     /// Attach per-processor compute costs (ticks per pebble, ≥ 1) to the
@@ -579,8 +629,8 @@ impl<'a> ExecPlan<'a> {
     }
 
     /// The guest this plan lowers.
-    pub fn guest(&self) -> &'a GuestSpec {
-        self.guest
+    pub fn guest(&self) -> &GuestSpec {
+        &self.guest
     }
 
     /// The host NOW this plan targets (possibly delta-edited, in which
@@ -590,8 +640,14 @@ impl<'a> ExecPlan<'a> {
     }
 
     /// The database assignment baked into the plan.
-    pub fn assignment(&self) -> &'a Assignment {
-        self.assign
+    pub fn assignment(&self) -> &Assignment {
+        &self.assign
+    }
+
+    /// Canonical scenario hash of this plan's lowering inputs — see
+    /// [`scenario_hash`].
+    pub fn fingerprint(&self) -> u64 {
+        scenario_hash(&self.guest, &self.host, &self.assign, self.config)
     }
 
     /// The engine configuration the plan was lowered for.
@@ -739,15 +795,15 @@ impl<'a> ExecPlan<'a> {
                     let routes = if self.config.multicast {
                         Routes::Multicast(MulticastTable::build_with(
                             &self.host,
-                            self.assign,
+                            &self.assign,
                             |c| self.guest.dep_union(c),
                         ))
                     } else {
-                        Routes::Unicast(RoutingTable::build_with(&self.host, self.assign, |c| {
+                        Routes::Unicast(RoutingTable::build_with(&self.host, &self.assign, |c| {
                             self.guest.dep_union(c)
                         }))
                     };
-                    self.hot = Hot::build(self.guest, &self.host, self.assign, &routes);
+                    self.hot = Hot::build(&self.guest, &self.host, &self.assign, &routes);
                     self.routes = routes;
                     Ok(AppliedDelta {
                         inverse,
@@ -757,6 +813,51 @@ impl<'a> ExecPlan<'a> {
             }
         }
     }
+}
+
+/// Canonical byte encoding of one plan's lowering inputs: the JSON of
+/// `(guest, host, assignment, config)` in declaration order. Two scenarios
+/// with equal keys lower to byte-identical plans, so a plan cache may
+/// serve both from one entry; fault schedules and compute costs are
+/// deliberately **excluded** — they never affect the lowering and are
+/// applied per run via [`ExecPlan::apply_delta`].
+pub fn scenario_key(
+    guest: &GuestSpec,
+    host: &HostGraph,
+    assign: &Assignment,
+    config: EngineConfig,
+) -> String {
+    let mut key = String::with_capacity(256);
+    key.push_str(&serde_json::to_string(guest).expect("guest serializes"));
+    key.push('|');
+    key.push_str(&serde_json::to_string(host).expect("host serializes"));
+    key.push('|');
+    key.push_str(&serde_json::to_string(assign).expect("assignment serializes"));
+    key.push('|');
+    key.push_str(&serde_json::to_string(&config).expect("config serializes"));
+    key
+}
+
+/// FNV-1a 64 of [`scenario_key`] — the compact form used in reports and
+/// cache statistics. Collision handling is the cache's job (it compares
+/// full keys); the hash is only a shard/index value.
+pub fn scenario_hash(
+    guest: &GuestSpec,
+    host: &HostGraph,
+    assign: &Assignment,
+    config: EngineConfig,
+) -> u64 {
+    fnv1a(scenario_key(guest, host, assign, config).as_bytes())
+}
+
+/// FNV-1a 64-bit over raw bytes (stable across runs and platforms).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]

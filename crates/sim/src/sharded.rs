@@ -1434,7 +1434,7 @@ struct Job {
 /// (the barrier merge replays the global pop order and reconstructs the
 /// sequential single-queue depth from per-event child counts).
 pub fn run_sharded(plan: &ExecPlan<'_>, threads: usize) -> Result<RunOutcome, RunError> {
-    run_sharded_with(plan, threads, Partition::DelayCut)
+    run_sharded_controlled(plan, threads, Partition::DelayCut, None)
 }
 
 /// [`run_sharded`] with an explicit partition heuristic.
@@ -1442,6 +1442,21 @@ pub fn run_sharded_with(
     plan: &ExecPlan<'_>,
     threads: usize,
     how: Partition,
+) -> Result<RunOutcome, RunError> {
+    run_sharded_controlled(plan, threads, how, None)
+}
+
+/// [`run_sharded_with`] under a cooperative [`RunControl`]: the
+/// coordinator observes the control at every window barrier (workers are
+/// idle there, so pausing holds the whole engine with all state intact,
+/// and cancelling unwinds cleanly through the scoped threads).
+///
+/// [`RunControl`]: crate::control::RunControl
+pub fn run_sharded_controlled(
+    plan: &ExecPlan<'_>,
+    threads: usize,
+    how: Partition,
+    control: Option<&crate::control::RunControl>,
 ) -> Result<RunOutcome, RunError> {
     let hot = &plan.hot;
     let n = plan.host.num_nodes() as usize;
@@ -1666,6 +1681,9 @@ pub fn run_sharded_with(
         let mut peak: u64 = qlen;
 
         loop {
+            if let Some(ctl) = control {
+                ctl.checkpoint(events_processed)?;
+            }
             let next = pending_min(&mut slots, &crash_list, crash_cur);
             if remaining == 0 {
                 // Mirror the sequential pop: a next event past the tick

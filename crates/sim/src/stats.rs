@@ -4,7 +4,7 @@ use crate::trace::StallBreakdown;
 use serde::{Deserialize, Serialize};
 
 /// Measured quantities of one host simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Number of guest cells (databases).
     pub guest_cells: u32,

@@ -15,7 +15,7 @@
 //! Empty stretches are skipped by jumping to the next calendar event or
 //! scheduled crash.
 //!
-//! Per-copy state lives in **structure-of-arrays** form (see [`SoA`]):
+//! Per-copy state lives in **structure-of-arrays** form (the private `SoA` struct):
 //! one flat array per field, indexed by the plan's dense copy id
 //! `copy_off[p] + i`, with dependency rows indexed by `dep_off[p] + k`.
 //! Per-tick sweeps walk contiguous memory instead of pointer-chasing
@@ -24,7 +24,7 @@
 //! processor's ready words, and the dependency watermark advances by
 //! counting trailing ones — no per-step boolean loads. The parallel
 //! phases carve the flat arrays into disjoint per-processor
-//! [`ProcView`]s with `split_at_mut`, so each worker owns exactly its
+//! `ProcView`s with `split_at_mut`, so each worker owns exactly its
 //! processor's word-aligned range (bitset ranges are word-padded per
 //! processor for this reason). DESIGN.md §15 documents the layout and
 //! its invariants.
@@ -276,6 +276,18 @@ impl ProcView<'_> {
 /// Run the time-stepped engine over a lowered plan. Produces the same
 /// outcome shape as [`crate::engine::Engine`].
 pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
+    run_stepped_controlled(plan, None)
+}
+
+/// [`run_stepped`] under a cooperative [`RunControl`](crate::control::RunControl):
+/// the tick loop
+/// honours pause/resume and returns [`RunError::Cancelled`] on cancel,
+/// checked every [`CHECK_EVERY`](crate::control::CHECK_EVERY) iterations.
+/// Control never perturbs the schedule.
+pub fn run_stepped_controlled(
+    plan: &ExecPlan,
+    control: Option<&crate::control::RunControl>,
+) -> Result<RunOutcome, RunError> {
     let config = plan.config();
     if config.multicast {
         return Err(RunError::UnsupportedFeature {
@@ -504,9 +516,16 @@ pub fn run_stepped(plan: &ExecPlan) -> Result<RunOutcome, RunError> {
         }};
     }
 
+    let mut loop_iters: u64 = 0;
     while remaining > 0 {
         if tick > config.max_ticks {
             return Err(RunError::TickLimit(config.max_ticks));
+        }
+        loop_iters += 1;
+        if loop_iters.is_multiple_of(crate::control::CHECK_EVERY) {
+            if let Some(ctl) = control {
+                ctl.checkpoint(loop_iters)?;
+            }
         }
 
         // ---- phase 0: crashes scheduled at this tick (before deliveries

@@ -5,6 +5,11 @@
 //!             [--steps N] [--strategy <s>] [--seed N] [--engine <e>]
 //!             [--faults <f>]...
 //! overlap-cli fuzz [--seed N] [--cases K] [--dag]
+//! overlap-cli serve [--addr A] [--workers N] [--store FILE]
+//! overlap-cli submit [--addr A] [--wait] <scenario flags as above>
+//! overlap-cli session|watch|pause|resume|cancel <ID> [--addr A]
+//! overlap-cli runs [--hash H] [--addr A]
+//! overlap-cli cache|stop-daemon [--addr A]
 //!
 //!   fuzz        differential fuzzing: sample K random scenarios (guest,
 //!               host, delays, assignment, costs, faults, multicast,
@@ -33,7 +38,8 @@
 //!   --engine    event | stepped | lockstep | sharded  (default event;
 //!               line/ring only; sharded is the conservative-parallel
 //!               engine, bit-identical to event)
-//!   --threads   worker threads for --engine sharded (default: all cores)
+//!   --threads   worker threads for --engine sharded (default: all cores;
+//!               an explicit 0 is rejected with a typed error)
 //!   --faults    down:A:B:FROM:UNTIL | spike:A:B:FROM:UNTIL:FACTOR |
 //!               crash:P:AT | rand:PCT  (repeatable; injects deterministic
 //!               link outages / delay spikes / processor crashes; rand:PCT
@@ -53,12 +59,15 @@
 //! the predicted bound where the strategy has one.
 
 use overlap::core::mesh::simulate_mesh_on_host;
+use overlap::daemon::{Client, Daemon, DaemonConfig, Event, JsonlStore, MemStore};
 use overlap::net::metrics::DelayStats;
 use overlap::{
-    topology, DelayModel, EngineKind, FaultPlan, GuestSpec, GuestTopology, HostGraph, ProgramKind,
-    Simulation, Strategy, TraceConfig,
+    topology, DelayModel, EngineKind, Error, FaultPlan, GuestSpec, GuestTopology, HostGraph,
+    ProgramKind, ScenarioSpec, Simulation, Strategy, TraceConfig,
 };
 use std::process::exit;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7341";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n\nrun with --help for usage");
@@ -241,6 +250,253 @@ fn parse_faults(args: &[String], host: &HostGraph, seed: u64, horizon: u64) -> O
     any.then_some(plan)
 }
 
+fn opt_in(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Resolve `--engine`/`--threads` into an [`EngineKind`]. An *absent*
+/// `--threads` means "all cores"; an explicit `--threads 0` is passed
+/// through so the builder rejects it with `Error::InvalidConfig` (it
+/// used to be silently treated as the default).
+fn parse_engine(engine: &str, args: &[String]) -> EngineKind {
+    match engine {
+        "event" => EngineKind::Event,
+        "stepped" => EngineKind::Stepped,
+        "lockstep" => EngineKind::Lockstep,
+        "sharded" => {
+            let given = args.iter().any(|a| a == "--threads");
+            let threads: usize = opt_in(args, "--threads", "0")
+                .parse()
+                .unwrap_or_else(|_| usage("bad --threads"));
+            EngineKind::Sharded {
+                threads: if threads == 0 && !given {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                } else {
+                    threads
+                },
+            }
+        }
+        other => usage(&format!("unknown engine '{other}'")),
+    }
+}
+
+fn engine_feature_label(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Event => "event",
+        EngineKind::Stepped => "stepped",
+        EngineKind::Lockstep => "lockstep",
+        EngineKind::Sharded { .. } => "sharded",
+    }
+}
+
+/// Build a [`ScenarioSpec`] from the standard scenario flags (used by
+/// `submit`; mirrors the local simulation path).
+fn parse_scenario(args: &[String]) -> ScenarioSpec {
+    let seed: u64 = opt_in(args, "--seed", "42")
+        .parse()
+        .unwrap_or_else(|_| usage("bad --seed"));
+    let steps: u32 = opt_in(args, "--steps", "64")
+        .parse()
+        .unwrap_or_else(|_| usage("bad --steps"));
+    let dm = parse_delays(&opt_in(args, "--delays", "uniform:1:9"));
+    let host = parse_host(&opt_in(args, "--host", "line:32"), dm, seed);
+    let default_guest = format!("line:{}", 2 * host.num_nodes());
+    let guest = parse_guest(&opt_in(args, "--guest", &default_guest), seed, steps);
+    let strategy = parse_strategy(&opt_in(args, "--strategy", "overlap:4"));
+    let engine = parse_engine(&opt_in(args, "--engine", "event"), args);
+    let stats = DelayStats::of(&host);
+    let horizon = steps as u64 * (stats.d_max + 2);
+    let faults = parse_faults(args, &host, seed, horizon);
+    let trace = args.iter().any(|a| a == "--trace");
+    let mut spec = ScenarioSpec::new(guest, host);
+    spec.strategy = strategy;
+    spec.engine = engine;
+    spec.faults = faults;
+    spec.trace = trace;
+    spec
+}
+
+fn describe_event(e: &Event) -> String {
+    match e {
+        Event::Queued => "queued".into(),
+        Event::Started { cache_hit } => format!(
+            "started ({})",
+            if *cache_hit {
+                "plan-cache hit"
+            } else {
+                "plan lowered"
+            }
+        ),
+        Event::Progress { done } => format!("progress: {done} dispatch units"),
+        Event::Paused => "paused".into(),
+        Event::Resumed => "resumed".into(),
+        Event::Stalls { totals } => format!(
+            "stalls: compute {} dep {} bw {} order {} fault {} drained {}",
+            totals.compute_ticks,
+            totals.stall_dependency,
+            totals.stall_bandwidth,
+            totals.stall_db_order,
+            totals.stall_fault,
+            totals.stall_drained
+        ),
+        Event::Done { record } => format!(
+            "done: makespan {} slowdown {:.2} validated {} (run #{}, plan {:#018x})",
+            record.stats.makespan,
+            record.stats.slowdown,
+            record.validated,
+            record.run_id,
+            record.plan_hash
+        ),
+        Event::Failed { error } => format!("FAILED: {error}"),
+        Event::Cancelled { at } => format!("cancelled after {at} dispatch units"),
+    }
+}
+
+/// `overlap-cli serve` — run the daemon until a client stops it.
+fn serve_main(args: &[String]) -> ! {
+    let addr = opt_in(args, "--addr", DEFAULT_ADDR);
+    let workers: usize = opt_in(args, "--workers", "0")
+        .parse()
+        .unwrap_or_else(|_| usage("bad --workers"));
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(2, |n| n.get())
+    } else {
+        workers
+    };
+    let store: Box<dyn overlap::daemon::RunStore> = match opt_in(args, "--store", "").as_str() {
+        "" => Box::new(MemStore::new()),
+        path => Box::new(JsonlStore::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open store {path}: {e}");
+            exit(1)
+        })),
+    };
+    let daemon = std::sync::Arc::new(Daemon::start(DaemonConfig { workers, store }));
+    let mut server =
+        overlap::daemon::serve(std::sync::Arc::clone(&daemon), &addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind {addr}: {e}");
+            exit(1)
+        });
+    println!(
+        "overlap-daemon listening on {} ({workers} workers)",
+        server.addr()
+    );
+    while !daemon.is_shut_down() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    server.stop();
+    println!("daemon stopped");
+    exit(0)
+}
+
+/// Client subcommands (`submit`, `session`, `watch`, …).
+fn client_main(cmd: &str, args: &[String]) -> ! {
+    let addr = opt_in(args, "--addr", DEFAULT_ADDR);
+    let client = Client::new(addr);
+    let fail = |e: overlap::daemon::ClientError| -> ! {
+        eprintln!("{e}");
+        exit(1)
+    };
+    let session_arg = || -> u64 {
+        args.iter()
+            .find(|a| !a.starts_with("--"))
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| usage(&format!("'{cmd}' needs a session id")))
+    };
+    let watch = |client: &Client, id: u64| {
+        let mut next = 0;
+        loop {
+            let resp = client.events(id, next, 5_000).unwrap_or_else(|e| fail(e));
+            for e in &resp.events {
+                println!("session {id}: {}", describe_event(e));
+                match e {
+                    Event::Failed { .. } => exit(1),
+                    Event::Done { .. } | Event::Cancelled { .. } => exit(0),
+                    _ => {}
+                }
+            }
+            next = resp.next;
+        }
+    };
+    match cmd {
+        "submit" => {
+            let spec = parse_scenario(args);
+            let id = client.submit(&spec).unwrap_or_else(|e| fail(e));
+            println!("session {id} accepted");
+            if args.iter().any(|a| a == "--wait") {
+                watch(&client, id);
+            }
+            exit(0)
+        }
+        "session" => {
+            let view = client.status(session_arg()).unwrap_or_else(|e| fail(e));
+            println!(
+                "session {}: {:?}, progress {} dispatch units, plan {:#018x}, {} events",
+                view.id, view.status, view.progress, view.plan_hash, view.events
+            );
+            exit(0)
+        }
+        "watch" => watch(&client, session_arg()),
+        "pause" | "resume" | "cancel" => {
+            let id = session_arg();
+            match cmd {
+                "pause" => client.pause(id),
+                "resume" => client.resume(id),
+                _ => client.cancel(id),
+            }
+            .unwrap_or_else(|e| fail(e));
+            println!("session {id}: {cmd} requested");
+            exit(0)
+        }
+        "runs" => {
+            let hash = args
+                .iter()
+                .position(|a| a == "--hash")
+                .and_then(|i| args.get(i + 1))
+                .map(|h| {
+                    let h = h.trim_start_matches("0x");
+                    u64::from_str_radix(h, 16)
+                        .or_else(|_| h.parse())
+                        .unwrap_or_else(|_| usage("bad --hash"))
+                });
+            let runs = client.runs(hash).unwrap_or_else(|e| fail(e));
+            for r in &runs {
+                println!(
+                    "run #{:<4} session {:<4} plan {:#018x} {:10} {:24} makespan {:8} slowdown {:6.2} validated {} {}",
+                    r.run_id,
+                    r.session,
+                    r.plan_hash,
+                    r.engine,
+                    r.strategy,
+                    r.stats.makespan,
+                    r.stats.slowdown,
+                    r.validated,
+                    if r.cache_hit { "[cache hit]" } else { "[lowered]" }
+                );
+            }
+            println!("{} run(s)", runs.len());
+            exit(0)
+        }
+        "cache" => {
+            let c = client.cache().unwrap_or_else(|e| fail(e));
+            println!(
+                "plan cache: {} hits, {} misses, {} cached plan(s)",
+                c.hits, c.misses, c.entries
+            );
+            exit(0)
+        }
+        "stop-daemon" => {
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            println!("daemon asked to stop");
+            exit(0)
+        }
+        other => usage(&format!("unknown subcommand '{other}'")),
+    }
+}
+
 /// `overlap-cli fuzz --seed N --cases K` — stream the differential fuzzer
 /// with progress lines, printing a shrunk paste-able repro per divergence.
 fn fuzz_main(args: &[String]) -> ! {
@@ -302,8 +558,14 @@ fn fuzz_main(args: &[String]) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("fuzz") {
-        fuzz_main(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("fuzz") => fuzz_main(&args[1..]),
+        Some("serve") => serve_main(&args[1..]),
+        Some(
+            cmd @ ("submit" | "session" | "watch" | "pause" | "resume" | "cancel" | "runs"
+            | "cache" | "stop-daemon"),
+        ) => client_main(cmd, &args[1..]),
+        _ => {}
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         // The module doc is the help text.
@@ -338,9 +600,6 @@ fn main() {
     let guest = parse_guest(&opt("--guest", &default_guest), seed, steps);
     let strategy_spec = opt("--strategy", "overlap:4");
     let engine = opt("--engine", "event");
-    let threads: usize = opt("--threads", "0")
-        .parse()
-        .unwrap_or_else(|_| usage("bad --threads"));
 
     let stats = DelayStats::of(&host);
     if args.iter().any(|a| a == "--dot") {
@@ -407,19 +666,18 @@ fn main() {
     let report = match guest.topology {
         GuestTopology::Line { .. } | GuestTopology::Ring { .. } => {
             let strategy = parse_strategy(&strategy_spec);
-            let kind = match engine.as_str() {
-                "event" => EngineKind::Event,
-                "stepped" => EngineKind::Stepped,
-                "lockstep" => EngineKind::Lockstep,
-                "sharded" => EngineKind::Sharded {
-                    threads: if threads == 0 {
-                        std::thread::available_parallelism().map_or(1, |n| n.get())
-                    } else {
-                        threads
-                    },
-                },
-                other => usage(&format!("unknown engine '{other}'")),
-            };
+            let kind = parse_engine(&engine, &args);
+            // Tracing is event-engine-only; say so before planning the
+            // placement rather than after (and with the same typed error
+            // the builder would produce).
+            if trace_json.is_some() && kind != EngineKind::Event {
+                let err = Error::Unsupported {
+                    engine: engine_feature_label(kind),
+                    feature: "stall-attribution tracing",
+                };
+                eprintln!("simulation failed: {err}");
+                exit(1);
+            }
             let mut builder = Simulation::of(&guest)
                 .on(&host)
                 .strategy(strategy)
@@ -428,7 +686,6 @@ fn main() {
                 builder = builder.faults(plan);
             }
             if trace_json.is_some() {
-                // `build()` rejects non-event engines with a clear error.
                 builder = builder.trace(TraceConfig::default());
             }
             builder.build().and_then(|sim| sim.run()).map(|mut r| {

@@ -70,13 +70,14 @@
 #![warn(missing_docs)]
 
 pub use overlap_core as core;
+pub use overlap_daemon as daemon;
 pub use overlap_model as model;
 pub use overlap_net as net;
 pub use overlap_sim as sim;
 
-#[allow(deprecated)]
-pub use overlap_core::pipeline::LineStrategy;
-pub use overlap_core::{EngineKind, Error, SimReport, Simulation, SimulationBuilder, Strategy};
+pub use overlap_core::{
+    EngineKind, Error, ScenarioSpec, SimReport, Simulation, SimulationBuilder, Strategy,
+};
 pub use overlap_model::{GuestSpec, GuestTopology, ProgramKind, ReferenceRun, ReferenceTrace};
 pub use overlap_net::{topology, DelayModel, HostGraph};
 pub use overlap_sim::{
